@@ -1,0 +1,1 @@
+examples/budget_dashboard.ml: Flex_core Flex_dp Flex_engine Flex_workload Fmt List Option

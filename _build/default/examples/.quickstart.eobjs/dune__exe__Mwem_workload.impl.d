@@ -1,0 +1,1 @@
+examples/mwem_workload.ml: Array Flex_dp Flex_engine Flex_workload Float Fmt List

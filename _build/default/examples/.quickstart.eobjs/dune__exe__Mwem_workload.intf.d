@@ -1,0 +1,1 @@
+examples/mwem_workload.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flex_core Flex_dp Flex_engine Fmt List

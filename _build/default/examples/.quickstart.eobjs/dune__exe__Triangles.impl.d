@@ -1,0 +1,1 @@
+examples/triangles.ml: Flex_core Flex_dp Flex_engine Flex_workload Fmt List Option

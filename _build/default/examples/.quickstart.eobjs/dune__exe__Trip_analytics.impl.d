@@ -1,0 +1,1 @@
+examples/trip_analytics.ml: Array Flex_core Flex_dp Flex_engine Flex_workload Fmt List String

@@ -1,0 +1,1 @@
+examples/trip_analytics.mli:

@@ -1,0 +1,104 @@
+(* Privacy-budget strategies from paper §4.3: basic composition, the strong
+   composition theorem, and the sparse vector technique built on FLEX's
+   elastic-sensitivity bounds.
+
+     dune exec examples/budget_dashboard.exe *)
+
+module Rng = Flex_dp.Rng
+module Budget = Flex_dp.Budget
+module Sparse_vector = Flex_dp.Sparse_vector
+module Flex = Flex_core.Flex
+module Uber = Flex_workload.Uber
+
+let () =
+  let rng = Rng.create ~seed:2 () in
+  let db, metrics = Uber.generate ~sizes:Uber.small_sizes rng in
+
+  (* --- composition: what do 50 queries at eps=0.05 cost? ------------------ *)
+  Fmt.pr "=== composition accounting ===@.";
+  let b = Budget.create ~epsilon:10.0 ~delta:1e-4 in
+  for _ = 1 to 50 do
+    Budget.charge b ~label:"dashboard tile" ~epsilon:0.05 ~delta:1e-9
+  done;
+  let eb, db_ = Budget.spent_basic b in
+  let es, ds = Budget.spent_strong b in
+  Fmt.pr "50 queries at eps = 0.05 each:@.";
+  Fmt.pr "  basic composition:  eps = %.3f, delta = %.2e@." eb db_;
+  Fmt.pr "  strong composition: eps = %.3f, delta = %.2e@.@." es ds;
+
+  (* --- sparse vector: only pay for interesting answers -------------------- *)
+  Fmt.pr "=== sparse vector over FLEX sensitivities ===@.";
+  Fmt.pr "release city trip-counts only when they noisily exceed 150:@.";
+  let options = Flex.options ~epsilon:1.0 ~delta:1e-8 () in
+  let sv = Sparse_vector.create ~max_answers:3 rng ~epsilon:1.0 ~threshold:150.0 in
+  let city_count city_id =
+    let sql = Fmt.str "SELECT COUNT(*) FROM trips WHERE city_id = %d" city_id in
+    match Flex.run_sql ~rng ~options ~db ~metrics sql with
+    | Ok release -> (
+      let sens =
+        (List.hd release.Flex.column_releases).Flex.smooth.Flex_dp.Smooth.smooth_bound
+      in
+      match release.Flex.true_result.rows with
+      | [ [| v |] ] -> Some (Option.value ~default:0.0 (Flex_engine.Value.to_float v), sens)
+      | _ -> None)
+    | Error _ -> None
+  in
+  let stop = ref false in
+  for city = 1 to 12 do
+    if not !stop then
+      match city_count city with
+      | None -> ()
+      | Some (truth, sensitivity) -> (
+        match Sparse_vector.query sv ~sensitivity truth with
+        | Sparse_vector.Below -> Fmt.pr "  city %2d: below threshold (not released)@." city
+        | Sparse_vector.Above v -> Fmt.pr "  city %2d: released noisy count %.1f@." city v
+        | Sparse_vector.Halted ->
+          Fmt.pr "  city %2d: answer quota exhausted, stopping@." city;
+          stop := true)
+  done;
+  Fmt.pr "sparse vector epsilon spent: %.2f (independent of the number of probes)@.@."
+    (Sparse_vector.epsilon_spent sv);
+
+  (* --- per-query budget refusal ------------------------------------------- *)
+  Fmt.pr "=== hard budget limit ===@.";
+  let tight = Budget.create ~epsilon:1.0 ~delta:1e-6 in
+  let options = Flex.options ~epsilon:0.4 ~delta:1e-8 () in
+  List.iteri
+    (fun i sql ->
+      match Flex.run_sql ~budget:tight ~rng ~options ~db ~metrics sql with
+      | Ok _ -> Fmt.pr "  query %d answered; %a@." (i + 1) Budget.pp tight
+      | Error r -> Fmt.pr "  query %d rejected: %s@." (i + 1) (Flex_core.Errors.to_string r)
+      | exception Budget.Exhausted _ ->
+        Fmt.pr "  query %d refused: budget exhausted@." (i + 1))
+    [
+      "SELECT COUNT(*) FROM trips";
+      "SELECT COUNT(*) FROM drivers";
+      "SELECT COUNT(*) FROM users";
+    ]
+
+(* --- propose-test-release (appended) -----------------------------------------
+   PTR (paper §6) releases with noise scaled to a *proposed* sensitivity when
+   the elastic-sensitivity function certifies the database is far from any
+   one where the proposal would be unsound. *)
+let () =
+  Fmt.pr "@.=== propose-test-release on elastic sensitivity ===@.";
+  let rng = Rng.create ~seed:3 () in
+  let db, metrics = Uber.generate ~sizes:Uber.small_sizes rng in
+  let options = Flex.options ~epsilon:1.0 ~delta:1e-6 () in
+  let try_ptr label sql proposed =
+    match
+      Flex.run_ptr ~rng ~options ~db ~metrics ~proposed_sensitivity:proposed sql
+    with
+    | Ok { outcome = Flex_dp.Ptr.Released v; true_value; distance_bound; _ } ->
+      Fmt.pr "  %-34s proposed %6.1f: released %.1f (true %.0f; distance bound %d)@."
+        label proposed v true_value distance_bound
+    | Ok { outcome = Flex_dp.Ptr.Refused; distance_bound; _ } ->
+      Fmt.pr "  %-34s proposed %6.1f: refused (distance bound %d)@." label proposed
+        distance_bound
+    | Error r -> Fmt.pr "  %-34s rejected: %s@." label (Flex_core.Errors.to_string r)
+  in
+  try_ptr "no-join count, generous proposal" "SELECT COUNT(*) FROM trips" 5.0;
+  try_ptr "join count, undershooting" 
+    "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id" 1.0;
+  try_ptr "join count, generous"
+    "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id" 2000.0

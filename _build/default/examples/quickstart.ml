@@ -1,0 +1,65 @@
+(* Quickstart: enforce differential privacy for a SQL query in a few lines.
+
+     dune exec examples/quickstart.exe
+
+   The flow mirrors the FLEX architecture (paper Fig 2): build (or connect
+   to) a database, collect the max-frequency metrics once, then answer SQL
+   queries with (epsilon, delta)-differential privacy. *)
+
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Flex = Flex_core.Flex
+module Rng = Flex_dp.Rng
+
+let () =
+  (* 1. A database: two tables of sensitive data. *)
+  let trips =
+    Table.create ~name:"trips" ~columns:[ "id"; "driver_id"; "city" ]
+      [
+        [| Value.Int 1; Value.Int 1; Value.String "sf" |];
+        [| Value.Int 2; Value.Int 1; Value.String "sf" |];
+        [| Value.Int 3; Value.Int 2; Value.String "nyc" |];
+        [| Value.Int 4; Value.Int 3; Value.String "sf" |];
+        [| Value.Int 5; Value.Int 3; Value.String "nyc" |];
+        [| Value.Int 6; Value.Int 3; Value.String "sf" |];
+      ]
+  in
+  let drivers =
+    Table.create ~name:"drivers" ~columns:[ "id"; "status" ]
+      [
+        [| Value.Int 1; Value.String "active" |];
+        [| Value.Int 2; Value.String "active" |];
+        [| Value.Int 3; Value.String "inactive" |];
+      ]
+  in
+  let db = Database.of_tables [ trips; drivers ] in
+
+  (* 2. Collect metrics once (mf, vr, row counts); declare constraints. *)
+  let metrics = Metrics.compute db in
+  Metrics.set_primary_key metrics ~table:"drivers" ~column:"id";
+
+  (* 3. Answer queries with differential privacy. *)
+  let rng = Rng.create () in
+  let options = Flex.options ~epsilon:1.0 ~delta:1e-6 () in
+  let ask sql =
+    match Flex.run_sql ~rng ~options ~db ~metrics sql with
+    | Ok release ->
+      let cell =
+        match release.Flex.noisy.rows with
+        | [ [| v |] ] -> Value.to_string v
+        | _ -> "<multiple rows>"
+      in
+      let bound = (List.hd release.Flex.column_releases).Flex.smooth in
+      Fmt.pr "%s@.  -> %s   (smooth sensitivity bound %.2f, Laplace scale %.1f)@.@."
+        sql cell bound.Flex_dp.Smooth.smooth_bound
+        (List.hd release.Flex.column_releases).Flex.noise_scale
+    | Error reason ->
+      Fmt.pr "%s@.  -> rejected: %s@.@." sql (Flex_core.Errors.to_string reason)
+  in
+  ask "SELECT COUNT(*) FROM trips";
+  ask "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id \
+       WHERE d.status = 'active'";
+  (* raw data is out of scope for differential privacy: rejected *)
+  ask "SELECT id, city FROM trips"

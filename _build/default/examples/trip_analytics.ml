@@ -1,0 +1,76 @@
+(* A realistic analyst session over the Uber-like schema: several business
+   questions answered under a shared privacy budget, with histogram bin
+   enumeration, the public-table optimisation, and typed rejections.
+
+     dune exec examples/trip_analytics.exe *)
+
+module Value = Flex_engine.Value
+module Metrics = Flex_engine.Metrics
+module Rng = Flex_dp.Rng
+module Budget = Flex_dp.Budget
+module Flex = Flex_core.Flex
+module Uber = Flex_workload.Uber
+
+let () =
+  let rng = Rng.create ~seed:1 () in
+  Fmt.pr "generating the ride-sharing database...@.";
+  let db, metrics = Uber.generate rng in
+  Fmt.pr "%a; cities is public@.@." Flex_engine.Database.pp db;
+
+  (* a per-analyst budget: total epsilon 3.0 *)
+  let budget = Budget.create ~epsilon:3.0 ~delta:1e-5 in
+  let options = Flex.options ~epsilon:0.5 ~delta:1e-8 () in
+
+  let ask question sql =
+    Fmt.pr "Q: %s@.   %s@." question sql;
+    (match Flex.run_sql ~budget ~rng ~options ~db ~metrics sql with
+    | Ok release ->
+      let rows = release.Flex.noisy.rows in
+      let n = List.length rows in
+      if n = 1 then
+        Fmt.pr "   -> %s@."
+          (String.concat ", "
+             (Array.to_list (Array.map Value.to_string (List.hd rows))))
+      else begin
+        Fmt.pr "   -> %d rows%s; first three:@." n
+          (if release.Flex.bins_enumerated then " (all public bins enumerated)" else "");
+        List.iteri
+          (fun i row ->
+            if i < 3 then
+              Fmt.pr "      %s@."
+                (String.concat ", " (Array.to_list (Array.map Value.to_string row))))
+          rows
+      end;
+      List.iter
+        (fun c ->
+          Fmt.pr "   [%s: elastic sensitivity %s, smooth bound %.1f]@." c.Flex.name
+            (Flex_dp.Sens.to_string c.Flex.elastic)
+            c.Flex.smooth.Flex_dp.Smooth.smooth_bound)
+        release.Flex.column_releases
+    | Error r -> Fmt.pr "   -> rejected: %s@." (Flex_core.Errors.to_string r)
+    | exception Budget.Exhausted { remaining_epsilon; _ } ->
+      Fmt.pr "   -> refused: privacy budget exhausted (%.2f epsilon left)@."
+        remaining_epsilon);
+    Fmt.pr "   %a@.@." Budget.pp budget
+  in
+
+  ask "How many trips were completed this year?"
+    "SELECT COUNT(*) FROM trips WHERE status = 'completed'";
+  ask "Trips per city (cities are public, so every bin is released)"
+    "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id \
+     GROUP BY c.name";
+  ask "How many active drivers completed a trip in March?"
+    "SELECT COUNT(DISTINCT t.driver_id) FROM trips t JOIN drivers d ON \
+     t.driver_id = d.id WHERE d.status = 'active' AND t.requested_at >= \
+     '2016-03-01' AND t.requested_at < '2016-04-01'";
+  ask "Total fares by trip status"
+    "SELECT t.status, SUM(t.fare) FROM trips t GROUP BY t.status";
+  ask "Raw trip rows (must be refused: differential privacy covers statistics only)"
+    "SELECT id, driver_id, fare FROM trips LIMIT 10";
+  ask "Riders who both completed and cancelled (many-to-many self join: high noise)"
+    "SELECT COUNT(*) FROM trips a JOIN trips b ON a.rider_id = b.rider_id \
+     WHERE a.status = 'completed' AND b.status = 'cancelled'";
+  ask "One more scalar count (watch the budget run down)"
+    "SELECT COUNT(*) FROM trips WHERE fare > 50";
+  ask "And another (this one exhausts the budget)"
+    "SELECT COUNT(*) FROM trips WHERE fare > 80"

@@ -1,0 +1,1 @@
+lib/baselines/global_sens.ml: Flex_dp Flex_sql Fmt List

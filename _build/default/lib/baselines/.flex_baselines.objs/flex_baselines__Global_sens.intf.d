@@ -1,0 +1,1 @@
+lib/baselines/global_sens.mli: Flex_dp Flex_sql Fmt

@@ -1,0 +1,1 @@
+lib/baselines/pinq.ml: Array Flex_dp Flex_engine Hashtbl List

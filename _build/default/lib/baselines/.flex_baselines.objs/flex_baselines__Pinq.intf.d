@@ -1,0 +1,1 @@
+lib/baselines/pinq.mli: Flex_dp Flex_engine

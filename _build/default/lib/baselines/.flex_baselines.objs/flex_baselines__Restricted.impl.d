@@ -1,0 +1,1 @@
+lib/baselines/restricted.ml: Flex_core Flex_dp Flex_sql Float Fmt List Option String

@@ -1,0 +1,1 @@
+lib/baselines/restricted.mli: Flex_core Flex_dp Flex_sql Fmt

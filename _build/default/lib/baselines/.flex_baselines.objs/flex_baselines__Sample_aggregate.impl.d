@@ -1,0 +1,1 @@
+lib/baselines/sample_aggregate.ml: Array Flex_dp Flex_engine Float Fmt List

@@ -1,0 +1,1 @@
+lib/baselines/sample_aggregate.mli: Flex_dp Flex_engine Fmt

@@ -1,0 +1,1 @@
+lib/baselines/wpinq.ml: Array Flex_dp Flex_engine Hashtbl List

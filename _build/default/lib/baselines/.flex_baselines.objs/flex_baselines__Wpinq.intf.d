@@ -1,0 +1,1 @@
+lib/baselines/wpinq.mli: Flex_dp Flex_engine

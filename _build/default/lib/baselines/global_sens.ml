@@ -1,0 +1,32 @@
+module Ast = Flex_sql.Ast
+module Rng = Flex_dp.Rng
+module Laplace = Flex_dp.Laplace
+
+(* The textbook Laplace mechanism over global sensitivity. For counting
+   queries without joins GS = 1 (2 for histograms); any join makes the
+   global sensitivity unbounded ("a join has the ability to multiply input
+   records", §3.1), so joins are rejected. Serves as the no-join baseline in
+   the mechanism-capability matrix. *)
+
+type error = Join_unbounded | Not_a_counting_query
+
+let pp_error ppf = function
+  | Join_unbounded ->
+    Fmt.string ppf "global sensitivity of a query with joins is unbounded"
+  | Not_a_counting_query -> Fmt.string ppf "only counting queries are supported"
+
+let global_sensitivity (q : Ast.query) : (float, error) result =
+  if Ast.joins_of_query q <> [] then Error Join_unbounded
+  else
+    match q.body with
+    | Ast.Select s ->
+      let aggs = Ast.select_aggregates s in
+      if aggs = [] || List.exists (fun (f, _, _) -> f <> Ast.Count) aggs then
+        Error Not_a_counting_query
+      else Ok (if s.group_by = [] then 1.0 else 2.0)
+    | _ -> Error Not_a_counting_query
+
+let noisy_count rng ~epsilon (q : Ast.query) ~true_count =
+  match global_sensitivity q with
+  | Error e -> Error e
+  | Ok gs -> Ok (true_count +. Laplace.sample rng ~scale:(gs /. epsilon))

@@ -1,0 +1,14 @@
+module Ast = Flex_sql.Ast
+module Rng = Flex_dp.Rng
+
+(** The textbook Laplace mechanism over global sensitivity: counting queries
+    without joins have GS = 1 (2 for histograms); any join makes the global
+    sensitivity unbounded (paper §3.1), so joins are rejected. *)
+
+type error = Join_unbounded | Not_a_counting_query
+
+val pp_error : error Fmt.t
+val global_sensitivity : Ast.query -> (float, error) result
+
+val noisy_count :
+  Rng.t -> epsilon:float -> Ast.query -> true_count:float -> (float, error) result

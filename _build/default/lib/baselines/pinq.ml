@@ -1,0 +1,53 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Rng = Flex_dp.Rng
+module Laplace = Flex_dp.Laplace
+
+(* PINQ (McSherry): counting with a *restricted* join operator that groups
+   both sides by key. A count over the joined result counts matched unique
+   keys, not joined rows — equivalent to standard semantics only for
+   one-to-one joins (Table 1). Stability of the restricted join is 2 and
+   the count has sensitivity 1, so Lap(2/epsilon) noise suffices for the
+   grouped pipeline; we charge Lap(1/epsilon) on the key count as in PINQ's
+   NoisyCount over a stable transformation chain of stability 2. *)
+
+type row = Value.t array
+
+type t = { rows : row list }
+
+let of_table table = { rows = Array.to_list (Table.rows table) }
+
+let filter pred t = { rows = List.filter pred t.rows }
+
+(* PINQ's Join: groups of left and right rows per key; the result has one
+   record per key present on both sides. *)
+let join_groups ~key_left ~key_right left right =
+  let groups = Hashtbl.create 64 in
+  let add side r key =
+    if not (Value.is_null key) then begin
+      let l, rr =
+        match Hashtbl.find_opt groups key with Some g -> g | None -> ([], [])
+      in
+      match side with
+      | `L -> Hashtbl.replace groups key (r :: l, rr)
+      | `R -> Hashtbl.replace groups key (l, r :: rr)
+    end
+  in
+  List.iter (fun r -> add `L r (key_left r)) left.rows;
+  List.iter (fun r -> add `R r (key_right r)) right.rows;
+  Hashtbl.fold
+    (fun key (ls, rs) acc ->
+      match (ls, rs) with [], _ | _, [] -> acc | ls, rs -> (key, ls, rs) :: acc)
+    groups []
+
+(* Count of matched keys + Lap(2/epsilon): the grouped join is a 2-stable
+   transformation of either input. *)
+let noisy_matched_key_count rng ~epsilon ~key_left ~key_right left right =
+  if epsilon <= 0.0 then invalid_arg "Pinq.noisy_matched_key_count";
+  let matched = join_groups ~key_left ~key_right left right in
+  float_of_int (List.length matched) +. Laplace.sample rng ~scale:(2.0 /. epsilon)
+
+(* Plain noisy count of a (possibly filtered) dataset: sensitivity 1. *)
+let noisy_count rng ~epsilon t =
+  if epsilon <= 0.0 then invalid_arg "Pinq.noisy_count";
+  float_of_int (List.length t.rows) +. Laplace.sample rng ~scale:(1.0 /. epsilon)

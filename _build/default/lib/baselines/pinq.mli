@@ -1,0 +1,28 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Rng = Flex_dp.Rng
+
+(** PINQ (McSherry): counting with a *restricted* join that groups both
+    sides by key; a count over the join counts matched unique keys, which
+    equals standard semantics only for one-to-one joins (paper Table 1). *)
+
+type row = Value.t array
+
+type t = { rows : row list }
+
+val of_table : Table.t -> t
+val filter : (row -> bool) -> t -> t
+
+val join_groups :
+  key_left:(row -> Value.t) ->
+  key_right:(row -> Value.t) ->
+  t ->
+  t ->
+  (Value.t * row list * row list) list
+(** One entry per key present on both sides, with the matching groups. *)
+
+val noisy_matched_key_count :
+  Rng.t -> epsilon:float -> key_left:(row -> Value.t) -> key_right:(row -> Value.t) -> t -> t -> float
+(** Matched-key count + Lap(2/epsilon) (the grouped join is 2-stable). *)
+
+val noisy_count : Rng.t -> epsilon:float -> t -> float

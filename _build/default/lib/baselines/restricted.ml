@@ -1,0 +1,120 @@
+module Ast = Flex_sql.Ast
+module Sens = Flex_dp.Sens
+module Rng = Flex_dp.Rng
+module Laplace = Flex_dp.Laplace
+
+(* Restricted sensitivity (Blocki et al.): bound the *global* sensitivity of
+   a counting query with joins using per-key frequency bounds promised by an
+   auxiliary data model (here: the collected mf metrics, interpreted as
+   global bounds). Works for one-to-one and one-to-many equijoins; rejects
+   many-to-many joins, whose key frequencies are unbounded on both sides
+   (Table 1). *)
+
+type error =
+  | Many_to_many_join
+  | Not_a_counting_query
+  | Unsupported_query of string
+
+let pp_error ppf = function
+  | Many_to_many_join ->
+    Fmt.string ppf "restricted sensitivity cannot bound a many-to-many join"
+  | Not_a_counting_query -> Fmt.string ppf "only counting queries are supported"
+  | Unsupported_query m -> Fmt.pf ppf "unsupported query: %s" m
+
+exception Rejected of error
+
+(* Global stability of a FROM tree under the data-model bounds: a table has
+   stability 1; a join with a unique key (bound 1) on at least one side
+   multiplies the other side's stability by the non-unique key's bound. *)
+let rec stability cat (tr : Ast.table_ref) : float =
+  match tr with
+  | Ast.Table { name; _ } ->
+    if cat.Flex_core.Elastic.is_public name then 0.0 else 1.0
+  | Ast.Derived _ -> raise (Rejected (Unsupported_query "derived table"))
+  | Ast.Join { kind; left; right; cond } -> (
+    if kind = Ast.Cross then raise (Rejected (Unsupported_query "cross join"));
+    let bound_of side (c : Ast.col_ref) =
+      let table =
+        match (c.table, side) with
+        | Some t, _ -> t
+        | None, `L -> (
+          match left with
+          | Ast.Table { name; alias } -> Option.value alias ~default:name
+          | _ -> raise (Rejected (Unsupported_query "unqualified join key")))
+        | None, `R -> (
+          match right with
+          | Ast.Table { name; alias } -> Option.value alias ~default:name
+          | _ -> raise (Rejected (Unsupported_query "unqualified join key")))
+      in
+      (* resolve alias to base table via the join tree *)
+      let rec base_of (tr : Ast.table_ref) label =
+        match tr with
+        | Ast.Table { name; alias } ->
+          if String.lowercase_ascii (Option.value alias ~default:name)
+             = String.lowercase_ascii label
+          then Some name
+          else None
+        | Ast.Derived _ -> None
+        | Ast.Join { left; right; _ } -> (
+          match base_of left label with Some n -> Some n | None -> base_of right label)
+      in
+      let base =
+        match base_of left table with
+        | Some n -> Some n
+        | None -> base_of right table
+      in
+      match base with
+      | None -> raise (Rejected (Unsupported_query ("unknown relation " ^ table)))
+      | Some base -> (
+        match cat.Flex_core.Elastic.mf { table = base; column = c.column } with
+        | Some m -> (float_of_int m, cat.Flex_core.Elastic.is_public base)
+        | None -> raise (Rejected (Unsupported_query ("no bound for " ^ c.column))))
+    in
+    match cond with
+    | Ast.On e -> (
+      let keys =
+        List.find_map
+          (function
+            | Ast.Binop (Ast.Eq, Ast.Col a, Ast.Col b) -> Some (a, b)
+            | _ -> None)
+          (Ast.conjuncts e)
+      in
+      match keys with
+      | None -> raise (Rejected (Unsupported_query "non-equijoin"))
+      | Some (a, b) ->
+        let sl = stability cat left and sr = stability cat right in
+        let ba, pub_a = bound_of `L a and bb, pub_b = bound_of `R b in
+        (* public side: no protected rows change there *)
+        if pub_a || sl = 0.0 then bb *. sr |> Float.max (ba *. sl)
+        else if pub_b || sr = 0.0 then ba *. sl |> Float.max (bb *. sr)
+        else if ba <= 1.0 then
+          (* one-to-many: left key unique *) Float.max (bb *. sl) sr
+        else if bb <= 1.0 then Float.max (ba *. sr) sl
+        else raise (Rejected Many_to_many_join))
+    | Ast.Using _ | Ast.Natural | Ast.Cond_none ->
+      raise (Rejected (Unsupported_query "join without ON condition")))
+
+(* Global sensitivity of SELECT COUNT(...) FROM tree WHERE ...; histogram
+   queries double it, as for elastic sensitivity. *)
+let global_sensitivity cat (q : Ast.query) : (float, error) result =
+  match q.body with
+  | Ast.Select s -> (
+    let aggs = Ast.select_aggregates s in
+    let only_counts =
+      aggs <> [] && List.for_all (fun (f, _, _) -> f = Ast.Count) aggs
+    in
+    if not only_counts then Error Not_a_counting_query
+    else
+      match s.from with
+      | [ tr ] -> (
+        match stability cat tr with
+        | st -> Ok (if s.group_by = [] then st else 2.0 *. st)
+        | exception Rejected e -> Error e)
+      | _ -> Error (Unsupported_query "FROM must be a single join tree"))
+  | _ -> Error (Unsupported_query "set operation")
+
+(* epsilon-DP release: true count + Lap(GS/epsilon). *)
+let noisy_count rng cat ~epsilon (q : Ast.query) ~true_count =
+  match global_sensitivity cat q with
+  | Error e -> Error e
+  | Ok gs -> Ok (true_count +. Laplace.sample rng ~scale:(gs /. epsilon))

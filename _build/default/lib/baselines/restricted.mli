@@ -1,0 +1,30 @@
+module Ast = Flex_sql.Ast
+module Rng = Flex_dp.Rng
+
+(** Restricted sensitivity (Blocki et al.): bound the *global* sensitivity
+    of a counting query with joins using per-key frequency bounds promised
+    by an auxiliary data model (here, the collected mf metrics read as
+    global bounds). Handles one-to-one and one-to-many equijoins; rejects
+    many-to-many joins (paper Table 1). *)
+
+type error = Many_to_many_join | Not_a_counting_query | Unsupported_query of string
+
+val pp_error : error Fmt.t
+
+exception Rejected of error
+
+val stability : Flex_core.Elastic.catalog -> Ast.table_ref -> float
+(** Global stability of a FROM tree under the data-model bounds.
+    @raise Rejected *)
+
+val global_sensitivity : Flex_core.Elastic.catalog -> Ast.query -> (float, error) result
+(** Global sensitivity of a counting query (doubled for histograms). *)
+
+val noisy_count :
+  Rng.t ->
+  Flex_core.Elastic.catalog ->
+  epsilon:float ->
+  Ast.query ->
+  true_count:float ->
+  (float, error) result
+(** epsilon-DP release: true count + Lap(GS/epsilon). *)

@@ -1,0 +1,83 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Rng = Flex_dp.Rng
+module Laplace = Flex_dp.Laplace
+
+(* Sample & aggregate (Nissim et al.; deployed by GUPT), discussed in paper
+   §6: split the data into disjoint blocks, run the statistic on each block,
+   and release a noisy aggregate of the per-block answers. Works for
+   statistical estimators whose value concentrates as the sample grows
+   (means, quantiles); it cannot support joins (splitting breaks join
+   semantics) or raw counts (a count scales with the block size instead of
+   concentrating) — the limitation Table 1's context describes. *)
+
+type error = Too_few_blocks | Empty_data
+
+let pp_error ppf = function
+  | Too_few_blocks -> Fmt.string ppf "need at least 2 blocks"
+  | Empty_data -> Fmt.string ppf "no rows to sample"
+
+(* Deterministically partition rows into [blocks] disjoint chunks. *)
+let partition ~blocks rows =
+  let out = Array.make blocks [] in
+  Array.iteri (fun i row -> out.(i mod blocks) <- row :: out.(i mod blocks)) rows;
+  Array.to_list (Array.map List.rev out) |> List.filter (fun b -> b <> [])
+
+(* Release an estimator with epsilon-DP: evaluate it on each block, then add
+   Laplace noise scaled to the clamped output range divided by the block
+   count (changing one row changes one block, hence one of the averaged
+   values, by at most (hi - lo)). *)
+let release rng ~epsilon ~blocks ~lo ~hi ~(estimator : Value.t array list -> float)
+    (table : Table.t) : (float, error) result =
+  if epsilon <= 0.0 then invalid_arg "Sample_aggregate.release: epsilon must be positive";
+  if hi <= lo then invalid_arg "Sample_aggregate.release: empty output range";
+  if blocks < 2 then Error Too_few_blocks
+  else begin
+    let rows = Table.rows table in
+    if Array.length rows = 0 then Error Empty_data
+    else begin
+      let parts = partition ~blocks rows in
+      let m = List.length parts in
+      if m < 2 then Error Too_few_blocks
+      else begin
+        let clamp v = Float.min hi (Float.max lo v) in
+        let answers = List.map (fun b -> clamp (estimator b)) parts in
+        let mean = List.fold_left ( +. ) 0.0 answers /. float_of_int m in
+        (* one changed row perturbs one block's clamped answer by <= hi-lo,
+           so the mean has sensitivity (hi-lo)/m *)
+        let sensitivity = (hi -. lo) /. float_of_int m in
+        Ok (mean +. Laplace.sample rng ~scale:(sensitivity /. epsilon))
+      end
+    end
+  end
+
+(* Convenience estimators over a single column. *)
+let mean_of_column table column =
+  let idx =
+    match Table.column_index table column with
+    | Some i -> i
+    | None -> invalid_arg ("Sample_aggregate: no column " ^ column)
+  in
+  fun rows ->
+    let vals = List.filter_map (fun (r : Value.t array) -> Value.to_float r.(idx)) rows in
+    match vals with
+    | [] -> 0.0
+    | vs -> List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs)
+
+let median_of_column table column =
+  let idx =
+    match Table.column_index table column with
+    | Some i -> i
+    | None -> invalid_arg ("Sample_aggregate: no column " ^ column)
+  in
+  fun rows ->
+    let vals =
+      List.filter_map (fun (r : Value.t array) -> Value.to_float r.(idx)) rows
+      |> List.sort compare
+    in
+    match vals with
+    | [] -> 0.0
+    | vs ->
+      let a = Array.of_list vs in
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0

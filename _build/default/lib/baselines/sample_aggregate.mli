@@ -1,0 +1,31 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Rng = Flex_dp.Rng
+
+(** Sample & aggregate (Nissim et al. / GUPT), discussed in paper §6: run a
+    statistical estimator on disjoint blocks of the data and release a noisy
+    mean of the per-block answers. Supports concentrating estimators (means,
+    medians); cannot support joins or raw counts. *)
+
+type error = Too_few_blocks | Empty_data
+
+val pp_error : error Fmt.t
+
+val partition : blocks:int -> 'a array -> 'a list list
+(** Disjoint round-robin partition; empty blocks are dropped. *)
+
+val release :
+  Rng.t ->
+  epsilon:float ->
+  blocks:int ->
+  lo:float ->
+  hi:float ->
+  estimator:(Value.t array list -> float) ->
+  Table.t ->
+  (float, error) result
+(** epsilon-DP: one changed row touches one block, so the block-mean has
+    sensitivity [(hi - lo) / blocks]. Estimator outputs are clamped to
+    [lo, hi]. *)
+
+val mean_of_column : Table.t -> string -> Value.t array list -> float
+val median_of_column : Table.t -> string -> Value.t array list -> float

@@ -1,0 +1,129 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Rng = Flex_dp.Rng
+module Laplace = Flex_dp.Laplace
+
+(* Weighted PINQ (Proserpio, Goldberg, McSherry): every record carries a
+   weight; the join rescales weights so the end-to-end sensitivity of a
+   noisy count is 1. This is the baseline FLEX is compared against in §5.5
+   (the paper transcribes SQL queries into wPINQ programs by hand; so do our
+   experiment drivers). *)
+
+type row = Value.t array
+
+type t = { rows : (row * float) list }
+
+let of_table table =
+  { rows = Array.to_list (Array.map (fun r -> (r, 1.0)) (Table.rows table)) }
+
+let of_rows rows = { rows = List.map (fun r -> (r, 1.0)) rows }
+
+let size t = List.length t.rows
+
+let total_weight t = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 t.rows
+
+(* 'Where': stable transformation, weights unchanged. *)
+let filter pred t = { rows = List.filter (fun (r, _) -> pred r) t.rows }
+
+(* 'Select': map the record; weights of newly identical records combine. *)
+let map f t = { rows = List.map (fun (r, w) -> (f r, w)) t.rows }
+
+(* wPINQ's binary join: for a key with left weights A and right weights B,
+   each output pair (a, b) gets weight a.w * b.w / (||A||_1 + ||B||_1),
+   which caps each input record's total influence at 1. *)
+let join ~key_left ~key_right ~combine left right =
+  let groups = Hashtbl.create 64 in
+  let add side (r, w) key =
+    if not (Value.is_null key) then begin
+      let l, rr =
+        match Hashtbl.find_opt groups key with Some g -> g | None -> ([], [])
+      in
+      match side with
+      | `L -> Hashtbl.replace groups key ((r, w) :: l, rr)
+      | `R -> Hashtbl.replace groups key (l, (r, w) :: rr)
+    end
+  in
+  List.iter (fun (r, w) -> add `L (r, w) (key_left r)) left.rows;
+  List.iter (fun (r, w) -> add `R (r, w) (key_right r)) right.rows;
+  let out = ref [] in
+  Hashtbl.iter
+    (fun _key (ls, rs) ->
+      match (ls, rs) with
+      | [], _ | _, [] -> ()
+      | ls, rs ->
+        let la = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 ls in
+        let rb = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 rs in
+        let denom = la +. rb in
+        List.iter
+          (fun (lr, lw) ->
+            List.iter
+              (fun (rr, rw) -> out := (combine lr rr, lw *. rw /. denom) :: !out)
+              rs)
+          ls)
+    groups;
+  { rows = !out }
+
+(* Join against a *public* table: implemented with select/filter semantics so
+   no weight is scaled away and no noise protects public records — the same
+   treatment the paper uses to keep the §5.5 comparison fair with FLEX's
+   public-table optimisation. Each private row is combined with the matching
+   public rows at unchanged weight. *)
+let join_public ~key_left ~key_right ~combine private_side public_rows =
+  let lookup = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let k = key_right r in
+      if not (Value.is_null k) then Hashtbl.add lookup k r)
+    public_rows;
+  let out = ref [] in
+  List.iter
+    (fun (lr, w) ->
+      let k = key_left lr in
+      if not (Value.is_null k) then
+        List.iter
+          (fun pr -> out := (combine lr pr, w) :: !out)
+          (List.rev (Hashtbl.find_all lookup k)))
+    private_side.rows;
+  { rows = !out }
+
+(* NoisyCount: total weight + Lap(1/epsilon). *)
+let noisy_count rng ~epsilon t =
+  if epsilon <= 0.0 then invalid_arg "Wpinq.noisy_count: epsilon must be positive";
+  total_weight t +. Laplace.sample rng ~scale:(1.0 /. epsilon)
+
+(* Noisy histogram keyed by a record projection: each bin's weight gets
+   independent Lap(1/epsilon) noise (bins are disjoint, so parallel
+   composition applies). Only keys present in the data are returned; the
+   §5.5 experiments compare per-bin errors on observed bins. *)
+let noisy_histogram rng ~epsilon ~key t =
+  if epsilon <= 0.0 then invalid_arg "Wpinq.noisy_histogram: epsilon must be positive";
+  let bins = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (r, w) ->
+      let k = key r in
+      match Hashtbl.find_opt bins k with
+      | Some cell -> cell := !cell +. w
+      | None ->
+        Hashtbl.add bins k (ref w);
+        order := k :: !order)
+    t.rows;
+  List.rev_map
+    (fun k ->
+      let w = !(Hashtbl.find bins k) in
+      (k, w +. Laplace.sample rng ~scale:(1.0 /. epsilon)))
+    !order
+
+let true_histogram ~key t =
+  let bins = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (r, w) ->
+      let k = key r in
+      match Hashtbl.find_opt bins k with
+      | Some cell -> cell := !cell +. w
+      | None ->
+        Hashtbl.add bins k (ref w);
+        order := k :: !order)
+    t.rows;
+  List.rev_map (fun k -> (k, !(Hashtbl.find bins k))) !order

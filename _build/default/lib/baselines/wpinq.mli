@@ -1,0 +1,54 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Rng = Flex_dp.Rng
+
+(** Weighted PINQ (Proserpio, Goldberg, McSherry): every record carries a
+    weight; the join rescales weights so the end-to-end sensitivity of a
+    noisy count is 1. The §5.5 baseline FLEX is compared against. *)
+
+type row = Value.t array
+
+type t = { rows : (row * float) list }
+
+val of_table : Table.t -> t
+(** All weights 1. *)
+
+val of_rows : row list -> t
+val size : t -> int
+val total_weight : t -> float
+
+val filter : (row -> bool) -> t -> t
+(** wPINQ 'Where': stable, weights unchanged. *)
+
+val map : (row -> row) -> t -> t
+
+val join :
+  key_left:(row -> Value.t) ->
+  key_right:(row -> Value.t) ->
+  combine:(row -> row -> row) ->
+  t ->
+  t ->
+  t
+(** The weight-rescaling join: for a key with left weights A and right
+    weights B, the pair (a, b) gets weight [a.w * b.w / (|A| + |B|)],
+    capping each input record's influence at 1. NULL keys never match. *)
+
+val join_public :
+  key_left:(row -> Value.t) ->
+  key_right:(row -> Value.t) ->
+  combine:(row -> row -> row) ->
+  t ->
+  row list ->
+  t
+(** Join against a public table with select/filter semantics: weights pass
+    through unscaled (the paper's fairness treatment in §5.5). *)
+
+val noisy_count : Rng.t -> epsilon:float -> t -> float
+(** Total weight + Lap(1/epsilon). *)
+
+val noisy_histogram :
+  Rng.t -> epsilon:float -> key:(row -> Value.t) -> t -> (Value.t * float) list
+(** Per-bin noisy weights (bins are disjoint: parallel composition). Only
+    keys present in the data are returned. *)
+
+val true_histogram : key:(row -> Value.t) -> t -> (Value.t * float) list

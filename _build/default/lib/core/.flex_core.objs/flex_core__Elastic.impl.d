@@ -1,0 +1,1 @@
+lib/core/elastic.ml: Errors Flex_dp Flex_engine Flex_sql Fmt List Option Set String

@@ -1,0 +1,1 @@
+lib/core/elastic.mli: Errors Flex_dp Flex_engine Flex_sql

@@ -1,0 +1,1 @@
+lib/core/flex.ml: Array Elastic Errors Flex_dp Flex_engine Flex_sql Float Hashtbl Histogram List Option

@@ -1,0 +1,1 @@
+lib/core/flex.mli: Elastic Errors Flex_dp Flex_engine Flex_sql

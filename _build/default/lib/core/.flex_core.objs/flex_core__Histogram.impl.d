@@ -1,0 +1,1 @@
+lib/core/histogram.ml: Array Elastic Flex_engine Hashtbl List

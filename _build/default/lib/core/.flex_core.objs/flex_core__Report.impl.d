@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Elastic Errors Flex Flex_dp Flex_engine Fmt List String

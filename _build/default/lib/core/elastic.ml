@@ -1,0 +1,644 @@
+module Ast = Flex_sql.Ast
+module Sens = Flex_dp.Sens
+module Metrics = Flex_engine.Metrics
+
+(* Elastic sensitivity (paper §3): a sound, efficiently computable upper
+   bound on the local sensitivity of counting queries with equijoins,
+   computed from the query alone plus precomputed max-frequency metrics.
+
+   The implementation follows the paper's description of FLEX's analysis: a
+   single dataflow pass over the query tree that propagates, for every
+   visible column, its provenance and its max frequency at distance k
+   (a polynomial in k, Fig 1c), and for every relation its elastic stability
+   (Fig 1b) and ancestor set (Fig 1d). Public tables (§3.6) are modelled as
+   stability-0 relations whose frequencies do not grow with k, which makes
+   the public-table optimisation fall out of the ordinary join rules. *)
+
+module SS = Set.Make (String)
+
+type attr = Errors.attr = { table : string; column : string }
+
+(* The database facts the analysis may consult. Deliberately *not* the
+   database itself: FLEX computes sensitivity from metrics only. *)
+type catalog = {
+  columns : string -> string list option; (* base-table column names *)
+  mf : attr -> int option; (* max frequency of a join key *)
+  vr : attr -> float option; (* value range, for SUM/AVG/MIN/MAX *)
+  is_public : string -> bool; (* §3.6 registry *)
+  is_unique : attr -> bool;
+      (* uniqueness enforced by a schema constraint: mf_k = 1 at all
+         distances (the "UniqueOptimized" flag of the paper's Fig 4 data) *)
+  table_rows : string -> int option; (* base-table cardinalities *)
+  cross_joins : bool;
+      (* optional extension: under bounded DP (tuples are *replaced*, paper
+         §3.2), every neighbour has the same cardinality, so a cross join's
+         fan-out is bounded by the constant row count of the other side.
+         Off by default to match the paper, which rejects cross joins. *)
+  total_rows : int; (* database size n, clamps the smooth scan *)
+}
+
+let catalog_of_metrics ?(public_optimization = true) ?(unique_optimization = true)
+    ?(cross_joins = false) (m : Metrics.t) =
+  {
+    columns =
+      (fun table ->
+        match Metrics.columns m ~table with [] -> None | cols -> Some cols);
+    mf = (fun { table; column } -> Metrics.mf m ~table ~column);
+    vr = (fun { table; column } -> Metrics.vr m ~table ~column);
+    is_public = (fun t -> public_optimization && Metrics.is_public m t);
+    is_unique =
+      (fun { table; column } ->
+        unique_optimization && Metrics.is_primary_key m ~table ~column);
+    table_rows = (fun t -> Metrics.row_count m ~table:t);
+    cross_joins;
+    total_rows = Metrics.total_rows m;
+  }
+
+(* --- per-column dataflow facts ------------------------------------------- *)
+
+(* Max frequency at distance k of a visible column, when known. *)
+type freq =
+  | Freq of Sens.t (* polynomial mf_k *)
+  | No_metric of attr (* base column without a collected metric *)
+  | Computed (* value computed by an expression or aggregate: bottom *)
+
+type scol = {
+  name : string; (* lowercase output name *)
+  origin : attr option; (* base column the values come from, if direct *)
+  freq : freq;
+}
+
+type frame = { fname : string; fcols : scol list }
+
+(* Result of lowering a relation (a FROM tree or a derived table). *)
+type rel_info = {
+  frames : frame list; (* visible scopes for column resolution *)
+  stability : Sens.t; (* elastic stability at distance k *)
+  ancestors : SS.t; (* contributing base tables, Fig 1d *)
+  joins : int; (* join count, drives the Theorem 3 degree bound *)
+  row_bound : int option;
+      (* constant upper bound on the relation's cardinality, valid at every
+         distance under bounded DP; defined for base tables and their
+         selections/projections/groupings and for cross joins thereof *)
+}
+
+type env = {
+  cat : catalog;
+  ctes : (string * rel_info) list;
+  cte_asts : (string * Ast.query) list; (* original definitions, for §3.3 root rewriting *)
+}
+
+let reject = Errors.unsupported
+
+let resolve_col frames (c : Ast.col_ref) : scol option =
+  let col = String.lowercase_ascii c.column in
+  match c.table with
+  | Some t ->
+    let t = String.lowercase_ascii t in
+    List.find_map
+      (fun f ->
+        if String.lowercase_ascii f.fname = t then
+          List.find_opt (fun sc -> sc.name = col) f.fcols
+        else None)
+      frames
+  | None -> List.find_map (fun f -> List.find_opt (fun sc -> sc.name = col) f.fcols) frames
+
+let col_ref_string (c : Ast.col_ref) =
+  match c.table with Some t -> t ^ "." ^ c.column | None -> c.column
+
+(* --- subquery side conditions ------------------------------------------------ *)
+
+(* Predicates (WHERE/HAVING) may contain subqueries; a subquery over private
+   data makes the filter's stability unbounded, so FLEX only accepts
+   predicate subqueries that read public tables (or CTEs over them). *)
+let assert_subqueries_public env (e : Ast.expr) =
+  let tables_public (q : Ast.query) =
+    let names = Ast.base_tables_of_query q in
+    List.for_all
+      (fun name ->
+        match List.assoc_opt (String.lowercase_ascii name) env.ctes with
+        | Some info -> SS.for_all env.cat.is_public info.ancestors
+        | None -> env.cat.is_public name)
+      names
+  in
+  List.iter
+    (fun q ->
+      if not (tables_public q) then reject Errors.Private_subquery_in_predicate)
+    (Ast.expr_subqueries e)
+
+(* --- joins ---------------------------------------------------------------------- *)
+
+(* Pick the equijoin term of an ON condition: the first column-equality
+   conjunct whose sides resolve into opposite subtrees with usable
+   frequencies (paper §3.3, "Join conditions"). *)
+let find_equijoin_keys lframes rframes (cond : Ast.join_cond) =
+  let resolve_pair a b =
+    match (resolve_col lframes a, resolve_col rframes b) with
+    | Some l, Some r -> Some (l, r)
+    | _ -> (
+      match (resolve_col lframes b, resolve_col rframes a) with
+      | Some l, Some r -> Some (l, r)
+      | _ -> None)
+  in
+  match cond with
+  | Ast.Cond_none -> reject Errors.Cross_join
+  | Ast.On e -> (
+    let candidates =
+      List.filter_map
+        (function
+          | Ast.Binop (Ast.Eq, Ast.Col a, Ast.Col b) -> resolve_pair a b
+          | _ -> None)
+        (Ast.conjuncts e)
+    in
+    match candidates with
+    | [] -> reject (Errors.Non_equijoin (Flex_sql.Pretty.expr e))
+    | pairs -> (
+      (* prefer a pair whose frequencies are both usable *)
+      let usable (l, r) =
+        match (l.freq, r.freq) with Freq _, Freq _ -> true | _ -> false
+      in
+      match List.find_opt usable pairs with
+      | Some pair -> pair
+      | None -> List.hd pairs))
+  | Ast.Using (col :: _) ->
+    let c = { Ast.table = None; column = col } in
+    (match (resolve_col lframes c, resolve_col rframes c) with
+    | Some l, Some r -> (l, r)
+    | _ -> reject (Errors.Non_equijoin ("USING (" ^ col ^ ")")))
+  | Ast.Using [] -> reject Errors.Cross_join
+  | Ast.Natural -> (
+    let lcols = List.concat_map (fun f -> f.fcols) lframes in
+    let rcols = List.concat_map (fun f -> f.fcols) rframes in
+    let shared =
+      List.find_opt (fun lc -> List.exists (fun rc -> rc.name = lc.name) rcols) lcols
+    in
+    match shared with
+    | Some lc ->
+      let rc = List.find (fun rc -> rc.name = lc.name) rcols in
+      (lc, rc)
+    | None -> reject Errors.Cross_join)
+
+let freq_sens_of name = function
+  | Freq s -> s
+  | No_metric a -> reject (Errors.Missing_metric a)
+  | Computed -> reject (Errors.Join_key_not_base name)
+
+(* mf_k propagation through a join (Fig 1c): every column of one side gets
+   its frequency multiplied by the other side's join-key frequency. Outer
+   joins additionally admit one null-extended copy per row, hence the +1. *)
+let scale_frame_freqs ~outer other_key_freq frame =
+  let factor =
+    if outer then Sens.add other_key_freq Sens.one else other_key_freq
+  in
+  {
+    frame with
+    fcols =
+      List.map
+        (fun sc ->
+          match sc.freq with
+          | Freq s -> { sc with freq = Freq (Sens.mul s factor) }
+          | No_metric _ | Computed -> sc)
+        frame.fcols;
+  }
+
+(* Elastic stability of a join (Fig 1b), with outer joins doubled: a changed
+   row can both gain a match and return another row to null-extended form. *)
+let join_stability ~self ~outer lkey_freq rkey_freq sl sr =
+  let inner =
+    if self then
+      Sens.add
+        (Sens.add (Sens.mul lkey_freq sr) (Sens.mul rkey_freq sl))
+        (Sens.mul sl sr)
+    else Sens.max_ (Sens.mul lkey_freq sr) (Sens.mul rkey_freq sl)
+  in
+  if outer then Sens.scale 2.0 inner else inner
+
+(* --- lowering ---------------------------------------------------------------------- *)
+
+let rec lower_table_ref env (tr : Ast.table_ref) : rel_info =
+  match tr with
+  | Ast.Table { name; alias } -> (
+    let label = Option.value alias ~default:name in
+    match List.assoc_opt (String.lowercase_ascii name) env.ctes with
+    | Some info -> (
+      match info.frames with
+      | [ f ] -> { info with frames = [ { f with fname = label } ] }
+      | _ -> { info with frames = [ { fname = label; fcols = [] } ] })
+    | None -> (
+      match env.cat.columns name with
+      | None -> Errors.reject (Errors.Analysis_error ("unknown table " ^ name))
+      | Some columns ->
+        let public = env.cat.is_public name in
+        let scol column =
+          let a = { table = String.lowercase_ascii name; column } in
+          let freq =
+            if env.cat.is_unique a then
+              (* uniqueness is a schema constraint, so it also holds in every
+                 neighbouring database: mf_k = 1 for all k *)
+              Freq Sens.one
+            else
+              match env.cat.mf a with
+              | None -> No_metric a
+              | Some m ->
+                (* public tables do not change between neighbours: no +k *)
+                if public then Freq (Sens.const (float_of_int m))
+                else Freq (Sens.linear (float_of_int m) 1.0)
+          in
+          { name = column; origin = Some a; freq }
+        in
+        {
+          frames = [ { fname = label; fcols = List.map scol columns } ];
+          stability = (if public then Sens.zero else Sens.one);
+          ancestors = (if public then SS.empty else SS.singleton (String.lowercase_ascii name));
+          joins = 0;
+          row_bound = env.cat.table_rows name;
+        }))
+  | Ast.Derived { query; alias } ->
+    let info = lower_query env query in
+    let cols = List.concat_map (fun f -> f.fcols) info.frames in
+    { info with frames = [ { fname = alias; fcols = cols } ] }
+  | Ast.Join { kind; left; right; cond } ->
+    let li = lower_table_ref env left in
+    let ri = lower_table_ref env right in
+    if kind = Ast.Cross then cross_join env li ri
+    else begin
+      let lkey, rkey = find_equijoin_keys li.frames ri.frames cond in
+      let lf = freq_sens_of lkey.name lkey.freq in
+      let rf = freq_sens_of rkey.name rkey.freq in
+      let outer = match kind with Ast.Inner -> false | _ -> true in
+      let self = not (SS.is_empty (SS.inter li.ancestors ri.ancestors)) in
+      let stability = join_stability ~self ~outer lf rf li.stability ri.stability in
+      let lframes = List.map (scale_frame_freqs ~outer rf) li.frames in
+      let rframes = List.map (scale_frame_freqs ~outer lf) ri.frames in
+      {
+        frames = lframes @ rframes;
+        stability;
+        ancestors = SS.union li.ancestors ri.ancestors;
+        joins = li.joins + ri.joins + 1;
+        row_bound = None;
+      }
+    end
+
+(* Cross joins (optional extension, see [catalog.cross_joins]): under bounded
+   DP the cardinality of each side is the same in every neighbouring
+   database, so a changed row on one side produces at most rows(other side)
+   changed output rows; column frequencies multiply by the other side's
+   constant row count. *)
+and cross_join env li ri : rel_info =
+  if not env.cat.cross_joins then reject Errors.Cross_join;
+  match (li.row_bound, ri.row_bound) with
+  | None, _ | _, None -> reject Errors.Cross_join
+  | Some rows_l, Some rows_r ->
+    let nl = Sens.const (float_of_int rows_l) in
+    let nr = Sens.const (float_of_int rows_r) in
+    let self = not (SS.is_empty (SS.inter li.ancestors ri.ancestors)) in
+    let stability = join_stability ~self ~outer:false nl nr li.stability ri.stability in
+    let lframes = List.map (scale_frame_freqs ~outer:false nr) li.frames in
+    let rframes = List.map (scale_frame_freqs ~outer:false nl) ri.frames in
+    {
+      frames = lframes @ rframes;
+      stability;
+      ancestors = SS.union li.ancestors ri.ancestors;
+      joins = li.joins + ri.joins + 1;
+      row_bound = Some (rows_l * rows_r);
+    }
+
+(* Lower a full FROM clause. Comma-separated items are cartesian products,
+   which elastic sensitivity cannot bound. *)
+and lower_from env (from : Ast.table_ref list) : rel_info =
+  match from with
+  | [] ->
+    (* FROM-less SELECT: constant relation, touches no private data *)
+    { frames = []; stability = Sens.zero; ancestors = SS.empty; joins = 0; row_bound = Some 1 }
+  | [ tr ] -> lower_table_ref env tr
+  | tr :: rest ->
+    (* comma-separated FROM items are cross joins *)
+    List.fold_left
+      (fun acc tr -> cross_join env acc (lower_table_ref env tr))
+      (lower_table_ref env tr) rest
+
+(* The FROM+WHERE part of a select: selection is stability-preserving
+   (Fig 1b), so only the predicate's subqueries need vetting. *)
+and lower_relation env (s : Ast.select) : rel_info =
+  let info = lower_from env s.from in
+  Option.iter (assert_subqueries_public env) s.where;
+  Option.iter (assert_subqueries_public env) s.having;
+  info
+
+(* Lower a select used as a relation (derived table / CTE body). *)
+and lower_select_as_rel env (s : Ast.select) : rel_info =
+  let info = lower_relation env s in
+  let frames = info.frames in
+  let aggs = Ast.select_aggregates s in
+  let grouped = s.group_by <> [] in
+  let single_group_key =
+    match s.group_by with [ Ast.Col _ ] -> true | _ -> false
+  in
+  let lower_projection (p : Ast.projection) : scol list =
+    match p with
+    | Ast.Proj_star -> List.concat_map (fun f -> f.fcols) frames
+    | Ast.Proj_table_star t ->
+      List.concat_map
+        (fun f ->
+          if String.lowercase_ascii f.fname = String.lowercase_ascii t then f.fcols
+          else [])
+        frames
+    | Ast.Proj_expr (e, alias) -> (
+      let named default = Option.value alias ~default |> String.lowercase_ascii in
+      match e with
+      | Ast.Col c -> (
+        match resolve_col frames c with
+        | Some sc ->
+          let is_sole_key = single_group_key && List.mem e s.group_by in
+          let freq =
+            if is_sole_key then
+              (* grouping collapses duplicates of the sole key: mf_k = 1 *)
+              Freq Sens.one
+            else sc.freq
+          in
+          [ { sc with name = named c.column; freq } ]
+        | None ->
+          Errors.reject (Errors.Analysis_error ("unknown column " ^ col_ref_string c)))
+      | Ast.Agg _ -> [ { name = named "agg"; origin = None; freq = Computed } ]
+      | _ -> [ { name = named "expr"; origin = None; freq = Computed } ])
+  in
+  List.iter (fun (e, _) -> assert_subqueries_public env e)
+    (List.filter_map
+       (function Ast.Proj_expr (e, a) -> Some (e, a) | _ -> None)
+       s.projections);
+  let cols = List.concat_map lower_projection s.projections in
+  let stability =
+    if aggs <> [] || grouped then
+      if grouped then
+        (* a grouped aggregate used as a relation: each changed input row
+           touches at most two histogram rows (Theorem 1's argument) *)
+        Sens.scale 2.0 info.stability
+      else (* scalar aggregate: one output row, stability 1 (Fig 1b) *)
+        Sens.one
+    else info.stability
+  in
+  {
+    frames = [ { fname = "_select"; fcols = cols } ];
+    stability;
+    ancestors = info.ancestors;
+    joins = info.joins;
+    (* selection, projection, dedup and grouping only ever shrink the
+       relation, so the input's constant cardinality bound still holds *)
+    row_bound = info.row_bound;
+  }
+
+and lower_body env (b : Ast.body) : rel_info =
+  match b with
+  | Ast.Select s -> lower_select_as_rel env s
+  | Ast.Union _ | Ast.Except _ | Ast.Intersect _ -> reject Errors.Set_operation
+
+and lower_query env (q : Ast.query) : rel_info =
+  let env = extend_with_ctes env q.ctes in
+  let info = lower_body env q.body in
+  match q.limit with
+  | None -> info
+  | Some _ ->
+    (* LIMIT after an ORDER BY: one changed input row can additionally swap
+       one row across the cut boundary, so the stability doubles. *)
+    { info with stability = Sens.scale 2.0 info.stability }
+
+and extend_with_ctes env (ctes : Ast.cte list) : env =
+  List.fold_left
+    (fun env (cte : Ast.cte) ->
+      let info = lower_query env cte.cte_query in
+      let env =
+        {
+          env with
+          cte_asts = (String.lowercase_ascii cte.cte_name, cte.cte_query) :: env.cte_asts;
+        }
+      in
+      let info =
+        if cte.cte_columns = [] then info
+        else begin
+          let cols = List.concat_map (fun f -> f.fcols) info.frames in
+          if List.length cols <> List.length cte.cte_columns then
+            Errors.reject
+              (Errors.Analysis_error ("CTE " ^ cte.cte_name ^ " column list arity mismatch"));
+          let renamed =
+            List.map2
+              (fun sc n -> { sc with name = String.lowercase_ascii n })
+              cols cte.cte_columns
+          in
+          { info with frames = [ { fname = cte.cte_name; fcols = renamed } ] }
+        end
+      in
+      { env with ctes = (String.lowercase_ascii cte.cte_name, info) :: env.ctes })
+    env ctes
+
+(* --- top-level query analysis ------------------------------------------------------ *)
+
+type column_kind =
+  | Count_cell
+  | Sum_cell of attr
+  | Avg_cell of attr
+  | Min_cell of attr
+  | Max_cell of attr
+
+type column_spec =
+  | Aggregate_col of { kind : column_kind; sens : Sens.t; name : string }
+  | Group_key_col of { origin : attr option; name : string }
+
+type analysis = {
+  columns : column_spec list; (* aligned with the query's projections *)
+  is_histogram : bool;
+  stability : Sens.t; (* elastic stability of the counted relation *)
+  joins : int;
+  database_rows : int; (* n, for the smooth-sensitivity scan clamp *)
+}
+
+(* Degree bound j^2 used by the Theorem 3 cutoff is implied by Sens.degree,
+   so smoothing uses the actual polynomial degree rather than the looser
+   j^2 bound. *)
+
+let attr_of_agg_arg frames (arg : Ast.agg_arg) func =
+  match arg with
+  | Ast.Star -> Errors.reject (Errors.Analysis_error "aggregate over * needs COUNT")
+  | Ast.Arg (Ast.Col c) -> (
+    match resolve_col frames c with
+    | Some { origin = Some a; _ } -> a
+    | Some { origin = None; _ } ->
+      reject
+        (Errors.Join_key_not_base
+           (Fmt.str "%s argument %s" (Ast.agg_func_name func) (col_ref_string c)))
+    | None -> Errors.reject (Errors.Analysis_error ("unknown column " ^ col_ref_string c)))
+  | Ast.Arg _ -> reject Errors.Arithmetic_on_aggregate
+
+let vr_of env (a : attr) =
+  match env.cat.vr a with
+  | Some v -> v
+  | None -> reject (Errors.Missing_value_range a)
+
+let rec analyze_query env (q : Ast.query) : analysis =
+  let env = extend_with_ctes env q.ctes in
+  match q.body with
+  | Ast.Union _ | Ast.Except _ | Ast.Intersect _ -> reject Errors.Set_operation
+  | Ast.Select s -> analyze_select env s
+
+and analyze_select env (s : Ast.select) : analysis =
+  let aggs = Ast.select_aggregates s in
+  if aggs = [] && s.group_by = [] then analyze_passthrough env s
+  else begin
+    let info = lower_relation env s in
+    let frames = info.frames in
+    let is_histogram = s.group_by <> [] in
+    let histogram_factor sens = if is_histogram then Sens.scale 2.0 sens else sens in
+    (* A projection matches a group key either structurally or, for plain
+       column references, by column name (qualifiers may differ). *)
+    let is_group_key e =
+      List.mem e s.group_by
+      ||
+      match e with
+      | Ast.Col c ->
+        List.exists
+          (function
+            | Ast.Col c' ->
+              String.lowercase_ascii c'.Ast.column = String.lowercase_ascii c.Ast.column
+            | _ -> false)
+          s.group_by
+      | _ -> false
+    in
+    let classify (p : Ast.projection) : column_spec =
+      match p with
+      | Ast.Proj_star | Ast.Proj_table_star _ -> reject Errors.Raw_data_query
+      | Ast.Proj_expr (e, alias) -> (
+        let name =
+          match (alias, e) with
+          | Some a, _ -> String.lowercase_ascii a
+          | None, Ast.Col c -> String.lowercase_ascii c.column
+          | None, Ast.Agg { func; _ } -> Ast.agg_func_name func
+          | None, _ -> "expr"
+        in
+        match e with
+        | Ast.Agg { func; distinct = _; arg } -> (
+          match func with
+          | Ast.Count ->
+            Aggregate_col
+              { kind = Count_cell; sens = histogram_factor info.stability; name }
+          | Ast.Sum ->
+            let a = attr_of_agg_arg frames arg func in
+            let range = vr_of env a in
+            Aggregate_col
+              {
+                kind = Sum_cell a;
+                sens = histogram_factor (Sens.scale range info.stability);
+                name;
+              }
+          | Ast.Avg ->
+            let a = attr_of_agg_arg frames arg func in
+            let range = vr_of env a in
+            Aggregate_col
+              {
+                kind = Avg_cell a;
+                sens = histogram_factor (Sens.scale range info.stability);
+                name;
+              }
+          | Ast.Min ->
+            let a = attr_of_agg_arg frames arg func in
+            let range = vr_of env a in
+            Aggregate_col { kind = Min_cell a; sens = Sens.const range; name }
+          | Ast.Max ->
+            let a = attr_of_agg_arg frames arg func in
+            let range = vr_of env a in
+            Aggregate_col { kind = Max_cell a; sens = Sens.const range; name }
+          | Ast.Median | Ast.Stddev -> reject (Errors.Unsupported_aggregate func))
+        | e when is_group_key e ->
+          let origin =
+            match e with
+            | Ast.Col c -> (
+              match resolve_col frames c with Some sc -> sc.origin | None -> None)
+            | _ -> None
+          in
+          Group_key_col { origin; name }
+        | e when has_aggregate e -> reject Errors.Arithmetic_on_aggregate
+        | _ -> reject Errors.Raw_data_query)
+    in
+    let columns = List.map classify s.projections in
+    (* a grouped query with no aggregate column is SELECT DISTINCT in
+       disguise: it would release raw (protected) key values unperturbed *)
+    if
+      not
+        (List.exists
+           (function Aggregate_col _ -> true | Group_key_col _ -> false)
+           columns)
+    then reject Errors.Raw_data_query;
+    {
+      columns;
+      is_histogram;
+      stability = info.stability;
+      joins = info.joins;
+      database_rows = env.cat.total_rows;
+    }
+  end
+
+and has_aggregate e =
+  Ast.fold_expr (fun acc e -> acc || match e with Ast.Agg _ -> true | _ -> false) false e
+
+(* SELECT col, ... FROM (aggregating subquery): treat the inner relation as
+   the query root (paper §3.3), mapping projected names onto the inner
+   analysis. *)
+and analyze_passthrough env (s : Ast.select) : analysis =
+  if s.where <> None || s.having <> None || s.distinct then reject Errors.Raw_data_query;
+  let inner_analysis =
+    match s.from with
+    | [ Ast.Derived { query; _ } ] -> analyze_query env query
+    | [ Ast.Table { name; _ } ] -> (
+      match List.assoc_opt (String.lowercase_ascii name) env.cte_asts with
+      | Some q -> analyze_query env q
+      | None -> reject Errors.Raw_data_query)
+    | _ -> reject Errors.Raw_data_query
+  in
+  let find_col name =
+    let name = String.lowercase_ascii name in
+    let matches spec =
+      match spec with
+      | Aggregate_col { name = n; _ } | Group_key_col { name = n; _ } -> n = name
+    in
+    match List.find_opt matches inner_analysis.columns with
+    | Some spec -> spec
+    | None -> reject Errors.Raw_data_query
+  in
+  let columns =
+    List.map
+      (function
+        | Ast.Proj_star | Ast.Proj_table_star _ -> reject Errors.Raw_data_query
+        | Ast.Proj_expr (Ast.Col c, alias) -> (
+          let spec = find_col c.column in
+          match (spec, alias) with
+          | Aggregate_col a, Some alias ->
+            Aggregate_col { a with name = String.lowercase_ascii alias }
+          | Group_key_col g, Some alias ->
+            Group_key_col { g with name = String.lowercase_ascii alias }
+          | spec, None -> spec)
+        | Ast.Proj_expr (_, _) -> reject Errors.Raw_data_query)
+      s.projections
+  in
+  { inner_analysis with columns }
+
+(* --- public entry points --------------------------------------------------------------- *)
+
+let empty_env cat = { cat; ctes = []; cte_asts = [] }
+
+let analyze cat (q : Ast.query) : (analysis, Errors.reason) result =
+  match analyze_query (empty_env cat) q with
+  | a -> Ok a
+  | exception Errors.Reject r -> Error r
+
+let analyze_sql cat sql : (analysis, Errors.reason) result =
+  match Flex_sql.Parser.parse sql with
+  | Error e -> Error (Errors.Parse_error e)
+  | Ok q -> analyze cat q
+
+(* Elastic stability of the relation named by a FROM tree; exposed for tests
+   and the worked example of §3.4. *)
+let stability_of_table_ref cat (tr : Ast.table_ref) : Sens.t =
+  (lower_table_ref (empty_env cat) tr).stability
+
+let aggregate_columns (a : analysis) =
+  List.filter_map
+    (function Aggregate_col c -> Some (c.name, c.kind, c.sens) | Group_key_col _ -> None)
+    a.columns

@@ -1,0 +1,77 @@
+module Ast = Flex_sql.Ast
+module Sens = Flex_dp.Sens
+module Metrics = Flex_engine.Metrics
+
+(** Elastic sensitivity (paper §3): a sound, efficiently computable upper
+    bound on the local sensitivity of counting queries with equijoins,
+    computed from the query alone plus precomputed database metrics.
+
+    The analysis is a single dataflow pass over the query tree that
+    propagates, for every visible column, its provenance and its max
+    frequency at distance [k] (a polynomial in [k], Fig 1c), and for every
+    relation its elastic stability (Fig 1b) and ancestor set (Fig 1d).
+    Public tables (§3.6) are stability-0 relations whose frequencies do not
+    grow with [k]; schema-unique keys keep frequency 1 at every distance.
+    SUM/AVG/MIN/MAX are supported via the value-range metric (§3.7.2);
+    everything the paper's definition cannot bound is rejected with a typed
+    {!Errors.reason} (§3.7.1). *)
+
+type attr = Errors.attr = { table : string; column : string }
+
+(** The database facts the analysis may consult — deliberately *not* the
+    database itself. *)
+type catalog = {
+  columns : string -> string list option;  (** base-table column names *)
+  mf : attr -> int option;  (** max frequency of a join key *)
+  vr : attr -> float option;  (** value range, for SUM/AVG/MIN/MAX *)
+  is_public : string -> bool;  (** §3.6 registry *)
+  is_unique : attr -> bool;  (** schema-enforced uniqueness: mf_k = 1 *)
+  table_rows : string -> int option;  (** base-table cardinalities *)
+  cross_joins : bool;
+      (** optional extension: bound cross joins using the other side's
+          constant cardinality (sound under bounded DP, where neighbours
+          replace tuples). Off by default: the paper rejects cross joins. *)
+  total_rows : int;  (** database size n, clamps the smooth scan *)
+}
+
+val catalog_of_metrics :
+  ?public_optimization:bool ->
+  ?unique_optimization:bool ->
+  ?cross_joins:bool ->
+  Metrics.t ->
+  catalog
+(** The optimisations default to on and [cross_joins] to off; toggling them
+    reproduces the Figure 7 and `ablation` bench comparisons. *)
+
+(** {2 Analysis results} *)
+
+type column_kind =
+  | Count_cell
+  | Sum_cell of attr
+  | Avg_cell of attr
+  | Min_cell of attr
+  | Max_cell of attr
+
+type column_spec =
+  | Aggregate_col of { kind : column_kind; sens : Sens.t; name : string }
+      (** [sens] is the cell's elastic sensitivity as a function of k, with
+          the histogram factor and value-range scaling already applied *)
+  | Group_key_col of { origin : attr option; name : string }
+      (** provenance drives histogram bin enumeration *)
+
+type analysis = {
+  columns : column_spec list;  (** aligned with the query's projections *)
+  is_histogram : bool;
+  stability : Sens.t;  (** elastic stability of the counted relation *)
+  joins : int;
+  database_rows : int;
+}
+
+val analyze : catalog -> Ast.query -> (analysis, Errors.reason) result
+val analyze_sql : catalog -> string -> (analysis, Errors.reason) result
+
+val stability_of_table_ref : catalog -> Ast.table_ref -> Sens.t
+(** Elastic stability of a FROM tree (exposed for tests and the §3.4
+    worked example). @raise Errors.Reject on unsupported shapes. *)
+
+val aggregate_columns : analysis -> (string * column_kind * Sens.t) list

@@ -1,0 +1,39 @@
+module Ast = Flex_sql.Ast
+
+(** Typed rejection reasons, mirroring the paper's §5.1 error classification
+    (parse / unsupported / other) and the unsupported-query taxonomy of
+    §3.7.1. *)
+
+type attr = { table : string; column : string }
+
+type unsupported =
+  | Non_equijoin of string  (** join condition with no usable equality term *)
+  | Cross_join  (** cartesian products have no key to bound *)
+  | Join_key_not_base of string
+      (** join key computed (e.g. from an aggregate): no mf metric exists *)
+  | Missing_metric of attr  (** mf metric unavailable for a base join key *)
+  | Missing_value_range of attr  (** vr needed by SUM/AVG/MIN/MAX missing *)
+  | Raw_data_query  (** returns non-aggregated data: out of DP scope *)
+  | Arithmetic_on_aggregate  (** e.g. SUM(x)/COUNT(x) *)
+  | Unsupported_aggregate of Ast.agg_func  (** MEDIAN, STDDEV *)
+  | Set_operation  (** UNION / EXCEPT / INTERSECT *)
+  | Private_subquery_in_predicate
+      (** WHERE/HAVING subquery reads private tables *)
+
+type reason =
+  | Parse_error of string
+  | Unsupported of unsupported
+  | Analysis_error of string  (** unknown table/column and similar *)
+
+exception Reject of reason
+
+val reject : reason -> 'a
+val unsupported : unsupported -> 'a
+
+(** Buckets of the §5.1 success-rate experiment. *)
+type bucket = Parse_bucket | Unsupported_bucket | Other_bucket
+
+val bucket_of : reason -> bucket
+val pp_unsupported : unsupported Fmt.t
+val pp_reason : reason Fmt.t
+val to_string : reason -> string

@@ -1,0 +1,23 @@
+module Database = Flex_engine.Database
+module Executor = Flex_engine.Executor
+
+(** Histogram bin enumeration (paper §4): when every GROUP BY key is drawn
+    from a public, finite domain, FLEX returns a row for every possible bin
+    (missing bins get a noisy zero), so the presence or absence of a bin
+    reveals nothing. *)
+
+val max_bins : int
+(** Enumeration is skipped above this many label combinations. *)
+
+val enumerable : Elastic.catalog -> Elastic.analysis -> bool
+(** True when the query is a histogram and each key column originates in a
+    public table. *)
+
+val enumerate :
+  Elastic.catalog ->
+  Database.t ->
+  Elastic.analysis ->
+  Executor.result_set ->
+  Executor.result_set option
+(** Extend the result with all missing bins (zero aggregates, noise added
+    later by the mechanism); [None] when enumeration is not possible. *)

@@ -1,0 +1,108 @@
+module Value = Flex_engine.Value
+module Smooth = Flex_dp.Smooth
+module Sens = Flex_dp.Sens
+
+(* Human-readable reports of a FLEX release: what was asked, what privacy
+   was spent, how the sensitivity decomposed, and how accurate the answer is
+   expected to be. Rendered as markdown for CLI output and audit logs. *)
+
+let buf_add = Buffer.add_string
+
+let pp_value = Value.to_string
+
+let smoothing_name : Flex.smoothing -> string = function
+  | `Smooth -> "smooth sensitivity (Definition 7)"
+  | `Elastic_k0 -> "elastic sensitivity at k = 0 (no smoothing; not covered by the DP proof)"
+
+let noise_name : Flex.noise -> string = function
+  | `Laplace -> "Laplace"
+  | `Cauchy -> "Cauchy (pure epsilon-DP)"
+
+let kind_name (k : Elastic.column_kind) =
+  match k with
+  | Elastic.Count_cell -> "COUNT"
+  | Elastic.Sum_cell a -> Fmt.str "SUM(%s.%s)" a.table a.column
+  | Elastic.Avg_cell a -> Fmt.str "AVG(%s.%s)" a.table a.column
+  | Elastic.Min_cell a -> Fmt.str "MIN(%s.%s)" a.table a.column
+  | Elastic.Max_cell a -> Fmt.str "MAX(%s.%s)" a.table a.column
+
+let of_release ?(sql = "<query>") ~options (r : Flex.release) : string =
+  let b = Buffer.create 1024 in
+  let line fmt = Fmt.kstr (fun s -> buf_add b (s ^ "\n")) fmt in
+  line "# Differentially private release";
+  line "";
+  line "```sql";
+  line "%s" sql;
+  line "```";
+  line "";
+  line "- privacy: epsilon = %g, delta = %g (%s noise, %s)" r.Flex.epsilon r.Flex.delta
+    (noise_name options.Flex.noise)
+    (smoothing_name options.Flex.smoothing);
+  line "- query class: %s"
+    (if r.Flex.analysis.Elastic.is_histogram then "histogram (per-bin counts)"
+     else "scalar statistics");
+  line "- joins: %d" r.Flex.analysis.Elastic.joins;
+  if r.Flex.bins_enumerated then
+    line "- all public-domain bins enumerated (bin presence reveals nothing)";
+  line "";
+  line "## Sensitivity";
+  line "";
+  line "| column | aggregate | elastic sensitivity ES(k) | smooth bound S (at k) | noise scale |";
+  line "|---|---|---|---|---|";
+  List.iter
+    (fun (c : Flex.column_release) ->
+      line "| %s | %s | %s | %.4g (k = %d) | %.4g |" c.Flex.name (kind_name c.Flex.kind)
+        (Sens.to_string c.Flex.elastic)
+        c.Flex.smooth.Smooth.smooth_bound c.Flex.smooth.Smooth.argmax_k
+        c.Flex.noise_scale)
+    r.Flex.column_releases;
+  line "";
+  line "## Expected accuracy";
+  line "";
+  List.iter
+    (fun (name, width) ->
+      line "- %s: with 95%% probability the noise is within +-%.4g" name width)
+    (Flex.confidence_intervals ~alpha:0.05 ~options r);
+  line "";
+  line "## Released result (%d rows)" (List.length r.Flex.noisy.rows);
+  line "";
+  line "| %s |" (String.concat " | " r.Flex.noisy.columns);
+  line "|%s|" (String.concat "|" (List.map (fun _ -> "---") r.Flex.noisy.columns));
+  let shown = ref 0 in
+  List.iter
+    (fun row ->
+      if !shown < 25 then begin
+        incr shown;
+        line "| %s |" (String.concat " | " (Array.to_list (Array.map pp_value row)))
+      end)
+    r.Flex.noisy.rows;
+  if List.length r.Flex.noisy.rows > 25 then
+    line "| ... (%d more rows) |" (List.length r.Flex.noisy.rows - 25);
+  Buffer.contents b
+
+let of_rejection ?(sql = "<query>") (reason : Errors.reason) : string =
+  let b = Buffer.create 256 in
+  let line fmt = Fmt.kstr (fun s -> buf_add b (s ^ "\n")) fmt in
+  line "# Query rejected";
+  line "";
+  line "```sql";
+  line "%s" sql;
+  line "```";
+  line "";
+  line "- reason: %s" (Errors.to_string reason);
+  (match reason with
+  | Errors.Unsupported (Errors.Non_equijoin _) ->
+    line "- hint: elastic sensitivity needs an equality term between base-table \
+          columns in every join condition (paper section 3.7.1)"
+  | Errors.Unsupported Errors.Cross_join ->
+    line "- hint: cartesian products have no join key to bound; enable the \
+          bounded-DP cross-join extension only if your engine enforces \
+          constant cardinalities"
+  | Errors.Unsupported Errors.Raw_data_query ->
+    line "- hint: differential privacy covers statistics; select aggregates \
+          (COUNT, SUM, AVG, MIN, MAX) instead of raw rows"
+  | Errors.Unsupported Errors.Private_subquery_in_predicate ->
+    line "- hint: rewrite the predicate subquery as a join, or mark the \
+          subquery's tables public if they are"
+  | _ -> ());
+  Buffer.contents b

@@ -1,0 +1,8 @@
+(** Markdown reports of FLEX releases and rejections, for CLI output and
+    audit logs: privacy parameters, sensitivity decomposition, expected
+    accuracy (confidence widths), and the released rows. *)
+
+val of_release : ?sql:string -> options:Flex.options -> Flex.release -> string
+
+val of_rejection : ?sql:string -> Errors.reason -> string
+(** Includes an actionable hint for the common rejection classes. *)

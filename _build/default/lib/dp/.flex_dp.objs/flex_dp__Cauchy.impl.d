@@ -1,0 +1,1 @@
+lib/dp/cauchy.ml: Float Rng

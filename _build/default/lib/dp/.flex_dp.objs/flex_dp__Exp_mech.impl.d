@@ -1,0 +1,1 @@
+lib/dp/exp_mech.ml: Array Float Rng

@@ -1,0 +1,1 @@
+lib/dp/mwem.ml: Array Exp_mech Float Laplace List

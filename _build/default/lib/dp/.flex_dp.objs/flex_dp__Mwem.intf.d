@@ -1,0 +1,1 @@
+lib/dp/mwem.mli: Rng

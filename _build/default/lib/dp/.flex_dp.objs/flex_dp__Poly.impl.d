@@ -1,0 +1,1 @@
+lib/dp/poly.ml: Array Float Fmt

@@ -1,0 +1,1 @@
+lib/dp/rng.ml: Array Float Random

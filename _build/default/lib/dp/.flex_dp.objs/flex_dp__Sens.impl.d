@@ -1,0 +1,1 @@
+lib/dp/sens.ml: Array Float Fmt List Poly

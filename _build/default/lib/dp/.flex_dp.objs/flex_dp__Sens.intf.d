@@ -1,0 +1,1 @@
+lib/dp/sens.mli: Fmt Poly

@@ -1,0 +1,1 @@
+lib/dp/smooth.ml: Float Sens

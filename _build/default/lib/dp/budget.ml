@@ -1,0 +1,65 @@
+(* Privacy-budget accounting (paper §4.3). FLEX does not prescribe a strategy;
+   we provide the standard ones: basic (sequential) composition and the strong
+   composition theorem of Dwork, Rothblum and Vadhan. *)
+
+type charge = { epsilon : float; delta : float; label : string }
+
+type t = {
+  epsilon_limit : float;
+  delta_limit : float;
+  mutable spent : charge list; (* newest first *)
+}
+
+exception Exhausted of { requested : charge; remaining_epsilon : float; remaining_delta : float }
+
+let create ~epsilon ~delta =
+  if epsilon < 0.0 || delta < 0.0 then invalid_arg "Budget.create: negative budget";
+  { epsilon_limit = epsilon; delta_limit = delta; spent = [] }
+
+let charges t = List.rev t.spent
+
+let basic_cost charges =
+  List.fold_left
+    (fun (e, d) c -> (e +. c.epsilon, d +. c.delta))
+    (0.0, 0.0) charges
+
+(* Strong composition (DRV'10): k mechanisms, each (e, d)-DP, compose to
+   (e', k*d + delta_slack)-DP with
+     e' = e * sqrt(2k ln(1/delta_slack)) + k * e * (exp(e) - 1).
+   Heterogeneous charges are handled conservatively by using the max epsilon. *)
+let strong_cost ?(delta_slack = 1e-9) charges =
+  match charges with
+  | [] -> (0.0, 0.0)
+  | _ ->
+    let k = float_of_int (List.length charges) in
+    let emax = List.fold_left (fun acc c -> Float.max acc c.epsilon) 0.0 charges in
+    let dsum = List.fold_left (fun acc c -> acc +. c.delta) 0.0 charges in
+    let e' =
+      (emax *. sqrt (2.0 *. k *. log (1.0 /. delta_slack)))
+      +. (k *. emax *. (exp emax -. 1.0))
+    in
+    (e', dsum +. delta_slack)
+
+let spent_basic t = basic_cost t.spent
+let spent_strong ?delta_slack t = strong_cost ?delta_slack t.spent
+
+let remaining t =
+  let e, d = spent_basic t in
+  (Float.max 0.0 (t.epsilon_limit -. e), Float.max 0.0 (t.delta_limit -. d))
+
+let can_afford t ~epsilon ~delta =
+  let e, d = spent_basic t in
+  e +. epsilon <= t.epsilon_limit +. 1e-12 && d +. delta <= t.delta_limit +. 1e-12
+
+let charge ?(label = "query") t ~epsilon ~delta =
+  if epsilon < 0.0 || delta < 0.0 then invalid_arg "Budget.charge: negative cost";
+  let c = { epsilon; delta; label } in
+  if can_afford t ~epsilon ~delta then t.spent <- c :: t.spent
+  else
+    let re, rd = remaining t in
+    raise (Exhausted { requested = c; remaining_epsilon = re; remaining_delta = rd })
+
+let pp ppf t =
+  let e, d = spent_basic t in
+  Fmt.pf ppf "budget: spent (eps=%g, delta=%g) of (eps=%g, delta=%g) over %d queries"
+    e d t.epsilon_limit t.delta_limit (List.length t.spent)

@@ -1,0 +1,33 @@
+(** Privacy-budget accounting (paper §4.3): basic sequential composition with
+    a hard limit, plus the strong-composition cost report. *)
+
+type charge = { epsilon : float; delta : float; label : string }
+
+type t
+
+exception
+  Exhausted of {
+    requested : charge;
+    remaining_epsilon : float;
+    remaining_delta : float;
+  }
+
+val create : epsilon:float -> delta:float -> t
+(** A fresh accountant with the given total budget. *)
+
+val charge : ?label:string -> t -> epsilon:float -> delta:float -> unit
+(** Record a mechanism invocation; raises {!Exhausted} if the basic-composition
+    total would exceed the limit. *)
+
+val can_afford : t -> epsilon:float -> delta:float -> bool
+val charges : t -> charge list
+
+val spent_basic : t -> float * float
+(** Total [(epsilon, delta)] under basic composition. *)
+
+val spent_strong : ?delta_slack:float -> t -> float * float
+(** Total under the strong composition theorem (Dwork–Rothblum–Vadhan),
+    with [delta_slack] added to the delta term (default [1e-9]). *)
+
+val remaining : t -> float * float
+val pp : t Fmt.t

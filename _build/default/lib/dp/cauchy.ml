@@ -1,0 +1,40 @@
+(* The standard Cauchy distribution, used by the pure epsilon-DP variant of
+   the smooth-sensitivity framework (Nissim, Raskhodnikova, Smith): with a
+   beta-smooth upper bound S on local sensitivity and beta <= epsilon/6,
+   releasing f(x) + (6S/epsilon) * eta for eta ~ Cauchy is epsilon-DP with
+   delta = 0 — unlike the Laplace variant (paper Definition 7), which pays a
+   delta. The price is heavy tails: Cauchy noise has no mean or variance. *)
+
+let sample rng ~scale =
+  if scale < 0.0 then invalid_arg "Cauchy.sample: negative scale";
+  if scale = 0.0 then 0.0
+  else
+    let u = Rng.float rng 1.0 -. 0.5 in
+    (* avoid the poles of tan at +-pi/2 *)
+    let u = if Float.abs u >= 0.5 -. 1e-12 then 0.4999999 *. Float.of_int (compare u 0.0) else u in
+    scale *. tan (Float.pi *. u)
+
+let add_noise rng ~scale x = x +. sample rng ~scale
+
+let pdf ~scale x =
+  if scale <= 0.0 then invalid_arg "Cauchy.pdf";
+  scale /. (Float.pi *. ((x *. x) +. (scale *. scale)))
+
+let cdf ~scale x =
+  if scale <= 0.0 then invalid_arg "Cauchy.cdf";
+  0.5 +. (atan (x /. scale) /. Float.pi)
+
+(* Half-width of the two-sided (1 - alpha) interval. *)
+let confidence_width ~scale ~alpha =
+  if alpha <= 0.0 || alpha >= 1.0 then invalid_arg "Cauchy.confidence_width";
+  scale *. tan (Float.pi *. (1.0 -. alpha) /. 2.0)
+
+(* Smoothing parameter for the Cauchy mechanism: beta = epsilon / 6. *)
+let beta ~epsilon =
+  if epsilon <= 0.0 then invalid_arg "Cauchy.beta";
+  epsilon /. 6.0
+
+(* Noise scale for a smooth bound S: 6S / epsilon. *)
+let noise_scale ~epsilon smooth_bound =
+  if epsilon <= 0.0 then invalid_arg "Cauchy.noise_scale";
+  6.0 *. smooth_bound /. epsilon

@@ -1,0 +1,17 @@
+(** The standard Cauchy distribution: the noise source of the *pure*
+    epsilon-DP smooth-sensitivity mechanism (Nissim et al.). With a
+    beta-smooth bound S and [beta <= epsilon/6], releasing
+    [f(x) + (6S/epsilon) * Cauchy] is epsilon-DP with delta = 0. Heavier
+    tails than Laplace: no mean or variance. *)
+
+val sample : Rng.t -> scale:float -> float
+val add_noise : Rng.t -> scale:float -> float -> float
+val pdf : scale:float -> float -> float
+val cdf : scale:float -> float -> float
+val confidence_width : scale:float -> alpha:float -> float
+
+val beta : epsilon:float -> float
+(** [epsilon / 6]. *)
+
+val noise_scale : epsilon:float -> float -> float
+(** [6S / epsilon]. *)

@@ -1,0 +1,31 @@
+(* The exponential mechanism (McSherry and Talwar), for releasing categorical
+   choices: select a candidate with probability proportional to
+   exp(epsilon * score / (2 * sensitivity)). Paper §6 discusses it as the
+   standard tool FLEX could adopt for categorical outputs; MWEM uses it to
+   pick the worst-answered workload query. *)
+
+let select rng ~epsilon ~sensitivity ~score (candidates : 'a array) : 'a =
+  if epsilon <= 0.0 then invalid_arg "Exp_mech.select: epsilon must be positive";
+  if sensitivity <= 0.0 then invalid_arg "Exp_mech.select: sensitivity must be positive";
+  if Array.length candidates = 0 then invalid_arg "Exp_mech.select: no candidates";
+  let scores = Array.map score candidates in
+  (* subtract the max for numerical stability; the distribution is
+     invariant under shifting scores *)
+  let smax = Array.fold_left Float.max neg_infinity scores in
+  let weights =
+    Array.map (fun s -> exp (epsilon *. (s -. smax) /. (2.0 *. sensitivity))) scores
+  in
+  candidates.(Rng.weighted_index rng weights)
+
+(* Probability each candidate would be selected (exposed for tests). *)
+let distribution ~epsilon ~sensitivity ~score (candidates : 'a array) : float array =
+  if Array.length candidates = 0 then [||]
+  else begin
+    let scores = Array.map score candidates in
+    let smax = Array.fold_left Float.max neg_infinity scores in
+    let weights =
+      Array.map (fun s -> exp (epsilon *. (s -. smax) /. (2.0 *. sensitivity))) scores
+    in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    Array.map (fun w -> w /. total) weights
+  end

@@ -1,0 +1,10 @@
+(** The exponential mechanism (McSherry–Talwar): select a candidate with
+    probability proportional to [exp(epsilon * score / (2 * sensitivity))].
+    epsilon-DP when [score] has the given sensitivity in the database. *)
+
+val select :
+  Rng.t -> epsilon:float -> sensitivity:float -> score:('a -> float) -> 'a array -> 'a
+
+val distribution :
+  epsilon:float -> sensitivity:float -> score:('a -> float) -> 'a array -> float array
+(** Selection probabilities (for tests and diagnostics). *)

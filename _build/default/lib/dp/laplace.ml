@@ -1,0 +1,28 @@
+(* Laplace(0, b) sampled by inverse CDF: if U ~ Uniform(-1/2, 1/2] then
+   -b * sgn(U) * ln(1 - 2|U|) is Laplace with scale b. *)
+let sample rng ~scale =
+  if scale < 0.0 then invalid_arg "Laplace.sample: negative scale";
+  if scale = 0.0 then 0.0
+  else
+    let u = Rng.float rng 1.0 -. 0.5 in
+    let sign = if u >= 0.0 then 1.0 else -1.0 in
+    let mag = 1.0 -. (2.0 *. Float.abs u) in
+    let mag = if mag <= 0.0 then Float.min_float else mag in
+    -.scale *. sign *. log mag
+
+let add_noise rng ~scale x = x +. sample rng ~scale
+
+let pdf ~scale x =
+  if scale <= 0.0 then invalid_arg "Laplace.pdf: non-positive scale";
+  exp (-.Float.abs x /. scale) /. (2.0 *. scale)
+
+let cdf ~scale x =
+  if scale <= 0.0 then invalid_arg "Laplace.cdf: non-positive scale";
+  if x < 0.0 then 0.5 *. exp (x /. scale) else 1.0 -. (0.5 *. exp (-.x /. scale))
+
+let variance ~scale = 2.0 *. scale *. scale
+
+(* Two-sided (1 - alpha) confidence half-width: P(|X| <= w) = 1 - alpha. *)
+let confidence_width ~scale ~alpha =
+  if alpha <= 0.0 || alpha >= 1.0 then invalid_arg "Laplace.confidence_width";
+  -.scale *. log alpha

@@ -1,0 +1,17 @@
+(** The Laplace distribution, the noise source of the FLEX mechanism. *)
+
+val sample : Rng.t -> scale:float -> float
+(** Draw from Laplace(0, scale). [scale = 0] returns 0 (no noise). *)
+
+val add_noise : Rng.t -> scale:float -> float -> float
+(** [add_noise rng ~scale x] is [x + Lap(scale)]. *)
+
+val pdf : scale:float -> float -> float
+
+val cdf : scale:float -> float -> float
+
+val variance : scale:float -> float
+(** [2 * scale^2]. *)
+
+val confidence_width : scale:float -> alpha:float -> float
+(** Half-width [w] with [P(|X| <= w) = 1 - alpha]. *)

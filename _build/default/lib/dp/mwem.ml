@@ -1,0 +1,85 @@
+(* MWEM (Hardt, Ligett, McSherry) — one of the budget-efficient strategies
+   of paper §4.3: answer a whole workload of linear counting queries through
+   a differentially private synthetic distribution, spending budget only on
+   the [rounds] worst-answered queries instead of on every query.
+
+   The data is a histogram over a finite domain (e.g. the public bin labels
+   FLEX enumerates); a workload query is a weight vector over that domain
+   (subset-sums cover predicates and range queries). Each round splits its
+   epsilon share between selecting the worst query (exponential mechanism)
+   and measuring it (Laplace), then performs the multiplicative-weights
+   update. *)
+
+type query = { label : string; vector : float array }
+
+let subset_query ~label ~domain_size indices =
+  let v = Array.make domain_size 0.0 in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= domain_size then invalid_arg "Mwem.subset_query: index out of range";
+      v.(i) <- 1.0)
+    indices;
+  { label; vector = v }
+
+let range_query ~label ~domain_size ~lo ~hi =
+  subset_query ~label ~domain_size (List.init (max 0 (hi - lo + 1)) (fun i -> lo + i))
+
+let answer (hist : float array) (q : query) =
+  if Array.length q.vector <> Array.length hist then
+    invalid_arg "Mwem.answer: domain size mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun i w -> acc := !acc +. (w *. hist.(i))) q.vector;
+  !acc
+
+type result = {
+  synthetic : float array; (* synthetic histogram, same total mass as the data *)
+  measured : (query * float) list; (* the queries actually paid for *)
+}
+
+(* Exponential mechanism over queries, scored by absolute error between the
+   true data and the current synthetic histogram. Selection sensitivity is 1
+   for counting queries. *)
+let select_worst rng ~epsilon ~data ~synthetic (workload : query list) =
+  Exp_mech.select rng ~epsilon ~sensitivity:1.0
+    ~score:(fun q -> Float.abs (answer data q -. answer synthetic q))
+    (Array.of_list workload)
+
+let multiplicative_update ~synthetic ~query ~target =
+  let estimate = answer synthetic query in
+  let n = Array.fold_left ( +. ) 0.0 synthetic in
+  if n <= 0.0 then ()
+  else begin
+    let factor i = exp (query.vector.(i) *. (target -. estimate) /. (2.0 *. n)) in
+    Array.iteri (fun i x -> synthetic.(i) <- x *. factor i) synthetic;
+    (* renormalise to the original mass *)
+    let total = Array.fold_left ( +. ) 0.0 synthetic in
+    if total > 0.0 then
+      Array.iteri (fun i x -> synthetic.(i) <- x *. n /. total) synthetic
+  end
+
+let run rng ~epsilon ~rounds ~(data : float array) (workload : query list) : result =
+  if epsilon <= 0.0 then invalid_arg "Mwem.run: epsilon must be positive";
+  if rounds < 1 then invalid_arg "Mwem.run: rounds must be >= 1";
+  if workload = [] then invalid_arg "Mwem.run: empty workload";
+  let n = Array.fold_left ( +. ) 0.0 data in
+  let domain = Array.length data in
+  (* uniform prior with the data's total mass *)
+  let synthetic = Array.make domain (n /. float_of_int (max 1 domain)) in
+  let eps_round = epsilon /. float_of_int rounds in
+  let measured = ref [] in
+  for _ = 1 to rounds do
+    let q = select_worst rng ~epsilon:(eps_round /. 2.0) ~data ~synthetic workload in
+    let target = answer data q +. Laplace.sample rng ~scale:(2.0 /. eps_round) in
+    measured := (q, target) :: !measured;
+    multiplicative_update ~synthetic ~query:q ~target
+  done;
+  { synthetic; measured = List.rev !measured }
+
+(* Average absolute workload error of a synthetic histogram. *)
+let workload_error ~data ~synthetic workload =
+  let total =
+    List.fold_left
+      (fun acc q -> acc +. Float.abs (answer data q -. answer synthetic q))
+      0.0 workload
+  in
+  total /. float_of_int (max 1 (List.length workload))

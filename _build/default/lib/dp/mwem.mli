@@ -1,0 +1,27 @@
+(** MWEM (Hardt–Ligett–McSherry), a budget-efficient strategy from paper
+    §4.3: answer a workload of linear counting queries over a finite domain
+    through a synthetic histogram, paying budget only for [rounds]
+    adaptively chosen measurements. *)
+
+type query = { label : string; vector : float array }
+(** A linear counting query: weights over the domain bins. *)
+
+val subset_query : label:string -> domain_size:int -> int list -> query
+val range_query : label:string -> domain_size:int -> lo:int -> hi:int -> query
+
+val answer : float array -> query -> float
+(** Evaluate a query against a histogram. *)
+
+type result = {
+  synthetic : float array;  (** same total mass as the data *)
+  measured : (query * float) list;  (** the queries actually paid for *)
+}
+
+val run : Rng.t -> epsilon:float -> rounds:int -> data:float array -> query list -> result
+(** Each of the [rounds] iterations spends [epsilon/rounds], split between
+    an exponential-mechanism selection of the worst-answered query and a
+    Laplace measurement of it, followed by the multiplicative-weights
+    update. The overall run is [epsilon]-DP. *)
+
+val workload_error : data:float array -> synthetic:float array -> query list -> float
+(** Mean absolute error of the workload on a synthetic histogram. *)

@@ -1,0 +1,98 @@
+(* Polynomials in the distance k with non-negative float coefficients.
+   Lemma 3 of the paper guarantees elastic stability has this shape; the
+   non-negativity invariant is what licenses the Theorem 3 cutoff used by
+   {!Smooth}. Representation: coefficient array indexed by power, normalised
+   so the leading coefficient is non-zero (except for the zero polynomial,
+   represented by [||]). *)
+
+type t = float array
+
+let normalise a =
+  let n = Array.length a in
+  let rec last i = if i < 0 then -1 else if a.(i) <> 0.0 then i else last (i - 1) in
+  let d = last (n - 1) in
+  if d = n - 1 then a else Array.sub a 0 (d + 1)
+
+let of_coeffs a =
+  Array.iter
+    (fun c ->
+      if c < 0.0 || Float.is_nan c then
+        invalid_arg "Poly.of_coeffs: coefficients must be non-negative")
+    a;
+  normalise (Array.copy a)
+
+let zero : t = [||]
+
+let const c = of_coeffs [| c |]
+
+let one = const 1.0
+
+(* c0 + c1*k *)
+let linear c0 c1 = of_coeffs [| c0; c1 |]
+
+let is_zero p = Array.length p = 0
+
+let degree p = Array.length p - 1
+
+let coeff p i = if i < Array.length p then p.(i) else 0.0
+
+let coeffs p = Array.copy p
+
+let equal (p : t) (q : t) = p = q
+
+let add p q =
+  let n = max (Array.length p) (Array.length q) in
+  normalise (Array.init n (fun i -> coeff p i +. coeff q i))
+
+let mul p q =
+  if is_zero p || is_zero q then zero
+  else begin
+    let n = Array.length p + Array.length q - 1 in
+    let r = Array.make n 0.0 in
+    Array.iteri
+      (fun i pi -> Array.iteri (fun j qj -> r.(i + j) <- r.(i + j) +. (pi *. qj)) q)
+      p;
+    normalise r
+  end
+
+let scale c p =
+  if c < 0.0 then invalid_arg "Poly.scale: negative factor";
+  if c = 0.0 then zero else normalise (Array.map (fun x -> c *. x) p)
+
+(* Horner evaluation. *)
+let eval p k =
+  let x = float_of_int k in
+  let n = Array.length p in
+  let rec go i acc = if i < 0 then acc else go (i - 1) ((acc *. x) +. p.(i)) in
+  if n = 0 then 0.0 else go (n - 2) p.(n - 1)
+
+let eval_f p x =
+  let n = Array.length p in
+  let rec go i acc = if i < 0 then acc else go (i - 1) ((acc *. x) +. p.(i)) in
+  if n = 0 then 0.0 else go (n - 2) p.(n - 1)
+
+(* Coefficient-wise domination: p(k) >= q(k) for every k >= 0 because all
+   coefficients are non-negative. Used to prune polysets. *)
+let dominates p q =
+  let n = max (Array.length p) (Array.length q) in
+  let rec go i = i >= n || (coeff p i >= coeff q i && go (i + 1)) in
+  go 0
+
+let pp ppf p =
+  if is_zero p then Fmt.string ppf "0"
+  else begin
+    let first = ref true in
+    Array.iteri
+      (fun i c ->
+        if c <> 0.0 then begin
+          if not !first then Fmt.string ppf " + ";
+          first := false;
+          match i with
+          | 0 -> Fmt.pf ppf "%g" c
+          | 1 -> if c = 1.0 then Fmt.string ppf "k" else Fmt.pf ppf "%gk" c
+          | _ -> if c = 1.0 then Fmt.pf ppf "k^%d" i else Fmt.pf ppf "%gk^%d" c i
+        end)
+      p
+  end
+
+let to_string p = Fmt.str "%a" pp p

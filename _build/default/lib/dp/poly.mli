@@ -1,0 +1,39 @@
+(** Polynomials in the neighbour distance [k] with non-negative
+    coefficients — the closed form of elastic stability (paper, Lemma 3). *)
+
+type t
+
+val zero : t
+val one : t
+val const : float -> t
+
+val linear : float -> float -> t
+(** [linear c0 c1] is [c0 + c1*k]. *)
+
+val of_coeffs : float array -> t
+(** Raises [Invalid_argument] on negative or NaN coefficients. *)
+
+val is_zero : t -> bool
+
+val degree : t -> int
+(** Degree; [-1] for the zero polynomial. *)
+
+val coeff : t -> int -> float
+val coeffs : t -> float array
+val equal : t -> t -> bool
+val add : t -> t -> t
+val mul : t -> t -> t
+
+val scale : float -> t -> t
+(** Multiply by a non-negative constant. *)
+
+val eval : t -> int -> float
+(** Value at integer distance [k]. *)
+
+val eval_f : t -> float -> float
+
+val dominates : t -> t -> bool
+(** [dominates p q] implies [p(k) >= q(k)] for all [k >= 0]. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

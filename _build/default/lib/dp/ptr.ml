@@ -1,0 +1,59 @@
+(* Propose-test-release (Dwork and Lei), instantiated with an elastic
+   sensitivity function. The paper (§6) observes that elastic sensitivity is
+   exactly the missing ingredient PTR needs: a computable upper bound on
+   local sensitivity at any distance from the true database.
+
+   Given a proposed sensitivity [s]:
+   - because ES(k) upper-bounds the local sensitivity of every database
+     within distance k (Theorem 1), the distance gamma from the true
+     database to one whose local sensitivity exceeds [s] is at least
+     [k*(s) = 1 + max { k | ES(k) <= s }];
+   - PTR releases the answer with Lap(s/epsilon) noise only if a noisy
+     version of that distance clears ln(1/delta)/epsilon, and refuses
+     otherwise. The refusal decision itself is differentially private. *)
+
+type outcome =
+  | Released of float
+  | Refused (* the database is too close to one with sensitivity > s *)
+
+type t = {
+  proposed_sensitivity : float;
+  distance_lower_bound : int;
+  threshold : float;
+  noisy_distance : float;
+}
+
+(* Largest k with ES(k) <= s, by linear scan (ES is non-decreasing). The
+   scan is capped: past the cap the distance bound is at least the cap,
+   which only makes the test more likely to pass safely. *)
+let distance_bound ?(max_scan = 100_000) ~sensitivity es =
+  if es 0 > sensitivity then 0
+  else begin
+    let rec go k =
+      if k >= max_scan then max_scan
+      else if es (k + 1) > sensitivity then k + 1
+      else go (k + 1)
+    in
+    go 0
+  end
+
+let propose rng ~epsilon ~delta ~sensitivity es =
+  if epsilon <= 0.0 then invalid_arg "Ptr.propose: epsilon must be positive";
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Ptr.propose: delta in (0,1)";
+  if sensitivity < 0.0 then invalid_arg "Ptr.propose: negative sensitivity";
+  let distance_lower_bound = distance_bound ~sensitivity es in
+  let noisy_distance =
+    float_of_int distance_lower_bound +. Laplace.sample rng ~scale:(1.0 /. epsilon)
+  in
+  let threshold = log (1.0 /. delta) /. epsilon in
+  { proposed_sensitivity = sensitivity; distance_lower_bound; threshold; noisy_distance }
+
+let test t = t.noisy_distance > t.threshold
+
+(* Full mechanism: epsilon is split evenly between the distance test and the
+   release. *)
+let release rng ~epsilon ~delta ~sensitivity es value =
+  let eps_half = epsilon /. 2.0 in
+  let t = propose rng ~epsilon:eps_half ~delta ~sensitivity es in
+  if test t then Released (value +. Laplace.sample rng ~scale:(sensitivity /. eps_half))
+  else Refused

@@ -1,0 +1,26 @@
+(** Propose-test-release (Dwork–Lei) instantiated with an elastic
+    sensitivity function: ES(k) bounds local sensitivity at distance k
+    (paper Theorem 1), so [1 + max {k | ES(k) <= s}] lower-bounds the
+    distance to any database whose local sensitivity exceeds the proposed
+    [s]. PTR noisily tests that distance and releases with Lap(s/epsilon)
+    only when the test passes. *)
+
+type outcome = Released of float | Refused
+
+type t = {
+  proposed_sensitivity : float;
+  distance_lower_bound : int;
+  threshold : float;  (** ln(1/delta) / epsilon *)
+  noisy_distance : float;
+}
+
+val distance_bound : ?max_scan:int -> sensitivity:float -> (int -> float) -> int
+(** [1 + max {k | ES(k) <= s}]; 0 when already ES(0) > s. *)
+
+val propose : Rng.t -> epsilon:float -> delta:float -> sensitivity:float -> (int -> float) -> t
+val test : t -> bool
+
+val release :
+  Rng.t -> epsilon:float -> delta:float -> sensitivity:float -> (int -> float) -> float -> outcome
+(** End-to-end (epsilon, delta)-DP release; epsilon is split evenly between
+    the distance test and the Laplace release. *)

@@ -1,0 +1,84 @@
+(* A sensitivity "polyset": a finite, non-empty set of non-negative-coefficient
+   polynomials whose value at distance k is the pointwise maximum. Sums and
+   products distribute over max for non-negative operands, so the elastic
+   stability recursion (Fig 1b) stays closed under this representation; the
+   non-self-join case is a plain set union. *)
+
+type t = Poly.t list
+
+let prune ps =
+  (* Drop duplicates and polynomials dominated by another member. *)
+  let rec dedup acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      if List.exists (Poly.equal p) acc then dedup acc rest else dedup (p :: acc) rest
+  in
+  let ps = dedup [] ps in
+  let survives p =
+    not (List.exists (fun q -> (not (Poly.equal p q)) && Poly.dominates q p) ps)
+  in
+  match List.filter survives ps with [] -> [ Poly.zero ] | kept -> kept
+
+let of_poly p : t = [ p ]
+
+let zero = of_poly Poly.zero
+let one = of_poly Poly.one
+let const c = of_poly (Poly.const c)
+let linear c0 c1 = of_poly (Poly.linear c0 c1)
+
+let polys (t : t) = t
+
+let cross f a b = List.concat_map (fun p -> List.map (fun q -> f p q) b) a
+
+let cap = 64
+
+(* Keep polyset sizes bounded on adversarial queries (e.g. dozens of nested
+   non-self joins): past [cap] members we keep the lexicographically largest
+   coefficient vectors, which over-approximates the max and stays sound. *)
+let bound ps =
+  let ps = prune ps in
+  if List.length ps <= cap then ps
+  else begin
+    let key p =
+      let d = Poly.degree p in
+      (d, Poly.coeff p (max d 0))
+    in
+    let sorted = List.sort (fun p q -> compare (key q) (key p)) ps in
+    let rec take n = function
+      | [] -> []
+      | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+    in
+    (* Sound over-approximation: fold the dropped tail into the kept head by
+       coefficient-wise max with the largest member. *)
+    let kept = take cap sorted in
+    let dropped = List.filteri (fun i _ -> i >= cap) sorted in
+    match (kept, dropped) with
+    | [], _ -> [ Poly.zero ]
+    | top :: rest, dropped ->
+      let fold_max p q =
+        let n = max (Poly.degree p) (Poly.degree q) + 1 in
+        Poly.of_coeffs
+          (Array.init (max n 1) (fun i -> Float.max (Poly.coeff p i) (Poly.coeff q i)))
+      in
+      List.fold_left fold_max top dropped :: rest
+  end
+
+let add a b = bound (cross Poly.add a b)
+let mul a b = bound (cross Poly.mul a b)
+let max_ a b = bound (a @ b)
+let scale c t = bound (List.map (Poly.scale c) t)
+
+let eval (t : t) k = List.fold_left (fun acc p -> Float.max acc (Poly.eval p k)) 0.0 t
+
+let degree (t : t) = List.fold_left (fun acc p -> max acc (Poly.degree p)) (-1) t
+
+let is_zero (t : t) = List.for_all Poly.is_zero t
+
+let is_const (t : t) = degree t <= 0
+
+let pp ppf (t : t) =
+  match t with
+  | [ p ] -> Poly.pp ppf p
+  | ps -> Fmt.pf ppf "max(%a)" Fmt.(list ~sep:(any ", ") Poly.pp) ps
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,36 @@
+(** Sensitivity functions of the neighbour distance [k], represented as the
+    pointwise maximum of a set of non-negative-coefficient polynomials.
+
+    Elastic stability (paper Fig 1b) combines sub-results with [+], [*] and
+    [max]; all three are closed over this representation, and the polynomial
+    degree bound drives the Theorem 3 smooth-sensitivity cutoff. *)
+
+type t
+
+val zero : t
+val one : t
+val const : float -> t
+
+val linear : float -> float -> t
+(** [linear c0 c1] is the single polynomial [c0 + c1*k]. *)
+
+val of_poly : Poly.t -> t
+val polys : t -> Poly.t list
+val add : t -> t -> t
+val mul : t -> t -> t
+
+val max_ : t -> t -> t
+(** Pointwise maximum (set union with domination pruning). *)
+
+val scale : float -> t -> t
+
+val eval : t -> int -> float
+(** Value at integer distance [k >= 0]. *)
+
+val degree : t -> int
+(** Maximum member degree; [-1] if identically zero. *)
+
+val is_zero : t -> bool
+val is_const : t -> bool
+val pp : t Fmt.t
+val to_string : t -> string

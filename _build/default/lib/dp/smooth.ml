@@ -1,0 +1,47 @@
+(* Smooth sensitivity (Nissim et al.) specialised to elastic sensitivity, as
+   used by the FLEX mechanism (paper Definition 7 and Theorem 3). *)
+
+type result = { smooth_bound : float; argmax_k : int; beta : float; scanned : int }
+
+let beta ~epsilon ~delta =
+  if epsilon <= 0.0 then invalid_arg "Smooth.beta: epsilon must be positive";
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Smooth.beta: delta must be in (0, 1)";
+  epsilon /. (2.0 *. log (2.0 /. delta))
+
+(* Default hard ceiling on the scan length; Theorem 3 gives the real cutoff
+   degree/beta, this only guards against degenerate parameters. *)
+let default_max_scan = 20_000_000
+
+(* max_{k=0..n} e^{-beta*k} * f(k), where f is the elastic sensitivity at
+   distance k. Theorem 3: for f a polynomial of degree d with non-negative
+   coefficients, the max is reached by k <= d / beta, so we scan only that
+   far (clamped by the database size n when given). *)
+let smooth_max ?(max_scan = default_max_scan) ~beta ?n ~degree f =
+  if beta <= 0.0 then invalid_arg "Smooth.smooth_max: beta must be positive";
+  let cutoff =
+    if degree <= 0 then 0
+    else
+      let c = ceil (float_of_int degree /. beta) in
+      if Float.is_nan c || c >= float_of_int max_scan then max_scan
+      else int_of_float c
+  in
+  let cutoff = match n with Some n -> min cutoff (max n 0) | None -> cutoff in
+  let best = ref (f 0) in
+  let best_k = ref 0 in
+  for k = 1 to cutoff do
+    let v = exp (-.beta *. float_of_int k) *. f k in
+    if v > !best then begin
+      best := v;
+      best_k := k
+    end
+  done;
+  { smooth_bound = !best; argmax_k = !best_k; beta; scanned = cutoff + 1 }
+
+let of_sens ?max_scan ~beta ?n sens =
+  smooth_max ?max_scan ~beta ?n ~degree:(Sens.degree sens) (Sens.eval sens)
+
+(* Laplace noise scale for the FLEX mechanism: 2S/epsilon (Definition 7). *)
+let noise_scale ~epsilon result =
+  if epsilon <= 0.0 then invalid_arg "Smooth.noise_scale";
+  2.0 *. result.smooth_bound /. epsilon

@@ -1,0 +1,24 @@
+(** Smooth sensitivity smoothing of an elastic-sensitivity function
+    (paper §4.1–4.2: Definition 7 and the Theorem 3 scan cutoff). *)
+
+type result = {
+  smooth_bound : float;  (** S = max_k e^(-beta k) * ES(k) *)
+  argmax_k : int;  (** distance at which the max is attained *)
+  beta : float;
+  scanned : int;  (** number of k values evaluated *)
+}
+
+val beta : epsilon:float -> delta:float -> float
+(** beta = epsilon / (2 ln(2/delta)). *)
+
+val smooth_max :
+  ?max_scan:int -> beta:float -> ?n:int -> degree:int -> (int -> float) -> result
+(** [smooth_max ~beta ~degree f] maximises [e^(-beta k) * f k] over
+    [k = 0 .. min(ceil(degree/beta), n)]. [degree] must bound the polynomial
+    degree of [f] (Theorem 3); a [degree <= 0] function is evaluated only at
+    [k = 0]. *)
+
+val of_sens : ?max_scan:int -> beta:float -> ?n:int -> Sens.t -> result
+
+val noise_scale : epsilon:float -> result -> float
+(** Laplace scale [2S/epsilon] from Definition 7. *)

@@ -1,0 +1,61 @@
+(* The sparse vector technique (paper §4.3, citing Dwork et al.): answer only
+   queries whose noisy value clears a noisy threshold, paying budget only for
+   the (at most [max_answers]) queries answered. Sensitivities are supplied
+   per query so the FLEX elastic-sensitivity bound can be plugged in. *)
+
+type t = {
+  rng : Rng.t;
+  epsilon : float;
+  threshold : float;
+  max_answers : int;
+  mutable noisy_threshold : float;
+  mutable answered : int;
+  mutable halted : bool;
+}
+
+type outcome = Below | Above of float | Halted
+
+let create ?(max_answers = 1) rng ~epsilon ~threshold =
+  if epsilon <= 0.0 then invalid_arg "Sparse_vector.create: epsilon must be positive";
+  if max_answers < 1 then invalid_arg "Sparse_vector.create: max_answers must be >= 1";
+  let t =
+    {
+      rng;
+      epsilon;
+      threshold;
+      max_answers;
+      noisy_threshold = 0.0;
+      answered = 0;
+      halted = false;
+    }
+  in
+  t.noisy_threshold <- threshold +. Laplace.sample rng ~scale:(2.0 /. epsilon);
+  t
+
+let refresh_threshold t =
+  t.noisy_threshold <- t.threshold +. Laplace.sample t.rng ~scale:(2.0 /. t.epsilon)
+
+(* Query with the given true value and sensitivity bound. Above-threshold
+   answers release a noisy value at scale 4 * c * sens / epsilon, following
+   the standard numeric sparse-vector analysis with c = max_answers. *)
+let query t ~sensitivity value =
+  if t.halted then Halted
+  else begin
+    let c = float_of_int t.max_answers in
+    let probe =
+      value +. Laplace.sample t.rng ~scale:(4.0 *. c *. sensitivity /. t.epsilon)
+    in
+    if probe >= t.noisy_threshold then begin
+      t.answered <- t.answered + 1;
+      if t.answered >= t.max_answers then t.halted <- true else refresh_threshold t;
+      Above (value +. Laplace.sample t.rng ~scale:(2.0 *. c *. sensitivity /. t.epsilon))
+    end
+    else Below
+  end
+
+let answered t = t.answered
+let halted t = t.halted
+
+(* Budget consumed so far: epsilon regardless of answers (the threshold noise
+   plus the per-answer releases are calibrated to total epsilon). *)
+let epsilon_spent t = t.epsilon

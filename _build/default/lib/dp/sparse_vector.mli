@@ -1,0 +1,19 @@
+(** Numeric sparse vector technique: answer only queries whose noisy value
+    clears a noisy threshold, halting after [max_answers] answers. *)
+
+type t
+
+type outcome =
+  | Below  (** noisy value under the noisy threshold; nothing released *)
+  | Above of float  (** released noisy value *)
+  | Halted  (** the answer quota is exhausted *)
+
+val create : ?max_answers:int -> Rng.t -> epsilon:float -> threshold:float -> t
+
+val query : t -> sensitivity:float -> float -> outcome
+(** Probe one query given its true value and a sensitivity upper bound
+    (e.g. a FLEX smooth bound). *)
+
+val answered : t -> int
+val halted : t -> bool
+val epsilon_spent : t -> float

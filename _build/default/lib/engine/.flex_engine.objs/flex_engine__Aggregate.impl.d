@@ -1,0 +1,1 @@
+lib/engine/aggregate.ml: Array Flex_sql Fmt Hashtbl List Value

@@ -1,0 +1,1 @@
+lib/engine/aggregate.mli: Flex_sql Value

@@ -1,0 +1,1 @@
+lib/engine/csv.ml: Array Buffer Executor Fun List String Table Value

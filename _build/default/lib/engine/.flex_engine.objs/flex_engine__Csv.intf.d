@@ -1,0 +1,1 @@
+lib/engine/csv.mli: Executor Table Value

@@ -1,0 +1,1 @@
+lib/engine/database.ml: Fmt Hashtbl List String Table

@@ -1,0 +1,1 @@
+lib/engine/database.mli: Fmt Table

@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Flex_sql Float Fmt Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/engine/executor.ml: Aggregate Array Database Eval Flex_sql Fmt Hashtbl List Option Stdlib String Table Value

@@ -1,0 +1,1 @@
+lib/engine/executor.mli: Database Flex_sql Value

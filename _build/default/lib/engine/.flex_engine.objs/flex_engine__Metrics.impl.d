@@ -1,0 +1,1 @@
+lib/engine/metrics.ml: Array Database Fmt Fun Hashtbl List Option String Table Value

@@ -1,0 +1,1 @@
+lib/engine/metrics_live.ml: Array Database Hashtbl List Metrics Option String Table Value

@@ -1,0 +1,1 @@
+lib/engine/metrics_live.mli: Database Metrics Value

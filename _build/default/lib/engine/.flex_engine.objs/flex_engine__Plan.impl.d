@@ -1,0 +1,1 @@
+lib/engine/plan.ml: Flex_sql Fmt List Option String

@@ -1,0 +1,1 @@
+lib/engine/plan.mli: Flex_sql Fmt

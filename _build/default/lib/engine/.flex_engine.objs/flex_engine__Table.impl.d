@@ -1,0 +1,1 @@
+lib/engine/table.ml: Array Fmt List String Value

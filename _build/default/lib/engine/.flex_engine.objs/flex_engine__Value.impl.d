@@ -1,0 +1,1 @@
+lib/engine/value.ml: Fmt Hashtbl Stdlib

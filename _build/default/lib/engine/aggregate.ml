@@ -1,0 +1,90 @@
+module Ast = Flex_sql.Ast
+
+(* SQL aggregate functions over a group's values. NULLs are skipped, matching
+   standard semantics; a star-count counts rows including NULLs. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let distinct_values values =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.replace seen v ();
+        true
+      end)
+    values
+
+let non_null values = List.filter (fun v -> not (Value.is_null v)) values
+
+let floats_of name values =
+  List.map
+    (fun v ->
+      match Value.to_float v with
+      | Some f -> f
+      | None -> error "%s over non-numeric value %a" name Value.pp v)
+    values
+
+let sum_value values =
+  let all_int = List.for_all (function Value.Int _ -> true | _ -> false) values in
+  if all_int then
+    Value.Int
+      (List.fold_left
+         (fun acc v -> match v with Value.Int i -> acc + i | _ -> acc)
+         0 values)
+  else Value.Float (List.fold_left ( +. ) 0.0 (floats_of "SUM" values))
+
+let median_value values =
+  let fs = List.sort compare (floats_of "MEDIAN" values) in
+  let a = Array.of_list fs in
+  let n = Array.length a in
+  if n = 0 then Value.Null
+  else if n mod 2 = 1 then Value.Float a.(n / 2)
+  else Value.Float ((a.((n / 2) - 1) +. a.(n / 2)) /. 2.0)
+
+let stddev_value values =
+  let fs = floats_of "STDDEV" values in
+  let n = List.length fs in
+  if n < 2 then Value.Null
+  else begin
+    let mean = List.fold_left ( +. ) 0.0 fs /. float_of_int n in
+    let ss = List.fold_left (fun acc f -> acc +. ((f -. mean) *. (f -. mean))) 0.0 fs in
+    Value.Float (sqrt (ss /. float_of_int (n - 1)))
+  end
+
+(* [compute func ~distinct ~star ~nrows values]: [values] are the evaluated
+   argument values over the group's rows (ignored when [star]). *)
+let compute (func : Ast.agg_func) ~distinct ~star ~nrows values =
+  match func with
+  | Ast.Count ->
+    if star then Value.Int nrows
+    else begin
+      let vs = non_null values in
+      let vs = if distinct then distinct_values vs else vs in
+      Value.Int (List.length vs)
+    end
+  | Ast.Sum -> (
+    let vs = non_null values in
+    let vs = if distinct then distinct_values vs else vs in
+    match vs with [] -> Value.Null | vs -> sum_value vs)
+  | Ast.Avg -> (
+    let vs = non_null values in
+    let vs = if distinct then distinct_values vs else vs in
+    match vs with
+    | [] -> Value.Null
+    | vs ->
+      let fs = floats_of "AVG" vs in
+      Value.Float (List.fold_left ( +. ) 0.0 fs /. float_of_int (List.length fs)))
+  | Ast.Min -> (
+    match non_null values with
+    | [] -> Value.Null
+    | v :: vs -> List.fold_left (fun acc v -> if Value.compare v acc < 0 then v else acc) v vs)
+  | Ast.Max -> (
+    match non_null values with
+    | [] -> Value.Null
+    | v :: vs -> List.fold_left (fun acc v -> if Value.compare v acc > 0 then v else acc) v vs)
+  | Ast.Median -> median_value (non_null values)
+  | Ast.Stddev -> stddev_value (non_null values)

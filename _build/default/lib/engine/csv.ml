@@ -1,0 +1,96 @@
+(* Minimal CSV reading/writing for loading tables from disk (used by the
+   CLI). Values are sniffed: integers, floats, booleans, empty = NULL,
+   otherwise strings. Quoted fields with embedded commas are supported. *)
+
+let parse_line line =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | ',' ->
+        flush ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then flush () (* unterminated quote: accept what we have *)
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+let sniff_value s =
+  if s = "" then Value.Null
+  else
+    match int_of_string_opt s with
+    | Some i -> Value.Int i
+    | None -> (
+      match float_of_string_opt s with
+      | Some f -> Value.Float f
+      | None -> (
+        match String.lowercase_ascii s with
+        | "true" -> Value.Bool true
+        | "false" -> Value.Bool false
+        | _ -> Value.String s))
+
+let load_table ~name path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header =
+        match input_line ic with
+        | line -> parse_line line
+        | exception End_of_file -> invalid_arg ("empty CSV file: " ^ path)
+      in
+      let rec read acc =
+        match input_line ic with
+        | line ->
+          if String.trim line = "" then read acc
+          else read (Array.of_list (List.map sniff_value (parse_line line)) :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      Table.create ~name ~columns:header (read []))
+
+let escape_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c -> if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let save_result (r : Executor.result_set) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," (List.map escape_field r.columns) ^ "\n");
+      List.iter
+        (fun row ->
+          let cells =
+            Array.to_list (Array.map (fun v -> escape_field (Value.to_csv_string v)) row)
+          in
+          output_string oc (String.concat "," cells ^ "\n"))
+        r.rows)

@@ -1,0 +1,12 @@
+(** Minimal CSV reading/writing for loading tables from disk. Values are
+    sniffed: integers, floats, booleans, empty = NULL, otherwise strings;
+    quoted fields with embedded commas and escaped quotes are supported. *)
+
+val load_table : name:string -> string -> Table.t
+(** Load a CSV file whose first line is the header. *)
+
+val save_result : Executor.result_set -> string -> unit
+
+val parse_line : string -> string list
+val sniff_value : string -> Value.t
+val escape_field : string -> string

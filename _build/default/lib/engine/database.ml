@@ -1,0 +1,37 @@
+(* A database: a set of named tables. Lookups are case-insensitive. *)
+
+type t = { tables : (string, Table.t) Hashtbl.t }
+
+exception Unknown_table of string
+
+let create () = { tables = Hashtbl.create 16 }
+
+let of_tables ts =
+  let db = create () in
+  List.iter (fun t -> Hashtbl.replace db.tables (Table.name t) t) ts;
+  db
+
+let add db table = Hashtbl.replace db.tables (Table.name table) table
+
+let find_opt db name = Hashtbl.find_opt db.tables (String.lowercase_ascii name)
+
+let find db name =
+  match find_opt db name with Some t -> t | None -> raise (Unknown_table name)
+
+let mem db name = Hashtbl.mem db.tables (String.lowercase_ascii name)
+
+let table_names db =
+  Hashtbl.fold (fun name _ acc -> name :: acc) db.tables [] |> List.sort compare
+
+let total_rows db =
+  Hashtbl.fold (fun _ t acc -> acc + Table.row_count t) db.tables 0
+
+(* A copy sharing row arrays; [Table.with_row] already copies on write. *)
+let copy db =
+  let db' = create () in
+  Hashtbl.iter (fun name t -> Hashtbl.replace db'.tables name t) db.tables;
+  db'
+
+let pp ppf db =
+  Fmt.pf ppf "database with %d tables, %d rows total"
+    (Hashtbl.length db.tables) (total_rows db)

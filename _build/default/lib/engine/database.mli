@@ -1,0 +1,22 @@
+(** A database: a set of named tables with case-insensitive lookup. *)
+
+type t
+
+exception Unknown_table of string
+
+val create : unit -> t
+val of_tables : Table.t list -> t
+val add : t -> Table.t -> unit
+val find_opt : t -> string -> Table.t option
+
+val find : t -> string -> Table.t
+(** @raise Unknown_table *)
+
+val mem : t -> string -> bool
+val table_names : t -> string list
+val total_rows : t -> int
+
+val copy : t -> t
+(** Shallow copy: shares table values, independent table map. *)
+
+val pp : t Fmt.t

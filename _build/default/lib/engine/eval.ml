@@ -1,0 +1,234 @@
+module Ast = Flex_sql.Ast
+
+(* Scalar operations with SQL three-valued logic. Pure value-level semantics;
+   column resolution and subqueries live in Executor. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+
+(* WHERE/HAVING keep a row only when the predicate is exactly TRUE. *)
+let is_truthy = function Value.Bool true -> true | _ -> false
+
+let and3 a b =
+  match (a, b) with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Bool true, Value.Bool true -> Value.Bool true
+  | a, b -> error "AND applied to non-boolean values %a, %a" Value.pp a Value.pp b
+
+let or3 a b =
+  match (a, b) with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Bool false, Value.Bool false -> Value.Bool false
+  | a, b -> error "OR applied to non-boolean values %a, %a" Value.pp a Value.pp b
+
+let not3 = function
+  | Value.Bool b -> Value.Bool (not b)
+  | Value.Null -> Value.Null
+  | v -> error "NOT applied to non-boolean value %a" Value.pp v
+
+let arith op_name int_op float_op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> Value.Int (int_op x y)
+  | _ -> (
+    match (Value.to_float a, Value.to_float b) with
+    | Some x, Some y -> Value.Float (float_op x y)
+    | _ -> error "%s applied to non-numeric values %a, %a" op_name Value.pp a Value.pp b)
+
+let divide a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int _, Value.Int 0 -> Value.Null
+  | Value.Int x, Value.Int y -> Value.Int (x / y)
+  | _ -> (
+    match (Value.to_float a, Value.to_float b) with
+    | Some _, Some 0.0 -> Value.Null
+    | Some x, Some y -> Value.Float (x /. y)
+    | _ -> error "division of non-numeric values %a, %a" Value.pp a Value.pp b)
+
+let modulo a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int _, Value.Int 0 -> Value.Null
+  | Value.Int x, Value.Int y -> Value.Int (x mod y)
+  | _ -> error "%% requires integers, got %a, %a" Value.pp a Value.pp b
+
+let concat a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | a, b -> Value.String (Value.to_csv_string a ^ Value.to_csv_string b)
+
+let comparison op a b =
+  let open Ast in
+  match Value.sql_compare a b with
+  | None -> Value.Null
+  | Some c ->
+    let r =
+      match op with
+      | Eq -> c = 0
+      | Neq -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+      | Add | Sub | Mul | Div | Mod | And | Or | Concat -> assert false
+    in
+    Value.Bool r
+
+let binop (op : Ast.binop) a b =
+  match op with
+  | Ast.Add -> arith "+" ( + ) ( +. ) a b
+  | Ast.Sub -> arith "-" ( - ) ( -. ) a b
+  | Ast.Mul -> arith "*" ( * ) ( *. ) a b
+  | Ast.Div -> divide a b
+  | Ast.Mod -> modulo a b
+  | Ast.And -> and3 a b
+  | Ast.Or -> or3 a b
+  | Ast.Concat -> concat a b
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> comparison op a b
+
+let unop (op : Ast.unop) a =
+  match (op, a) with
+  | Ast.Not, v -> not3 v
+  | Ast.Neg, Value.Null -> Value.Null
+  | Ast.Neg, Value.Int i -> Value.Int (-i)
+  | Ast.Neg, Value.Float f -> Value.Float (-.f)
+  | Ast.Neg, v -> error "negation of non-numeric value %a" Value.pp v
+
+(* SQL LIKE: '%' matches any sequence, '_' any single character. *)
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* memoised recursive match over (pi, si) *)
+  let memo = Hashtbl.create 16 in
+  let rec go pi si =
+    match Hashtbl.find_opt memo (pi, si) with
+    | Some r -> r
+    | None ->
+      let r =
+        if pi >= np then si >= ns
+        else
+          match pattern.[pi] with
+          | '%' -> go (pi + 1) si || (si < ns && go pi (si + 1))
+          | '_' -> si < ns && go (pi + 1) (si + 1)
+          | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+      in
+      Hashtbl.replace memo (pi, si) r;
+      r
+  in
+  go 0 0
+
+let like subject pattern =
+  match (subject, pattern) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.String s, Value.String p -> Value.Bool (like_match ~pattern:p s)
+  | s, Value.String p -> Value.Bool (like_match ~pattern:p (Value.to_csv_string s))
+  | _, p -> error "LIKE pattern must be a string, got %a" Value.pp p
+
+let cast v ty =
+  let base =
+    match String.index_opt ty '(' with
+    | Some i -> String.sub ty 0 i
+    | None -> ty
+  in
+  match (String.lowercase_ascii base, v) with
+  | _, Value.Null -> Value.Null
+  | ("int" | "integer" | "bigint" | "smallint"), v -> (
+    match v with
+    | Value.String s -> (
+      match int_of_string_opt (String.trim s) with Some i -> Value.Int i | None -> Value.Null)
+    | v -> ( match Value.to_int v with Some i -> Value.Int i | None -> Value.Null))
+  | ("float" | "double" | "real" | "decimal" | "numeric"), v -> (
+    match v with
+    | Value.String s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f -> Value.Float f
+      | None -> Value.Null)
+    | v -> ( match Value.to_float v with Some f -> Value.Float f | None -> Value.Null))
+  | ("varchar" | "char" | "text" | "string"), v -> Value.String (Value.to_csv_string v)
+  | ("bool" | "boolean"), v -> (
+    match v with
+    | Value.Bool _ -> v
+    | Value.Int 0 -> Value.Bool false
+    | Value.Int _ -> Value.Bool true
+    | Value.String s -> (
+      match String.lowercase_ascii s with
+      | "true" | "t" | "1" -> Value.Bool true
+      | "false" | "f" | "0" -> Value.Bool false
+      | _ -> Value.Null)
+    | _ -> Value.Null)
+  | ("date" | "timestamp"), v -> Value.String (Value.to_csv_string v)
+  | other, _ -> error "unsupported CAST target type %s" other
+
+(* Scalar function library; names arrive lowercased from the lexer. *)
+let func name (args : Value.t list) =
+  let str1 f =
+    match args with
+    | [ Value.Null ] -> Value.Null
+    | [ v ] -> f (Value.to_csv_string v)
+    | _ -> error "%s expects 1 argument" name
+  in
+  match (name, args) with
+  | "lower", _ -> str1 (fun s -> Value.String (String.lowercase_ascii s))
+  | "upper", _ -> str1 (fun s -> Value.String (String.uppercase_ascii s))
+  | "length", _ -> str1 (fun s -> Value.Int (String.length s))
+  | "trim", _ -> str1 (fun s -> Value.String (String.trim s))
+  | "abs", [ Value.Null ] -> Value.Null
+  | "abs", [ Value.Int i ] -> Value.Int (abs i)
+  | "abs", [ Value.Float f ] -> Value.Float (Float.abs f)
+  | "round", [ Value.Null ] -> Value.Null
+  | "round", [ Value.Int i ] -> Value.Int i
+  | "round", [ Value.Float f ] -> Value.Float (Float.round f)
+  | "round", [ Value.Float f; Value.Int d ] ->
+    let m = Float.pow 10.0 (float_of_int d) in
+    Value.Float (Float.round (f *. m) /. m)
+  | "floor", [ Value.Float f ] -> Value.Int (int_of_float (Float.floor f))
+  | "floor", [ Value.Int i ] -> Value.Int i
+  | "ceil", [ Value.Float f ] -> Value.Int (int_of_float (Float.ceil f))
+  | "ceil", [ Value.Int i ] -> Value.Int i
+  | "coalesce", args ->
+    (try List.find (fun v -> not (Value.is_null v)) args with Not_found -> Value.Null)
+  | "nullif", [ a; b ] -> if Value.equal a b then Value.Null else a
+  | "concat", args ->
+    Value.String (String.concat "" (List.map Value.to_csv_string args))
+  | "substr", [ s; start ] -> (
+    match (s, Value.to_int start) with
+    | Value.Null, _ | _, None -> Value.Null
+    | v, Some start ->
+      let s = Value.to_csv_string v in
+      let start = max 0 (start - 1) in
+      if start >= String.length s then Value.String ""
+      else Value.String (String.sub s start (String.length s - start)))
+  | "substr", [ s; start; len ] -> (
+    match (s, Value.to_int start, Value.to_int len) with
+    | Value.Null, _, _ | _, None, _ | _, _, None -> Value.Null
+    | v, Some start, Some len ->
+      let s = Value.to_csv_string v in
+      let start = max 0 (start - 1) in
+      if start >= String.length s || len <= 0 then Value.String ""
+      else Value.String (String.sub s start (min len (String.length s - start))))
+  | "year", [ Value.String s ] when String.length s >= 4 -> (
+    match int_of_string_opt (String.sub s 0 4) with
+    | Some y -> Value.Int y
+    | None -> Value.Null)
+  | "year", [ _ ] -> Value.Null
+  | "month", [ Value.String s ] when String.length s >= 7 -> (
+    match int_of_string_opt (String.sub s 5 2) with
+    | Some m -> Value.Int m
+    | None -> Value.Null)
+  | "month", [ _ ] -> Value.Null
+  | "sqrt", [ Value.Null ] -> Value.Null
+  | "sqrt", [ v ] -> (
+    match Value.to_float v with
+    | Some f when f >= 0.0 -> Value.Float (sqrt f)
+    | _ -> Value.Null)
+  | "greatest", args when args <> [] ->
+    List.fold_left (fun acc v -> if Value.compare v acc > 0 then v else acc)
+      (List.hd args) args
+  | "least", args when args <> [] ->
+    List.fold_left (fun acc v -> if Value.compare v acc < 0 then v else acc)
+      (List.hd args) args
+  | name, _ -> error "unknown function %s/%d" name (List.length args)

@@ -1,0 +1,34 @@
+module Ast = Flex_sql.Ast
+
+(** Scalar operations with SQL three-valued logic. Pure value-level
+    semantics; column resolution and subqueries live in {!Executor}. *)
+
+exception Error of string
+
+val is_truthy : Value.t -> bool
+(** WHERE/HAVING keep a row only when the predicate is exactly TRUE. *)
+
+val and3 : Value.t -> Value.t -> Value.t
+(** Kleene AND: [false AND NULL = false], [true AND NULL = NULL]. *)
+
+val or3 : Value.t -> Value.t -> Value.t
+val not3 : Value.t -> Value.t
+
+val binop : Ast.binop -> Value.t -> Value.t -> Value.t
+(** Arithmetic (Int/Int stays Int; division by zero yields NULL),
+    comparisons (NULL-propagating), boolean connectives, [||] concat. *)
+
+val unop : Ast.unop -> Value.t -> Value.t
+
+val like : Value.t -> Value.t -> Value.t
+(** SQL LIKE: [%] matches any sequence, [_] any single character. *)
+
+val like_match : pattern:string -> string -> bool
+
+val cast : Value.t -> string -> Value.t
+(** CAST to int/float/varchar/bool/date families; failures yield NULL. *)
+
+val func : string -> Value.t list -> Value.t
+(** Scalar function library: lower, upper, length, trim, abs, round, floor,
+    ceil, coalesce, nullif, concat, substr, year, month, sqrt, greatest,
+    least. @raise Error on unknown functions. *)

@@ -1,0 +1,38 @@
+module Ast = Flex_sql.Ast
+
+(** SQL query evaluation over a {!Database}. The executor plays the role of
+    the paper's "any existing database": FLEX only parses queries and
+    post-processes results, so the engine implements ordinary SQL semantics
+    with no privacy awareness.
+
+    Supported: projections with aliases and [*]/[t.*]; WHERE with 3-valued
+    logic; inner/left/right/full/cross joins (hash join on equality keys,
+    nested loop otherwise); USING/NATURAL; GROUP BY + HAVING with
+    COUNT/SUM/AVG/MIN/MAX/MEDIAN/STDDEV (and DISTINCT variants); derived
+    tables and chained CTEs; IN/EXISTS/scalar subqueries (correlated
+    subqueries resolve free columns against enclosing scopes);
+    UNION/EXCEPT/INTERSECT (with ALL); DISTINCT; ORDER BY (including
+    unprojected source columns) with LIMIT/OFFSET. *)
+
+exception Error of string
+
+type header = { alias : string option; name : string }
+
+type rel = { headers : header array; rows : Value.t array list }
+(** Intermediate relation carrying alias qualifiers for resolution. *)
+
+type result_set = { columns : string list; rows : Value.t array list }
+
+val run : Database.t -> Ast.query -> result_set
+(** @raise Error (and {!Eval.Error} / {!Aggregate.Error}) on semantic
+    errors: unknown tables or columns, arity mismatches, aggregates outside
+    grouping. *)
+
+val run_sql : Database.t -> string -> (result_set, string) result
+(** Parse and run; all failures as [Error message]. *)
+
+val run_sql_exn : Database.t -> string -> result_set
+
+val resolve_opt : header array -> Ast.col_ref -> int option
+(** Column resolution: qualified references match the alias; unqualified
+    references take the first name match. *)

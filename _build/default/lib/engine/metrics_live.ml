@@ -1,0 +1,175 @@
+(* Incrementally maintained metrics. The paper (§4) notes that the mf metric
+   "must be recomputed when the most frequent join attribute changes" and
+   suggests database triggers for update-heavy environments; this module is
+   that trigger logic: it keeps full per-column value counts so inserts and
+   deletes update mf and vr in O(columns) per row, without rescanning. *)
+
+type column_state = {
+  counts : (Value.t, int) Hashtbl.t;
+  mutable mf : int; (* max frequency over non-NULL values *)
+  mutable lo : float; (* numeric extremes; infinities when no numeric seen *)
+  mutable hi : float;
+  mutable numeric_count : int;
+}
+
+type table_state = {
+  columns : string array;
+  states : column_state array;
+  mutable rows : int;
+}
+
+type t = { tables : (string, table_state) Hashtbl.t }
+
+let new_column_state () =
+  {
+    counts = Hashtbl.create 64;
+    mf = 0;
+    lo = infinity;
+    hi = neg_infinity;
+    numeric_count = 0;
+  }
+
+let create () = { tables = Hashtbl.create 8 }
+
+let table_key = String.lowercase_ascii
+
+let register t ~table ~columns =
+  let columns = Array.of_list (List.map String.lowercase_ascii columns) in
+  Hashtbl.replace t.tables (table_key table)
+    {
+      columns;
+      states = Array.init (Array.length columns) (fun _ -> new_column_state ());
+      rows = 0;
+    }
+
+let find_table t table =
+  match Hashtbl.find_opt t.tables (table_key table) with
+  | Some ts -> ts
+  | None -> invalid_arg ("Metrics_live: unknown table " ^ table)
+
+let insert_value cs v =
+  (match v with
+  | Value.Null -> ()
+  | v ->
+    let n = 1 + Option.value ~default:0 (Hashtbl.find_opt cs.counts v) in
+    Hashtbl.replace cs.counts v n;
+    if n > cs.mf then cs.mf <- n);
+  match Value.to_float v with
+  | Some f ->
+    cs.numeric_count <- cs.numeric_count + 1;
+    if f < cs.lo then cs.lo <- f;
+    if f > cs.hi then cs.hi <- f
+  | None -> ()
+
+(* Deleting can lower mf; recompute lazily only when the deleted value held
+   the maximum (the common case — deleting a non-modal value — stays O(1)).
+   The numeric extremes are recomputed from the counts when an extreme
+   value's count reaches zero. *)
+let delete_value cs v =
+  (match v with
+  | Value.Null -> ()
+  | v -> (
+    match Hashtbl.find_opt cs.counts v with
+    | None -> invalid_arg "Metrics_live: deleting a value that was never inserted"
+    | Some 1 ->
+      Hashtbl.remove cs.counts v;
+      if cs.mf = 1 && Hashtbl.length cs.counts = 0 then cs.mf <- 0
+      else if cs.mf >= 1 then begin
+        (* the removed value might have been the last modal one *)
+        let best = Hashtbl.fold (fun _ n acc -> max acc n) cs.counts 0 in
+        cs.mf <- best
+      end
+    | Some n ->
+      Hashtbl.replace cs.counts v (n - 1);
+      if n = cs.mf then begin
+        let best = Hashtbl.fold (fun _ n acc -> max acc n) cs.counts 0 in
+        cs.mf <- best
+      end));
+  match Value.to_float v with
+  | Some f ->
+    cs.numeric_count <- cs.numeric_count - 1;
+    if cs.numeric_count = 0 then begin
+      cs.lo <- infinity;
+      cs.hi <- neg_infinity
+    end
+    else if f = cs.lo || f = cs.hi then begin
+      (* recompute extremes from the surviving values *)
+      cs.lo <- infinity;
+      cs.hi <- neg_infinity;
+      Hashtbl.iter
+        (fun v n ->
+          if n > 0 then
+            match Value.to_float v with
+            | Some g ->
+              if g < cs.lo then cs.lo <- g;
+              if g > cs.hi then cs.hi <- g
+            | None -> ())
+        cs.counts
+    end
+  | None -> ()
+
+let insert_row t ~table (row : Value.t array) =
+  let ts = find_table t table in
+  if Array.length row <> Array.length ts.columns then
+    invalid_arg "Metrics_live.insert_row: arity mismatch";
+  Array.iteri (fun i v -> insert_value ts.states.(i) v) row;
+  ts.rows <- ts.rows + 1
+
+let delete_row t ~table (row : Value.t array) =
+  let ts = find_table t table in
+  if Array.length row <> Array.length ts.columns then
+    invalid_arg "Metrics_live.delete_row: arity mismatch";
+  Array.iteri (fun i v -> delete_value ts.states.(i) v) row;
+  ts.rows <- ts.rows - 1
+
+let update_row t ~table ~before ~after =
+  delete_row t ~table before;
+  insert_row t ~table after
+
+let of_database db =
+  let t = create () in
+  List.iter
+    (fun name ->
+      let table = Database.find db name in
+      register t ~table:name ~columns:(Array.to_list (Table.columns table));
+      Array.iter (fun row -> insert_row t ~table:name row) (Table.rows table))
+    (Database.table_names db);
+  t
+
+let column_index ts column =
+  let column = String.lowercase_ascii column in
+  let n = Array.length ts.columns in
+  let rec go i =
+    if i >= n then invalid_arg ("Metrics_live: unknown column " ^ column)
+    else if ts.columns.(i) = column then i
+    else go (i + 1)
+  in
+  go 0
+
+let mf t ~table ~column =
+  let ts = find_table t table in
+  ts.states.(column_index ts column).mf
+
+let vr t ~table ~column =
+  let ts = find_table t table in
+  let cs = ts.states.(column_index ts column) in
+  if cs.numeric_count = 0 then None else Some (cs.hi -. cs.lo)
+
+let row_count t ~table = (find_table t table).rows
+
+(* Snapshot into the static metrics representation FLEX consumes; public
+   tables and primary keys are preserved from [base] when given. *)
+let snapshot ?base t : Metrics.t =
+  let m = match base with Some b -> b | None -> Metrics.create () in
+  Hashtbl.iter
+    (fun table ts ->
+      Metrics.set_row_count m ~table ts.rows;
+      Array.iteri
+        (fun i column ->
+          Metrics.set_mf m ~table ~column ts.states.(i).mf;
+          match vr t ~table ~column with
+          | Some r -> Metrics.set_vr m ~table ~column r
+          | None -> ())
+        ts.columns)
+    t.tables;
+  m

@@ -1,0 +1,24 @@
+(** Incrementally maintained metrics — the trigger logic the paper (§4)
+    prescribes for update-heavy environments: per-column value counts keep
+    [mf] and [vr] exact under inserts, deletes and updates without
+    rescanning the table. *)
+
+type t
+
+val create : unit -> t
+val register : t -> table:string -> columns:string list -> unit
+
+val of_database : Database.t -> t
+(** Bootstrap the counters from existing data. *)
+
+val insert_row : t -> table:string -> Value.t array -> unit
+val delete_row : t -> table:string -> Value.t array -> unit
+val update_row : t -> table:string -> before:Value.t array -> after:Value.t array -> unit
+
+val mf : t -> table:string -> column:string -> int
+val vr : t -> table:string -> column:string -> float option
+val row_count : t -> table:string -> int
+
+val snapshot : ?base:Metrics.t -> t -> Metrics.t
+(** Export to the static representation FLEX consumes; [base] supplies the
+    public-table and primary-key declarations to keep. *)

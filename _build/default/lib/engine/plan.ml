@@ -1,0 +1,235 @@
+module Ast = Flex_sql.Ast
+
+(* A logical query plan mirroring the decisions Executor makes (hash join on
+   column-equality conjuncts, nested loop otherwise; grouped vs plain
+   projection; sort/slice placement). Purely syntactic — used by EXPLAIN in
+   the CLI and by tests documenting executor behaviour; the executor itself
+   interprets the AST directly. *)
+
+type join_strategy = Hash_join of (string * string) list | Nested_loop
+
+type t =
+  | Scan of { table : string; alias : string }
+  | Derived of { plan : t; alias : string }
+  | Join of {
+      kind : Ast.join_kind;
+      strategy : join_strategy;
+      residual_conjuncts : int;
+      left : t;
+      right : t;
+    }
+  | Filter of { predicate : string; input : t }
+  | Aggregate of { group_by : string list; aggregates : string list; having : bool; input : t }
+  | Project of { columns : string list; distinct : bool; input : t }
+  | Sort of { keys : string list; input : t }
+  | Slice of { limit : int option; offset : int option; input : t }
+  | Set_op of { op : string; all : bool; left : t; right : t }
+  | With_ctes of { ctes : (string * t) list; input : t }
+
+let col_str (c : Ast.col_ref) =
+  match c.table with Some t -> t ^ "." ^ c.column | None -> c.column
+
+(* Mirror Executor.split_join_condition, approximated syntactically: every
+   column-equality conjunct becomes a hash key. *)
+let join_keys (cond : Ast.join_cond) =
+  match cond with
+  | Ast.Cond_none -> ([], 0)
+  | Ast.Using cols -> (List.map (fun c -> (c, c)) cols, 0)
+  | Ast.Natural -> ([ ("<common>", "<common>") ], 0)
+  | Ast.On e ->
+    let conjuncts = Ast.conjuncts e in
+    let keys, residual =
+      List.partition
+        (function Ast.Binop (Ast.Eq, Ast.Col _, Ast.Col _) -> true | _ -> false)
+        conjuncts
+    in
+    ( List.filter_map
+        (function
+          | Ast.Binop (Ast.Eq, Ast.Col a, Ast.Col b) -> Some (col_str a, col_str b)
+          | _ -> None)
+        keys,
+      List.length residual )
+
+let rec of_table_ref (tr : Ast.table_ref) : t =
+  match tr with
+  | Ast.Table { name; alias } -> Scan { table = name; alias = Option.value alias ~default:name }
+  | Ast.Derived { query; alias } -> Derived { plan = of_query query; alias }
+  | Ast.Join { kind; left; right; cond } ->
+    let keys, residual = join_keys cond in
+    let strategy =
+      if kind = Ast.Cross || keys = [] then Nested_loop else Hash_join keys
+    in
+    Join
+      {
+        kind;
+        strategy;
+        residual_conjuncts = residual;
+        left = of_table_ref left;
+        right = of_table_ref right;
+      }
+
+and of_select (s : Ast.select) : t =
+  let source =
+    match s.from with
+    | [] -> Scan { table = "<empty>"; alias = "<empty>" }
+    | [ tr ] -> of_table_ref tr
+    | tr :: rest ->
+      List.fold_left
+        (fun acc tr ->
+          Join
+            {
+              kind = Ast.Cross;
+              strategy = Nested_loop;
+              residual_conjuncts = 0;
+              left = acc;
+              right = of_table_ref tr;
+            })
+        (of_table_ref tr) rest
+  in
+  let filtered =
+    match s.where with
+    | None -> source
+    | Some e -> Filter { predicate = Flex_sql.Pretty.expr e; input = source }
+  in
+  let aggs = Ast.select_aggregates s in
+  let column_names =
+    List.map
+      (function
+        | Ast.Proj_star -> "*"
+        | Ast.Proj_table_star t -> t ^ ".*"
+        | Ast.Proj_expr (e, Some a) -> Flex_sql.Pretty.expr e ^ " AS " ^ a
+        | Ast.Proj_expr (e, None) -> Flex_sql.Pretty.expr e)
+      s.projections
+  in
+  let body =
+    if aggs = [] && s.group_by = [] then
+      Project { columns = column_names; distinct = s.distinct; input = filtered }
+    else
+      let agg_names =
+        List.map
+          (fun (f, distinct, arg) ->
+            Fmt.str "%s(%s%s)"
+              (String.uppercase_ascii (Ast.agg_func_name f))
+              (if distinct then "DISTINCT " else "")
+              (match arg with Ast.Star -> "*" | Ast.Arg e -> Flex_sql.Pretty.expr e))
+          aggs
+      in
+      let grouped =
+        Aggregate
+          {
+            group_by = List.map Flex_sql.Pretty.expr s.group_by;
+            aggregates = agg_names;
+            having = s.having <> None;
+            input = filtered;
+          }
+      in
+      if s.distinct then
+        Project { columns = column_names; distinct = true; input = grouped }
+      else grouped
+  in
+  body
+
+and of_body (b : Ast.body) : t =
+  match b with
+  | Ast.Select s -> of_select s
+  | Ast.Union { all; left; right } ->
+    Set_op { op = "UNION"; all; left = of_body left; right = of_body right }
+  | Ast.Except { all; left; right } ->
+    Set_op { op = "EXCEPT"; all; left = of_body left; right = of_body right }
+  | Ast.Intersect { all; left; right } ->
+    Set_op { op = "INTERSECT"; all; left = of_body left; right = of_body right }
+
+and of_query (q : Ast.query) : t =
+  let body = of_body q.body in
+  let sorted =
+    if q.order_by = [] then body
+    else
+      Sort
+        {
+          keys =
+            List.map
+              (fun (e, dir) ->
+                Flex_sql.Pretty.expr e
+                ^ (match dir with Ast.Asc -> " ASC" | Ast.Desc -> " DESC"))
+              q.order_by;
+          input = body;
+        }
+  in
+  let sliced =
+    if q.limit = None && q.offset = None then sorted
+    else Slice { limit = q.limit; offset = q.offset; input = sorted }
+  in
+  if q.ctes = [] then sliced
+  else
+    With_ctes
+      {
+        ctes = List.map (fun (c : Ast.cte) -> (c.cte_name, of_query c.cte_query)) q.ctes;
+        input = sliced;
+      }
+
+(* --- rendering ------------------------------------------------------------- *)
+
+let rec pp_indent ppf (indent, t) =
+  let pad = String.make (indent * 2) ' ' in
+  let line fmt = Fmt.pf ppf ("%s" ^^ fmt ^^ "@.") pad in
+  match t with
+  | Scan { table; alias } ->
+    if table = alias then line "Scan %s" table else line "Scan %s AS %s" table alias
+  | Derived { plan; alias } ->
+    line "Derived AS %s" alias;
+    pp_indent ppf (indent + 1, plan)
+  | Join { kind; strategy; residual_conjuncts; left; right } ->
+    (match strategy with
+    | Hash_join keys ->
+      line "%s [hash on %s]%s"
+        (Ast.join_kind_name kind)
+        (String.concat ", " (List.map (fun (a, b) -> a ^ " = " ^ b) keys))
+        (if residual_conjuncts > 0 then Fmt.str " +%d residual" residual_conjuncts
+         else "")
+    | Nested_loop ->
+      line "%s [nested loop]%s"
+        (Ast.join_kind_name kind)
+        (if residual_conjuncts > 0 then Fmt.str " +%d residual" residual_conjuncts
+         else ""));
+    pp_indent ppf (indent + 1, left);
+    pp_indent ppf (indent + 1, right)
+  | Filter { predicate; input } ->
+    line "Filter %s" predicate;
+    pp_indent ppf (indent + 1, input)
+  | Aggregate { group_by; aggregates; having; input } ->
+    line "Aggregate [%s]%s%s"
+      (String.concat ", " aggregates)
+      (if group_by = [] then "" else " GROUP BY " ^ String.concat ", " group_by)
+      (if having then " HAVING" else "");
+    pp_indent ppf (indent + 1, input)
+  | Project { columns; distinct; input } ->
+    line "Project%s [%s]" (if distinct then " DISTINCT" else "") (String.concat ", " columns);
+    pp_indent ppf (indent + 1, input)
+  | Sort { keys; input } ->
+    line "Sort [%s]" (String.concat ", " keys);
+    pp_indent ppf (indent + 1, input)
+  | Slice { limit; offset; input } ->
+    line "Slice%s%s"
+      (match limit with Some n -> Fmt.str " LIMIT %d" n | None -> "")
+      (match offset with Some n -> Fmt.str " OFFSET %d" n | None -> "");
+    pp_indent ppf (indent + 1, input)
+  | Set_op { op; all; left; right } ->
+    line "%s%s" op (if all then " ALL" else "");
+    pp_indent ppf (indent + 1, left);
+    pp_indent ppf (indent + 1, right)
+  | With_ctes { ctes; input } ->
+    List.iter
+      (fun (name, plan) ->
+        line "CTE %s:" name;
+        pp_indent ppf (indent + 1, plan))
+      ctes;
+    pp_indent ppf (indent, input)
+
+let pp ppf t = pp_indent ppf (0, t)
+
+let to_string t = Fmt.str "%a" pp t
+
+let explain_sql sql =
+  match Flex_sql.Parser.parse sql with
+  | Ok q -> Ok (to_string (of_query q))
+  | Error e -> Error e

@@ -1,0 +1,36 @@
+module Ast = Flex_sql.Ast
+
+(** Logical query plans mirroring the executor's decisions (hash join on
+    column-equality conjuncts, nested loop otherwise), rendered as an
+    indented tree — the engine's EXPLAIN. *)
+
+type join_strategy = Hash_join of (string * string) list | Nested_loop
+
+type t =
+  | Scan of { table : string; alias : string }
+  | Derived of { plan : t; alias : string }
+  | Join of {
+      kind : Ast.join_kind;
+      strategy : join_strategy;
+      residual_conjuncts : int;  (** non-equality conjuncts checked per match *)
+      left : t;
+      right : t;
+    }
+  | Filter of { predicate : string; input : t }
+  | Aggregate of {
+      group_by : string list;
+      aggregates : string list;
+      having : bool;
+      input : t;
+    }
+  | Project of { columns : string list; distinct : bool; input : t }
+  | Sort of { keys : string list; input : t }
+  | Slice of { limit : int option; offset : int option; input : t }
+  | Set_op of { op : string; all : bool; left : t; right : t }
+  | With_ctes of { ctes : (string * t) list; input : t }
+
+val of_query : Ast.query -> t
+val of_table_ref : Ast.table_ref -> t
+val pp : t Fmt.t
+val to_string : t -> string
+val explain_sql : string -> (string, string) result

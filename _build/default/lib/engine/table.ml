@@ -1,0 +1,50 @@
+(* An immutable named relation. Row arrays must match the column count. *)
+
+type t = { name : string; columns : string array; rows : Value.t array array }
+
+exception Schema_error of string
+
+let create ~name ~columns rows =
+  let columns = Array.of_list (List.map String.lowercase_ascii columns) in
+  let ncols = Array.length columns in
+  let rows = Array.of_list rows in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> ncols then
+        raise
+          (Schema_error
+             (Fmt.str "table %s: row %d has %d values, expected %d" name i
+                (Array.length row) ncols)))
+    rows;
+  { name; columns; rows }
+
+let name t = t.name
+let columns t = t.columns
+let rows t = t.rows
+let row_count t = Array.length t.rows
+
+let column_index t col =
+  let col = String.lowercase_ascii col in
+  let n = Array.length t.columns in
+  let rec go i = if i >= n then None else if t.columns.(i) = col then Some i else go (i + 1) in
+  go 0
+
+let column_values t col =
+  match column_index t col with
+  | None -> raise (Schema_error (Fmt.str "table %s has no column %s" t.name col))
+  | Some i -> Array.map (fun row -> row.(i)) t.rows
+
+(* Replace one row (used by the local-sensitivity brute-force oracle in
+   tests); returns a new table. *)
+let with_row t i row =
+  if i < 0 || i >= Array.length t.rows then invalid_arg "Table.with_row";
+  if Array.length row <> Array.length t.columns then
+    raise (Schema_error (Fmt.str "table %s: replacement row arity mismatch" t.name));
+  let rows = Array.copy t.rows in
+  rows.(i) <- row;
+  { t with rows }
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%s) [%d rows]" t.name
+    (String.concat ", " (Array.to_list t.columns))
+    (Array.length t.rows)

@@ -1,0 +1,24 @@
+(** An immutable named relation. Column names are case-insensitive (stored
+    lowercase). *)
+
+type t
+
+exception Schema_error of string
+
+val create : name:string -> columns:string list -> Value.t array list -> t
+(** @raise Schema_error when a row's arity does not match the columns. *)
+
+val name : t -> string
+val columns : t -> string array
+val rows : t -> Value.t array array
+val row_count : t -> int
+val column_index : t -> string -> int option
+
+val column_values : t -> string -> Value.t array
+(** @raise Schema_error on an unknown column. *)
+
+val with_row : t -> int -> Value.t array -> t
+(** Functional single-row replacement (used by the neighbouring-database
+    oracle in tests). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/sql/features.ml: Ast List Parser Set String

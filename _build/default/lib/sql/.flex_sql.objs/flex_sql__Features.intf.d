@@ -1,0 +1,1 @@
+lib/sql/features.mli: Ast

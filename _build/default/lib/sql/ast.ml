@@ -1,0 +1,351 @@
+(* Abstract syntax for the SQL subset FLEX analyses. The shape mirrors the
+   grammar of real analytics queries observed in the paper's study: SELECT
+   with joins of every kind, grouping/aggregation, CTEs, derived tables,
+   subquery predicates and set operations. *)
+
+type lit = Null | Bool of bool | Int of int | Float of float | String of string
+
+type col_ref = { table : string option; column : string }
+
+type agg_func = Count | Sum | Avg | Min | Max | Median | Stddev
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Concat
+
+type unop = Not | Neg
+
+type order_dir = Asc | Desc
+
+type join_kind = Inner | Left | Right | Full | Cross
+
+type expr =
+  | Lit of lit
+  | Col of col_ref
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Agg of { func : agg_func; distinct : bool; arg : agg_arg }
+  | Func of string * expr list
+  | Case of { operand : expr option; branches : (expr * expr) list; else_ : expr option }
+  | In of { subject : expr; negated : bool; set : in_set }
+  | Between of { subject : expr; negated : bool; lo : expr; hi : expr }
+  | Like of { subject : expr; negated : bool; pattern : expr }
+  | Is_null of { subject : expr; negated : bool }
+  | Exists of query
+  | Scalar_subquery of query
+  | Cast of expr * string
+
+and agg_arg = Star | Arg of expr
+
+and in_set = In_list of expr list | In_query of query
+
+and projection =
+  | Proj_star
+  | Proj_table_star of string
+  | Proj_expr of expr * string option
+
+and table_ref =
+  | Table of { name : string; alias : string option }
+  | Derived of { query : query; alias : string }
+  | Join of { kind : join_kind; left : table_ref; right : table_ref; cond : join_cond }
+
+and join_cond = On of expr | Using of string list | Natural | Cond_none
+
+and select = {
+  distinct : bool;
+  projections : projection list;
+  from : table_ref list;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+}
+
+and body =
+  | Select of select
+  | Union of { all : bool; left : body; right : body }
+  | Except of { all : bool; left : body; right : body }
+  | Intersect of { all : bool; left : body; right : body }
+
+and query = {
+  ctes : cte list;
+  body : body;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+  offset : int option;
+}
+
+and cte = { cte_name : string; cte_columns : string list; cte_query : query }
+
+let empty_select =
+  { distinct = false; projections = []; from = []; where = None; group_by = []; having = None }
+
+let query_of_body body = { ctes = []; body; order_by = []; limit = None; offset = None }
+
+let query_of_select select = query_of_body (Select select)
+
+let col ?table column = Col { table; column }
+
+let count_star = Agg { func = Count; distinct = false; arg = Star }
+
+(* A "SELECT COUNT(*) FROM <from> WHERE <where>" skeleton used throughout the
+   experiment drivers. *)
+let count_query ?where from =
+  query_of_select
+    {
+      empty_select with
+      projections = [ Proj_expr (count_star, Some "count") ];
+      from;
+      where;
+    }
+
+let equal_query (a : query) (b : query) = a = b
+
+let agg_func_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+  | Median -> "median"
+  | Stddev -> "stddev"
+
+let agg_func_of_name name =
+  match String.lowercase_ascii name with
+  | "count" -> Some Count
+  | "sum" -> Some Sum
+  | "avg" -> Some Avg
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "median" -> Some Median
+  | "stddev" | "stddev_samp" | "std" -> Some Stddev
+  | _ -> None
+
+let join_kind_name = function
+  | Inner -> "INNER JOIN"
+  | Left -> "LEFT JOIN"
+  | Right -> "RIGHT JOIN"
+  | Full -> "FULL JOIN"
+  | Cross -> "CROSS JOIN"
+
+(* Structural folds used by the analyses. *)
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Lit _ | Col _ -> acc
+  | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Unop (_, a) -> fold_expr f acc a
+  | Agg { arg = Star; _ } -> acc
+  | Agg { arg = Arg a; _ } -> fold_expr f acc a
+  | Func (_, args) -> List.fold_left (fold_expr f) acc args
+  | Case { operand; branches; else_ } ->
+    let acc = match operand with Some o -> fold_expr f acc o | None -> acc in
+    let acc =
+      List.fold_left (fun acc (c, v) -> fold_expr f (fold_expr f acc c) v) acc branches
+    in
+    (match else_ with Some e -> fold_expr f acc e | None -> acc)
+  | In { subject; set; _ } -> (
+    let acc = fold_expr f acc subject in
+    match set with
+    | In_list es -> List.fold_left (fold_expr f) acc es
+    | In_query _ -> acc)
+  | Between { subject; lo; hi; _ } ->
+    fold_expr f (fold_expr f (fold_expr f acc subject) lo) hi
+  | Like { subject; pattern; _ } -> fold_expr f (fold_expr f acc subject) pattern
+  | Is_null { subject; _ } -> fold_expr f acc subject
+  | Exists _ | Scalar_subquery _ -> acc
+  | Cast (a, _) -> fold_expr f acc a
+
+(* All subqueries syntactically nested in an expression. *)
+let rec expr_subqueries e =
+  match e with
+  | Lit _ | Col _ -> []
+  | Binop (_, a, b) -> expr_subqueries a @ expr_subqueries b
+  | Unop (_, a) -> expr_subqueries a
+  | Agg { arg = Star; _ } -> []
+  | Agg { arg = Arg a; _ } -> expr_subqueries a
+  | Func (_, args) -> List.concat_map expr_subqueries args
+  | Case { operand; branches; else_ } ->
+    let l0 = match operand with Some o -> expr_subqueries o | None -> [] in
+    let l1 =
+      List.concat_map (fun (c, v) -> expr_subqueries c @ expr_subqueries v) branches
+    in
+    let l2 = match else_ with Some e -> expr_subqueries e | None -> [] in
+    l0 @ l1 @ l2
+  | In { subject; set; _ } -> (
+    let l = expr_subqueries subject in
+    match set with
+    | In_list es -> l @ List.concat_map expr_subqueries es
+    | In_query q -> l @ [ q ])
+  | Between { subject; lo; hi; _ } ->
+    expr_subqueries subject @ expr_subqueries lo @ expr_subqueries hi
+  | Like { subject; pattern; _ } -> expr_subqueries subject @ expr_subqueries pattern
+  | Is_null { subject; _ } -> expr_subqueries subject
+  | Exists q | Scalar_subquery q -> [ q ]
+  | Cast (a, _) -> expr_subqueries a
+
+(* Conjuncts of an AND tree; used for equijoin extraction. *)
+let rec conjuncts e =
+  match e with Binop (And, a, b) -> conjuncts a @ conjuncts b | e -> [ e ]
+
+(* Column references appearing in an expression, including inside aggregate
+   arguments, excluding subqueries. *)
+let expr_columns e =
+  List.rev
+    (fold_expr (fun acc e -> match e with Col c -> c :: acc | _ -> acc) [] e)
+
+let rec table_refs_of_body body =
+  match body with
+  | Select s -> s.from
+  | Union { left; right; _ } | Except { left; right; _ } | Intersect { left; right; _ }
+    ->
+    table_refs_of_body left @ table_refs_of_body right
+
+(* Base table names mentioned anywhere in a table reference, descending into
+   derived tables. *)
+let rec base_tables_of_ref (r : table_ref) =
+  match r with
+  | Table { name; _ } -> [ name ]
+  | Derived { query; _ } -> base_tables_of_query query
+  | Join { left; right; _ } -> base_tables_of_ref left @ base_tables_of_ref right
+
+and base_tables_of_query (q : query) =
+  let of_body b =
+    List.concat_map base_tables_of_ref (table_refs_of_body b)
+  in
+  List.concat_map (fun c -> base_tables_of_query c.cte_query) q.ctes @ of_body q.body
+
+(* Every join node in a query, including those inside derived tables and
+   CTEs. *)
+let joins_of_query (q : query) =
+  let out = ref [] in
+  let rec walk_ref r =
+    match r with
+    | Table _ -> ()
+    | Derived { query; _ } -> walk_query query
+    | Join { left; right; kind; cond } ->
+      out := (kind, cond, left, right) :: !out;
+      walk_ref left;
+      walk_ref right
+  and walk_body b =
+    match b with
+    | Select s ->
+      List.iter walk_ref s.from;
+      let walk_opt_expr = function
+        | None -> ()
+        | Some e -> List.iter walk_query (expr_subqueries e)
+      in
+      walk_opt_expr s.where;
+      walk_opt_expr s.having;
+      List.iter
+        (function
+          | Proj_expr (e, _) -> List.iter walk_query (expr_subqueries e)
+          | Proj_star | Proj_table_star _ -> ())
+        s.projections
+    | Union { left; right; _ } | Except { left; right; _ } | Intersect { left; right; _ }
+      ->
+      walk_body left;
+      walk_body right
+  and walk_query q =
+    List.iter (fun c -> walk_query c.cte_query) q.ctes;
+    walk_body q.body
+  in
+  walk_query q;
+  List.rev !out
+
+(* Aggregate applications in the top-level projections (not descending into
+   derived tables). *)
+let select_aggregates (s : select) =
+  let from_expr e =
+    List.rev
+      (fold_expr
+         (fun acc e -> match e with Agg a -> (a.func, a.distinct, a.arg) :: acc | _ -> acc)
+         [] e)
+  in
+  List.concat_map
+    (function Proj_expr (e, _) -> from_expr e | Proj_star | Proj_table_star _ -> [])
+    s.projections
+
+(* Rough clause-count used for the study's query-size statistic: number of
+   AST nodes. *)
+let size_of_query (q : query) =
+  let count = ref 0 in
+  let tick () = incr count in
+  let rec walk_expr e =
+    tick ();
+    match e with
+    | Lit _ | Col _ -> ()
+    | Binop (_, a, b) ->
+      walk_expr a;
+      walk_expr b
+    | Unop (_, a) -> walk_expr a
+    | Agg { arg = Star; _ } -> ()
+    | Agg { arg = Arg a; _ } -> walk_expr a
+    | Func (_, args) -> List.iter walk_expr args
+    | Case { operand; branches; else_ } ->
+      Option.iter walk_expr operand;
+      List.iter
+        (fun (c, v) ->
+          walk_expr c;
+          walk_expr v)
+        branches;
+      Option.iter walk_expr else_
+    | In { subject; set; _ } -> (
+      walk_expr subject;
+      match set with In_list es -> List.iter walk_expr es | In_query q -> walk_query q)
+    | Between { subject; lo; hi; _ } ->
+      walk_expr subject;
+      walk_expr lo;
+      walk_expr hi
+    | Like { subject; pattern; _ } ->
+      walk_expr subject;
+      walk_expr pattern
+    | Is_null { subject; _ } -> walk_expr subject
+    | Exists q | Scalar_subquery q -> walk_query q
+    | Cast (a, _) -> walk_expr a
+  and walk_ref r =
+    tick ();
+    match r with
+    | Table _ -> ()
+    | Derived { query; _ } -> walk_query query
+    | Join { left; right; cond; _ } -> (
+      walk_ref left;
+      walk_ref right;
+      match cond with On e -> walk_expr e | Using _ | Natural | Cond_none -> ())
+  and walk_body b =
+    match b with
+    | Select s ->
+      tick ();
+      List.iter
+        (function
+          | Proj_expr (e, _) -> walk_expr e
+          | Proj_star | Proj_table_star _ -> tick ())
+        s.projections;
+      List.iter walk_ref s.from;
+      Option.iter walk_expr s.where;
+      List.iter walk_expr s.group_by;
+      Option.iter walk_expr s.having
+    | Union { left; right; _ } | Except { left; right; _ } | Intersect { left; right; _ }
+      ->
+      tick ();
+      walk_body left;
+      walk_body right
+  and walk_query q =
+    List.iter (fun c -> walk_query c.cte_query) q.ctes;
+    walk_body q.body;
+    List.iter (fun (e, _) -> walk_expr e) q.order_by
+  in
+  walk_query q;
+  !count

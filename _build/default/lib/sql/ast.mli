@@ -1,0 +1,139 @@
+(** Abstract syntax for the SQL subset FLEX analyses, shaped after the
+    features real analytics queries use (paper §2): SELECT with joins of
+    every kind, grouping and aggregation, CTEs, derived tables, subquery
+    predicates and set operations. *)
+
+type lit = Null | Bool of bool | Int of int | Float of float | String of string
+
+type col_ref = { table : string option; column : string }
+(** A possibly qualified column reference, e.g. [t.driver_id]. *)
+
+type agg_func = Count | Sum | Avg | Min | Max | Median | Stddev
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Concat
+
+type unop = Not | Neg
+
+type order_dir = Asc | Desc
+
+type join_kind = Inner | Left | Right | Full | Cross
+
+type expr =
+  | Lit of lit
+  | Col of col_ref
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Agg of { func : agg_func; distinct : bool; arg : agg_arg }
+  | Func of string * expr list  (** scalar function application *)
+  | Case of { operand : expr option; branches : (expr * expr) list; else_ : expr option }
+  | In of { subject : expr; negated : bool; set : in_set }
+  | Between of { subject : expr; negated : bool; lo : expr; hi : expr }
+  | Like of { subject : expr; negated : bool; pattern : expr }
+  | Is_null of { subject : expr; negated : bool }
+  | Exists of query
+  | Scalar_subquery of query
+  | Cast of expr * string
+
+and agg_arg = Star | Arg of expr
+
+and in_set = In_list of expr list | In_query of query
+
+and projection =
+  | Proj_star  (** [*] *)
+  | Proj_table_star of string  (** [t.*] *)
+  | Proj_expr of expr * string option  (** expression with optional alias *)
+
+and table_ref =
+  | Table of { name : string; alias : string option }
+  | Derived of { query : query; alias : string }
+  | Join of { kind : join_kind; left : table_ref; right : table_ref; cond : join_cond }
+
+and join_cond = On of expr | Using of string list | Natural | Cond_none
+
+and select = {
+  distinct : bool;
+  projections : projection list;
+  from : table_ref list;  (** comma-separated items are cross joins *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+}
+
+and body =
+  | Select of select
+  | Union of { all : bool; left : body; right : body }
+  | Except of { all : bool; left : body; right : body }
+  | Intersect of { all : bool; left : body; right : body }
+
+and query = {
+  ctes : cte list;
+  body : body;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+  offset : int option;
+}
+
+and cte = { cte_name : string; cte_columns : string list; cte_query : query }
+
+(** {2 Construction helpers} *)
+
+val empty_select : select
+val query_of_body : body -> query
+val query_of_select : select -> query
+val col : ?table:string -> string -> expr
+val count_star : expr
+
+val count_query : ?where:expr -> table_ref list -> query
+(** A [SELECT COUNT( * ) FROM ... WHERE ...] skeleton. *)
+
+val equal_query : query -> query -> bool
+
+(** {2 Names} *)
+
+val agg_func_name : agg_func -> string
+val agg_func_of_name : string -> agg_func option
+val join_kind_name : join_kind -> string
+
+(** {2 Structural traversals} *)
+
+val fold_expr : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+(** Pre-order fold over an expression (not descending into subqueries). *)
+
+val expr_subqueries : expr -> query list
+(** Subqueries syntactically nested in an expression. *)
+
+val conjuncts : expr -> expr list
+(** Flatten an AND tree; used for equijoin extraction. *)
+
+val expr_columns : expr -> col_ref list
+(** Column references (excluding those inside subqueries). *)
+
+val table_refs_of_body : body -> table_ref list
+
+val base_tables_of_ref : table_ref -> string list
+(** Base table names, descending into derived tables. *)
+
+val base_tables_of_query : query -> string list
+
+val joins_of_query : query -> (join_kind * join_cond * table_ref * table_ref) list
+(** Every join node, including inside derived tables and CTEs. *)
+
+val select_aggregates : select -> (agg_func * bool * agg_arg) list
+(** Aggregate applications in the top-level projections. *)
+
+val size_of_query : query -> int
+(** AST node count: the study's query-size statistic. *)

@@ -1,0 +1,146 @@
+(* Query feature extraction mirroring the paper's empirical study (§2):
+   relational operators used, join counts/kinds/conditions, self joins,
+   aggregation functions, statistical vs raw-data classification and the
+   clause-count size statistic. *)
+
+type join_condition_class =
+  | Equijoin (* single column-equality predicate (possibly among other terms) *)
+  | Column_comparison (* two columns compared with a non-equality operator *)
+  | Literal_comparison (* column compared against a literal *)
+  | Compound_expression (* anything else: functions, disjunctions, ... *)
+  | No_condition (* cross join / missing ON *)
+
+type t = {
+  uses_select : bool;
+  join_count : int;
+  join_kinds : (Ast.join_kind * int) list;
+  join_conditions : (join_condition_class * int) list;
+  has_self_join : bool;
+  equijoins_only : bool;
+  uses_union : bool;
+  uses_except : bool;
+  uses_intersect : bool;
+  aggregates : (Ast.agg_func * int) list;
+  is_statistical : bool; (* every output column is an aggregate *)
+  size : int; (* AST node count, study question 7 *)
+  output_columns : int;
+}
+
+let bump assoc key =
+  let rec go = function
+    | [] -> [ (key, 1) ]
+    | (k, n) :: rest -> if k = key then (k, n + 1) :: rest else (k, n) :: go rest
+  in
+  go assoc
+
+(* Is this conjunct a column = column equality between distinct relations?
+   Syntactic check only; the semantic check lives in Flex_core. *)
+let is_equality_conjunct = function
+  | Ast.Binop (Ast.Eq, Ast.Col _, Ast.Col _) -> true
+  | _ -> false
+
+let classify_condition (cond : Ast.join_cond) =
+  match cond with
+  | Ast.Cond_none -> No_condition
+  | Ast.Using _ | Ast.Natural -> Equijoin
+  | Ast.On e -> (
+    let cs = Ast.conjuncts e in
+    if List.exists is_equality_conjunct cs then
+      if List.length cs = 1 then Equijoin
+      else
+        (* equality term plus extra predicates still analyses as an equijoin
+           (paper §3.3, "Join conditions") *)
+        Equijoin
+    else
+      match cs with
+      | [ Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Neq), Ast.Col _, Ast.Col _) ]
+        ->
+        Column_comparison
+      | [ Ast.Binop (_, Ast.Col _, Ast.Lit _) ] | [ Ast.Binop (_, Ast.Lit _, Ast.Col _) ]
+        ->
+        Literal_comparison
+      | _ -> Compound_expression)
+
+(* Self join: some base table contributes rows to both sides (Fig 1d,
+   approximated syntactically from table names). *)
+let is_self_join left right =
+  let module S = Set.Make (String) in
+  let l = S.of_list (Ast.base_tables_of_ref left) in
+  let r = S.of_list (Ast.base_tables_of_ref right) in
+  not (S.is_empty (S.inter l r))
+
+let rec body_set_ops (b : Ast.body) =
+  match b with
+  | Ast.Select _ -> (false, false, false)
+  | Ast.Union { left; right; _ } ->
+    let u1, e1, i1 = body_set_ops left and u2, e2, i2 = body_set_ops right in
+    (true || u1 || u2, e1 || e2, i1 || i2)
+  | Ast.Except { left; right; _ } ->
+    let u1, e1, i1 = body_set_ops left and u2, e2, i2 = body_set_ops right in
+    (u1 || u2, true || e1 || e2, i1 || i2)
+  | Ast.Intersect { left; right; _ } ->
+    let u1, e1, i1 = body_set_ops left and u2, e2, i2 = body_set_ops right in
+    (u1 || u2, e1 || e2, true || i1 || i2)
+
+let rec first_select (b : Ast.body) =
+  match b with
+  | Ast.Select s -> s
+  | Ast.Union { left; _ } | Ast.Except { left; _ } | Ast.Intersect { left; _ } ->
+    first_select left
+
+(* A projection is "statistical" when it is an aggregate application or an
+   expression over aggregates / group keys only. We use the conservative
+   syntactic test from the study: a query is statistical when every projected
+   expression contains an aggregate or is a group-by key. *)
+let is_statistical_select (s : Ast.select) =
+  let has_agg e =
+    Ast.fold_expr (fun acc e -> acc || match e with Ast.Agg _ -> true | _ -> false) false e
+  in
+  let group_keys = s.group_by in
+  let is_group_key e = List.mem e group_keys in
+  s.projections <> []
+  && List.for_all
+       (function
+         | Ast.Proj_star | Ast.Proj_table_star _ -> false
+         | Ast.Proj_expr (e, _) -> has_agg e || is_group_key e)
+       s.projections
+
+let analyze (q : Ast.query) =
+  let joins = Ast.joins_of_query q in
+  let join_count = List.length joins in
+  let join_kinds =
+    List.fold_left (fun acc (kind, _, _, _) -> bump acc kind) [] joins
+  in
+  let join_conditions =
+    List.fold_left (fun acc (_, cond, _, _) -> bump acc (classify_condition cond)) [] joins
+  in
+  let has_self_join =
+    List.exists (fun (_, _, left, right) -> is_self_join left right) joins
+  in
+  let equijoins_only =
+    join_count > 0
+    && List.for_all (fun (_, cond, _, _) -> classify_condition cond = Equijoin) joins
+  in
+  let uses_union, uses_except, uses_intersect = body_set_ops q.body in
+  let s = first_select q.body in
+  let aggregates =
+    List.fold_left (fun acc (f, _, _) -> bump acc f) [] (Ast.select_aggregates s)
+  in
+  {
+    uses_select = true;
+    join_count;
+    join_kinds;
+    join_conditions;
+    has_self_join;
+    equijoins_only;
+    uses_union;
+    uses_except;
+    uses_intersect;
+    aggregates;
+    is_statistical = is_statistical_select s;
+    size = Ast.size_of_query q;
+    output_columns = List.length s.projections;
+  }
+
+let analyze_sql src =
+  match Parser.parse src with Ok q -> Ok (analyze q) | Error e -> Error e

@@ -1,0 +1,31 @@
+(** Query feature extraction mirroring the paper's empirical study (§2):
+    operator usage, join counts and classifications, aggregation functions,
+    statistical-vs-raw classification and a clause-count size metric. *)
+
+type join_condition_class =
+  | Equijoin  (** has a column-equality conjunct (paper §3.3 treatment) *)
+  | Column_comparison  (** two columns under a non-equality operator *)
+  | Literal_comparison  (** column compared against a literal *)
+  | Compound_expression  (** disjunctions, function applications, ... *)
+  | No_condition  (** cross join / missing ON *)
+
+type t = {
+  uses_select : bool;
+  join_count : int;  (** joins anywhere in the query, including subqueries *)
+  join_kinds : (Ast.join_kind * int) list;
+  join_conditions : (join_condition_class * int) list;
+  has_self_join : bool;  (** some base table feeds both sides of a join *)
+  equijoins_only : bool;  (** has joins and all of them are equijoins *)
+  uses_union : bool;
+  uses_except : bool;
+  uses_intersect : bool;
+  aggregates : (Ast.agg_func * int) list;  (** top-level aggregate uses *)
+  is_statistical : bool;  (** every output column is an aggregate or group key *)
+  size : int;  (** AST node count (study question 7) *)
+  output_columns : int;
+}
+
+val classify_condition : Ast.join_cond -> join_condition_class
+val is_self_join : Ast.table_ref -> Ast.table_ref -> bool
+val analyze : Ast.query -> t
+val analyze_sql : string -> (t, string) result

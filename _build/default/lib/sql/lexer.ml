@@ -1,0 +1,205 @@
+(* Hand-written SQL lexer: case-insensitive keywords, '--' and block comments,
+   'single-quoted' strings with doubled-quote escapes, "double-quoted" and
+   `backtick` identifiers, and the usual operators. *)
+
+exception Error of { message : string; line : int; col : int }
+
+let error ~line ~col fmt = Fmt.kstr (fun message -> raise (Error { message; line; col })) fmt
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    let start_line = st.line and start_col = st.col in
+    advance st;
+    advance st;
+    let rec to_close () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> error ~line:start_line ~col:start_col "unterminated block comment"
+      | Some _, _ ->
+        advance st;
+        to_close ()
+    in
+    to_close ();
+    skip_trivia st
+  | _ -> ()
+
+let lex_word st =
+  let start = st.pos in
+  while match peek st with Some c when is_ident_char c -> true | _ -> false do
+    advance st
+  done;
+  let word = String.sub st.src start (st.pos - start) in
+  let upper = String.uppercase_ascii word in
+  if Token.is_keyword upper then Token.KW upper
+  else Token.IDENT (String.lowercase_ascii word)
+
+let lex_number st =
+  let start = st.pos in
+  let start_line = st.line and start_col = st.col in
+  while match peek st with Some c when is_digit c -> true | _ -> false do
+    advance st
+  done;
+  let is_float = ref false in
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+    is_float := true;
+    advance st;
+    while match peek st with Some c when is_digit c -> true | _ -> false do
+      advance st
+    done
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') -> (
+    let after_e =
+      match peek2 st with
+      | Some ('+' | '-') ->
+        if st.pos + 2 < String.length st.src then Some st.src.[st.pos + 2] else None
+      | other -> other
+    in
+    match after_e with
+    | Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      while match peek st with Some c when is_digit c -> true | _ -> false do
+        advance st
+      done
+    | _ -> ())
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then Token.FLOAT_LIT (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Token.INT_LIT i
+    | None -> error ~line:start_line ~col:start_col "integer literal out of range: %s" text
+
+let lex_string st =
+  let start_line = st.line and start_col = st.col in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error ~line:start_line ~col:start_col "unterminated string literal"
+    | Some '\'' ->
+      if peek2 st = Some '\'' then begin
+        Buffer.add_char buf '\'';
+        advance st;
+        advance st;
+        go ()
+      end
+      else advance st
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Token.STRING_LIT (Buffer.contents buf)
+
+let lex_quoted_ident st close =
+  let start_line = st.line and start_col = st.col in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error ~line:start_line ~col:start_col "unterminated quoted identifier"
+    | Some c when c = close -> advance st
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Token.QIDENT (Buffer.contents buf)
+
+let next_token st : Token.spanned =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let simple tok =
+    advance st;
+    { Token.tok; line; col }
+  in
+  let simple2 tok =
+    advance st;
+    advance st;
+    { Token.tok; line; col }
+  in
+  match peek st with
+  | None -> { Token.tok = EOF; line; col }
+  | Some c when is_ident_start c -> { Token.tok = lex_word st; line; col }
+  | Some c when is_digit c -> { Token.tok = lex_number st; line; col }
+  | Some '\'' -> { Token.tok = lex_string st; line; col }
+  | Some '"' -> { Token.tok = lex_quoted_ident st '"'; line; col }
+  | Some '`' -> { Token.tok = lex_quoted_ident st '`'; line; col }
+  | Some '(' -> simple LPAREN
+  | Some ')' -> simple RPAREN
+  | Some ',' -> simple COMMA
+  | Some '.' -> simple DOT
+  | Some ';' -> simple SEMI
+  | Some '*' -> simple STAR
+  | Some '+' -> simple PLUS
+  | Some '-' -> simple MINUS
+  | Some '/' -> simple SLASH
+  | Some '%' -> simple PERCENT
+  | Some '=' -> simple EQ
+  | Some '<' -> (
+    match peek2 st with
+    | Some '=' -> simple2 LE
+    | Some '>' -> simple2 NEQ
+    | _ -> simple LT)
+  | Some '>' -> ( match peek2 st with Some '=' -> simple2 GE | _ -> simple GT)
+  | Some '!' -> (
+    match peek2 st with
+    | Some '=' -> simple2 NEQ
+    | _ -> error ~line ~col "unexpected character '!'")
+  | Some '|' -> (
+    match peek2 st with
+    | Some '|' -> simple2 CONCAT_OP
+    | _ -> error ~line ~col "unexpected character '|'")
+  | Some c -> error ~line ~col "unexpected character %C" c
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token st in
+    match t.tok with Token.EOF -> List.rev (t :: acc) | _ -> go (t :: acc)
+  in
+  Array.of_list (go [])

@@ -1,0 +1,12 @@
+(** Hand-written SQL lexer: case-insensitive keywords, [--] line and
+    [/* ... */] block comments, ['single-quoted'] strings with doubled-quote
+    escapes, quoted identifiers, numbers with exponents. *)
+
+exception Error of { message : string; line : int; col : int }
+
+val tokenize : string -> Token.spanned array
+(** Tokenise a whole query; the last element is always {!Token.EOF}.
+    Raises {!Error} on malformed input. *)
+
+val is_ident_start : char -> bool
+val is_ident_char : char -> bool

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the SQL subset of {!Ast}: SELECT cores with
+    joins of every kind, WHERE/GROUP BY/HAVING, set operations with standard
+    precedence (INTERSECT binds tighter), CTEs, derived tables, subquery
+    predicates, CASE/IN/BETWEEN/LIKE/CAST, and ORDER BY/LIMIT/OFFSET. *)
+
+exception Error of { message : string; line : int; col : int }
+
+val parse : string -> (Ast.query, string) result
+(** Parse one statement (an optional trailing [;] is accepted). The error
+    string includes the source position. *)
+
+val parse_exn : string -> Ast.query
+(** @raise Error on malformed input. *)
+
+val parse_expr_exn : string -> Ast.expr
+(** Parse a standalone scalar expression (used by tests and tools). *)

@@ -1,0 +1,14 @@
+(** Render an AST back to SQL text. Binary expressions are fully
+    parenthesised, so for every query [q], [parse (to_string q) = Ok q]
+    (property-tested). *)
+
+val to_string : Ast.query -> string
+val query : Ast.query -> string
+val body : Ast.body -> string
+val select : Ast.select -> string
+val table_ref : Ast.table_ref -> string
+val expr : Ast.expr -> string
+val projection : Ast.projection -> string
+
+val ident : string -> string
+(** Quote an identifier when needed (reserved word, mixed case, symbols). *)

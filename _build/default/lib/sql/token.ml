@@ -1,0 +1,73 @@
+type t =
+  | IDENT of string (* unquoted identifier, normalised to lowercase *)
+  | QIDENT of string (* "quoted" or `quoted` identifier, case preserved *)
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | STRING_LIT of string
+  | KW of string (* reserved keyword, uppercased *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | CONCAT_OP (* || *)
+  | EOF
+
+type spanned = { tok : t; line : int; col : int }
+
+(* Words with grammatical meaning; everything else (including aggregate
+   function names) lexes as IDENT so it can still be used as a column name. *)
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER"; "LIMIT"; "OFFSET";
+    "AS"; "ON"; "USING"; "JOIN"; "INNER"; "LEFT"; "RIGHT"; "FULL"; "OUTER"; "CROSS";
+    "NATURAL"; "AND"; "OR"; "NOT"; "NULL"; "TRUE"; "FALSE"; "DISTINCT"; "ALL";
+    "UNION"; "EXCEPT"; "MINUS"; "INTERSECT"; "WITH"; "CASE"; "WHEN"; "THEN"; "ELSE";
+    "END"; "IN"; "BETWEEN"; "LIKE"; "IS"; "EXISTS"; "CAST"; "ASC"; "DESC";
+  ]
+
+let keyword_set =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace tbl k ()) keywords;
+  tbl
+
+let is_keyword upper = Hashtbl.mem keyword_set upper
+
+let pp ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | QIDENT s -> Fmt.pf ppf "quoted identifier %S" s
+  | INT_LIT i -> Fmt.pf ppf "integer %d" i
+  | FLOAT_LIT f -> Fmt.pf ppf "float %g" f
+  | STRING_LIT s -> Fmt.pf ppf "string %S" s
+  | KW k -> Fmt.pf ppf "keyword %s" k
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | COMMA -> Fmt.string ppf "','"
+  | DOT -> Fmt.string ppf "'.'"
+  | SEMI -> Fmt.string ppf "';'"
+  | STAR -> Fmt.string ppf "'*'"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | SLASH -> Fmt.string ppf "'/'"
+  | PERCENT -> Fmt.string ppf "'%'"
+  | EQ -> Fmt.string ppf "'='"
+  | NEQ -> Fmt.string ppf "'<>'"
+  | LT -> Fmt.string ppf "'<'"
+  | LE -> Fmt.string ppf "'<='"
+  | GT -> Fmt.string ppf "'>'"
+  | GE -> Fmt.string ppf "'>='"
+  | CONCAT_OP -> Fmt.string ppf "'||'"
+  | EOF -> Fmt.string ppf "end of input"
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,40 @@
+(** Lexical tokens of the SQL subset. *)
+
+type t =
+  | IDENT of string  (** unquoted identifier, normalised to lowercase *)
+  | QIDENT of string  (** ["quoted"] or [`backtick`] identifier, case preserved *)
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | STRING_LIT of string
+  | KW of string  (** reserved keyword, uppercased *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | CONCAT_OP  (** [||] *)
+  | EOF
+
+type spanned = { tok : t; line : int; col : int }
+(** A token with its source position (1-based). *)
+
+val keywords : string list
+(** The reserved words; everything else (including aggregate function names)
+    lexes as {!IDENT}. *)
+
+val is_keyword : string -> bool
+(** [is_keyword s] for uppercased [s]. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/workload/corpus.ml: Array Buffer Char Datagen Flex_dp Flex_sql Float Fmt List String

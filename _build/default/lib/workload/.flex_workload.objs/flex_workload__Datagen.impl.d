@@ -1,0 +1,1 @@
+lib/workload/datagen.ml: Array Flex_dp Flex_engine Fmt List

@@ -1,0 +1,1 @@
+lib/workload/datagen.mli: Flex_dp Flex_engine

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Array Flex_core Flex_dp Flex_engine Float List Option Qgen Representative Tpch

@@ -1,0 +1,1 @@
+lib/workload/experiments.mli: Flex_core Flex_dp Flex_engine Qgen Representative Tpch

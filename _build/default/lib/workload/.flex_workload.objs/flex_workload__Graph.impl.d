@@ -1,0 +1,1 @@
+lib/workload/graph.ml: Flex_dp Flex_engine Hashtbl Option

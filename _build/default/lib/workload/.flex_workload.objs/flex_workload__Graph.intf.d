@@ -1,0 +1,1 @@
+lib/workload/graph.mli: Flex_dp Flex_engine

@@ -1,0 +1,1 @@
+lib/workload/qgen.ml: Datagen Flex_dp Fmt List String

@@ -1,0 +1,1 @@
+lib/workload/qgen.mli: Flex_dp

@@ -1,0 +1,1 @@
+lib/workload/representative.ml: Array Flex_baselines Flex_dp Flex_engine Float Fmt List Uber

@@ -1,0 +1,1 @@
+lib/workload/representative.mli: Flex_dp Flex_engine

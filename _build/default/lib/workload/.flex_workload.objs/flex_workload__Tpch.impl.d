@@ -1,0 +1,1 @@
+lib/workload/tpch.ml: Array Datagen Flex_dp Flex_engine Float Fmt List

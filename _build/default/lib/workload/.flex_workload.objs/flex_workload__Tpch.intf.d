@@ -1,0 +1,1 @@
+lib/workload/tpch.mli: Flex_dp Flex_engine

@@ -1,0 +1,1 @@
+lib/workload/uber.ml: Array Datagen Flex_dp Flex_engine Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/workload/uber.mli: Flex_dp Flex_engine

@@ -1,0 +1,312 @@
+module Rng = Flex_dp.Rng
+module Features = Flex_sql.Features
+module Ast = Flex_sql.Ast
+
+(* Reproduction of the §2 empirical study. The paper's 8.1M production
+   queries are proprietary, so we *sample* a synthetic corpus from the
+   marginal distributions the paper publishes (study questions 1-8) and then
+   re-measure the corpus with our own parser + feature extractor. The
+   measurement pipeline is therefore fully exercised and the regenerated
+   charts should match the sampled (i.e. published) marginals. *)
+
+type backend = Vertica | Postgres | Mysql | Hive | Presto | Other_backend
+
+let backend_name = function
+  | Vertica -> "Vertica"
+  | Postgres -> "Postgres"
+  | Mysql -> "MySQL"
+  | Hive -> "Hive"
+  | Presto -> "Presto"
+  | Other_backend -> "Other"
+
+(* Paper, study question 1. *)
+let backend_weights =
+  [
+    (Vertica, 6_362_631.0); (Postgres, 1_494_680.0); (Mysql, 94_206.0);
+    (Hive, 81_660.0); (Presto, 39_521.0); (Other_backend, 29_387.0);
+  ]
+
+type qdesc = {
+  backend : backend;
+  sql : string;
+  rows_out : int; (* result-size metadata (study question 8) *)
+  cols_out : int;
+}
+
+let table_names =
+  [| "trips"; "orders"; "users"; "sessions"; "payments"; "drivers"; "events";
+     "devices"; "invoices"; "accounts" |]
+
+let sample_backend rng =
+  Datagen.pick_weighted rng
+    (List.map (fun (b, w) -> (b, w)) backend_weights)
+
+(* Join-count distribution shaped after study question 3: mostly small, a
+   long tail reaching the paper's maximum of 95. *)
+let sample_join_count rng =
+  let u = Rng.float rng 1.0 in
+  if u < 0.45 then 1
+  else if u < 0.68 then 2
+  else if u < 0.80 then 3
+  else if u < 0.88 then 4
+  else if u < 0.95 then 5 + Rng.int rng 6 (* 5..10 *)
+  else if u < 0.995 then 11 + Rng.int rng 23 (* 11..33 *)
+  else 34 + Rng.int rng 62 (* 34..95 *)
+
+type cond_class = Equi | Compound | Colcmp | Litcmp
+
+let sample_cond rng =
+  Datagen.pick_weighted rng
+    [ (Equi, 0.76); (Compound, 0.19); (Colcmp, 0.03); (Litcmp, 0.02) ]
+
+type jkind = Jinner | Jleft | Jcross | Jright
+
+let sample_kind rng =
+  Datagen.pick_weighted rng
+    [ (Jinner, 0.69); (Jleft, 0.29); (Jcross, 0.01); (Jright, 0.01) ]
+
+(* Aggregation-function shares, study question 6. *)
+let sample_agg rng =
+  Datagen.pick_weighted rng
+    [
+      ("COUNT", 0.51); ("SUM", 0.29); ("AVG", 0.084); ("MAX", 0.059);
+      ("MIN", 0.049); ("MEDIAN", 0.003); ("STDDEV", 0.001);
+    ]
+
+let agg_sql rng name alias_pool =
+  let a = Datagen.pick rng alias_pool in
+  match name with
+  | "COUNT" -> if Rng.bernoulli rng 0.7 then "COUNT(*)" else Fmt.str "COUNT(%s.c1)" a
+  | f -> Fmt.str "%s(%s.c%d)" f a (1 + Rng.int rng 4)
+
+(* Log-uniform-ish result sizes (study question 8). *)
+let sample_rows_out rng =
+  int_of_float (Float.pow 10.0 (Rng.float rng 6.5))
+
+let sample_cols_out rng ~statistical =
+  if statistical then 1 + Rng.int rng 6
+  else int_of_float (Float.pow 10.0 (Rng.float rng 2.4)) + 1
+
+let synthesize_query rng =
+  let statistical = Rng.bernoulli rng 0.34 in
+  let has_join = Rng.bernoulli rng 0.621 in
+  let n_joins = if has_join then sample_join_count rng else 0 in
+  (* cap the SQL we actually synthesise; the tail still reports its join
+     count through the generated text *)
+  let self_join = has_join && Rng.bernoulli rng 0.28 in
+  let base = Datagen.pick rng (Array.to_list table_names) in
+  let aliases = ref [ "a0" ] in
+  let buf = Buffer.create 256 in
+  let joins_built = min n_joins 95 in
+  let from = Buffer.create 128 in
+  Buffer.add_string from (Fmt.str "%s a0" base);
+  for j = 1 to joins_built do
+    let alias = Fmt.str "a%d" j in
+    let tbl =
+      if self_join && j = 1 then base else Datagen.pick rng (Array.to_list table_names)
+    in
+    let prev = Fmt.str "a%d" (j - 1) in
+    (match sample_kind rng with
+    | Jcross -> Buffer.add_string from (Fmt.str " CROSS JOIN %s %s" tbl alias)
+    | kind ->
+      let kw =
+        match kind with
+        | Jinner -> "JOIN"
+        | Jleft -> "LEFT JOIN"
+        | Jright -> "RIGHT JOIN"
+        | Jcross -> assert false
+      in
+      let cond =
+        match sample_cond rng with
+        | Equi ->
+          let extra =
+            if Rng.bernoulli rng 0.3 then Fmt.str " AND %s.c2 > %d" alias (Rng.int rng 100)
+            else ""
+          in
+          Fmt.str "%s.key = %s.key%s" prev alias extra
+        | Compound ->
+          Fmt.str "(%s.c1 = %s.c1 OR lower(%s.c2) = '%c')" prev alias alias
+            (Char.chr (97 + Rng.int rng 26))
+        | Colcmp -> Fmt.str "%s.c1 > %s.c2" prev alias
+        | Litcmp -> Fmt.str "%s.c1 = %d" alias (Rng.int rng 1000)
+      in
+      Buffer.add_string from (Fmt.str " %s %s %s ON %s" kw tbl alias cond));
+    aliases := alias :: !aliases
+  done;
+  let alias_pool = !aliases in
+  let projections =
+    if statistical then begin
+      let n_keys = Rng.int rng 3 in
+      let keys =
+        List.init n_keys (fun i ->
+            Fmt.str "%s.c%d" (Datagen.pick rng alias_pool) (5 + i))
+      in
+      let n_aggs = 1 + Rng.int rng 3 in
+      let aggs = List.init n_aggs (fun _ -> agg_sql rng (sample_agg rng) alias_pool) in
+      (keys @ aggs, keys)
+    end
+    else begin
+      let n_cols = 1 + Rng.int rng 8 in
+      ( List.init n_cols (fun i ->
+            Fmt.str "%s.c%d" (Datagen.pick rng alias_pool) (1 + (i mod 8))),
+        [] )
+    end
+  in
+  let cols, group_keys = projections in
+  Buffer.add_string buf (Fmt.str "SELECT %s FROM %s" (String.concat ", " cols) (Buffer.contents from));
+  if Rng.bernoulli rng 0.6 then
+    Buffer.add_string buf
+      (Fmt.str " WHERE a0.c1 >= %d AND a0.c8 = '%c'" (Rng.int rng 50)
+         (Char.chr (97 + Rng.int rng 26)));
+  if group_keys <> [] then
+    Buffer.add_string buf (" GROUP BY " ^ String.concat ", " group_keys);
+  (* rare set operations, study question 2 *)
+  let u = Rng.float rng 1.0 in
+  let sql = Buffer.contents buf in
+  let sql =
+    if u < 0.0057 then sql ^ " UNION ALL " ^ sql
+    else if u < 0.0063 then sql ^ " EXCEPT " ^ sql
+    else if u < 0.0066 then sql ^ " INTERSECT " ^ sql
+    else sql
+  in
+  (sql, statistical)
+
+let generate rng n =
+  List.init n (fun _ ->
+      let sql, statistical = synthesize_query rng in
+      {
+        backend = sample_backend rng;
+        sql;
+        rows_out = sample_rows_out rng;
+        cols_out = sample_cols_out rng ~statistical;
+      })
+
+(* --- measured statistics (the regenerated study) ----------------------------- *)
+
+type stats = {
+  total : int;
+  parse_failures : int;
+  backends : (string * int) list;
+  join_queries : int; (* queries using >= 1 join *)
+  union_queries : int;
+  except_queries : int;
+  intersect_queries : int;
+  joins_per_query : (int * int) list; (* join count -> #queries, ascending *)
+  join_kinds : (string * int) list;
+  join_conditions : (string * int) list;
+  self_join_queries : int;
+  equijoin_only_queries : int;
+  statistical_queries : int;
+  aggregate_uses : (string * int) list;
+  size_buckets : (string * int) list;
+  rows_buckets : (string * int) list;
+  cols_buckets : (string * int) list;
+}
+
+let bucketize edges label_of value =
+  let rec go = function
+    | [] -> label_of None
+    | e :: rest -> if value <= e then label_of (Some e) else go rest
+  in
+  go edges
+
+let bump assoc key =
+  let rec go = function
+    | [] -> [ (key, 1) ]
+    | (k, n) :: rest -> if k = key then (k, n + 1) :: rest else (k, n) :: go rest
+  in
+  go assoc
+
+let cond_class_name = function
+  | Features.Equijoin -> "equijoin"
+  | Features.Column_comparison -> "column comparison"
+  | Features.Literal_comparison -> "literal comparison"
+  | Features.Compound_expression -> "compound expression"
+  | Features.No_condition -> "no condition"
+
+let kind_name = function
+  | Ast.Inner -> "inner"
+  | Ast.Left -> "left"
+  | Ast.Right -> "right"
+  | Ast.Full -> "full"
+  | Ast.Cross -> "cross"
+
+let stats (corpus : qdesc list) : stats =
+  let total = List.length corpus in
+  let parse_failures = ref 0 in
+  let backends = ref [] in
+  let join_queries = ref 0 and union_q = ref 0 and except_q = ref 0 and intersect_q = ref 0 in
+  let joins_per_query = ref [] in
+  let join_kinds = ref [] and join_conditions = ref [] in
+  let self_joins = ref 0 and equionly = ref 0 and statistical = ref 0 in
+  let agg_uses = ref [] in
+  let size_buckets = ref [] and rows_buckets = ref [] and cols_buckets = ref [] in
+  let size_label = function
+    | Some e -> Fmt.str "<=%d" e
+    | None -> ">1000"
+  in
+  let count_label = function
+    | Some e -> Fmt.str "<=%d" e
+    | None -> ">1000000"
+  in
+  List.iter
+    (fun q ->
+      backends := bump !backends (backend_name q.backend);
+      rows_buckets :=
+        bump !rows_buckets (bucketize [ 5; 60; 200; 500; 10_000; 1_000_000 ] count_label q.rows_out);
+      cols_buckets :=
+        bump !cols_buckets (bucketize [ 3; 20; 60; 100; 300; 1_000_000 ] count_label q.cols_out);
+      match Features.analyze_sql q.sql with
+      | Error _ -> incr parse_failures
+      | Ok f ->
+        if f.join_count > 0 then incr join_queries;
+        if f.uses_union then incr union_q;
+        if f.uses_except then incr except_q;
+        if f.uses_intersect then incr intersect_q;
+        joins_per_query := bump !joins_per_query f.join_count;
+        List.iter
+          (fun (k, n) ->
+            let name = kind_name k in
+            for _ = 1 to n do
+              join_kinds := bump !join_kinds name
+            done)
+          f.join_kinds;
+        List.iter
+          (fun (c, n) ->
+            let name = cond_class_name c in
+            for _ = 1 to n do
+              join_conditions := bump !join_conditions name
+            done)
+          f.join_conditions;
+        if f.has_self_join then incr self_joins;
+        if f.equijoins_only then incr equionly;
+        if f.is_statistical then incr statistical;
+        List.iter
+          (fun (a, n) ->
+            let name = String.uppercase_ascii (Ast.agg_func_name a) in
+            for _ = 1 to n do
+              agg_uses := bump !agg_uses name
+            done)
+          f.aggregates;
+        size_buckets :=
+          bump !size_buckets (bucketize [ 4; 30; 70; 150; 350; 1000 ] size_label f.size))
+    corpus;
+  {
+    total;
+    parse_failures = !parse_failures;
+    backends = List.sort (fun (_, a) (_, b) -> compare b a) !backends;
+    join_queries = !join_queries;
+    union_queries = !union_q;
+    except_queries = !except_q;
+    intersect_queries = !intersect_q;
+    joins_per_query = List.sort compare !joins_per_query;
+    join_kinds = List.sort (fun (_, a) (_, b) -> compare b a) !join_kinds;
+    join_conditions = List.sort (fun (_, a) (_, b) -> compare b a) !join_conditions;
+    self_join_queries = !self_joins;
+    equijoin_only_queries = !equionly;
+    statistical_queries = !statistical;
+    aggregate_uses = List.sort (fun (_, a) (_, b) -> compare b a) !agg_uses;
+    size_buckets = !size_buckets;
+    rows_buckets = !rows_buckets;
+    cols_buckets = !cols_buckets;
+  }

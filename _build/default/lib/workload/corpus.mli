@@ -1,0 +1,42 @@
+module Rng = Flex_dp.Rng
+
+(** Reproduction of the §2 empirical study: the paper's 8.1M production
+    queries are proprietary, so a synthetic corpus is *sampled from the
+    published marginal distributions* (study questions 1-8) and then
+    re-measured with our parser + feature extractor. *)
+
+type backend = Vertica | Postgres | Mysql | Hive | Presto | Other_backend
+
+val backend_name : backend -> string
+
+type qdesc = {
+  backend : backend;
+  sql : string;
+  rows_out : int;  (** result-size metadata (study question 8) *)
+  cols_out : int;
+}
+
+val generate : Rng.t -> int -> qdesc list
+
+(** Statistics measured from a corpus (regenerating the study's charts). *)
+type stats = {
+  total : int;
+  parse_failures : int;
+  backends : (string * int) list;
+  join_queries : int;
+  union_queries : int;
+  except_queries : int;
+  intersect_queries : int;
+  joins_per_query : (int * int) list;  (** join count -> #queries *)
+  join_kinds : (string * int) list;
+  join_conditions : (string * int) list;
+  self_join_queries : int;
+  equijoin_only_queries : int;
+  statistical_queries : int;
+  aggregate_uses : (string * int) list;
+  size_buckets : (string * int) list;
+  rows_buckets : (string * int) list;
+  cols_buckets : (string * int) list;
+}
+
+val stats : qdesc list -> stats

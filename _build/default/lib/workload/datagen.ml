@@ -1,0 +1,26 @@
+module Value = Flex_engine.Value
+module Rng = Flex_dp.Rng
+
+(* Shared helpers for synthetic data generation. *)
+
+let day_of_2016 d =
+  (* day index 0..365 -> ISO date string in 2016 (a leap year) *)
+  let months = [| 31; 29; 31; 30; 31; 30; 31; 31; 30; 31; 30; 31 |] in
+  let rec go m d = if d < months.(m) then (m + 1, d + 1) else go (m + 1) (d - months.(m)) in
+  let m, dd = go 0 (max 0 (min 365 d)) in
+  Fmt.str "2016-%02d-%02d" m dd
+
+let random_date_2016 rng = day_of_2016 (Rng.int rng 366)
+
+let random_date_range rng ~from_day ~to_day =
+  day_of_2016 (from_day + Rng.int rng (max 1 (to_day - from_day)))
+
+let vint i = Value.Int i
+let vstr s = Value.String s
+let vfloat f = Value.Float f
+
+let pick rng choices = Rng.choose rng (Array.of_list choices)
+
+let pick_weighted rng choices =
+  let weights = Array.of_list (List.map snd choices) in
+  fst (List.nth choices (Rng.weighted_index rng weights))

@@ -1,0 +1,17 @@
+module Value = Flex_engine.Value
+module Rng = Flex_dp.Rng
+
+(** Shared helpers for synthetic data generation. *)
+
+val day_of_2016 : int -> string
+(** Day index 0..365 to an ISO date in 2016 (a leap year). *)
+
+val random_date_2016 : Rng.t -> string
+val random_date_range : Rng.t -> from_day:int -> to_day:int -> string
+val vint : int -> Value.t
+val vstr : string -> Value.t
+val vfloat : float -> Value.t
+val pick : Rng.t -> 'a list -> 'a
+
+val pick_weighted : Rng.t -> ('a * float) list -> 'a
+(** Sample proportionally to the weights. *)

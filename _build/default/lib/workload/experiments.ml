@@ -1,0 +1,215 @@
+module Value = Flex_engine.Value
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Executor = Flex_engine.Executor
+module Rng = Flex_dp.Rng
+module Flex = Flex_core.Flex
+module Errors = Flex_core.Errors
+
+(* Shared drivers for the paper's evaluation experiments (§5): population
+   sizes, median relative errors, error-bin histograms, and the FLEX vs
+   wPINQ comparison. *)
+
+(* Population size of a query (§5.2): the number of distinct primary-entity
+   rows used to compute it, obtained by running the query's population
+   companion. *)
+let population_of db sql =
+  match Executor.run_sql db sql with
+  | Ok { rows = [ [| v |] ]; _ } -> Option.value ~default:0 (Value.to_int v)
+  | Ok _ -> 0
+  | Error _ -> 0
+
+(* Median of a float list; None when empty. *)
+let median = function
+  | [] -> None
+  | xs ->
+    let a = Array.of_list (List.sort compare xs) in
+    let n = Array.length a in
+    Some (if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0)
+
+(* Median relative error of a query over [runs] independent releases. *)
+let flex_median_error ~runs ~rng ~options ~db ~metrics sql :
+    (float, Errors.reason) result =
+  let rec go i acc =
+    if i >= runs then Ok acc
+    else
+      match Flex.run_sql ~rng ~options ~db ~metrics sql with
+      | Error r -> Error r
+      | Ok release -> (
+        match Flex.median_relative_error release with
+        | Some e -> go (i + 1) (e :: acc)
+        | None -> go (i + 1) acc)
+  in
+  match go 0 [] with
+  | Error r -> Error r
+  | Ok errors -> (
+    match median errors with
+    | Some m -> Ok m
+    | None -> Error (Errors.Analysis_error "query produced no aggregate cells"))
+
+type measurement = {
+  query : Qgen.t;
+  population : int;
+  median_error : float; (* percent; may be infinite *)
+}
+
+type workload_outcome = {
+  measurements : measurement list;
+  rejected : (Qgen.t * Errors.reason) list;
+}
+
+let run_workload ?(runs = 3) ~rng ~options ~db ~metrics (queries : Qgen.t list) :
+    workload_outcome =
+  let measurements = ref [] and rejected = ref [] in
+  List.iter
+    (fun (q : Qgen.t) ->
+      match flex_median_error ~runs ~rng ~options ~db ~metrics q.sql with
+      | Error r -> rejected := (q, r) :: !rejected
+      | Ok median_error ->
+        let population = population_of db q.population_sql in
+        measurements := { query = q; population; median_error } :: !measurements)
+    queries;
+  { measurements = List.rev !measurements; rejected = List.rev !rejected }
+
+(* --- error-bin histograms (Figures 6 and 7) ------------------------------- *)
+
+let error_bin_labels = [ "<1%"; "1-5%"; "5-10%"; "10-25%"; "25-100%"; "More" ]
+
+let error_bin e =
+  if e < 1.0 then "<1%"
+  else if e < 5.0 then "1-5%"
+  else if e < 10.0 then "5-10%"
+  else if e < 25.0 then "10-25%"
+  else if e <= 100.0 then "25-100%"
+  else "More"
+
+let error_bins (errors : float list) : (string * float) list =
+  let total = float_of_int (List.length errors) in
+  List.map
+    (fun label ->
+      let n = List.length (List.filter (fun e -> error_bin e = label) errors) in
+      (label, if total = 0.0 then 0.0 else 100.0 *. float_of_int n /. total))
+    error_bin_labels
+
+(* Population-size buckets (Figure 3). *)
+let population_bucket_labels = [ "<100"; "100-1K"; "1K-10K"; ">10K" ]
+
+let population_bucket n =
+  if n < 100 then "<100" else if n < 1000 then "100-1K" else if n < 10_000 then "1K-10K" else ">10K"
+
+let population_buckets (pops : int list) : (string * int) list =
+  List.map
+    (fun label ->
+      (label, List.length (List.filter (fun p -> population_bucket p = label) pops)))
+    population_bucket_labels
+
+(* --- Table 4: categorising high-error queries ------------------------------- *)
+
+let high_error_categories (outcome : workload_outcome) ~threshold =
+  let high =
+    List.filter (fun m -> m.median_error > threshold) outcome.measurements
+  in
+  let total = float_of_int (List.length high) in
+  let share cat =
+    let n =
+      List.length (List.filter (fun m -> m.query.Qgen.category = cat) high)
+    in
+    if total = 0.0 then 0.0 else 100.0 *. float_of_int n /. total
+  in
+  ( List.length high,
+    [
+      (Qgen.category_name Qgen.Individual_filter, share Qgen.Individual_filter);
+      (Qgen.category_name Qgen.Low_population, share Qgen.Low_population);
+      (Qgen.category_name Qgen.Many_to_many, share Qgen.Many_to_many);
+      (Qgen.category_name Qgen.Normal, share Qgen.Normal);
+    ] )
+
+(* --- Table 5: FLEX vs wPINQ on the representative programs ------------------- *)
+
+type comparison = {
+  program : Representative.program;
+  median_population : float;
+  wpinq_error : float;
+  flex_error : float;
+}
+
+(* wPINQ error is judged against the *true SQL answer* (as in the paper), so
+   the bias introduced by wPINQ's weight rescaling counts against it. *)
+let wpinq_median_error ~runs ~rng ~epsilon db (p : Representative.program) =
+  match Executor.run_sql db p.Representative.sql with
+  | Error _ -> infinity
+  | Ok { rows; columns } ->
+    let agg_index = List.length columns - 1 in
+    let cell row = Option.value ~default:0.0 (Value.to_float row.(agg_index)) in
+    let truth_bins =
+      if p.Representative.is_histogram then
+        List.map (fun row -> (row.(0), cell row)) rows
+      else
+        [
+          ( Value.Null,
+            match rows with [ row ] -> cell row | _ -> 0.0 );
+        ]
+    in
+    let errors = ref [] in
+    for _ = 1 to runs do
+      let noisy_bins = p.Representative.wpinq db rng ~epsilon in
+      List.iter
+        (fun (k, truth) ->
+          let noisy = try List.assoc k noisy_bins with Not_found -> 0.0 in
+          let e =
+            if truth = 0.0 then if noisy = 0.0 then 0.0 else infinity
+            else Float.abs (noisy -. truth) /. Float.abs truth *. 100.0
+          in
+          errors := e :: !errors)
+        truth_bins
+    done;
+    Option.value ~default:infinity (median !errors)
+
+let run_comparison ?(runs = 25) ~rng ~options ~db ~metrics () : comparison list =
+  List.filter_map
+    (fun (p : Representative.program) ->
+      match
+        flex_median_error ~runs ~rng ~options ~db ~metrics p.Representative.sql
+      with
+      | Error _ -> None
+      | Ok flex_error ->
+        let wpinq_error =
+          wpinq_median_error ~runs ~rng
+            ~epsilon:options.Flex.epsilon db p
+        in
+        (* median population: the median true bin size *)
+        let median_population =
+          match Executor.run_sql db p.Representative.sql with
+          | Ok { rows; columns } ->
+            let agg_index = List.length columns - 1 in
+            let counts =
+              List.filter_map
+                (fun row -> Value.to_float row.(agg_index))
+                rows
+            in
+            Option.value ~default:0.0 (median counts)
+          | Error _ -> 0.0
+        in
+        Some { program = p; median_population; wpinq_error; flex_error })
+    Representative.programs
+
+(* --- Figure 5: TPC-H ---------------------------------------------------------- *)
+
+type tpch_measurement = {
+  tq : Tpch.query;
+  population : int;
+  median_error : float;
+}
+
+let run_tpch ?(runs = 5) ~rng ~options ~db ~metrics () :
+    (tpch_measurement list * (string * Errors.reason) list) =
+  let ok = ref [] and bad = ref [] in
+  List.iter
+    (fun (tq : Tpch.query) ->
+      match flex_median_error ~runs ~rng ~options ~db ~metrics tq.Tpch.sql with
+      | Error r -> bad := (tq.Tpch.name, r) :: !bad
+      | Ok median_error ->
+        let population = population_of db (Tpch.population_sql tq.Tpch.name) in
+        ok := { tq; population; median_error } :: !ok)
+    Tpch.queries;
+  (List.rev !ok, List.rev !bad)

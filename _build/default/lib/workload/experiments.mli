@@ -1,0 +1,90 @@
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Rng = Flex_dp.Rng
+module Flex = Flex_core.Flex
+module Errors = Flex_core.Errors
+
+(** Shared drivers for the paper's evaluation experiments (§5): population
+    sizes, median relative errors, error-bin histograms, the FLEX-vs-wPINQ
+    comparison and the TPC-H sweep. *)
+
+val population_of : Database.t -> string -> int
+(** Run a population companion query; 0 on failure. *)
+
+val median : float list -> float option
+
+val flex_median_error :
+  runs:int ->
+  rng:Rng.t ->
+  options:Flex.options ->
+  db:Database.t ->
+  metrics:Metrics.t ->
+  string ->
+  (float, Errors.reason) result
+(** Median percent error over [runs] independent releases. *)
+
+type measurement = { query : Qgen.t; population : int; median_error : float }
+
+type workload_outcome = {
+  measurements : measurement list;
+  rejected : (Qgen.t * Errors.reason) list;
+}
+
+val run_workload :
+  ?runs:int ->
+  rng:Rng.t ->
+  options:Flex.options ->
+  db:Database.t ->
+  metrics:Metrics.t ->
+  Qgen.t list ->
+  workload_outcome
+
+(** {2 Binning (Figures 3, 6, 7)} *)
+
+val error_bin_labels : string list
+val error_bin : float -> string
+val error_bins : float list -> (string * float) list
+val population_bucket_labels : string list
+val population_bucket : int -> string
+val population_buckets : int list -> (string * int) list
+
+val high_error_categories :
+  workload_outcome -> threshold:float -> int * (string * float) list
+(** Table 4: share of each query category among queries whose median error
+    exceeds [threshold] percent. *)
+
+(** {2 Table 5 (FLEX vs wPINQ)} *)
+
+type comparison = {
+  program : Representative.program;
+  median_population : float;
+  wpinq_error : float;
+  flex_error : float;
+}
+
+val wpinq_median_error :
+  runs:int -> rng:Rng.t -> epsilon:float -> Database.t -> Representative.program -> float
+(** Error judged against the true SQL answer (so wPINQ's weight-rescaling
+    bias counts against it, as in the paper). *)
+
+val run_comparison :
+  ?runs:int ->
+  rng:Rng.t ->
+  options:Flex.options ->
+  db:Database.t ->
+  metrics:Metrics.t ->
+  unit ->
+  comparison list
+
+(** {2 Figure 5 (TPC-H)} *)
+
+type tpch_measurement = { tq : Tpch.query; population : int; median_error : float }
+
+val run_tpch :
+  ?runs:int ->
+  rng:Rng.t ->
+  options:Flex.options ->
+  db:Database.t ->
+  metrics:Metrics.t ->
+  unit ->
+  tpch_measurement list * (string * Errors.reason) list

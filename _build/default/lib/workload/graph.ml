@@ -1,0 +1,60 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Rng = Flex_dp.Rng
+
+(* A directed graph stored as an edges(source, dest) table — the substrate of
+   the §3.4 counting-triangles example. The paper uses the ca-HepTh
+   collaboration network, whose max-frequency metric is 65; we synthesise a
+   graph pinned to the same metric: one hub with exactly [max_degree]
+   out-edges, one with [max_degree] in-edges, and a sparse random remainder
+   capped below the hub degree. *)
+
+let generate ?(nodes = 400) ?(max_degree = 65) ?(extra_edges = 1200) rng :
+    Database.t * Metrics.t =
+  let edges = Hashtbl.create 4096 in
+  let add s d = if s <> d then Hashtbl.replace edges (s, d) () in
+  (* hub out-degree: node 1 -> 3..max_degree+2 (skipping node 2, which is
+     the in-degree hub and must stay at exactly max_degree) *)
+  for d = 3 to max_degree + 2 do
+    add 1 d
+  done;
+  (* hub in-degree: 3..max_degree+2 -> node 2 *)
+  for s = 3 to max_degree + 2 do
+    add s 2
+  done;
+  let cap = max 1 (max_degree / 2) in
+  let out_deg = Hashtbl.create 256 and in_deg = Hashtbl.create 256 in
+  let deg tbl v = Option.value ~default:0 (Hashtbl.find_opt tbl v) in
+  Hashtbl.iter
+    (fun (s, d) () ->
+      Hashtbl.replace out_deg s (deg out_deg s + 1);
+      Hashtbl.replace in_deg d (deg in_deg d + 1))
+    edges;
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < extra_edges && !attempts < extra_edges * 20 do
+    incr attempts;
+    let s = 1 + Rng.int rng nodes and d = 1 + Rng.int rng nodes in
+    if s <> d && (not (Hashtbl.mem edges (s, d))) && deg out_deg s < cap && deg in_deg d < cap
+    then begin
+      add s d;
+      Hashtbl.replace out_deg s (deg out_deg s + 1);
+      Hashtbl.replace in_deg d (deg in_deg d + 1);
+      incr added
+    end
+  done;
+  let rows =
+    Hashtbl.fold (fun (s, d) () acc -> [| Value.Int s; Value.Int d |] :: acc) edges []
+  in
+  let table = Table.create ~name:"edges" ~columns:[ "source"; "dest" ] rows in
+  let db = Database.of_tables [ table ] in
+  (db, Metrics.compute db)
+
+(* The triangle-counting query of §3.4, verbatim. *)
+let triangle_sql =
+  "SELECT COUNT(*) FROM edges e1 \
+   JOIN edges e2 ON e1.dest = e2.source AND e1.source < e2.source \
+   JOIN edges e3 ON e2.dest = e3.source AND e3.dest = e1.source AND \
+   e2.source < e3.source"

@@ -1,0 +1,15 @@
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Rng = Flex_dp.Rng
+
+(** A directed graph stored as an edges(source, dest) table — the substrate
+    of the §3.4 counting-triangles example, pinned to the ca-HepTh
+    max-frequency metric (65) by construction. *)
+
+val generate :
+  ?nodes:int -> ?max_degree:int -> ?extra_edges:int -> Rng.t -> Database.t * Metrics.t
+(** Defaults: 400 nodes, max degree 65 (= both mf metrics), 1200 random
+    extra edges capped below the hub degree. *)
+
+val triangle_sql : string
+(** The triangle-counting query of §3.4, verbatim. *)

@@ -1,0 +1,194 @@
+module Rng = Flex_dp.Rng
+
+(* Generator for the counting-query workload behind Figures 3, 4, 6 and 7
+   and Table 4: templated counting/histogram queries over the Uber-like
+   schema with filters of widely varying selectivity, so population sizes
+   span the paper's range. Each query is labelled with the Table 4 category
+   it instantiates. *)
+
+type category =
+  | Normal
+  | Individual_filter (* filters on one person's data *)
+  | Low_population (* heavily restrictive filters *)
+  | Many_to_many (* m:n join with large mf *)
+
+let category_name = function
+  | Normal -> "normal"
+  | Individual_filter -> "filter on individual's data"
+  | Low_population -> "low-population statistics"
+  | Many_to_many -> "many-to-many join"
+
+type relationship = One_to_one | One_to_many | Many_to_many
+
+let relationship_name = function
+  | One_to_one -> "one-to-one"
+  | One_to_many -> "one-to-many"
+  | Many_to_many -> "many-to-many"
+
+type t = {
+  id : int;
+  sql : string;
+  has_join : bool;
+  is_histogram : bool;
+  category : category;
+  relationship : relationship option; (* of the query's join, when any *)
+  population_sql : string; (* count of distinct primary-entity rows used *)
+}
+
+let statuses = [ "completed"; "cancelled"; "requested" ]
+
+(* A random date window whose width drives selectivity. *)
+let date_window rng =
+  let widths = [| 3; 7; 14; 30; 60; 120; 240; 366 |] in
+  let w = Rng.choose rng widths in
+  let start = Rng.int rng (max 1 (366 - w)) in
+  (Datagen.day_of_2016 start, Datagen.day_of_2016 (start + w))
+
+(* A broad filter: wide date window, optional status — used by templates that
+   want large populations (e.g. the public-join ones). *)
+let trips_filter_wide rng =
+  let w = 90 + Rng.int rng 270 in
+  let start = Rng.int rng (max 1 (366 - w)) in
+  let d1 = Datagen.day_of_2016 start and d2 = Datagen.day_of_2016 (start + w) in
+  let base = Fmt.str "t.requested_at >= '%s' AND t.requested_at < '%s'" d1 d2 in
+  if Rng.bernoulli rng 0.4 then
+    Fmt.str "%s AND t.status = '%s'" base (Datagen.pick rng statuses)
+  else base
+
+let trips_filter rng ~n_cities ~tight =
+  let clauses = ref [] in
+  let addc c = clauses := c :: !clauses in
+  let d1, d2 = date_window rng in
+  addc (Fmt.str "t.requested_at >= '%s' AND t.requested_at < '%s'" d1 d2);
+  if tight || Rng.bernoulli rng 0.7 then
+    addc (Fmt.str "t.city_id = %d" (1 + Rng.int rng n_cities));
+  if tight || Rng.bernoulli rng 0.5 then
+    addc (Fmt.str "t.status = '%s'" (Datagen.pick rng statuses));
+  if tight then addc (Fmt.str "t.fare > %d" (40 + Rng.int rng 55));
+  String.concat " AND " (List.rev !clauses)
+
+let make ?relationship id sql ~has_join ~is_histogram ~category ~population_sql =
+  { id; sql; has_join; is_histogram; category; relationship; population_sql }
+
+(* One random query. [n_cities]/[n_drivers]/[n_users] describe the generated
+   database so filters stay in-domain. *)
+let generate_one rng ~id ~n_cities ~n_drivers ~n_users =
+  let pop_from where from = Fmt.str "SELECT COUNT(DISTINCT t.id) AS n FROM %s WHERE %s" from where in
+  let template = Rng.int rng 14 in
+  match template with
+  | 13 ->
+    (* one-to-one join on primary keys: drivers x analytics *)
+    let threshold = Rng.int rng 25 in
+    let from = "drivers d JOIN analytics a ON d.id = a.driver_id" in
+    let where =
+      Fmt.str "d.status = 'active' AND a.completed_trips >= %d" threshold
+    in
+    {
+      id;
+      sql = Fmt.str "SELECT COUNT(*) FROM %s WHERE %s" from where;
+      has_join = true;
+      is_histogram = false;
+      category = Normal;
+      relationship = Some One_to_one;
+      population_sql =
+        Fmt.str "SELECT COUNT(DISTINCT d.id) AS n FROM %s WHERE %s" from where;
+    }
+  | 0 | 1 | 2 ->
+    (* no-join scalar count over trips *)
+    let where = trips_filter rng ~n_cities ~tight:false in
+    make id
+      (Fmt.str "SELECT COUNT(*) FROM trips t WHERE %s" where)
+      ~has_join:false ~is_histogram:false ~category:Normal
+      ~population_sql:(pop_from where "trips t")
+  | 3 ->
+    (* no-join histogram by status *)
+    let where = trips_filter rng ~n_cities ~tight:false in
+    make id
+      (Fmt.str "SELECT t.status, COUNT(*) FROM trips t WHERE %s GROUP BY t.status" where)
+      ~has_join:false ~is_histogram:true ~category:Normal
+      ~population_sql:(pop_from where "trips t")
+  | 4 | 5 ->
+    (* low-population scalar count *)
+    let where = trips_filter rng ~n_cities ~tight:true in
+    make id
+      (Fmt.str "SELECT COUNT(*) FROM trips t WHERE %s" where)
+      ~has_join:false ~is_histogram:false ~category:Low_population
+      ~population_sql:(pop_from where "trips t")
+  | 6 ->
+    (* low-population statistics behind a join *)
+    let where = trips_filter rng ~n_cities ~tight:true in
+    let from = "trips t JOIN drivers d ON t.driver_id = d.id" in
+    let where = Fmt.str "%s AND d.vehicle = 'motorbike'" where in
+    make id ~relationship:One_to_many
+      (Fmt.str "SELECT COUNT(*) FROM %s WHERE %s" from where)
+      ~has_join:true ~is_histogram:false ~category:Low_population
+      ~population_sql:(pop_from where from)
+  | 7 ->
+    (* filter on an individual *)
+    let driver = 1 + Rng.int rng n_drivers in
+    let where = Fmt.str "t.driver_id = %d" driver in
+    make id
+      (Fmt.str "SELECT COUNT(*) FROM trips t WHERE %s" where)
+      ~has_join:false ~is_histogram:false ~category:Individual_filter
+      ~population_sql:(pop_from where "trips t")
+  | 8 ->
+    (* one-to-many join trips->drivers *)
+    let where = trips_filter rng ~n_cities ~tight:false in
+    let dstatus = Datagen.pick rng [ "active"; "inactive" ] in
+    let from = "trips t JOIN drivers d ON t.driver_id = d.id" in
+    let where = Fmt.str "%s AND d.status = '%s'" where dstatus in
+    make id ~relationship:One_to_many
+      (Fmt.str "SELECT COUNT(*) FROM %s WHERE %s" from where)
+      ~has_join:true ~is_histogram:false ~category:Normal
+      ~population_sql:(pop_from where from)
+  | 9 ->
+    (* scalar count through the public cities table; broad population *)
+    let where = trips_filter_wide rng in
+    let country = Datagen.pick rng [ "us"; "us"; "us"; "au"; "vn" ] in
+    let from = "trips t JOIN cities c ON t.city_id = c.id" in
+    let where = Fmt.str "%s AND c.country = '%s'" where country in
+    make id ~relationship:One_to_many
+      (Fmt.str "SELECT COUNT(*) FROM %s WHERE %s" from where)
+      ~has_join:true ~is_histogram:false ~category:Normal
+      ~population_sql:(pop_from where from)
+  | 10 ->
+    (* histogram over public city names: trips x cities (public) *)
+    let where = trips_filter_wide rng in
+    let from = "trips t JOIN cities c ON t.city_id = c.id" in
+    make id ~relationship:One_to_many
+      (Fmt.str "SELECT c.name, COUNT(*) FROM %s WHERE %s GROUP BY c.name" from where)
+      ~has_join:true ~is_histogram:true ~category:Normal
+      ~population_sql:(pop_from where from)
+  | 11 ->
+    (* many-to-many self join on rider: riders with both outcomes *)
+    let d1, d2 = date_window rng in
+    let from = "trips t JOIN trips t2 ON t.rider_id = t2.rider_id" in
+    let where =
+      Fmt.str
+        "t.status = 'completed' AND t2.status = 'cancelled' AND t.requested_at >= '%s' \
+         AND t.requested_at < '%s'"
+        d1 d2
+    in
+    make id ~relationship:Many_to_many
+      (Fmt.str "SELECT COUNT(*) FROM %s WHERE %s" from where)
+      ~has_join:true ~is_histogram:false ~category:Many_to_many
+      ~population_sql:(pop_from where from)
+  | _ ->
+    (* users joined with tags (one-to-many, private-private) *)
+    let tag = Datagen.pick rng [ "duplicate_account"; "fraud_suspect"; "vip" ] in
+    let d = Datagen.day_of_2016 (Rng.int rng 300) in
+    let from = "users u JOIN user_tags g ON u.id = g.user_id" in
+    let where = Fmt.str "g.tag = '%s' AND g.tagged_at > '%s'" tag d in
+    ignore n_users;
+    {
+      id;
+      sql = Fmt.str "SELECT COUNT(*) FROM %s WHERE %s" from where;
+      has_join = true;
+      is_histogram = false;
+      category = Normal;
+      relationship = Some One_to_many;
+      population_sql = Fmt.str "SELECT COUNT(DISTINCT u.id) AS n FROM %s WHERE %s" from where;
+    }
+
+let generate rng ~count ~n_cities ~n_drivers ~n_users =
+  List.init count (fun id -> generate_one rng ~id ~n_cities ~n_drivers ~n_users)

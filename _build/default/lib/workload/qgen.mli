@@ -1,0 +1,32 @@
+module Rng = Flex_dp.Rng
+
+(** Generator for the counting-query workload behind Figures 3, 4, 6, 7 and
+    Table 4: templated counting/histogram queries over the Uber-like schema
+    with filters of widely varying selectivity. Each query carries the
+    Table 4 category it instantiates and a companion population query. *)
+
+type category =
+  | Normal
+  | Individual_filter  (** filters on one person's data *)
+  | Low_population  (** heavily restrictive filters *)
+  | Many_to_many  (** m:n join with large mf *)
+
+val category_name : category -> string
+
+type relationship = One_to_one | One_to_many | Many_to_many
+
+val relationship_name : relationship -> string
+
+type t = {
+  id : int;
+  sql : string;
+  has_join : bool;
+  is_histogram : bool;
+  category : category;
+  relationship : relationship option;  (** of the query's join, when any *)
+  population_sql : string;  (** count of distinct primary-entity rows used *)
+}
+
+val generate :
+  Rng.t -> count:int -> n_cities:int -> n_drivers:int -> n_users:int -> t list
+(** [n_*] describe the generated database so filters stay in-domain. *)

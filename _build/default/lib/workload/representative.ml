@@ -1,0 +1,273 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Rng = Flex_dp.Rng
+module Wpinq = Flex_baselines.Wpinq
+
+(* The six representative counting queries of §5.5 (Table 5), transcribed
+   over the Uber-like schema: three scalar counts and three histograms, each
+   expressed both in SQL (for FLEX) and as a wPINQ program (hand-transcribed,
+   as in the paper). Joins against the public cities table use wPINQ's
+   select-style lookup so no budget protects public rows — the same fairness
+   treatment the paper applies. *)
+
+type program = {
+  name : string;
+  description : string;
+  sql : string;
+  is_histogram : bool;
+  (* wPINQ transcription: returns (bin key, noisy count) pairs (a single
+     pair keyed Null for scalar counts). Errors are judged against the true
+     SQL answer, so wPINQ's weight-rescaling bias counts against it, as in
+     the paper's §5.5 comparison. *)
+  wpinq : Database.t -> Rng.t -> epsilon:float -> (Value.t * float) list;
+}
+
+let sf = match Uber.city_id "san francisco" with Some i -> i | None -> 1
+let hanoi = match Uber.city_id "hanoi" with Some i -> i | None -> 2
+let hong_kong = match Uber.city_id "hong kong" with Some i -> i | None -> 3
+let sydney = match Uber.city_id "sydney" with Some i -> i | None -> 4
+
+let col table name =
+  match Table.column_index table name with
+  | Some i -> i
+  | None -> invalid_arg ("Representative: no column " ^ name)
+
+(* wPINQ scalar count helper: one bin keyed Null. *)
+let scalar rng ~epsilon ds = [ (Value.Null, Wpinq.noisy_count rng ~epsilon ds) ]
+
+let histogram rng ~epsilon ~key ds = Wpinq.noisy_histogram rng ~epsilon ~key ds
+
+let programs : program list =
+  [
+    {
+      name = "P1";
+      description =
+        "Count distinct drivers who completed a trip in San Francisco yet \
+         enrolled as a driver in a different city";
+      sql =
+        Fmt.str
+          "SELECT COUNT(DISTINCT d.id) FROM trips t JOIN drivers d ON \
+           t.driver_id = d.id WHERE t.status = 'completed' AND t.city_id = %d \
+           AND d.signup_city_id <> %d"
+          sf sf;
+      is_histogram = false;
+      wpinq =
+        (fun db rng ~epsilon ->
+          let trips = Database.find db "trips" and drivers = Database.find db "drivers" in
+          let t_driver = col trips "driver_id"
+          and t_status = col trips "status"
+          and t_city = col trips "city_id" in
+          let d_id = col drivers "id" and d_signup = col drivers "signup_city_id" in
+          let lhs =
+            Wpinq.of_table trips
+            |> Wpinq.filter (fun r ->
+                 Value.equal r.(t_status) (Value.String "completed")
+                 && Value.equal r.(t_city) (Value.Int sf))
+          in
+          let rhs =
+            Wpinq.of_table drivers
+            |> Wpinq.filter (fun r -> not (Value.equal r.(d_signup) (Value.Int sf)))
+          in
+          let joined =
+            Wpinq.join
+              ~key_left:(fun r -> r.(t_driver))
+              ~key_right:(fun r -> r.(d_id))
+              ~combine:(fun _ d -> [| d.(d_id) |])
+              lhs rhs
+          in
+          (* distinct drivers: collapse to driver id, cap weights at 1 *)
+          let per_driver = Wpinq.true_histogram ~key:(fun r -> r.(0)) joined in
+          let capped =
+            { Wpinq.rows = List.map (fun (k, w) -> ([| k |], Float.min 1.0 w)) per_driver }
+          in
+          scalar rng ~epsilon capped);
+    };
+    {
+      name = "P2";
+      description =
+        "Count accounts that are active and were tagged after June 6 as \
+         duplicate accounts";
+      sql =
+        "SELECT COUNT(*) FROM users u JOIN user_tags g ON u.id = g.user_id \
+         WHERE u.status = 'active' AND g.tag = 'duplicate_account' AND \
+         g.tagged_at > '2016-06-06'";
+      is_histogram = false;
+      wpinq =
+        (fun db rng ~epsilon ->
+          let users = Database.find db "users" and tags = Database.find db "user_tags" in
+          let u_id = col users "id" and u_status = col users "status" in
+          let g_user = col tags "user_id"
+          and g_tag = col tags "tag"
+          and g_at = col tags "tagged_at" in
+          let lhs =
+            Wpinq.of_table users
+            |> Wpinq.filter (fun r -> Value.equal r.(u_status) (Value.String "active"))
+          in
+          let rhs =
+            Wpinq.of_table tags
+            |> Wpinq.filter (fun r ->
+                 Value.equal r.(g_tag) (Value.String "duplicate_account")
+                 && Value.compare r.(g_at) (Value.String "2016-06-06") > 0)
+          in
+          let joined =
+            Wpinq.join
+              ~key_left:(fun r -> r.(u_id))
+              ~key_right:(fun r -> r.(g_user))
+              ~combine:(fun u _ -> u)
+              lhs rhs
+          in
+          scalar rng ~epsilon joined);
+    };
+    {
+      name = "P3";
+      description =
+        "Count motorbike drivers in Hanoi who are currently active and have \
+         completed 10 or more trips";
+      sql =
+        Fmt.str
+          "SELECT COUNT(*) FROM drivers d JOIN analytics a ON d.id = \
+           a.driver_id WHERE d.vehicle = 'motorbike' AND d.city_id = %d AND \
+           d.status = 'active' AND a.completed_trips >= 10"
+          hanoi;
+      is_histogram = false;
+      wpinq =
+        (fun db rng ~epsilon ->
+          let drivers = Database.find db "drivers"
+          and analytics = Database.find db "analytics" in
+          let d_id = col drivers "id"
+          and d_vehicle = col drivers "vehicle"
+          and d_city = col drivers "city_id"
+          and d_status = col drivers "status" in
+          let a_driver = col analytics "driver_id"
+          and a_trips = col analytics "completed_trips" in
+          let lhs =
+            Wpinq.of_table drivers
+            |> Wpinq.filter (fun r ->
+                 Value.equal r.(d_vehicle) (Value.String "motorbike")
+                 && Value.equal r.(d_city) (Value.Int hanoi)
+                 && Value.equal r.(d_status) (Value.String "active"))
+          in
+          let rhs =
+            Wpinq.of_table analytics
+            |> Wpinq.filter (fun r -> Value.compare r.(a_trips) (Value.Int 10) >= 0)
+          in
+          let joined =
+            Wpinq.join
+              ~key_left:(fun r -> r.(d_id))
+              ~key_right:(fun r -> r.(a_driver))
+              ~combine:(fun d _ -> d)
+              lhs rhs
+          in
+          scalar rng ~epsilon joined);
+    };
+    {
+      name = "P4";
+      description = "Histogram: daily trips by city (for all cities) on Oct 24, 2016";
+      sql =
+        "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = \
+         c.id WHERE t.requested_at = '2016-10-24' GROUP BY c.name";
+      is_histogram = true;
+      wpinq =
+        (fun db rng ~epsilon ->
+          let trips = Database.find db "trips" and cities = Database.find db "cities" in
+          let t_city = col trips "city_id" and t_at = col trips "requested_at" in
+          let c_id = col cities "id" and c_name = col cities "name" in
+          let lhs =
+            Wpinq.of_table trips
+            |> Wpinq.filter (fun r -> Value.equal r.(t_at) (Value.String "2016-10-24"))
+          in
+          (* cities is public: select-style lookup, no weight rescaling *)
+          let joined =
+            Wpinq.join_public
+              ~key_left:(fun r -> r.(t_city))
+              ~key_right:(fun r -> r.(c_id))
+              ~combine:(fun _ c -> [| c.(c_name) |])
+              lhs
+              (Array.to_list (Table.rows cities))
+          in
+          histogram rng ~epsilon ~key:(fun r -> r.(0)) joined);
+    };
+    {
+      name = "P5";
+      description =
+        "Histogram: total trips per driver in Hong Kong between Sept 9 and Oct 3, 2016";
+      sql =
+        Fmt.str
+          "SELECT t.driver_id, COUNT(*) FROM trips t JOIN drivers d ON \
+           t.driver_id = d.id WHERE d.city_id = %d AND t.requested_at BETWEEN \
+           '2016-09-09' AND '2016-10-03' GROUP BY t.driver_id"
+          hong_kong;
+      is_histogram = true;
+      wpinq =
+        (fun db rng ~epsilon ->
+          let trips = Database.find db "trips" and drivers = Database.find db "drivers" in
+          let t_driver = col trips "driver_id" and t_at = col trips "requested_at" in
+          let d_id = col drivers "id" and d_city = col drivers "city_id" in
+          let lhs =
+            Wpinq.of_table trips
+            |> Wpinq.filter (fun r ->
+                 Value.compare r.(t_at) (Value.String "2016-09-09") >= 0
+                 && Value.compare r.(t_at) (Value.String "2016-10-03") <= 0)
+          in
+          let rhs =
+            Wpinq.of_table drivers
+            |> Wpinq.filter (fun r -> Value.equal r.(d_city) (Value.Int hong_kong))
+          in
+          let joined =
+            Wpinq.join
+              ~key_left:(fun r -> r.(t_driver))
+              ~key_right:(fun r -> r.(d_id))
+              ~combine:(fun t _ -> [| t.(t_driver) |])
+              lhs rhs
+          in
+          histogram rng ~epsilon ~key:(fun r -> r.(0)) joined);
+    };
+    {
+      name = "P6";
+      description =
+        "Histogram: drivers by thresholds of total completed trips, for \
+         drivers registered in Sydney with a trip in the past 28 days";
+      sql =
+        Fmt.str
+          "SELECT CASE WHEN a.completed_trips >= 20 THEN 'high' WHEN \
+           a.completed_trips >= 5 THEN 'mid' ELSE 'low' END AS bucket, \
+           COUNT(*) FROM drivers d JOIN analytics a ON d.id = a.driver_id \
+           WHERE d.signup_city_id = %d AND a.last_trip_at >= '2016-06-01' \
+           GROUP BY CASE WHEN a.completed_trips >= 20 THEN 'high' WHEN \
+           a.completed_trips >= 5 THEN 'mid' ELSE 'low' END"
+          sydney;
+      is_histogram = true;
+      wpinq =
+        (fun db rng ~epsilon ->
+          let drivers = Database.find db "drivers"
+          and analytics = Database.find db "analytics" in
+          let d_id = col drivers "id" and d_signup = col drivers "signup_city_id" in
+          let a_driver = col analytics "driver_id"
+          and a_trips = col analytics "completed_trips"
+          and a_last = col analytics "last_trip_at" in
+          let lhs =
+            Wpinq.of_table drivers
+            |> Wpinq.filter (fun r -> Value.equal r.(d_signup) (Value.Int sydney))
+          in
+          let rhs =
+            Wpinq.of_table analytics
+            |> Wpinq.filter (fun r ->
+                 Value.compare r.(a_last) (Value.String "2016-06-01") >= 0)
+          in
+          let bucket r =
+            match Value.to_int r.(a_trips) with
+            | Some n when n >= 20 -> Value.String "high"
+            | Some n when n >= 5 -> Value.String "mid"
+            | _ -> Value.String "low"
+          in
+          let joined =
+            Wpinq.join
+              ~key_left:(fun r -> r.(d_id))
+              ~key_right:(fun r -> r.(a_driver))
+              ~combine:(fun _ a -> [| bucket a |])
+              lhs rhs
+          in
+          histogram rng ~epsilon ~key:(fun r -> r.(0)) joined);
+    };
+  ]

@@ -1,0 +1,22 @@
+module Value = Flex_engine.Value
+module Database = Flex_engine.Database
+module Rng = Flex_dp.Rng
+
+(** The six representative counting queries of §5.5 (Table 5), transcribed
+    over the Uber-like schema: three scalar counts and three histograms,
+    each expressed both in SQL (for FLEX) and as a hand-written wPINQ
+    program, as in the paper. Joins against the public cities table use
+    wPINQ's select-style lookup so no budget protects public rows. *)
+
+type program = {
+  name : string;  (** P1..P6 *)
+  description : string;
+  sql : string;
+  is_histogram : bool;
+  wpinq : Database.t -> Rng.t -> epsilon:float -> (Value.t * float) list;
+      (** (bin key, noisy count) pairs; a single Null-keyed pair for scalar
+          counts. Errors are judged against the true SQL answer, so wPINQ's
+          weight-rescaling bias counts against it. *)
+}
+
+val programs : program list

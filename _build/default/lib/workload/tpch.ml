@@ -1,0 +1,281 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Rng = Flex_dp.Rng
+
+(* A scaled-down TPC-H substrate (§5.2.1): the 8 benchmark tables with the
+   specification's cardinality ratios, and the five counting queries of
+   Table 3 (Q1, Q4, Q13, Q16, Q21) transcribed over it. Customer, orders,
+   lineitem, supplier and partsupp are private; region, nation and part are
+   public, exactly as the paper marks them. *)
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nations =
+  [|
+    ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1); ("EGYPT", 4);
+    ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3); ("INDIA", 2); ("INDONESIA", 2);
+    ("IRAN", 4); ("IRAQ", 4); ("JAPAN", 2); ("JORDAN", 4); ("KENYA", 0);
+    ("MOROCCO", 0); ("MOZAMBIQUE", 0); ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3);
+    ("SAUDI ARABIA", 4); ("VIETNAM", 2); ("RUSSIA", 3); ("UNITED KINGDOM", 3);
+    ("UNITED STATES", 1);
+  |]
+
+let brands = Array.init 25 (fun i -> Fmt.str "Brand#%d%d" ((i / 5) + 1) ((i mod 5) + 1))
+
+let part_types =
+  let t1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |] in
+  let t2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |] in
+  let t3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |] in
+  Array.init
+    (Array.length t1 * Array.length t2 * Array.length t3)
+    (fun i ->
+      let a = i mod Array.length t1 in
+      let b = i / Array.length t1 mod Array.length t2 in
+      let c = i / (Array.length t1 * Array.length t2) in
+      Fmt.str "%s %s %s" t1.(a) t2.(b) t3.(c))
+
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let date rng ~from_year ~to_year =
+  let y = from_year + Rng.int rng (to_year - from_year + 1) in
+  let m = 1 + Rng.int rng 12 in
+  let d = 1 + Rng.int rng 28 in
+  Fmt.str "%04d-%02d-%02d" y m d
+
+(* Scale factor 1 cardinalities, scaled down. *)
+type sizes = {
+  supplier : int;
+  part : int;
+  partsupp_per_part : int;
+  customer : int;
+  orders : int;
+  lineitem_per_order_max : int;
+}
+
+let sizes_of_scale sf =
+  {
+    (* at least 2 suppliers per nation so every nation-filtered query
+       (e.g. Q21) has a non-empty answer even at tiny scales *)
+    supplier = max 50 (int_of_float (10_000.0 *. sf));
+    part = max 50 (int_of_float (200_000.0 *. sf));
+    partsupp_per_part = 4;
+    customer = max 30 (int_of_float (150_000.0 *. sf));
+    orders = max 100 (int_of_float (1_500_000.0 *. sf));
+    lineitem_per_order_max = 7;
+  }
+
+let generate ?(scale = 0.005) rng : Database.t * Metrics.t =
+  let sz = sizes_of_scale scale in
+  let region =
+    Table.create ~name:"region" ~columns:[ "r_regionkey"; "r_name" ]
+      (List.init (Array.length regions) (fun i ->
+           [| Value.Int i; Value.String regions.(i) |]))
+  in
+  let nation =
+    Table.create ~name:"nation"
+      ~columns:[ "n_nationkey"; "n_name"; "n_regionkey" ]
+      (List.init (Array.length nations) (fun i ->
+           let name, r = nations.(i) in
+           [| Value.Int i; Value.String name; Value.Int r |]))
+  in
+  let supplier =
+    Table.create ~name:"supplier"
+      ~columns:[ "s_suppkey"; "s_name"; "s_nationkey"; "s_acctbal" ]
+      (List.init sz.supplier (fun i ->
+           [|
+             Value.Int (i + 1);
+             Value.String (Fmt.str "Supplier#%09d" (i + 1));
+             (* round-robin nations so every nation has suppliers (Q21) *)
+             Value.Int (i mod Array.length nations);
+             Value.Float (Float.round (Rng.float rng 10_000.0) /. 1.0);
+           |]))
+  in
+  let part =
+    Table.create ~name:"part"
+      ~columns:[ "p_partkey"; "p_name"; "p_brand"; "p_type"; "p_size" ]
+      (List.init sz.part (fun i ->
+           [|
+             Value.Int (i + 1);
+             Value.String (Fmt.str "part %d" (i + 1));
+             Value.String (Datagen.pick rng (Array.to_list brands));
+             Value.String (Datagen.pick rng (Array.to_list part_types));
+             Value.Int (1 + Rng.int rng 50);
+           |]))
+  in
+  let partsupp =
+    Table.create ~name:"partsupp"
+      ~columns:[ "ps_partkey"; "ps_suppkey"; "ps_availqty"; "ps_supplycost" ]
+      (List.concat
+         (List.init sz.part (fun p ->
+              List.init sz.partsupp_per_part (fun j ->
+                  [|
+                    Value.Int (p + 1);
+                    Value.Int (1 + ((p + (j * (sz.supplier / 4 + 1))) mod sz.supplier));
+                    Value.Int (Rng.int rng 10_000);
+                    Value.Float (Rng.float rng 1000.0);
+                  |]))))
+  in
+  let customer =
+    Table.create ~name:"customer"
+      ~columns:[ "c_custkey"; "c_name"; "c_nationkey"; "c_mktsegment"; "c_acctbal" ]
+      (List.init sz.customer (fun i ->
+           [|
+             Value.Int (i + 1);
+             Value.String (Fmt.str "Customer#%09d" (i + 1));
+             Value.Int (Rng.int rng (Array.length nations));
+             Value.String
+               (Datagen.pick rng [ "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" ]);
+             Value.Float (Rng.float rng 10_000.0 -. 1000.0);
+           |]))
+  in
+  (* about a third of customers never order, per the Q13 motivation *)
+  let orders_rows = ref [] in
+  let lineitem_rows = ref [] in
+  let orderkey = ref 0 in
+  for _ = 1 to sz.orders do
+    incr orderkey;
+    let ok = !orderkey in
+    let cust = 1 + Rng.int rng ((sz.customer * 2 / 3) + 1) in
+    let odate = date rng ~from_year:1992 ~to_year:1998 in
+    let status = if odate < "1995-06-17" then "F" else Datagen.pick rng [ "O"; "P" ] in
+    orders_rows :=
+      [|
+        Value.Int ok;
+        Value.Int cust;
+        Value.String status;
+        Value.Float (Rng.float rng 500_000.0);
+        Value.String odate;
+        Value.String (Datagen.pick rng (Array.to_list priorities));
+      |]
+      :: !orders_rows;
+    let nlines = 1 + Rng.int rng sz.lineitem_per_order_max in
+    for line = 1 to nlines do
+      let ship = date rng ~from_year:1992 ~to_year:1998 in
+      let commit = date rng ~from_year:1992 ~to_year:1998 in
+      let receipt = date rng ~from_year:1992 ~to_year:1998 in
+      lineitem_rows :=
+        [|
+          Value.Int ok;
+          Value.Int line;
+          Value.Int (1 + Rng.int rng sz.part);
+          Value.Int (1 + Rng.int rng sz.supplier);
+          Value.Int (1 + Rng.int rng 50);
+          Value.Float (Rng.float rng 100_000.0);
+          Value.String (Datagen.pick rng [ "R"; "A"; "N" ]);
+          Value.String (Datagen.pick rng [ "O"; "F" ]);
+          Value.String ship;
+          Value.String commit;
+          Value.String receipt;
+        |]
+        :: !lineitem_rows
+    done
+  done;
+  let orders =
+    Table.create ~name:"orders"
+      ~columns:
+        [ "o_orderkey"; "o_custkey"; "o_orderstatus"; "o_totalprice"; "o_orderdate"; "o_orderpriority" ]
+      (List.rev !orders_rows)
+  in
+  let lineitem =
+    Table.create ~name:"lineitem"
+      ~columns:
+        [
+          "l_orderkey"; "l_linenumber"; "l_partkey"; "l_suppkey"; "l_quantity";
+          "l_extendedprice"; "l_returnflag"; "l_linestatus"; "l_shipdate";
+          "l_commitdate"; "l_receiptdate";
+        ]
+      (List.rev !lineitem_rows)
+  in
+  let db =
+    Database.of_tables
+      [ region; nation; supplier; part; partsupp; customer; orders; lineitem ]
+  in
+  let metrics = Metrics.compute db in
+  List.iter (Metrics.set_public metrics) [ "region"; "nation"; "part" ];
+  List.iter
+    (fun (table, column) -> Metrics.set_primary_key metrics ~table ~column)
+    [ ("region", "r_regionkey"); ("nation", "n_nationkey");
+      ("supplier", "s_suppkey"); ("part", "p_partkey");
+      ("customer", "c_custkey"); ("orders", "o_orderkey") ];
+  (db, metrics)
+
+(* The five counting queries of Table 3, with correlated subqueries
+   rewritten as joins (our engine does not evaluate correlated EXISTS; the
+   join form preserves the query shape the analysis sees). *)
+type query = { name : string; description : string; joins : int; sql : string }
+
+let queries =
+  [
+    {
+      name = "Q1";
+      description = "Billed, shipped, and returned business";
+      joins = 0;
+      sql =
+        "SELECT l_returnflag, l_linestatus, COUNT(*) AS count_order FROM lineitem \
+         WHERE l_shipdate <= '1998-09-01' GROUP BY l_returnflag, l_linestatus";
+    };
+    {
+      name = "Q4";
+      description = "Priority system status and customer satisfaction";
+      joins = 1;
+      sql =
+        "SELECT o.o_orderpriority, COUNT(DISTINCT o.o_orderkey) AS order_count \
+         FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey \
+         WHERE o.o_orderdate >= '1993-07-01' AND o.o_orderdate < '1993-10-01' \
+         AND l.l_commitdate < l.l_receiptdate GROUP BY o.o_orderpriority";
+    };
+    {
+      name = "Q13";
+      description = "Relationship between customers and order size";
+      joins = 1;
+      sql =
+        "SELECT c_count, COUNT(*) AS custdist FROM \
+         (SELECT c.c_custkey AS ck, COUNT(o.o_orderkey) AS c_count \
+         FROM customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey \
+         GROUP BY c.c_custkey) c_orders GROUP BY c_count";
+    };
+    {
+      name = "Q16";
+      description = "Suppliers capable of supplying various part types";
+      joins = 1;
+      sql =
+        "SELECT p.p_brand, p.p_type, p.p_size, COUNT(DISTINCT ps.ps_suppkey) AS supplier_cnt \
+         FROM partsupp ps JOIN part p ON p.p_partkey = ps.ps_partkey \
+         WHERE p.p_brand <> 'Brand#45' AND p.p_size IN (1, 4, 7, 10, 15, 19, 23, 45) \
+         GROUP BY p.p_brand, p.p_type, p.p_size";
+    };
+    {
+      name = "Q21";
+      description = "Suppliers with late shipping times for required parts";
+      joins = 3;
+      sql =
+        "SELECT s.s_name, COUNT(*) AS numwait FROM supplier s \
+         JOIN lineitem l1 ON s.s_suppkey = l1.l_suppkey \
+         JOIN orders o ON o.o_orderkey = l1.l_orderkey \
+         JOIN nation n ON s.s_nationkey = n.n_nationkey \
+         WHERE o.o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate \
+         AND n.n_name = 'SAUDI ARABIA' GROUP BY s.s_name";
+    };
+  ]
+
+(* Population query: distinct primary-entity rows feeding each query. *)
+let population_sql = function
+  | "Q1" ->
+    "SELECT COUNT(*) AS n FROM lineitem WHERE l_shipdate <= '1998-09-01'"
+  | "Q4" ->
+    "SELECT COUNT(DISTINCT o.o_orderkey) AS n FROM orders o JOIN lineitem l ON \
+     o.o_orderkey = l.l_orderkey WHERE o.o_orderdate >= '1993-07-01' AND \
+     o.o_orderdate < '1993-10-01' AND l.l_commitdate < l.l_receiptdate"
+  | "Q13" -> "SELECT COUNT(*) AS n FROM customer"
+  | "Q16" ->
+    "SELECT COUNT(DISTINCT ps.ps_suppkey) AS n FROM partsupp ps JOIN part p ON \
+     p.p_partkey = ps.ps_partkey WHERE p.p_brand <> 'Brand#45' AND \
+     p.p_size IN (1, 4, 7, 10, 15, 19, 23, 45)"
+  | "Q21" ->
+    "SELECT COUNT(*) AS n FROM supplier s JOIN lineitem l1 ON s.s_suppkey = \
+     l1.l_suppkey JOIN orders o ON o.o_orderkey = l1.l_orderkey JOIN nation n ON \
+     s.s_nationkey = n.n_nationkey WHERE o.o_orderstatus = 'F' AND \
+     l1.l_receiptdate > l1.l_commitdate AND n.n_name = 'SAUDI ARABIA'"
+  | name -> invalid_arg ("Tpch.population_sql: unknown query " ^ name)

@@ -1,0 +1,25 @@
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Rng = Flex_dp.Rng
+
+(** A scaled-down TPC-H substrate (§5.2.1): the 8 benchmark tables with the
+    specification's cardinality ratios, and the five counting queries of the
+    paper's Table 3 transcribed over it. Region, nation and part are public;
+    customer, orders, lineitem, supplier and partsupp are private — exactly
+    the paper's marking. *)
+
+val generate : ?scale:float -> Rng.t -> Database.t * Metrics.t
+(** [scale] is the TPC-H scale factor (default 0.005; SF 1 is ~6M lineitem
+    rows). Every nation is guaranteed at least two suppliers so
+    nation-filtered queries (Q21) have data at tiny scales. *)
+
+type query = { name : string; description : string; joins : int; sql : string }
+
+val queries : query list
+(** Q1, Q4, Q13, Q16, Q21. Correlated subqueries are rewritten as joins
+    (the analysis sees the same shape; our engine does not evaluate
+    correlated EXISTS). *)
+
+val population_sql : string -> string
+(** Companion query counting the distinct primary-entity rows a query uses
+    (the §5.2 population-size metric). *)

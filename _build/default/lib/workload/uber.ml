@@ -1,0 +1,159 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Rng = Flex_dp.Rng
+
+(* An Uber-like ride-sharing schema mirroring the tables named in the paper:
+   trips, drivers, users (riders), cities (public), analytics (per-driver
+   rollups), user_tags. Join keys are Zipf-distributed so that max-frequency
+   metrics are realistically skewed and generated queries span a wide range
+   of population sizes. *)
+
+type sizes = {
+  cities : int;
+  drivers : int;
+  users : int;
+  trips : int;
+  user_tags : int;
+}
+
+let default_sizes =
+  { cities = 40; drivers = 1500; users = 2500; trips = 20_000; user_tags = 900 }
+
+let small_sizes = { cities = 12; drivers = 120; users = 200; trips = 1500; user_tags = 80 }
+
+(* The four cities named by the §5.5 representative queries come first so
+   that even the smallest generated databases contain them. *)
+let city_names =
+  [|
+    "san francisco"; "hanoi"; "hong kong"; "sydney"; "new york"; "los angeles";
+    "chicago"; "seattle"; "austin"; "boston"; "miami"; "denver"; "atlanta";
+    "portland"; "dallas"; "houston"; "phoenix"; "philadelphia"; "detroit";
+    "london"; "paris"; "berlin"; "madrid"; "rome"; "amsterdam"; "dublin";
+    "lisbon"; "warsaw"; "prague"; "melbourne"; "auckland"; "singapore"; "tokyo";
+    "seoul"; "taipei"; "bangkok"; "jakarta"; "manila"; "mumbai"; "delhi";
+    "cairo"; "lagos"; "nairobi"; "sao paulo"; "bogota"; "lima"; "santiago";
+    "mexico city";
+  |]
+
+let countries =
+  [| "us"; "vn"; "hk"; "au"; "us"; "us"; "us"; "us"; "us"; "us"; "us"; "us";
+     "us"; "us"; "us"; "us"; "us"; "us"; "us"; "uk"; "fr"; "de"; "es"; "it";
+     "nl"; "ie"; "pt"; "pl"; "cz"; "au"; "nz"; "sg"; "jp"; "kr"; "tw"; "th";
+     "id"; "ph"; "in"; "in"; "eg"; "ng"; "ke"; "br"; "co"; "pe"; "cl"; "mx" |]
+
+let trip_statuses = [ ("completed", 0.72); ("cancelled", 0.18); ("requested", 0.10) ]
+let driver_statuses = [ ("active", 0.7); ("inactive", 0.25); ("suspended", 0.05) ]
+let vehicles = [ ("car", 0.6); ("suv", 0.2); ("motorbike", 0.15); ("scooter", 0.05) ]
+let tags = [ ("duplicate_account", 0.35); ("fraud_suspect", 0.2); ("vip", 0.3); ("test_account", 0.15) ]
+
+let generate ?(sizes = default_sizes) rng : Database.t * Metrics.t =
+  let n_cities = min sizes.cities (Array.length city_names) in
+  let cities =
+    Table.create ~name:"cities" ~columns:[ "id"; "name"; "country" ]
+      (List.init n_cities (fun i ->
+           [| Value.Int (i + 1); Value.String city_names.(i); Value.String countries.(i) |]))
+  in
+  let city_zipf = Rng.zipf_table ~n:n_cities ~s:0.9 in
+  let driver_zipf = Rng.zipf_table ~n:sizes.drivers ~s:0.5 in
+  let user_zipf = Rng.zipf_table ~n:sizes.users ~s:0.5 in
+  let drivers =
+    Table.create ~name:"drivers"
+      ~columns:[ "id"; "city_id"; "signup_city_id"; "status"; "vehicle"; "signup_at"; "rating" ]
+      (List.init sizes.drivers (fun i ->
+           let home = Rng.zipf rng city_zipf in
+           let signup =
+             if Rng.bernoulli rng 0.85 then home else Rng.zipf rng city_zipf
+           in
+           [|
+             Value.Int (i + 1);
+             Value.Int home;
+             Value.Int signup;
+             Value.String (Datagen.pick_weighted rng driver_statuses);
+             Value.String (Datagen.pick_weighted rng vehicles);
+             Value.String (Datagen.random_date_range rng ~from_day:0 ~to_day:200);
+             Value.Float (3.5 +. Rng.float rng 1.5);
+           |]))
+  in
+  let users =
+    Table.create ~name:"users"
+      ~columns:[ "id"; "city_id"; "status"; "signup_at" ]
+      (List.init sizes.users (fun i ->
+           [|
+             Value.Int (i + 1);
+             Value.Int (Rng.zipf rng city_zipf);
+             Value.String (Datagen.pick_weighted rng driver_statuses);
+             Value.String (Datagen.random_date_range rng ~from_day:0 ~to_day:300);
+           |]))
+  in
+  let completed = Hashtbl.create sizes.drivers in
+  let last_trip = Hashtbl.create sizes.drivers in
+  let trips =
+    Table.create ~name:"trips"
+      ~columns:[ "id"; "driver_id"; "rider_id"; "city_id"; "status"; "fare"; "requested_at" ]
+      (List.init sizes.trips (fun i ->
+           let driver = Rng.zipf rng driver_zipf in
+           let status = Datagen.pick_weighted rng trip_statuses in
+           let date = Datagen.random_date_2016 rng in
+           if status = "completed" then begin
+             Hashtbl.replace completed driver
+               (1 + Option.value ~default:0 (Hashtbl.find_opt completed driver));
+             let prev = Option.value ~default:"" (Hashtbl.find_opt last_trip driver) in
+             if date > prev then Hashtbl.replace last_trip driver date
+           end;
+           [|
+             Value.Int (i + 1);
+             Value.Int driver;
+             Value.Int (Rng.zipf rng user_zipf);
+             Value.Int (Rng.zipf rng city_zipf);
+             Value.String status;
+             Value.Float (Float.round ((2.0 +. Rng.float rng 98.0) *. 100.0) /. 100.0);
+             Value.String date;
+           |]))
+  in
+  let analytics =
+    Table.create ~name:"analytics"
+      ~columns:[ "driver_id"; "completed_trips"; "rating"; "last_trip_at" ]
+      (List.init sizes.drivers (fun i ->
+           let d = i + 1 in
+           [|
+             Value.Int d;
+             Value.Int (Option.value ~default:0 (Hashtbl.find_opt completed d));
+             Value.Float (3.0 +. Rng.float rng 2.0);
+             (match Hashtbl.find_opt last_trip d with
+             | Some date -> Value.String date
+             | None -> Value.Null);
+           |]))
+  in
+  let user_tags =
+    Table.create ~name:"user_tags"
+      ~columns:[ "user_id"; "tag"; "tagged_at" ]
+      (List.init sizes.user_tags (fun _ ->
+           [|
+             (* tags hit users roughly uniformly: a user carries only a few
+                tags, so mf(user_tags.user_id) stays small and realistic *)
+             Value.Int (1 + Rng.int rng sizes.users);
+             Value.String (Datagen.pick_weighted rng tags);
+             Value.String (Datagen.random_date_2016 rng);
+           |]))
+  in
+  let db = Database.of_tables [ cities; drivers; users; trips; analytics; user_tags ] in
+  let metrics = Metrics.compute db in
+  Metrics.set_public metrics "cities";
+  (* primary-key constraints, enforced by the schema and hence shared by all
+     neighbouring databases *)
+  List.iter
+    (fun (table, column) -> Metrics.set_primary_key metrics ~table ~column)
+    [ ("cities", "id"); ("drivers", "id"); ("users", "id"); ("trips", "id");
+      ("analytics", "driver_id") ];
+  (db, metrics)
+
+(* City id lookup by name (for query templates). *)
+let city_id name =
+  let rec go i =
+    if i >= Array.length city_names then None
+    else if city_names.(i) = name then Some (i + 1)
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,33 @@
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Rng = Flex_dp.Rng
+
+(** An Uber-like ride-sharing schema mirroring the tables named in the paper:
+    trips, drivers, users (riders), cities (public), analytics (per-driver
+    rollups), user_tags. Join keys are Zipf-distributed so max-frequency
+    metrics are realistically skewed; the analytics rollup is consistent
+    with the trips table. *)
+
+type sizes = {
+  cities : int;
+  drivers : int;
+  users : int;
+  trips : int;
+  user_tags : int;
+}
+
+val default_sizes : sizes
+(** 40 cities, 1.5k drivers, 2.5k users, 20k trips. *)
+
+val small_sizes : sizes
+(** A quick fixture for tests (1.5k trips). *)
+
+val generate : ?sizes:sizes -> Rng.t -> Database.t * Metrics.t
+(** Deterministic under the given generator. The metrics mark [cities]
+    public and declare the primary keys. *)
+
+val city_names : string array
+(** The four cities named by the §5.5 representative queries come first, so
+    even the smallest databases contain them. *)
+
+val city_id : string -> int option

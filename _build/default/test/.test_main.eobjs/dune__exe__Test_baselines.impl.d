@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Flex_baselines Flex_core Flex_dp Flex_engine Flex_sql Float Fun Hashtbl List Result

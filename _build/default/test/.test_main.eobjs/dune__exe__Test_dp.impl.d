@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Array Flex_dp Float Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_elastic.ml: Alcotest Flex_core Flex_dp Flex_sql Flex_workload Float Fmt List

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Astring Filename Flex_engine List Sys

@@ -1,0 +1,1 @@
+test/test_flex.ml: Alcotest Array Astring Flex_core Flex_dp Flex_engine Flex_workload Float List Option

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Flex_core Flex_dp Flex_engine Flex_sql Lazy List Printexc QCheck QCheck_alcotest Test_sql

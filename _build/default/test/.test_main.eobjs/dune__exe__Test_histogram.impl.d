@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Array Flex_core Flex_engine List

@@ -1,0 +1,1 @@
+test/test_metrics_live.ml: Alcotest Array Flex_core Flex_dp Flex_engine Flex_workload Fmt List

@@ -1,0 +1,1 @@
+test/test_mwem.ml: Alcotest Array Flex_dp Fmt List

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Flex_core Flex_dp Flex_engine Flex_workload Fmt Hashtbl Lazy List Option QCheck QCheck_alcotest String

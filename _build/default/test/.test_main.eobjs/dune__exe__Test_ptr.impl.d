@@ -1,0 +1,1 @@
+test/test_ptr.ml: Alcotest Flex_core Flex_dp Flex_engine Flex_workload Float

@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Array Flex_core Flex_dp Flex_engine Fmt List Option QCheck QCheck_alcotest String

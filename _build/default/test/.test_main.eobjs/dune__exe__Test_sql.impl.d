@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Astring Flex_sql List QCheck QCheck_alcotest String

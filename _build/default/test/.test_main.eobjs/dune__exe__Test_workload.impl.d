@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Flex_core Flex_dp Flex_engine Flex_sql Flex_workload Lazy List Option Result

@@ -1,0 +1,143 @@
+(* Acceptance matrix: realistic analytics queries over the ride-sharing
+   schema, each with its expected FLEX outcome — accepted (optionally with
+   the exact elastic-sensitivity polynomial shape) or rejected with a
+   specific reason class. This documents, in one place, the query surface a
+   FLEX deployment supports. *)
+
+module Rng = Flex_dp.Rng
+module Sens = Flex_dp.Sens
+module Metrics = Flex_engine.Metrics
+module Elastic = Flex_core.Elastic
+module Errors = Flex_core.Errors
+
+type expectation =
+  | Accept (* analysis succeeds *)
+  | Accept_const (* ES is constant in k (public/unique-bounded joins) *)
+  | Accept_growing (* ES grows with k (private join keys) *)
+  | Reject_non_equijoin
+  | Reject_cross
+  | Reject_raw
+  | Reject_arithmetic
+  | Reject_agg of string
+  | Reject_subquery
+  | Reject_key_not_base
+  | Reject_set_op
+  | Reject_missing_vr
+
+let ctx =
+  lazy
+    (let rng = Rng.create ~seed:99 () in
+     let _db, metrics =
+       Flex_workload.Uber.generate ~sizes:Flex_workload.Uber.small_sizes rng
+     in
+     Elastic.catalog_of_metrics metrics)
+
+let cases : (string * expectation) list =
+  [
+    (* plain statistics *)
+    ("SELECT COUNT(*) FROM trips", Accept_const);
+    ("SELECT COUNT(*) FROM trips WHERE status = 'completed'", Accept_const);
+    ("SELECT COUNT(DISTINCT driver_id) FROM trips", Accept_const);
+    ("SELECT status, COUNT(*) FROM trips GROUP BY status", Accept_const);
+    ("SELECT SUM(fare) FROM trips", Accept_const);
+    ("SELECT AVG(fare) FROM trips WHERE city_id = 1", Accept_const);
+    ("SELECT MIN(fare), MAX(fare) FROM trips", Accept_const);
+    ("SELECT COUNT(*) FROM trips WHERE fare BETWEEN 10 AND 20", Accept_const);
+    ("SELECT COUNT(*) FROM trips WHERE status IN ('completed', 'cancelled')", Accept_const);
+    ("SELECT COUNT(*) FROM trips WHERE requested_at LIKE '2016-03%'", Accept_const);
+    (* joins *)
+    ("SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id", Accept_growing);
+    ( "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id AND t.fare > d.rating",
+      Accept_growing );
+    ("SELECT COUNT(*) FROM trips t LEFT JOIN drivers d ON t.driver_id = d.id", Accept_growing);
+    ("SELECT COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id", Accept_const);
+    ("SELECT COUNT(*) FROM drivers d JOIN analytics a ON d.id = a.driver_id", Accept_const);
+    ( "SELECT COUNT(*) FROM trips a JOIN trips b ON a.rider_id = b.rider_id",
+      Accept_growing );
+    ( "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id GROUP BY c.name",
+      Accept_const );
+    ( "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id JOIN \
+       analytics a ON d.id = a.driver_id",
+      Accept_growing );
+    ( "SELECT COUNT(*) FROM users u JOIN user_tags g ON u.id = g.user_id WHERE \
+       g.tag = 'vip'",
+      Accept_growing );
+    (* derived tables and CTEs *)
+    ( "SELECT COUNT(*) FROM (SELECT driver_id FROM trips WHERE status = 'completed') s",
+      Accept_const );
+    ( "WITH active AS (SELECT id FROM drivers WHERE status = 'active') SELECT \
+       COUNT(*) FROM trips t JOIN active a ON t.driver_id = a.id",
+      Accept_growing );
+    ("SELECT n FROM (SELECT COUNT(*) AS n FROM trips) c", Accept_const);
+    ( "SELECT cnt, COUNT(*) FROM (SELECT driver_id, COUNT(*) AS cnt FROM trips \
+       GROUP BY driver_id) g GROUP BY cnt",
+      Accept_const );
+    (* public-subquery predicates *)
+    ( "SELECT COUNT(*) FROM trips WHERE city_id IN (SELECT id FROM cities WHERE \
+       country = 'us')",
+      Accept_const );
+    (* rejections: §3.7.1 *)
+    ("SELECT COUNT(*) FROM trips a JOIN trips b ON a.fare > b.fare", Reject_non_equijoin);
+    ( "SELECT COUNT(*) FROM trips a JOIN trips b ON lower(a.status) = lower(b.status)",
+      Reject_non_equijoin );
+    ("SELECT COUNT(*) FROM trips CROSS JOIN drivers", Reject_cross);
+    ("SELECT COUNT(*) FROM trips, drivers", Reject_cross);
+    ( "WITH a AS (SELECT COUNT(*) AS c FROM trips), b AS (SELECT COUNT(*) AS c \
+       FROM drivers) SELECT COUNT(*) FROM a JOIN b ON a.c = b.c",
+      Reject_key_not_base );
+    ("SELECT id, fare FROM trips", Reject_raw);
+    ("SELECT * FROM trips WHERE fare > 50", Reject_raw);
+    ("SELECT driver_id FROM trips GROUP BY driver_id", Reject_raw);
+    ("SELECT DISTINCT driver_id FROM trips", Reject_raw);
+    ("SELECT COUNT(*) * 2 FROM trips", Reject_arithmetic);
+    ("SELECT SUM(fare) / COUNT(*) FROM trips", Reject_arithmetic);
+    ("SELECT MEDIAN(fare) FROM trips", Reject_agg "MEDIAN");
+    ("SELECT STDDEV(fare) FROM trips", Reject_agg "STDDEV");
+    ("SELECT COUNT(*) FROM trips UNION SELECT COUNT(*) FROM drivers", Reject_set_op);
+    ( "SELECT COUNT(*) FROM trips WHERE driver_id IN (SELECT id FROM drivers \
+       WHERE status = 'active')",
+      Reject_subquery );
+    ("SELECT SUM(status) FROM trips", Reject_missing_vr);
+    ("SELECT SUM(t.fare + 1) FROM trips t", Reject_arithmetic);
+  ]
+
+let growing sens = Sens.degree sens >= 1
+
+let check_case (sql, expectation) =
+  let cat = Lazy.force ctx in
+  let result = Elastic.analyze_sql cat sql in
+  let fail fmt = Alcotest.failf ("%s: " ^^ fmt) sql in
+  match (expectation, result) with
+  | Accept, Ok _ -> ()
+  | Accept_const, Ok a ->
+    List.iter
+      (fun (_, _, s) -> if growing s then fail "expected constant ES, got %s" (Sens.to_string s))
+      (Elastic.aggregate_columns a)
+  | Accept_growing, Ok a ->
+    if not (List.exists (fun (_, _, s) -> growing s) (Elastic.aggregate_columns a))
+    then fail "expected k-growing ES"
+  | (Accept | Accept_const | Accept_growing), Error r ->
+    fail "unexpectedly rejected: %s" (Errors.to_string r)
+  | Reject_non_equijoin, Error (Errors.Unsupported (Errors.Non_equijoin _)) -> ()
+  | Reject_cross, Error (Errors.Unsupported Errors.Cross_join) -> ()
+  | Reject_raw, Error (Errors.Unsupported Errors.Raw_data_query) -> ()
+  | Reject_arithmetic, Error (Errors.Unsupported Errors.Arithmetic_on_aggregate) -> ()
+  | Reject_agg name, Error (Errors.Unsupported (Errors.Unsupported_aggregate f)) ->
+    Alcotest.(check string)
+      sql name
+      (String.uppercase_ascii (Flex_sql.Ast.agg_func_name f))
+  | Reject_subquery, Error (Errors.Unsupported Errors.Private_subquery_in_predicate) -> ()
+  | Reject_key_not_base, Error (Errors.Unsupported (Errors.Join_key_not_base _)) -> ()
+  | Reject_set_op, Error (Errors.Unsupported Errors.Set_operation) -> ()
+  | Reject_missing_vr, Error (Errors.Unsupported (Errors.Missing_value_range _)) -> ()
+  | _, Ok _ -> fail "unexpectedly accepted"
+  | _, Error r -> fail "wrong rejection: %s" (Errors.to_string r)
+
+let tests =
+  List.map
+    (fun (sql, expectation) ->
+      let label = if String.length sql > 64 then String.sub sql 0 64 ^ "..." else sql in
+      Alcotest.test_case label `Quick (fun () -> check_case (sql, expectation)))
+    cases
+
+let suites = [ ("acceptance", tests) ]

@@ -1,0 +1,294 @@
+module Ast = Flex_sql.Ast
+module Sens = Flex_dp.Sens
+module Smooth = Flex_dp.Smooth
+module Elastic = Flex_core.Elastic
+module Errors = Flex_core.Errors
+
+(* A hand-built catalog over a small schema:
+   - trips(id unique, driver_id mf=50, city_id mf=500, fare vr=100)
+   - drivers(id unique, city_id mf=20)
+   - cities(id unique, name mf=1) -- public
+   - edges(source mf=65, dest mf=65) -- the §3.4 graph *)
+let catalog ?(public_cities = true) () =
+  let tables =
+    [
+      ("trips", [ "id"; "driver_id"; "city_id"; "fare"; "status" ]);
+      ("drivers", [ "id"; "city_id"; "status" ]);
+      ("cities", [ "id"; "name" ]);
+      ("edges", [ "source"; "dest" ]);
+    ]
+  in
+  let mf (a : Elastic.attr) =
+    match (a.table, a.column) with
+    | "trips", "id" -> Some 1
+    | "trips", "driver_id" -> Some 50
+    | "trips", "city_id" -> Some 500
+    | "trips", _ -> Some 3000
+    | "drivers", "id" -> Some 1
+    | "drivers", "city_id" -> Some 20
+    | "drivers", _ -> Some 100
+    | "cities", "id" -> Some 1
+    | "cities", "name" -> Some 1
+    | "edges", _ -> Some 65
+    | _ -> None
+  in
+  {
+    Elastic.columns = (fun t -> List.assoc_opt t tables);
+    mf;
+    vr =
+      (fun a ->
+        match (a.table, a.column) with "trips", "fare" -> Some 100.0 | _ -> None);
+    is_public = (fun t -> public_cities && t = "cities");
+    is_unique = (fun _ -> false);
+    table_rows = (fun _ -> Some 1000);
+    cross_joins = false;
+    total_rows = 100_000;
+  }
+
+let analyze ?public_cities sql =
+  Elastic.analyze_sql (catalog ?public_cities ()) sql
+
+let stability ?public_cities sql =
+  match analyze ?public_cities sql with
+  | Ok a -> a.Elastic.stability
+  | Error r -> Alcotest.failf "rejected: %s" (Errors.to_string r)
+
+let first_sens sql =
+  match analyze sql with
+  | Ok a -> (
+    match Elastic.aggregate_columns a with
+    | (_, _, s) :: _ -> s
+    | [] -> Alcotest.fail "no aggregate columns")
+  | Error r -> Alcotest.failf "rejected: %s" (Errors.to_string r)
+
+let expect_reject sql check =
+  match analyze sql with
+  | Ok _ -> Alcotest.failf "expected rejection: %s" sql
+  | Error r ->
+    if not (check r) then Alcotest.failf "wrong rejection for %s: %s" sql (Errors.to_string r)
+
+let check_poly name sens expected_coeffs =
+  (* compare by evaluation on several points *)
+  List.iter
+    (fun k ->
+      let expected =
+        List.fold_left
+          (fun (acc, pow) c -> (acc +. (c *. Float.pow (float_of_int k) pow), pow +. 1.0))
+          (0.0, 0.0) expected_coeffs
+        |> fst
+      in
+      Alcotest.(check (float 1e-6)) (Fmt.str "%s at k=%d" name k) expected (Sens.eval sens k))
+    [ 0; 1; 2; 5; 19; 100 ]
+
+let stability_tests =
+  [
+    Alcotest.test_case "single table" `Quick (fun () ->
+        check_poly "table" (stability "SELECT COUNT(*) FROM trips") [ 1.0 ]);
+    Alcotest.test_case "selection and projection preserve stability" `Quick (fun () ->
+        check_poly "where"
+          (stability "SELECT COUNT(*) FROM trips WHERE status = 'completed'")
+          [ 1.0 ];
+        check_poly "derived"
+          (stability "SELECT COUNT(*) FROM (SELECT driver_id FROM trips) t")
+          [ 1.0 ]);
+    Alcotest.test_case "one-to-many join takes the max branch" `Quick (fun () ->
+        (* max(mf_k(driver_id,trips)*1, mf_k(id,drivers)*1) = 50 + k *)
+        check_poly "trips-drivers"
+          (stability "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id")
+          [ 50.0; 1.0 ]);
+    Alcotest.test_case "public table join multiplies by constant mf" `Quick (fun () ->
+        (* cities public: stability = mf(cities.id) * S(trips) = 1, no +k *)
+        check_poly "trips-cities"
+          (stability "SELECT COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id")
+          [ 1.0 ]);
+    Alcotest.test_case "public optimisation toggle" `Quick (fun () ->
+        (* with the optimisation off, cities is private: max(500+k, 1+k) *)
+        check_poly "no-opt"
+          (stability ~public_cities:false
+             "SELECT COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id")
+          [ 500.0; 1.0 ]);
+    Alcotest.test_case "self join adds all three classes" `Quick (fun () ->
+        (* per Fig 1b: (50+k) + (50+k) + 1 = 101 + 2k *)
+        check_poly "self"
+          (stability
+             "SELECT COUNT(*) FROM trips a JOIN trips b ON a.driver_id = b.driver_id")
+          [ 101.0; 2.0 ]);
+    Alcotest.test_case "paper 3.4: first triangle join" `Quick (fun () ->
+        check_poly "e1 x e2"
+          (stability "SELECT COUNT(*) FROM edges e1 JOIN edges e2 ON e1.dest = e2.source")
+          [ 131.0; 2.0 ]);
+    Alcotest.test_case "paper 3.4: full triangle query follows Fig 1" `Quick (fun () ->
+        (* Strictly applying Fig 1(b,c):
+           S(e1xe2) = 131 + 2k
+           mf_k(e2.dest, e1xe2) = (65+k)^2   (propagated through the join)
+           S = (65+k)^2 + (65+k)(131+2k) + (131+2k) = 3k^2 + 393k + 12871.
+           (The paper's worked example plugs the base-table mf in directly
+           and reports 2k^2 + 199k + 8711; Fig 1(c) requires propagation.) *)
+        check_poly "triangles"
+          (stability Flex_workload.Graph.triangle_sql)
+          [ 12871.0; 393.0; 3.0 ]);
+    Alcotest.test_case "outer joins double the bound" `Quick (fun () ->
+        check_poly "left join"
+          (stability "SELECT COUNT(*) FROM trips t LEFT JOIN drivers d ON t.driver_id = d.id")
+          [ 100.0; 2.0 ]);
+    Alcotest.test_case "histogram doubles sensitivity but not stability" `Quick (fun () ->
+        let sql = "SELECT status, COUNT(*) FROM trips GROUP BY status" in
+        (match analyze sql with
+        | Ok a ->
+          Alcotest.(check bool) "histogram" true a.Elastic.is_histogram;
+          check_poly "stability" a.Elastic.stability [ 1.0 ];
+          (match Elastic.aggregate_columns a with
+          | [ (_, Elastic.Count_cell, s) ] -> check_poly "cell sens" s [ 2.0 ]
+          | _ -> Alcotest.fail "expected one count column")
+        | Error r -> Alcotest.failf "rejected: %s" (Errors.to_string r)));
+    Alcotest.test_case "grouped subquery as relation doubles stability" `Quick (fun () ->
+        check_poly "q13 shape"
+          (stability
+             "SELECT n, COUNT(*) FROM (SELECT driver_id, COUNT(*) AS n FROM trips \
+              GROUP BY driver_id) g GROUP BY n")
+          [ 2.0 ]);
+    Alcotest.test_case "scalar count subquery has stability 1" `Quick (fun () ->
+        check_poly "count as relation"
+          (stability "SELECT COUNT(*) FROM (SELECT COUNT(*) AS n FROM trips) c")
+          [ 1.0 ]);
+    Alcotest.test_case "join keys through subquery projections" `Quick (fun () ->
+        (* driver_id passes through the derived table untouched *)
+        check_poly "subquery key"
+          (stability
+             "SELECT COUNT(*) FROM (SELECT driver_id FROM trips WHERE status = \
+              'completed') t JOIN drivers d ON t.driver_id = d.id")
+          [ 50.0; 1.0 ]);
+    Alcotest.test_case "sole group key joins with frequency 1" `Quick (fun () ->
+        (* Grouping dedupes the sole key, so its mf_k is 1 in the output; the
+           grouped relation has stability 2, and the drivers key is unique:
+           max(1 * S(drivers), (1+k) * 2) = 2 + 2k. *)
+        check_poly "grouped key join"
+          (stability
+             "SELECT COUNT(*) FROM (SELECT driver_id FROM trips GROUP BY \
+              driver_id) g JOIN drivers d ON g.driver_id = d.id")
+          [ 2.0; 2.0 ]);
+  ]
+
+let extension_tests =
+  [
+    Alcotest.test_case "sum uses vr times stability" `Quick (fun () ->
+        check_poly "sum" (first_sens "SELECT SUM(fare) FROM trips") [ 100.0 ]);
+    Alcotest.test_case "sum through a join scales" `Quick (fun () ->
+        check_poly "sum join"
+          (first_sens
+             "SELECT SUM(t.fare) FROM trips t JOIN drivers d ON t.driver_id = d.id")
+          [ 5000.0; 100.0 ]);
+    Alcotest.test_case "avg mirrors sum" `Quick (fun () ->
+        check_poly "avg" (first_sens "SELECT AVG(fare) FROM trips") [ 100.0 ]);
+    Alcotest.test_case "min and max use the constant vr bound" `Quick (fun () ->
+        check_poly "min" (first_sens "SELECT MIN(fare) FROM trips") [ 100.0 ];
+        check_poly "max"
+          (first_sens "SELECT MAX(t.fare) FROM trips t JOIN drivers d ON t.driver_id = d.id")
+          [ 100.0 ]);
+    Alcotest.test_case "missing vr rejects" `Quick (fun () ->
+        expect_reject "SELECT SUM(status) FROM trips" (function
+          | Errors.Unsupported (Errors.Missing_value_range _) -> true
+          | _ -> false));
+    Alcotest.test_case "count distinct accepted" `Quick (fun () ->
+        check_poly "count distinct"
+          (first_sens "SELECT COUNT(DISTINCT driver_id) FROM trips")
+          [ 1.0 ]);
+    Alcotest.test_case "pass-through projection of aggregating subquery" `Quick (fun () ->
+        (* the paper's pi_count Count(trips) example *)
+        check_poly "unwrap"
+          (first_sens "SELECT n FROM (SELECT COUNT(*) AS n FROM trips) c")
+          [ 1.0 ]);
+  ]
+
+let rejection_tests =
+  [
+    Alcotest.test_case "non-equijoin" `Quick (fun () ->
+        expect_reject "SELECT COUNT(*) FROM trips a JOIN trips b ON a.fare > b.fare"
+          (function Errors.Unsupported (Errors.Non_equijoin _) -> true | _ -> false));
+    Alcotest.test_case "cross join" `Quick (fun () ->
+        expect_reject "SELECT COUNT(*) FROM trips CROSS JOIN drivers" (function
+          | Errors.Unsupported Errors.Cross_join -> true
+          | _ -> false);
+        expect_reject "SELECT COUNT(*) FROM trips, drivers" (function
+          | Errors.Unsupported Errors.Cross_join -> true
+          | _ -> false));
+    Alcotest.test_case "join key computed from aggregate (paper 3.7.1)" `Quick (fun () ->
+        expect_reject
+          "WITH a AS (SELECT COUNT(*) AS c FROM trips), b AS (SELECT COUNT(*) AS c \
+           FROM drivers) SELECT COUNT(*) FROM a JOIN b ON a.c = b.c"
+          (function
+          | Errors.Unsupported (Errors.Join_key_not_base _) -> true
+          | _ -> false));
+    Alcotest.test_case "raw data query" `Quick (fun () ->
+        expect_reject "SELECT id, fare FROM trips" (function
+          | Errors.Unsupported Errors.Raw_data_query -> true
+          | _ -> false);
+        expect_reject "SELECT * FROM trips" (function
+          | Errors.Unsupported Errors.Raw_data_query -> true
+          | _ -> false));
+    Alcotest.test_case "arithmetic over aggregates" `Quick (fun () ->
+        expect_reject "SELECT COUNT(*) / 2 FROM trips" (function
+          | Errors.Unsupported Errors.Arithmetic_on_aggregate -> true
+          | _ -> false);
+        expect_reject "SELECT SUM(fare) / COUNT(*) FROM trips" (function
+          | Errors.Unsupported Errors.Arithmetic_on_aggregate -> true
+          | _ -> false));
+    Alcotest.test_case "unsupported aggregates" `Quick (fun () ->
+        expect_reject "SELECT MEDIAN(fare) FROM trips" (function
+          | Errors.Unsupported (Errors.Unsupported_aggregate Ast.Median) -> true
+          | _ -> false);
+        expect_reject "SELECT STDDEV(fare) FROM trips" (function
+          | Errors.Unsupported (Errors.Unsupported_aggregate Ast.Stddev) -> true
+          | _ -> false));
+    Alcotest.test_case "set operations" `Quick (fun () ->
+        expect_reject "SELECT COUNT(*) FROM trips UNION SELECT COUNT(*) FROM drivers"
+          (function Errors.Unsupported Errors.Set_operation -> true | _ -> false));
+    Alcotest.test_case "private subquery in predicate" `Quick (fun () ->
+        expect_reject
+          "SELECT COUNT(*) FROM trips WHERE driver_id IN (SELECT id FROM drivers)"
+          (function
+          | Errors.Unsupported Errors.Private_subquery_in_predicate -> true
+          | _ -> false));
+    Alcotest.test_case "public subquery in predicate accepted" `Quick (fun () ->
+        check_poly "public filter"
+          (stability "SELECT COUNT(*) FROM trips WHERE city_id IN (SELECT id FROM cities)")
+          [ 1.0 ]);
+    Alcotest.test_case "parse errors are classified" `Quick (fun () ->
+        (match analyze "SELEC COUNT(*) FROM trips" with
+        | Error (Errors.Parse_error _) -> ()
+        | Error r -> Alcotest.failf "wrong class: %s" (Errors.to_string r)
+        | Ok _ -> Alcotest.fail "expected parse error");
+        Alcotest.(check bool) "bucket" true
+          (Errors.bucket_of (Errors.Parse_error "x") = Errors.Parse_bucket));
+    Alcotest.test_case "unknown table is an analysis error" `Quick (fun () ->
+        expect_reject "SELECT COUNT(*) FROM nosuch" (fun r ->
+            Errors.bucket_of r = Errors.Other_bucket));
+  ]
+
+let smooth_tests =
+  [
+    Alcotest.test_case "paper 3.4 smoothing parameters" `Quick (fun () ->
+        let s = stability Flex_workload.Graph.triangle_sql in
+        let beta = Smooth.beta ~epsilon:0.7 ~delta:1e-8 in
+        Alcotest.(check (float 1e-6)) "beta" (0.7 /. (2.0 *. log 2e8)) beta;
+        let r = Smooth.of_sens ~beta ~n:100_000 s in
+        (* brute force over a wide range must agree *)
+        let brute = ref 0.0 and brute_k = ref 0 in
+        for k = 0 to 10_000 do
+          let v = exp (-.beta *. float_of_int k) *. Sens.eval s k in
+          if v > !brute then begin
+            brute := v;
+            brute_k := k
+          end
+        done;
+        Alcotest.(check (float 1e-6)) "smooth max" !brute r.Smooth.smooth_bound;
+        Alcotest.(check int) "argmax" !brute_k r.Smooth.argmax_k);
+  ]
+
+let suites =
+  [
+    ("elastic-stability", stability_tests);
+    ("elastic-extensions", extension_tests);
+    ("elastic-rejections", rejection_tests);
+    ("elastic-smooth", smooth_tests);
+  ]

@@ -1,0 +1,529 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Executor = Flex_engine.Executor
+module Metrics = Flex_engine.Metrics
+module Csv = Flex_engine.Csv
+module Eval = Flex_engine.Eval
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+let v_float f = Value.Float f
+
+(* Small fixture: people in cities with pets. *)
+let fixture () =
+  let cities =
+    Table.create ~name:"cities" ~columns:[ "id"; "name" ]
+      [
+        [| v_int 1; v_str "sf" |];
+        [| v_int 2; v_str "nyc" |];
+        [| v_int 3; v_str "la" |];
+      ]
+  in
+  let people =
+    Table.create ~name:"people" ~columns:[ "id"; "name"; "city_id"; "age" ]
+      [
+        [| v_int 1; v_str "ada"; v_int 1; v_int 36 |];
+        [| v_int 2; v_str "bob"; v_int 1; v_int 25 |];
+        [| v_int 3; v_str "cyd"; v_int 2; v_int 40 |];
+        [| v_int 4; v_str "dan"; v_int 2; Value.Null |];
+        [| v_int 5; v_str "eve"; Value.Null; v_int 31 |];
+      ]
+  in
+  let pets =
+    Table.create ~name:"pets" ~columns:[ "owner_id"; "kind" ]
+      [
+        [| v_int 1; v_str "cat" |];
+        [| v_int 1; v_str "dog" |];
+        [| v_int 2; v_str "cat" |];
+        [| v_int 9; v_str "fish" |];
+      ]
+  in
+  Database.of_tables [ cities; people; pets ]
+
+let run sql =
+  match Executor.run_sql (fixture ()) sql with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "query failed (%s): %s" sql e
+
+let run_err sql =
+  match Executor.run_sql (fixture ()) sql with
+  | Ok _ -> Alcotest.failf "expected failure: %s" sql
+  | Error _ -> ()
+
+let scalar sql =
+  match (run sql).rows with
+  | [ [| v |] ] -> v
+  | rows -> Alcotest.failf "expected one cell, got %d rows" (List.length rows)
+
+let int_scalar sql =
+  match Value.to_int (scalar sql) with
+  | Some i -> i
+  | None -> Alcotest.failf "expected integer result for %s" sql
+
+let check_int sql expected =
+  Alcotest.(check int) sql expected (int_scalar sql)
+
+(* --- value semantics --------------------------------------------------------- *)
+
+let value_tests =
+  [
+    Alcotest.test_case "ordering across types" `Quick (fun () ->
+        Alcotest.(check bool) "null first" true (Value.compare Value.Null (v_int 0) < 0);
+        Alcotest.(check bool) "int/float mix" true (Value.compare (v_int 2) (v_float 2.5) < 0);
+        Alcotest.(check bool) "int = float" true (Value.equal (v_int 2) (v_float 2.0)));
+    Alcotest.test_case "sql equality with null" `Quick (fun () ->
+        Alcotest.(check bool) "null = x is unknown" true
+          (Value.sql_equal Value.Null (v_int 1) = None));
+    Alcotest.test_case "3-valued AND/OR" `Quick (fun () ->
+        Alcotest.(check bool) "false AND null = false" true
+          (Eval.and3 (Value.Bool false) Value.Null = Value.Bool false);
+        Alcotest.(check bool) "true AND null = null" true
+          (Eval.and3 (Value.Bool true) Value.Null = Value.Null);
+        Alcotest.(check bool) "true OR null = true" true
+          (Eval.or3 (Value.Bool true) Value.Null = Value.Bool true));
+    Alcotest.test_case "like matching" `Quick (fun () ->
+        let m p s = Eval.like (v_str s) (v_str p) = Value.Bool true in
+        Alcotest.(check bool) "prefix" true (m "a%" "abc");
+        Alcotest.(check bool) "suffix" true (m "%c" "abc");
+        Alcotest.(check bool) "underscore" true (m "a_c" "abc");
+        Alcotest.(check bool) "no match" false (m "a_c" "abcd");
+        Alcotest.(check bool) "literal percent matches anywhere" true (m "%b%" "abc"));
+  ]
+
+(* --- selection, projection, expressions --------------------------------------- *)
+
+let select_tests =
+  [
+    Alcotest.test_case "count star" `Quick (fun () -> check_int "SELECT COUNT(*) FROM people" 5);
+    Alcotest.test_case "where filtering" `Quick (fun () ->
+        check_int "SELECT COUNT(*) FROM people WHERE age > 30" 3;
+        (* NULL age rows are dropped by the predicate *)
+        check_int "SELECT COUNT(*) FROM people WHERE age <= 30" 1);
+    Alcotest.test_case "projection names" `Quick (fun () ->
+        let r = run "SELECT name AS person, age FROM people LIMIT 1" in
+        Alcotest.(check (list string)) "columns" [ "person"; "age" ] r.columns);
+    Alcotest.test_case "star expansion" `Quick (fun () ->
+        let r = run "SELECT * FROM cities" in
+        Alcotest.(check (list string)) "columns" [ "id"; "name" ] r.columns;
+        Alcotest.(check int) "rows" 3 (List.length r.rows));
+    Alcotest.test_case "arithmetic and functions" `Quick (fun () ->
+        Alcotest.(check bool) "int division truncates" true
+          (scalar "SELECT 7 / 2" = v_int 3);
+        Alcotest.(check bool) "mixed division is float" true
+          (scalar "SELECT 7.0 / 2" = v_float 3.5);
+        Alcotest.(check bool) "upper" true (scalar "SELECT UPPER('abc')" = v_str "ABC");
+        Alcotest.(check bool) "coalesce" true (scalar "SELECT COALESCE(NULL, 5)" = v_int 5);
+        Alcotest.(check bool) "case" true
+          (scalar "SELECT CASE WHEN 1 > 2 THEN 'a' ELSE 'b' END" = v_str "b"));
+    Alcotest.test_case "distinct" `Quick (fun () ->
+        check_int "SELECT COUNT(*) FROM (SELECT DISTINCT kind FROM pets) k" 3);
+    Alcotest.test_case "in and between" `Quick (fun () ->
+        check_int "SELECT COUNT(*) FROM people WHERE id IN (1, 3, 5)" 3;
+        check_int "SELECT COUNT(*) FROM people WHERE age BETWEEN 25 AND 36" 3);
+    Alcotest.test_case "is null" `Quick (fun () ->
+        check_int "SELECT COUNT(*) FROM people WHERE age IS NULL" 1;
+        check_int "SELECT COUNT(*) FROM people WHERE age IS NOT NULL" 4);
+    Alcotest.test_case "order by and limit" `Quick (fun () ->
+        let r = run "SELECT name FROM people ORDER BY age DESC LIMIT 2" in
+        match r.rows with
+        | [ [| a |]; [| b |] ] ->
+          Alcotest.(check bool) "cyd first" true (a = v_str "cyd");
+          Alcotest.(check bool) "ada second" true (b = v_str "ada")
+        | _ -> Alcotest.fail "unexpected rows");
+    Alcotest.test_case "order by null first ascending" `Quick (fun () ->
+        let r = run "SELECT name FROM people ORDER BY age ASC LIMIT 1" in
+        match r.rows with
+        | [ [| v |] ] -> Alcotest.(check bool) "dan (null age)" true (v = v_str "dan")
+        | _ -> Alcotest.fail "unexpected rows");
+    Alcotest.test_case "offset" `Quick (fun () ->
+        let r = run "SELECT id FROM people ORDER BY id LIMIT 2 OFFSET 2" in
+        match r.rows with
+        | [ [| a |]; [| b |] ] ->
+          Alcotest.(check bool) "ids 3,4" true (a = v_int 3 && b = v_int 4)
+        | _ -> Alcotest.fail "unexpected rows");
+  ]
+
+(* --- joins --------------------------------------------------------------------- *)
+
+let join_tests =
+  [
+    Alcotest.test_case "inner equijoin" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM people p JOIN pets x ON p.id = x.owner_id" 3);
+    Alcotest.test_case "left join preserves unmatched" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM people p LEFT JOIN pets x ON p.id = x.owner_id" 6;
+        (* unmatched rows carry NULLs *)
+        check_int
+          "SELECT COUNT(*) FROM people p LEFT JOIN pets x ON p.id = x.owner_id \
+           WHERE x.kind IS NULL"
+          3);
+    Alcotest.test_case "right join mirrors left" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM pets x RIGHT JOIN people p ON p.id = x.owner_id" 6);
+    Alcotest.test_case "full join" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM people p FULL JOIN pets x ON p.id = x.owner_id" 7);
+    Alcotest.test_case "cross join" `Quick (fun () ->
+        check_int "SELECT COUNT(*) FROM cities CROSS JOIN pets" 12;
+        check_int "SELECT COUNT(*) FROM cities, pets" 12);
+    Alcotest.test_case "null keys never match" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM people p JOIN cities c ON p.city_id = c.id" 4);
+    Alcotest.test_case "using and natural" `Quick (fun () ->
+        check_int "SELECT COUNT(*) FROM people JOIN cities USING (id)" 3;
+        (* natural join matches on every shared column: id AND name, which
+           never agree across these tables *)
+        check_int "SELECT COUNT(*) FROM people NATURAL JOIN cities" 0);
+    Alcotest.test_case "self join" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM people a JOIN people b ON a.city_id = b.city_id" 8);
+    Alcotest.test_case "join with residual predicate" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM people a JOIN people b ON a.city_id = b.city_id \
+           AND a.id < b.id"
+          2);
+    Alcotest.test_case "non-equality join condition" `Quick (fun () ->
+        check_int "SELECT COUNT(*) FROM cities a JOIN cities b ON a.id < b.id" 3);
+    Alcotest.test_case "hash join equals nested loop" `Quick (fun () ->
+        (* same condition expressed once hashable, once not *)
+        let a =
+          int_scalar
+            "SELECT COUNT(*) FROM people p JOIN pets x ON p.id = x.owner_id"
+        in
+        let b =
+          int_scalar
+            "SELECT COUNT(*) FROM people p JOIN pets x ON p.id <= x.owner_id AND \
+             p.id >= x.owner_id"
+        in
+        Alcotest.(check int) "equal counts" a b);
+  ]
+
+(* --- grouping and aggregates ------------------------------------------------------ *)
+
+let group_tests =
+  [
+    Alcotest.test_case "group by with counts" `Quick (fun () ->
+        let r = run "SELECT city_id, COUNT(*) AS n FROM people GROUP BY city_id ORDER BY n DESC" in
+        Alcotest.(check int) "three groups" 3 (List.length r.rows));
+    Alcotest.test_case "count ignores nulls, count star does not" `Quick (fun () ->
+        check_int "SELECT COUNT(age) FROM people" 4;
+        check_int "SELECT COUNT(*) FROM people" 5);
+    Alcotest.test_case "count distinct" `Quick (fun () ->
+        check_int "SELECT COUNT(DISTINCT kind) FROM pets" 3);
+    Alcotest.test_case "sum avg min max" `Quick (fun () ->
+        check_int "SELECT SUM(age) FROM people" 132;
+        Alcotest.(check bool) "avg" true (scalar "SELECT AVG(age) FROM people" = v_float 33.0);
+        check_int "SELECT MIN(age) FROM people" 25;
+        check_int "SELECT MAX(age) FROM people" 40);
+    Alcotest.test_case "median and stddev" `Quick (fun () ->
+        Alcotest.(check bool) "median" true
+          (scalar "SELECT MEDIAN(age) FROM people" = v_float 33.5);
+        match scalar "SELECT STDDEV(age) FROM people" with
+        | Value.Float f -> Alcotest.(check (float 0.01)) "stddev" (sqrt 42.0) f
+        | _ -> Alcotest.fail "stddev not float");
+    Alcotest.test_case "aggregates over empty input" `Quick (fun () ->
+        check_int "SELECT COUNT(*) FROM people WHERE age > 100" 0;
+        Alcotest.(check bool) "sum of empty is null" true
+          (scalar "SELECT SUM(age) FROM people WHERE age > 100" = Value.Null));
+    Alcotest.test_case "having filters groups" `Quick (fun () ->
+        let r =
+          run "SELECT city_id, COUNT(*) FROM people GROUP BY city_id HAVING COUNT(*) >= 2"
+        in
+        Alcotest.(check int) "two groups" 2 (List.length r.rows));
+    Alcotest.test_case "group by expression" `Quick (fun () ->
+        let r = run "SELECT age % 2, COUNT(*) FROM people WHERE age IS NOT NULL GROUP BY age % 2" in
+        Alcotest.(check int) "parity groups" 2 (List.length r.rows));
+    Alcotest.test_case "aggregate of expression" `Quick (fun () ->
+        check_int "SELECT SUM(age * 2) FROM people" 264);
+  ]
+
+(* --- subqueries, CTEs, set ops ------------------------------------------------------ *)
+
+let query_tests =
+  [
+    Alcotest.test_case "derived table" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM (SELECT id FROM people WHERE age > 30) old" 3);
+    Alcotest.test_case "cte" `Quick (fun () ->
+        check_int
+          "WITH old AS (SELECT id FROM people WHERE age > 30) SELECT COUNT(*) FROM old"
+          3);
+    Alcotest.test_case "cte chaining" `Quick (fun () ->
+        check_int
+          "WITH a AS (SELECT id FROM people WHERE age > 30), b AS (SELECT id \
+           FROM a WHERE id > 1) SELECT COUNT(*) FROM b"
+          2);
+    Alcotest.test_case "cte column rename" `Quick (fun () ->
+        check_int
+          "WITH t (pid) AS (SELECT id FROM people) SELECT COUNT(pid) FROM t" 5);
+    Alcotest.test_case "in subquery" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM people WHERE id IN (SELECT owner_id FROM pets)" 2);
+    Alcotest.test_case "exists" `Quick (fun () ->
+        check_int "SELECT COUNT(*) FROM people WHERE EXISTS (SELECT 1 FROM pets)" 5);
+    Alcotest.test_case "scalar subquery" `Quick (fun () ->
+        check_int "SELECT COUNT(*) FROM people WHERE age > (SELECT AVG(age) FROM people)" 2);
+    Alcotest.test_case "union distinct vs all" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM (SELECT kind FROM pets UNION SELECT kind FROM pets) u" 3;
+        check_int
+          "SELECT COUNT(*) FROM (SELECT kind FROM pets UNION ALL SELECT kind FROM pets) u"
+          8);
+    Alcotest.test_case "except and intersect" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM (SELECT id FROM people EXCEPT SELECT owner_id FROM pets) e"
+          3;
+        check_int
+          "SELECT COUNT(*) FROM (SELECT id FROM people INTERSECT SELECT owner_id \
+           FROM pets) i"
+          2);
+    Alcotest.test_case "grouped subquery as relation" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM (SELECT city_id, COUNT(*) AS n FROM people GROUP \
+           BY city_id) g WHERE g.n >= 2"
+          2);
+    Alcotest.test_case "aggregate of grouped subquery" `Quick (fun () ->
+        check_int
+          "SELECT MAX(n) FROM (SELECT COUNT(*) AS n FROM people GROUP BY city_id) g" 2);
+    Alcotest.test_case "errors" `Quick (fun () ->
+        run_err "SELECT nosuch FROM people";
+        run_err "SELECT * FROM nosuch";
+        run_err "SELECT COUNT(*) FROM people WHERE age > (SELECT id FROM people)";
+        run_err "SELECT a FROM people UNION SELECT a, b FROM pets");
+  ]
+
+(* --- metrics -------------------------------------------------------------------------- *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "mf matches SQL oracle" `Quick (fun () ->
+        let db = fixture () in
+        let m = Metrics.compute db in
+        (* most frequent city_id among people is 1 or 2, both appear twice *)
+        Alcotest.(check (option int)) "people.city_id" (Some 2)
+          (Metrics.mf m ~table:"people" ~column:"city_id");
+        Alcotest.(check (option int)) "pets.owner_id" (Some 2)
+          (Metrics.mf m ~table:"pets" ~column:"owner_id");
+        Alcotest.(check (option int)) "unique ids" (Some 1)
+          (Metrics.mf m ~table:"people" ~column:"id");
+        (* cross-check against the paper's collection query *)
+        let oracle =
+          match
+            Executor.run_sql db
+              "SELECT COUNT(owner_id) AS c FROM pets GROUP BY owner_id ORDER BY c \
+               DESC LIMIT 1"
+          with
+          | Ok { rows = [ [| v |] ]; _ } -> Value.to_int v
+          | _ -> None
+        in
+        Alcotest.(check (option int)) "sql oracle agrees" oracle
+          (Metrics.mf m ~table:"pets" ~column:"owner_id"));
+    Alcotest.test_case "vr is max minus min" `Quick (fun () ->
+        let m = Metrics.compute (fixture ()) in
+        Alcotest.(check (option (float 1e-9))) "age range" (Some 15.0)
+          (Metrics.vr m ~table:"people" ~column:"age");
+        Alcotest.(check (option (float 1e-9))) "no numeric values" None
+          (Metrics.vr m ~table:"people" ~column:"name"));
+    Alcotest.test_case "public registry" `Quick (fun () ->
+        let m = Metrics.compute (fixture ()) in
+        Alcotest.(check bool) "not public by default" false (Metrics.is_public m "cities");
+        Metrics.set_public m "cities";
+        Alcotest.(check bool) "now public" true (Metrics.is_public m "CITIES");
+        Metrics.clear_public m "cities";
+        Alcotest.(check bool) "cleared" false (Metrics.is_public m "cities"));
+    Alcotest.test_case "serialisation roundtrip" `Quick (fun () ->
+        let m = Metrics.compute (fixture ()) in
+        Metrics.set_public m "cities";
+        let m2 = Metrics.of_lines (Metrics.to_lines m) in
+        Alcotest.(check (list string)) "same lines" (Metrics.to_lines m) (Metrics.to_lines m2);
+        Alcotest.(check bool) "public preserved" true (Metrics.is_public m2 "cities"));
+    Alcotest.test_case "row counts and totals" `Quick (fun () ->
+        let m = Metrics.compute (fixture ()) in
+        Alcotest.(check (option int)) "people rows" (Some 5) (Metrics.row_count m ~table:"people");
+        Alcotest.(check int) "total" 12 (Metrics.total_rows m));
+    Alcotest.test_case "column listing from metrics" `Quick (fun () ->
+        let m = Metrics.compute (fixture ()) in
+        Alcotest.(check (list string)) "people columns"
+          [ "age"; "city_id"; "id"; "name" ]
+          (Metrics.columns m ~table:"people"));
+  ]
+
+(* --- csv ---------------------------------------------------------------------------------- *)
+
+let csv_tests =
+  [
+    Alcotest.test_case "roundtrip through a file" `Quick (fun () ->
+        let path = Filename.temp_file "oflex" ".csv" in
+        let r = run "SELECT id, name FROM cities ORDER BY id" in
+        Csv.save_result r path;
+        let t = Csv.load_table ~name:"cities2" path in
+        Alcotest.(check int) "rows" 3 (Table.row_count t);
+        Alcotest.(check bool) "value sniffed as int" true
+          ((Table.rows t).(0).(0) = v_int 1);
+        Sys.remove path);
+    Alcotest.test_case "quoted fields" `Quick (fun () ->
+        let path = Filename.temp_file "oflex" ".csv" in
+        let oc = open_out path in
+        output_string oc "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n";
+        close_out oc;
+        let t = Csv.load_table ~name:"q" path in
+        Alcotest.(check bool) "comma preserved" true ((Table.rows t).(0).(0) = v_str "x,y");
+        Alcotest.(check bool) "escaped quotes" true
+          ((Table.rows t).(0).(1) = v_str "he said \"hi\"");
+        Sys.remove path);
+    Alcotest.test_case "empty cell is NULL" `Quick (fun () ->
+        let path = Filename.temp_file "oflex" ".csv" in
+        let oc = open_out path in
+        output_string oc "a,b\n1,\n";
+        close_out oc;
+        let t = Csv.load_table ~name:"n" path in
+        Alcotest.(check bool) "null" true (Value.is_null (Table.rows t).(0).(1));
+        Sys.remove path);
+  ]
+
+let suites =
+  [
+    ("value", value_tests);
+    ("executor-select", select_tests);
+    ("executor-join", join_tests);
+    ("executor-group", group_tests);
+    ("executor-query", query_tests);
+    ("metrics", metrics_tests);
+    ("csv", csv_tests);
+  ]
+
+(* --- correlated subqueries (appended) --------------------------------------- *)
+
+let correlated_tests =
+  [
+    Alcotest.test_case "correlated EXISTS" `Quick (fun () ->
+        (* people who own at least one pet *)
+        check_int
+          "SELECT COUNT(*) FROM people p WHERE EXISTS (SELECT 1 FROM pets x \
+           WHERE x.owner_id = p.id)"
+          2);
+    Alcotest.test_case "correlated NOT EXISTS" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM people p WHERE NOT EXISTS (SELECT 1 FROM pets x \
+           WHERE x.owner_id = p.id)"
+          3);
+    Alcotest.test_case "correlated scalar subquery" `Quick (fun () ->
+        (* per-person pet count used as a filter *)
+        check_int
+          "SELECT COUNT(*) FROM people p WHERE (SELECT COUNT(*) FROM pets x \
+           WHERE x.owner_id = p.id) >= 2"
+          1);
+    Alcotest.test_case "correlated IN" `Quick (fun () ->
+        check_int
+          "SELECT COUNT(*) FROM people p WHERE 'cat' IN (SELECT kind FROM pets x \
+           WHERE x.owner_id = p.id)"
+          2);
+    Alcotest.test_case "inner scope shadows outer" `Quick (fun () ->
+        (* the inner p refers to the subquery's own people alias *)
+        check_int
+          "SELECT COUNT(*) FROM people p WHERE p.id = (SELECT MIN(q.id) FROM \
+           people q)"
+          1);
+    Alcotest.test_case "unknown columns still error" `Quick (fun () ->
+        run_err "SELECT COUNT(*) FROM people p WHERE EXISTS (SELECT nosuch FROM pets)");
+  ]
+
+let suites = suites @ [ ("executor-correlated", correlated_tests) ]
+
+(* --- plan / EXPLAIN (appended) ------------------------------------------------ *)
+
+module Plan = Flex_engine.Plan
+
+let explain sql =
+  match Plan.explain_sql sql with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "explain failed: %s" e
+
+let contains s sub = Astring.String.is_infix ~affix:sub s
+
+let plan_tests =
+  [
+    Alcotest.test_case "equijoins plan as hash joins" `Quick (fun () ->
+        let s = explain "SELECT COUNT(*) FROM people p JOIN pets x ON p.id = x.owner_id" in
+        Alcotest.(check bool) "hash" true (contains s "hash on p.id = x.owner_id");
+        Alcotest.(check bool) "aggregate" true (contains s "Aggregate [COUNT(*)]"));
+    Alcotest.test_case "non-equality conditions plan as nested loops" `Quick (fun () ->
+        let s = explain "SELECT 1 FROM cities a JOIN cities b ON a.id < b.id" in
+        Alcotest.(check bool) "nested" true (contains s "nested loop"));
+    Alcotest.test_case "residual conjuncts are counted" `Quick (fun () ->
+        let s =
+          explain
+            "SELECT 1 FROM people p JOIN pets x ON p.id = x.owner_id AND p.age > 30"
+        in
+        Alcotest.(check bool) "residual" true (contains s "+1 residual"));
+    Alcotest.test_case "sort, slice and ctes appear" `Quick (fun () ->
+        let s =
+          explain
+            "WITH w AS (SELECT id FROM people) SELECT id FROM w ORDER BY id DESC LIMIT 3"
+        in
+        Alcotest.(check bool) "cte" true (contains s "CTE w:");
+        Alcotest.(check bool) "sort" true (contains s "Sort [id DESC]");
+        Alcotest.(check bool) "slice" true (contains s "Slice LIMIT 3"));
+    Alcotest.test_case "set operations" `Quick (fun () ->
+        let s = explain "SELECT id FROM people UNION ALL SELECT owner_id FROM pets" in
+        Alcotest.(check bool) "union all" true (contains s "UNION ALL"));
+    Alcotest.test_case "group by and having" `Quick (fun () ->
+        let s =
+          explain
+            "SELECT city_id, COUNT(*) FROM people GROUP BY city_id HAVING COUNT(*) > 1"
+        in
+        Alcotest.(check bool) "group" true (contains s "GROUP BY city_id");
+        Alcotest.(check bool) "having" true (contains s "HAVING"));
+  ]
+
+let suites = suites @ [ ("plan", plan_tests) ]
+
+(* --- scalar function coverage (appended) --------------------------------------- *)
+
+let function_tests =
+  [
+    Alcotest.test_case "string functions" `Quick (fun () ->
+        Alcotest.(check bool) "length" true (scalar "SELECT LENGTH('hello')" = v_int 5);
+        Alcotest.(check bool) "trim" true (scalar "SELECT TRIM('  x  ')" = v_str "x");
+        Alcotest.(check bool) "substr 2-arg" true (scalar "SELECT SUBSTR('hello', 2)" = v_str "ello");
+        Alcotest.(check bool) "substr 3-arg" true (scalar "SELECT SUBSTR('hello', 2, 3)" = v_str "ell");
+        Alcotest.(check bool) "substr past end" true (scalar "SELECT SUBSTR('hi', 9)" = v_str "");
+        Alcotest.(check bool) "concat fn" true
+          (scalar "SELECT CONCAT('a', 'b', 'c')" = v_str "abc"));
+    Alcotest.test_case "date extraction" `Quick (fun () ->
+        Alcotest.(check bool) "year" true (scalar "SELECT YEAR('2016-03-14')" = v_int 2016);
+        Alcotest.(check bool) "month" true (scalar "SELECT MONTH('2016-03-14')" = v_int 3);
+        Alcotest.(check bool) "year of garbage" true
+          (Value.is_null (scalar "SELECT YEAR('xyzw-aa')")));
+    Alcotest.test_case "numeric functions" `Quick (fun () ->
+        Alcotest.(check bool) "round to digits" true
+          (scalar "SELECT ROUND(3.14159, 2)" = v_float 3.14);
+        Alcotest.(check bool) "floor" true (scalar "SELECT FLOOR(3.9)" = v_int 3);
+        Alcotest.(check bool) "ceil" true (scalar "SELECT CEIL(3.1)" = v_int 4);
+        Alcotest.(check bool) "sqrt" true (scalar "SELECT SQRT(16.0)" = v_float 4.0);
+        Alcotest.(check bool) "sqrt of negative is null" true
+          (Value.is_null (scalar "SELECT SQRT(-1.0)"));
+        Alcotest.(check bool) "greatest" true (scalar "SELECT GREATEST(1, 5, 3)" = v_int 5);
+        Alcotest.(check bool) "least" true (scalar "SELECT LEAST(1, 5, 3)" = v_int 1));
+    Alcotest.test_case "null propagation in functions" `Quick (fun () ->
+        Alcotest.(check bool) "lower null" true (Value.is_null (scalar "SELECT LOWER(NULL)"));
+        Alcotest.(check bool) "abs null" true (Value.is_null (scalar "SELECT ABS(NULL)"));
+        Alcotest.(check bool) "nullif equal" true (Value.is_null (scalar "SELECT NULLIF(3, 3)"));
+        Alcotest.(check bool) "nullif differs" true (scalar "SELECT NULLIF(3, 4)" = v_int 3));
+    Alcotest.test_case "casts" `Quick (fun () ->
+        Alcotest.(check bool) "string to int" true (scalar "SELECT CAST('42' AS int)" = v_int 42);
+        Alcotest.(check bool) "junk to int is null" true
+          (Value.is_null (scalar "SELECT CAST('junk' AS int)"));
+        Alcotest.(check bool) "int to varchar" true
+          (scalar "SELECT CAST(7 AS varchar(10))" = v_str "7");
+        Alcotest.(check bool) "string to bool" true
+          (scalar "SELECT CAST('true' AS boolean)" = Value.Bool true);
+        Alcotest.(check bool) "float to int truncates" true
+          (scalar "SELECT CAST(3.7 AS int)" = v_int 3));
+    Alcotest.test_case "unknown function errors" `Quick (fun () ->
+        run_err "SELECT FROBNICATE(1) FROM people");
+  ]
+
+let suites = suites @ [ ("eval-functions", function_tests) ]

@@ -1,0 +1,132 @@
+(* Robustness fuzzing: the analyzer, executor and feature extractor must be
+   *total* on arbitrary well-formed ASTs — they may reject with a typed
+   error, but must never raise an unexpected exception. The AST generator is
+   shared with the pretty-printer round-trip test. *)
+
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Executor = Flex_engine.Executor
+module Elastic = Flex_core.Elastic
+module Errors = Flex_core.Errors
+module Features = Flex_sql.Features
+
+let arb_query = Test_sql.arb_query
+
+(* A fixture whose table/column names overlap the generator's vocabulary
+   ("a", "b", "c", "t", "u", "fare", "city", "status"). *)
+let fuzz_db =
+  lazy
+    (let t =
+       Table.create ~name:"t" ~columns:[ "a"; "b"; "c"; "fare"; "city"; "status" ]
+         (List.init 5 (fun i ->
+              [|
+                Value.Int i; Value.Int (i mod 2); Value.String "x";
+                Value.Float (float_of_int (10 * i)); Value.String "sf";
+                Value.String (if i mod 2 = 0 then "ok" else "bad");
+              |]))
+     in
+     let u =
+       Table.create ~name:"u" ~columns:[ "a"; "b"; "c"; "fare"; "city"; "status" ]
+         (List.init 4 (fun i ->
+              [|
+                Value.Int (i + 2); Value.Int i; Value.Null;
+                Value.Float 1.5; Value.String "nyc"; Value.String "ok";
+              |]))
+     in
+     Database.of_tables [ t; u ])
+
+let fuzz_catalog =
+  lazy
+    (let m = Metrics.compute (Lazy.force fuzz_db) in
+     Metrics.set_public m "u";
+     Elastic.catalog_of_metrics m)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"analyzer is total on random ASTs" ~count:800 arb_query
+         (fun q ->
+           match Elastic.analyze (Lazy.force fuzz_catalog) q with
+           | Ok _ | Error _ -> true
+           | exception e ->
+             QCheck.Test.fail_reportf "analyzer raised %s on:@.%s"
+               (Printexc.to_string e) (Flex_sql.Pretty.to_string q)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"executor is total on random ASTs" ~count:800 arb_query
+         (fun q ->
+           let sql = Flex_sql.Pretty.to_string q in
+           match Executor.run_sql (Lazy.force fuzz_db) sql with
+           | Ok _ | Error _ -> true
+           | exception e ->
+             QCheck.Test.fail_reportf "executor raised %s on:@.%s"
+               (Printexc.to_string e) sql));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"feature extraction is total on random ASTs" ~count:800
+         arb_query (fun q ->
+           match Features.analyze q with
+           | _ -> true
+           | exception e ->
+             QCheck.Test.fail_reportf "features raised %s on:@.%s"
+               (Printexc.to_string e) (Flex_sql.Pretty.to_string q)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mechanism is total on random ASTs" ~count:300 arb_query
+         (fun q ->
+           let rng = Flex_dp.Rng.create ~seed:3 () in
+           let db = Lazy.force fuzz_db in
+           let metrics = Metrics.compute db in
+           Metrics.set_public metrics "u";
+           let options = Flex_core.Flex.options ~epsilon:1.0 ~delta:1e-8 () in
+           match Flex_core.Flex.run ~rng ~options ~db ~metrics q with
+           | Ok _ | Error _ -> true
+           | exception e ->
+             QCheck.Test.fail_reportf "mechanism raised %s on:@.%s"
+               (Printexc.to_string e) (Flex_sql.Pretty.to_string q)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"inline view equals CTE" ~count:200 arb_query (fun q ->
+           (* A star-count over the same query expressed as a derived
+              table and as a CTE must agree (when it runs at all) *)
+           QCheck.assume (q.Flex_sql.Ast.ctes = []);
+           let db = Lazy.force fuzz_db in
+           let derived =
+             {
+               Flex_sql.Ast.ctes = [];
+               body =
+                 Flex_sql.Ast.Select
+                   {
+                     Flex_sql.Ast.empty_select with
+                     projections =
+                       [ Flex_sql.Ast.Proj_expr (Flex_sql.Ast.count_star, None) ];
+                     from = [ Flex_sql.Ast.Derived { query = q; alias = "v" } ];
+                   };
+               order_by = [];
+               limit = None;
+               offset = None;
+             }
+           in
+           let as_cte =
+             {
+               derived with
+               Flex_sql.Ast.ctes =
+                 [ { Flex_sql.Ast.cte_name = "v"; cte_columns = []; cte_query = q } ];
+               body =
+                 Flex_sql.Ast.Select
+                   {
+                     Flex_sql.Ast.empty_select with
+                     projections =
+                       [ Flex_sql.Ast.Proj_expr (Flex_sql.Ast.count_star, None) ];
+                     from = [ Flex_sql.Ast.Table { name = "v"; alias = None } ];
+                   };
+             }
+           in
+           match (Executor.run db derived, Executor.run db as_cte) with
+           | r1, r2 -> r1.Executor.rows = r2.Executor.rows
+           | exception _ -> (
+             (* both must fail together *)
+             match Executor.run db as_cte with
+             | _ -> false
+             | exception _ -> true)));
+  ]
+
+let suites = [ ("fuzz", tests) ]

@@ -1,0 +1,118 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Executor = Flex_engine.Executor
+module Elastic = Flex_core.Elastic
+module Histogram = Flex_core.Histogram
+
+(* Fixture: trips per city; cities public with 4 rows, only 2 appear in
+   trips — enumeration must add the missing 2 bins with zero counts. *)
+let fixture () =
+  let cities =
+    Table.create ~name:"cities" ~columns:[ "id"; "name" ]
+      [
+        [| Value.Int 1; Value.String "sf" |];
+        [| Value.Int 2; Value.String "nyc" |];
+        [| Value.Int 3; Value.String "la" |];
+        [| Value.Int 4; Value.String "austin" |];
+      ]
+  in
+  let trips =
+    Table.create ~name:"trips" ~columns:[ "id"; "city_id" ]
+      [
+        [| Value.Int 1; Value.Int 1 |];
+        [| Value.Int 2; Value.Int 1 |];
+        [| Value.Int 3; Value.Int 2 |];
+      ]
+  in
+  let db = Database.of_tables [ cities; trips ] in
+  let metrics = Metrics.compute db in
+  Metrics.set_public metrics "cities";
+  (db, metrics)
+
+let sql =
+  "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id GROUP BY c.name"
+
+let analysis_of db metrics sql =
+  ignore db;
+  let cat = Elastic.catalog_of_metrics metrics in
+  match Elastic.analyze_sql cat sql with
+  | Ok a -> (cat, a)
+  | Error r -> Alcotest.failf "rejected: %s" (Flex_core.Errors.to_string r)
+
+let tests =
+  [
+    Alcotest.test_case "public keys are enumerable" `Quick (fun () ->
+        let db, metrics = fixture () in
+        let cat, a = analysis_of db metrics sql in
+        Alcotest.(check bool) "enumerable" true (Histogram.enumerable cat a));
+    Alcotest.test_case "private keys are not enumerable" `Quick (fun () ->
+        let db, metrics = fixture () in
+        let cat, a =
+          analysis_of db metrics "SELECT t.city_id, COUNT(*) FROM trips t GROUP BY t.city_id"
+        in
+        Alcotest.(check bool) "not enumerable" false (Histogram.enumerable cat a));
+    Alcotest.test_case "computed keys are not enumerable" `Quick (fun () ->
+        let db, metrics = fixture () in
+        let cat, a =
+          analysis_of db metrics
+            "SELECT c.id % 2, COUNT(*) FROM trips t JOIN cities c ON t.city_id = \
+             c.id GROUP BY c.id % 2"
+        in
+        Alcotest.(check bool) "not enumerable" false (Histogram.enumerable cat a));
+    Alcotest.test_case "missing bins appended with zero counts" `Quick (fun () ->
+        let db, metrics = fixture () in
+        let cat, a = analysis_of db metrics sql in
+        let result = Executor.run_sql_exn db sql in
+        Alcotest.(check int) "observed bins" 2 (List.length result.rows);
+        match Histogram.enumerate cat db a result with
+        | None -> Alcotest.fail "enumeration failed"
+        | Some extended ->
+          Alcotest.(check int) "all four cities" 4 (List.length extended.rows);
+          (* the added bins carry count 0 and a real label *)
+          let added =
+            List.filteri (fun i _ -> i >= 2) extended.rows
+          in
+          List.iter
+            (fun row ->
+              (match row.(0) with
+              | Value.String ("la" | "austin") -> ()
+              | v -> Alcotest.failf "unexpected label %s" (Value.to_string v));
+              Alcotest.(check bool) "zero count" true (row.(1) = Value.Int 0))
+            added);
+    Alcotest.test_case "existing bins unchanged by enumeration" `Quick (fun () ->
+        let db, metrics = fixture () in
+        let cat, a = analysis_of db metrics sql in
+        let result = Executor.run_sql_exn db sql in
+        match Histogram.enumerate cat db a result with
+        | None -> Alcotest.fail "enumeration failed"
+        | Some extended ->
+          let prefix = List.filteri (fun i _ -> i < 2) extended.rows in
+          Alcotest.(check bool) "prefix preserved" true (prefix = result.rows));
+    Alcotest.test_case "bin cap prevents explosion" `Quick (fun () ->
+        (* two public key columns whose product exceeds max_bins -> None *)
+        let big =
+          Table.create ~name:"labels" ~columns:[ "id"; "a"; "b" ]
+            (List.init 200 (fun i ->
+                 [| Value.Int i; Value.Int (i mod 200); Value.Int (i / 1) |]))
+        in
+        let facts =
+          Table.create ~name:"facts" ~columns:[ "label_id" ]
+            [ [| Value.Int 1 |]; [| Value.Int 2 |] ]
+        in
+        let db = Database.of_tables [ big; facts ] in
+        let metrics = Metrics.compute db in
+        Metrics.set_public metrics "labels";
+        let sql =
+          "SELECT l.a, l.b, COUNT(*) FROM facts f JOIN labels l ON f.label_id = \
+           l.id GROUP BY l.a, l.b"
+        in
+        let cat, a = analysis_of db metrics sql in
+        let result = Executor.run_sql_exn db sql in
+        (* 200 x 200 = 40000 > max_bins: enumeration declined *)
+        Alcotest.(check bool) "declined" true
+          (Histogram.enumerate cat db a result = None));
+  ]
+
+let suites = [ ("histogram", tests) ]

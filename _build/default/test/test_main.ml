@@ -1,0 +1,6 @@
+let () =
+  Alcotest.run "oflex"
+    (Test_dp.suites @ Test_sql.suites @ Test_engine.suites @ Test_elastic.suites
+   @ Test_soundness.suites @ Test_flex.suites @ Test_histogram.suites
+   @ Test_props.suites @ Test_ptr.suites @ Test_mwem.suites @ Test_metrics_live.suites @ Test_acceptance.suites @ Test_fuzz.suites @ Test_baselines.suites
+   @ Test_workload.suites)

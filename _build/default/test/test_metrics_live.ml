@@ -1,0 +1,115 @@
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Metrics_live = Flex_engine.Metrics_live
+module Rng = Flex_dp.Rng
+
+let v i = Value.Int i
+
+let tests =
+  [
+    Alcotest.test_case "bootstrap matches batch computation" `Quick (fun () ->
+        let rng = Rng.create ~seed:3 () in
+        let db, batch = Flex_workload.Uber.generate ~sizes:Flex_workload.Uber.small_sizes rng in
+        let live = Metrics_live.of_database db in
+        List.iter
+          (fun table ->
+            let t = Database.find db table in
+            Array.iter
+              (fun column ->
+                Alcotest.(check (option int))
+                  (Fmt.str "%s.%s mf" table column)
+                  (Metrics.mf batch ~table ~column)
+                  (Some (Metrics_live.mf live ~table ~column)))
+              (Table.columns t))
+          (Database.table_names db));
+    Alcotest.test_case "insert raises mf, delete lowers it" `Quick (fun () ->
+        let live = Metrics_live.create () in
+        Metrics_live.register live ~table:"t" ~columns:[ "k" ];
+        Alcotest.(check int) "empty" 0 (Metrics_live.mf live ~table:"t" ~column:"k");
+        Metrics_live.insert_row live ~table:"t" [| v 1 |];
+        Metrics_live.insert_row live ~table:"t" [| v 1 |];
+        Metrics_live.insert_row live ~table:"t" [| v 2 |];
+        Alcotest.(check int) "mf 2" 2 (Metrics_live.mf live ~table:"t" ~column:"k");
+        Metrics_live.delete_row live ~table:"t" [| v 1 |];
+        Alcotest.(check int) "mf back to 1" 1 (Metrics_live.mf live ~table:"t" ~column:"k");
+        Metrics_live.delete_row live ~table:"t" [| v 1 |];
+        Metrics_live.delete_row live ~table:"t" [| v 2 |];
+        Alcotest.(check int) "empty again" 0 (Metrics_live.mf live ~table:"t" ~column:"k"));
+    Alcotest.test_case "vr tracks extremes through deletes" `Quick (fun () ->
+        let live = Metrics_live.create () in
+        Metrics_live.register live ~table:"t" ~columns:[ "x" ];
+        List.iter
+          (fun i -> Metrics_live.insert_row live ~table:"t" [| v i |])
+          [ 5; 1; 9; 3 ];
+        Alcotest.(check (option (float 1e-9))) "range 8" (Some 8.0)
+          (Metrics_live.vr live ~table:"t" ~column:"x");
+        Metrics_live.delete_row live ~table:"t" [| v 9 |];
+        Alcotest.(check (option (float 1e-9))) "range 4" (Some 4.0)
+          (Metrics_live.vr live ~table:"t" ~column:"x");
+        List.iter
+          (fun i -> Metrics_live.delete_row live ~table:"t" [| v i |])
+          [ 5; 1; 3 ];
+        Alcotest.(check (option (float 1e-9))) "no numeric values" None
+          (Metrics_live.vr live ~table:"t" ~column:"x"));
+    Alcotest.test_case "update is delete plus insert" `Quick (fun () ->
+        let live = Metrics_live.create () in
+        Metrics_live.register live ~table:"t" ~columns:[ "k" ];
+        Metrics_live.insert_row live ~table:"t" [| v 1 |];
+        Metrics_live.insert_row live ~table:"t" [| v 1 |];
+        Metrics_live.update_row live ~table:"t" ~before:[| v 1 |] ~after:[| v 2 |];
+        Alcotest.(check int) "mf 1" 1 (Metrics_live.mf live ~table:"t" ~column:"k");
+        Alcotest.(check int) "rows stable" 2 (Metrics_live.row_count live ~table:"t"));
+    Alcotest.test_case "null values are not counted in mf" `Quick (fun () ->
+        let live = Metrics_live.create () in
+        Metrics_live.register live ~table:"t" ~columns:[ "k" ];
+        Metrics_live.insert_row live ~table:"t" [| Value.Null |];
+        Metrics_live.insert_row live ~table:"t" [| Value.Null |];
+        Alcotest.(check int) "mf 0" 0 (Metrics_live.mf live ~table:"t" ~column:"k");
+        Alcotest.(check int) "rows 2" 2 (Metrics_live.row_count live ~table:"t"));
+    Alcotest.test_case "random trace stays consistent with recomputation" `Quick
+      (fun () ->
+        let rng = Rng.create ~seed:11 () in
+        let live = Metrics_live.create () in
+        Metrics_live.register live ~table:"t" ~columns:[ "k"; "x" ];
+        let alive = ref [] in
+        for _ = 1 to 300 do
+          if !alive <> [] && Rng.bernoulli rng 0.4 then begin
+            let i = Rng.int rng (List.length !alive) in
+            let row = List.nth !alive i in
+            Metrics_live.delete_row live ~table:"t" row;
+            alive := List.filteri (fun j _ -> j <> i) !alive
+          end
+          else begin
+            let row = [| v (Rng.int rng 5); v (Rng.int rng 50) |] in
+            Metrics_live.insert_row live ~table:"t" row;
+            alive := row :: !alive
+          end
+        done;
+        (* recompute from scratch and compare *)
+        let table = Table.create ~name:"t" ~columns:[ "k"; "x" ] (List.rev !alive) in
+        Alcotest.(check int) "mf k" (Metrics.compute_mf table "k")
+          (Metrics_live.mf live ~table:"t" ~column:"k");
+        Alcotest.(check int) "mf x" (Metrics.compute_mf table "x")
+          (Metrics_live.mf live ~table:"t" ~column:"x");
+        Alcotest.(check (option (float 1e-9))) "vr x" (Metrics.compute_vr table "x")
+          (Metrics_live.vr live ~table:"t" ~column:"x");
+        Alcotest.(check int) "rows" (Table.row_count table)
+          (Metrics_live.row_count live ~table:"t"));
+    Alcotest.test_case "snapshot feeds the analysis" `Quick (fun () ->
+        let rng = Rng.create ~seed:5 () in
+        let db, base = Flex_workload.Uber.generate ~sizes:Flex_workload.Uber.small_sizes rng in
+        let live = Metrics_live.of_database db in
+        let snap = Metrics_live.snapshot ~base live in
+        Alcotest.(check bool) "publics preserved" true (Metrics.is_public snap "cities");
+        let cat = Flex_core.Elastic.catalog_of_metrics snap in
+        match
+          Flex_core.Elastic.analyze_sql cat
+            "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id"
+        with
+        | Ok _ -> ()
+        | Error r -> Alcotest.failf "rejected: %s" (Flex_core.Errors.to_string r));
+  ]
+
+let suites = [ ("metrics-live", tests) ]

@@ -1,0 +1,67 @@
+module Rng = Flex_dp.Rng
+module Mwem = Flex_dp.Mwem
+
+let data = [| 100.0; 50.0; 10.0; 200.0; 40.0; 0.0; 30.0; 70.0 |]
+
+let workload =
+  List.concat
+    [
+      List.init 8 (fun i ->
+          Mwem.subset_query ~label:(Fmt.str "point%d" i) ~domain_size:8 [ i ]);
+      [
+        Mwem.range_query ~label:"lo" ~domain_size:8 ~lo:0 ~hi:3;
+        Mwem.range_query ~label:"hi" ~domain_size:8 ~lo:4 ~hi:7;
+        Mwem.range_query ~label:"all" ~domain_size:8 ~lo:0 ~hi:7;
+      ];
+    ]
+
+let tests =
+  [
+    Alcotest.test_case "queries evaluate as subset sums" `Quick (fun () ->
+        let q = Mwem.range_query ~label:"r" ~domain_size:8 ~lo:0 ~hi:2 in
+        Alcotest.(check (float 1e-9)) "sum" 160.0 (Mwem.answer data q));
+    Alcotest.test_case "mass is preserved" `Quick (fun () ->
+        let rng = Rng.create ~seed:1 () in
+        let r = Mwem.run rng ~epsilon:1.0 ~rounds:5 ~data workload in
+        let total a = Array.fold_left ( +. ) 0.0 a in
+        Alcotest.(check (float 1e-6)) "mass" (total data) (total r.Mwem.synthetic));
+    Alcotest.test_case "measured queries match round count" `Quick (fun () ->
+        let rng = Rng.create ~seed:2 () in
+        let r = Mwem.run rng ~epsilon:1.0 ~rounds:7 ~data workload in
+        Alcotest.(check int) "rounds" 7 (List.length r.Mwem.measured));
+    Alcotest.test_case "more budget means better workload error" `Quick (fun () ->
+        let err epsilon rounds =
+          (* average over repetitions to damp noise *)
+          let total = ref 0.0 in
+          for seed = 1 to 10 do
+            let rng = Rng.create ~seed () in
+            let r = Mwem.run rng ~epsilon ~rounds ~data workload in
+            total := !total +. Mwem.workload_error ~data ~synthetic:r.Mwem.synthetic workload
+          done;
+          !total /. 10.0
+        in
+        let tight = err 0.01 4 in
+        let loose = err 10.0 12 in
+        Alcotest.(check bool)
+          (Fmt.str "eps=10 (%.1f) beats eps=0.01 (%.1f)" loose tight)
+          true (loose < tight));
+    Alcotest.test_case "beats the uniform prior on a skewed histogram" `Quick (fun () ->
+        let n = Array.fold_left ( +. ) 0.0 data in
+        let uniform = Array.make 8 (n /. 8.0) in
+        let base = Mwem.workload_error ~data ~synthetic:uniform workload in
+        let total = ref 0.0 in
+        for seed = 1 to 10 do
+          let rng = Rng.create ~seed () in
+          let r = Mwem.run rng ~epsilon:5.0 ~rounds:10 ~data workload in
+          total := !total +. Mwem.workload_error ~data ~synthetic:r.Mwem.synthetic workload
+        done;
+        Alcotest.(check bool) "improves" true (!total /. 10.0 < base));
+    Alcotest.test_case "invalid arguments" `Quick (fun () ->
+        let rng = Rng.create () in
+        Alcotest.check_raises "rounds" (Invalid_argument "Mwem.run: rounds must be >= 1")
+          (fun () -> ignore (Mwem.run rng ~epsilon:1.0 ~rounds:0 ~data workload));
+        Alcotest.check_raises "workload" (Invalid_argument "Mwem.run: empty workload")
+          (fun () -> ignore (Mwem.run rng ~epsilon:1.0 ~rounds:1 ~data [])));
+  ]
+
+let suites = [ ("mwem", tests) ]

@@ -1,0 +1,330 @@
+(* Cross-module property tests: engine query algebra, elastic-sensitivity
+   monotonicity under the optimisations, smoothing invariants, and metrics
+   behaviour under row replacement (Lemma 1 at base tables). *)
+
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Executor = Flex_engine.Executor
+module Eval = Flex_engine.Eval
+module Rng = Flex_dp.Rng
+module Sens = Flex_dp.Sens
+module Smooth = Flex_dp.Smooth
+module Elastic = Flex_core.Elastic
+module Flex = Flex_core.Flex
+
+(* --- random small databases ---------------------------------------------- *)
+
+let rows_gen ncols n =
+  QCheck.Gen.(
+    list_size (int_range 0 n)
+      (map
+         (fun vs -> Array.of_list vs)
+         (list_repeat ncols
+            (oneof
+               [
+                 map (fun i -> Value.Int i) (int_range 0 4);
+                 return Value.Null;
+                 map (fun b -> Value.Bool b) bool;
+               ]))))
+
+let arb_table =
+  QCheck.make
+    ~print:(fun rows -> Fmt.str "%d rows" (List.length rows))
+    (rows_gen 3 8)
+
+let db_of rows rows2 =
+  Database.of_tables
+    [
+      Table.create ~name:"t" ~columns:[ "a"; "b"; "c" ] rows;
+      Table.create ~name:"u" ~columns:[ "a"; "d"; "e" ] rows2;
+    ]
+
+let count db sql =
+  match Executor.run_sql db sql with
+  | Ok { rows = [ [| Value.Int n |] ]; _ } -> n
+  | Ok _ -> -1
+  | Error e -> Alcotest.failf "query failed (%s): %s" sql e
+
+let engine_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"count(*) equals row count" ~count:100 arb_table
+         (fun rows ->
+           count (db_of rows []) "SELECT COUNT(*) FROM t" = List.length rows));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"conjunction filters a subset" ~count:100 arb_table
+         (fun rows ->
+           let db = db_of rows [] in
+           count db "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2"
+           <= count db "SELECT COUNT(*) FROM t WHERE a = 1"));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"where partitions rows (ignoring NULLs)" ~count:100
+         arb_table (fun rows ->
+           let db = db_of rows [] in
+           let p = count db "SELECT COUNT(*) FROM t WHERE a < 2" in
+           let n = count db "SELECT COUNT(*) FROM t WHERE NOT (a < 2)" in
+           let nulls = count db "SELECT COUNT(*) FROM t WHERE a IS NULL" in
+           (* Bool values are not comparable to 2: they evaluate like NULL in
+              the predicate, so partition up to non-Int rows *)
+           p + n + nulls <= List.length rows));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"union all adds counts" ~count:100
+         (QCheck.pair arb_table arb_table) (fun (r1, r2) ->
+           let db = db_of r1 r2 in
+           count db
+             "SELECT COUNT(*) FROM (SELECT a FROM t UNION ALL SELECT a FROM u) s"
+           = List.length r1 + List.length r2));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"join count equals key-multiplicity product sum"
+         ~count:100 (QCheck.pair arb_table arb_table) (fun (r1, r2) ->
+           let db = db_of r1 r2 in
+           let joined = count db "SELECT COUNT(*) FROM t JOIN u ON t.a = u.a" in
+           (* independent computation from the raw rows *)
+           let tally rows =
+             let h = Hashtbl.create 8 in
+             List.iter
+               (fun (row : Value.t array) ->
+                 match row.(0) with
+                 | Value.Null -> ()
+                 | v -> Hashtbl.replace h v (1 + Option.value ~default:0 (Hashtbl.find_opt h v)))
+               rows;
+             h
+           in
+           let h1 = tally r1 and h2 = tally r2 in
+           let expected =
+             Hashtbl.fold
+               (fun k n acc ->
+                 acc + (n * Option.value ~default:0 (Hashtbl.find_opt h2 k)))
+               h1 0
+           in
+           joined = expected));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"left join preserves left cardinality at least"
+         ~count:100 (QCheck.pair arb_table arb_table) (fun (r1, r2) ->
+           let db = db_of r1 r2 in
+           count db "SELECT COUNT(*) FROM t LEFT JOIN u ON t.a = u.a"
+           >= List.length r1));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"distinct never increases cardinality" ~count:100
+         arb_table (fun rows ->
+           let db = db_of rows [] in
+           count db "SELECT COUNT(*) FROM (SELECT DISTINCT a, b FROM t) s"
+           <= List.length rows));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"limit truncates" ~count:100 arb_table (fun rows ->
+           let db = db_of rows [] in
+           count db "SELECT COUNT(*) FROM (SELECT a FROM t LIMIT 3) s"
+           = min 3 (List.length rows)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"order by produces a sorted column" ~count:100 arb_table
+         (fun rows ->
+           let db = db_of rows [] in
+           match Executor.run_sql db "SELECT a FROM t ORDER BY a ASC" with
+           | Error e -> QCheck.Test.fail_report e
+           | Ok { rows = out; _ } ->
+             let values = List.map (fun r -> r.(0)) out in
+             let rec sorted = function
+               | a :: (b :: _ as rest) -> Value.compare a b <= 0 && sorted rest
+               | _ -> true
+             in
+             sorted values));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"group counts sum to the filtered total" ~count:100
+         arb_table (fun rows ->
+           let db = db_of rows [] in
+           match
+             Executor.run_sql db "SELECT a, COUNT(*) AS n FROM t GROUP BY a"
+           with
+           | Error e -> QCheck.Test.fail_report e
+           | Ok { rows = out; _ } ->
+             let total =
+               List.fold_left
+                 (fun acc r ->
+                   acc + Option.value ~default:0 (Value.to_int r.(1)))
+                 0 out
+             in
+             total = List.length rows));
+  ]
+
+(* --- LIKE ------------------------------------------------------------------ *)
+
+let like_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"a literal pattern matches only itself" ~count:200
+         QCheck.(pair printable_string printable_string)
+         (fun (s, t) ->
+           QCheck.assume
+             (not (String.exists (fun c -> c = '%' || c = '_') s)
+             && not (String.exists (fun c -> c = '%' || c = '_') t));
+           Eval.like_match ~pattern:s t = (s = t)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"%s% matches any superstring" ~count:200
+         QCheck.(triple printable_string printable_string printable_string)
+         (fun (pre, s, post) ->
+           QCheck.assume (not (String.exists (fun c -> c = '%' || c = '_') s));
+           Eval.like_match ~pattern:("%" ^ s ^ "%") (pre ^ s ^ post)));
+  ]
+
+(* --- elastic sensitivity monotonicity ---------------------------------------- *)
+
+let uber_metrics =
+  lazy
+    (let rng = Rng.create ~seed:7 () in
+     let _, metrics = Flex_workload.Uber.generate ~sizes:Flex_workload.Uber.small_sizes rng in
+     metrics)
+
+let first_bound ~public_optimization ~unique_optimization sql =
+  let metrics = Lazy.force uber_metrics in
+  let cat =
+    Elastic.catalog_of_metrics ~public_optimization ~unique_optimization metrics
+  in
+  match Elastic.analyze_sql cat sql with
+  | Ok a -> (
+    match Elastic.aggregate_columns a with
+    | (_, _, s) :: _ -> Some s
+    | [] -> None)
+  | Error _ -> None
+
+let opt_queries =
+  [
+    "SELECT COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id";
+    "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id";
+    "SELECT COUNT(*) FROM drivers d JOIN analytics a ON d.id = a.driver_id";
+    "SELECT COUNT(*) FROM trips a JOIN trips b ON a.rider_id = b.rider_id";
+    "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id GROUP BY c.name";
+  ]
+
+let elastic_props =
+  [
+    Alcotest.test_case "optimisations never increase the bound" `Quick (fun () ->
+        List.iter
+          (fun sql ->
+            let get ~p ~u =
+              match first_bound ~public_optimization:p ~unique_optimization:u sql with
+              | Some s -> s
+              | None -> Alcotest.failf "rejected: %s" sql
+            in
+            let all_on = get ~p:true ~u:true in
+            let no_pub = get ~p:false ~u:true in
+            let no_uni = get ~p:true ~u:false in
+            let none = get ~p:false ~u:false in
+            List.iter
+              (fun k ->
+                let v = Sens.eval all_on k in
+                Alcotest.(check bool) "<= no-public" true (v <= Sens.eval no_pub k +. 1e-9);
+                Alcotest.(check bool) "<= no-unique" true (v <= Sens.eval no_uni k +. 1e-9);
+                Alcotest.(check bool) "<= none" true (v <= Sens.eval none k +. 1e-9))
+              [ 0; 1; 5; 50 ])
+          opt_queries);
+    Alcotest.test_case "k0 bound never exceeds the smooth bound" `Quick (fun () ->
+        let metrics = Lazy.force uber_metrics in
+        List.iter
+          (fun sql ->
+            let bound smoothing =
+              let options = Flex.options ~epsilon:0.1 ~delta:1e-8 ~smoothing () in
+              match Flex.analyze_only ~options ~metrics sql with
+              | Ok (_, (_, _, smooth) :: _) -> smooth.Smooth.smooth_bound
+              | _ -> Alcotest.failf "analysis failed: %s" sql
+            in
+            Alcotest.(check bool) sql true (bound `Elastic_k0 <= bound `Smooth +. 1e-9))
+          opt_queries);
+  ]
+
+(* --- metrics under row replacement (Lemma 1 base case) ------------------------ *)
+
+let metrics_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"replacing one row changes mf by at most 1" ~count:100
+         (QCheck.pair arb_table (QCheck.make QCheck.Gen.(pair (int_range 0 7) (int_range 0 4))))
+         (fun (rows, (i, v)) ->
+           QCheck.assume (rows <> []);
+           let i = i mod List.length rows in
+           let t = Table.create ~name:"t" ~columns:[ "a"; "b"; "c" ] rows in
+           let t' =
+             Table.with_row t i [| Value.Int v; Value.Null; Value.Null |]
+           in
+           let mf_of t = Metrics.compute_mf t "a" in
+           abs (mf_of t - mf_of t') <= 1));
+  ]
+
+(* --- smoothing invariants ------------------------------------------------------ *)
+
+let smooth_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"argmax respects the theorem 3 cutoff" ~count:100
+         (QCheck.make
+            QCheck.Gen.(
+              map2
+                (fun c0 c1 -> Sens.linear (float_of_int c0) (float_of_int c1))
+                (int_range 0 100) (int_range 0 5)))
+         (fun s ->
+           let beta = 0.05 in
+           let r = Smooth.of_sens ~beta s in
+           float_of_int r.Smooth.argmax_k
+           <= (float_of_int (max 1 (Sens.degree s)) /. beta) +. 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"smooth bound dominates ES(0) and scales with S" ~count:100
+         (QCheck.make QCheck.Gen.(map (fun c -> Sens.const (float_of_int c)) (int_range 0 50)))
+         (fun s ->
+           let r = Smooth.of_sens ~beta:0.01 s in
+           r.Smooth.smooth_bound >= Sens.eval s 0 -. 1e-9
+           && Smooth.noise_scale ~epsilon:0.5 r
+              >= Smooth.noise_scale ~epsilon:1.0 r -. 1e-9));
+  ]
+
+let suites =
+  [
+    ("props-engine", engine_props);
+    ("props-like", like_props);
+    ("props-elastic", elastic_props);
+    ("props-metrics", metrics_props);
+    ("props-smooth", smooth_props);
+  ]
+
+(* --- more engine algebra (appended) -------------------------------------------- *)
+
+let more_engine_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"inner join count is symmetric" ~count:100
+         (QCheck.pair arb_table arb_table) (fun (r1, r2) ->
+           let db = db_of r1 r2 in
+           count db "SELECT COUNT(*) FROM t JOIN u ON t.a = u.a"
+           = count db "SELECT COUNT(*) FROM u JOIN t ON t.a = u.a"));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"full join contains both outer joins" ~count:100
+         (QCheck.pair arb_table arb_table) (fun (r1, r2) ->
+           let db = db_of r1 r2 in
+           let full = count db "SELECT COUNT(*) FROM t FULL JOIN u ON t.a = u.a" in
+           full >= count db "SELECT COUNT(*) FROM t LEFT JOIN u ON t.a = u.a"
+           && full >= count db "SELECT COUNT(*) FROM t RIGHT JOIN u ON t.a = u.a"));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"except and intersect partition the left side" ~count:100
+         (QCheck.pair arb_table arb_table) (fun (r1, r2) ->
+           let db = db_of r1 r2 in
+           let distinct_left =
+             count db "SELECT COUNT(*) FROM (SELECT DISTINCT a FROM t) s"
+           in
+           let except =
+             count db
+               "SELECT COUNT(*) FROM (SELECT a FROM t EXCEPT SELECT a FROM u) s"
+           in
+           let inter =
+             count db
+               "SELECT COUNT(*) FROM (SELECT a FROM t INTERSECT SELECT a FROM u) s"
+           in
+           except + inter = distinct_left));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"cross join count is the product" ~count:100
+         (QCheck.pair arb_table arb_table) (fun (r1, r2) ->
+           let db = db_of r1 r2 in
+           count db "SELECT COUNT(*) FROM t CROSS JOIN u"
+           = List.length r1 * List.length r2));
+  ]
+
+let suites = suites @ [ ("props-engine-more", more_engine_props) ]

@@ -1,0 +1,63 @@
+module Rng = Flex_dp.Rng
+module Ptr = Flex_dp.Ptr
+module Sens = Flex_dp.Sens
+module Elastic = Flex_core.Elastic
+module Metrics = Flex_engine.Metrics
+
+let tests =
+  [
+    Alcotest.test_case "distance bound on a linear ES" `Quick (fun () ->
+        (* ES(k) = 10 + k: ES(k) <= 40 up to k = 30, so the bound is 31 *)
+        let es k = 10.0 +. float_of_int k in
+        Alcotest.(check int) "bound" 31 (Ptr.distance_bound ~sensitivity:40.0 es);
+        Alcotest.(check int) "already above" 0 (Ptr.distance_bound ~sensitivity:5.0 es));
+    Alcotest.test_case "constant ES passes at any proposal above it" `Quick (fun () ->
+        let es _ = 3.0 in
+        Alcotest.(check int) "capped scan" 100_000
+          (Ptr.distance_bound ~sensitivity:3.0 es));
+    Alcotest.test_case "far-from-unstable databases release" `Quick (fun () ->
+        let rng = Rng.create ~seed:4 () in
+        (* distance bound huge, threshold small: must release *)
+        let es _ = 1.0 in
+        match Ptr.release rng ~epsilon:1.0 ~delta:1e-6 ~sensitivity:2.0 es 100.0 with
+        | Ptr.Released v -> Alcotest.(check bool) "near truth" true (Float.abs (v -. 100.0) < 60.0)
+        | Ptr.Refused -> Alcotest.fail "expected release");
+    Alcotest.test_case "too-close databases refuse" `Quick (fun () ->
+        let rng = Rng.create ~seed:4 () in
+        (* ES(0) already exceeds the proposal: distance bound 0 *)
+        let es k = 50.0 +. float_of_int k in
+        let refused = ref 0 in
+        for _ = 1 to 50 do
+          match Ptr.release rng ~epsilon:1.0 ~delta:1e-6 ~sensitivity:10.0 es 100.0 with
+          | Ptr.Refused -> incr refused
+          | Ptr.Released _ -> ()
+        done;
+        (* threshold = ln(1e6)/0.5 ~ 27.6; Lap(2) almost never reaches it *)
+        Alcotest.(check int) "always refused" 50 !refused);
+    Alcotest.test_case "drives from a real elastic sensitivity" `Quick (fun () ->
+        let rng = Rng.create ~seed:5 () in
+        let _, metrics =
+          Flex_workload.Uber.generate ~sizes:Flex_workload.Uber.small_sizes rng
+        in
+        let cat = Elastic.catalog_of_metrics metrics in
+        match
+          Elastic.analyze_sql cat
+            "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id"
+        with
+        | Error r -> Alcotest.failf "rejected: %s" (Flex_core.Errors.to_string r)
+        | Ok a -> (
+          match Elastic.aggregate_columns a with
+          | [ (_, _, sens) ] ->
+            let es k = Sens.eval sens k in
+            (* proposing twice ES(0) leaves plenty of slack: ES grows by 1
+               per unit distance, so the distance bound is about ES(0) *)
+            let proposal = 2.0 *. es 0 in
+            let bound = Ptr.distance_bound ~sensitivity:proposal es in
+            Alcotest.(check bool) "bound positive" true (bound > 0);
+            (match Ptr.release rng ~epsilon:1.0 ~delta:1e-6 ~sensitivity:proposal es 1000.0 with
+            | Ptr.Released _ -> ()
+            | Ptr.Refused -> Alcotest.fail "expected release")
+          | _ -> Alcotest.fail "expected one aggregate"));
+  ]
+
+let suites = [ ("ptr", tests) ]
