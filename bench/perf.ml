@@ -1,0 +1,265 @@
+(* Tracked engine performance benchmark: compiled/vectorized {!Executor}
+   against the row-at-a-time {!Reference} interpreter on five query shapes
+   (scan, filter, equijoin, group-aggregate, order-limit) over the Uber and
+   TPC-H substrates at two scales each.
+
+     dune exec bench/perf.exe                       -- full run, writes BENCH_engine.json
+     dune exec bench/perf.exe -- --out FILE         -- choose the output path
+     dune exec bench/perf.exe -- --smoke            -- tiny scales, JSON sanity check
+
+   Per (substrate, scale, shape) the JSON records median ns/query for both
+   pipelines, the speedup, and compiled rows/sec (input rows of the shape's
+   primary table divided by median compiled time). *)
+
+module Rng = Flex_dp.Rng
+module Database = Flex_engine.Database
+module Table = Flex_engine.Table
+module Executor = Flex_engine.Executor
+module Reference = Flex_engine.Reference
+module W = Flex_workload
+
+let smoke = ref false
+let out_path = ref "BENCH_engine.json"
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--out" :: path :: rest ->
+      out_path := path;
+      parse rest
+    | arg :: rest ->
+      Fmt.epr "warning: ignoring argument %s@." arg;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------ measurement *)
+
+(* Median wall-clock ns per run for a reference/compiled pair. Samples are
+   interleaved (one reference round, one compiled round, repeated) so machine
+   noise lands on both pipelines alike; repetitions adapt so each sample
+   takes a measurable slice without letting the whole suite crawl. *)
+let median_pair (fref : unit -> unit) (fcomp : unit -> unit) =
+  let samples = if !smoke then 3 else 9 in
+  let time_once f reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps
+  in
+  let reps f =
+    if !smoke then 1
+    else begin
+      let one = time_once f 1 in
+      max 1 (min 30 (int_of_float (5e6 /. max one 1.0)))
+    end
+  in
+  Gc.compact ();
+  let rr = reps fref and rc = reps fcomp in
+  let rs = Array.make samples 0.0 and cs = Array.make samples 0.0 in
+  for i = 0 to samples - 1 do
+    rs.(i) <- time_once fref rr;
+    cs.(i) <- time_once fcomp rc
+  done;
+  Array.sort compare rs;
+  Array.sort compare cs;
+  (rs.(samples / 2), cs.(samples / 2))
+
+type row = {
+  substrate : string;
+  scale : string;
+  shape : string;
+  input_rows : int;
+  reference_ns : float;
+  compiled_ns : float;
+}
+
+let speedup r = r.reference_ns /. r.compiled_ns
+
+let rows_per_sec r = float_of_int r.input_rows /. (r.compiled_ns /. 1e9)
+
+(* A shape is a query plus the table whose cardinality drives it. *)
+type shape = { sname : string; table : string; sql : string }
+
+let uber_shapes =
+  [
+    { sname = "scan"; table = "trips"; sql = "SELECT * FROM trips" };
+    {
+      sname = "filter";
+      table = "trips";
+      sql = "SELECT id, fare FROM trips WHERE city_id = 1 AND fare > 10 AND status = 'completed'";
+    };
+    {
+      sname = "equijoin";
+      table = "trips";
+      sql =
+        "SELECT t.id, d.rating, u.status FROM trips t \
+         JOIN drivers d ON t.driver_id = d.id \
+         JOIN users u ON t.rider_id = u.id WHERE d.rating > 3.0";
+    };
+    {
+      sname = "group_agg";
+      table = "trips";
+      sql =
+        "SELECT city_id, COUNT(*), AVG(fare), MAX(fare) FROM trips \
+         GROUP BY city_id HAVING COUNT(*) > 1";
+    };
+    {
+      sname = "order_limit";
+      table = "trips";
+      sql = "SELECT id, fare FROM trips ORDER BY fare DESC, id LIMIT 100";
+    };
+  ]
+
+let tpch_shapes =
+  [
+    { sname = "scan"; table = "lineitem"; sql = "SELECT * FROM lineitem" };
+    {
+      sname = "filter";
+      table = "lineitem";
+      sql =
+        "SELECT l_orderkey, l_quantity FROM lineitem \
+         WHERE l_quantity > 30 AND l_returnflag = 'R'";
+    };
+    {
+      sname = "equijoin";
+      table = "lineitem";
+      sql =
+        "SELECT o.o_orderkey, c.c_mktsegment FROM orders o \
+         JOIN lineitem l ON o.o_orderkey = l.l_orderkey \
+         JOIN customer c ON o.o_custkey = c.c_custkey";
+    };
+    {
+      sname = "group_agg";
+      table = "lineitem";
+      sql =
+        "SELECT l_returnflag, l_linestatus, COUNT(*), SUM(l_quantity), AVG(l_extendedprice) \
+         FROM lineitem GROUP BY l_returnflag, l_linestatus";
+    };
+    {
+      sname = "order_limit";
+      table = "lineitem";
+      sql = "SELECT l_orderkey, l_extendedprice FROM lineitem \
+             ORDER BY l_extendedprice DESC LIMIT 100";
+    };
+  ]
+
+let bench_substrate name scale_label (db : Database.t) shapes acc =
+  List.fold_left
+    (fun acc s ->
+      let input_rows =
+        match Database.find_opt db s.table with
+        | Some t -> Array.length (Table.rows t)
+        | None -> 0
+      in
+      (* check both pipelines agree before timing anything *)
+      let expect = Reference.run_sql db s.sql in
+      let got = Executor.run_sql db s.sql in
+      (match (expect, got) with
+      | Ok a, Ok b when List.length a.Reference.rows = List.length b.Executor.rows -> ()
+      | Ok _, Ok _ -> Fmt.failwith "%s/%s: pipelines disagree on %s" name s.sname s.sql
+      | Error e, _ | _, Error e -> Fmt.failwith "%s/%s: %s" name s.sname e);
+      let reference_ns, compiled_ns =
+        median_pair
+          (fun () -> ignore (Reference.run_sql db s.sql))
+          (fun () -> ignore (Executor.run_sql db s.sql))
+      in
+      let r =
+        { substrate = name; scale = scale_label; shape = s.sname; input_rows;
+          reference_ns; compiled_ns }
+      in
+      Fmt.pr "  %-12s %-10s %-12s %10.0f ns %10.0f ns %6.2fx %12.0f rows/s@." name
+        scale_label s.sname reference_ns compiled_ns (speedup r) (rows_per_sec r);
+      r :: acc)
+    acc shapes
+
+(* ------------------------------------------------------------------ JSON *)
+
+let json_of_rows rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"benchmark\": \"engine-executor\",\n  \"unit\": \"ns/query\",\n  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Fmt.str
+           "    {\"substrate\": %S, \"scale\": %S, \"shape\": %S, \"input_rows\": %d, \
+            \"reference_ns\": %.0f, \"compiled_ns\": %.0f, \"speedup\": %.2f, \
+            \"rows_per_sec\": %.0f}"
+           r.substrate r.scale r.shape r.input_rows r.reference_ns r.compiled_ns
+           (speedup r) (rows_per_sec r)))
+    rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(* Minimal well-formedness check for the smoke test: quoted strings are
+   opaque, outside them braces/brackets must nest properly. *)
+let json_well_formed s =
+  let n = String.length s in
+  let rec go i depth in_str =
+    if i >= n then (not in_str) && depth = []
+    else
+      let c = s.[i] in
+      if in_str then
+        if c = '\\' then go (i + 2) depth true
+        else go (i + 1) depth (c <> '"')
+      else
+        match c with
+        | '"' -> go (i + 1) depth true
+        | '{' | '[' -> go (i + 1) (c :: depth) false
+        | '}' -> (match depth with '{' :: d -> go (i + 1) d false | _ -> false)
+        | ']' -> (match depth with '[' :: d -> go (i + 1) d false | _ -> false)
+        | _ -> go (i + 1) depth false
+  in
+  go 0 [] false
+
+(* -------------------------------------------------------------------- main *)
+
+let () =
+  let rng = Rng.create ~seed:42 () in
+  let uber_scales =
+    if !smoke then [ ("tiny", { W.Uber.cities = 4; drivers = 12; users = 20; trips = 60; user_tags = 8 }) ]
+    else [ ("small", W.Uber.small_sizes); ("default", W.Uber.default_sizes) ]
+  in
+  let tpch_scales = if !smoke then [ ("tiny", 0.0005) ] else [ ("sf0.002", 0.002); ("sf0.01", 0.01) ] in
+  Fmt.pr "engine executor benchmark (median of %d interleaved samples)@."
+    (if !smoke then 3 else 9);
+  Fmt.pr "  %-12s %-10s %-12s %13s %13s %7s %14s@." "substrate" "scale" "shape"
+    "reference" "compiled" "speedup" "throughput";
+  let rows =
+    List.fold_left
+      (fun acc (label, sizes) ->
+        let db, _ = W.Uber.generate ~sizes (Rng.split rng) in
+        bench_substrate "uber" label db uber_shapes acc)
+      [] uber_scales
+  in
+  let rows =
+    List.fold_left
+      (fun acc (label, scale) ->
+        let db, _ = W.Tpch.generate ~scale (Rng.split rng) in
+        bench_substrate "tpch" label db tpch_shapes acc)
+      rows tpch_scales
+  in
+  let rows = List.rev rows in
+  let json = json_of_rows rows in
+  let out = if !smoke then Filename.temp_file "bench_engine" ".json" else !out_path in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote %s@." out;
+  if !smoke then begin
+    (* smoke mode asserts the JSON is written and well-formed *)
+    let ic = open_in out in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    Sys.remove out;
+    if not (json_well_formed s) then Fmt.failwith "smoke: JSON not well-formed";
+    if not (Astring.String.is_infix ~affix:"\"shape\": \"equijoin\"" s) then
+      Fmt.failwith "smoke: missing equijoin entry";
+    Fmt.pr "smoke ok: JSON well-formed, %d result entries@." (List.length rows)
+  end

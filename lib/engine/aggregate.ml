@@ -88,3 +88,68 @@ let compute (func : Ast.agg_func) ~distinct ~star ~nrows values =
     | v :: vs -> List.fold_left (fun acc v -> if Value.compare v acc > 0 then v else acc) v vs)
   | Ast.Median -> median_value (non_null values)
   | Ast.Stddev -> stddev_value (non_null values)
+
+(* Streaming variant of [compute] for the executor's vectorized group path:
+   [iter f] must apply [f] to the argument values in row order. The common
+   non-distinct aggregates fold in one pass with no intermediate list;
+   DISTINCT, MEDIAN and STDDEV need the whole collection and fall back to
+   [compute]. *)
+let compute_iter (func : Ast.agg_func) ~distinct ~star ~nrows
+    ~(iter : (Value.t -> unit) -> unit) =
+  let fallback () =
+    let acc = ref [] in
+    iter (fun v -> acc := v :: !acc);
+    compute func ~distinct ~star ~nrows (List.rev !acc)
+  in
+  if star || distinct then fallback ()
+  else
+    match func with
+    | Ast.Count ->
+      let n = ref 0 in
+      iter (fun v -> if not (Value.is_null v) then incr n);
+      Value.Int !n
+    | Ast.Sum ->
+      (* mirror [sum_value]: all-Int groups sum exactly, otherwise as floats *)
+      let n = ref 0 and all_int = ref true and isum = ref 0 and fsum = ref 0.0 in
+      iter (fun v ->
+          if not (Value.is_null v) then begin
+            incr n;
+            match v with
+            | Value.Int i -> isum := !isum + i
+            | _ -> all_int := false
+          end);
+      if !n = 0 then Value.Null
+      else if !all_int then Value.Int !isum
+      else begin
+        (* second pass for the float view keeps the error behaviour and
+           summation order of [floats_of] *)
+        iter (fun v ->
+            if not (Value.is_null v) then
+              match Value.to_float v with
+              | Some f -> fsum := !fsum +. f
+              | None -> error "SUM over non-numeric value %a" Value.pp v);
+        Value.Float !fsum
+      end
+    | Ast.Avg ->
+      let n = ref 0 and fsum = ref 0.0 in
+      iter (fun v ->
+          if not (Value.is_null v) then
+            match Value.to_float v with
+            | Some f ->
+              incr n;
+              fsum := !fsum +. f
+            | None -> error "AVG over non-numeric value %a" Value.pp v);
+      if !n = 0 then Value.Null else Value.Float (!fsum /. float_of_int !n)
+    | Ast.Min ->
+      let best = ref Value.Null in
+      iter (fun v ->
+          if not (Value.is_null v) then
+            if Value.is_null !best || Value.compare v !best < 0 then best := v);
+      !best
+    | Ast.Max ->
+      let best = ref Value.Null in
+      iter (fun v ->
+          if not (Value.is_null v) then
+            if Value.is_null !best || Value.compare v !best > 0 then best := v);
+      !best
+    | Ast.Median | Ast.Stddev -> fallback ()

@@ -13,3 +13,14 @@ val compute :
 
 val distinct_values : Value.t list -> Value.t list
 val non_null : Value.t list -> Value.t list
+
+val compute_iter :
+  Ast.agg_func ->
+  distinct:bool ->
+  star:bool ->
+  nrows:int ->
+  iter:((Value.t -> unit) -> unit) ->
+  Value.t
+(** Streaming [compute]: [iter f] applies [f] to the argument values in row
+    order. Single-pass for the common non-distinct aggregates; equivalent to
+    [compute] in results and errors. *)

@@ -1,197 +1,53 @@
 module Ast = Flex_sql.Ast
+module Vec = Row_vec
 
 (* Query evaluation over a Database. The executor plays the role of the
    paper's "existing database": FLEX only parses queries and post-processes
    results, so the engine implements ordinary SQL semantics with no privacy
-   awareness. *)
+   awareness.
 
-exception Error of string
+   This is the compiled/vectorized pipeline: every expression is compiled
+   once per relation into a closure with column offsets pre-resolved
+   ({!Compiled}), rows travel in dynamic-array vectors ({!Row_vec}), and
+   joins/grouping/distinct/set-ops share one [Value.t array]-keyed hashtable
+   ({!Row_table}). The row-at-a-time seed interpreter survives as
+   {!Reference}, the differential-testing oracle: both pipelines must return
+   identical result sets, values and row order. *)
+
+exception Error = Compiled.Error
 
 let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
 
 (* An intermediate relation: each column carries an optional relation alias
    used for qualified references. *)
-type header = { alias : string option; name : string }
+type header = Compiled.header = { alias : string option; name : string }
 
 type rel = { headers : header array; rows : Value.t array list }
 
 type result_set = { columns : string list; rows : Value.t array list }
 
-let to_result (r : rel) =
-  { columns = Array.to_list (Array.map (fun h -> h.name) r.headers); rows = r.rows }
+let resolve_opt = Compiled.resolve_opt
 
-(* --- column resolution --------------------------------------------------- *)
+(* Internal vectorized relation; converted to the list-of-rows [result_set]
+   only at the public boundary. *)
+type vrel = { vh : header array; vr : Value.t array Vec.t }
 
-let resolve_opt (headers : header array) (c : Ast.col_ref) =
-  let col = String.lowercase_ascii c.column in
-  let n = Array.length headers in
-  match c.table with
-  | Some t ->
-    let t = String.lowercase_ascii t in
-    let rec go i =
-      if i >= n then None
-      else
-        match headers.(i).alias with
-        | Some a when String.lowercase_ascii a = t && headers.(i).name = col -> Some i
-        | _ -> go (i + 1)
-    in
-    go 0
-  | None ->
-    (* Unqualified: first match wins (real engines reject ambiguity; our
-       generated workloads qualify anything genuinely ambiguous). *)
-    let rec go i =
-      if i >= n then None else if headers.(i).name = col then Some i else go (i + 1)
-    in
-    go 0
+let to_result (r : vrel) =
+  { columns = Array.to_list (Array.map (fun h -> h.name) r.vh); rows = Vec.to_list r.vr }
 
 (* --- evaluation environment ---------------------------------------------- *)
 
 type env = {
   db : Database.t;
-  ctes : (string * rel) list;
+  ctes : (string * vrel) list;
   (* enclosing query scopes, innermost first: correlated subqueries resolve
      free column references against these *)
   outer : (header array * Value.t array) list;
 }
 
-(* Aggregate lookup: present only while projecting a grouped relation. *)
-type agg_ctx = {
-  group_rows : Value.t array list;
-  group_size : int;
-  memo : (Ast.agg_func * bool * Ast.agg_arg, Value.t) Hashtbl.t;
-}
-
-let rec eval_expr env headers (agg : agg_ctx option) (row : Value.t array) (e : Ast.expr)
-    : Value.t =
-  let recur e = eval_expr env headers agg row e in
-  (* a correlated subquery sees the enclosing rows through env.outer *)
-  let subquery_env = { env with outer = (headers, row) :: env.outer } in
-  match e with
-  | Ast.Lit Ast.Null -> Value.Null
-  | Ast.Lit (Ast.Bool b) -> Value.Bool b
-  | Ast.Lit (Ast.Int i) -> Value.Int i
-  | Ast.Lit (Ast.Float f) -> Value.Float f
-  | Ast.Lit (Ast.String s) -> Value.String s
-  | Ast.Col c -> (
-    match resolve_opt headers c with
-    | Some i -> row.(i)
-    | None ->
-      (* free variable: walk the enclosing scopes (correlation) *)
-      let rec walk = function
-        | [] ->
-          error "unknown column %s"
-            (match c.Ast.table with Some t -> t ^ "." ^ c.Ast.column | None -> c.Ast.column)
-        | (hs, r) :: rest -> (
-          match resolve_opt hs c with Some i -> r.(i) | None -> walk rest)
-      in
-      walk env.outer)
-  | Ast.Binop (op, a, b) -> Eval.binop op (recur a) (recur b)
-  | Ast.Unop (op, a) -> Eval.unop op (recur a)
-  | Ast.Agg { func; distinct; arg } -> (
-    match agg with
-    | None -> error "aggregate %s used outside a grouping context" (Ast.agg_func_name func)
-    | Some ctx -> eval_aggregate env headers ctx (func, distinct, arg))
-  | Ast.Func (name, args) -> Eval.func name (List.map recur args)
-  | Ast.Case { operand; branches; else_ } -> (
-    let matches (cond, _) =
-      match operand with
-      | None -> Eval.is_truthy (recur cond)
-      | Some op -> (
-        match Value.sql_equal (recur op) (recur cond) with
-        | Some true -> true
-        | Some false | None -> false)
-    in
-    match List.find_opt matches branches with
-    | Some (_, v) -> recur v
-    | None -> ( match else_ with Some e -> recur e | None -> Value.Null))
-  | Ast.In { subject; negated; set } -> (
-    let v = recur subject in
-    if Value.is_null v then Value.Null
-    else
-      let members =
-        match set with
-        | Ast.In_list es -> List.map recur es
-        | Ast.In_query q ->
-          let r = eval_query subquery_env q in
-          if Array.length r.headers <> 1 then
-            error "IN subquery must return exactly one column";
-          List.map (fun row -> row.(0)) r.rows
-      in
-      let found = List.exists (fun m -> Value.equal m v) members in
-      Value.Bool (if negated then not found else found))
-  | Ast.Between { subject; negated; lo; hi } -> (
-    let v = recur subject and lo = recur lo and hi = recur hi in
-    match (Value.sql_compare v lo, Value.sql_compare v hi) with
-    | Some c1, Some c2 ->
-      let inside = c1 >= 0 && c2 <= 0 in
-      Value.Bool (if negated then not inside else inside)
-    | _ -> Value.Null)
-  | Ast.Like { subject; negated; pattern } -> (
-    match Eval.like (recur subject) (recur pattern) with
-    | Value.Bool b -> Value.Bool (if negated then not b else b)
-    | v -> v)
-  | Ast.Is_null { subject; negated } ->
-    let isnull = Value.is_null (recur subject) in
-    Value.Bool (if negated then not isnull else isnull)
-  | Ast.Exists q ->
-    let r = eval_query subquery_env q in
-    Value.Bool (r.rows <> [])
-  | Ast.Scalar_subquery q -> (
-    let r = eval_query subquery_env q in
-    if Array.length r.headers <> 1 then
-      error "scalar subquery must return exactly one column";
-    match r.rows with
-    | [] -> Value.Null
-    | [ row ] -> row.(0)
-    | _ -> error "scalar subquery returned more than one row")
-  | Ast.Cast (a, ty) -> Eval.cast (recur a) ty
-
-and eval_aggregate env headers ctx (func, distinct, arg) =
-  let key = (func, distinct, arg) in
-  match Hashtbl.find_opt ctx.memo key with
-  | Some v -> v
-  | None ->
-    let star = arg = Ast.Star in
-    let values =
-      match arg with
-      | Ast.Star -> []
-      | Ast.Arg e ->
-        List.map (fun row -> eval_expr env headers None row e) ctx.group_rows
-    in
-    let v = Aggregate.compute func ~distinct ~star ~nrows:ctx.group_size values in
-    Hashtbl.replace ctx.memo key v;
-    v
-
-(* --- table references ----------------------------------------------------- *)
-
-and rel_of_table ~alias (t : Table.t) =
-  let qualifier = match alias with Some a -> Some a | None -> Some (Table.name t) in
-  {
-    headers = Array.map (fun name -> { alias = qualifier; name }) (Table.columns t);
-    rows = Array.to_list (Table.rows t);
-  }
-
-and requalify alias (r : rel) =
-  { r with headers = Array.map (fun h -> { h with alias = Some alias }) r.headers }
-
-and eval_table_ref env (tr : Ast.table_ref) : rel =
-  match tr with
-  | Ast.Table { name; alias } -> (
-    match List.assoc_opt (String.lowercase_ascii name) env.ctes with
-    | Some r -> requalify (Option.value alias ~default:name) r
-    | None -> (
-      match Database.find_opt env.db name with
-      | Some t -> rel_of_table ~alias t
-      | None -> error "unknown table %s" name))
-  | Ast.Derived { query; alias } -> requalify alias (eval_query env query)
-  | Ast.Join { kind; left; right; cond } ->
-    let l = eval_table_ref env left in
-    let r = eval_table_ref env right in
-    join env kind l r cond
-
 (* Equality key pairs (left index, right index) extracted from an ON
    condition; remaining conjuncts are evaluated on the combined row. *)
-and split_join_condition lheaders rheaders (e : Ast.expr) =
+let split_join_condition lheaders rheaders (e : Ast.expr) =
   let conjuncts = Ast.conjuncts e in
   let try_pair = function
     | Ast.Binop (Ast.Eq, Ast.Col a, Ast.Col b) -> (
@@ -210,118 +66,7 @@ and split_join_condition lheaders rheaders (e : Ast.expr) =
       | None -> (keys, c :: rest))
     ([], []) conjuncts
 
-and join env kind (l : rel) (r : rel) (cond : Ast.join_cond) : rel =
-  let headers = Array.append l.headers r.headers in
-  let common_columns () =
-    let rnames = Array.to_list (Array.map (fun h -> h.name) r.headers) in
-    Array.to_list (Array.map (fun h -> h.name) l.headers)
-    |> List.filter (fun n -> List.mem n rnames)
-    |> List.sort_uniq compare
-  in
-  let keys, residual =
-    match cond with
-    | Ast.Cond_none -> ([], [])
-    | Ast.On e -> split_join_condition l.headers r.headers e
-    | Ast.Using _ | Ast.Natural ->
-      let cols =
-        match cond with Ast.Using cols -> cols | _ -> common_columns ()
-      in
-      let pairs =
-        List.map
-          (fun c ->
-            let cr = { Ast.table = None; column = c } in
-            match (resolve_opt l.headers cr, resolve_opt r.headers cr) with
-            | Some li, Some ri -> (li, ri)
-            | _ -> error "USING column %s not present on both sides" c)
-          cols
-      in
-      (pairs, [])
-  in
-  let residual_ok combined =
-    List.for_all
-      (fun e -> Eval.is_truthy (eval_expr env headers None combined e))
-      residual
-  in
-  let null_row n = Array.make n Value.Null in
-  let rarr = Array.of_list r.rows in
-  let rmatched = Array.make (Array.length rarr) false in
-  let out = ref [] in
-  let emit row = out := row :: !out in
-  (match (kind, keys) with
-  | Ast.Cross, _ | _, [] ->
-    (* Nested loop; used for cross joins and non-equality conditions. *)
-    let lmatched_any lrow =
-      let any = ref false in
-      Array.iteri
-        (fun ri rrow ->
-          let combined = Array.append lrow rrow in
-          let ok =
-            match cond with
-            | Ast.Cond_none -> true
-            | _ -> residual_ok combined && keys = []
-          in
-          if ok then begin
-            any := true;
-            rmatched.(ri) <- true;
-            emit combined
-          end)
-        rarr;
-      !any
-    in
-    List.iter
-      (fun lrow ->
-        let matched = lmatched_any lrow in
-        if (not matched) && (kind = Ast.Left || kind = Ast.Full) then
-          emit (Array.append lrow (null_row (Array.length r.headers))))
-      l.rows
-  | _, keys ->
-    (* Hash join on the equality keys. *)
-    let tbl = Hashtbl.create (max 16 (Array.length rarr)) in
-    Array.iteri
-      (fun ri rrow ->
-        let key = List.map (fun (_, rk) -> rrow.(rk)) keys in
-        if not (List.exists Value.is_null key) then
-          Hashtbl.add tbl key ri)
-      rarr;
-    List.iter
-      (fun lrow ->
-        let key = List.map (fun (lk, _) -> lrow.(lk)) keys in
-        let candidates =
-          if List.exists Value.is_null key then [] else Hashtbl.find_all tbl key
-        in
-        let matched = ref false in
-        (* find_all returns newest-first; reverse for stable output order *)
-        List.iter
-          (fun ri ->
-            let combined = Array.append lrow rarr.(ri) in
-            if residual_ok combined then begin
-              matched := true;
-              rmatched.(ri) <- true;
-              emit combined
-            end)
-          (List.rev candidates);
-        if (not !matched) && (kind = Ast.Left || kind = Ast.Full) then
-          emit (Array.append lrow (null_row (Array.length r.headers))))
-      l.rows);
-  if kind = Ast.Right || kind = Ast.Full then
-    Array.iteri
-      (fun ri rrow ->
-        if not rmatched.(ri) then
-          emit (Array.append (null_row (Array.length l.headers)) rrow))
-      rarr;
-  { headers; rows = List.rev !out }
-
-(* --- select evaluation ----------------------------------------------------- *)
-
-and cross_all env = function
-  | [] -> { headers = [||]; rows = [ [||] ] } (* FROM-less SELECT: one empty row *)
-  | [ tr ] -> eval_table_ref env tr
-  | tr :: rest ->
-    List.fold_left
-      (fun acc tr -> join env Ast.Cross acc (eval_table_ref env tr) Ast.Cond_none)
-      (eval_table_ref env tr) rest
-
-and expand_projections headers (projections : Ast.projection list) =
+let expand_projections headers (projections : Ast.projection list) =
   (* Returns (expr, output name) pairs. *)
   List.concat_map
     (fun p ->
@@ -336,7 +81,7 @@ and expand_projections headers (projections : Ast.projection list) =
         let t' = String.lowercase_ascii t in
         let matches =
           Array.to_list headers
-          |> List.filter (fun h ->
+          |> List.filter (fun (h : header) ->
                match h.alias with
                | Some a -> String.lowercase_ascii a = t'
                | None -> false)
@@ -358,20 +103,422 @@ and expand_projections headers (projections : Ast.projection list) =
         [ (e, name) ])
     projections
 
-and has_aggregate e =
+let has_aggregate e =
   Ast.fold_expr (fun acc e -> acc || match e with Ast.Agg _ -> true | _ -> false) false e
 
-and eval_select env (s : Ast.select) : rel =
-  let source = cross_all env s.from in
+(* Scan-time column pruning (projection pushdown). When a select joins two or
+   more relations, base-table scans keep only columns whose name is mentioned
+   somewhere in the query (including inside subqueries), so joined rows stay
+   narrow. Name-based and conservative: a kept name is kept in every relation
+   that has it, which preserves unqualified first-match resolution exactly.
+   [None] = keep everything (single-relation FROM, [*] projection, NATURAL
+   join). *)
+type prune = {
+  keep_names : (string, unit) Hashtbl.t;
+  keep_whole : (string, unit) Hashtbl.t; (* relations projected via [t.*] *)
+}
+
+let prune_of_select (s : Ast.select) : prune option =
+  let multi =
+    match s.from with
+    | [] | [ Ast.Table _ ] | [ Ast.Derived _ ] -> false
+    | _ -> true
+  in
+  if not multi then None
+  else begin
+    let exception Keep_all in
+    let keep_names = Hashtbl.create 32 and keep_whole = Hashtbl.create 4 in
+    let add_ref (c : Ast.col_ref) =
+      Hashtbl.replace keep_names (String.lowercase_ascii c.column) ()
+    in
+    let add_expr e = List.iter add_ref (Ast.deep_expr_columns e) in
+    try
+      List.iter
+        (function
+          | Ast.Proj_star -> raise Keep_all
+          | Ast.Proj_table_star t ->
+            Hashtbl.replace keep_whole (String.lowercase_ascii t) ()
+          | Ast.Proj_expr (e, _) -> add_expr e)
+        s.projections;
+      Option.iter add_expr s.where;
+      List.iter add_expr s.group_by;
+      Option.iter add_expr s.having;
+      let rec walk = function
+        | Ast.Table _ -> ()
+        | Ast.Derived { query; _ } -> List.iter add_ref (Ast.columns_of_query query)
+        | Ast.Join { left; right; cond; _ } ->
+          (match cond with
+          | Ast.On e -> add_expr e
+          | Ast.Using cols ->
+            List.iter
+              (fun c -> Hashtbl.replace keep_names (String.lowercase_ascii c) ())
+              cols
+          | Ast.Natural -> raise Keep_all (* needs both sides' full column lists *)
+          | Ast.Cond_none -> ());
+          walk left;
+          walk right
+      in
+      List.iter walk s.from;
+      Some { keep_names; keep_whole }
+    with Keep_all -> None
+  end
+
+let check_arity op (l : vrel) (r : vrel) =
+  if Array.length l.vh <> Array.length r.vh then
+    error "%s operands have different column counts" op
+
+(* --- the compiled pipeline ------------------------------------------------- *)
+
+(* [compile_expr env headers ?agg e]: compile [e] once against [headers];
+   subqueries inside [e] evaluate through [eval_query] with the current row
+   pushed as the innermost scope. *)
+let rec compile_expr env (headers : header array) ?agg (e : Ast.expr) : Compiled.t =
+  Compiled.compile
+    ~subquery:(fun q row ->
+      let r = eval_query { env with outer = (headers, row) :: env.outer } q in
+      (Array.length r.vh, Vec.to_list r.vr))
+    ?agg ~headers ~outer:env.outer e
+
+(* --- table references ----------------------------------------------------- *)
+
+and rel_of_table ~alias ~prune (t : Table.t) : vrel =
+  let qualifier = match alias with Some a -> Some a | None -> Some (Table.name t) in
+  let cols = Table.columns t in
+  let keep =
+    match prune with
+    | None -> None
+    | Some p ->
+      let q =
+        match qualifier with Some q -> String.lowercase_ascii q | None -> ""
+      in
+      if Hashtbl.mem p.keep_whole q then None
+      else begin
+        let idx = ref [] in
+        Array.iteri
+          (fun j name -> if Hashtbl.mem p.keep_names name then idx := j :: !idx)
+          cols;
+        let idx = Array.of_list (List.rev !idx) in
+        if Array.length idx = Array.length cols then None else Some idx
+      end
+  in
+  match keep with
+  | None ->
+    {
+      vh = Array.map (fun name -> { alias = qualifier; name }) cols;
+      vr = Vec.of_array (Table.rows t);
+    }
+  | Some idx ->
+    {
+      vh = Array.map (fun j -> { alias = qualifier; name = cols.(j) }) idx;
+      vr =
+        Vec.of_array
+          (Array.map
+             (fun row -> Array.map (fun j -> Array.unsafe_get row j) idx)
+             (Table.rows t));
+    }
+
+and requalify alias (r : vrel) =
+  { r with vh = Array.map (fun h -> { h with alias = Some alias }) r.vh }
+
+and eval_table_ref env ~prune (tr : Ast.table_ref) : vrel =
+  match tr with
+  | Ast.Table { name; alias } -> (
+    match List.assoc_opt (String.lowercase_ascii name) env.ctes with
+    | Some r -> requalify (Option.value alias ~default:name) r
+    | None -> (
+      match Database.find_opt env.db name with
+      | Some t -> rel_of_table ~alias ~prune t
+      | None -> error "unknown table %s" name))
+  | Ast.Derived { query; alias } -> requalify alias (eval_query env query)
+  | Ast.Join { kind; left; right; cond } ->
+    let l = eval_table_ref env ~prune left in
+    let r = eval_table_ref env ~prune right in
+    join env kind l r cond
+
+and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
+  let headers = Array.append l.vh r.vh in
+  let common_columns () =
+    let rnames = Array.to_list (Array.map (fun h -> h.name) r.vh) in
+    Array.to_list (Array.map (fun h -> h.name) l.vh)
+    |> List.filter (fun n -> List.mem n rnames)
+    |> List.sort_uniq compare
+  in
+  let keys, residual =
+    match cond with
+    | Ast.Cond_none -> ([], [])
+    | Ast.On e -> split_join_condition l.vh r.vh e
+    | Ast.Using _ | Ast.Natural ->
+      let cols = match cond with Ast.Using cols -> cols | _ -> common_columns () in
+      let pairs =
+        List.map
+          (fun c ->
+            let cr = { Ast.table = None; column = c } in
+            match (resolve_opt l.vh cr, resolve_opt r.vh cr) with
+            | Some li, Some ri -> (li, ri)
+            | _ -> error "USING column %s not present on both sides" c)
+          cols
+      in
+      (pairs, [])
+  in
+  (* residual conjuncts compiled once against the combined row *)
+  let residuals = List.map (compile_expr env headers) residual in
+  let residual_ok combined =
+    List.for_all (fun c -> Eval.is_truthy (c combined)) residuals
+  in
+  let lw = Array.length l.vh and rw = Array.length r.vh in
+  let null_row n = Array.make n Value.Null in
+  let nr = Vec.length r.vr in
+  let rmatched = Array.make nr false in
+  let out = Vec.create () in
+  (match (kind, keys) with
+  | Ast.Cross, _ | _, [] ->
+    (* Nested loop; used for cross joins and non-equality conditions. A Cross
+       join can still carry equality keys (AST built directly): they must
+       hold as ordinary SQL equalities, not drop every row. *)
+    let keys_ok lrow rrow =
+      List.for_all
+        (fun (li, ri) ->
+          match Value.sql_equal lrow.(li) rrow.(ri) with
+          | Some true -> true
+          | Some false | None -> false)
+        keys
+    in
+    Vec.iter
+      (fun lrow ->
+        let matched = ref false in
+        for ri = 0 to nr - 1 do
+          let rrow = Vec.unsafe_get r.vr ri in
+          let ok =
+            match cond with
+            | Ast.Cond_none -> true
+            | _ -> residual_ok (Array.append lrow rrow) && keys_ok lrow rrow
+          in
+          if ok then begin
+            matched := true;
+            rmatched.(ri) <- true;
+            Vec.push out (Array.append lrow rrow)
+          end
+        done;
+        if (not !matched) && (kind = Ast.Left || kind = Ast.Full) then
+          Vec.push out (Array.append lrow (null_row rw)))
+      l.vr
+  | _, keys ->
+    (* Hash join on the equality keys: key columns pre-extracted into int
+       arrays, build side bucketed in a keyed table. Build-side indices are
+       appended in scan order, so matches come out in the right relation's
+       row order. *)
+    let lks = Array.of_list (List.map fst keys) in
+    let rks = Array.of_list (List.map snd keys) in
+    let nk = Array.length lks in
+    let matched = ref false in
+    let probe lrow (candidates : int Vec.t) =
+      Vec.iter
+        (fun ri ->
+          let combined = Array.append lrow (Vec.unsafe_get r.vr ri) in
+          if residual_ok combined then begin
+            matched := true;
+            rmatched.(ri) <- true;
+            Vec.push out combined
+          end)
+        candidates
+    in
+    let pad_unmatched lrow =
+      if (not !matched) && (kind = Ast.Left || kind = Ast.Full) then
+        Vec.push out (Array.append lrow (null_row rw))
+    in
+    if nk = 1 then begin
+      (* single key column (the common case): scalar-keyed table, no per-row
+         key array; when the build column holds only small ints (typical id
+         join keys), an unboxed int-keyed table cuts hashing cost further *)
+      let lk = lks.(0) and rk = rks.(0) in
+      let all_small_int =
+        let ok = ref true in
+        Vec.iter
+          (fun rrow ->
+            let v = rrow.(rk) in
+            if not (Value.is_null v || Row_table.small_int_key v) then ok := false)
+          r.vr;
+        !ok
+      in
+      (* [iter_candidates v f] applies [f] to the build-side row indices whose
+         key equals [v], in the right relation's row order. *)
+      let iter_candidates : Value.t -> (int -> unit) -> unit =
+        if all_small_int then begin
+          let lo = ref max_int and hi = ref min_int and nkeys = ref 0 in
+          Vec.iter
+            (fun rrow ->
+              match rrow.(rk) with
+              | Value.Int k ->
+                incr nkeys;
+                if k < !lo then lo := k;
+                if k > !hi then hi := k
+              | _ -> ())
+            r.vr;
+          let lo = !lo and hi = !hi in
+          let range = if !nkeys = 0 then 0 else hi - lo + 1 in
+          if range > 0 && range <= max 1024 (8 * nr) then begin
+            (* dense id keys: counting-sort buckets, no hashing at all.
+               [starts] is the exclusive prefix sum of per-key counts;
+               [items] holds build row indices grouped by key, in row order. *)
+            let starts = Array.make (range + 1) 0 in
+            Vec.iter
+              (fun rrow ->
+                match rrow.(rk) with
+                | Value.Int k -> starts.(k - lo + 1) <- starts.(k - lo + 1) + 1
+                | _ -> ())
+              r.vr;
+            for i = 1 to range do
+              starts.(i) <- starts.(i) + starts.(i - 1)
+            done;
+            let items = Array.make !nkeys 0 in
+            let fill = Array.sub starts 0 range in
+            Vec.iteri
+              (fun ri rrow ->
+                match rrow.(rk) with
+                | Value.Int k ->
+                  let b = k - lo in
+                  items.(fill.(b)) <- ri;
+                  fill.(b) <- fill.(b) + 1
+                | _ -> ())
+              r.vr;
+            fun v f ->
+              match Row_table.int_key_of v with
+              | Some k when k >= lo && k <= hi ->
+                for p = starts.(k - lo) to starts.(k - lo + 1) - 1 do
+                  f items.(p)
+                done
+              | _ -> ()
+          end
+          else begin
+            (* sparse int keys: unboxed int-keyed hashtable *)
+            let tbl : int Vec.t Row_table.Int_key.t =
+              Row_table.Int_key.create (max 16 nr)
+            in
+            Vec.iteri
+              (fun ri rrow ->
+                match rrow.(rk) with
+                | Value.Int k -> (
+                  match Row_table.Int_key.find_opt tbl k with
+                  | Some cell -> Vec.push cell ri
+                  | None ->
+                    let cell = Vec.create () in
+                    Vec.push cell ri;
+                    Row_table.Int_key.replace tbl k cell)
+                | _ -> ())
+              r.vr;
+            fun v f ->
+              match Row_table.int_key_of v with
+              | None -> ()
+              | Some k -> (
+                match Row_table.Int_key.find_opt tbl k with
+                | None -> ()
+                | Some cell -> Vec.iter f cell)
+          end
+        end
+        else begin
+          let tbl : int Vec.t Row_table.Scalar.t =
+            Row_table.Scalar.create (max 16 nr)
+          in
+          Vec.iteri
+            (fun ri rrow ->
+              let v = rrow.(rk) in
+              if not (Value.is_null v) then
+                match Row_table.Scalar.find_opt tbl v with
+                | Some cell -> Vec.push cell ri
+                | None ->
+                  let cell = Vec.create () in
+                  Vec.push cell ri;
+                  Row_table.Scalar.replace tbl v cell)
+            r.vr;
+          fun v f ->
+            match Row_table.Scalar.find_opt tbl v with
+            | None -> ()
+            | Some cell -> Vec.iter f cell
+        end
+      in
+      Vec.iter
+        (fun lrow ->
+          matched := false;
+          let v = lrow.(lk) in
+          (* NULL keys never match *)
+          if not (Value.is_null v) then
+            iter_candidates v (fun ri ->
+                let combined = Array.append lrow (Vec.unsafe_get r.vr ri) in
+                if residual_ok combined then begin
+                  matched := true;
+                  rmatched.(ri) <- true;
+                  Vec.push out combined
+                end);
+          pad_unmatched lrow)
+        l.vr
+    end
+    else begin
+      (* [extract_into k ks row] fills [k]; false when any key column is NULL
+         (NULL keys never match). The probe side reuses one scratch array. *)
+      let extract_into (k : Value.t array) ks (row : Value.t array) =
+        let rec go i =
+          i >= nk
+          ||
+          let v = row.(Array.unsafe_get ks i) in
+          (not (Value.is_null v))
+          && begin
+               k.(i) <- v;
+               go (i + 1)
+             end
+        in
+        go 0
+      in
+      let tbl : int Vec.t Row_table.t = Row_table.create (max 16 nr) in
+      let scratch = Array.make nk Value.Null in
+      Vec.iteri
+        (fun ri rrow ->
+          if extract_into scratch rks rrow then
+            match Row_table.find_opt tbl scratch with
+            | Some cell -> Vec.push cell ri
+            | None ->
+              let cell = Vec.create () in
+              Vec.push cell ri;
+              Row_table.replace tbl (Array.copy scratch) cell)
+        r.vr;
+      Vec.iter
+        (fun lrow ->
+          matched := false;
+          (if extract_into scratch lks lrow then
+             match Row_table.find_opt tbl scratch with
+             | None -> ()
+             | Some candidates -> probe lrow candidates);
+          pad_unmatched lrow)
+        l.vr
+    end);
+  if kind = Ast.Right || kind = Ast.Full then
+    Vec.iteri
+      (fun ri rrow ->
+        if not rmatched.(ri) then Vec.push out (Array.append (null_row lw) rrow))
+      r.vr;
+  { vh = headers; vr = out }
+
+(* --- select evaluation ----------------------------------------------------- *)
+
+and cross_all env ~prune = function
+  | [] -> { vh = [||]; vr = Vec.of_list [ [||] ] } (* FROM-less SELECT: one empty row *)
+  | [ tr ] -> eval_table_ref env ~prune tr
+  | tr :: rest ->
+    List.fold_left
+      (fun acc tr ->
+        join env Ast.Cross acc (eval_table_ref env ~prune tr) Ast.Cond_none)
+      (eval_table_ref env ~prune tr)
+      rest
+
+and eval_select env (s : Ast.select) : vrel =
+  let source = cross_all env ~prune:(prune_of_select s) s.from in
   let filtered =
     match s.where with
-    | None -> source.rows
+    | None -> source.vr
     | Some pred ->
-      List.filter
-        (fun row -> Eval.is_truthy (eval_expr env source.headers None row pred))
-        source.rows
+      let cp = compile_expr env source.vh pred in
+      Vec.filter (fun row -> Eval.is_truthy (cp row)) source.vr
   in
-  let projections = expand_projections source.headers s.projections in
+  let projections = expand_projections source.vh s.projections in
   let any_agg =
     List.exists (fun (e, _) -> has_aggregate e) projections
     || (match s.having with Some h -> has_aggregate h | None -> false)
@@ -380,184 +527,161 @@ and eval_select env (s : Ast.select) : rel =
     Array.of_list (List.map (fun (_, name) -> { alias = None; name }) projections)
   in
   let rows =
-    if s.group_by = [] && not any_agg then
+    if s.group_by = [] && not any_agg then begin
       (* plain projection *)
-      List.map
-        (fun row ->
-          Array.of_list
-            (List.map (fun (e, _) -> eval_expr env source.headers None row e) projections))
-        filtered
+      let cps =
+        Array.of_list (List.map (fun (e, _) -> compile_expr env source.vh e) projections)
+      in
+      Vec.map (fun row -> Array.map (fun c -> c row) cps) filtered
+    end
     else begin
       (* grouped path; an aggregate query without GROUP BY is a single group *)
-      let groups : (Value.t list, Value.t array list ref) Hashtbl.t = Hashtbl.create 64 in
-      let order = ref [] in
-      let key_of row =
-        List.map (fun e -> eval_expr env source.headers None row e) s.group_by
+      let kcs = Array.of_list (List.map (compile_expr env source.vh) s.group_by) in
+      let in_order : Value.t array Vec.t Vec.t = Vec.create () in
+      (if Array.length kcs = 0 then
+         (* no GROUP BY: every row (possibly none) forms the single group *)
+         Vec.push in_order filtered
+       else if Array.length kcs = 1 then begin
+         (* single grouping key: scalar-keyed table, no per-row key array *)
+         let kc = kcs.(0) in
+         let groups : Value.t array Vec.t Row_table.Scalar.t =
+           Row_table.Scalar.create 64
+         in
+         Vec.iter
+           (fun row ->
+             let key = kc row in
+             match Row_table.Scalar.find_opt groups key with
+             | Some cell -> Vec.push cell row
+             | None ->
+               let cell = Vec.create () in
+               Vec.push cell row;
+               Row_table.Scalar.replace groups key cell;
+               Vec.push in_order cell)
+           filtered
+       end
+       else begin
+         let groups : Value.t array Vec.t Row_table.t = Row_table.create 64 in
+         Vec.iter
+           (fun row ->
+             let key = Array.map (fun c -> c row) kcs in
+             match Row_table.find_opt groups key with
+             | Some cell -> Vec.push cell row
+             | None ->
+               let cell = Vec.create () in
+               Vec.push cell row;
+               Row_table.replace groups key cell;
+               Vec.push in_order cell)
+           filtered
+       end);
+      (* HAVING and projections compiled once, collecting aggregate slots *)
+      let slots = Compiled.make_slots () in
+      let chaving = Option.map (compile_expr env source.vh ~agg:slots) s.having in
+      let cps =
+        Array.of_list
+          (List.map (fun (e, _) -> compile_expr env source.vh ~agg:slots e) projections)
       in
-      List.iter
-        (fun row ->
-          let key = key_of row in
-          match Hashtbl.find_opt groups key with
-          | Some cell -> cell := row :: !cell
-          | None ->
-            Hashtbl.add groups key (ref [ row ]);
-            order := key :: !order)
-        filtered;
-      let keys_in_order = List.rev !order in
-      let keys_in_order =
-        (* no GROUP BY: one group over all rows, even when empty *)
-        if s.group_by = [] then begin
-          if keys_in_order = [] then begin
-            Hashtbl.add groups [] (ref []);
-            [ [] ]
-          end
-          else keys_in_order
-        end
-        else keys_in_order
-      in
-      List.filter_map
-        (fun key ->
-          let rows_rev = !(Hashtbl.find groups key) in
-          let group_rows = List.rev rows_rev in
+      let slot_list = Array.of_list (Compiled.slots slots) in
+      let src_width = Array.length source.vh in
+      let out = Vec.create () in
+      Vec.iter
+        (fun (grows : Value.t array Vec.t) ->
+          let n = Vec.length grows in
           let representative =
-            match group_rows with
-            | row :: _ -> row
-            | [] -> Array.make (Array.length source.headers) Value.Null
+            if n > 0 then Vec.unsafe_get grows 0 else Array.make src_width Value.Null
           in
-          let ctx =
-            {
-              group_rows;
-              group_size = List.length group_rows;
-              memo = Hashtbl.create 8;
-            }
+          (* slot values lazily, so aggregates behind a failed HAVING are
+             never computed (matching the interpreter's on-demand memo) *)
+          let values =
+            Array.map
+              (fun (sl : Compiled.agg_slot) ->
+                lazy
+                  (match sl.Compiled.arg with
+                  | None ->
+                    Aggregate.compute sl.Compiled.func ~distinct:sl.Compiled.distinct
+                      ~star:sl.Compiled.star ~nrows:n []
+                  | Some c ->
+                    (* stream argument values straight out of the group *)
+                    Aggregate.compute_iter sl.Compiled.func
+                      ~distinct:sl.Compiled.distinct ~star:sl.Compiled.star ~nrows:n
+                      ~iter:(fun f -> Vec.iter (fun row -> f (c row)) grows)))
+              slot_list
           in
+          Compiled.set_group slots values;
           let keep =
-            match s.having with
-            | None -> true
-            | Some h ->
-              Eval.is_truthy
-                (eval_expr env source.headers (Some ctx) representative h)
+            match chaving with None -> true | Some c -> Eval.is_truthy (c representative)
           in
-          if not keep then None
-          else
-            Some
-              (Array.of_list
-                 (List.map
-                    (fun (e, _) ->
-                      eval_expr env source.headers (Some ctx) representative e)
-                    projections)))
-        keys_in_order
+          if keep then Vec.push out (Array.map (fun c -> c representative) cps))
+        in_order;
+      out
     end
   in
-  let rows =
-    if s.distinct then begin
-      let seen = Hashtbl.create 64 in
-      List.filter
-        (fun row ->
-          let key = Array.to_list row in
-          if Hashtbl.mem seen key then false
-          else begin
-            Hashtbl.replace seen key ();
-            true
-          end)
-        rows
-    end
-    else rows
-  in
-  { headers = out_headers; rows }
+  let rows = if s.distinct then Row_table.dedupe_rows rows else rows in
+  { vh = out_headers; vr = rows }
 
 (* --- set operations --------------------------------------------------------- *)
 
-and check_arity op (l : rel) (r : rel) =
-  if Array.length l.headers <> Array.length r.headers then
-    error "%s operands have different column counts" op
-
-and dedupe rows =
-  let seen = Hashtbl.create 64 in
-  List.filter
-    (fun row ->
-      let key = Array.to_list row in
-      if Hashtbl.mem seen key then false
-      else begin
-        Hashtbl.replace seen key ();
-        true
-      end)
-    rows
-
-and eval_body env (b : Ast.body) : rel =
+and eval_body env (b : Ast.body) : vrel =
   match b with
   | Ast.Select s -> eval_select env s
   | Ast.Union { all; left; right } ->
     let l = eval_body env left and r = eval_body env right in
     check_arity "UNION" l r;
-    let rows = l.rows @ r.rows in
-    { headers = l.headers; rows = (if all then rows else dedupe rows) }
+    let out = Vec.create () in
+    Vec.iter (Vec.push out) l.vr;
+    Vec.iter (Vec.push out) r.vr;
+    { vh = l.vh; vr = (if all then out else Row_table.dedupe_rows out) }
   | Ast.Except { all; left; right } ->
     let l = eval_body env left and r = eval_body env right in
     check_arity "EXCEPT" l r;
     if all then begin
       (* bag difference *)
-      let counts = Hashtbl.create 64 in
-      List.iter
-        (fun row ->
-          let k = Array.to_list row in
-          Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
-        r.rows;
+      let counts = Row_table.counts_of r.vr in
       let rows =
-        List.filter
+        Vec.filter
           (fun row ->
-            let k = Array.to_list row in
-            match Hashtbl.find_opt counts k with
-            | Some n when n > 0 ->
-              Hashtbl.replace counts k (n - 1);
+            match Row_table.find_opt counts row with
+            | Some c when !c > 0 ->
+              decr c;
               false
             | _ -> true)
-          l.rows
+          l.vr
       in
-      { headers = l.headers; rows }
+      { vh = l.vh; vr = rows }
     end
     else begin
-      let right_set = Hashtbl.create 64 in
-      List.iter (fun row -> Hashtbl.replace right_set (Array.to_list row) ()) r.rows;
+      let right = Row_table.counts_of r.vr in
       let rows =
-        dedupe l.rows
-        |> List.filter (fun row -> not (Hashtbl.mem right_set (Array.to_list row)))
+        Row_table.dedupe_rows l.vr |> Vec.filter (fun row -> not (Row_table.mem right row))
       in
-      { headers = l.headers; rows }
+      { vh = l.vh; vr = rows }
     end
   | Ast.Intersect { all; left; right } ->
     let l = eval_body env left and r = eval_body env right in
     check_arity "INTERSECT" l r;
-    let counts = Hashtbl.create 64 in
-    List.iter
-      (fun row ->
-        let k = Array.to_list row in
-        Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
-      r.rows;
+    let counts = Row_table.counts_of r.vr in
     if all then begin
       let rows =
-        List.filter
+        Vec.filter
           (fun row ->
-            let k = Array.to_list row in
-            match Hashtbl.find_opt counts k with
-            | Some n when n > 0 ->
-              Hashtbl.replace counts k (n - 1);
+            match Row_table.find_opt counts row with
+            | Some c when !c > 0 ->
+              decr c;
               true
             | _ -> false)
-          l.rows
+          l.vr
       in
-      { headers = l.headers; rows }
+      { vh = l.vh; vr = rows }
     end
     else begin
       let rows =
-        dedupe l.rows |> List.filter (fun row -> Hashtbl.mem counts (Array.to_list row))
+        Row_table.dedupe_rows l.vr |> Vec.filter (fun row -> Row_table.mem counts row)
       in
-      { headers = l.headers; rows }
+      { vh = l.vh; vr = rows }
     end
 
 (* --- full queries ------------------------------------------------------------ *)
 
-and eval_query env (q : Ast.query) : rel =
+and eval_query env (q : Ast.query) : vrel =
   let env =
     List.fold_left
       (fun env (cte : Ast.cte) ->
@@ -565,11 +689,11 @@ and eval_query env (q : Ast.query) : rel =
         let r =
           if cte.cte_columns = [] then r
           else begin
-            if List.length cte.cte_columns <> Array.length r.headers then
+            if List.length cte.cte_columns <> Array.length r.vh then
               error "CTE %s column list arity mismatch" cte.cte_name;
             {
               r with
-              headers =
+              vh =
                 Array.of_list
                   (List.map
                      (fun n -> { alias = None; name = String.lowercase_ascii n })
@@ -586,13 +710,11 @@ and eval_query env (q : Ast.query) : rel =
      sort, and strip the extra columns. Not available under DISTINCT, where
      SQL itself requires order keys to be projected. *)
   let r = eval_body env q.body in
-  let order_key_visible (r : rel) (e : Ast.expr) =
+  let order_key_visible (r : vrel) (e : Ast.expr) =
     (not (has_aggregate e))
-    && List.for_all
-         (fun c -> resolve_opt r.headers c <> None)
-         (Ast.expr_columns e)
+    && List.for_all (fun c -> resolve_opt r.vh c <> None) (Ast.expr_columns e)
   in
-  let visible = Array.length r.headers in
+  let visible = Array.length r.vh in
   let r, order_by =
     if q.order_by = [] || List.for_all (fun (e, _) -> order_key_visible r e) q.order_by
     then (r, q.order_by)
@@ -620,54 +742,45 @@ and eval_query env (q : Ast.query) : rel =
   let r =
     if order_by = [] then r
     else begin
-      let key_of row =
-        List.map
-          (fun (e, dir) ->
-            let v =
-              match e with
-              | Ast.Lit (Ast.Int pos) when pos >= 1 && pos <= visible -> row.(pos - 1)
-              | e -> eval_expr env r.headers None row e
-            in
-            (v, dir))
-          order_by
+      (* decorate-sort-undecorate over arrays with order keys precomputed
+         through compiled expressions; stable to match SQL ties behaviour *)
+      let nkeys = List.length order_by in
+      let dirs = Array.of_list (List.map snd order_by) in
+      let keyfns =
+        Array.of_list
+          (List.map
+             (fun (e, _) ->
+               match e with
+               | Ast.Lit (Ast.Int pos) when pos >= 1 && pos <= visible ->
+                 fun (row : Value.t array) -> row.(pos - 1)
+               | e -> compile_expr env r.vh e)
+             order_by)
       in
-      let cmp ka kb =
-        let rec go = function
-          | [] -> 0
-          | ((va, dir), (vb, _)) :: rest ->
-            let c = Value.compare va vb in
-            let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
-            if c <> 0 then c else go rest
+      let decorated =
+        Array.map (fun row -> (Array.map (fun f -> f row) keyfns, row)) (Vec.to_array r.vr)
+      in
+      let cmp (ka, _) (kb, _) =
+        let rec go i =
+          if i >= nkeys then 0
+          else
+            let c = Value.compare ka.(i) kb.(i) in
+            let c = match dirs.(i) with Ast.Asc -> c | Ast.Desc -> -c in
+            if c <> 0 then c else go (i + 1)
         in
-        go (List.combine ka kb)
+        go 0
       in
-      let decorated = List.map (fun row -> (key_of row, row)) r.rows in
-      let sorted = List.stable_sort (fun (ka, _) (kb, _) -> cmp ka kb) decorated in
-      { r with rows = List.map snd sorted }
+      Array.stable_sort cmp decorated;
+      { r with vr = Vec.of_array (Array.map snd decorated) }
     end
   in
   (* strip hidden order columns *)
   let r =
-    if Array.length r.headers = visible then r
+    if Array.length r.vh = visible then r
     else
-      {
-        headers = Array.sub r.headers 0 visible;
-        rows = List.map (fun row -> Array.sub row 0 visible) r.rows;
-      }
+      { vh = Array.sub r.vh 0 visible; vr = Vec.map (fun row -> Array.sub row 0 visible) r.vr }
   in
-  let drop n rows =
-    let rec go n rows = if n <= 0 then rows else match rows with [] -> [] | _ :: r -> go (n - 1) r in
-    go n rows
-  in
-  let take n rows =
-    let rec go n rows =
-      if n <= 0 then [] else match rows with [] -> [] | x :: r -> x :: go (n - 1) r
-    in
-    go n rows
-  in
-  let rows = match q.offset with Some n -> drop n r.rows | None -> r.rows in
-  let rows = match q.limit with Some n -> take n rows | None -> rows in
-  { r with rows }
+  let vr = Vec.slice r.vr ~offset:(Option.value q.offset ~default:0) ~limit:q.limit in
+  { r with vr }
 
 (* --- public API ----------------------------------------------------------------- *)
 

@@ -12,11 +12,17 @@ module Ast = Flex_sql.Ast
     tables and chained CTEs; IN/EXISTS/scalar subqueries (correlated
     subqueries resolve free columns against enclosing scopes);
     UNION/EXCEPT/INTERSECT (with ALL); DISTINCT; ORDER BY (including
-    unprojected source columns) with LIMIT/OFFSET. *)
+    unprojected source columns) with LIMIT/OFFSET.
+
+    Implementation: expressions are compiled once per relation into closures
+    with column offsets pre-resolved ({!Compiled}); rows travel in dynamic
+    arrays ({!Row_vec}); joins, grouping, DISTINCT and set operations share a
+    [Value.t array]-keyed hashtable ({!Row_table}). The original interpreter
+    is kept as {!Reference}, the differential-testing oracle. *)
 
 exception Error of string
 
-type header = { alias : string option; name : string }
+type header = Compiled.header = { alias : string option; name : string }
 
 type rel = { headers : header array; rows : Value.t array list }
 (** Intermediate relation carrying alias qualifiers for resolution. *)

@@ -1,0 +1,13 @@
+module Ast = Flex_sql.Ast
+
+(** The original row-at-a-time tree-walking interpreter, kept as a
+    differential-testing oracle for the compiled/vectorized {!Executor}.
+    Deliberately unoptimised; results (values and row order) must be
+    identical to {!Executor} on every supported query. *)
+
+exception Error of string
+
+type result_set = { columns : string list; rows : Value.t array list }
+
+val run : Database.t -> Ast.query -> result_set
+val run_sql : Database.t -> string -> (result_set, string) result

@@ -60,4 +60,16 @@ let to_csv_string = function
   | Float f -> Fmt.str "%.12g" f
   | String s -> s
 
-let hash v = Hashtbl.hash (match v with Int i -> Float (float_of_int i) | v -> v)
+(* Must collide where [equal] holds across Int/Float. Numbers of magnitude
+   below 2^53 (every int exactly representable as a float) hash through the
+   integer, allocation-free; the rare larger ones canonicalise through a
+   float like the old scheme. *)
+let two_53 = 9007199254740992 (* 2^53 *)
+
+let hash v =
+  match v with
+  | Int i when abs i < two_53 -> Hashtbl.hash i
+  | Float f when Float.is_integer f && Float.abs f < float_of_int two_53 ->
+    Hashtbl.hash (int_of_float f)
+  | Int i -> Hashtbl.hash (Float (float_of_int i))
+  | v -> Hashtbl.hash v

@@ -206,6 +206,42 @@ let expr_columns e =
   List.rev
     (fold_expr (fun acc e -> match e with Col c -> c :: acc | _ -> acc) [] e)
 
+(* Column references including everything inside nested subqueries: a
+   subquery's free references belong to enclosing scopes, and its bound ones
+   are harmless extras for the conservative name-based uses of this set. *)
+let rec deep_expr_columns e =
+  expr_columns e @ List.concat_map columns_of_query (expr_subqueries e)
+
+and columns_of_query (q : query) =
+  List.concat_map (fun c -> columns_of_query c.cte_query) q.ctes
+  @ columns_of_body q.body
+  @ List.concat_map (fun (e, _) -> deep_expr_columns e) q.order_by
+
+and columns_of_body = function
+  | Select s ->
+    List.concat_map
+      (function
+        | Proj_expr (e, _) -> deep_expr_columns e
+        | Proj_star | Proj_table_star _ -> [])
+      s.projections
+    @ (match s.where with Some e -> deep_expr_columns e | None -> [])
+    @ List.concat_map deep_expr_columns s.group_by
+    @ (match s.having with Some e -> deep_expr_columns e | None -> [])
+    @ List.concat_map columns_of_ref s.from
+  | Union { left; right; _ } | Except { left; right; _ } | Intersect { left; right; _ }
+    ->
+    columns_of_body left @ columns_of_body right
+
+and columns_of_ref = function
+  | Table _ -> []
+  | Derived { query; _ } -> columns_of_query query
+  | Join { left; right; cond; _ } ->
+    (match cond with
+    | On e -> deep_expr_columns e
+    | Using cols -> List.map (fun c -> { table = None; column = c }) cols
+    | Natural | Cond_none -> [])
+    @ columns_of_ref left @ columns_of_ref right
+
 let rec table_refs_of_body body =
   match body with
   | Select s -> s.from

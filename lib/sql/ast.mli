@@ -122,6 +122,15 @@ val conjuncts : expr -> expr list
 val expr_columns : expr -> col_ref list
 (** Column references (excluding those inside subqueries). *)
 
+val deep_expr_columns : expr -> col_ref list
+(** Column references including everything mentioned inside nested
+    subqueries (whose free references belong to enclosing scopes); the
+    conservative name set behind the executor's scan-time column pruning. *)
+
+val columns_of_query : query -> col_ref list
+(** Every column reference mentioned anywhere in a query, descending into
+    CTEs, derived tables, join conditions and subqueries. *)
+
 val table_refs_of_body : body -> table_ref list
 
 val base_tables_of_ref : table_ref -> string list

@@ -527,3 +527,211 @@ let function_tests =
   ]
 
 let suites = suites @ [ ("eval-functions", function_tests) ]
+
+(* --- differential tests: compiled executor vs reference interpreter ------- *)
+
+module Reference = Flex_engine.Reference
+module Uber = Flex_workload.Uber
+module Qgen = Flex_workload.Qgen
+module Rng = Flex_dp.Rng
+
+(* Exact cell equality: structural, except NaN = NaN so float aggregates
+   cannot produce spurious diffs. *)
+let cell_equal (a : Value.t) (b : Value.t) =
+  match (a, b) with
+  | Value.Float x, Value.Float y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | _ -> a = b
+
+let row_to_string row =
+  Array.to_list row |> List.map Value.to_string |> String.concat ", "
+
+(* Both pipelines must agree on columns, row values AND row order (or both
+   must fail). *)
+let check_same db sql =
+  match (Executor.run_sql db sql, Reference.run_sql db sql) with
+  | Error _, Error _ -> ()
+  | Ok _, Error e -> Alcotest.failf "compiled ok, reference failed (%s): %s" sql e
+  | Error e, Ok _ -> Alcotest.failf "compiled failed, reference ok (%s): %s" sql e
+  | Ok a, Ok b ->
+    Alcotest.(check (list string)) (sql ^ ": columns") b.Reference.columns a.Executor.columns;
+    if List.length a.Executor.rows <> List.length b.Reference.rows then
+      Alcotest.failf "row count differs (%s): compiled %d, reference %d" sql
+        (List.length a.Executor.rows)
+        (List.length b.Reference.rows);
+    List.iteri
+      (fun i (ra, rb) ->
+        let same =
+          Array.length ra = Array.length rb
+          && (let ok = ref true in
+              Array.iteri (fun j va -> if not (cell_equal va rb.(j)) then ok := false) ra;
+              !ok)
+        in
+        if not same then
+          Alcotest.failf "row %d differs (%s): compiled [%s], reference [%s]" i sql
+            (row_to_string ra) (row_to_string rb))
+      (List.combine a.Executor.rows b.Reference.rows)
+
+(* Hand-written queries over the fixture hitting the edge cases the generated
+   workload rarely produces. *)
+let edge_case_queries =
+  [
+    (* multi-key hash joins, including NULL key columns (never match) *)
+    "SELECT p.name, q.name FROM people p JOIN people q \
+     ON p.city_id = q.city_id AND p.age = q.age";
+    "SELECT p.name, q.name FROM people p LEFT JOIN people q \
+     ON p.city_id = q.city_id AND p.age = q.age ORDER BY p.id, q.id";
+    "SELECT p.name, c.name FROM people p JOIN cities c ON p.city_id = c.id";
+    (* RIGHT / FULL outer joins, unmatched sides on both ends *)
+    "SELECT p.name, t.kind FROM people p RIGHT JOIN pets t ON p.id = t.owner_id";
+    "SELECT p.name, t.kind FROM people p FULL JOIN pets t ON p.id = t.owner_id";
+    "SELECT c.name, p.name FROM cities c FULL JOIN people p ON c.id = p.city_id \
+     ORDER BY c.id, p.id";
+    (* non-equality join condition: nested loop path *)
+    "SELECT p.name, q.name FROM people p JOIN people q ON p.age < q.age";
+    (* DISTINCT and set operations, with and without ALL *)
+    "SELECT DISTINCT city_id FROM people";
+    "SELECT city_id FROM people UNION SELECT id FROM cities";
+    "SELECT city_id FROM people UNION ALL SELECT id FROM cities";
+    "SELECT id FROM cities EXCEPT SELECT city_id FROM people";
+    "SELECT city_id FROM people EXCEPT ALL SELECT id FROM cities";
+    "SELECT city_id FROM people INTERSECT SELECT id FROM cities";
+    "SELECT city_id FROM people INTERSECT ALL SELECT city_id FROM people";
+    (* ORDER BY on unprojected source keys, positional, DESC, ties *)
+    "SELECT name FROM people ORDER BY age DESC, id";
+    "SELECT name FROM people ORDER BY city_id, name";
+    "SELECT name, age FROM people ORDER BY 2 DESC";
+    "SELECT city_id, COUNT(*) FROM people GROUP BY city_id ORDER BY COUNT(*) DESC, city_id";
+    (* grouping edge cases *)
+    "SELECT COUNT(*) FROM people WHERE age > 100";
+    "SELECT AVG(age) FROM people WHERE FALSE";
+    "SELECT city_id, COUNT(DISTINCT age), SUM(age) FROM people GROUP BY city_id \
+     HAVING COUNT(*) > 1";
+    (* correlated subqueries *)
+    "SELECT name FROM people p WHERE EXISTS \
+     (SELECT 1 FROM pets t WHERE t.owner_id = p.id)";
+    "SELECT name, (SELECT COUNT(*) FROM pets t WHERE t.owner_id = p.id) FROM people p";
+    "SELECT name FROM people p WHERE age > \
+     (SELECT AVG(age) FROM people q WHERE q.city_id = p.city_id)";
+    (* LIMIT / OFFSET *)
+    "SELECT name FROM people ORDER BY id LIMIT 2 OFFSET 1";
+    "SELECT name FROM people ORDER BY id LIMIT 0";
+  ]
+
+let differential_tests =
+  [
+    Alcotest.test_case "edge cases agree with reference" `Quick (fun () ->
+        let db = fixture () in
+        List.iter (check_same db) edge_case_queries);
+    Alcotest.test_case "generated workload agrees with reference" `Quick (fun () ->
+        let rng = Rng.create ~seed:7 () in
+        let db, _metrics = Uber.generate ~sizes:Uber.small_sizes rng in
+        let queries =
+          Qgen.generate rng ~count:50 ~n_cities:12 ~n_drivers:120 ~n_users:200
+        in
+        List.iter
+          (fun (q : Qgen.t) ->
+            check_same db q.sql;
+            check_same db q.population_sql)
+          queries);
+  ]
+
+let suites = suites @ [ ("executor-differential", differential_tests) ]
+
+(* --- explicit expectations for the new join/set-op edge cases ------------- *)
+
+let edge_expectation_tests =
+  [
+    Alcotest.test_case "multi-key join skips NULL keys" `Quick (fun () ->
+        (* dan (NULL age) and eve (NULL city_id) must not self-match *)
+        let r =
+          run
+            "SELECT p.name FROM people p JOIN people q \
+             ON p.city_id = q.city_id AND p.age = q.age ORDER BY p.id"
+        in
+        Alcotest.(check (list string)) "only non-NULL keys join"
+          [ "ada"; "bob"; "cyd" ]
+          (List.map (fun row -> Value.to_string row.(0)) r.rows));
+    Alcotest.test_case "right join keeps unmatched right rows" `Quick (fun () ->
+        let r =
+          run "SELECT p.name, t.kind FROM people p RIGHT JOIN pets t ON p.id = t.owner_id"
+        in
+        Alcotest.(check int) "rows" 4 (List.length r.rows);
+        let unmatched =
+          List.filter (fun row -> Value.is_null row.(0)) r.rows
+        in
+        Alcotest.(check int) "fish owner missing" 1 (List.length unmatched));
+    Alcotest.test_case "full join keeps both unmatched sides" `Quick (fun () ->
+        let r =
+          run "SELECT c.name, p.name FROM cities c FULL JOIN people p ON c.id = p.city_id"
+        in
+        (* 4 matched pairs; la has no people; eve has no city *)
+        Alcotest.(check int) "rows" 6 (List.length r.rows);
+        Alcotest.(check bool) "la unmatched" true
+          (List.exists
+             (fun row -> row.(0) = v_str "la" && Value.is_null row.(1))
+             r.rows);
+        Alcotest.(check bool) "eve unmatched" true
+          (List.exists
+             (fun row -> Value.is_null row.(0) && row.(1) = v_str "eve")
+             r.rows));
+    Alcotest.test_case "cross join with equality keys filters rows" `Quick (fun () ->
+        (* regression: a Cross join carrying equality keys must apply them as
+           filters, not drop every row *)
+        let open Flex_sql.Ast in
+        let col t c = Col { table = Some t; column = c } in
+        let q =
+          {
+            ctes = [];
+            body =
+              Select
+                {
+                  distinct = false;
+                  projections = [ Proj_expr (col "p" "name", None) ];
+                  from =
+                    [
+                      Join
+                        {
+                          kind = Cross;
+                          left = Table { name = "people"; alias = Some "p" };
+                          right = Table { name = "cities"; alias = Some "c" };
+                          cond = On (Binop (Eq, col "p" "city_id", col "c" "id"));
+                        };
+                    ];
+                  where = None;
+                  group_by = [];
+                  having = None;
+                };
+            order_by = [ (col "p" "name", Asc) ];
+            limit = None;
+            offset = None;
+          }
+        in
+        let r = Executor.run (fixture ()) q in
+        Alcotest.(check (list string)) "equality keys act as filter"
+          [ "ada"; "bob"; "cyd"; "dan" ]
+          (List.map (fun row -> Value.to_string row.(0)) r.rows));
+    Alcotest.test_case "distinct and set ops dedupe consistently" `Quick (fun () ->
+        let r = run "SELECT DISTINCT kind FROM pets ORDER BY kind" in
+        Alcotest.(check (list string)) "distinct" [ "cat"; "dog"; "fish" ]
+          (List.map (fun row -> Value.to_string row.(0)) r.rows);
+        let r =
+          run "SELECT city_id FROM people INTERSECT SELECT id FROM cities"
+        in
+        Alcotest.(check int) "intersect" 2 (List.length r.rows));
+    Alcotest.test_case "order by unprojected key" `Quick (fun () ->
+        let r = run "SELECT name FROM people ORDER BY age DESC, id" in
+        Alcotest.(check (list string)) "columns hidden again" [ "name" ] r.columns;
+        Alcotest.(check (list string)) "order from hidden key"
+          [ "cyd"; "ada"; "eve"; "bob"; "dan" ]
+          (List.map (fun row -> Value.to_string row.(0)) r.rows));
+    Alcotest.test_case "large limit is stack-safe" `Quick (fun () ->
+        (* regression: take was not tail-recursive *)
+        let rows = List.init 400_000 (fun i -> [| v_int i |]) in
+        let t = Table.create ~name:"big" ~columns:[ "n" ] rows in
+        let db = Database.of_tables [ t ] in
+        match Executor.run_sql db "SELECT n FROM big LIMIT 399999" with
+        | Ok r -> Alcotest.(check int) "rows" 399_999 (List.length r.rows)
+        | Error e -> Alcotest.failf "limit query failed: %s" e);
+  ]
+
+let suites = suites @ [ ("executor-edge-cases", edge_expectation_tests) ]
