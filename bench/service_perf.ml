@@ -1,0 +1,258 @@
+(* Tracked service benchmark: what the analysis cache buys a long-lived
+   flex_serve process.
+
+     dune exec bench/service_perf.exe                -- writes BENCH_service.json
+     dune exec bench/service_perf.exe -- --out FILE  -- choose the output path
+     dune exec bench/service_perf.exe -- --smoke     -- tiny sizes, JSON sanity check
+
+   Per query shape the benchmark drives Server.handle directly (no socket, so
+   the numbers are the pipeline's own) and reads the per-stage timings the
+   server writes to its audit log: a cold request pays the full
+   elastic-sensitivity analysis, a warm repeat — even alias-renamed — should
+   spend its time in execution + perturbation with analysis near zero. A
+   final section hammers one server from several threads to report cache hit
+   rate and throughput. *)
+
+module Rng = Flex_dp.Rng
+module Ledger = Flex_dp.Ledger
+module W = Flex_workload
+module Server = Flex_service.Server
+module Wire = Flex_service.Wire
+module Json = Flex_service.Json
+module Audit = Flex_service.Audit
+module Cache = Flex_service.Cache
+
+let smoke = ref false
+let out_path = ref "BENCH_service.json"
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--out" :: path :: rest ->
+      out_path := path;
+      parse rest
+    | arg :: rest ->
+      Fmt.epr "warning: ignoring argument %s@." arg;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* --------------------------------------------------------------- workload *)
+
+type shape = { name : string; sql : string; warm_sql : string }
+
+(* warm_sql is the alias-renamed form: hitting the cache through
+   canonicalization, not string identity, is the point *)
+let shapes =
+  [
+    {
+      name = "scalar_count";
+      sql = "SELECT COUNT(*) FROM trips t WHERE t.status = 'completed'";
+      warm_sql = "SELECT COUNT(*) FROM trips x WHERE x.status = 'completed'";
+    };
+    {
+      name = "join_count";
+      sql =
+        "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id \
+         WHERE d.rating > 3.0";
+      warm_sql =
+        "SELECT COUNT(*) FROM trips a JOIN drivers b ON a.driver_id = b.id \
+         WHERE b.rating > 3.0";
+    };
+    {
+      name = "histogram";
+      sql = "SELECT t.status, COUNT(*) FROM trips t GROUP BY t.status";
+      warm_sql = "SELECT u.status, COUNT(*) FROM trips u GROUP BY u.status";
+    };
+    {
+      name = "join_histogram";
+      sql =
+        "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id \
+         GROUP BY c.name";
+      warm_sql =
+        "SELECT z.name, COUNT(*) FROM trips y JOIN cities z ON y.city_id = z.id \
+         GROUP BY z.name";
+    };
+  ]
+
+(* ------------------------------------------------------- stage accounting *)
+
+type stages = {
+  parse_ns : float;
+  analysis_ns : float;
+  smooth_ns : float;
+  execution_ns : float;
+  perturbation_ns : float;
+}
+
+let total s = s.parse_ns +. s.analysis_ns +. s.smooth_ns +. s.execution_ns +. s.perturbation_ns
+
+let field j name =
+  match Option.bind (Json.mem name j) Json.to_num with
+  | Some v -> v
+  | None -> Fmt.failwith "audit event missing %s" name
+
+let stages_of_event j =
+  {
+    parse_ns = field j "parse_ns";
+    analysis_ns = field j "analysis_ns";
+    smooth_ns = field j "smooth_ns";
+    execution_ns = field j "execution_ns";
+    perturbation_ns = field j "perturbation_ns";
+  }
+
+let audit_events buf =
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+  |> List.map Json.of_string_exn
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let median_stages evs =
+  {
+    parse_ns = median (List.map (fun s -> s.parse_ns) evs);
+    analysis_ns = median (List.map (fun s -> s.analysis_ns) evs);
+    smooth_ns = median (List.map (fun s -> s.smooth_ns) evs);
+    execution_ns = median (List.map (fun s -> s.execution_ns) evs);
+    perturbation_ns = median (List.map (fun s -> s.perturbation_ns) evs);
+  }
+
+(* ---------------------------------------------------------------- harness *)
+
+let make_server ~audit (db, metrics) =
+  let ledger = Ledger.in_memory () in
+  (* a budget nothing here can exhaust: this benchmark measures latency *)
+  let config = { Server.default_config with analyst_epsilon = 1e9; analyst_delta = 0.5 } in
+  Server.create ~audit ~config ~db ~metrics ~ledger ~rng:(Rng.create ~seed:42 ()) ()
+
+(* returns whether the analysis came from the cache *)
+let run_query server session sql =
+  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None }) with
+  | Wire.Result { cache_hit; _ } -> cache_hit
+  | other -> Fmt.failwith "query failed: %s" (Wire.response_to_line other)
+
+type report = { shape : string; cold : stages; warm : stages; warm_hit : bool }
+
+let bench_shape fixture repeats s =
+  let buf = Buffer.create 4096 in
+  let server = make_server ~audit:(Audit.to_buffer buf) fixture in
+  let session = Server.session server in
+  (match Server.handle server session (Wire.Hello { analyst = "bench"; epsilon = None; delta = None }) with
+  | Wire.Budget_report _ -> ()
+  | other -> Fmt.failwith "hello failed: %s" (Wire.response_to_line other));
+  let cold_hit = run_query server session s.sql in
+  assert (not cold_hit);
+  let warm_hit = ref true in
+  for _ = 1 to repeats do
+    warm_hit := run_query server session s.warm_sql && !warm_hit
+  done;
+  match List.map stages_of_event (audit_events buf) with
+  | cold :: warm_events ->
+    { shape = s.name; cold; warm = median_stages warm_events; warm_hit = !warm_hit }
+  | [] -> Fmt.failwith "no audit events for %s" s.name
+
+(* Several sessions replaying a mixed workload against one server: the cache
+   serves every analysis after the first sight of each shape. *)
+let bench_throughput fixture ~threads ~per_thread =
+  let server = make_server ~audit:(Audit.null ()) fixture in
+  let worker i =
+    let session = Server.session server in
+    ignore
+      (Server.handle server session
+         (Wire.Hello { analyst = Fmt.str "bench-%d" i; epsilon = None; delta = None }));
+    List.iteri
+      (fun j s ->
+        for _ = 1 to per_thread do
+          ignore (run_query server session (if (i + j) mod 2 = 0 then s.sql else s.warm_sql))
+        done)
+      shapes
+  in
+  let t0 = Unix.gettimeofday () in
+  let ts = List.init threads (fun i -> Thread.create worker i) in
+  List.iter Thread.join ts;
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let queries = threads * per_thread * List.length shapes in
+  let cache = Server.cache server in
+  (queries, wall_ns, Cache.hits cache, Cache.misses cache)
+
+(* ------------------------------------------------------------------ JSON *)
+
+let json_of_stages s =
+  Fmt.str
+    "{\"parse_ns\": %.0f, \"analysis_ns\": %.0f, \"smooth_ns\": %.0f, \
+     \"execution_ns\": %.0f, \"perturbation_ns\": %.0f, \"total_ns\": %.0f}"
+    s.parse_ns s.analysis_ns s.smooth_ns s.execution_ns s.perturbation_ns (total s)
+
+let json_report b r =
+  let warm_exec_share = (r.warm.execution_ns +. r.warm.perturbation_ns) /. total r.warm in
+  Buffer.add_string b
+    (Fmt.str
+       "    {\"shape\": %S, \"cold_ns\": %s, \"warm_ns\": %s, \"warm_cache_hit\": %b, \
+        \"analysis_speedup\": %.1f, \"warm_exec_perturb_share\": %.3f}"
+       r.shape (json_of_stages r.cold) (json_of_stages r.warm) r.warm_hit
+       (r.cold.analysis_ns /. Float.max r.warm.analysis_ns 1.0)
+       warm_exec_share)
+
+(* -------------------------------------------------------------------- main *)
+
+let () =
+  let sizes = if !smoke then W.Uber.small_sizes else W.Uber.default_sizes in
+  let repeats = if !smoke then 3 else 21 in
+  let threads = if !smoke then 2 else 4 in
+  let per_thread = if !smoke then 2 else 25 in
+  let fixture = W.Uber.generate ~sizes (Rng.create ~seed:7 ()) in
+  Fmt.pr "flex service benchmark (analysis cache; median of %d warm repeats)@." repeats;
+  Fmt.pr "  %-16s %12s %12s %12s %9s@." "shape" "cold ns" "warm ns" "warm analysis"
+    "hit";
+  let reports =
+    List.map
+      (fun s ->
+        let r = bench_shape fixture repeats s in
+        Fmt.pr "  %-16s %12.0f %12.0f %12.0f %9b@." r.shape (total r.cold) (total r.warm)
+          r.warm.analysis_ns r.warm_hit;
+        r)
+      shapes
+  in
+  let queries, wall_ns, hits, misses = bench_throughput fixture ~threads ~per_thread in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  Fmt.pr "  throughput: %d queries over %d threads in %.1f ms (%.0f q/s), cache hit rate %.3f@."
+    queries threads (wall_ns /. 1e6)
+    (float_of_int queries /. (wall_ns /. 1e9))
+    hit_rate;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"benchmark\": \"flex-service\",\n  \"unit\": \"ns/stage\",\n";
+  Buffer.add_string b (Fmt.str "  \"smoke\": %b,\n  \"shapes\": [\n" !smoke);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      json_report b r)
+    reports;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Fmt.str
+       "  \"throughput\": {\"threads\": %d, \"queries\": %d, \"wall_ns\": %.0f, \
+        \"queries_per_sec\": %.0f, \"cache_hits\": %d, \"cache_misses\": %d, \
+        \"cache_hit_rate\": %.3f}\n"
+       threads queries wall_ns
+       (float_of_int queries /. (wall_ns /. 1e9))
+       hits misses hit_rate);
+  Buffer.add_string b "}\n";
+  let json = Buffer.contents b in
+  (match Json.of_string json with
+  | Ok _ -> ()
+  | Error e -> Fmt.failwith "generated JSON is malformed: %s" e);
+  (* the cache must be measurably effective, or the number is a lie *)
+  List.iter
+    (fun r ->
+      if not r.warm_hit then Fmt.failwith "%s: warm repeats missed the cache" r.shape)
+    reports;
+  let oc = open_out !out_path in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote %s@." !out_path

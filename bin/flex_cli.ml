@@ -222,6 +222,26 @@ let explain_cmd =
     (Cmd.info "explain" ~doc:"Show the logical plan (and optionally the sensitivity) of a query.")
     Term.(const run $ metrics_file $ epsilon_t $ delta_t $ sql_t)
 
+(* --- budget --------------------------------------------------------------------- *)
+
+let budget_cmd =
+  let run ledger_file =
+    match Flex_dp.Ledger.summaries_of_file ledger_file with
+    | [] -> Fmt.pr "no analysts registered in %s@." ledger_file
+    | summaries ->
+      List.iter (fun s -> Fmt.pr "%a@." Flex_dp.Ledger.pp_summary s) summaries
+  in
+  let ledger_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"LEDGER" ~doc:"Budget journal written by $(b,flex_serve --ledger).")
+  in
+  Cmd.v
+    (Cmd.info "budget"
+       ~doc:"Replay a budget ledger journal and print per-analyst remaining budgets.")
+    Term.(const run $ ledger_file)
+
 (* --- demo ----------------------------------------------------------------------- *)
 
 let demo_cmd =
@@ -264,4 +284,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ metrics_cmd; analyze_cmd; run_cmd; explain_cmd; demo_cmd ]))
+       (Cmd.group info
+          [ metrics_cmd; analyze_cmd; run_cmd; explain_cmd; budget_cmd; demo_cmd ]))

@@ -1,0 +1,179 @@
+(* flex_client: command-line client for flex_serve.
+
+     flex_client query  -a alice "SELECT COUNT(*) FROM trips"
+     flex_client analyze "SELECT COUNT(*) FROM trips"
+     flex_client budget -a alice
+     flex_client stats
+
+   Speaks the line-delimited JSON wire protocol; one connection per
+   invocation. *)
+
+module Wire = Flex_service.Wire
+module Json = Flex_service.Json
+open Cmdliner
+
+let connect host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  Unix.open_connection (Unix.ADDR_INET (addr, port))
+
+let roundtrip (ic, oc) req =
+  output_string oc (Wire.request_to_line req);
+  output_char oc '\n';
+  flush oc;
+  match input_line ic with
+  | exception End_of_file -> failwith "server hung up"
+  | line -> (
+    match Wire.response_of_line line with
+    | Ok resp -> resp
+    | Error e -> failwith ("bad response from server: " ^ e))
+
+let cell_string = function
+  | Json.Null -> ""
+  | Json.Bool b -> string_of_bool b
+  | Json.Num f -> Json.number_string f
+  | Json.Str s -> s
+  | other -> Json.to_string other
+
+let print_budget_report ~analyst ~epsilon_limit ~delta_limit ~epsilon_spent ~delta_spent
+    ~remaining_epsilon ~remaining_delta ~queries =
+  Fmt.pr "analyst %s: %d queries@." analyst queries;
+  Fmt.pr "  epsilon %g spent of %g (%g remaining)@." epsilon_spent epsilon_limit
+    remaining_epsilon;
+  Fmt.pr "  delta   %g spent of %g (%g remaining)@." delta_spent delta_limit remaining_delta
+
+let print_response (resp : Wire.response) =
+  match resp with
+  | Result r ->
+    Fmt.pr "%s@." (String.concat "," r.columns);
+    List.iter
+      (fun row -> Fmt.pr "%s@." (String.concat "," (List.map cell_string row)))
+      r.rows;
+    Fmt.pr "# spent (eps, delta) = (%g, %g); remaining = (%g, %g)@." r.epsilon_spent
+      r.delta_spent r.remaining_epsilon r.remaining_delta;
+    List.iter
+      (fun (col, scale) -> Fmt.pr "# noise scale %s = %g@." col scale)
+      r.noise_scales;
+    Fmt.pr "# analysis cache %s%s@."
+      (if r.cache_hit then "hit" else "miss")
+      (if r.bins_enumerated then "; histogram bins enumerated" else "")
+  | Analysis a ->
+    Fmt.pr "histogram query: %b; joins: %d; analysis cache %s@." a.is_histogram a.joins
+      (if a.cache_hit then "hit" else "miss");
+    List.iter
+      (fun (c : Wire.column_analysis) ->
+        Fmt.pr "column %s:@." c.column;
+        Fmt.pr "  elastic sensitivity ES(k) = %s@." c.sensitivity;
+        Fmt.pr "  smooth bound S = %g@." c.smooth_bound;
+        Fmt.pr "  Laplace noise scale 2S/eps = %g@." c.noise_scale)
+      a.columns
+  | Rejected r ->
+    Fmt.epr "rejected (%s): %s@." r.bucket r.reason;
+    exit 1
+  | Refused r ->
+    Fmt.epr
+      "budget refused for %s: requested (eps, delta) = (%g, %g), remaining = (%g, %g)@."
+      r.analyst r.requested_epsilon r.requested_delta r.remaining_epsilon r.remaining_delta;
+    exit 1
+  | Budget_report r ->
+    print_budget_report ~analyst:r.analyst ~epsilon_limit:r.epsilon_limit
+      ~delta_limit:r.delta_limit ~epsilon_spent:r.epsilon_spent ~delta_spent:r.delta_spent
+      ~remaining_epsilon:r.remaining_epsilon ~remaining_delta:r.remaining_delta
+      ~queries:r.queries
+  | Stats_report s ->
+    Fmt.pr "queries: %d (%d granted, %d rejected, %d refused)@." s.queries s.granted
+      s.rejected s.refused;
+    Fmt.pr "analysis cache: %d hits, %d misses, %d entries@." s.cache_hits s.cache_misses
+      s.cache_entries;
+    Fmt.pr "analysts: %d@." s.analysts
+  | Error_msg m ->
+    Fmt.epr "error: %s@." m;
+    exit 1
+  | Bye -> ()
+
+let with_conn host port f =
+  let conn = connect host port in
+  Fun.protect
+    ~finally:(fun () ->
+      (try ignore (roundtrip conn Wire.Quit) with _ -> ());
+      try Unix.shutdown_connection (fst conn) with _ -> ())
+    (fun () -> f conn)
+
+let hello conn analyst =
+  match roundtrip conn (Wire.Hello { analyst; epsilon = None; delta = None }) with
+  | Wire.Budget_report _ -> ()
+  | Wire.Error_msg m -> failwith ("hello failed: " ^ m)
+  | _ -> failwith "unexpected response to hello"
+
+(* --- common options ---------------------------------------------------------- *)
+
+let host_t =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+
+let port_t = Arg.(value & opt int 8799 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let analyst_t =
+  Arg.(
+    value & opt string "analyst"
+    & info [ "a"; "analyst" ] ~docv:"NAME" ~doc:"Analyst name for budget accounting.")
+
+let sql_t =
+  Arg.(required & pos ~rev:true 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
+
+(* --- subcommands ------------------------------------------------------------- *)
+
+let query_cmd =
+  let run host port analyst epsilon delta sql =
+    with_conn host port (fun conn ->
+        hello conn analyst;
+        print_response (roundtrip conn (Wire.Query { sql; epsilon; delta })))
+  in
+  let epsilon =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "e"; "epsilon" ] ~docv:"EPS" ~doc:"Per-query epsilon (server default otherwise).")
+  in
+  let delta =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "d"; "delta" ] ~docv:"DELTA" ~doc:"Per-query delta (server default otherwise).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a query with differential privacy, charging the analyst's budget.")
+    Term.(const run $ host_t $ port_t $ analyst_t $ epsilon $ delta $ sql_t)
+
+let analyze_cmd =
+  let run host port sql =
+    with_conn host port (fun conn -> print_response (roundtrip conn (Wire.Analyze { sql })))
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Ask the server for a query's sensitivity analysis (free).")
+    Term.(const run $ host_t $ port_t $ sql_t)
+
+let budget_cmd =
+  let run host port analyst =
+    with_conn host port (fun conn ->
+        hello conn analyst;
+        print_response (roundtrip conn Wire.Budget_info))
+  in
+  Cmd.v
+    (Cmd.info "budget" ~doc:"Show the analyst's remaining privacy budget.")
+    Term.(const run $ host_t $ port_t $ analyst_t)
+
+let stats_cmd =
+  let run host port =
+    with_conn host port (fun conn -> print_response (roundtrip conn Wire.Stats))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show service counters (admissions, cache, analysts).")
+    Term.(const run $ host_t $ port_t)
+
+let () =
+  let info =
+    Cmd.info "flex_client" ~version:"1.0.0" ~doc:"Client for the flex_serve DP query service."
+  in
+  exit (Cmd.eval (Cmd.group info [ query_cmd; analyze_cmd; budget_cmd; stats_cmd ]))

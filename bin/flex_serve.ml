@@ -1,0 +1,152 @@
+(* flex_serve: the FLEX query service over TCP.
+
+     # serve CSV data with precomputed metrics, durable ledger + audit log
+     flex_serve data/ --metrics metrics.txt --ledger budgets.ledger \
+       --audit audit.jsonl --port 8799
+
+     # self-contained demo server on a generated ride-sharing database
+     flex_serve --demo
+
+   The wire protocol is one JSON request per line, one JSON response per
+   line; drive it with flex_client (or netcat). *)
+
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Csv = Flex_engine.Csv
+module Ledger = Flex_dp.Ledger
+module Rng = Flex_dp.Rng
+module Server = Flex_service.Server
+module Audit = Flex_service.Audit
+open Cmdliner
+
+let load_csv_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    failwith (dir ^ " is not a directory");
+  let tables =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".csv")
+    |> List.map (fun f ->
+         let name = Filename.remove_extension f in
+         Csv.load_table ~name (Filename.concat dir f))
+  in
+  if tables = [] then failwith ("no .csv files in " ^ dir);
+  Database.of_tables tables
+
+let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
+    analyst_epsilon analyst_delta cap seed =
+  let db, metrics =
+    if demo then begin
+      Fmt.pr "generating a ride-sharing database...@.";
+      Flex_workload.Uber.generate ~sizes:Flex_workload.Uber.small_sizes
+        (Rng.create ~seed ())
+    end
+    else
+      match dir with
+      | None -> failwith "either a data directory or --demo is required"
+      | Some dir ->
+        let db = load_csv_dir dir in
+        let m =
+          match metrics_file with Some f -> Metrics.load f | None -> Metrics.compute db
+        in
+        (db, m)
+  in
+  let ledger =
+    match ledger_file with None -> Ledger.in_memory () | Some path -> Ledger.open_ ~sync path
+  in
+  let audit = match audit_file with None -> Audit.null () | Some path -> Audit.to_file path in
+  let config =
+    {
+      Server.default_config with
+      default_epsilon = epsilon;
+      default_delta = delta;
+      analyst_epsilon;
+      analyst_delta;
+      max_epsilon_per_query = cap;
+    }
+  in
+  let server =
+    Server.create ~audit ~config ~db ~metrics ~ledger ~rng:(Rng.create ~seed ()) ()
+  in
+  let listener = Server.listen ~port server in
+  Fmt.pr "flex_serve: listening on 127.0.0.1:%d (%d tables, %d rows)@."
+    (Server.port listener)
+    (List.length (Database.table_names db))
+    (Metrics.total_rows metrics);
+  (match Ledger.path ledger with
+  | Some p -> Fmt.pr "flex_serve: budget ledger at %s@." p
+  | None -> Fmt.pr "flex_serve: in-memory ledger (budgets reset on restart)@.");
+  Server.serve listener
+
+let () =
+  let dir =
+    Arg.(
+      value
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Directory of CSV tables (omit with $(b,--demo)).")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Metrics file; recomputed from the data when omitted.")
+  in
+  let demo =
+    Arg.(value & flag & info [ "demo" ] ~doc:"Serve a generated ride-sharing database.")
+  in
+  let port =
+    Arg.(value & opt int 8799 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral).")
+  in
+  let ledger_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"Append-only budget journal; replayed on startup so restarts resume \
+                exactly the remaining budgets. In-memory when omitted.")
+  in
+  let audit_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE" ~doc:"Append JSON-lines audit events here.")
+  in
+  let sync =
+    Arg.(value & flag & info [ "sync" ] ~doc:"fsync the ledger after every grant.")
+  in
+  let epsilon =
+    Arg.(
+      value & opt float 0.1
+      & info [ "e"; "epsilon" ] ~docv:"EPS" ~doc:"Default per-query epsilon.")
+  in
+  let delta =
+    Arg.(
+      value & opt float 1e-8
+      & info [ "d"; "delta" ] ~docv:"DELTA" ~doc:"Default per-query delta.")
+  in
+  let analyst_epsilon =
+    Arg.(
+      value & opt float 10.0
+      & info [ "analyst-epsilon" ] ~docv:"EPS" ~doc:"Default total epsilon budget per analyst.")
+  in
+  let analyst_delta =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "analyst-delta" ] ~docv:"DELTA" ~doc:"Default total delta budget per analyst.")
+  in
+  let cap =
+    Arg.(
+      value & opt float 1.0
+      & info [ "max-epsilon" ] ~docv:"EPS" ~doc:"Admission cap on a single query's epsilon.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Noise RNG seed.") in
+  let info =
+    Cmd.info "flex_serve" ~version:"1.0.0"
+      ~doc:"Serve FLEX differentially private SQL over TCP (line-delimited JSON)."
+  in
+  let term =
+    Term.(
+      const serve $ dir $ metrics_file $ demo $ port $ ledger_file $ audit_file $ sync
+      $ epsilon $ delta $ analyst_epsilon $ analyst_delta $ cap $ seed)
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -116,38 +116,92 @@ let perturb_cell opts rng ~scale ~round v =
     let noisy = f +. sample_noise opts rng ~scale in
     if round then Value.Int (int_of_float (Float.round noisy)) else Value.Float noisy
 
+(* --- staged, re-entrant entry points -----------------------------------------
+   The FLEX pipeline split at its natural joints so a long-lived service can
+   drive (and time, Table 2) each stage separately, cache the analysis stage
+   across requests, and interleave requests from concurrent sessions: every
+   stage is a pure function of its arguments plus the per-call [rng]. *)
+
+(* Stage 1 — elastic-sensitivity analysis. Depends only on the query, the
+   metrics and the option flags: the cacheable prefix of the pipeline. *)
+let analyze_ast ~options:opts ~metrics (q : Ast.query) :
+    (Elastic.analysis, Errors.reason) result =
+  Elastic.analyze (catalog_of_options opts metrics) q
+
+(* Stage 2 — smooth-sensitivity maximisation per aggregate column. Cheap, but
+   depends on the request's epsilon/delta, so it stays outside the cache. *)
+let smooth_columns ~options:opts (analysis : Elastic.analysis) : column_release list =
+  let beta = beta_of opts in
+  List.filter_map
+    (function
+      | Elastic.Group_key_col _ -> None
+      | Elastic.Aggregate_col { kind; sens; name } ->
+        let smooth = smooth_of opts ~beta ~n:analysis.Elastic.database_rows sens in
+        Some { name; kind; elastic = sens; smooth; noise_scale = scale_of opts smooth })
+    analysis.Elastic.columns
+
+(* Stage 3 — run the unmodified query on the database. *)
+let execute ~db (q : Ast.query) : (Executor.result_set, Errors.reason) result =
+  match Executor.run db q with
+  | true_result -> Ok true_result
+  | exception Executor.Error m -> Error (Errors.Analysis_error ("execution: " ^ m))
+  | exception Flex_engine.Eval.Error m -> Error (Errors.Analysis_error ("evaluation: " ^ m))
+  | exception Flex_engine.Aggregate.Error m ->
+    Error (Errors.Analysis_error ("aggregation: " ^ m))
+
+(* Stage 4 — histogram bin enumeration plus per-cell noise. *)
+let perturb ~rng ~options:opts ~metrics ~db ~analysis ~column_releases true_result :
+    release =
+  let cat = catalog_of_options opts metrics in
+  let enumerated, bins_enumerated =
+    if opts.enumerate_bins && analysis.Elastic.is_histogram then
+      match Histogram.enumerate cat db analysis true_result with
+      | Some r -> (r, true)
+      | None -> (true_result, false)
+    else (true_result, false)
+  in
+  (* map column name -> noise scale, aligned by position *)
+  let scales = Array.make (List.length analysis.Elastic.columns) None in
+  List.iteri
+    (fun i spec ->
+      match spec with
+      | Elastic.Group_key_col _ -> ()
+      | Elastic.Aggregate_col { name; _ } ->
+        let release = List.find (fun r -> r.name = name) column_releases in
+        scales.(i) <- Some release.noise_scale)
+    analysis.Elastic.columns;
+  let noisy_rows =
+    List.map
+      (fun row ->
+        Array.mapi
+          (fun i v ->
+            if i < Array.length scales then
+              match scales.(i) with
+              | Some scale -> perturb_cell opts rng ~scale ~round:opts.round_counts v
+              | None -> v
+            else v)
+          row)
+      enumerated.rows
+  in
+  {
+    noisy = { enumerated with rows = noisy_rows };
+    true_result;
+    analysis;
+    column_releases;
+    epsilon = opts.epsilon;
+    delta = opts.delta;
+    bins_enumerated;
+  }
+
 let run ?budget ~rng ~options:opts ~db ~metrics (q : Ast.query) :
     (release, Errors.reason) result =
-  let cat = catalog_of_options opts metrics in
-  match Elastic.analyze cat q with
+  match analyze_ast ~options:opts ~metrics q with
   | Error r -> Error r
   | Ok analysis -> (
-    match Executor.run db q with
-    | exception Executor.Error m -> Error (Errors.Analysis_error ("execution: " ^ m))
-    | exception Flex_engine.Eval.Error m ->
-      Error (Errors.Analysis_error ("evaluation: " ^ m))
-    | exception Flex_engine.Aggregate.Error m ->
-      Error (Errors.Analysis_error ("aggregation: " ^ m))
-    | true_result ->
-      let beta = beta_of opts in
-      let column_releases =
-        List.filter_map
-          (function
-            | Elastic.Group_key_col _ -> None
-            | Elastic.Aggregate_col { kind; sens; name } ->
-              let smooth =
-                smooth_of opts ~beta ~n:analysis.Elastic.database_rows sens
-              in
-              Some
-                {
-                  name;
-                  kind;
-                  elastic = sens;
-                  smooth;
-                  noise_scale = scale_of opts smooth;
-                })
-          analysis.Elastic.columns
-      in
+    match execute ~db q with
+    | Error r -> Error r
+    | Ok true_result ->
+      let column_releases = smooth_columns ~options:opts analysis in
       (* charge the budget before releasing anything: each aggregate column
          is a separate (epsilon, delta) mechanism under basic composition *)
       let n_aggs = List.length column_releases in
@@ -157,47 +211,7 @@ let run ?budget ~rng ~options:opts ~db ~metrics (q : Ast.query) :
           ~epsilon:(opts.epsilon *. float_of_int n_aggs)
           ~delta:(opts.delta *. float_of_int n_aggs)
       | None -> ());
-      let enumerated, bins_enumerated =
-        if opts.enumerate_bins && analysis.Elastic.is_histogram then
-          match Histogram.enumerate cat db analysis true_result with
-          | Some r -> (r, true)
-          | None -> (true_result, false)
-        else (true_result, false)
-      in
-      (* map column name -> noise scale, aligned by position *)
-      let scales = Array.make (List.length analysis.Elastic.columns) None in
-      List.iteri
-        (fun i spec ->
-          match spec with
-          | Elastic.Group_key_col _ -> ()
-          | Elastic.Aggregate_col { name; _ } ->
-            let release = List.find (fun r -> r.name = name) column_releases in
-            scales.(i) <- Some release.noise_scale)
-        analysis.Elastic.columns;
-      let noisy_rows =
-        List.map
-          (fun row ->
-            Array.mapi
-              (fun i v ->
-                if i < Array.length scales then
-                  match scales.(i) with
-                  | Some scale ->
-                    perturb_cell opts rng ~scale ~round:opts.round_counts v
-                  | None -> v
-                else v)
-              row)
-          enumerated.rows
-      in
-      Ok
-        {
-          noisy = { enumerated with rows = noisy_rows };
-          true_result;
-          analysis;
-          column_releases;
-          epsilon = opts.epsilon;
-          delta = opts.delta;
-          bins_enumerated;
-        })
+      Ok (perturb ~rng ~options:opts ~metrics ~db ~analysis ~column_releases true_result))
 
 let run_sql ?budget ~rng ~options ~db ~metrics sql =
   match Flex_sql.Parser.parse sql with

@@ -71,6 +71,41 @@ type release = {
   bins_enumerated : bool;
 }
 
+(** {2 Staged, re-entrant pipeline}
+
+    The FLEX mechanism split at its natural joints, for long-lived services:
+    each stage is a pure function of its arguments (plus the per-call [rng]
+    in {!perturb}), so concurrent sessions can interleave stages freely, a
+    server can time them separately (the Table 2 breakdown), and the
+    analysis stage — which depends only on the query, the metrics and the
+    option flags — can be memoized across requests. *)
+
+val analyze_ast :
+  options:options -> metrics:Metrics.t -> Ast.query -> (Elastic.analysis, Errors.reason) result
+(** Stage 1: elastic-sensitivity analysis of an already-parsed query. The
+    cacheable prefix (key on canonical AST + metrics fingerprint +
+    option flags). *)
+
+val smooth_columns : options:options -> Elastic.analysis -> column_release list
+(** Stage 2: smooth-sensitivity maximisation per aggregate column; depends
+    on the request's epsilon/delta, so it runs per request. *)
+
+val execute : db:Database.t -> Ast.query -> (Executor.result_set, Errors.reason) result
+(** Stage 3: the unmodified query on the underlying database, engine
+    exceptions mapped to typed reasons. *)
+
+val perturb :
+  rng:Rng.t ->
+  options:options ->
+  metrics:Metrics.t ->
+  db:Database.t ->
+  analysis:Elastic.analysis ->
+  column_releases:column_release list ->
+  Executor.result_set ->
+  release
+(** Stage 4: histogram bin enumeration (§4) plus Laplace/Cauchy noise on
+    every aggregate cell. *)
+
 val run :
   ?budget:Budget.t ->
   rng:Rng.t ->

@@ -12,9 +12,32 @@ type t = {
 
 exception Exhausted of { requested : charge; remaining_epsilon : float; remaining_delta : float }
 
+type invalid = { field : string; value : float }
+
+exception Invalid_budget of invalid
+
+let pp_invalid ppf { field; value } =
+  Fmt.pf ppf "invalid budget: %s = %g (must be positive and finite)" field value
+
+(* A budget that is zero, negative, NaN or infinite is never what the caller
+   meant: eps <= 0 yields unbounded noise scales, a non-finite limit disables
+   accounting entirely. Catch it at construction with a typed error. *)
+let check ~epsilon ~delta =
+  if not (Float.is_finite epsilon && epsilon > 0.0) then
+    Error { field = "epsilon"; value = epsilon }
+  else if not (Float.is_finite delta && delta > 0.0) then
+    Error { field = "delta"; value = delta }
+  else Ok ()
+
+let create_checked ~epsilon ~delta =
+  match check ~epsilon ~delta with
+  | Error e -> Error e
+  | Ok () -> Ok { epsilon_limit = epsilon; delta_limit = delta; spent = [] }
+
 let create ~epsilon ~delta =
-  if epsilon < 0.0 || delta < 0.0 then invalid_arg "Budget.create: negative budget";
-  { epsilon_limit = epsilon; delta_limit = delta; spent = [] }
+  match create_checked ~epsilon ~delta with
+  | Ok t -> t
+  | Error e -> raise (Invalid_budget e)
 
 let charges t = List.rev t.spent
 
@@ -47,12 +70,15 @@ let remaining t =
   let e, d = spent_basic t in
   (Float.max 0.0 (t.epsilon_limit -. e), Float.max 0.0 (t.delta_limit -. d))
 
+let limit t = (t.epsilon_limit, t.delta_limit)
+
 let can_afford t ~epsilon ~delta =
   let e, d = spent_basic t in
   e +. epsilon <= t.epsilon_limit +. 1e-12 && d +. delta <= t.delta_limit +. 1e-12
 
 let charge ?(label = "query") t ~epsilon ~delta =
-  if epsilon < 0.0 || delta < 0.0 then invalid_arg "Budget.charge: negative cost";
+  if epsilon < 0.0 || delta < 0.0 || not (Float.is_finite epsilon && Float.is_finite delta)
+  then invalid_arg "Budget.charge: cost must be finite and non-negative";
   let c = { epsilon; delta; label } in
   if can_afford t ~epsilon ~delta then t.spent <- c :: t.spent
   else

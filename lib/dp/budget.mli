@@ -12,12 +12,29 @@ exception
     remaining_delta : float;
   }
 
+type invalid = { field : string; value : float }
+(** A rejected budget parameter: which field and the offending value. *)
+
+exception Invalid_budget of invalid
+
+val pp_invalid : invalid Fmt.t
+
+val check : epsilon:float -> delta:float -> (unit, invalid) result
+(** Budget limits must be positive and finite; zero, negative, NaN and
+    infinite values are configuration errors, not budgets. *)
+
 val create : epsilon:float -> delta:float -> t
-(** A fresh accountant with the given total budget. *)
+(** A fresh accountant with the given total budget.
+    @raise Invalid_budget on non-positive or non-finite [epsilon]/[delta]. *)
+
+val create_checked : epsilon:float -> delta:float -> (t, invalid) result
+(** Like {!create}, with the validation error as data — the form a service
+    boundary wants. *)
 
 val charge : ?label:string -> t -> epsilon:float -> delta:float -> unit
 (** Record a mechanism invocation; raises {!Exhausted} if the basic-composition
-    total would exceed the limit. *)
+    total would exceed the limit. Costs must be finite and non-negative (a
+    zero-delta charge is fine: pure-epsilon mechanisms exist). *)
 
 val can_afford : t -> epsilon:float -> delta:float -> bool
 val charges : t -> charge list
@@ -30,4 +47,8 @@ val spent_strong : ?delta_slack:float -> t -> float * float
     with [delta_slack] added to the delta term (default [1e-9]). *)
 
 val remaining : t -> float * float
+
+val limit : t -> float * float
+(** The total [(epsilon, delta)] the accountant was created with. *)
+
 val pp : t Fmt.t

@@ -159,6 +159,11 @@ let of_lines lines =
     lines;
   t
 
+(* The serialised form is sorted, so the digest is independent of hashtable
+   iteration order: equal metrics always fingerprint alike. *)
+let fingerprint t =
+  Digest.to_hex (Digest.string (String.concat "\n" (to_lines t)))
+
 let save t path =
   let oc = open_out path in
   Fun.protect

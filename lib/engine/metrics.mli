@@ -53,6 +53,11 @@ val columns : t -> table:string -> string list
 
 val known_tables : t -> string list
 
+val fingerprint : t -> string
+(** Hex digest of the full metric set (deterministic: the serialised form is
+    sorted). Analysis caches key on it so that any [mf]/[vr]/constraint
+    change invalidates every dependent entry. *)
+
 (** {2 Persistence} *)
 
 val to_lines : t -> string list

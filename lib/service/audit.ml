@@ -1,0 +1,78 @@
+type outcome = Granted | Rejected of string | Refused | Failed
+
+type event = {
+  analyst : string;
+  sql : string;
+  outcome : outcome;
+  epsilon : float;
+  delta : float;
+  max_noise_scale : float;
+  cache_hit : bool;
+  parse_ns : float;
+  analysis_ns : float;
+  smooth_ns : float;
+  execution_ns : float;
+  perturbation_ns : float;
+}
+
+type sink = To_channel of out_channel | To_buffer of Buffer.t | Null
+
+type t = { sink : sink; lock : Mutex.t; mutable count : int }
+
+let make sink = { sink; lock = Mutex.create (); count = 0 }
+let null () = make Null
+let to_file path = make (To_channel (open_out_gen [ Open_append; Open_creat ] 0o644 path))
+let to_buffer b = make (To_buffer b)
+
+let outcome_fields = function
+  | Granted -> [ ("outcome", Json.str "granted") ]
+  | Rejected bucket -> [ ("outcome", Json.str "rejected"); ("bucket", Json.str bucket) ]
+  | Refused -> [ ("outcome", Json.str "refused") ]
+  | Failed -> [ ("outcome", Json.str "failed") ]
+
+let json_of_event ~ts (e : event) =
+  Json.Obj
+    ([
+       ("ts", Json.num ts);
+       ("analyst", Json.str e.analyst);
+       ("sql", Json.str e.sql);
+     ]
+    @ outcome_fields e.outcome
+    @ [
+        ("epsilon", Json.num e.epsilon);
+        ("delta", Json.num e.delta);
+        ("max_noise_scale", Json.num e.max_noise_scale);
+        ("cache_hit", Json.bool e.cache_hit);
+        ("parse_ns", Json.num e.parse_ns);
+        ("analysis_ns", Json.num e.analysis_ns);
+        ("smooth_ns", Json.num e.smooth_ns);
+        ("execution_ns", Json.num e.execution_ns);
+        ("perturbation_ns", Json.num e.perturbation_ns);
+      ])
+
+let log t e =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      t.count <- t.count + 1;
+      let line = Json.to_string (json_of_event ~ts:(Unix.gettimeofday ()) e) in
+      match t.sink with
+      | Null -> ()
+      | To_buffer b ->
+        Buffer.add_string b line;
+        Buffer.add_char b '\n'
+      | To_channel oc ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+
+let events t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> t.count)
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> match t.sink with To_channel oc -> close_out oc | _ -> ())

@@ -1,0 +1,42 @@
+(** Structured audit log: one JSON line per request, in the spirit of the
+    paper's Table 2 — what ran, who ran it, what it cost, and where the time
+    went (parse / analysis / smoothing / execution / perturbation). The log
+    never contains result values, only query text and accounting. *)
+
+type outcome =
+  | Granted
+  | Rejected of string  (** §5.1 bucket: parse / unsupported / other *)
+  | Refused  (** budget refusal *)
+  | Failed  (** internal error after admission *)
+
+type event = {
+  analyst : string;
+  sql : string;
+  outcome : outcome;
+  epsilon : float;  (** charged (0 when not granted) *)
+  delta : float;
+  max_noise_scale : float;  (** worst aggregate column; 0 when not granted *)
+  cache_hit : bool;
+  parse_ns : float;
+  analysis_ns : float;  (** ~0 on cache hits — the Table 2 story *)
+  smooth_ns : float;
+  execution_ns : float;
+  perturbation_ns : float;
+}
+
+type t
+
+val null : unit -> t
+(** Drops every event (benchmarks). *)
+
+val to_file : string -> t
+(** Append JSON lines to a file. *)
+
+val to_buffer : Buffer.t -> t
+(** Collect lines in memory (tests). *)
+
+val log : t -> event -> unit
+(** Thread-safe; adds a wall-clock [ts] field. *)
+
+val events : t -> int
+val close : t -> unit

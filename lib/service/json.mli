@@ -1,0 +1,42 @@
+(** Minimal JSON for the line-delimited wire protocol — the container ships
+    no JSON library, and the protocol needs only scalars, arrays and
+    objects. Every value encodes to a single line (control characters are
+    escaped), and [of_string (to_string v) = Ok v] for all values whose
+    numbers are finite (property-tested). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float  (** integral values print without a fractional part *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** One line, no trailing newline. Non-finite numbers encode as [null]
+    (JSON has no representation for them). *)
+
+val number_string : float -> string
+(** How [Num] prints: integral values without a fractional part, everything
+    else as [%.17g] (round-trips doubles exactly). *)
+
+val of_string : string -> (t, string) result
+
+val of_string_exn : string -> t
+(** @raise Failure with a position-carrying message. *)
+
+(** {2 Accessors} (shallow, total) *)
+
+val mem : string -> t -> t option
+(** Object member lookup; [None] on non-objects. *)
+
+val to_str : t -> string option
+val to_num : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val str : string -> t
+val num : float -> t
+val int : int -> t
+val bool : bool -> t

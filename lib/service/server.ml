@@ -1,0 +1,441 @@
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Ledger = Flex_dp.Ledger
+module Rng = Flex_dp.Rng
+module Sens = Flex_dp.Sens
+module Flex = Flex_core.Flex
+module Errors = Flex_core.Errors
+module Elastic = Flex_core.Elastic
+module Parser = Flex_sql.Parser
+module Canon = Flex_sql.Canon
+
+type config = {
+  default_epsilon : float;
+  default_delta : float;
+  analyst_epsilon : float;
+  analyst_delta : float;
+  max_epsilon_per_query : float;
+  public_optimization : bool;
+  unique_optimization : bool;
+  cross_joins : bool;
+}
+
+let default_config =
+  {
+    default_epsilon = 0.1;
+    default_delta = 1e-8;
+    analyst_epsilon = 10.0;
+    analyst_delta = 1e-4;
+    max_epsilon_per_query = 1.0;
+    public_optimization = true;
+    unique_optimization = true;
+    cross_joins = false;
+  }
+
+type t = {
+  config : config;
+  db : Database.t;
+  metrics : Metrics.t;
+  fingerprint : string;
+  ledger : Ledger.t;
+  analysis_cache : (Elastic.analysis, Errors.reason) result Cache.t;
+  audit : Audit.t;
+  rng : Rng.t;
+  lock : Mutex.t;  (* guards counters and rng splitting *)
+  mutable queries : int;
+  mutable granted : int;
+  mutable rejected : int;
+  mutable refused : int;
+}
+
+let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity
+    ~db ~metrics ~ledger ~rng () =
+  {
+    config;
+    db;
+    metrics;
+    fingerprint = Metrics.fingerprint metrics;
+    ledger;
+    analysis_cache = Cache.create ?capacity:cache_capacity ();
+    audit;
+    rng;
+    lock = Mutex.create ();
+    queries = 0;
+    granted = 0;
+    rejected = 0;
+    refused = 0;
+  }
+
+type session = { mutable analyst : string option; rng : Rng.t }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let session t = with_lock t (fun () -> { analyst = None; rng = Rng.split t.rng })
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let timed f =
+  let t0 = now_ns () in
+  let v = f () in
+  (v, now_ns () -. t0)
+
+let bucket_string reason =
+  match Errors.bucket_of reason with
+  | Errors.Parse_bucket -> "parse"
+  | Errors.Unsupported_bucket -> "unsupported"
+  | Errors.Other_bucket -> "other"
+
+let base_event ~analyst ~sql : Audit.event =
+  {
+    analyst;
+    sql;
+    outcome = Audit.Failed;
+    epsilon = 0.0;
+    delta = 0.0;
+    max_noise_scale = 0.0;
+    cache_hit = false;
+    parse_ns = 0.0;
+    analysis_ns = 0.0;
+    smooth_ns = 0.0;
+    execution_ns = 0.0;
+    perturbation_ns = 0.0;
+  }
+
+(* Admission of the request's privacy parameters: Flex.options would raise
+   on out-of-range values, and the per-query cap keeps any single request
+   from draining an analyst's budget in one bite. *)
+let validate_privacy t ~epsilon ~delta =
+  if (not (Float.is_finite epsilon)) || epsilon <= 0.0 then
+    Error (Printf.sprintf "per-query epsilon must be positive and finite (got %g)" epsilon)
+  else if (not (Float.is_finite delta)) || delta <= 0.0 || delta >= 1.0 then
+    Error (Printf.sprintf "per-query delta must be in (0, 1) (got %g)" delta)
+  else if epsilon > t.config.max_epsilon_per_query then
+    Error
+      (Printf.sprintf "per-query epsilon %g exceeds the service cap %g" epsilon
+         t.config.max_epsilon_per_query)
+  else Ok ()
+
+let options_for t ~epsilon ~delta =
+  Flex.options ~public_optimization:t.config.public_optimization
+    ~unique_optimization:t.config.unique_optimization ~cross_joins:t.config.cross_joins ~epsilon
+    ~delta ()
+
+(* The analysis depends on options only through the catalog flags, never
+   through epsilon/delta, so one cache entry serves every privacy level. *)
+let analyze_cached t ~options ast =
+  let flags =
+    Printf.sprintf "pub=%b;uniq=%b;cross=%b" t.config.public_optimization
+      t.config.unique_optimization t.config.cross_joins
+  in
+  let key = Cache.key ~sql_canonical:(Canon.cache_key ast) ~fingerprint:t.fingerprint ~flags in
+  Cache.find_or_compute t.analysis_cache ~key (fun () ->
+      Flex.analyze_ast ~options ~metrics:t.metrics ast)
+
+let parse sql =
+  match Parser.parse sql with Ok ast -> Ok ast | Error e -> Error (Errors.Parse_error e)
+
+let budget_report t analyst =
+  match
+    ( Ledger.limits t.ledger ~analyst,
+      Ledger.spent t.ledger ~analyst,
+      Ledger.remaining t.ledger ~analyst )
+  with
+  | Some (el, dl), Some (es, ds), Some (re, rd) ->
+    Wire.Budget_report
+      {
+        analyst;
+        epsilon_limit = el;
+        delta_limit = dl;
+        epsilon_spent = es;
+        delta_spent = ds;
+        remaining_epsilon = re;
+        remaining_delta = rd;
+        queries = Ledger.spends t.ledger ~analyst;
+      }
+  | _ -> Wire.Error_msg (Printf.sprintf "unknown analyst %S" analyst)
+
+let handle_hello t session ~analyst ~epsilon ~delta =
+  let eps = Option.value epsilon ~default:t.config.analyst_epsilon in
+  let del = Option.value delta ~default:t.config.analyst_delta in
+  let attach () =
+    session.analyst <- Some analyst;
+    budget_report t analyst
+  in
+  match Ledger.register t.ledger ~analyst ~epsilon:eps ~delta:del with
+  | Ok () -> attach ()
+  | Error (Ledger.Already_registered existing) -> (
+    match (epsilon, delta) with
+    | None, None -> attach () (* plain re-attach keeps the existing limits *)
+    | _ ->
+      Wire.Error_msg
+        (Printf.sprintf "analyst %S already registered with budget (%g, %g)" analyst
+           existing.epsilon existing.delta))
+  | Error err -> Wire.Error_msg (Ledger.error_to_string err)
+
+let reject t ~(base : Audit.event) reason =
+  let bucket = bucket_string reason in
+  with_lock t (fun () -> t.rejected <- t.rejected + 1);
+  Audit.log t.audit { base with outcome = Audit.Rejected bucket };
+  Wire.Rejected { bucket; reason = Errors.to_string reason }
+
+let handle_query t session ~sql ~epsilon ~delta =
+  match session.analyst with
+  | None -> Wire.Error_msg "no analyst: send hello first"
+  | Some analyst -> (
+    with_lock t (fun () -> t.queries <- t.queries + 1);
+    let epsilon = Option.value epsilon ~default:t.config.default_epsilon in
+    let delta = Option.value delta ~default:t.config.default_delta in
+    let base = base_event ~analyst ~sql in
+    match validate_privacy t ~epsilon ~delta with
+    | Error msg ->
+      with_lock t (fun () -> t.rejected <- t.rejected + 1);
+      Audit.log t.audit { base with outcome = Audit.Rejected "admission" };
+      Wire.Rejected { bucket = "admission"; reason = msg }
+    | Ok () -> (
+      let options = options_for t ~epsilon ~delta in
+      let parsed, parse_ns = timed (fun () -> parse sql) in
+      let base = { base with parse_ns } in
+      match parsed with
+      | Error reason -> reject t ~base reason
+      | Ok ast -> (
+        let (analyzed, cache_hit), analysis_ns =
+          timed (fun () -> analyze_cached t ~options ast)
+        in
+        let base = { base with cache_hit; analysis_ns } in
+        match analyzed with
+        | Error reason -> reject t ~base reason
+        | Ok analysis -> (
+          let column_releases, smooth_ns =
+            timed (fun () -> Flex.smooth_columns ~options analysis)
+          in
+          let executed, execution_ns = timed (fun () -> Flex.execute ~db:t.db ast) in
+          let base = { base with smooth_ns; execution_ns } in
+          match executed with
+          | Error reason -> reject t ~base reason
+          | Ok result_set -> (
+            let n = float_of_int (List.length column_releases) in
+            let cost_eps = epsilon *. n and cost_delta = delta *. n in
+            (* The atomic gate: journal-then-charge before any noisy value
+               exists, so refusal can never follow a release. *)
+            match
+              Ledger.spend t.ledger ~analyst ~epsilon:cost_eps ~delta:cost_delta
+                ~label:"flex-query"
+            with
+            | Error (Ledger.Exhausted e) ->
+              with_lock t (fun () -> t.refused <- t.refused + 1);
+              Audit.log t.audit { base with outcome = Audit.Refused };
+              Wire.Refused
+                {
+                  analyst;
+                  requested_epsilon = cost_eps;
+                  requested_delta = cost_delta;
+                  remaining_epsilon = e.remaining_epsilon;
+                  remaining_delta = e.remaining_delta;
+                }
+            | Error err -> Wire.Error_msg (Ledger.error_to_string err)
+            | Ok (remaining_epsilon, remaining_delta) ->
+              let release, perturbation_ns =
+                timed (fun () ->
+                    Flex.perturb ~rng:session.rng ~options ~metrics:t.metrics ~db:t.db
+                      ~analysis ~column_releases result_set)
+              in
+              with_lock t (fun () -> t.granted <- t.granted + 1);
+              let noise_scales =
+                List.map
+                  (fun (cr : Flex.column_release) -> (cr.name, cr.noise_scale))
+                  release.column_releases
+              in
+              let max_noise_scale =
+                List.fold_left (fun acc (_, s) -> Float.max acc s) 0.0 noise_scales
+              in
+              Audit.log t.audit
+                {
+                  base with
+                  outcome = Audit.Granted;
+                  epsilon = cost_eps;
+                  delta = cost_delta;
+                  max_noise_scale;
+                  perturbation_ns;
+                };
+              Wire.Result
+                {
+                  columns = release.noisy.columns;
+                  rows =
+                    List.map
+                      (fun row -> List.map Wire.json_of_value (Array.to_list row))
+                      release.noisy.rows;
+                  epsilon_spent = cost_eps;
+                  delta_spent = cost_delta;
+                  remaining_epsilon;
+                  remaining_delta;
+                  cache_hit;
+                  bins_enumerated = release.bins_enumerated;
+                  noise_scales;
+                })))))
+
+let handle_analyze t ~sql =
+  let options =
+    options_for t ~epsilon:t.config.default_epsilon ~delta:t.config.default_delta
+  in
+  match parse sql with
+  | Error reason -> Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
+  | Ok ast -> (
+    let analyzed, cache_hit = analyze_cached t ~options ast in
+    match analyzed with
+    | Error reason ->
+      Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
+    | Ok analysis ->
+      let columns =
+        List.map
+          (fun (cr : Flex.column_release) ->
+            {
+              Wire.column = cr.name;
+              sensitivity = Sens.to_string cr.elastic;
+              smooth_bound = cr.smooth.smooth_bound;
+              noise_scale = cr.noise_scale;
+            })
+          (Flex.smooth_columns ~options analysis)
+      in
+      Wire.Analysis
+        { cache_hit; is_histogram = analysis.is_histogram; joins = analysis.joins; columns })
+
+let stats_report t =
+  let c = with_lock t (fun () -> (t.queries, t.granted, t.rejected, t.refused)) in
+  let queries, granted, rejected, refused = c in
+  Wire.Stats_report
+    {
+      queries;
+      granted;
+      rejected;
+      refused;
+      cache_hits = Cache.hits t.analysis_cache;
+      cache_misses = Cache.misses t.analysis_cache;
+      cache_entries = Cache.length t.analysis_cache;
+      analysts = List.length (Ledger.analysts t.ledger);
+    }
+
+let handle t session req =
+  try
+    match (req : Wire.request) with
+    | Hello { analyst; epsilon; delta } -> handle_hello t session ~analyst ~epsilon ~delta
+    | Query { sql; epsilon; delta } -> handle_query t session ~sql ~epsilon ~delta
+    | Analyze { sql } -> handle_analyze t ~sql
+    | Budget_info -> (
+      match session.analyst with
+      | None -> Wire.Error_msg "no analyst: send hello first"
+      | Some analyst -> budget_report t analyst)
+    | Stats -> stats_report t
+    | Quit -> Wire.Bye
+  with exn -> Wire.Error_msg ("internal error: " ^ Printexc.to_string exn)
+
+let handle_line t session line =
+  match Wire.request_of_line line with
+  | Error msg -> Wire.response_to_line (Wire.Error_msg msg)
+  | Ok req -> Wire.response_to_line (handle t session req)
+
+type counters = { queries : int; granted : int; rejected : int; refused : int }
+
+let counters t =
+  with_lock t (fun () ->
+      { queries = t.queries; granted = t.granted; rejected = t.rejected; refused = t.refused })
+
+let cache t = t.analysis_cache
+
+(* {2 TCP front end} *)
+
+type listener = {
+  server : t;
+  sock : Unix.file_descr;
+  lport : int;
+  llock : Mutex.t;
+  mutable running : bool;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+  mutable accept_thread : Thread.t option;
+}
+
+let listen ?(backlog = 16) ?(port = 0) t =
+  let sock = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt sock SO_REUSEADDR true;
+  Unix.bind sock (ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock backlog;
+  let lport =
+    match Unix.getsockname sock with ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  {
+    server = t;
+    sock;
+    lport;
+    llock = Mutex.create ();
+    running = true;
+    conns = [];
+    accept_thread = None;
+  }
+
+let port l = l.lport
+
+let conn_loop l fd =
+  let session = session l.server in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let continue = ref true in
+     while !continue do
+       match input_line ic with
+       | exception (End_of_file | Sys_error _) -> continue := false
+       | line ->
+         let resp, stop =
+           match Wire.request_of_line line with
+           | Error msg -> (Wire.Error_msg msg, false)
+           | Ok req -> (handle l.server session req, req = Wire.Quit)
+         in
+         output_string oc (Wire.response_to_line resp);
+         output_char oc '\n';
+         flush oc;
+         if stop then continue := false
+     done
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  Mutex.lock l.llock;
+  l.conns <- List.filter (fun (fd', _) -> fd' <> fd) l.conns;
+  Mutex.unlock l.llock;
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+  close_in_noerr ic (* closes [fd]; [oc] shares it and is already flushed *)
+
+let serve l =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept l.sock with
+    | fd, _ ->
+      if not l.running then (try Unix.close fd with _ -> ())
+      else begin
+        Mutex.lock l.llock;
+        let th = Thread.create (fun () -> conn_loop l fd) () in
+        l.conns <- (fd, th) :: l.conns;
+        Mutex.unlock l.llock
+      end
+    | exception Unix.Unix_error _ -> if not l.running then continue := false
+  done
+
+let start l =
+  let th = Thread.create serve l in
+  l.accept_thread <- Some th;
+  th
+
+let stop l =
+  Mutex.lock l.llock;
+  let was_running = l.running in
+  l.running <- false;
+  let acc = l.accept_thread in
+  l.accept_thread <- None;
+  Mutex.unlock l.llock;
+  if was_running then begin
+    (* shutdown wakes a blocked accept (Linux), and keeps waking it: an
+       accept entered after this point fails immediately too. *)
+    (try Unix.shutdown l.sock Unix.SHUTDOWN_ALL with _ -> ());
+    (match acc with Some th -> Thread.join th | None -> ());
+    (try Unix.close l.sock with _ -> ());
+    let conns = Mutex.protect l.llock (fun () -> l.conns) in
+    List.iter (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) conns;
+    List.iter (fun (_, th) -> try Thread.join th with _ -> ()) conns
+  end

@@ -1,0 +1,100 @@
+(** The FLEX query service: the paper's §1/§7 deployment shape — middleware
+    that intercepts analysts' SQL, analyses it, charges a per-analyst budget
+    and perturbs results before anything leaves the trusted side.
+
+    The request pipeline (per {!Wire.request} [Query]):
+
+    + parse (trailing semicolons tolerated — analysts type them);
+    + canonicalize and look up / compute the elastic-sensitivity analysis
+      (memoized across analysts on canonical AST + metrics fingerprint +
+      option flags; rejections are cached verdicts too);
+    + admission: §3.7.1 typed rejections pass through as [Rejected] with
+      their §5.1 bucket; per-query epsilon above the configured cap is
+      rejected before touching the budget;
+    + smooth-sensitivity per column, execute on the shared read-only
+      database handle;
+    + atomically charge the ledger ([epsilon * aggregate-columns] under
+      basic composition) — an unaffordable request gets a typed [Refused]
+      and {e never} a noisy answer;
+    + perturb and release, audit-log the stage timings.
+
+    [handle] is re-entrant: sessions can be driven concurrently from any
+    number of threads (the ledger, cache and audit log carry their own
+    locks; each session carries its own RNG). The TCP front end is
+    line-delimited JSON, one thread per connection. *)
+
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Ledger = Flex_dp.Ledger
+module Rng = Flex_dp.Rng
+
+type config = {
+  default_epsilon : float;  (** per-query epsilon when the request omits it *)
+  default_delta : float;
+  analyst_epsilon : float;  (** total budget granted by a plain Hello *)
+  analyst_delta : float;
+  max_epsilon_per_query : float;  (** admission cap on a single request *)
+  public_optimization : bool;
+  unique_optimization : bool;
+  cross_joins : bool;
+}
+
+val default_config : config
+(** eps 0.1 / delta 1e-8 per query, totals 10.0 / 1e-4, cap 1.0, paper-default
+    optimisation flags. *)
+
+type t
+
+val create :
+  ?audit:Audit.t ->
+  ?config:config ->
+  ?cache_capacity:int ->
+  db:Database.t ->
+  metrics:Metrics.t ->
+  ledger:Ledger.t ->
+  rng:Rng.t ->
+  unit ->
+  t
+
+type session
+
+val session : t -> session
+(** A fresh anonymous session with an independent RNG stream; [Hello] names
+    its analyst. *)
+
+val handle : t -> session -> Wire.request -> Wire.response
+(** Serve one request. Never raises. *)
+
+val handle_line : t -> session -> string -> string
+(** [handle] at the wire: JSON line in, JSON line out (malformed input
+    yields an [error] response line). *)
+
+type counters = {
+  queries : int;  (** Query requests seen *)
+  granted : int;
+  rejected : int;
+  refused : int;
+}
+
+val counters : t -> counters
+val cache : t -> (Flex_core.Elastic.analysis, Flex_core.Errors.reason) result Cache.t
+
+(** {2 TCP front end} *)
+
+type listener
+
+val listen : ?backlog:int -> ?port:int -> t -> listener
+(** Bind 127.0.0.1 (port 0 — the default — picks an ephemeral one). *)
+
+val port : listener -> int
+
+val serve : listener -> unit
+(** Accept loop in the calling thread; returns after {!stop}. *)
+
+val start : listener -> Thread.t
+(** [serve] on a background thread. *)
+
+val stop : listener -> unit
+(** Stop accepting, hang up every live connection, and join all connection
+    threads; pending requests finish first, so the ledger is quiescent when
+    this returns. Idempotent. *)

@@ -1,0 +1,372 @@
+(* Request/response messages and their JSON forms. Encoding is total;
+   decoding validates shape and reports the offending field. *)
+
+module Json = Json
+
+type request =
+  | Hello of { analyst : string; epsilon : float option; delta : float option }
+  | Query of { sql : string; epsilon : float option; delta : float option }
+  | Analyze of { sql : string }
+  | Budget_info
+  | Stats
+  | Quit
+
+type column_analysis = {
+  column : string;
+  sensitivity : string;
+  smooth_bound : float;
+  noise_scale : float;
+}
+
+type response =
+  | Result of {
+      columns : string list;
+      rows : Json.t list list;
+      epsilon_spent : float;
+      delta_spent : float;
+      remaining_epsilon : float;
+      remaining_delta : float;
+      cache_hit : bool;
+      bins_enumerated : bool;
+      noise_scales : (string * float) list;
+    }
+  | Analysis of {
+      cache_hit : bool;
+      is_histogram : bool;
+      joins : int;
+      columns : column_analysis list;
+    }
+  | Rejected of { bucket : string; reason : string }
+  | Refused of {
+      analyst : string;
+      requested_epsilon : float;
+      requested_delta : float;
+      remaining_epsilon : float;
+      remaining_delta : float;
+    }
+  | Budget_report of {
+      analyst : string;
+      epsilon_limit : float;
+      delta_limit : float;
+      epsilon_spent : float;
+      delta_spent : float;
+      remaining_epsilon : float;
+      remaining_delta : float;
+      queries : int;
+    }
+  | Stats_report of {
+      queries : int;
+      granted : int;
+      rejected : int;
+      refused : int;
+      cache_hits : int;
+      cache_misses : int;
+      cache_entries : int;
+      analysts : int;
+    }
+  | Error_msg of string
+  | Bye
+
+(* --- helpers ---------------------------------------------------------------- *)
+
+let opt_num key = function Some f -> [ (key, Json.num f) ] | None -> []
+
+let get_str key j =
+  match Option.bind (Json.mem key j) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string field %S" key)
+
+let get_num key j =
+  match Option.bind (Json.mem key j) Json.to_num with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "missing or non-number field %S" key)
+
+let get_int key j =
+  match Option.bind (Json.mem key j) Json.to_int with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "missing or non-integer field %S" key)
+
+let get_bool key j =
+  match Option.bind (Json.mem key j) Json.to_bool with
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "missing or non-boolean field %S" key)
+
+let get_opt_num key j =
+  match Json.mem key j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+    match Json.to_num v with
+    | Some f -> Ok (Some f)
+    | None -> Error (Printf.sprintf "non-number field %S" key))
+
+let ( let* ) = Result.bind
+
+(* --- requests ---------------------------------------------------------------- *)
+
+let request_to_json = function
+  | Hello { analyst; epsilon; delta } ->
+    Json.Obj
+      ([ ("op", Json.str "hello"); ("analyst", Json.str analyst) ]
+      @ opt_num "epsilon" epsilon @ opt_num "delta" delta)
+  | Query { sql; epsilon; delta } ->
+    Json.Obj
+      ([ ("op", Json.str "query"); ("sql", Json.str sql) ]
+      @ opt_num "epsilon" epsilon @ opt_num "delta" delta)
+  | Analyze { sql } -> Json.Obj [ ("op", Json.str "analyze"); ("sql", Json.str sql) ]
+  | Budget_info -> Json.Obj [ ("op", Json.str "budget") ]
+  | Stats -> Json.Obj [ ("op", Json.str "stats") ]
+  | Quit -> Json.Obj [ ("op", Json.str "quit") ]
+
+let request_of_json j =
+  let* op = get_str "op" j in
+  match op with
+  | "hello" ->
+    let* analyst = get_str "analyst" j in
+    let* epsilon = get_opt_num "epsilon" j in
+    let* delta = get_opt_num "delta" j in
+    Ok (Hello { analyst; epsilon; delta })
+  | "query" ->
+    let* sql = get_str "sql" j in
+    let* epsilon = get_opt_num "epsilon" j in
+    let* delta = get_opt_num "delta" j in
+    Ok (Query { sql; epsilon; delta })
+  | "analyze" ->
+    let* sql = get_str "sql" j in
+    Ok (Analyze { sql })
+  | "budget" -> Ok Budget_info
+  | "stats" -> Ok Stats
+  | "quit" -> Ok Quit
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+(* --- responses ---------------------------------------------------------------- *)
+
+let response_to_json = function
+  | Result r ->
+    Json.Obj
+      [
+        ("status", Json.str "result");
+        ("columns", Json.List (List.map Json.str r.columns));
+        ("rows", Json.List (List.map (fun row -> Json.List row) r.rows));
+        ("epsilon_spent", Json.num r.epsilon_spent);
+        ("delta_spent", Json.num r.delta_spent);
+        ("remaining_epsilon", Json.num r.remaining_epsilon);
+        ("remaining_delta", Json.num r.remaining_delta);
+        ("cache_hit", Json.bool r.cache_hit);
+        ("bins_enumerated", Json.bool r.bins_enumerated);
+        ( "noise_scales",
+          Json.List
+            (List.map
+               (fun (c, s) ->
+                 Json.Obj [ ("column", Json.str c); ("scale", Json.num s) ])
+               r.noise_scales) );
+      ]
+  | Analysis a ->
+    Json.Obj
+      [
+        ("status", Json.str "analysis");
+        ("cache_hit", Json.bool a.cache_hit);
+        ("is_histogram", Json.bool a.is_histogram);
+        ("joins", Json.int a.joins);
+        ( "columns",
+          Json.List
+            (List.map
+               (fun c ->
+                 Json.Obj
+                   [
+                     ("column", Json.str c.column);
+                     ("sensitivity", Json.str c.sensitivity);
+                     ("smooth_bound", Json.num c.smooth_bound);
+                     ("noise_scale", Json.num c.noise_scale);
+                   ])
+               a.columns) );
+      ]
+  | Rejected { bucket; reason } ->
+    Json.Obj
+      [ ("status", Json.str "rejected"); ("bucket", Json.str bucket); ("reason", Json.str reason) ]
+  | Refused r ->
+    Json.Obj
+      [
+        ("status", Json.str "refused");
+        ("analyst", Json.str r.analyst);
+        ("requested_epsilon", Json.num r.requested_epsilon);
+        ("requested_delta", Json.num r.requested_delta);
+        ("remaining_epsilon", Json.num r.remaining_epsilon);
+        ("remaining_delta", Json.num r.remaining_delta);
+      ]
+  | Budget_report b ->
+    Json.Obj
+      [
+        ("status", Json.str "budget");
+        ("analyst", Json.str b.analyst);
+        ("epsilon_limit", Json.num b.epsilon_limit);
+        ("delta_limit", Json.num b.delta_limit);
+        ("epsilon_spent", Json.num b.epsilon_spent);
+        ("delta_spent", Json.num b.delta_spent);
+        ("remaining_epsilon", Json.num b.remaining_epsilon);
+        ("remaining_delta", Json.num b.remaining_delta);
+        ("queries", Json.int b.queries);
+      ]
+  | Stats_report s ->
+    Json.Obj
+      [
+        ("status", Json.str "stats");
+        ("queries", Json.int s.queries);
+        ("granted", Json.int s.granted);
+        ("rejected", Json.int s.rejected);
+        ("refused", Json.int s.refused);
+        ("cache_hits", Json.int s.cache_hits);
+        ("cache_misses", Json.int s.cache_misses);
+        ("cache_entries", Json.int s.cache_entries);
+        ("analysts", Json.int s.analysts);
+      ]
+  | Error_msg m -> Json.Obj [ ("status", Json.str "error"); ("message", Json.str m) ]
+  | Bye -> Json.Obj [ ("status", Json.str "bye") ]
+
+let response_of_json j =
+  let* status = get_str "status" j in
+  match status with
+  | "result" ->
+    let* columns =
+      match Option.bind (Json.mem "columns" j) Json.to_list with
+      | Some vs -> (
+        match List.filter_map Json.to_str vs with
+        | strs when List.length strs = List.length vs -> Ok strs
+        | _ -> Error "non-string column name")
+      | None -> Error "missing columns"
+    in
+    let* rows =
+      match Option.bind (Json.mem "rows" j) Json.to_list with
+      | Some vs ->
+        List.fold_left
+          (fun acc row ->
+            let* acc = acc in
+            match Json.to_list row with
+            | Some cells -> Ok (cells :: acc)
+            | None -> Error "non-array row")
+          (Ok []) vs
+        |> Result.map List.rev
+      | None -> Error "missing rows"
+    in
+    let* epsilon_spent = get_num "epsilon_spent" j in
+    let* delta_spent = get_num "delta_spent" j in
+    let* remaining_epsilon = get_num "remaining_epsilon" j in
+    let* remaining_delta = get_num "remaining_delta" j in
+    let* cache_hit = get_bool "cache_hit" j in
+    let* bins_enumerated = get_bool "bins_enumerated" j in
+    let* noise_scales =
+      match Option.bind (Json.mem "noise_scales" j) Json.to_list with
+      | Some vs ->
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            let* c = get_str "column" v in
+            let* s = get_num "scale" v in
+            Ok ((c, s) :: acc))
+          (Ok []) vs
+        |> Result.map List.rev
+      | None -> Error "missing noise_scales"
+    in
+    Ok
+      (Result
+         {
+           columns;
+           rows;
+           epsilon_spent;
+           delta_spent;
+           remaining_epsilon;
+           remaining_delta;
+           cache_hit;
+           bins_enumerated;
+           noise_scales;
+         })
+  | "analysis" ->
+    let* cache_hit = get_bool "cache_hit" j in
+    let* is_histogram = get_bool "is_histogram" j in
+    let* joins = get_int "joins" j in
+    let* columns =
+      match Option.bind (Json.mem "columns" j) Json.to_list with
+      | Some vs ->
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            let* column = get_str "column" v in
+            let* sensitivity = get_str "sensitivity" v in
+            let* smooth_bound = get_num "smooth_bound" v in
+            let* noise_scale = get_num "noise_scale" v in
+            Ok ({ column; sensitivity; smooth_bound; noise_scale } :: acc))
+          (Ok []) vs
+        |> Result.map List.rev
+      | None -> Error "missing columns"
+    in
+    Ok (Analysis { cache_hit; is_histogram; joins; columns })
+  | "rejected" ->
+    let* bucket = get_str "bucket" j in
+    let* reason = get_str "reason" j in
+    Ok (Rejected { bucket; reason })
+  | "refused" ->
+    let* analyst = get_str "analyst" j in
+    let* requested_epsilon = get_num "requested_epsilon" j in
+    let* requested_delta = get_num "requested_delta" j in
+    let* remaining_epsilon = get_num "remaining_epsilon" j in
+    let* remaining_delta = get_num "remaining_delta" j in
+    Ok (Refused { analyst; requested_epsilon; requested_delta; remaining_epsilon; remaining_delta })
+  | "budget" ->
+    let* analyst = get_str "analyst" j in
+    let* epsilon_limit = get_num "epsilon_limit" j in
+    let* delta_limit = get_num "delta_limit" j in
+    let* epsilon_spent = get_num "epsilon_spent" j in
+    let* delta_spent = get_num "delta_spent" j in
+    let* remaining_epsilon = get_num "remaining_epsilon" j in
+    let* remaining_delta = get_num "remaining_delta" j in
+    let* queries = get_int "queries" j in
+    Ok
+      (Budget_report
+         {
+           analyst;
+           epsilon_limit;
+           delta_limit;
+           epsilon_spent;
+           delta_spent;
+           remaining_epsilon;
+           remaining_delta;
+           queries;
+         })
+  | "stats" ->
+    let* queries = get_int "queries" j in
+    let* granted = get_int "granted" j in
+    let* rejected = get_int "rejected" j in
+    let* refused = get_int "refused" j in
+    let* cache_hits = get_int "cache_hits" j in
+    let* cache_misses = get_int "cache_misses" j in
+    let* cache_entries = get_int "cache_entries" j in
+    let* analysts = get_int "analysts" j in
+    Ok
+      (Stats_report
+         { queries; granted; rejected; refused; cache_hits; cache_misses; cache_entries; analysts })
+  | "error" ->
+    let* message = get_str "message" j in
+    Ok (Error_msg message)
+  | "bye" -> Ok Bye
+  | s -> Error (Printf.sprintf "unknown status %S" s)
+
+(* --- lines ------------------------------------------------------------------- *)
+
+let request_to_line r = Json.to_string (request_to_json r)
+
+let request_of_line line =
+  let* j = Json.of_string line in
+  request_of_json j
+
+let response_to_line r = Json.to_string (response_to_json r)
+
+let response_of_line line =
+  let* j = Json.of_string line in
+  response_of_json j
+
+let json_of_value (v : Flex_engine.Value.t) =
+  match v with
+  | Flex_engine.Value.Null -> Json.Null
+  | Flex_engine.Value.Bool b -> Json.Bool b
+  | Flex_engine.Value.Int i -> Json.int i
+  | Flex_engine.Value.Float f -> Json.num f
+  | Flex_engine.Value.String s -> Json.str s

@@ -1,0 +1,88 @@
+(** The service wire protocol: line-delimited JSON, one request line in, one
+    response line out, over a plain TCP stream. Encode/decode round-trips
+    exactly (property-tested), so client and server can be exercised
+    independently of any socket. *)
+
+module Json = Json
+
+type request =
+  | Hello of { analyst : string; epsilon : float option; delta : float option }
+      (** register (or re-attach) an analyst; optional total budget limits,
+          server defaults otherwise *)
+  | Query of { sql : string; epsilon : float option; delta : float option }
+      (** a DP query; optional per-query epsilon/delta overrides *)
+  | Analyze of { sql : string }  (** sensitivity analysis only — free *)
+  | Budget_info  (** the session analyst's ledger state *)
+  | Stats  (** service counters: cache, admissions, analysts *)
+  | Quit
+
+type column_analysis = {
+  column : string;
+  sensitivity : string;  (** elastic sensitivity as a polynomial in k *)
+  smooth_bound : float;
+  noise_scale : float;
+}
+
+type response =
+  | Result of {
+      columns : string list;
+      rows : Json.t list list;
+      epsilon_spent : float;
+      delta_spent : float;
+      remaining_epsilon : float;
+      remaining_delta : float;
+      cache_hit : bool;
+      bins_enumerated : bool;
+      noise_scales : (string * float) list;
+    }
+  | Analysis of {
+      cache_hit : bool;
+      is_histogram : bool;
+      joins : int;
+      columns : column_analysis list;
+    }
+  | Rejected of { bucket : string; reason : string }
+      (** §3.7.1 typed rejection; [bucket] is the §5.1 class
+          (parse / unsupported / other) *)
+  | Refused of {
+      analyst : string;
+      requested_epsilon : float;
+      requested_delta : float;
+      remaining_epsilon : float;
+      remaining_delta : float;
+    }  (** budget refusal — the query was admissible but unaffordable *)
+  | Budget_report of {
+      analyst : string;
+      epsilon_limit : float;
+      delta_limit : float;
+      epsilon_spent : float;
+      delta_spent : float;
+      remaining_epsilon : float;
+      remaining_delta : float;
+      queries : int;
+    }
+  | Stats_report of {
+      queries : int;
+      granted : int;
+      rejected : int;
+      refused : int;
+      cache_hits : int;
+      cache_misses : int;
+      cache_entries : int;
+      analysts : int;
+    }
+  | Error_msg of string  (** protocol-level error (bad JSON, unknown op, ...) *)
+  | Bye
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> (response, string) result
+
+val request_to_line : request -> string
+val request_of_line : string -> (request, string) result
+val response_to_line : response -> string
+val response_of_line : string -> (response, string) result
+
+val json_of_value : Flex_engine.Value.t -> Json.t
+(** How result cells travel: NULL/bool/number/string. *)

@@ -1,0 +1,167 @@
+(* Canonical relation naming for cache keys. Walks the query once, assigning
+   positional names to every relation binding (FROM items) and CTE, and
+   rewriting column qualifiers through a scope chain. Purely syntactic: no
+   schema knowledge, no expression normalisation, so distinct queries cannot
+   be conflated — only renamings of the same query are. *)
+
+type state = { mutable next_rel : int; mutable next_cte : int }
+
+(* A scope chain: [rels] maps visible binding names (aliases, or table names
+   when unaliased) to canonical names and applies to column qualifiers;
+   [ctes] maps CTE names to canonical names and applies to table names in
+   FROM. Innermost bindings first, so shadowing resolves correctly. *)
+type env = { rels : (string * string) list; ctes : (string * string) list }
+
+let empty_env = { rels = []; ctes = [] }
+
+let fresh_rel st =
+  st.next_rel <- st.next_rel + 1;
+  Printf.sprintf "_r%d" st.next_rel
+
+let fresh_cte st =
+  st.next_cte <- st.next_cte + 1;
+  Printf.sprintf "_w%d" st.next_cte
+
+let rename env name =
+  match List.assoc_opt name env.rels with Some c -> c | None -> name
+
+let rename_table env name =
+  match List.assoc_opt name env.ctes with Some c -> c | None -> name
+
+let rename_col env (c : Ast.col_ref) =
+  match c.Ast.table with
+  | None -> c
+  | Some t -> { c with Ast.table = Some (rename env t) }
+
+let rec expr st env (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Lit _ -> e
+  | Ast.Col c -> Ast.Col (rename_col env c)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, expr st env a, expr st env b)
+  | Ast.Unop (op, a) -> Ast.Unop (op, expr st env a)
+  | Ast.Agg { func; distinct; arg } ->
+    let arg = match arg with Ast.Star -> Ast.Star | Ast.Arg a -> Ast.Arg (expr st env a) in
+    Ast.Agg { func; distinct; arg }
+  | Ast.Func (name, args) -> Ast.Func (name, List.map (expr st env) args)
+  | Ast.Case { operand; branches; else_ } ->
+    Ast.Case
+      {
+        operand = Option.map (expr st env) operand;
+        branches = List.map (fun (c, v) -> (expr st env c, expr st env v)) branches;
+        else_ = Option.map (expr st env) else_;
+      }
+  | Ast.In { subject; negated; set } ->
+    let set =
+      match set with
+      | Ast.In_list es -> Ast.In_list (List.map (expr st env) es)
+      | Ast.In_query q -> Ast.In_query (query st env q)
+    in
+    Ast.In { subject = expr st env subject; negated; set }
+  | Ast.Between { subject; negated; lo; hi } ->
+    Ast.Between
+      { subject = expr st env subject; negated; lo = expr st env lo; hi = expr st env hi }
+  | Ast.Like { subject; negated; pattern } ->
+    Ast.Like { subject = expr st env subject; negated; pattern = expr st env pattern }
+  | Ast.Is_null { subject; negated } -> Ast.Is_null { subject = expr st env subject; negated }
+  | Ast.Exists q -> Ast.Exists (query st env q)
+  | Ast.Scalar_subquery q -> Ast.Scalar_subquery (query st env q)
+  | Ast.Cast (a, ty) -> Ast.Cast (expr st env a, ty)
+
+(* Canonicalize a FROM tree. Returns the rewritten tree plus the bindings it
+   introduces (original name -> canonical name, in syntactic order); join ON
+   conditions are rewritten against the enclosing scope extended with the
+   bindings of both sides, which is exactly what they may reference. *)
+and table_ref st env (t : Ast.table_ref) : Ast.table_ref * (string * string) list =
+  match t with
+  | Ast.Table { name; alias } ->
+    let binding = match alias with Some a -> a | None -> name in
+    let canon = fresh_rel st in
+    (Ast.Table { name = rename_table env name; alias = Some canon }, [ (binding, canon) ])
+  | Ast.Derived { query = q; alias } ->
+    let q = query st env q in
+    let canon = fresh_rel st in
+    (Ast.Derived { query = q; alias = canon }, [ (alias, canon) ])
+  | Ast.Join { kind; left; right; cond } ->
+    let left, lb = table_ref st env left in
+    let right, rb = table_ref st env right in
+    let bindings = lb @ rb in
+    let cond =
+      match cond with
+      | Ast.On e -> Ast.On (expr st { env with rels = bindings @ env.rels } e)
+      | (Ast.Using _ | Ast.Natural | Ast.Cond_none) as c -> c
+    in
+    (Ast.Join { kind; left; right; cond }, bindings)
+
+(* Canonicalize one SELECT core, returning the bindings its FROM introduces
+   (the caller rewrites ORDER BY in that same scope). *)
+and select st env (s : Ast.select) : Ast.select * (string * string) list =
+  let from, bindings =
+    List.fold_left
+      (fun (items, bs) item ->
+        let item, b = table_ref st env item in
+        (item :: items, bs @ b))
+      ([], []) s.Ast.from
+  in
+  let from = List.rev from in
+  let env = { env with rels = bindings @ env.rels } in
+  let projection = function
+    | Ast.Proj_star -> Ast.Proj_star
+    | Ast.Proj_table_star t -> Ast.Proj_table_star (rename env t)
+    | Ast.Proj_expr (e, alias) -> Ast.Proj_expr (expr st env e, alias)
+  in
+  ( {
+      Ast.distinct = s.Ast.distinct;
+      projections = List.map projection s.Ast.projections;
+      from;
+      where = Option.map (expr st env) s.Ast.where;
+      group_by = List.map (expr st env) s.Ast.group_by;
+      having = Option.map (expr st env) s.Ast.having;
+    },
+    bindings )
+
+and body st env (b : Ast.body) : Ast.body * (string * string) list =
+  match b with
+  | Ast.Select s ->
+    let s, bindings = select st env s in
+    (Ast.Select s, bindings)
+  | Ast.Union { all; left; right } ->
+    let left, _ = body st env left in
+    let right, _ = body st env right in
+    (Ast.Union { all; left; right }, [])
+  | Ast.Except { all; left; right } ->
+    let left, _ = body st env left in
+    let right, _ = body st env right in
+    (Ast.Except { all; left; right }, [])
+  | Ast.Intersect { all; left; right } ->
+    let left, _ = body st env left in
+    let right, _ = body st env right in
+    (Ast.Intersect { all; left; right }, [])
+
+and query st env (q : Ast.query) : Ast.query =
+  (* each CTE sees the ones declared before it; the body sees them all *)
+  let ctes, env =
+    List.fold_left
+      (fun (acc, env) (c : Ast.cte) ->
+        let cte_query = query st env c.Ast.cte_query in
+        let canon = fresh_cte st in
+        ( { Ast.cte_name = canon; cte_columns = c.Ast.cte_columns; cte_query } :: acc,
+          { env with ctes = (c.Ast.cte_name, canon) :: env.ctes } ))
+      ([], env) q.Ast.ctes
+  in
+  let ctes = List.rev ctes in
+  let b, bindings = body st env q.Ast.body in
+  (* ORDER BY resolves against the top select's FROM scope (set operations
+     expose only output columns, so they contribute no bindings) *)
+  let order_env = { env with rels = bindings @ env.rels } in
+  {
+    Ast.ctes;
+    body = b;
+    order_by = List.map (fun (e, dir) -> (expr st order_env e, dir)) q.Ast.order_by;
+    limit = q.Ast.limit;
+    offset = q.Ast.offset;
+  }
+
+let canonicalize (q : Ast.query) : Ast.query =
+  query { next_rel = 0; next_cte = 0 } empty_env q
+
+let cache_key q = Pretty.to_string (canonicalize q)

@@ -1,0 +1,19 @@
+(** AST canonicalization for analysis-cache keys.
+
+    Two queries that differ only in relation naming — table aliases, CTE
+    names, or the alias-vs-table-name spelling of a column qualifier — have
+    identical elastic-sensitivity analyses, so a query service wants them to
+    share one cache entry. [canonicalize] renames every relation binding to a
+    positional name ([_r1], [_r2], ... in FROM-traversal order; [_w1], ...
+    for CTEs) and rewrites all column qualifiers accordingly, scope by scope
+    (subqueries shadow enclosing bindings, correlated references resolve
+    outward). Nothing else is rewritten, so semantically different queries
+    keep distinct keys.
+
+    The function is idempotent: [canonicalize (canonicalize q) =
+    canonicalize q] (property-tested). *)
+
+val canonicalize : Ast.query -> Ast.query
+
+val cache_key : Ast.query -> string
+(** The canonicalized query rendered back to SQL — a stable, hashable key. *)

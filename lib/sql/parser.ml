@@ -554,7 +554,12 @@ let parse_exn src =
   in
   let p = { toks; i = 0 } in
   let q = parse_query p in
-  ignore (eat p Token.SEMI);
+  (* servers receive statements as typed: [SELECT ...;], [SELECT ...;;] —
+     swallow any run of trailing semicolons (whitespace and comments are
+     already invisible to the lexer) *)
+  while eat p Token.SEMI do
+    ()
+  done;
   (match peek p with
   | Token.EOF -> ()
   | t -> fail p "unexpected trailing input: %s" (Token.to_string t));

@@ -6,8 +6,9 @@
 exception Error of { message : string; line : int; col : int }
 
 val parse : string -> (Ast.query, string) result
-(** Parse one statement (an optional trailing [;] is accepted). The error
-    string includes the source position. *)
+(** Parse one statement. Surrounding whitespace/comments and any number of
+    trailing [;] are accepted — the forms a query service receives over the
+    wire. The error string includes the source position. *)
 
 val parse_exn : string -> Ast.query
 (** @raise Error on malformed input. *)

@@ -219,11 +219,32 @@ let budget_tests =
         let es, _ = Budget.spent_strong b in
         Alcotest.(check bool) "strong < basic" true (es < eb));
     Alcotest.test_case "remaining is clipped at zero" `Quick (fun () ->
-        let b = Budget.create ~epsilon:0.1 ~delta:0.0 in
-        Budget.charge b ~epsilon:0.1 ~delta:0.0;
+        let b = Budget.create ~epsilon:0.1 ~delta:1e-6 in
+        Budget.charge b ~epsilon:0.1 ~delta:1e-6;
         let e, d = Budget.remaining b in
         check_float "eps" 0.0 e;
         check_float "delta" 0.0 d);
+    Alcotest.test_case "non-positive or non-finite limits are typed errors" `Quick
+      (fun () ->
+        let invalid ~epsilon ~delta field =
+          (match Budget.create_checked ~epsilon ~delta with
+          | Error { field = f; _ } -> Alcotest.(check string) "field" field f
+          | Ok _ -> Alcotest.failf "accepted eps=%g delta=%g" epsilon delta);
+          match Budget.create ~epsilon ~delta with
+          | exception Budget.Invalid_budget { field = f; _ } ->
+            Alcotest.(check string) "field (exn)" field f
+          | _ -> Alcotest.failf "create accepted eps=%g delta=%g" epsilon delta
+        in
+        invalid ~epsilon:0.0 ~delta:1e-6 "epsilon";
+        invalid ~epsilon:(-1.0) ~delta:1e-6 "epsilon";
+        invalid ~epsilon:Float.nan ~delta:1e-6 "epsilon";
+        invalid ~epsilon:Float.infinity ~delta:1e-6 "epsilon";
+        invalid ~epsilon:1.0 ~delta:0.0 "delta";
+        invalid ~epsilon:1.0 ~delta:Float.nan "delta";
+        invalid ~epsilon:1.0 ~delta:Float.neg_infinity "delta";
+        match Budget.create_checked ~epsilon:1.0 ~delta:1e-9 with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "rejected a valid budget: %a" Budget.pp_invalid e);
   ]
 
 (* --- Sparse vector ------------------------------------------------------------------ *)

@@ -1,0 +1,609 @@
+module Json = Flex_service.Json
+module Wire = Flex_service.Wire
+module Cache = Flex_service.Cache
+module Audit = Flex_service.Audit
+module Server = Flex_service.Server
+module Ledger = Flex_dp.Ledger
+module Budget = Flex_dp.Budget
+module Rng = Flex_dp.Rng
+module Canon = Flex_sql.Canon
+module Parser = Flex_sql.Parser
+module Pretty = Flex_sql.Pretty
+module Metrics = Flex_engine.Metrics
+
+(* --- JSON ---------------------------------------------------------------------- *)
+
+(* Finite numbers only: non-finite floats deliberately encode as null. The
+   int/8 trick keeps every generated float exactly representable. *)
+let json_gen =
+  QCheck.Gen.(
+    sized_size (int_range 0 3)
+      (fix (fun self n ->
+           let scalar =
+             oneof
+               [
+                 return Json.Null;
+                 map (fun b -> Json.Bool b) bool;
+                 map (fun i -> Json.Num (float_of_int i /. 8.0)) (int_range (-80000) 80000);
+                 map (fun s -> Json.Str s) (string_size (int_range 0 12));
+               ]
+           in
+           if n = 0 then scalar
+           else
+             frequency
+               [
+                 (2, scalar);
+                 (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n - 1))));
+                 ( 1,
+                   map
+                     (fun l -> Json.Obj l)
+                     (list_size (int_range 0 4)
+                        (pair (string_size (int_range 0 6)) (self (n - 1)))) );
+               ])))
+
+let arb_json = QCheck.make ~print:Json.to_string json_gen
+
+let json_tests =
+  [
+    Alcotest.test_case "escapes and unicode decode" `Quick (fun () ->
+        let v = Json.Obj [ ("a b", Json.Str "x\"y\\z\n\t\x01") ] in
+        Alcotest.(check bool) "round trip" true (Json.of_string (Json.to_string v) = Ok v);
+        Alcotest.(check bool) "single line" true
+          (not (String.contains (Json.to_string v) '\n'));
+        Alcotest.(check bool) "\\u0041" true (Json.of_string {|"A"|} = Ok (Json.Str "A"));
+        (* surrogate pair: U+1F600 as UTF-8 *)
+        Alcotest.(check bool) "surrogate pair" true
+          (Json.of_string {|"😀"|} = Ok (Json.Str "\xf0\x9f\x98\x80")));
+    Alcotest.test_case "non-finite numbers encode as null" `Quick (fun () ->
+        Alcotest.(check string) "nan" "null" (Json.to_string (Json.Num Float.nan));
+        Alcotest.(check string) "inf" "null" (Json.to_string (Json.Num Float.infinity)));
+    Alcotest.test_case "malformed input is a typed error" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Json.of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "expected parse failure for %s" s)
+          [ "{"; "[1,"; "tru"; "\"unterminated"; "{\"a\" 1}"; "1 2"; "" ]);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"of_string (to_string j) = j" ~count:500 arb_json (fun j ->
+           match Json.of_string (Json.to_string j) with
+           | Ok j2 ->
+             if j = j2 then true
+             else
+               QCheck.Test.fail_reportf "mismatch: %s vs %s" (Json.to_string j)
+                 (Json.to_string j2)
+           | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e));
+  ]
+
+(* --- wire protocol ------------------------------------------------------------- *)
+
+let gen_name = QCheck.Gen.oneofl [ "alice"; "bob"; "carol-7"; "x y"; "q\"uote" ]
+
+let gen_sql =
+  QCheck.Gen.oneofl
+    [ "SELECT COUNT(*) FROM trips"; ""; "nonsense ; drop"; "SELECT 'it''s'" ]
+
+let gen_pos_float = QCheck.Gen.(map (fun i -> float_of_int i /. 64.0) (int_range 1 64000))
+let gen_opt_float = QCheck.Gen.option gen_pos_float
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun analyst epsilon delta -> Wire.Hello { analyst; epsilon; delta })
+          gen_name gen_opt_float gen_opt_float;
+        map3
+          (fun sql epsilon delta -> Wire.Query { sql; epsilon; delta })
+          gen_sql gen_opt_float gen_opt_float;
+        map (fun sql -> Wire.Analyze { sql }) gen_sql;
+        return Wire.Budget_info;
+        return Wire.Stats;
+        return Wire.Quit;
+      ])
+
+let gen_scales =
+  QCheck.Gen.(list_size (int_range 0 3) (pair gen_name gen_pos_float))
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* columns = list_size (int_range 0 3) gen_name in
+         let* rows = list_size (int_range 0 3) (list_size (int_range 0 3) json_gen) in
+         let* e = gen_pos_float and* d = gen_pos_float in
+         let* re = gen_pos_float and* rd = gen_pos_float in
+         let* cache_hit = bool and* bins_enumerated = bool in
+         let* noise_scales = gen_scales in
+         return
+           (Wire.Result
+              {
+                columns;
+                rows;
+                epsilon_spent = e;
+                delta_spent = d;
+                remaining_epsilon = re;
+                remaining_delta = rd;
+                cache_hit;
+                bins_enumerated;
+                noise_scales;
+              }));
+        (let* cache_hit = bool and* is_histogram = bool in
+         let* joins = int_range 0 5 in
+         let* columns =
+           list_size (int_range 0 3)
+             (let* column = gen_name and* sensitivity = gen_name in
+              let* smooth_bound = gen_pos_float and* noise_scale = gen_pos_float in
+              return { Wire.column; sensitivity; smooth_bound; noise_scale })
+         in
+         return (Wire.Analysis { cache_hit; is_histogram; joins; columns }));
+        map2
+          (fun bucket reason -> Wire.Rejected { bucket; reason })
+          (oneofl [ "parse"; "unsupported"; "other"; "admission" ])
+          gen_name;
+        (let* analyst = gen_name in
+         let* requested_epsilon = gen_pos_float and* requested_delta = gen_pos_float in
+         let* remaining_epsilon = gen_pos_float and* remaining_delta = gen_pos_float in
+         return
+           (Wire.Refused
+              {
+                analyst;
+                requested_epsilon;
+                requested_delta;
+                remaining_epsilon;
+                remaining_delta;
+              }));
+        (let* analyst = gen_name in
+         let* epsilon_limit = gen_pos_float and* delta_limit = gen_pos_float in
+         let* epsilon_spent = gen_pos_float and* delta_spent = gen_pos_float in
+         let* remaining_epsilon = gen_pos_float and* remaining_delta = gen_pos_float in
+         let* queries = int_range 0 100 in
+         return
+           (Wire.Budget_report
+              {
+                analyst;
+                epsilon_limit;
+                delta_limit;
+                epsilon_spent;
+                delta_spent;
+                remaining_epsilon;
+                remaining_delta;
+                queries;
+              }));
+        (let* queries = int_range 0 100 and* granted = int_range 0 100 in
+         let* rejected = int_range 0 100 and* refused = int_range 0 100 in
+         let* cache_hits = int_range 0 100 and* cache_misses = int_range 0 100 in
+         let* cache_entries = int_range 0 100 and* analysts = int_range 0 100 in
+         return
+           (Wire.Stats_report
+              {
+                queries;
+                granted;
+                rejected;
+                refused;
+                cache_hits;
+                cache_misses;
+                cache_entries;
+                analysts;
+              }));
+        map (fun m -> Wire.Error_msg m) gen_name;
+        return Wire.Bye;
+      ])
+
+let wire_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"request wire round-trip" ~count:500
+         (QCheck.make
+            ~print:(fun r -> Wire.request_to_line r)
+            gen_request)
+         (fun r -> Wire.request_of_line (Wire.request_to_line r) = Ok r));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"response wire round-trip" ~count:500
+         (QCheck.make
+            ~print:(fun r -> Wire.response_to_line r)
+            gen_response)
+         (fun r -> Wire.response_of_line (Wire.response_to_line r) = Ok r));
+    Alcotest.test_case "unknown ops are typed errors" `Quick (fun () ->
+        List.iter
+          (fun line ->
+            match Wire.request_of_line line with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "expected decode failure for %s" line)
+          [ {|{"op":"drop"}|}; {|{"op":"query"}|}; {|[1]|}; "not json"; {|{"op":7}|} ]);
+  ]
+
+(* --- canonicalization ---------------------------------------------------------- *)
+
+let canon_key sql = Canon.cache_key (Parser.parse_exn sql)
+
+let canon_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"canonicalize is idempotent" ~count:500 Test_sql.arb_query
+         (fun q ->
+           let c = Canon.canonicalize q in
+           let cc = Canon.canonicalize c in
+           if c = cc then true
+           else
+             QCheck.Test.fail_reportf "not idempotent:@.%s@.vs@.%s" (Pretty.to_string c)
+               (Pretty.to_string cc)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"canonical SQL reparses to the same canonical AST" ~count:300
+         Test_sql.arb_query (fun q ->
+           let c = Canon.canonicalize q in
+           match Parser.parse (Pretty.to_string c) with
+           | Ok q2 -> Canon.canonicalize q2 = c
+           | Error e ->
+             QCheck.Test.fail_reportf "canonical form unparseable: %s@.%s" e
+               (Pretty.to_string c)));
+    Alcotest.test_case "alias renamings collide" `Quick (fun () ->
+        List.iter
+          (fun (a, b) ->
+            Alcotest.(check string) (a ^ " ~ " ^ b) (canon_key a) (canon_key b))
+          [
+            ( "SELECT t.status, COUNT(*) FROM trips t GROUP BY t.status",
+              "SELECT x.status, COUNT(*) FROM trips x GROUP BY x.status" );
+            ( "SELECT trips.status, COUNT(*) FROM trips GROUP BY trips.status",
+              "SELECT z.status, COUNT(*) FROM trips z GROUP BY z.status" );
+            ( "SELECT COUNT(*) FROM trips a JOIN drivers b ON a.driver_id = b.id",
+              "SELECT COUNT(*) FROM trips d JOIN drivers e ON d.driver_id = e.id" );
+            ( "WITH w AS (SELECT * FROM trips) SELECT COUNT(*) FROM w",
+              "WITH v AS (SELECT * FROM trips) SELECT COUNT(*) FROM v" );
+            ( "SELECT COUNT(*) FROM trips t WHERE t.fare > 10 ORDER BY t.fare",
+              "SELECT COUNT(*) FROM trips u WHERE u.fare > 10 ORDER BY u.fare" );
+          ]);
+    Alcotest.test_case "semantic differences do not collide" `Quick (fun () ->
+        List.iter
+          (fun (a, b) ->
+            if canon_key a = canon_key b then
+              Alcotest.failf "keys collide for %s vs %s" a b)
+          [
+            ("SELECT COUNT(*) FROM trips", "SELECT COUNT(*) FROM drivers");
+            ( "SELECT COUNT(*) FROM trips WHERE fare > 10",
+              "SELECT COUNT(*) FROM trips WHERE fare > 11" );
+            ("SELECT COUNT(*) FROM trips", "SELECT SUM(fare) FROM trips");
+            ( "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id",
+              "SELECT COUNT(*) FROM drivers t JOIN trips d ON t.driver_id = d.id" );
+          ]);
+  ]
+
+(* --- ledger -------------------------------------------------------------------- *)
+
+let temp_journal () = Filename.temp_file "flex-ledger" ".journal"
+
+let summary_list (l : Ledger.t) =
+  List.map
+    (fun (s : Ledger.summary) ->
+      (s.analyst, s.epsilon_limit, s.delta_limit, s.epsilon_spent, s.delta_spent, s.spend_count))
+    (Ledger.summaries l)
+
+let ledger_tests =
+  [
+    Alcotest.test_case "register, spend, typed refusal" `Quick (fun () ->
+        let l = Ledger.in_memory () in
+        Alcotest.(check bool) "register" true
+          (Ledger.register l ~analyst:"a" ~epsilon:1.0 ~delta:1e-4 = Ok ());
+        Alcotest.(check bool) "re-register same limits" true
+          (Ledger.register l ~analyst:"a" ~epsilon:1.0 ~delta:1e-4 = Ok ());
+        (match Ledger.register l ~analyst:"a" ~epsilon:2.0 ~delta:1e-4 with
+        | Error (Ledger.Already_registered r) ->
+          Alcotest.(check (float 0.0)) "existing limit" 1.0 r.epsilon
+        | _ -> Alcotest.fail "expected Already_registered");
+        (match Ledger.register l ~analyst:"bad" ~epsilon:0.0 ~delta:1e-4 with
+        | Error (Ledger.Invalid_limits _) -> ()
+        | _ -> Alcotest.fail "expected Invalid_limits");
+        Alcotest.(check bool) "spend" true
+          (Ledger.spend l ~analyst:"a" ~epsilon:0.75 ~delta:0.0 ~label:"q" = Ok (0.25, 1e-4));
+        (match Ledger.spend l ~analyst:"a" ~epsilon:0.5 ~delta:0.0 ~label:"q" with
+        | Error (Ledger.Exhausted e) ->
+          Alcotest.(check (float 0.0)) "remaining carried" 0.25 e.remaining_epsilon;
+          Alcotest.(check (float 0.0)) "requested carried" 0.5 e.requested_epsilon
+        | _ -> Alcotest.fail "expected Exhausted");
+        (* the refusal changed nothing *)
+        Alcotest.(check bool) "state unchanged" true
+          (Ledger.remaining l ~analyst:"a" = Some (0.25, 1e-4));
+        (match Ledger.spend l ~analyst:"ghost" ~epsilon:0.1 ~delta:0.0 ~label:"q" with
+        | Error (Ledger.Unknown_analyst _) -> ()
+        | _ -> Alcotest.fail "expected Unknown_analyst"));
+    Alcotest.test_case "journal replay restores exact state" `Quick (fun () ->
+        let path = temp_journal () in
+        let l = Ledger.open_ path in
+        ignore (Ledger.register l ~analyst:"a" ~epsilon:1.0 ~delta:1e-4);
+        ignore (Ledger.register l ~analyst:"b" ~epsilon:0.30000000000000004 ~delta:1e-9);
+        ignore (Ledger.spend l ~analyst:"a" ~epsilon:0.1 ~delta:1e-8 ~label:"q1");
+        ignore (Ledger.spend l ~analyst:"a" ~epsilon:0.2 ~delta:1e-8 ~label:"q2");
+        ignore (Ledger.spend l ~analyst:"b" ~epsilon:0.1 ~delta:0.0 ~label:"q3");
+        let before = summary_list l in
+        Ledger.close l;
+        let l2 = Ledger.open_ path in
+        (* bit-identical, not approximately equal: replay folds the same
+           additions in the same order *)
+        Alcotest.(check bool) "summaries identical" true (summary_list l2 = before);
+        Ledger.close l2;
+        Sys.remove path);
+    Alcotest.test_case "torn final line is tolerated, interior corruption is not" `Quick
+      (fun () ->
+        let path = temp_journal () in
+        let l = Ledger.open_ path in
+        ignore (Ledger.register l ~analyst:"a" ~epsilon:1.0 ~delta:1e-4);
+        ignore (Ledger.spend l ~analyst:"a" ~epsilon:0.25 ~delta:0.0 ~label:"q");
+        Ledger.close l;
+        (* simulate a crash mid-append: no trailing newline *)
+        let oc = open_out_gen [ Open_append ] 0o644 path in
+        output_string oc "spend\ta\t0.2";
+        close_out oc;
+        let l2 = Ledger.open_ path in
+        Alcotest.(check bool) "torn tail dropped" true
+          (Ledger.spent l2 ~analyst:"a" = Some (0.25, 0.0));
+        Ledger.close l2;
+        Sys.remove path);
+    Alcotest.test_case "concurrent spends conserve the budget exactly" `Quick (fun () ->
+        let l = Ledger.in_memory () in
+        ignore (Ledger.register l ~analyst:"team" ~epsilon:8.0 ~delta:1e-4);
+        let d = Float.ldexp 1.0 (-30) in
+        let granted = Atomic.make 0 in
+        let spend_loop () =
+          for _ = 1 to 50 do
+            match Ledger.spend l ~analyst:"team" ~epsilon:0.25 ~delta:d ~label:"q" with
+            | Ok _ -> Atomic.incr granted
+            | Error (Ledger.Exhausted _) -> ()
+            | Error e -> Alcotest.failf "unexpected: %s" (Ledger.error_to_string e)
+          done
+        in
+        let threads = List.init 4 (fun _ -> Thread.create spend_loop ()) in
+        List.iter Thread.join threads;
+        (* 8.0 / 0.25 = 32 grants; powers of two make the additions exact in
+           any interleaving *)
+        Alcotest.(check int) "grants" 32 (Atomic.get granted);
+        Alcotest.(check bool) "spent exactly the limit" true
+          (Ledger.spent l ~analyst:"team" = Some (8.0, 32.0 *. d));
+        Alcotest.(check bool) "epsilon exhausted" true
+          (match Ledger.remaining l ~analyst:"team" with
+          | Some (e, _) -> e = 0.0
+          | None -> false));
+  ]
+
+(* --- server (handle level) ----------------------------------------------------- *)
+
+let fixture =
+  lazy (Flex_workload.Uber.generate ~sizes:Flex_workload.Uber.small_sizes (Rng.create ~seed:7 ()))
+
+let make_server ?config ?ledger () =
+  let db, metrics = Lazy.force fixture in
+  let ledger = match ledger with Some l -> l | None -> Ledger.in_memory () in
+  let server = Server.create ?config ~db ~metrics ~ledger ~rng:(Rng.create ~seed:11 ()) () in
+  (server, ledger)
+
+let hello server session analyst =
+  match Server.handle server session (Wire.Hello { analyst; epsilon = None; delta = None }) with
+  | Wire.Budget_report _ -> ()
+  | other -> Alcotest.failf "hello failed: %s" (Wire.response_to_line other)
+
+let query ?epsilon ?delta server session sql =
+  Server.handle server session (Wire.Query { sql; epsilon; delta })
+
+let server_tests =
+  [
+    Alcotest.test_case "query without hello is an error" `Quick (fun () ->
+        let server, _ = make_server () in
+        match query server (Server.session server) "SELECT COUNT(*) FROM trips" with
+        | Wire.Error_msg _ -> ()
+        | other -> Alcotest.failf "expected error, got %s" (Wire.response_to_line other));
+    Alcotest.test_case "granted query releases noisy rows and charges the ledger" `Quick
+      (fun () ->
+        let server, ledger = make_server () in
+        let session = Server.session server in
+        hello server session "alice";
+        match query ~epsilon:0.5 server session "SELECT COUNT(*) FROM trips;" with
+        | Wire.Result r ->
+          Alcotest.(check (list string)) "columns" [ "count" ] r.columns;
+          Alcotest.(check int) "one row" 1 (List.length r.rows);
+          Alcotest.(check (float 0.0)) "spent" 0.5 r.epsilon_spent;
+          Alcotest.(check (float 0.0)) "remaining" 9.5 r.remaining_epsilon;
+          Alcotest.(check bool) "cold cache" false r.cache_hit;
+          Alcotest.(check bool) "noise scale reported" true (r.noise_scales <> []);
+          Alcotest.(check bool) "ledger agrees" true
+            (Ledger.spent ledger ~analyst:"alice" = Some (0.5, 1e-8))
+        | other -> Alcotest.failf "expected result, got %s" (Wire.response_to_line other));
+    Alcotest.test_case "alias-renamed repeat is an analysis cache hit" `Quick (fun () ->
+        let server, _ = make_server () in
+        let session = Server.session server in
+        hello server session "alice";
+        (match query server session "SELECT t.status, COUNT(*) FROM trips t GROUP BY t.status" with
+        | Wire.Result r -> Alcotest.(check bool) "first is a miss" false r.cache_hit
+        | other -> Alcotest.failf "expected result, got %s" (Wire.response_to_line other));
+        (match query server session "SELECT u.status, COUNT(*) FROM trips u GROUP BY u.status" with
+        | Wire.Result r -> Alcotest.(check bool) "renamed repeat hits" true r.cache_hit
+        | other -> Alcotest.failf "expected result, got %s" (Wire.response_to_line other));
+        Alcotest.(check int) "one cache entry" 1 (Cache.length (Server.cache server)));
+    Alcotest.test_case "section 3.7.1 rejections carry their bucket" `Quick (fun () ->
+        let server, ledger = make_server () in
+        let session = Server.session server in
+        hello server session "alice";
+        (match query server session "SELECT id FROM trips" with
+        | Wire.Rejected r -> Alcotest.(check string) "bucket" "unsupported" r.bucket
+        | other -> Alcotest.failf "expected rejection, got %s" (Wire.response_to_line other));
+        (match query server session "SELEKT nope" with
+        | Wire.Rejected r -> Alcotest.(check string) "bucket" "parse" r.bucket
+        | other -> Alcotest.failf "expected rejection, got %s" (Wire.response_to_line other));
+        (match query ~epsilon:50.0 server session "SELECT COUNT(*) FROM trips" with
+        | Wire.Rejected r -> Alcotest.(check string) "bucket" "admission" r.bucket
+        | other -> Alcotest.failf "expected rejection, got %s" (Wire.response_to_line other));
+        (match query ~epsilon:Float.nan server session "SELECT COUNT(*) FROM trips" with
+        | Wire.Rejected r -> Alcotest.(check string) "bucket" "admission" r.bucket
+        | other -> Alcotest.failf "expected rejection, got %s" (Wire.response_to_line other));
+        (* none of those touched the budget *)
+        Alcotest.(check bool) "nothing spent" true
+          (Ledger.spent ledger ~analyst:"alice" = Some (0.0, 0.0));
+        let c = Server.counters server in
+        Alcotest.(check int) "rejected counted" 4 c.rejected);
+    Alcotest.test_case "over-budget requests get a typed refusal, never an answer" `Quick
+      (fun () ->
+        let config = { Server.default_config with analyst_epsilon = 0.25 } in
+        let server, _ = make_server ~config () in
+        let session = Server.session server in
+        hello server session "bob";
+        (match query ~epsilon:0.25 server session "SELECT COUNT(*) FROM trips" with
+        | Wire.Result _ -> ()
+        | other -> Alcotest.failf "expected result, got %s" (Wire.response_to_line other));
+        (match query ~epsilon:0.25 server session "SELECT COUNT(*) FROM trips" with
+        | Wire.Refused r ->
+          Alcotest.(check string) "analyst" "bob" r.analyst;
+          Alcotest.(check (float 0.0)) "requested" 0.25 r.requested_epsilon;
+          Alcotest.(check (float 0.0)) "remaining" 0.0 r.remaining_epsilon
+        | other -> Alcotest.failf "expected refusal, got %s" (Wire.response_to_line other));
+        let c = Server.counters server in
+        Alcotest.(check int) "granted" 1 c.granted;
+        Alcotest.(check int) "refused" 1 c.refused);
+    Alcotest.test_case "analyze is free and budget_info reflects the ledger" `Quick (fun () ->
+        let server, ledger = make_server () in
+        let session = Server.session server in
+        hello server session "carol";
+        (match Server.handle server session (Wire.Analyze { sql = "SELECT COUNT(*) FROM trips" }) with
+        | Wire.Analysis a ->
+          Alcotest.(check int) "one column" 1 (List.length a.columns);
+          Alcotest.(check bool) "scalar query" false a.is_histogram
+        | other -> Alcotest.failf "expected analysis, got %s" (Wire.response_to_line other));
+        Alcotest.(check bool) "analyze spent nothing" true
+          (Ledger.spent ledger ~analyst:"carol" = Some (0.0, 0.0));
+        match Server.handle server session Wire.Budget_info with
+        | Wire.Budget_report r ->
+          Alcotest.(check string) "analyst" "carol" r.analyst;
+          Alcotest.(check (float 0.0)) "limit" 10.0 r.epsilon_limit;
+          Alcotest.(check int) "queries" 0 r.queries
+        | other -> Alcotest.failf "expected budget report, got %s" (Wire.response_to_line other));
+    Alcotest.test_case "audit log records outcomes and stage timings" `Quick (fun () ->
+        let buf = Buffer.create 256 in
+        let db, metrics = Lazy.force fixture in
+        let server =
+          Server.create ~audit:(Audit.to_buffer buf) ~db ~metrics
+            ~ledger:(Ledger.in_memory ()) ~rng:(Rng.create ~seed:3 ()) ()
+        in
+        let session = Server.session server in
+        hello server session "dana";
+        ignore (query server session "SELECT COUNT(*) FROM trips");
+        ignore (query server session "SELECT id FROM trips");
+        let lines =
+          String.split_on_char '\n' (Buffer.contents buf)
+          |> List.filter (fun l -> l <> "")
+          |> List.map Json.of_string_exn
+        in
+        Alcotest.(check int) "two events" 2 (List.length lines);
+        let granted = List.nth lines 0 and rejected = List.nth lines 1 in
+        Alcotest.(check (option string)) "granted outcome" (Some "granted")
+          (Option.bind (Json.mem "outcome" granted) Json.to_str);
+        Alcotest.(check bool) "positive analysis time" true
+          (match Option.bind (Json.mem "analysis_ns" granted) Json.to_num with
+          | Some ns -> ns > 0.0
+          | None -> false);
+        Alcotest.(check (option string)) "rejected bucket" (Some "unsupported")
+          (Option.bind (Json.mem "bucket" rejected) Json.to_str);
+        Alcotest.(check (option string)) "no result values in the log" None
+          (Option.bind (Json.mem "rows" granted) Json.to_str));
+  ]
+
+(* --- TCP smoke test ------------------------------------------------------------ *)
+
+let connect port =
+  Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let roundtrip (ic, oc) req =
+  output_string oc (Wire.request_to_line req);
+  output_char oc '\n';
+  flush oc;
+  Wire.response_of_line (input_line ic) |> Result.get_ok
+
+let tcp_tests =
+  [
+    Alcotest.test_case "concurrent sessions conserve the budget exactly across restart"
+      `Slow
+      (fun () ->
+        let path = temp_journal () in
+        let db, metrics = Lazy.force fixture in
+        let n_threads = 4 and n_queries = 10 in
+        (* 40 requests of eps 0.25 against a budget of 6.0: exactly 24 grants
+           in every interleaving, and power-of-two costs make the journal sum
+           exact *)
+        let serve_round () =
+          let ledger = Ledger.open_ path in
+          ignore (Ledger.register ledger ~analyst:"team" ~epsilon:6.0 ~delta:1e-4);
+          let server =
+            Server.create ~db ~metrics ~ledger ~rng:(Rng.create ~seed:5 ()) ()
+          in
+          let listener = Server.listen server in
+          let _ = Server.start listener in
+          let granted = Atomic.make 0 and refused = Atomic.make 0 in
+          let client () =
+            let conn = connect (Server.port listener) in
+            (match roundtrip conn (Wire.Hello { analyst = "team"; epsilon = None; delta = None }) with
+            | Wire.Budget_report _ -> ()
+            | other -> Alcotest.failf "hello: %s" (Wire.response_to_line other));
+            for _ = 1 to n_queries do
+              match
+                roundtrip conn
+                  (Wire.Query
+                     { sql = "SELECT COUNT(*) FROM trips"; epsilon = Some 0.25; delta = None })
+              with
+              | Wire.Result _ -> Atomic.incr granted
+              | Wire.Refused _ -> Atomic.incr refused
+              | other -> Alcotest.failf "query: %s" (Wire.response_to_line other)
+            done;
+            match roundtrip conn Wire.Quit with
+            | Wire.Bye -> ()
+            | other -> Alcotest.failf "quit: %s" (Wire.response_to_line other)
+          in
+          let threads = List.init n_threads (fun _ -> Thread.create client ()) in
+          List.iter Thread.join threads;
+          Server.stop listener;
+          let spent = Ledger.spent ledger ~analyst:"team" in
+          Ledger.close ledger;
+          (Atomic.get granted, Atomic.get refused, spent)
+        in
+        let granted, refused, spent = serve_round () in
+        Alcotest.(check int) "all requests answered" (n_threads * n_queries)
+          (granted + refused);
+        Alcotest.(check int) "exactly 24 grants" 24 granted;
+        (* epsilon costs are powers of two, so the concurrent sum is exact in
+           any interleaving; delta's sum is whatever the journal says, checked
+           bit-for-bit across the restart below *)
+        Alcotest.(check bool) "spend equals the granted sum exactly" true
+          (match spent with Some (e, _) -> e = 0.25 *. float_of_int granted | None -> false);
+        (* the journal agrees bit for bit *)
+        (match Ledger.summaries_of_file path with
+        | [ s ] ->
+          Alcotest.(check bool) "journal total" true (s.epsilon_spent = 6.0);
+          Alcotest.(check int) "journal grants" granted s.spend_count
+        | _ -> Alcotest.fail "one analyst expected");
+        (* a restarted server resumes the exhausted budget: every request is
+           refused, none granted *)
+        let granted2, refused2, spent2 = serve_round () in
+        Alcotest.(check int) "no grants after restart" 0 granted2;
+        Alcotest.(check int) "all refused after restart" (n_threads * n_queries) refused2;
+        Alcotest.(check bool) "remaining unchanged" true
+          (spent2 = spent);
+        Sys.remove path);
+    Alcotest.test_case "stopped listener refuses new connections" `Quick (fun () ->
+        let server, _ = make_server () in
+        let listener = Server.listen server in
+        let _ = Server.start listener in
+        let conn = connect (Server.port listener) in
+        (match roundtrip conn Wire.Stats with
+        | Wire.Stats_report _ -> ()
+        | other -> Alcotest.failf "stats: %s" (Wire.response_to_line other));
+        Server.stop listener;
+        Server.stop listener (* idempotent *);
+        match connect (Server.port listener) with
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+        | _conn -> Alcotest.fail "expected connection refused");
+  ]
+
+let suites =
+  [
+    ("service-json", json_tests);
+    ("service-wire", wire_tests);
+    ("service-canon", canon_tests);
+    ("service-ledger", ledger_tests);
+    ("service-server", server_tests);
+    ("service-tcp", tcp_tests);
+  ]

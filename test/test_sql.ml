@@ -153,6 +153,18 @@ let parser_tests =
       (fun () ->
         ignore (parse_ok "SELECT 1;");
         parse_err "SELECT 1; SELECT 2");
+    Alcotest.test_case "trailing semicolons and whitespace round-trip" `Quick (fun () ->
+        let q = parse_ok "SELECT COUNT(*) FROM t" in
+        List.iter
+          (fun sql -> Alcotest.(check bool) sql true (parse_ok sql = q))
+          [
+            "SELECT COUNT(*) FROM t;";
+            "SELECT COUNT(*) FROM t ;; ";
+            "  \n\tSELECT COUNT(*) FROM t\n;\n;\n";
+            "SELECT COUNT(*) FROM t;\t; ;";
+          ];
+        parse_err ";";
+        parse_err "SELECT 1;; SELECT 2");
   ]
 
 (* --- pretty-printing round trip -------------------------------------------------- *)
@@ -315,6 +327,13 @@ let roundtrip_tests =
              else
                QCheck.Test.fail_reportf "roundtrip mismatch:@.%s@.vs@.%s" printed
                  (Pretty.to_string q2)
+           | Error e -> QCheck.Test.fail_reportf "reparse failed: %s@.%s" e printed));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"parse(print(q) ^ \" ;; \") = q" ~count:200 arb_query
+         (fun q ->
+           let printed = Pretty.to_string q ^ " ;;\n " in
+           match Parser.parse printed with
+           | Ok q2 -> q = q2
            | Error e -> QCheck.Test.fail_reportf "reparse failed: %s@.%s" e printed));
     Alcotest.test_case "pretty quotes reserved words" `Quick (fun () ->
         let q =
