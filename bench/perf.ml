@@ -38,12 +38,16 @@ let () =
 
 (* ------------------------------------------------------------ measurement *)
 
-(* Median wall-clock ns per run for a reference/compiled pair. Samples are
-   interleaved (one reference round, one compiled round, repeated) so machine
-   noise lands on both pipelines alike; repetitions adapt so each sample
-   takes a measurable slice without letting the whole suite crawl. *)
+(* Median wall-clock ns per run for a reference/compiled pair. Warmup rounds
+   run both pipelines unmeasured first (so one-time lazies, branch history
+   and the allocator's steady state are paid before the clock starts), then
+   samples are interleaved (one reference round, one compiled round,
+   repeated) so machine noise lands on both pipelines alike; repetitions
+   adapt so each sample takes a measurable slice without letting the whole
+   suite crawl. *)
 let median_pair (fref : unit -> unit) (fcomp : unit -> unit) =
   let samples = if !smoke then 3 else 9 in
+  let warmups = if !smoke then 1 else 3 in
   let time_once f reps =
     let t0 = Unix.gettimeofday () in
     for _ = 1 to reps do
@@ -58,6 +62,10 @@ let median_pair (fref : unit -> unit) (fcomp : unit -> unit) =
       max 1 (min 30 (int_of_float (5e6 /. max one 1.0)))
     end
   in
+  for _ = 1 to warmups do
+    fref ();
+    fcomp ()
+  done;
   Gc.compact ();
   let rr = reps fref and rc = reps fcomp in
   let rs = Array.make samples 0.0 and cs = Array.make samples 0.0 in
@@ -226,7 +234,8 @@ let () =
     else [ ("small", W.Uber.small_sizes); ("default", W.Uber.default_sizes) ]
   in
   let tpch_scales = if !smoke then [ ("tiny", 0.0005) ] else [ ("sf0.002", 0.002); ("sf0.01", 0.01) ] in
-  Fmt.pr "engine executor benchmark (median of %d interleaved samples)@."
+  Fmt.pr "engine executor benchmark (%d warmup rounds, median of %d interleaved samples)@."
+    (if !smoke then 1 else 3)
     (if !smoke then 3 else 9);
   Fmt.pr "  %-12s %-10s %-12s %13s %13s %7s %14s@." "substrate" "scale" "shape"
     "reference" "compiled" "speedup" "throughput";

@@ -158,25 +158,36 @@ let bench_shape fixture repeats s =
   | [] -> Fmt.failwith "no audit events for %s" s.name
 
 (* Several sessions replaying a mixed workload against one server: the cache
-   serves every analysis after the first sight of each shape. *)
-let bench_throughput fixture ~threads ~per_thread =
+   serves every analysis after the first sight of each shape. A warmup pass
+   primes the cache (and the runtime) before the clock starts, and the timed
+   section repeats [rounds] times with the median wall time reported, so a
+   single scheduler hiccup cannot skew the tracked number. *)
+let bench_throughput fixture ~threads ~per_thread ~rounds =
   let server = make_server ~audit:(Audit.null ()) fixture in
-  let worker i =
-    let session = Server.session server in
-    ignore
-      (Server.handle server session
-         (Wire.Hello { analyst = Fmt.str "bench-%d" i; epsilon = None; delta = None }));
-    List.iteri
-      (fun j s ->
-        for _ = 1 to per_thread do
-          ignore (run_query server session (if (i + j) mod 2 = 0 then s.sql else s.warm_sql))
-        done)
-      shapes
+  let prime = Server.session server in
+  ignore
+    (Server.handle server prime
+       (Wire.Hello { analyst = "bench-warmup"; epsilon = None; delta = None }));
+  List.iter (fun s -> ignore (run_query server prime s.sql)) shapes;
+  let round () =
+    let worker i =
+      let session = Server.session server in
+      ignore
+        (Server.handle server session
+           (Wire.Hello { analyst = Fmt.str "bench-%d" i; epsilon = None; delta = None }));
+      List.iteri
+        (fun j s ->
+          for _ = 1 to per_thread do
+            ignore (run_query server session (if (i + j) mod 2 = 0 then s.sql else s.warm_sql))
+          done)
+        shapes
+    in
+    let t0 = Unix.gettimeofday () in
+    let ts = List.init threads (fun i -> Thread.create worker i) in
+    List.iter Thread.join ts;
+    (Unix.gettimeofday () -. t0) *. 1e9
   in
-  let t0 = Unix.gettimeofday () in
-  let ts = List.init threads (fun i -> Thread.create worker i) in
-  List.iter Thread.join ts;
-  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let wall_ns = median (List.init rounds (fun _ -> round ())) in
   let queries = threads * per_thread * List.length shapes in
   let cache = Server.cache server in
   (queries, wall_ns, Cache.hits cache, Cache.misses cache)
@@ -206,6 +217,7 @@ let () =
   let repeats = if !smoke then 3 else 21 in
   let threads = if !smoke then 2 else 4 in
   let per_thread = if !smoke then 2 else 25 in
+  let rounds = if !smoke then 1 else 3 in
   let fixture = W.Uber.generate ~sizes (Rng.create ~seed:7 ()) in
   Fmt.pr "flex service benchmark (analysis cache; median of %d warm repeats)@." repeats;
   Fmt.pr "  %-16s %12s %12s %12s %9s@." "shape" "cold ns" "warm ns" "warm analysis"
@@ -219,12 +231,14 @@ let () =
         r)
       shapes
   in
-  let queries, wall_ns, hits, misses = bench_throughput fixture ~threads ~per_thread in
+  let queries, wall_ns, hits, misses = bench_throughput fixture ~threads ~per_thread ~rounds in
   let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
-  Fmt.pr "  throughput: %d queries over %d threads in %.1f ms (%.0f q/s), cache hit rate %.3f@."
+  Fmt.pr
+    "  throughput: %d queries over %d threads in %.1f ms (%.0f q/s, median of %d rounds), \
+     cache hit rate %.3f@."
     queries threads (wall_ns /. 1e6)
     (float_of_int queries /. (wall_ns /. 1e9))
-    hit_rate;
+    rounds hit_rate;
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmark\": \"flex-service\",\n  \"unit\": \"ns/stage\",\n";
   Buffer.add_string b (Fmt.str "  \"smoke\": %b,\n  \"shapes\": [\n" !smoke);
@@ -236,10 +250,10 @@ let () =
   Buffer.add_string b "\n  ],\n";
   Buffer.add_string b
     (Fmt.str
-       "  \"throughput\": {\"threads\": %d, \"queries\": %d, \"wall_ns\": %.0f, \
-        \"queries_per_sec\": %.0f, \"cache_hits\": %d, \"cache_misses\": %d, \
-        \"cache_hit_rate\": %.3f}\n"
-       threads queries wall_ns
+       "  \"throughput\": {\"threads\": %d, \"rounds\": %d, \"queries\": %d, \
+        \"wall_ns\": %.0f, \"queries_per_sec\": %.0f, \"cache_hits\": %d, \
+        \"cache_misses\": %d, \"cache_hit_rate\": %.3f}\n"
+       threads rounds queries wall_ns
        (float_of_int queries /. (wall_ns /. 1e9))
        hits misses hit_rate);
   Buffer.add_string b "}\n";

@@ -33,7 +33,7 @@ let load_csv_dir dir =
   Database.of_tables tables
 
 let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
-    analyst_epsilon analyst_delta cap seed =
+    analyst_epsilon analyst_delta cap seed domains =
   let db, metrics =
     if demo then begin
       Fmt.pr "generating a ride-sharing database...@.";
@@ -64,14 +64,22 @@ let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
       max_epsilon_per_query = cap;
     }
   in
+  let domains =
+    match domains with
+    | Some n -> n
+    | None -> min 4 (Stdlib.Domain.recommended_domain_count ())
+  in
+  let pool = if domains > 1 then Some (Flex_engine.Task_pool.create ~domains) else None in
   let server =
-    Server.create ~audit ~config ~db ~metrics ~ledger ~rng:(Rng.create ~seed ()) ()
+    Server.create ~audit ~config ?pool ~db ~metrics ~ledger ~rng:(Rng.create ~seed ()) ()
   in
   let listener = Server.listen ~port server in
-  Fmt.pr "flex_serve: listening on 127.0.0.1:%d (%d tables, %d rows)@."
+  Fmt.pr "flex_serve: listening on 127.0.0.1:%d (%d tables, %d rows, %d execution domain%s)@."
     (Server.port listener)
     (List.length (Database.table_names db))
-    (Metrics.total_rows metrics);
+    (Metrics.total_rows metrics)
+    domains
+    (if domains = 1 then "" else "s");
   (match Ledger.path ledger with
   | Some p -> Fmt.pr "flex_serve: budget ledger at %s@." p
   | None -> Fmt.pr "flex_serve: in-memory ledger (budgets reset on restart)@.");
@@ -140,6 +148,15 @@ let () =
       & info [ "max-epsilon" ] ~docv:"EPS" ~doc:"Admission cap on a single query's epsilon.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Noise RNG seed.") in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel query execution (1 = sequential). Defaults to \
+             the machine's recommended domain count, capped at 4.")
+  in
   let info =
     Cmd.info "flex_serve" ~version:"1.0.0"
       ~doc:"Serve FLEX differentially private SQL over TCP (line-delimited JSON)."
@@ -147,6 +164,6 @@ let () =
   let term =
     Term.(
       const serve $ dir $ metrics_file $ demo $ port $ ledger_file $ audit_file $ sync
-      $ epsilon $ delta $ analyst_epsilon $ analyst_delta $ cap $ seed)
+      $ epsilon $ delta $ analyst_epsilon $ analyst_delta $ cap $ seed $ domains)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -8,6 +8,7 @@ module Value = Flex_engine.Value
 module Database = Flex_engine.Database
 module Metrics = Flex_engine.Metrics
 module Executor = Flex_engine.Executor
+module Task_pool = Flex_engine.Task_pool
 
 (* The FLEX mechanism (paper §4, Definition 7): parse the query, compute its
    elastic sensitivity from precomputed metrics, execute the *unmodified*
@@ -140,9 +141,10 @@ let smooth_columns ~options:opts (analysis : Elastic.analysis) : column_release 
         Some { name; kind; elastic = sens; smooth; noise_scale = scale_of opts smooth })
     analysis.Elastic.columns
 
-(* Stage 3 — run the unmodified query on the database. *)
-let execute ~db (q : Ast.query) : (Executor.result_set, Errors.reason) result =
-  match Executor.run db q with
+(* Stage 3 — run the unmodified query on the database; [pool] dispatches
+   execution onto the engine's morsel-parallel operators. *)
+let execute ?pool ~db (q : Ast.query) : (Executor.result_set, Errors.reason) result =
+  match Executor.run ?pool db q with
   | true_result -> Ok true_result
   | exception Executor.Error m -> Error (Errors.Analysis_error ("execution: " ^ m))
   | exception Flex_engine.Eval.Error m -> Error (Errors.Analysis_error ("evaluation: " ^ m))
@@ -193,12 +195,12 @@ let perturb ~rng ~options:opts ~metrics ~db ~analysis ~column_releases true_resu
     bins_enumerated;
   }
 
-let run ?budget ~rng ~options:opts ~db ~metrics (q : Ast.query) :
+let run ?budget ?pool ~rng ~options:opts ~db ~metrics (q : Ast.query) :
     (release, Errors.reason) result =
   match analyze_ast ~options:opts ~metrics q with
   | Error r -> Error r
   | Ok analysis -> (
-    match execute ~db q with
+    match execute ?pool ~db q with
     | Error r -> Error r
     | Ok true_result ->
       let column_releases = smooth_columns ~options:opts analysis in
@@ -213,10 +215,10 @@ let run ?budget ~rng ~options:opts ~db ~metrics (q : Ast.query) :
       | None -> ());
       Ok (perturb ~rng ~options:opts ~metrics ~db ~analysis ~column_releases true_result))
 
-let run_sql ?budget ~rng ~options ~db ~metrics sql =
+let run_sql ?budget ?pool ~rng ~options ~db ~metrics sql =
   match Flex_sql.Parser.parse sql with
   | Error e -> Error (Errors.Parse_error e)
-  | Ok q -> run ?budget ~rng ~options ~db ~metrics q
+  | Ok q -> run ?budget ?pool ~rng ~options ~db ~metrics q
 
 (* Analysis-only entry point: what the paper's Table 2 times as "Elastic
    Sensitivity Analysis". Returns the smooth bound for each aggregate

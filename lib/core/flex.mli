@@ -6,6 +6,7 @@ module Budget = Flex_dp.Budget
 module Database = Flex_engine.Database
 module Metrics = Flex_engine.Metrics
 module Executor = Flex_engine.Executor
+module Task_pool = Flex_engine.Task_pool
 
 (** The FLEX mechanism (paper §4, Definition 7): parse the query, compute
     its elastic sensitivity from precomputed metrics, execute the unmodified
@@ -90,9 +91,11 @@ val smooth_columns : options:options -> Elastic.analysis -> column_release list
 (** Stage 2: smooth-sensitivity maximisation per aggregate column; depends
     on the request's epsilon/delta, so it runs per request. *)
 
-val execute : db:Database.t -> Ast.query -> (Executor.result_set, Errors.reason) result
+val execute :
+  ?pool:Task_pool.t -> db:Database.t -> Ast.query -> (Executor.result_set, Errors.reason) result
 (** Stage 3: the unmodified query on the underlying database, engine
-    exceptions mapped to typed reasons. *)
+    exceptions mapped to typed reasons. [pool] dispatches execution onto the
+    engine's morsel-parallel operators; results are identical either way. *)
 
 val perturb :
   rng:Rng.t ->
@@ -108,6 +111,7 @@ val perturb :
 
 val run :
   ?budget:Budget.t ->
+  ?pool:Task_pool.t ->
   rng:Rng.t ->
   options:options ->
   db:Database.t ->
@@ -115,11 +119,13 @@ val run :
   Ast.query ->
   (release, Errors.reason) result
 (** Execute one query end to end. When [budget] is given, it is charged
-    [epsilon * aggregate-columns] before anything is released.
+    [epsilon * aggregate-columns] before anything is released; [pool] is
+    passed through to {!execute}.
     @raise Budget.Exhausted when the budget cannot afford the query. *)
 
 val run_sql :
   ?budget:Budget.t ->
+  ?pool:Task_pool.t ->
   rng:Rng.t ->
   options:options ->
   db:Database.t ->

@@ -43,6 +43,11 @@ type env = {
   (* enclosing query scopes, innermost first: correlated subqueries resolve
      free column references against these *)
   outer : (header array * Value.t array) list;
+  (* shared domain pool for morsel-parallel operators; [None] runs the pure
+     sequential pipeline. Subqueries inherit the pool, and a parallel
+     operator reached from inside another one degrades to sequential through
+     the pool's nested-submission rule. *)
+  pool : Task_pool.t option;
 }
 
 (* Equality key pairs (left index, right index) extracted from an ON
@@ -167,6 +172,44 @@ let check_arity op (l : vrel) (r : vrel) =
   if Array.length l.vh <> Array.length r.vh then
     error "%s operands have different column counts" op
 
+(* Bounded selection for ORDER BY ... LIMIT: the [k] smallest of the indices
+   [0, n) under [cmp], in sorted order, via a size-[k] max-heap — O(n log k)
+   instead of sorting all [n] rows. [cmp] must be a total order (the caller
+   tiebreaks on the index itself), which makes the result identical to
+   sorting everything and slicing off the first [k]. *)
+let top_k ~(cmp : int -> int -> int) ~n ~k =
+  if k <= 0 then [||]
+  else begin
+    let hn = min k n in
+    let heap = Array.init hn (fun i -> i) in
+    let swap i j =
+      let t = heap.(i) in
+      heap.(i) <- heap.(j);
+      heap.(j) <- t
+    in
+    let rec sift_down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let m = ref i in
+      if l < hn && cmp heap.(l) heap.(!m) > 0 then m := l;
+      if r < hn && cmp heap.(r) heap.(!m) > 0 then m := r;
+      if !m <> i then begin
+        swap i !m;
+        sift_down !m
+      end
+    in
+    for i = (hn / 2) - 1 downto 0 do
+      sift_down i
+    done;
+    for i = hn to n - 1 do
+      if cmp i heap.(0) < 0 then begin
+        heap.(0) <- i;
+        sift_down 0
+      end
+    done;
+    Array.sort cmp heap;
+    heap
+  end
+
 (* --- the compiled pipeline ------------------------------------------------- *)
 
 (* [compile_expr env headers ?agg e]: compile [e] once against [headers];
@@ -268,65 +311,74 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
   let lw = Array.length l.vh and rw = Array.length r.vh in
   let null_row n = Array.make n Value.Null in
   let nr = Vec.length r.vr in
+  let pool = env.pool in
   let rmatched = Array.make nr false in
-  let out = Vec.create () in
-  (match (kind, keys) with
-  | Ast.Cross, _ | _, [] ->
-    (* Nested loop; used for cross joins and non-equality conditions. A Cross
-       join can still carry equality keys (AST built directly): they must
-       hold as ordinary SQL equalities, not drop every row. *)
-    let keys_ok lrow rrow =
-      List.for_all
-        (fun (li, ri) ->
-          match Value.sql_equal lrow.(li) rrow.(ri) with
-          | Some true -> true
-          | Some false | None -> false)
-        keys
+  let pad = kind = Ast.Left || kind = Ast.Full in
+  (* [probe_left emit]: stream the join output left row by left row,
+     parallelised over morsels of the left relation. [emit lrow push] pushes
+     every match for [lrow] in build order and returns whether any matched;
+     per-chunk outputs are concatenated in chunk order, so the result row
+     order is identical to the sequential left-to-right scan. [rmatched]
+     writes race benignly across chunks (every write is [true], and reads
+     happen only after the pool joins). *)
+  let probe_left (emit : Value.t array -> (Value.t array -> unit) -> bool) :
+      Value.t array Vec.t =
+    let nl = Vec.length l.vr in
+    let chunk lo hi =
+      let out = Vec.create () in
+      for i = lo to hi - 1 do
+        let lrow = Vec.unsafe_get l.vr i in
+        let matched = emit lrow (Vec.push out) in
+        if (not matched) && pad then Vec.push out (Array.append lrow (null_row rw))
+      done;
+      out
     in
-    Vec.iter
-      (fun lrow ->
-        let matched = ref false in
-        for ri = 0 to nr - 1 do
-          let rrow = Vec.unsafe_get r.vr ri in
-          let ok =
-            match cond with
-            | Ast.Cond_none -> true
-            | _ -> residual_ok (Array.append lrow rrow) && keys_ok lrow rrow
-          in
-          if ok then begin
-            matched := true;
-            rmatched.(ri) <- true;
-            Vec.push out (Array.append lrow rrow)
-          end
-        done;
-        if (not !matched) && (kind = Ast.Left || kind = Ast.Full) then
-          Vec.push out (Array.append lrow (null_row rw)))
-      l.vr
-  | _, keys ->
-    (* Hash join on the equality keys: key columns pre-extracted into int
-       arrays, build side bucketed in a keyed table. Build-side indices are
-       appended in scan order, so matches come out in the right relation's
-       row order. *)
-    let lks = Array.of_list (List.map fst keys) in
-    let rks = Array.of_list (List.map snd keys) in
-    let nk = Array.length lks in
-    let matched = ref false in
-    let probe lrow (candidates : int Vec.t) =
-      Vec.iter
-        (fun ri ->
-          let combined = Array.append lrow (Vec.unsafe_get r.vr ri) in
-          if residual_ok combined then begin
-            matched := true;
-            rmatched.(ri) <- true;
-            Vec.push out combined
-          end)
-        candidates
-    in
-    let pad_unmatched lrow =
-      if (not !matched) && (kind = Ast.Left || kind = Ast.Full) then
-        Vec.push out (Array.append lrow (null_row rw))
-    in
-    if nk = 1 then begin
+    match Parallel.gather pool nl chunk with
+    | None -> chunk 0 nl
+    | Some parts -> Vec.concat parts
+  in
+  let out =
+    match (kind, keys) with
+    | Ast.Cross, _ | _, [] ->
+      (* Nested loop; used for cross joins and non-equality conditions. A Cross
+         join can still carry equality keys (AST built directly): they must
+         hold as ordinary SQL equalities, not drop every row. *)
+      let keys_ok lrow rrow =
+        List.for_all
+          (fun (li, ri) ->
+            match Value.sql_equal lrow.(li) rrow.(ri) with
+            | Some true -> true
+            | Some false | None -> false)
+          keys
+      in
+      probe_left (fun lrow push ->
+          let matched = ref false in
+          for ri = 0 to nr - 1 do
+            let rrow = Vec.unsafe_get r.vr ri in
+            let ok =
+              match cond with
+              | Ast.Cond_none -> true
+              | _ -> residual_ok (Array.append lrow rrow) && keys_ok lrow rrow
+            in
+            if ok then begin
+              matched := true;
+              rmatched.(ri) <- true;
+              push (Array.append lrow rrow)
+            end
+          done;
+          !matched)
+    | _, keys ->
+      (* Hash join on the equality keys: key columns pre-extracted into int
+         arrays, build side bucketed in a keyed table. Build-side indices are
+         appended in scan order, so matches come out in the right relation's
+         row order. Large build sides are hash-partitioned and built in
+         parallel: all candidates for one key land in one partition, in
+         ascending row order, so probes observe exactly the sequential build
+         order. *)
+      let lks = Array.of_list (List.map fst keys) in
+      let rks = Array.of_list (List.map snd keys) in
+      let nk = Array.length lks in
+      if nk = 1 then begin
       (* single key column (the common case): scalar-keyed table, no per-row
          key array; when the build column holds only small ints (typical id
          join keys), an unboxed int-keyed table cuts hashing cost further *)
@@ -389,6 +441,46 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
                 done
               | _ -> ()
           end
+          else if Parallel.parallel_worthy pool nr then begin
+            (* sparse int keys, large build side: hash-partitioned parallel
+               build into per-partition unboxed tables. Each partition's rows
+               arrive in ascending row order, so candidate order per key is
+               identical to the sequential build. *)
+            let parts = Parallel.partition_count pool in
+            let mask = parts - 1 in
+            let pidx =
+              Parallel.partition ?pool ~partitions:parts
+                (fun ri ->
+                  match (Vec.unsafe_get r.vr ri).(rk) with
+                  | Value.Int k -> k land mask
+                  | _ -> 0)
+                nr
+            in
+            let tbls =
+              Array.init parts (fun _ -> Row_table.Int_key.create (max 16 (nr / parts)))
+            in
+            Parallel.tasks pool ~n:parts (fun p ->
+                let tbl = tbls.(p) in
+                Vec.iter
+                  (fun ri ->
+                    match (Vec.unsafe_get r.vr ri).(rk) with
+                    | Value.Int k -> (
+                      match Row_table.Int_key.find_opt tbl k with
+                      | Some cell -> Vec.push cell ri
+                      | None ->
+                        let cell = Vec.create () in
+                        Vec.push cell ri;
+                        Row_table.Int_key.replace tbl k cell)
+                    | _ -> ())
+                  pidx.(p));
+            fun v f ->
+              match Row_table.int_key_of v with
+              | None -> ()
+              | Some k -> (
+                match Row_table.Int_key.find_opt tbls.(k land mask) k with
+                | None -> ()
+                | Some cell -> Vec.iter f cell)
+          end
           else begin
             (* sparse int keys: unboxed int-keyed hashtable *)
             let tbl : int Vec.t Row_table.Int_key.t =
@@ -415,6 +507,41 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
                 | Some cell -> Vec.iter f cell)
           end
         end
+        else if Parallel.parallel_worthy pool nr then begin
+          (* general scalar keys, large build side: hash-partitioned parallel
+             build. Partitioning uses {!Value.hash} — consistent with SQL
+             equality (Int 2 = Float 2.0), so probe and build always agree on
+             the partition. *)
+          let parts = Parallel.partition_count pool in
+          let mask = parts - 1 in
+          let pidx =
+            Parallel.partition ?pool ~partitions:parts
+              (fun ri ->
+                let v = (Vec.unsafe_get r.vr ri).(rk) in
+                if Value.is_null v then 0 else Value.hash v land mask)
+              nr
+          in
+          let tbls =
+            Array.init parts (fun _ -> Row_table.Scalar.create (max 16 (nr / parts)))
+          in
+          Parallel.tasks pool ~n:parts (fun p ->
+              let tbl = tbls.(p) in
+              Vec.iter
+                (fun ri ->
+                  let v = (Vec.unsafe_get r.vr ri).(rk) in
+                  if not (Value.is_null v) then
+                    match Row_table.Scalar.find_opt tbl v with
+                    | Some cell -> Vec.push cell ri
+                    | None ->
+                      let cell = Vec.create () in
+                      Vec.push cell ri;
+                      Row_table.Scalar.replace tbl v cell)
+                pidx.(p));
+          fun v f ->
+            match Row_table.Scalar.find_opt tbls.(Value.hash v land mask) v with
+            | None -> ()
+            | Some cell -> Vec.iter f cell
+        end
         else begin
           let tbl : int Vec.t Row_table.Scalar.t =
             Row_table.Scalar.create (max 16 nr)
@@ -436,9 +563,8 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
             | Some cell -> Vec.iter f cell
         end
       in
-      Vec.iter
-        (fun lrow ->
-          matched := false;
+      probe_left (fun lrow push ->
+          let matched = ref false in
           let v = lrow.(lk) in
           (* NULL keys never match *)
           if not (Value.is_null v) then
@@ -447,14 +573,13 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
                 if residual_ok combined then begin
                   matched := true;
                   rmatched.(ri) <- true;
-                  Vec.push out combined
+                  push combined
                 end);
-          pad_unmatched lrow)
-        l.vr
+          !matched)
     end
     else begin
       (* [extract_into k ks row] fills [k]; false when any key column is NULL
-         (NULL keys never match). The probe side reuses one scratch array. *)
+         (NULL keys never match). *)
       let extract_into (k : Value.t array) ks (row : Value.t array) =
         let rec go i =
           i >= nk
@@ -468,28 +593,82 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
         in
         go 0
       in
-      let tbl : int Vec.t Row_table.t = Row_table.create (max 16 nr) in
-      let scratch = Array.make nk Value.Null in
-      Vec.iteri
-        (fun ri rrow ->
-          if extract_into scratch rks rrow then
-            match Row_table.find_opt tbl scratch with
-            | Some cell -> Vec.push cell ri
-            | None ->
-              let cell = Vec.create () in
-              Vec.push cell ri;
-              Row_table.replace tbl (Array.copy scratch) cell)
-        r.vr;
-      Vec.iter
-        (fun lrow ->
-          matched := false;
+      let find_candidates : Value.t array -> int Vec.t option =
+        if Parallel.parallel_worthy pool nr then begin
+          (* large build side: extract key tuples in parallel, hash-partition
+             by {!Row_table.Key.hash} (consistent with the table's equality),
+             build per-partition tables in parallel *)
+          let rkeys = Array.make nr [||] in
+          (* [[||]] marks a NULL in some key column: never inserted *)
+          let fill lo hi =
+            for ri = lo to hi - 1 do
+              let k = Array.make nk Value.Null in
+              if extract_into k rks (Vec.unsafe_get r.vr ri) then rkeys.(ri) <- k
+            done
+          in
+          (match Parallel.gather pool nr fill with
+          | None -> fill 0 nr
+          | Some (_ : unit array) -> ());
+          let parts = Parallel.partition_count pool in
+          let mask = parts - 1 in
+          let pidx =
+            Parallel.partition ?pool ~partitions:parts
+              (fun ri ->
+                let k = rkeys.(ri) in
+                if Array.length k = 0 then 0 else Row_table.Key.hash k land mask)
+              nr
+          in
+          let tbls = Array.init parts (fun _ -> Row_table.create (max 16 (nr / parts))) in
+          Parallel.tasks pool ~n:parts (fun p ->
+              let tbl = tbls.(p) in
+              Vec.iter
+                (fun ri ->
+                  let k = rkeys.(ri) in
+                  if Array.length k > 0 then
+                    match Row_table.find_opt tbl k with
+                    | Some cell -> Vec.push cell ri
+                    | None ->
+                      let cell = Vec.create () in
+                      Vec.push cell ri;
+                      Row_table.replace tbl k cell)
+                pidx.(p));
+          fun key -> Row_table.find_opt tbls.(Row_table.Key.hash key land mask) key
+        end
+        else begin
+          let tbl : int Vec.t Row_table.t = Row_table.create (max 16 nr) in
+          let scratch = Array.make nk Value.Null in
+          Vec.iteri
+            (fun ri rrow ->
+              if extract_into scratch rks rrow then
+                match Row_table.find_opt tbl scratch with
+                | Some cell -> Vec.push cell ri
+                | None ->
+                  let cell = Vec.create () in
+                  Vec.push cell ri;
+                  Row_table.replace tbl (Array.copy scratch) cell)
+            r.vr;
+          fun key -> Row_table.find_opt tbl key
+        end
+      in
+      probe_left (fun lrow push ->
+          let matched = ref false in
+          let scratch = Array.make nk Value.Null in
           (if extract_into scratch lks lrow then
-             match Row_table.find_opt tbl scratch with
+             match find_candidates scratch with
              | None -> ()
-             | Some candidates -> probe lrow candidates);
-          pad_unmatched lrow)
-        l.vr
-    end);
+             | Some candidates ->
+               Vec.iter
+                 (fun ri ->
+                   let combined = Array.append lrow (Vec.unsafe_get r.vr ri) in
+                   if residual_ok combined then begin
+                     matched := true;
+                     rmatched.(ri) <- true;
+                     push combined
+                   end)
+                 candidates);
+          !matched)
+    end
+  in
   if kind = Ast.Right || kind = Ast.Full then
     Vec.iteri
       (fun ri rrow ->
@@ -516,7 +695,7 @@ and eval_select env (s : Ast.select) : vrel =
     | None -> source.vr
     | Some pred ->
       let cp = compile_expr env source.vh pred in
-      Vec.filter (fun row -> Eval.is_truthy (cp row)) source.vr
+      Parallel.filter ?pool:env.pool (fun row -> Eval.is_truthy (cp row)) source.vr
   in
   let projections = expand_projections source.vh s.projections in
   let any_agg =
@@ -532,15 +711,62 @@ and eval_select env (s : Ast.select) : vrel =
       let cps =
         Array.of_list (List.map (fun (e, _) -> compile_expr env source.vh e) projections)
       in
-      Vec.map (fun row -> Array.map (fun c -> c row) cps) filtered
+      Parallel.map ?pool:env.pool (fun row -> Array.map (fun c -> c row) cps) filtered
     end
     else begin
       (* grouped path; an aggregate query without GROUP BY is a single group *)
+      let pool = env.pool in
       let kcs = Array.of_list (List.map (compile_expr env source.vh) s.group_by) in
+      let nfiltered = Vec.length filtered in
       let in_order : Value.t array Vec.t Vec.t = Vec.create () in
       (if Array.length kcs = 0 then
          (* no GROUP BY: every row (possibly none) forms the single group *)
          Vec.push in_order filtered
+       else if Parallel.parallel_worthy pool nfiltered then begin
+         (* parallel grouping: evaluate keys in parallel, hash-partition row
+            indices (each partition keeps its indices in ascending order),
+            group every partition independently, then restore the sequential
+            group order by sorting on each group's first row index. Rows
+            enter their group in ascending row order, so per-group aggregate
+            evaluation order — and with it float SUM/AVG results — is
+            exactly the sequential one. *)
+         let keyfn =
+           if Array.length kcs = 1 then begin
+             let kc = kcs.(0) in
+             fun row -> [| kc row |]
+           end
+           else fun row -> Array.map (fun c -> c row) kcs
+         in
+         let keys = Parallel.map_to_array ?pool ~dummy:[||] keyfn filtered in
+         let parts = Parallel.partition_count pool in
+         let mask = parts - 1 in
+         let pidx =
+           Parallel.partition ?pool ~partitions:parts
+             (fun i -> Row_table.Key.hash keys.(i) land mask)
+             nfiltered
+         in
+         let per_part = Array.make parts [||] in
+         Parallel.tasks pool ~n:parts (fun p ->
+             let acc = Vec.create () in
+             let groups : Value.t array Vec.t Row_table.t = Row_table.create 64 in
+             Vec.iter
+               (fun i ->
+                 let row = Vec.unsafe_get filtered i in
+                 match Row_table.find_opt groups keys.(i) with
+                 | Some cell -> Vec.push cell row
+                 | None ->
+                   let cell = Vec.create () in
+                   Vec.push cell row;
+                   Row_table.replace groups keys.(i) cell;
+                   Vec.push acc (i, cell))
+               pidx.(p);
+             per_part.(p) <- Vec.to_array acc);
+         let all = Array.concat (Array.to_list per_part) in
+         (* first-occurrence row indices are distinct, so a plain sort fully
+            determines the group order *)
+         Array.sort (fun (a, _) (b, _) -> compare (a : int) b) all;
+         Array.iter (fun ((_ : int), cell) -> Vec.push in_order cell) all
+       end
        else if Array.length kcs = 1 then begin
          (* single grouping key: scalar-keyed table, no per-row key array *)
          let kc = kcs.(0) in
@@ -573,18 +799,62 @@ and eval_select env (s : Ast.select) : vrel =
                Vec.push in_order cell)
            filtered
        end);
-      (* HAVING and projections compiled once, collecting aggregate slots *)
-      let slots = Compiled.make_slots () in
-      let chaving = Option.map (compile_expr env source.vh ~agg:slots) s.having in
-      let cps =
-        Array.of_list
-          (List.map (fun (e, _) -> compile_expr env source.vh ~agg:slots e) projections)
+      (* [compute_slot sl grows n]: one aggregate over one group. A single
+         huge group (aggregation without GROUP BY) parallelises inside the
+         aggregate via per-chunk partial states — only for aggregates whose
+         merge is exact ({!Aggregate.mergeable}); the merge itself reports
+         failure (a float reached SUM) and recomputes sequentially. *)
+      let compute_slot (sl : Compiled.agg_slot) (grows : Value.t array Vec.t) n =
+        match sl.Compiled.arg with
+        | None ->
+          Aggregate.compute sl.Compiled.func ~distinct:sl.Compiled.distinct
+            ~star:sl.Compiled.star ~nrows:n []
+        | Some c ->
+          (* stream argument values straight out of the group *)
+          let sequential () =
+            Aggregate.compute_iter sl.Compiled.func ~distinct:sl.Compiled.distinct
+              ~star:sl.Compiled.star ~nrows:n
+              ~iter:(fun f -> Vec.iter (fun row -> f (c row)) grows)
+          in
+          if
+            not
+              (Aggregate.mergeable sl.Compiled.func ~distinct:sl.Compiled.distinct
+                 ~star:sl.Compiled.star)
+          then sequential ()
+          else begin
+            match
+              Parallel.gather pool n (fun lo hi ->
+                  let st = Aggregate.Partial.create sl.Compiled.func in
+                  for i = lo to hi - 1 do
+                    Aggregate.Partial.add st (c (Vec.unsafe_get grows i))
+                  done;
+                  st)
+            with
+            | None -> sequential ()
+            | Some parts -> (
+              match Aggregate.Partial.merge parts with
+              | Some v -> v
+              | None -> sequential ())
+          end
       in
-      let slot_list = Array.of_list (Compiled.slots slots) in
       let src_width = Array.length source.vh in
-      let out = Vec.create () in
-      Vec.iter
-        (fun (grows : Value.t array Vec.t) ->
+      let ngroups = Vec.length in_order in
+      (* HAVING and projections compiled once per chunk of groups: aggregate
+         results flow through {!Compiled.agg_slots} — shared mutable state
+         (set_group + Lazy.force) — so each parallel chunk needs its own
+         compiled copy. Compilation is cheap next to evaluating even one
+         group; the sequential path compiles exactly once, as before. *)
+      let finalize lo hi =
+        let slots = Compiled.make_slots () in
+        let chaving = Option.map (compile_expr env source.vh ~agg:slots) s.having in
+        let cps =
+          Array.of_list
+            (List.map (fun (e, _) -> compile_expr env source.vh ~agg:slots e) projections)
+        in
+        let slot_list = Array.of_list (Compiled.slots slots) in
+        let out = Vec.create () in
+        for g = lo to hi - 1 do
+          let grows = Vec.unsafe_get in_order g in
           let n = Vec.length grows in
           let representative =
             if n > 0 then Vec.unsafe_get grows 0 else Array.make src_width Value.Null
@@ -593,26 +863,20 @@ and eval_select env (s : Ast.select) : vrel =
              never computed (matching the interpreter's on-demand memo) *)
           let values =
             Array.map
-              (fun (sl : Compiled.agg_slot) ->
-                lazy
-                  (match sl.Compiled.arg with
-                  | None ->
-                    Aggregate.compute sl.Compiled.func ~distinct:sl.Compiled.distinct
-                      ~star:sl.Compiled.star ~nrows:n []
-                  | Some c ->
-                    (* stream argument values straight out of the group *)
-                    Aggregate.compute_iter sl.Compiled.func
-                      ~distinct:sl.Compiled.distinct ~star:sl.Compiled.star ~nrows:n
-                      ~iter:(fun f -> Vec.iter (fun row -> f (c row)) grows)))
+              (fun (sl : Compiled.agg_slot) -> lazy (compute_slot sl grows n))
               slot_list
           in
           Compiled.set_group slots values;
           let keep =
             match chaving with None -> true | Some c -> Eval.is_truthy (c representative)
           in
-          if keep then Vec.push out (Array.map (fun c -> c representative) cps))
-        in_order;
-      out
+          if keep then Vec.push out (Array.map (fun c -> c representative) cps)
+        done;
+        out
+      in
+      match Parallel.gather pool ngroups finalize with
+      | None -> finalize 0 ngroups
+      | Some parts -> Vec.concat parts
     end
   in
   let rows = if s.distinct then Row_table.dedupe_rows rows else rows in
@@ -742,8 +1006,11 @@ and eval_query env (q : Ast.query) : vrel =
   let r =
     if order_by = [] then r
     else begin
-      (* decorate-sort-undecorate over arrays with order keys precomputed
-         through compiled expressions; stable to match SQL ties behaviour *)
+      (* decorate-sort-undecorate with order keys precomputed (in parallel)
+         through compiled expressions. Sorting permutes indices, with the
+         original index as the final tiebreak — a total order that reproduces
+         [stable_sort] ties behaviour exactly. Under LIMIT, a bounded top-K
+         heap selection replaces the full sort. *)
       let nkeys = List.length order_by in
       let dirs = Array.of_list (List.map snd order_by) in
       let keyfns =
@@ -756,12 +1023,16 @@ and eval_query env (q : Ast.query) : vrel =
                | e -> compile_expr env r.vh e)
              order_by)
       in
-      let decorated =
-        Array.map (fun row -> (Array.map (fun f -> f row) keyfns, row)) (Vec.to_array r.vr)
+      let n = Vec.length r.vr in
+      let keys =
+        Parallel.map_to_array ?pool:env.pool ~dummy:[||]
+          (fun row -> Array.map (fun f -> f row) keyfns)
+          r.vr
       in
-      let cmp (ka, _) (kb, _) =
+      let cmp a b =
+        let ka = keys.(a) and kb = keys.(b) in
         let rec go i =
-          if i >= nkeys then 0
+          if i >= nkeys then compare (a : int) b
           else
             let c = Value.compare ka.(i) kb.(i) in
             let c = match dirs.(i) with Ast.Asc -> c | Ast.Desc -> -c in
@@ -769,8 +1040,25 @@ and eval_query env (q : Ast.query) : vrel =
         in
         go 0
       in
-      Array.stable_sort cmp decorated;
-      { r with vr = Vec.of_array (Array.map snd decorated) }
+      let order =
+        (* only the first OFFSET + LIMIT rows survive the slice below, so
+           under a LIMIT that keeps fewer rows than exist, select instead of
+           sorting everything *)
+        let wanted =
+          match q.limit with
+          | None -> None
+          | Some l ->
+            let k = max 0 (Option.value q.offset ~default:0) + max 0 l in
+            if k < n then Some k else None
+        in
+        match wanted with
+        | Some k -> top_k ~cmp ~n ~k
+        | None ->
+          let idx = Array.init n (fun i -> i) in
+          Array.sort cmp idx;
+          idx
+      in
+      { r with vr = Vec.of_array (Array.map (fun i -> Vec.unsafe_get r.vr i) order) }
     end
   in
   (* strip hidden order columns *)
@@ -784,18 +1072,18 @@ and eval_query env (q : Ast.query) : vrel =
 
 (* --- public API ----------------------------------------------------------------- *)
 
-let run db (q : Ast.query) : result_set =
-  to_result (eval_query { db; ctes = []; outer = [] } q)
+let run ?pool db (q : Ast.query) : result_set =
+  to_result (eval_query { db; ctes = []; outer = []; pool } q)
 
-let run_sql db sql : (result_set, string) result =
+let run_sql ?pool db sql : (result_set, string) result =
   match Flex_sql.Parser.parse sql with
   | Stdlib.Error e -> Stdlib.Error e
   | Stdlib.Ok q -> (
-    match run db q with
+    match run ?pool db q with
     | r -> Stdlib.Ok r
     | exception Error msg -> Stdlib.Error ("execution error: " ^ msg)
     | exception Eval.Error msg -> Stdlib.Error ("evaluation error: " ^ msg)
     | exception Aggregate.Error msg -> Stdlib.Error ("aggregation error: " ^ msg))
 
-let run_sql_exn db sql =
-  match run_sql db sql with Stdlib.Ok r -> r | Stdlib.Error e -> error "%s" e
+let run_sql_exn ?pool db sql =
+  match run_sql ?pool db sql with Stdlib.Ok r -> r | Stdlib.Error e -> error "%s" e

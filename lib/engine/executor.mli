@@ -29,15 +29,21 @@ type rel = { headers : header array; rows : Value.t array list }
 
 type result_set = { columns : string list; rows : Value.t array list }
 
-val run : Database.t -> Ast.query -> result_set
-(** @raise Error (and {!Eval.Error} / {!Aggregate.Error}) on semantic
+val run : ?pool:Task_pool.t -> Database.t -> Ast.query -> result_set
+(** [?pool] enables the morsel-parallel operators ({!Parallel}): scan,
+    filter and projection over row morsels, partitioned parallel hash-join
+    builds with parallel probes, and parallel GROUP BY. Results are
+    bit-identical to a sequential run — every parallel operator preserves
+    row order and evaluation order (enforced by the differential suite);
+    inputs below {!Parallel.threshold} rows run sequentially.
+    @raise Error (and {!Eval.Error} / {!Aggregate.Error}) on semantic
     errors: unknown tables or columns, arity mismatches, aggregates outside
     grouping. *)
 
-val run_sql : Database.t -> string -> (result_set, string) result
+val run_sql : ?pool:Task_pool.t -> Database.t -> string -> (result_set, string) result
 (** Parse and run; all failures as [Error message]. *)
 
-val run_sql_exn : Database.t -> string -> result_set
+val run_sql_exn : ?pool:Task_pool.t -> Database.t -> string -> result_set
 
 val resolve_opt : header array -> Ast.col_ref -> int option
 (** Column resolution: qualified references match the alias; unqualified

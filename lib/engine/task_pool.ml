@@ -1,0 +1,173 @@
+(* A reusable pool of worker domains for data-parallel query execution.
+
+   One pool is created per process (or per server) and shared by every
+   query: spawning a domain costs milliseconds, far more than a typical
+   query, so domains must be long-lived. The pool runs "chunked" jobs: a
+   job is a function over chunk indices [0, chunks); idle workers (and the
+   submitting caller, which always participates) repeatedly claim the next
+   unclaimed chunk with a fetch-and-add until none remain. Chunk claiming
+   is the only scheduling — there is no per-chunk queue — which keeps the
+   pool allocation-free on the hot path and naturally balances skewed
+   chunks, the same effect morsel-driven work stealing buys industrial
+   engines.
+
+   Concurrency contract:
+   - [run] may be called from any systhread or domain. Only one job runs at
+     a time; a submission that finds the pool busy — including a *nested*
+     submission from inside a running chunk — executes its chunks inline in
+     the caller. That makes nested parallel operators (a subquery evaluated
+     inside a parallel filter, say) trivially safe: the inner level just
+     degrades to sequential.
+   - Exceptions raised by chunk functions are caught in the worker, and the
+     first one is re-raised in the submitting caller after every chunk has
+     finished (chunks after a failure still run; chunk functions must be
+     independent).
+   - After [shutdown] (idempotent, joins every worker domain) the pool
+     stays usable: jobs simply run inline. *)
+
+type job = {
+  id : int;
+  chunks : int;
+  next : int Atomic.t; (* next unclaimed chunk *)
+  completed : int Atomic.t; (* chunks finished (successfully or not) *)
+  f : int -> unit;
+  failed : exn option Atomic.t; (* first exception, re-raised by the caller *)
+}
+
+type t = {
+  domains : int; (* total participants: workers + the caller *)
+  mutable workers : unit Domain.t array;
+  m : Mutex.t; (* guards [job] / [stopping], pairs with both conditions *)
+  work : Condition.t; (* signalled when a job is posted or on shutdown *)
+  finished : Condition.t; (* signalled when a job's last chunk completes *)
+  mutable job : job option;
+  mutable stopping : bool;
+  submit : Mutex.t; (* held for the duration of one [run]; try_lock = busy probe *)
+  job_ids : int Atomic.t;
+  mutable live : bool;
+}
+
+let domains t = t.domains
+
+(* Claim and execute chunks of [j] until none remain. Runs in workers and in
+   the submitting caller alike. *)
+let work_on t j =
+  let rec claim () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.chunks then begin
+      (try j.f i
+       with e -> ignore (Atomic.compare_and_set j.failed None (Some e)));
+      let done_ = 1 + Atomic.fetch_and_add j.completed 1 in
+      if done_ = j.chunks then begin
+        (* the caller may already be waiting: broadcast under the mutex so
+           the wake-up cannot be lost *)
+        Mutex.lock t.m;
+        Condition.broadcast t.finished;
+        Mutex.unlock t.m
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let worker t () =
+  let last = ref (-1) in
+  let rec loop () =
+    Mutex.lock t.m;
+    let rec await () =
+      if t.stopping then None
+      else
+        match t.job with
+        | Some j when j.id <> !last -> Some j
+        | _ ->
+          Condition.wait t.work t.m;
+          await ()
+    in
+    let claimed = await () in
+    Mutex.unlock t.m;
+    match claimed with
+    | None -> ()
+    | Some j ->
+      last := j.id;
+      work_on t j;
+      loop ()
+  in
+  loop ()
+
+let create ~domains:n =
+  if n < 1 || n > 128 then invalid_arg "Task_pool.create: domains must be in [1, 128]";
+  let t =
+    {
+      domains = n;
+      workers = [||];
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      stopping = false;
+      submit = Mutex.create ();
+      job_ids = Atomic.make 0;
+      live = true;
+    }
+  in
+  t.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let run_inline ~chunks f =
+  for i = 0 to chunks - 1 do
+    f i
+  done
+
+let run t ~chunks f =
+  if chunks <= 0 then ()
+  else if chunks = 1 then f 0
+  else if t.domains <= 1 || not t.live then run_inline ~chunks f
+  else if not (Mutex.try_lock t.submit) then
+    (* busy: a job is in flight (possibly ours — a nested submission from
+       inside a chunk). Degrade to inline execution. *)
+    run_inline ~chunks f
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.submit)
+      (fun () ->
+        let j =
+          {
+            id = Atomic.fetch_and_add t.job_ids 1;
+            chunks;
+            next = Atomic.make 0;
+            completed = Atomic.make 0;
+            f;
+            failed = Atomic.make None;
+          }
+        in
+        Mutex.lock t.m;
+        t.job <- Some j;
+        Condition.broadcast t.work;
+        Mutex.unlock t.m;
+        (* the caller participates instead of blocking *)
+        work_on t j;
+        Mutex.lock t.m;
+        while Atomic.get j.completed < j.chunks do
+          Condition.wait t.finished t.m
+        done;
+        t.job <- None;
+        Mutex.unlock t.m;
+        match Atomic.get j.failed with Some e -> raise e | None -> ())
+
+let shutdown t =
+  (* taking [submit] first guarantees no job is in flight *)
+  Mutex.lock t.submit;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.submit)
+    (fun () ->
+      if t.live then begin
+        Mutex.lock t.m;
+        t.stopping <- true;
+        Condition.broadcast t.work;
+        Mutex.unlock t.m;
+        Array.iter Domain.join t.workers;
+        t.workers <- [||];
+        t.live <- false
+      end)
+
+let is_parallel t = t.live && t.domains > 1

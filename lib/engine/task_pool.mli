@@ -1,0 +1,37 @@
+(** A reusable pool of worker domains for data-parallel query execution.
+
+    Jobs are chunked: [run t ~chunks f] executes [f 0 .. f (chunks - 1)]
+    exactly once each, spread over the pool's domains; idle workers claim
+    the next unclaimed chunk with a fetch-and-add (morsel-style dynamic
+    load balancing), and the submitting caller participates instead of
+    blocking. Only one job runs at a time: a submission that finds the pool
+    busy — including a nested submission from inside a running chunk —
+    executes inline in the caller, so nested parallel operators degrade to
+    sequential instead of deadlocking. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn a pool of [domains - 1] worker domains (the caller is the last
+    participant); [domains = 1] spawns nothing and runs every job inline.
+    Domains are long-lived — create one pool per process and share it.
+    @raise Invalid_argument unless [1 <= domains <= 128]. *)
+
+val domains : t -> int
+(** Total participants (workers + the submitting caller). *)
+
+val run : t -> chunks:int -> (int -> unit) -> unit
+(** Execute one chunked job. Chunk functions must be independent (chunks
+    after a failure still run) and touch disjoint mutable state. The first
+    exception raised by any chunk is re-raised in the caller after all
+    chunks finish. Thread-safe; concurrent or nested submissions run
+    inline. *)
+
+val shutdown : t -> unit
+(** Join every worker domain. Idempotent; the pool stays usable afterwards
+    (jobs run inline), so shutdown order against in-flight queries is not
+    load-bearing. *)
+
+val is_parallel : t -> bool
+(** [true] while the pool has live workers ([domains > 1] and not yet shut
+    down). *)

@@ -41,6 +41,10 @@ type t = {
   analysis_cache : (Elastic.analysis, Errors.reason) result Cache.t;
   audit : Audit.t;
   rng : Rng.t;
+  (* one shared domain pool for every session's query execution; queries are
+     serialized onto it by the pool itself (a busy pool runs the submission
+     inline), so concurrent sessions never block each other *)
+  pool : Flex.Task_pool.t option;
   lock : Mutex.t;  (* guards counters and rng splitting *)
   mutable queries : int;
   mutable granted : int;
@@ -48,7 +52,7 @@ type t = {
   mutable refused : int;
 }
 
-let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity
+let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity ?pool
     ~db ~metrics ~ledger ~rng () =
   {
     config;
@@ -59,6 +63,7 @@ let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity
     analysis_cache = Cache.create ?capacity:cache_capacity ();
     audit;
     rng;
+    pool;
     lock = Mutex.create ();
     queries = 0;
     granted = 0;
@@ -210,7 +215,9 @@ let handle_query t session ~sql ~epsilon ~delta =
           let column_releases, smooth_ns =
             timed (fun () -> Flex.smooth_columns ~options analysis)
           in
-          let executed, execution_ns = timed (fun () -> Flex.execute ~db:t.db ast) in
+          let executed, execution_ns =
+            timed (fun () -> Flex.execute ?pool:t.pool ~db:t.db ast)
+          in
           let base = { base with smooth_ns; execution_ns } in
           match executed with
           | Error reason -> reject t ~base reason

@@ -49,12 +49,16 @@ val create :
   ?audit:Audit.t ->
   ?config:config ->
   ?cache_capacity:int ->
+  ?pool:Flex_engine.Task_pool.t ->
   db:Database.t ->
   metrics:Metrics.t ->
   ledger:Ledger.t ->
   rng:Rng.t ->
   unit ->
   t
+(** [pool] is one shared domain pool for every session's query execution
+    (stage 3); sessions whose query arrives while the pool is busy simply
+    execute sequentially, so concurrent sessions never block each other. *)
 
 type session
 
