@@ -134,16 +134,23 @@ let analyze_cmd =
 (* --- run ------------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run dir metrics_file epsilon delta no_public seed output report sql =
+  let run dir metrics_file epsilon delta no_public seed output report optimize sql =
     let db = load_csv_dir dir in
     let m =
       match metrics_file with Some f -> Metrics.load f | None -> Metrics.compute db
     in
+    (* [run EXPLAIN SELECT ...] prints the plans instead of executing *)
+    (match Flex_sql.Parser.parse_statement sql with
+    | Ok (Flex_sql.Ast.Explain q) ->
+      let logical, optimized = Flex_engine.Optimizer.explain ~metrics:m q in
+      Fmt.pr "-- logical plan@.%s@.-- optimized plan@.%s@." logical optimized;
+      exit 0
+    | Ok (Flex_sql.Ast.Query _) | Error _ -> ());
     let options =
       Flex.options ~epsilon ~delta ~public_optimization:(not no_public) ()
     in
     let rng = Rng.create ~seed () in
-    match Flex.run_sql ~rng ~options ~db ~metrics:m sql with
+    match Flex.run_sql ~optimize ~rng ~options ~db ~metrics:m sql with
     | Error r ->
       if report then Fmt.epr "%s@." (Flex_core.Report.of_rejection ~sql r)
       else Fmt.epr "rejected: %s@." (Flex_core.Errors.to_string r);
@@ -180,22 +187,36 @@ let run_cmd =
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write CSV here.")
   in
+  let optimize =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:
+            "Execute through the cost-based plan optimizer (metrics double as \
+             cardinality statistics); the privacy analysis is unaffected.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Answer a SQL query with differential privacy.")
     Term.(
       const run $ dir $ metrics_file $ epsilon_t $ delta_t $ no_public_opt_t $ seed_t
-      $ output $ report $ sql_t)
+      $ output $ report $ optimize $ sql_t)
 
 (* --- explain -------------------------------------------------------------------- *)
 
 let explain_cmd =
   let run metrics_file epsilon delta sql =
-    (match Flex_engine.Plan.explain_sql sql with
-    | Ok plan ->
-      Fmt.pr "plan:@.%s" plan
-    | Error e ->
-      Fmt.epr "parse error: %s@." e;
-      exit 1);
+    (* accept both [explain "SELECT ..."] and [explain "EXPLAIN SELECT ..."] *)
+    (match Flex_sql.Parser.parse_statement sql with
+    | Ok (Flex_sql.Ast.Query q | Flex_sql.Ast.Explain q) ->
+      let metrics = Option.map Metrics.load metrics_file in
+      let logical, optimized = Flex_engine.Optimizer.explain ?metrics q in
+      Fmt.pr "-- logical plan@.%s@.-- optimized plan@.%s" logical optimized
+    | Error _ -> (
+      match Flex_sql.Parser.parse sql with
+      | Ok _ -> assert false
+      | Error e ->
+        Fmt.epr "parse error: %s@." e;
+        exit 1));
     match metrics_file with
     | None -> ()
     | Some f -> (
@@ -219,7 +240,10 @@ let explain_cmd =
           ~doc:"Also report elastic sensitivity using these metrics.")
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Show the logical plan (and optionally the sensitivity) of a query.")
+    (Cmd.info "explain"
+       ~doc:
+         "Show the logical and optimized plans (and optionally the sensitivity) of a \
+          query.")
     Term.(const run $ metrics_file $ epsilon_t $ delta_t $ sql_t)
 
 (* --- budget --------------------------------------------------------------------- *)

@@ -2,6 +2,7 @@
 
      flex_client query  -a alice "SELECT COUNT(*) FROM trips"
      flex_client analyze "SELECT COUNT(*) FROM trips"
+     flex_client explain "SELECT COUNT(*) FROM trips"
      flex_client budget -a alice
      flex_client stats
 
@@ -69,6 +70,8 @@ let print_response (resp : Wire.response) =
         Fmt.pr "  smooth bound S = %g@." c.smooth_bound;
         Fmt.pr "  Laplace noise scale 2S/eps = %g@." c.noise_scale)
       a.columns
+  | Plan_report p ->
+    Fmt.pr "-- logical plan@.%s@.-- optimized plan@.%s@." p.logical p.optimized
   | Rejected r ->
     Fmt.epr "rejected (%s): %s@." r.bucket r.reason;
     exit 1
@@ -146,6 +149,14 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a query with differential privacy, charging the analyst's budget.")
     Term.(const run $ host_t $ port_t $ analyst_t $ epsilon $ delta $ sql_t)
 
+let explain_cmd =
+  let run host port sql =
+    with_conn host port (fun conn -> print_response (roundtrip conn (Wire.Explain { sql })))
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the server's logical and optimized query plans (free).")
+    Term.(const run $ host_t $ port_t $ sql_t)
+
 let analyze_cmd =
   let run host port sql =
     with_conn host port (fun conn -> print_response (roundtrip conn (Wire.Analyze { sql })))
@@ -176,4 +187,4 @@ let () =
   let info =
     Cmd.info "flex_client" ~version:"1.0.0" ~doc:"Client for the flex_serve DP query service."
   in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; analyze_cmd; budget_cmd; stats_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; analyze_cmd; explain_cmd; budget_cmd; stats_cmd ]))

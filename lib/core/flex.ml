@@ -143,8 +143,11 @@ let smooth_columns ~options:opts (analysis : Elastic.analysis) : column_release 
 
 (* Stage 3 — run the unmodified query on the database; [pool] dispatches
    execution onto the engine's morsel-parallel operators. *)
-let execute ?pool ~db (q : Ast.query) : (Executor.result_set, Errors.reason) result =
-  match Executor.run ?pool db q with
+let execute ?pool ?(optimize = false) ?metrics ~db (q : Ast.query) :
+    (Executor.result_set, Errors.reason) result =
+  match
+    if optimize then Executor.run_optimized ?pool ?metrics db q else Executor.run ?pool db q
+  with
   | true_result -> Ok true_result
   | exception Executor.Error m -> Error (Errors.Analysis_error ("execution: " ^ m))
   | exception Flex_engine.Eval.Error m -> Error (Errors.Analysis_error ("evaluation: " ^ m))
@@ -195,12 +198,12 @@ let perturb ~rng ~options:opts ~metrics ~db ~analysis ~column_releases true_resu
     bins_enumerated;
   }
 
-let run ?budget ?pool ~rng ~options:opts ~db ~metrics (q : Ast.query) :
+let run ?budget ?pool ?optimize ~rng ~options:opts ~db ~metrics (q : Ast.query) :
     (release, Errors.reason) result =
   match analyze_ast ~options:opts ~metrics q with
   | Error r -> Error r
   | Ok analysis -> (
-    match execute ?pool ~db q with
+    match execute ?pool ?optimize ~metrics ~db q with
     | Error r -> Error r
     | Ok true_result ->
       let column_releases = smooth_columns ~options:opts analysis in
@@ -215,10 +218,10 @@ let run ?budget ?pool ~rng ~options:opts ~db ~metrics (q : Ast.query) :
       | None -> ());
       Ok (perturb ~rng ~options:opts ~metrics ~db ~analysis ~column_releases true_result))
 
-let run_sql ?budget ?pool ~rng ~options ~db ~metrics sql =
+let run_sql ?budget ?pool ?optimize ~rng ~options ~db ~metrics sql =
   match Flex_sql.Parser.parse sql with
   | Error e -> Error (Errors.Parse_error e)
-  | Ok q -> run ?budget ?pool ~rng ~options ~db ~metrics q
+  | Ok q -> run ?budget ?pool ?optimize ~rng ~options ~db ~metrics q
 
 (* Analysis-only entry point: what the paper's Table 2 times as "Elastic
    Sensitivity Analysis". Returns the smooth bound for each aggregate

@@ -92,10 +92,19 @@ val smooth_columns : options:options -> Elastic.analysis -> column_release list
     on the request's epsilon/delta, so it runs per request. *)
 
 val execute :
-  ?pool:Task_pool.t -> db:Database.t -> Ast.query -> (Executor.result_set, Errors.reason) result
+  ?pool:Task_pool.t ->
+  ?optimize:bool ->
+  ?metrics:Metrics.t ->
+  db:Database.t ->
+  Ast.query ->
+  (Executor.result_set, Errors.reason) result
 (** Stage 3: the unmodified query on the underlying database, engine
     exceptions mapped to typed reasons. [pool] dispatches execution onto the
-    engine's morsel-parallel operators; results are identical either way. *)
+    engine's morsel-parallel operators; results are identical either way.
+    [~optimize:true] (default false) routes execution through
+    {!Optimizer.rewrite}, with [?metrics] doubling as cardinality statistics
+    (paper §3.4). The privacy analysis never sees the rewritten plan: result
+    multisets are identical, so releases differ at most in row order. *)
 
 val perturb :
   rng:Rng.t ->
@@ -112,6 +121,7 @@ val perturb :
 val run :
   ?budget:Budget.t ->
   ?pool:Task_pool.t ->
+  ?optimize:bool ->
   rng:Rng.t ->
   options:options ->
   db:Database.t ->
@@ -126,6 +136,7 @@ val run :
 val run_sql :
   ?budget:Budget.t ->
   ?pool:Task_pool.t ->
+  ?optimize:bool ->
   rng:Rng.t ->
   options:options ->
   db:Database.t ->

@@ -111,6 +111,13 @@ let expand_projections headers (projections : Ast.projection list) =
 let has_aggregate e =
   Ast.fold_expr (fun acc e -> acc || match e with Ast.Agg _ -> true | _ -> false) false e
 
+(* ORDER BY may reference source columns that are not projected (standard
+   SQL). A key is "visible" when it resolves against the output relation
+   and needs no hidden-projection trick. *)
+let order_key_visible (vh : header array) (e : Ast.expr) =
+  (not (has_aggregate e))
+  && List.for_all (fun c -> resolve_opt vh c <> None) (Ast.expr_columns e)
+
 (* Scan-time column pruning (projection pushdown). When a select joins two or
    more relations, base-table scans keep only columns whose name is mentioned
    somewhere in the query (including inside subqueries), so joined rows stay
@@ -278,7 +285,7 @@ and eval_table_ref env ~prune (tr : Ast.table_ref) : vrel =
     let r = eval_table_ref env ~prune right in
     join env kind l r cond
 
-and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
+and join env kind ?(build_left = false) (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
   let headers = Array.append l.vh r.vh in
   let common_columns () =
     let rnames = Array.to_list (Array.map (fun h -> h.name) r.vh) in
@@ -310,31 +317,58 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
   in
   let lw = Array.length l.vh and rw = Array.length r.vh in
   let null_row n = Array.make n Value.Null in
-  let nr = Vec.length r.vr in
   let pool = env.pool in
-  let rmatched = Array.make nr false in
-  let pad = kind = Ast.Left || kind = Ast.Full in
-  (* [probe_left emit]: stream the join output left row by left row,
-     parallelised over morsels of the left relation. [emit lrow push] pushes
-     every match for [lrow] in build order and returns whether any matched;
-     per-chunk outputs are concatenated in chunk order, so the result row
-     order is identical to the sequential left-to-right scan. [rmatched]
+  (* Build/probe orientation. The engine's historical shape probes the left
+     relation against a hash table built on the right; the optimizer's
+     cost model may flip that ([build_left]) when the left input is the
+     estimated-smaller one. Either way output columns stay [left ++ right];
+     with [build_left] the output row order follows the probe (right)
+     relation, which is why optimized plans are compared as multisets. The
+     nested-loop path has no build side and ignores the flag. *)
+  let bl = build_left && kind <> Ast.Cross && keys <> [] in
+  let probe_v = if bl then r.vr else l.vr in
+  let build_v = if bl then l.vr else r.vr in
+  let nb = Vec.length build_v in
+  let bmatched = Array.make nb false in
+  let pad_probe =
+    if bl then kind = Ast.Right || kind = Ast.Full else kind = Ast.Left || kind = Ast.Full
+  in
+  let pad_build =
+    if bl then kind = Ast.Left || kind = Ast.Full else kind = Ast.Right || kind = Ast.Full
+  in
+  let combine : Value.t array -> Value.t array -> Value.t array =
+    if bl then fun prow brow -> Array.append brow prow
+    else fun prow brow -> Array.append prow brow
+  in
+  let pad_probe_row =
+    if bl then fun prow -> Array.append (null_row lw) prow
+    else fun prow -> Array.append prow (null_row rw)
+  in
+  let pad_build_row =
+    if bl then fun brow -> Array.append brow (null_row rw)
+    else fun brow -> Array.append (null_row lw) brow
+  in
+  (* [probe emit]: stream the join output probe row by probe row,
+     parallelised over morsels of the probe relation. [emit prow push]
+     pushes every match for [prow] in build order and returns whether any
+     matched; per-chunk outputs are concatenated in chunk order, so the
+     result row order is identical to the sequential scan. [bmatched]
      writes race benignly across chunks (every write is [true], and reads
      happen only after the pool joins). *)
-  let probe_left (emit : Value.t array -> (Value.t array -> unit) -> bool) :
+  let probe (emit : Value.t array -> (Value.t array -> unit) -> bool) :
       Value.t array Vec.t =
-    let nl = Vec.length l.vr in
+    let np = Vec.length probe_v in
     let chunk lo hi =
       let out = Vec.create () in
       for i = lo to hi - 1 do
-        let lrow = Vec.unsafe_get l.vr i in
-        let matched = emit lrow (Vec.push out) in
-        if (not matched) && pad then Vec.push out (Array.append lrow (null_row rw))
+        let prow = Vec.unsafe_get probe_v i in
+        let matched = emit prow (Vec.push out) in
+        if (not matched) && pad_probe then Vec.push out (pad_probe_row prow)
       done;
       out
     in
-    match Parallel.gather pool nl chunk with
-    | None -> chunk 0 nl
+    match Parallel.gather pool np chunk with
+    | None -> chunk 0 np
     | Some parts -> Vec.concat parts
   in
   let out =
@@ -351,10 +385,10 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
             | Some false | None -> false)
           keys
       in
-      probe_left (fun lrow push ->
+      probe (fun lrow push ->
           let matched = ref false in
-          for ri = 0 to nr - 1 do
-            let rrow = Vec.unsafe_get r.vr ri in
+          for ri = 0 to nb - 1 do
+            let rrow = Vec.unsafe_get build_v ri in
             let ok =
               match cond with
               | Ast.Cond_none -> true
@@ -362,7 +396,7 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
             in
             if ok then begin
               matched := true;
-              rmatched.(ri) <- true;
+              bmatched.(ri) <- true;
               push (Array.append lrow rrow)
             end
           done;
@@ -375,21 +409,21 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
          parallel: all candidates for one key land in one partition, in
          ascending row order, so probes observe exactly the sequential build
          order. *)
-      let lks = Array.of_list (List.map fst keys) in
-      let rks = Array.of_list (List.map snd keys) in
-      let nk = Array.length lks in
+      let pks = Array.of_list (List.map (if bl then snd else fst) keys) in
+      let bks = Array.of_list (List.map (if bl then fst else snd) keys) in
+      let nk = Array.length pks in
       if nk = 1 then begin
       (* single key column (the common case): scalar-keyed table, no per-row
          key array; when the build column holds only small ints (typical id
          join keys), an unboxed int-keyed table cuts hashing cost further *)
-      let lk = lks.(0) and rk = rks.(0) in
+      let pk = pks.(0) and bk = bks.(0) in
       let all_small_int =
         let ok = ref true in
         Vec.iter
           (fun rrow ->
-            let v = rrow.(rk) in
+            let v = rrow.(bk) in
             if not (Value.is_null v || Row_table.small_int_key v) then ok := false)
-          r.vr;
+          build_v;
         !ok
       in
       (* [iter_candidates v f] applies [f] to the build-side row indices whose
@@ -399,26 +433,26 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
           let lo = ref max_int and hi = ref min_int and nkeys = ref 0 in
           Vec.iter
             (fun rrow ->
-              match rrow.(rk) with
+              match rrow.(bk) with
               | Value.Int k ->
                 incr nkeys;
                 if k < !lo then lo := k;
                 if k > !hi then hi := k
               | _ -> ())
-            r.vr;
+            build_v;
           let lo = !lo and hi = !hi in
           let range = if !nkeys = 0 then 0 else hi - lo + 1 in
-          if range > 0 && range <= max 1024 (8 * nr) then begin
+          if range > 0 && range <= max 1024 (8 * nb) then begin
             (* dense id keys: counting-sort buckets, no hashing at all.
                [starts] is the exclusive prefix sum of per-key counts;
                [items] holds build row indices grouped by key, in row order. *)
             let starts = Array.make (range + 1) 0 in
             Vec.iter
               (fun rrow ->
-                match rrow.(rk) with
+                match rrow.(bk) with
                 | Value.Int k -> starts.(k - lo + 1) <- starts.(k - lo + 1) + 1
                 | _ -> ())
-              r.vr;
+              build_v;
             for i = 1 to range do
               starts.(i) <- starts.(i) + starts.(i - 1)
             done;
@@ -426,13 +460,13 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
             let fill = Array.sub starts 0 range in
             Vec.iteri
               (fun ri rrow ->
-                match rrow.(rk) with
+                match rrow.(bk) with
                 | Value.Int k ->
                   let b = k - lo in
                   items.(fill.(b)) <- ri;
                   fill.(b) <- fill.(b) + 1
                 | _ -> ())
-              r.vr;
+              build_v;
             fun v f ->
               match Row_table.int_key_of v with
               | Some k when k >= lo && k <= hi ->
@@ -441,7 +475,7 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
                 done
               | _ -> ()
           end
-          else if Parallel.parallel_worthy pool nr then begin
+          else if Parallel.parallel_worthy pool nb then begin
             (* sparse int keys, large build side: hash-partitioned parallel
                build into per-partition unboxed tables. Each partition's rows
                arrive in ascending row order, so candidate order per key is
@@ -451,19 +485,19 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
             let pidx =
               Parallel.partition ?pool ~partitions:parts
                 (fun ri ->
-                  match (Vec.unsafe_get r.vr ri).(rk) with
+                  match (Vec.unsafe_get build_v ri).(bk) with
                   | Value.Int k -> k land mask
                   | _ -> 0)
-                nr
+                nb
             in
             let tbls =
-              Array.init parts (fun _ -> Row_table.Int_key.create (max 16 (nr / parts)))
+              Array.init parts (fun _ -> Row_table.Int_key.create (max 16 (nb / parts)))
             in
             Parallel.tasks pool ~n:parts (fun p ->
                 let tbl = tbls.(p) in
                 Vec.iter
                   (fun ri ->
-                    match (Vec.unsafe_get r.vr ri).(rk) with
+                    match (Vec.unsafe_get build_v ri).(bk) with
                     | Value.Int k -> (
                       match Row_table.Int_key.find_opt tbl k with
                       | Some cell -> Vec.push cell ri
@@ -484,11 +518,11 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
           else begin
             (* sparse int keys: unboxed int-keyed hashtable *)
             let tbl : int Vec.t Row_table.Int_key.t =
-              Row_table.Int_key.create (max 16 nr)
+              Row_table.Int_key.create (max 16 nb)
             in
             Vec.iteri
               (fun ri rrow ->
-                match rrow.(rk) with
+                match rrow.(bk) with
                 | Value.Int k -> (
                   match Row_table.Int_key.find_opt tbl k with
                   | Some cell -> Vec.push cell ri
@@ -497,7 +531,7 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
                     Vec.push cell ri;
                     Row_table.Int_key.replace tbl k cell)
                 | _ -> ())
-              r.vr;
+              build_v;
             fun v f ->
               match Row_table.int_key_of v with
               | None -> ()
@@ -507,7 +541,7 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
                 | Some cell -> Vec.iter f cell)
           end
         end
-        else if Parallel.parallel_worthy pool nr then begin
+        else if Parallel.parallel_worthy pool nb then begin
           (* general scalar keys, large build side: hash-partitioned parallel
              build. Partitioning uses {!Value.hash} — consistent with SQL
              equality (Int 2 = Float 2.0), so probe and build always agree on
@@ -517,18 +551,18 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
           let pidx =
             Parallel.partition ?pool ~partitions:parts
               (fun ri ->
-                let v = (Vec.unsafe_get r.vr ri).(rk) in
+                let v = (Vec.unsafe_get build_v ri).(bk) in
                 if Value.is_null v then 0 else Value.hash v land mask)
-              nr
+              nb
           in
           let tbls =
-            Array.init parts (fun _ -> Row_table.Scalar.create (max 16 (nr / parts)))
+            Array.init parts (fun _ -> Row_table.Scalar.create (max 16 (nb / parts)))
           in
           Parallel.tasks pool ~n:parts (fun p ->
               let tbl = tbls.(p) in
               Vec.iter
                 (fun ri ->
-                  let v = (Vec.unsafe_get r.vr ri).(rk) in
+                  let v = (Vec.unsafe_get build_v ri).(bk) in
                   if not (Value.is_null v) then
                     match Row_table.Scalar.find_opt tbl v with
                     | Some cell -> Vec.push cell ri
@@ -544,11 +578,11 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
         end
         else begin
           let tbl : int Vec.t Row_table.Scalar.t =
-            Row_table.Scalar.create (max 16 nr)
+            Row_table.Scalar.create (max 16 nb)
           in
           Vec.iteri
             (fun ri rrow ->
-              let v = rrow.(rk) in
+              let v = rrow.(bk) in
               if not (Value.is_null v) then
                 match Row_table.Scalar.find_opt tbl v with
                 | Some cell -> Vec.push cell ri
@@ -556,23 +590,23 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
                   let cell = Vec.create () in
                   Vec.push cell ri;
                   Row_table.Scalar.replace tbl v cell)
-            r.vr;
+            build_v;
           fun v f ->
             match Row_table.Scalar.find_opt tbl v with
             | None -> ()
             | Some cell -> Vec.iter f cell
         end
       in
-      probe_left (fun lrow push ->
+      probe (fun prow push ->
           let matched = ref false in
-          let v = lrow.(lk) in
+          let v = prow.(pk) in
           (* NULL keys never match *)
           if not (Value.is_null v) then
             iter_candidates v (fun ri ->
-                let combined = Array.append lrow (Vec.unsafe_get r.vr ri) in
+                let combined = combine prow (Vec.unsafe_get build_v ri) in
                 if residual_ok combined then begin
                   matched := true;
-                  rmatched.(ri) <- true;
+                  bmatched.(ri) <- true;
                   push combined
                 end);
           !matched)
@@ -594,20 +628,20 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
         go 0
       in
       let find_candidates : Value.t array -> int Vec.t option =
-        if Parallel.parallel_worthy pool nr then begin
+        if Parallel.parallel_worthy pool nb then begin
           (* large build side: extract key tuples in parallel, hash-partition
              by {!Row_table.Key.hash} (consistent with the table's equality),
              build per-partition tables in parallel *)
-          let rkeys = Array.make nr [||] in
+          let rkeys = Array.make nb [||] in
           (* [[||]] marks a NULL in some key column: never inserted *)
           let fill lo hi =
             for ri = lo to hi - 1 do
               let k = Array.make nk Value.Null in
-              if extract_into k rks (Vec.unsafe_get r.vr ri) then rkeys.(ri) <- k
+              if extract_into k bks (Vec.unsafe_get build_v ri) then rkeys.(ri) <- k
             done
           in
-          (match Parallel.gather pool nr fill with
-          | None -> fill 0 nr
+          (match Parallel.gather pool nb fill with
+          | None -> fill 0 nb
           | Some (_ : unit array) -> ());
           let parts = Parallel.partition_count pool in
           let mask = parts - 1 in
@@ -616,9 +650,9 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
               (fun ri ->
                 let k = rkeys.(ri) in
                 if Array.length k = 0 then 0 else Row_table.Key.hash k land mask)
-              nr
+              nb
           in
-          let tbls = Array.init parts (fun _ -> Row_table.create (max 16 (nr / parts))) in
+          let tbls = Array.init parts (fun _ -> Row_table.create (max 16 (nb / parts))) in
           Parallel.tasks pool ~n:parts (fun p ->
               let tbl = tbls.(p) in
               Vec.iter
@@ -635,45 +669,44 @@ and join env kind (l : vrel) (r : vrel) (cond : Ast.join_cond) : vrel =
           fun key -> Row_table.find_opt tbls.(Row_table.Key.hash key land mask) key
         end
         else begin
-          let tbl : int Vec.t Row_table.t = Row_table.create (max 16 nr) in
+          let tbl : int Vec.t Row_table.t = Row_table.create (max 16 nb) in
           let scratch = Array.make nk Value.Null in
           Vec.iteri
             (fun ri rrow ->
-              if extract_into scratch rks rrow then
+              if extract_into scratch bks rrow then
                 match Row_table.find_opt tbl scratch with
                 | Some cell -> Vec.push cell ri
                 | None ->
                   let cell = Vec.create () in
                   Vec.push cell ri;
                   Row_table.replace tbl (Array.copy scratch) cell)
-            r.vr;
+            build_v;
           fun key -> Row_table.find_opt tbl key
         end
       in
-      probe_left (fun lrow push ->
+      probe (fun prow push ->
           let matched = ref false in
           let scratch = Array.make nk Value.Null in
-          (if extract_into scratch lks lrow then
+          (if extract_into scratch pks prow then
              match find_candidates scratch with
              | None -> ()
              | Some candidates ->
                Vec.iter
                  (fun ri ->
-                   let combined = Array.append lrow (Vec.unsafe_get r.vr ri) in
+                   let combined = combine prow (Vec.unsafe_get build_v ri) in
                    if residual_ok combined then begin
                      matched := true;
-                     rmatched.(ri) <- true;
+                     bmatched.(ri) <- true;
                      push combined
                    end)
                  candidates);
           !matched)
     end
   in
-  if kind = Ast.Right || kind = Ast.Full then
+  if pad_build then
     Vec.iteri
-      (fun ri rrow ->
-        if not rmatched.(ri) then Vec.push out (Array.append (null_row lw) rrow))
-      r.vr;
+      (fun ri rrow -> if not bmatched.(ri) then Vec.push out (pad_build_row rrow))
+      build_v;
   { vh = headers; vr = out }
 
 (* --- select evaluation ----------------------------------------------------- *)
@@ -690,23 +723,32 @@ and cross_all env ~prune = function
 
 and eval_select env (s : Ast.select) : vrel =
   let source = cross_all env ~prune:(prune_of_select s) s.from in
+  select_tail env source ~where:s.where ~projections:s.projections ~group_by:s.group_by
+    ~having:s.having ~distinct:s.distinct
+
+(* The select pipeline after the source relation is materialised: WHERE
+   filter, projection or grouping/aggregation, HAVING, DISTINCT. Shared by
+   the AST path ({!eval_select}) and the plan path ({!eval_select_plan}). *)
+and select_tail env (source : vrel) ~(where : Ast.expr option)
+    ~(projections : Ast.projection list) ~(group_by : Ast.expr list)
+    ~(having : Ast.expr option) ~distinct : vrel =
   let filtered =
-    match s.where with
+    match where with
     | None -> source.vr
     | Some pred ->
       let cp = compile_expr env source.vh pred in
       Parallel.filter ?pool:env.pool (fun row -> Eval.is_truthy (cp row)) source.vr
   in
-  let projections = expand_projections source.vh s.projections in
+  let projections = expand_projections source.vh projections in
   let any_agg =
     List.exists (fun (e, _) -> has_aggregate e) projections
-    || (match s.having with Some h -> has_aggregate h | None -> false)
+    || (match having with Some h -> has_aggregate h | None -> false)
   in
   let out_headers =
     Array.of_list (List.map (fun (_, name) -> { alias = None; name }) projections)
   in
   let rows =
-    if s.group_by = [] && not any_agg then begin
+    if group_by = [] && not any_agg then begin
       (* plain projection *)
       let cps =
         Array.of_list (List.map (fun (e, _) -> compile_expr env source.vh e) projections)
@@ -716,7 +758,7 @@ and eval_select env (s : Ast.select) : vrel =
     else begin
       (* grouped path; an aggregate query without GROUP BY is a single group *)
       let pool = env.pool in
-      let kcs = Array.of_list (List.map (compile_expr env source.vh) s.group_by) in
+      let kcs = Array.of_list (List.map (compile_expr env source.vh) group_by) in
       let nfiltered = Vec.length filtered in
       let in_order : Value.t array Vec.t Vec.t = Vec.create () in
       (if Array.length kcs = 0 then
@@ -846,7 +888,7 @@ and eval_select env (s : Ast.select) : vrel =
          group; the sequential path compiles exactly once, as before. *)
       let finalize lo hi =
         let slots = Compiled.make_slots () in
-        let chaving = Option.map (compile_expr env source.vh ~agg:slots) s.having in
+        let chaving = Option.map (compile_expr env source.vh ~agg:slots) having in
         let cps =
           Array.of_list
             (List.map (fun (e, _) -> compile_expr env source.vh ~agg:slots e) projections)
@@ -879,23 +921,20 @@ and eval_select env (s : Ast.select) : vrel =
       | Some parts -> Vec.concat parts
     end
   in
-  let rows = if s.distinct then Row_table.dedupe_rows rows else rows in
+  let rows = if distinct then Row_table.dedupe_rows rows else rows in
   { vh = out_headers; vr = rows }
 
 (* --- set operations --------------------------------------------------------- *)
 
-and eval_body env (b : Ast.body) : vrel =
-  match b with
-  | Ast.Select s -> eval_select env s
-  | Ast.Union { all; left; right } ->
-    let l = eval_body env left and r = eval_body env right in
+and set_op_rel (op : Plan.set_op) ~all (l : vrel) (r : vrel) : vrel =
+  match op with
+  | Plan.Union ->
     check_arity "UNION" l r;
     let out = Vec.create () in
     Vec.iter (Vec.push out) l.vr;
     Vec.iter (Vec.push out) r.vr;
     { vh = l.vh; vr = (if all then out else Row_table.dedupe_rows out) }
-  | Ast.Except { all; left; right } ->
-    let l = eval_body env left and r = eval_body env right in
+  | Plan.Except ->
     check_arity "EXCEPT" l r;
     if all then begin
       (* bag difference *)
@@ -919,8 +958,7 @@ and eval_body env (b : Ast.body) : vrel =
       in
       { vh = l.vh; vr = rows }
     end
-  | Ast.Intersect { all; left; right } ->
-    let l = eval_body env left and r = eval_body env right in
+  | Plan.Intersect ->
     check_arity "INTERSECT" l r;
     let counts = Row_table.counts_of r.vr in
     if all then begin
@@ -943,44 +981,53 @@ and eval_body env (b : Ast.body) : vrel =
       { vh = l.vh; vr = rows }
     end
 
+and eval_body env (b : Ast.body) : vrel =
+  match b with
+  | Ast.Select s -> eval_select env s
+  | Ast.Union { all; left; right } ->
+    let l = eval_body env left and r = eval_body env right in
+    set_op_rel Plan.Union ~all l r
+  | Ast.Except { all; left; right } ->
+    let l = eval_body env left and r = eval_body env right in
+    set_op_rel Plan.Except ~all l r
+  | Ast.Intersect { all; left; right } ->
+    let l = eval_body env left and r = eval_body env right in
+    set_op_rel Plan.Intersect ~all l r
+
 (* --- full queries ------------------------------------------------------------ *)
+
+and bind_cte env ~name ~columns (r : vrel) : env =
+  let r =
+    if columns = [] then r
+    else begin
+      if List.length columns <> Array.length r.vh then
+        error "CTE %s column list arity mismatch" name;
+      {
+        r with
+        vh =
+          Array.of_list
+            (List.map (fun n -> { alias = None; name = String.lowercase_ascii n }) columns);
+      }
+    end
+  in
+  { env with ctes = (String.lowercase_ascii name, r) :: env.ctes }
 
 and eval_query env (q : Ast.query) : vrel =
   let env =
     List.fold_left
       (fun env (cte : Ast.cte) ->
-        let r = eval_query env cte.cte_query in
-        let r =
-          if cte.cte_columns = [] then r
-          else begin
-            if List.length cte.cte_columns <> Array.length r.vh then
-              error "CTE %s column list arity mismatch" cte.cte_name;
-            {
-              r with
-              vh =
-                Array.of_list
-                  (List.map
-                     (fun n -> { alias = None; name = String.lowercase_ascii n })
-                     cte.cte_columns);
-            }
-          end
-        in
-        { env with ctes = (String.lowercase_ascii cte.cte_name, r) :: env.ctes })
+        bind_cte env ~name:cte.cte_name ~columns:cte.cte_columns
+          (eval_query env cte.cte_query))
       env q.ctes
   in
-  (* ORDER BY may reference source columns that are not projected (standard
-     SQL). When an order key does not resolve against the output relation,
+  (* When an order key does not resolve against the output relation,
      re-evaluate the select with the key appended as a hidden projection,
      sort, and strip the extra columns. Not available under DISTINCT, where
      SQL itself requires order keys to be projected. *)
   let r = eval_body env q.body in
-  let order_key_visible (r : vrel) (e : Ast.expr) =
-    (not (has_aggregate e))
-    && List.for_all (fun c -> resolve_opt r.vh c <> None) (Ast.expr_columns e)
-  in
   let visible = Array.length r.vh in
   let r, order_by =
-    if q.order_by = [] || List.for_all (fun (e, _) -> order_key_visible r e) q.order_by
+    if q.order_by = [] || List.for_all (fun (e, _) -> order_key_visible r.vh e) q.order_by
     then (r, q.order_by)
     else
       match q.body with
@@ -989,7 +1036,7 @@ and eval_query env (q : Ast.query) : vrel =
         let order_by =
           List.mapi
             (fun i (e, dir) ->
-              if order_key_visible r e then (e, dir)
+              if order_key_visible r.vh e then (e, dir)
               else begin
                 let name = Fmt.str "_ord%d" i in
                 hidden := Ast.Proj_expr (e, Some name) :: !hidden;
@@ -1003,6 +1050,13 @@ and eval_query env (q : Ast.query) : vrel =
         (extended, order_by)
       | _ -> (r, q.order_by)
   in
+  sort_slice env r ~order_by ~limit:q.limit ~offset:q.offset ~visible
+
+(* Decorate-sort-undecorate, hidden-column strip, and OFFSET/LIMIT slice —
+   the tail every full query (AST or plan) runs through. [visible] is the
+   projected width before hidden order keys were appended. *)
+and sort_slice env (r : vrel) ~(order_by : (Ast.expr * Ast.order_dir) list)
+    ~(limit : int option) ~(offset : int option) ~visible : vrel =
   let r =
     if order_by = [] then r
     else begin
@@ -1045,10 +1099,10 @@ and eval_query env (q : Ast.query) : vrel =
            under a LIMIT that keeps fewer rows than exist, select instead of
            sorting everything *)
         let wanted =
-          match q.limit with
+          match limit with
           | None -> None
           | Some l ->
-            let k = max 0 (Option.value q.offset ~default:0) + max 0 l in
+            let k = max 0 (Option.value offset ~default:0) + max 0 l in
             if k < n then Some k else None
         in
         match wanted with
@@ -1067,23 +1121,156 @@ and eval_query env (q : Ast.query) : vrel =
     else
       { vh = Array.sub r.vh 0 visible; vr = Vec.map (fun row -> Array.sub row 0 visible) r.vr }
   in
-  let vr = Vec.slice r.vr ~offset:(Option.value q.offset ~default:0) ~limit:q.limit in
+  let vr = Vec.slice r.vr ~offset:(Option.value offset ~default:0) ~limit in
   { r with vr }
+
+(* --- logical-plan evaluation ------------------------------------------------- *)
+
+(* Scan pruning over a plan source, mirroring {!prune_of_select}: only when
+   the source tree actually joins (a pushed-down [Filter] over a single scan
+   does not narrow anything worth the copy). Filter predicates and join
+   conditions contribute to the kept-name set, so pushed predicates never
+   lose their columns. *)
+and prune_of_select_plan (sp : Plan.select_plan) : prune option =
+  let rec has_join = function
+    | Plan.Join _ -> true
+    | Plan.Filter { input; _ } -> has_join input
+    | Plan.Scan _ | Plan.Derived _ -> false
+  in
+  let multi = match sp.source with None -> false | Some rel -> has_join rel in
+  if not multi then None
+  else begin
+    let exception Keep_all in
+    let keep_names = Hashtbl.create 32 and keep_whole = Hashtbl.create 4 in
+    let add_ref (c : Ast.col_ref) =
+      Hashtbl.replace keep_names (String.lowercase_ascii c.column) ()
+    in
+    let add_expr e = List.iter add_ref (Ast.deep_expr_columns e) in
+    try
+      List.iter
+        (function
+          | Ast.Proj_star -> raise Keep_all
+          | Ast.Proj_table_star t ->
+            Hashtbl.replace keep_whole (String.lowercase_ascii t) ()
+          | Ast.Proj_expr (e, _) -> add_expr e)
+        sp.projections;
+      Option.iter add_expr sp.where;
+      List.iter add_expr sp.group_by;
+      Option.iter add_expr sp.having;
+      let rec walk = function
+        | Plan.Scan _ -> ()
+        | Plan.Derived { plan; _ } -> List.iter add_ref (Plan.columns_of_plan plan)
+        | Plan.Filter { pred; input } ->
+          add_expr pred;
+          walk input
+        | Plan.Join { cond; left; right; _ } ->
+          (match cond with
+          | Ast.On e -> add_expr e
+          | Ast.Using cols ->
+            List.iter
+              (fun c -> Hashtbl.replace keep_names (String.lowercase_ascii c) ())
+              cols
+          | Ast.Natural -> raise Keep_all (* needs both sides' full column lists *)
+          | Ast.Cond_none -> ());
+          walk left;
+          walk right
+      in
+      Option.iter walk sp.source;
+      Some { keep_names; keep_whole }
+    with Keep_all -> None
+  end
+
+and eval_rel env ~prune (r : Plan.rel) : vrel =
+  match r with
+  | Plan.Scan { table; alias } -> (
+    match List.assoc_opt (String.lowercase_ascii table) env.ctes with
+    | Some r -> requalify alias r
+    | None -> (
+      match Database.find_opt env.db table with
+      | Some t -> rel_of_table ~alias:(Some alias) ~prune t
+      | None -> error "unknown table %s" table))
+  | Plan.Derived { plan; alias } -> requalify alias (eval_plan env plan)
+  | Plan.Filter { pred; input } ->
+    let i = eval_rel env ~prune input in
+    let cp = compile_expr env i.vh pred in
+    { i with vr = Parallel.filter ?pool:env.pool (fun row -> Eval.is_truthy (cp row)) i.vr }
+  | Plan.Join { kind; cond; build_left; left; right } ->
+    let l = eval_rel env ~prune left in
+    let r = eval_rel env ~prune right in
+    join env kind ~build_left l r cond
+
+and eval_select_plan env (sp : Plan.select_plan) : vrel =
+  let source =
+    match sp.source with
+    | None -> { vh = [||]; vr = Vec.of_list [ [||] ] } (* FROM-less SELECT *)
+    | Some rel -> eval_rel env ~prune:(prune_of_select_plan sp) rel
+  in
+  select_tail env source ~where:sp.where ~projections:sp.projections ~group_by:sp.group_by
+    ~having:sp.having ~distinct:sp.distinct
+
+and eval_body_plan env (b : Plan.body_plan) : vrel =
+  match b with
+  | Plan.Plan_select sp -> eval_select_plan env sp
+  | Plan.Plan_set { op; all; left; right } ->
+    let l = eval_body_plan env left and r = eval_body_plan env right in
+    set_op_rel op ~all l r
+
+and eval_plan env (p : Plan.t) : vrel =
+  let env =
+    List.fold_left
+      (fun env (name, columns, body) -> bind_cte env ~name ~columns (eval_plan env body))
+      env p.ctes
+  in
+  let r = eval_body_plan env p.body in
+  let visible = Array.length r.vh in
+  let r, order_by =
+    if p.order_by = [] || List.for_all (fun (e, _) -> order_key_visible r.vh e) p.order_by
+    then (r, p.order_by)
+    else
+      match p.body with
+      | Plan.Plan_select sp when not sp.distinct ->
+        let hidden = ref [] in
+        let order_by =
+          List.mapi
+            (fun i (e, dir) ->
+              if order_key_visible r.vh e then (e, dir)
+              else begin
+                let name = Fmt.str "_ord%d" i in
+                hidden := Ast.Proj_expr (e, Some name) :: !hidden;
+                (Ast.Col { Ast.table = None; column = name }, dir)
+              end)
+            p.order_by
+        in
+        let extended =
+          eval_select_plan env { sp with projections = sp.projections @ List.rev !hidden }
+        in
+        (extended, order_by)
+      | _ -> (r, p.order_by)
+  in
+  sort_slice env r ~order_by ~limit:p.limit ~offset:p.offset ~visible
 
 (* --- public API ----------------------------------------------------------------- *)
 
 let run ?pool db (q : Ast.query) : result_set =
   to_result (eval_query { db; ctes = []; outer = []; pool } q)
 
-let run_sql ?pool db sql : (result_set, string) result =
+let run_plan ?pool db (p : Plan.t) : result_set =
+  to_result (eval_plan { db; ctes = []; outer = []; pool } p)
+
+let run_optimized ?pool ?metrics db (q : Ast.query) : result_set =
+  run_plan ?pool db (Optimizer.plan ?metrics q)
+
+let run_sql ?pool ?(optimize = false) ?metrics db sql : (result_set, string) result =
   match Flex_sql.Parser.parse sql with
   | Stdlib.Error e -> Stdlib.Error e
   | Stdlib.Ok q -> (
-    match run ?pool db q with
+    match if optimize then run_optimized ?pool ?metrics db q else run ?pool db q with
     | r -> Stdlib.Ok r
     | exception Error msg -> Stdlib.Error ("execution error: " ^ msg)
     | exception Eval.Error msg -> Stdlib.Error ("evaluation error: " ^ msg)
     | exception Aggregate.Error msg -> Stdlib.Error ("aggregation error: " ^ msg))
 
-let run_sql_exn ?pool db sql =
-  match run_sql ?pool db sql with Stdlib.Ok r -> r | Stdlib.Error e -> error "%s" e
+let run_sql_exn ?pool ?optimize ?metrics db sql =
+  match run_sql ?pool ?optimize ?metrics db sql with
+  | Stdlib.Ok r -> r
+  | Stdlib.Error e -> error "%s" e

@@ -40,10 +40,36 @@ val run : ?pool:Task_pool.t -> Database.t -> Ast.query -> result_set
     errors: unknown tables or columns, arity mismatches, aggregates outside
     grouping. *)
 
-val run_sql : ?pool:Task_pool.t -> Database.t -> string -> (result_set, string) result
-(** Parse and run; all failures as [Error message]. *)
+val run_plan : ?pool:Task_pool.t -> Database.t -> Plan.t -> result_set
+(** Execute a logical plan through the same compiled operators as {!run}.
+    [run_plan (Plan.of_query q) ≡ run q] bit-for-bit; optimized plans
+    ({!Optimizer.rewrite}) may permute row order (hash-join build-side
+    swaps and join reorder follow the probe relation's order), so results
+    compare as multisets. *)
 
-val run_sql_exn : ?pool:Task_pool.t -> Database.t -> string -> result_set
+val run_optimized :
+  ?pool:Task_pool.t -> ?metrics:Metrics.t -> Database.t -> Ast.query -> result_set
+(** [run_plan db (Optimizer.plan ?metrics q)] — same result multiset as
+    [run db q]; row order may differ when the optimizer reorders joins or
+    swaps hash-join build sides. *)
+
+val run_sql :
+  ?pool:Task_pool.t ->
+  ?optimize:bool ->
+  ?metrics:Metrics.t ->
+  Database.t ->
+  string ->
+  (result_set, string) result
+(** Parse and run; all failures as [Error message]. [~optimize:true]
+    (default false) routes through {!run_optimized}. *)
+
+val run_sql_exn :
+  ?pool:Task_pool.t ->
+  ?optimize:bool ->
+  ?metrics:Metrics.t ->
+  Database.t ->
+  string ->
+  result_set
 
 val resolve_opt : header array -> Ast.col_ref -> int option
 (** Column resolution: qualified references match the alias; unqualified

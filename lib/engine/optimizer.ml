@@ -1,0 +1,1218 @@
+module Ast = Flex_sql.Ast
+
+(* Rule-based + cost-based rewriting of logical plans ({!Plan.t}).
+
+   The logical phase is semantics-preserving under SQL 3-valued logic:
+   constant folding (only identities that never drop a runtime-error site),
+   single-use CTE inlining, outer-join -> inner-join reduction on
+   null-rejecting WHERE conjuncts, trivially-false short-circuit, conjunct
+   splitting with predicate pushdown through joins and into derived tables,
+   and projection pruning inside derived tables.
+
+   The physical phase consumes {!Metrics} as optimizer statistics — the same
+   per-table row counts and max-frequency [mf] bounds the paper collects for
+   elastic sensitivity (§3.4) double as cardinality statistics: [mf] is
+   exactly the worst-case per-key join fanout. It greedily reorders
+   inner-join chains by estimated output cardinality and picks each hash
+   join's build side.
+
+   The optimizer is invisible to the privacy analysis by construction:
+   {!Flex} always analyses the original AST and only execution consumes the
+   rewritten plan. *)
+
+module SS = Set.Make (String)
+
+let lc = String.lowercase_ascii
+
+(* --- small AST utilities ----------------------------------------------------- *)
+
+let and_all = function
+  | [] -> Ast.Lit (Ast.Bool true)
+  | e :: rest -> List.fold_left (fun acc e -> Ast.Binop (Ast.And, acc, e)) e rest
+
+let has_subquery e = Ast.expr_subqueries e <> []
+
+let has_agg e =
+  Ast.fold_expr (fun a e -> a || match e with Ast.Agg _ -> true | _ -> false) false e
+
+let is_false_lit = function Ast.Lit (Ast.Bool false) | Ast.Lit Ast.Null -> true | _ -> false
+
+let map_children f (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Lit _ | Ast.Col _ | Ast.Exists _ | Ast.Scalar_subquery _ -> e
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, f a, f b)
+  | Ast.Unop (op, a) -> Ast.Unop (op, f a)
+  | Ast.Agg { func; distinct; arg } ->
+    Ast.Agg
+      {
+        func;
+        distinct;
+        arg = (match arg with Ast.Star -> Ast.Star | Ast.Arg e -> Ast.Arg (f e));
+      }
+  | Ast.Func (name, args) -> Ast.Func (name, List.map f args)
+  | Ast.Case { operand; branches; else_ } ->
+    Ast.Case
+      {
+        operand = Option.map f operand;
+        branches = List.map (fun (a, b) -> (f a, f b)) branches;
+        else_ = Option.map f else_;
+      }
+  | Ast.In { subject; negated; set } ->
+    Ast.In
+      {
+        subject = f subject;
+        negated;
+        set =
+          (match set with
+          | Ast.In_list es -> Ast.In_list (List.map f es)
+          | Ast.In_query q -> Ast.In_query q);
+      }
+  | Ast.Between { subject; negated; lo; hi } ->
+    Ast.Between { subject = f subject; negated; lo = f lo; hi = f hi }
+  | Ast.Like { subject; negated; pattern } ->
+    Ast.Like { subject = f subject; negated; pattern = f pattern }
+  | Ast.Is_null { subject; negated } -> Ast.Is_null { subject = f subject; negated }
+  | Ast.Cast (e, ty) -> Ast.Cast (f e, ty)
+
+(* --- constant folding -------------------------------------------------------- *)
+
+let lit_of_value : Value.t -> Ast.lit = function
+  | Value.Null -> Ast.Null
+  | Value.Bool b -> Ast.Bool b
+  | Value.Int i -> Ast.Int i
+  | Value.Float f -> Ast.Float f
+  | Value.String s -> Ast.String s
+
+(* Closed = no columns, aggregates or subqueries anywhere: the node computes
+   the same value on every row, so it can be evaluated once at plan time.
+   Division by zero is safe to fold ({!Eval.divide} returns NULL, it does not
+   raise); anything that does raise keeps its original node so the runtime
+   error survives. *)
+let closed e =
+  (not (has_agg e)) && Ast.expr_subqueries e = [] && Ast.expr_columns e = []
+
+let eval_closed e =
+  (Compiled.compile ~subquery:(fun _ _ -> (0, [])) ~headers:[||] ~outer:[] e) [||]
+
+let rec fold_const (e : Ast.expr) : Ast.expr =
+  let e = map_children fold_const e in
+  match e with
+  | Ast.Lit _ -> e
+  (* 3VL identities that only drop a literal (never a possibly-erroring
+     operand): TRUE is neutral for AND, FALSE for OR. Absorption
+     (FALSE AND x -> FALSE) is deliberately not applied because the engine
+     evaluates both operands. *)
+  | Ast.Binop (Ast.And, Ast.Lit (Ast.Bool true), x)
+  | Ast.Binop (Ast.And, x, Ast.Lit (Ast.Bool true))
+  | Ast.Binop (Ast.Or, Ast.Lit (Ast.Bool false), x)
+  | Ast.Binop (Ast.Or, x, Ast.Lit (Ast.Bool false)) ->
+    x
+  | e when closed e -> ( try Ast.Lit (lit_of_value (eval_closed e)) with _ -> e)
+  | e -> e
+
+(* --- schema context ---------------------------------------------------------- *)
+
+(* What the optimizer knows about the shape of relations: base-table columns
+   come from {!Metrics} (when registered), CTE and derived-table columns from
+   their projection lists. [None] = unknown schema, which disables any rule
+   whose soundness depends on resolving an unqualified column reference. *)
+type ctx = {
+  metrics : Metrics.t option;
+  ctes : (string * string list option) list; (* innermost first, lowercased *)
+}
+
+let proj_name (e : Ast.expr) (alias : string option) =
+  match alias with
+  | Some a -> lc a
+  | None -> (
+    match e with
+    | Ast.Col c -> lc c.column
+    | Ast.Agg { func; _ } -> Ast.agg_func_name func
+    | _ -> "expr")
+
+let rec output_names_of_body (b : Plan.body_plan) : string list option =
+  match b with
+  | Plan.Plan_set { left; _ } -> output_names_of_body left
+  | Plan.Plan_select sp ->
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | Ast.Proj_expr (e, alias) :: rest -> go (proj_name e alias :: acc) rest
+      | (Ast.Proj_star | Ast.Proj_table_star _) :: _ -> None
+    in
+    go [] sp.projections
+
+let output_names_of_plan (p : Plan.t) = output_names_of_body p.body
+
+let table_columns ctx table =
+  match List.assoc_opt (lc table) ctx.ctes with
+  | Some cols -> cols
+  | None -> (
+    match ctx.metrics with
+    | None -> None
+    | Some m -> (
+      match Metrics.columns m ~table with
+      | [] -> (
+        match Metrics.columns m ~table:(lc table) with
+        | [] -> None
+        | cs -> Some (List.map lc cs))
+      | cs -> Some (List.map lc cs)))
+
+type leaf = { lalias : string; lcols : string list option }
+
+let rec leaves_of_rel ctx (r : Plan.rel) : leaf list =
+  match r with
+  | Plan.Scan { table; alias } -> [ { lalias = lc alias; lcols = table_columns ctx table } ]
+  | Plan.Derived { plan; alias } ->
+    [ { lalias = lc alias; lcols = output_names_of_plan plan } ]
+  | Plan.Filter { input; _ } -> leaves_of_rel ctx input
+  | Plan.Join { left; right; _ } -> leaves_of_rel ctx left @ leaves_of_rel ctx right
+
+(* Which leaf relations does [e] reference? [Some (locals, all_local)]:
+   [locals] are the referenced leaf aliases; [all_local] is false when some
+   reference resolves outside the leaves (an outer/correlated reference).
+   [None] = classification failed: an unqualified reference hit a leaf with
+   unknown schema before finding its first match, so the executor's
+   first-match resolution cannot be reproduced statically. *)
+let classify ~(leaves : leaf list) (e : Ast.expr) : (SS.t * bool) option =
+  let exception Bail in
+  try
+    let locals = ref SS.empty and all_local = ref true in
+    List.iter
+      (fun (c : Ast.col_ref) ->
+        match c.table with
+        | Some t ->
+          let t = lc t in
+          if List.exists (fun l -> l.lalias = t) leaves then locals := SS.add t !locals
+          else all_local := false
+        | None ->
+          let rec go = function
+            | [] -> all_local := false
+            | l :: rest -> (
+              match l.lcols with
+              | None -> raise Bail
+              | Some cols ->
+                if List.mem (lc c.column) cols then locals := SS.add l.lalias !locals
+                else go rest)
+          in
+          go leaves)
+      (Ast.expr_columns e);
+    Some (!locals, !all_local)
+  with Bail -> None
+
+(* --- null rejection ---------------------------------------------------------- *)
+
+(* [e] is null-rejecting when it cannot be truthy once every column it
+   references is NULL — the padded-row test that legalises outer-join
+   reduction. Tested by actually evaluating the compiled predicate on an
+   all-NULL row; any evaluation error conservatively answers [false]. *)
+let null_rejecting (e : Ast.expr) : bool =
+  has_subquery e = false
+  &&
+  let refs = Ast.expr_columns e in
+  let headers =
+    Array.of_list
+      (List.map
+         (fun (c : Ast.col_ref) ->
+           { Compiled.alias = Option.map lc c.table; name = lc c.column })
+         refs)
+  in
+  try
+    let f = Compiled.compile ~subquery:(fun _ _ -> (0, [])) ~headers ~outer:[] e in
+    not (Eval.is_truthy (f (Array.make (Array.length headers) Value.Null)))
+  with _ -> false
+
+(* --- single-use CTE inlining ------------------------------------------------- *)
+
+(* Reference counts distinguish plan-level [Scan]s (inlinable) from table
+   references inside expression subqueries (which execute through the AST
+   path against [env.ctes], so the binding must survive). Scopes that
+   redeclare the name report an inflated count, which simply blocks
+   inlining. *)
+let refs_in_expr name e =
+  List.fold_left
+    (fun acc q ->
+      acc
+      + List.length (List.filter (fun t -> lc t = name) (Ast.base_tables_of_query q)))
+    0 (Ast.expr_subqueries e)
+
+let rec refs_in_rel name (r : Plan.rel) : int * int =
+  (* (scan refs, subquery refs) *)
+  match r with
+  | Plan.Scan { table; _ } -> ((if lc table = name then 1 else 0), 0)
+  | Plan.Derived { plan; _ } -> refs_in_plan name plan
+  | Plan.Filter { pred; input } ->
+    let s, q = refs_in_rel name input in
+    (s, q + refs_in_expr name pred)
+  | Plan.Join { cond; left; right; _ } ->
+    let sl, ql = refs_in_rel name left in
+    let sr, qr = refs_in_rel name right in
+    let qc = match cond with Ast.On e -> refs_in_expr name e | _ -> 0 in
+    (sl + sr, ql + qr + qc)
+
+and refs_in_select name (sp : Plan.select_plan) =
+  let ex (s, q) e = (s, q + refs_in_expr name e) in
+  let acc =
+    List.fold_left
+      (fun acc p -> match p with Ast.Proj_expr (e, _) -> ex acc e | _ -> acc)
+      (0, 0) sp.projections
+  in
+  let acc = match sp.where with Some e -> ex acc e | None -> acc in
+  let acc = List.fold_left ex acc sp.group_by in
+  let acc = match sp.having with Some e -> ex acc e | None -> acc in
+  match sp.source with
+  | Some r ->
+    let s, q = refs_in_rel name r in
+    (fst acc + s, snd acc + q)
+  | None -> acc
+
+and refs_in_body name (b : Plan.body_plan) =
+  match b with
+  | Plan.Plan_select sp -> refs_in_select name sp
+  | Plan.Plan_set { left; right; _ } ->
+    let sl, ql = refs_in_body name left in
+    let sr, qr = refs_in_body name right in
+    (sl + sr, ql + qr)
+
+and refs_in_plan name (p : Plan.t) : int * int =
+  if List.exists (fun (n, _, _) -> lc n = name) p.ctes then (2, 2) (* shadowed: block *)
+  else begin
+    let acc =
+      List.fold_left
+        (fun (s, q) (_, _, cp) ->
+          let s', q' = refs_in_plan name cp in
+          (s + s', q + q'))
+        (0, 0) p.ctes
+    in
+    let s, q = refs_in_body name p.body in
+    let acc = (fst acc + s, snd acc + q) in
+    List.fold_left (fun (s, q) (e, _) -> (s, q + refs_in_expr name e)) acc p.order_by
+  end
+
+(* Replace the unique [Scan name] with [Derived { plan = inlined }]; respects
+   shadowing the same way the counters do. *)
+let rec replace_scan name inlined (r : Plan.rel) : Plan.rel =
+  match r with
+  | Plan.Scan { table; alias } when lc table = name -> Plan.Derived { plan = inlined; alias }
+  | Plan.Scan _ -> r
+  | Plan.Derived { plan; alias } -> Plan.Derived { plan = replace_in_plan name inlined plan; alias }
+  | Plan.Filter { pred; input } -> Plan.Filter { pred; input = replace_scan name inlined input }
+  | Plan.Join j ->
+    Plan.Join
+      { j with left = replace_scan name inlined j.left; right = replace_scan name inlined j.right }
+
+and replace_in_body name inlined (b : Plan.body_plan) : Plan.body_plan =
+  match b with
+  | Plan.Plan_select sp ->
+    Plan.Plan_select { sp with source = Option.map (replace_scan name inlined) sp.source }
+  | Plan.Plan_set s ->
+    Plan.Plan_set
+      { s with left = replace_in_body name inlined s.left; right = replace_in_body name inlined s.right }
+
+and replace_in_plan name inlined (p : Plan.t) : Plan.t =
+  if List.exists (fun (n, _, _) -> lc n = name) p.ctes then p
+  else
+    {
+      p with
+      ctes = List.map (fun (n, c, cp) -> (n, c, replace_in_plan name inlined cp)) p.ctes;
+      body = replace_in_body name inlined p.body;
+    }
+
+let inline_ctes (p : Plan.t) : Plan.t =
+  let names = List.map (fun (n, _, _) -> lc n) p.ctes in
+  if List.length names <> List.length (List.sort_uniq compare names) then p
+  else
+    let rec go done_ rest body =
+      match rest with
+      | [] -> { p with ctes = List.rev done_; body }
+      | ((name, cols, cbody) as cte) :: tail ->
+        let n = lc name in
+        let count (s, q) (_, _, cp) =
+          let s', q' = refs_in_plan n cp in
+          (s + s', q + q')
+        in
+        let scans, subs = List.fold_left count (refs_in_body n body) tail in
+        let subs =
+          List.fold_left (fun q (e, _) -> q + refs_in_expr n e) subs p.order_by
+        in
+        (* the CTE body itself must not reference the name (no recursion) *)
+        let self_s, self_q = refs_in_plan n cbody in
+        if cols = [] && subs = 0 && scans = 1 && self_s + self_q = 0 then
+          let tail = List.map (fun (n', c', cp) -> (n', c', replace_in_plan n cbody cp)) tail in
+          go done_ tail (replace_in_body n cbody body)
+        else go (cte :: done_) tail body
+    in
+    go [] p.ctes p.body
+
+(* --- outer-join reduction ---------------------------------------------------- *)
+
+(* WHERE conjuncts that are null-rejecting on (and reference only) one side
+   of an outer join kill exactly that join's padded rows, so the join
+   degrades: LEFT/RIGHT -> INNER, FULL -> LEFT/RIGHT/INNER. The check uses
+   [all_local]: a conjunct also referencing an enclosing scope could still be
+   satisfied on a padded row through the outer value. *)
+let reduce_outer ~leaves (src : Plan.rel) (conjs : Ast.expr list) : Plan.rel =
+  let nr_sets =
+    List.filter_map
+      (fun c ->
+        if has_subquery c || has_agg c then None
+        else
+          match classify ~leaves c with
+          | Some (locals, true) when (not (SS.is_empty locals)) && null_rejecting c ->
+            Some locals
+          | _ -> None)
+      conjs
+  in
+  if nr_sets = [] then src
+  else
+    let rec go r =
+      match r with
+      | Plan.Join j ->
+        let left = go j.left and right = go j.right in
+        let la = SS.of_list (Plan.rel_aliases left)
+        and ra = SS.of_list (Plan.rel_aliases right) in
+        let hit side = List.exists (fun s -> SS.subset s side) nr_sets in
+        let kind =
+          match j.kind with
+          | Ast.Left when hit ra -> Ast.Inner
+          | Ast.Right when hit la -> Ast.Inner
+          | Ast.Full when hit la && hit ra -> Ast.Inner
+          | Ast.Full when hit ra -> Ast.Right
+          | Ast.Full when hit la -> Ast.Left
+          | k -> k
+        in
+        Plan.Join { j with kind; left; right }
+      | Plan.Filter f -> Plan.Filter { f with input = go f.input }
+      | (Plan.Scan _ | Plan.Derived _) as r -> r
+    in
+    go src
+
+(* --- trivially-false short-circuit ------------------------------------------- *)
+
+(* A constant-false WHERE conjunct empties the result; emptying every leaf
+   makes the joins above it O(1) while the original WHERE stays in place (so
+   compile-time errors elsewhere in the query still fire). *)
+let rec kill_leaves = function
+  | (Plan.Scan _ | Plan.Derived _) as leaf ->
+    Plan.Filter { pred = Ast.Lit (Ast.Bool false); input = leaf }
+  | Plan.Filter f -> Plan.Filter { f with input = kill_leaves f.input }
+  | Plan.Join j -> Plan.Join { j with left = kill_leaves j.left; right = kill_leaves j.right }
+
+(* --- predicate pushdown ------------------------------------------------------ *)
+
+let wrap_filter r (preds : (Ast.expr * SS.t) list) =
+  if preds = [] then r else Plan.Filter { pred = and_all (List.map fst preds); input = r }
+
+(* Substitute derived-table output names with their defining expressions so a
+   pushed predicate can move inside the derived body. [None] = a reference
+   qualified to the derived alias has no matching projection (an unknown
+   column — left outside so the compile error is preserved). *)
+let substitute (names : (string * Ast.expr) list) alias (e : Ast.expr) : Ast.expr option =
+  let exception Bail in
+  let rec go e =
+    match e with
+    | Ast.Col c ->
+      let local =
+        match c.table with
+        | Some t -> lc t = alias
+        | None -> List.mem_assoc (lc c.column) names
+      in
+      if not local then e
+      else (
+        match List.assoc_opt (lc c.column) names with
+        | Some inner -> inner
+        | None -> raise Bail)
+    | e -> map_children go e
+  in
+  try Some (go e) with Bail -> None
+
+let merge_derived (plan : Plan.t) alias (preds : (Ast.expr * SS.t) list) : Plan.rel =
+  let fallback () = wrap_filter (Plan.Derived { plan; alias }) preds in
+  if plan.limit <> None || plan.offset <> None then fallback ()
+  else
+    match plan.body with
+    | Plan.Plan_select sp
+      when sp.group_by = [] && sp.having = None
+           && List.for_all
+                (function
+                  | Ast.Proj_expr (e, _) -> (not (has_agg e)) && not (has_subquery e)
+                  | _ -> false)
+                sp.projections ->
+      (* first occurrence wins, mirroring first-match resolution *)
+      let names =
+        List.fold_left
+          (fun acc p ->
+            match p with
+            | Ast.Proj_expr (e, a) ->
+              let n = proj_name e a in
+              if List.mem_assoc n acc then acc else (n, e) :: acc
+            | _ -> acc)
+          [] sp.projections
+      in
+      let la = lc alias in
+      let merged, kept =
+        List.partition_map
+          (fun (p, s) ->
+            match substitute names la p with
+            | Some p' -> Left p'
+            | None -> Right (p, s))
+          preds
+      in
+      if merged = [] then fallback ()
+      else
+        let where = Some (and_all (Option.to_list sp.where @ merged)) in
+        let plan = { plan with body = Plan.Plan_select { sp with where } } in
+        wrap_filter (Plan.Derived { plan; alias }) kept
+    | _ -> fallback ()
+
+(* Route pushable conjuncts towards the leaves. Invariant: every predicate
+   handed to [sink r] is safe to apply to [r]'s output, so falling back to a
+   [Filter] at the current node is always sound. Inner/cross joins push to
+   both sides and absorb straddling conjuncts into the join condition
+   (upgrading comma-style cross joins to hash joins); outer joins only push
+   towards their preserved side. *)
+let rec sink (r : Plan.rel) (preds : (Ast.expr * SS.t) list) : Plan.rel =
+  if preds = [] then r
+  else
+    match r with
+    | Plan.Filter { pred; input } -> Plan.Filter { pred; input = sink input preds }
+    | Plan.Scan _ -> wrap_filter r preds
+    | Plan.Derived { plan; alias } -> merge_derived plan alias preds
+    | Plan.Join j -> (
+      let la = SS.of_list (Plan.rel_aliases j.left)
+      and ra = SS.of_list (Plan.rel_aliases j.right) in
+      let lp, rest = List.partition (fun (_, s) -> SS.subset s la) preds in
+      let rp, xp = List.partition (fun (_, s) -> SS.subset s ra) rest in
+      match j.kind with
+      | Ast.Inner | Ast.Cross -> (
+        let left = sink j.left lp and right = sink j.right rp in
+        match (xp, j.cond) with
+        | [], _ -> Plan.Join { j with left; right }
+        | _, (Ast.On _ | Ast.Cond_none) ->
+          let existing = match j.cond with Ast.On e -> [ e ] | _ -> [] in
+          Plan.Join
+            {
+              j with
+              kind = Ast.Inner;
+              cond = Ast.On (and_all (existing @ List.map fst xp));
+              left;
+              right;
+            }
+        | _, (Ast.Using _ | Ast.Natural) -> wrap_filter (Plan.Join { j with left; right }) xp)
+      | Ast.Left ->
+        let left = sink j.left lp in
+        wrap_filter (Plan.Join { j with left }) (rp @ xp)
+      | Ast.Right ->
+        let right = sink j.right rp in
+        wrap_filter (Plan.Join { j with right }) (lp @ xp)
+      | Ast.Full -> wrap_filter (Plan.Join j) preds)
+
+let rec is_plain_scan = function
+  | Plan.Scan _ -> true
+  | Plan.Filter { input; _ } -> is_plain_scan input
+  | Plan.Derived _ | Plan.Join _ -> false
+
+let push_predicates ~leaves src (conjs : Ast.expr list) :
+    Plan.rel * Ast.expr option =
+  let original_where = match conjs with [] -> None | cs -> Some (and_all cs) in
+  if is_plain_scan src then (src, original_where)
+  else begin
+    let pushable, kept =
+      List.partition_map
+        (fun c ->
+          if has_subquery c || has_agg c || is_false_lit c then Either.Right c
+          else
+            match classify ~leaves c with
+            | Some (locals, _) when not (SS.is_empty locals) -> Either.Left (c, locals)
+            | _ -> Either.Right c)
+        conjs
+    in
+    if pushable = [] then (src, original_where)
+    else
+      let kept = List.filter (fun c -> c <> Ast.Lit (Ast.Bool true)) kept in
+      (sink src pushable, match kept with [] -> None | cs -> Some (and_all cs))
+  end
+
+(* --- derived-table projection pruning ---------------------------------------- *)
+
+(* Drop derived-table projections whose output name the enclosing select
+   never mentions. Name-based and conservative, like the executor's
+   scan-time pruning: unqualified enclosing references count against every
+   derived table, [*] or [alias.*] or NATURAL keeps everything, and inner
+   plans with DISTINCT, set operations or ORDER BY are left alone (their
+   semantics depend on the projection list). *)
+let prune_derived ~sp ~extra ~(where : Ast.expr option) (src : Plan.rel) : Plan.rel =
+  let exception Keep_all in
+  let used = ref SS.empty and whole = ref SS.empty in
+  let add_ref (c : Ast.col_ref) =
+    match c.table with
+    | Some t -> used := SS.add (lc t ^ "." ^ lc c.column) !used
+    | None -> used := SS.add (lc c.column) !used
+  in
+  let add_expr e = List.iter add_ref (Ast.deep_expr_columns e) in
+  try
+    List.iter
+      (function
+        | Ast.Proj_star -> raise Keep_all
+        | Ast.Proj_table_star t -> whole := SS.add (lc t) !whole
+        | Ast.Proj_expr (e, _) -> add_expr e)
+      sp.Plan.projections;
+    Option.iter add_expr where;
+    List.iter add_expr sp.Plan.group_by;
+    Option.iter add_expr sp.Plan.having;
+    List.iter add_expr extra;
+    let rec conds = function
+      | Plan.Scan _ | Plan.Derived _ -> ()
+      | Plan.Filter { pred; input } ->
+        add_expr pred;
+        conds input
+      | Plan.Join { cond; left; right; _ } ->
+        (match cond with
+        | Ast.On e -> add_expr e
+        | Ast.Using cols -> List.iter (fun c -> used := SS.add (lc c) !used) cols
+        | Ast.Natural -> raise Keep_all
+        | Ast.Cond_none -> ());
+        conds left;
+        conds right
+    in
+    conds src;
+    let name_used alias n = SS.mem n !used || SS.mem (alias ^ "." ^ n) !used in
+    let rec prune r =
+      match r with
+      | Plan.Scan _ -> r
+      | Plan.Filter f -> Plan.Filter { f with input = prune f.input }
+      | Plan.Join j -> Plan.Join { j with left = prune j.left; right = prune j.right }
+      | Plan.Derived { plan; alias } ->
+        let la = lc alias in
+        if SS.mem la !whole || plan.order_by <> [] then r
+        else (
+          match plan.body with
+          | Plan.Plan_select isp
+            when (not isp.distinct)
+                 && List.for_all
+                      (function Ast.Proj_expr _ -> true | _ -> false)
+                      isp.projections ->
+            let kept =
+              List.filter
+                (function
+                  | Ast.Proj_expr (e, a) -> name_used la (proj_name e a)
+                  | _ -> true)
+                isp.projections
+            in
+            let kept =
+              if kept = [] then [ List.hd isp.projections ] (* keep arity >= 1 *)
+              else kept
+            in
+            if List.length kept = List.length isp.projections then r
+            else
+              Plan.Derived
+                {
+                  plan = { plan with body = Plan.Plan_select { isp with projections = kept } };
+                  alias;
+                }
+          | _ -> r)
+    in
+    prune src
+  with Keep_all -> src
+
+(* --- logical rewrite driver -------------------------------------------------- *)
+
+let rec map_derived f = function
+  | Plan.Scan _ as r -> r
+  | Plan.Derived { plan; alias } -> Plan.Derived { plan = f plan; alias }
+  | Plan.Filter fl -> Plan.Filter { fl with input = map_derived f fl.input }
+  | Plan.Join j -> Plan.Join { j with left = map_derived f j.left; right = map_derived f j.right }
+
+let rec rewrite_plan ctx (p : Plan.t) : Plan.t =
+  let p = inline_ctes p in
+  let ctes_rev, ctx_inner =
+    List.fold_left
+      (fun (acc, ctx) (name, cols, cbody) ->
+        let cbody = rewrite_plan ctx cbody in
+        let out =
+          if cols <> [] then Some (List.map lc cols) else output_names_of_plan cbody
+        in
+        ((name, cols, cbody) :: acc, { ctx with ctes = (lc name, out) :: ctx.ctes }))
+      ([], ctx) p.ctes
+  in
+  let body =
+    rewrite_body ctx_inner ~extra:(List.map fst p.order_by) p.body
+  in
+  { p with ctes = List.rev ctes_rev; body }
+
+and rewrite_body ctx ~extra (b : Plan.body_plan) : Plan.body_plan =
+  match b with
+  | Plan.Plan_select sp -> Plan.Plan_select (rewrite_select ctx ~extra sp)
+  | Plan.Plan_set s ->
+    Plan.Plan_set
+      {
+        s with
+        left = rewrite_body ctx ~extra:[] s.left;
+        right = rewrite_body ctx ~extra:[] s.right;
+      }
+
+and rewrite_select ctx ~extra (sp : Plan.select_plan) : Plan.select_plan =
+  let fold_proj = function
+    | Ast.Proj_expr (e, a) -> Ast.Proj_expr (fold_const e, a)
+    | p -> p
+  in
+  let rec fold_rel = function
+    | (Plan.Scan _ | Plan.Derived _) as r -> r
+    | Plan.Filter { pred; input } -> Plan.Filter { pred = fold_const pred; input = fold_rel input }
+    | Plan.Join j ->
+      Plan.Join
+        {
+          j with
+          cond = (match j.cond with Ast.On e -> Ast.On (fold_const e) | c -> c);
+          left = fold_rel j.left;
+          right = fold_rel j.right;
+        }
+  in
+  let sp =
+    {
+      sp with
+      Plan.projections = List.map fold_proj sp.Plan.projections;
+      where = Option.map fold_const sp.Plan.where;
+      group_by = List.map fold_const sp.Plan.group_by;
+      having = Option.map fold_const sp.Plan.having;
+      source = Option.map fold_rel sp.Plan.source;
+    }
+  in
+  match sp.source with
+  | None -> sp
+  | Some src ->
+    let leaves = leaves_of_rel ctx src in
+    let conjs = match sp.where with None -> [] | Some w -> Ast.conjuncts w in
+    let src = reduce_outer ~leaves src conjs in
+    let src = if List.exists is_false_lit conjs then kill_leaves src else src in
+    let src, where = push_predicates ~leaves src conjs in
+    let src = prune_derived ~sp ~extra ~where src in
+    let src = map_derived (rewrite_plan ctx) src in
+    { sp with source = Some src; where }
+
+(* --- cardinality estimation -------------------------------------------------- *)
+
+(* Metrics as statistics (paper §3.4): row counts size the scans; [mf] — the
+   max frequency of a join key, precomputed for elastic sensitivity — is a
+   worst-case per-key fanout, so a hash join output is bounded by
+   [rows(probe) * mf(build key)] on either orientation. Primary keys give
+   fanout 1. Fixed textbook selectivities fill the gaps. *)
+let estimator ?metrics (p : Plan.t) : Plan.estimator =
+  let cte_card : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let m_row_count table =
+    match metrics with
+    | None -> None
+    | Some m -> (
+      match Metrics.row_count m ~table with
+      | Some n -> Some n
+      | None -> Metrics.row_count m ~table:(lc table))
+  in
+  let m_mf table column =
+    match metrics with
+    | None -> None
+    | Some m ->
+      if Metrics.is_primary_key m ~table ~column || Metrics.is_primary_key m ~table:(lc table) ~column
+      then Some 1
+      else (
+        match Metrics.mf m ~table ~column with
+        | Some f -> Some f
+        | None -> Metrics.mf m ~table:(lc table) ~column)
+  in
+  (* resolve a column reference to a base scan inside [r] *)
+  let rec scan_leaves (r : Plan.rel) : (string * string) list =
+    match r with
+    | Plan.Scan { table; alias } -> [ (lc alias, table) ]
+    | Plan.Derived _ -> []
+    | Plan.Filter { input; _ } -> scan_leaves input
+    | Plan.Join { left; right; _ } -> scan_leaves left @ scan_leaves right
+  in
+  let scan_of_ref (r : Plan.rel) (c : Ast.col_ref) : (string * string) option =
+    let leaves = scan_leaves r in
+    match c.table with
+    | Some t -> (
+      match List.assoc_opt (lc t) leaves with
+      | Some table -> Some (table, lc c.column)
+      | None -> None)
+    | None -> (
+      match metrics with
+      | Some m ->
+        let owns (_, table) =
+          let cols =
+            match Metrics.columns m ~table with
+            | [] -> Metrics.columns m ~table:(lc table)
+            | cs -> cs
+          in
+          List.mem (lc c.column) (List.map lc cols)
+        in
+        (match List.filter owns leaves with
+        | [ (_, table) ] -> Some (table, lc c.column)
+        | _ -> ( match leaves with [ (_, table) ] -> Some (table, lc c.column) | _ -> None))
+      | None -> ( match leaves with [ (_, table) ] -> Some (table, lc c.column) | _ -> None))
+  in
+  let rec est_rel (r : Plan.rel) : float option =
+    match r with
+    | Plan.Scan { table; _ } -> (
+      match Hashtbl.find_opt cte_card (lc table) with
+      | Some c -> Some c
+      | None -> Option.map float_of_int (m_row_count table))
+    | Plan.Derived { plan; _ } -> est_plan plan
+    | Plan.Filter { pred; input } ->
+      Option.map (fun c -> c *. selectivity input pred) (est_rel input)
+    | Plan.Join { kind; cond; left; right; _ } -> (
+      match (est_rel left, est_rel right) with
+      | Some cl, Some cr ->
+        let keys, residual =
+          match cond with
+          | Ast.On e ->
+            List.partition
+              (function Ast.Binop (Ast.Eq, Ast.Col _, Ast.Col _) -> true | _ -> false)
+              (Ast.conjuncts e)
+          | Ast.Using cols ->
+            ( List.map
+                (fun c ->
+                  Ast.Binop
+                    ( Ast.Eq,
+                      Ast.Col { Ast.table = None; column = c },
+                      Ast.Col { Ast.table = None; column = c } ))
+                cols,
+              [] )
+          | Ast.Natural | Ast.Cond_none -> ([], [])
+        in
+        let residual_sel =
+          List.fold_left (fun acc c -> acc *. sel1 r c) 1.0 residual
+        in
+        let inner =
+          if kind = Ast.Cross || keys = [] then cl *. cr *. residual_sel
+          else begin
+            let bounds =
+              List.concat_map
+                (function
+                  | Ast.Binop (Ast.Eq, Ast.Col a, Ast.Col b) ->
+                    let bound probe_card side_rel key_ref =
+                      match scan_of_ref side_rel key_ref with
+                      | Some (table, column) ->
+                        Option.map
+                          (fun mf -> probe_card *. float_of_int mf)
+                          (m_mf table column)
+                      | None -> None
+                    in
+                    (* a-in-left/b-in-right or the swap; take whichever resolves *)
+                    List.filter_map Fun.id
+                      [
+                        bound cl right b; bound cr left a; bound cl right a; bound cr left b;
+                      ]
+                  | _ -> [])
+                keys
+            in
+            let base =
+              match bounds with
+              | [] -> Float.max cl cr
+              | bs -> List.fold_left Float.min (cl *. cr) bs
+            in
+            base *. residual_sel
+          end
+        in
+        (match kind with
+        | Ast.Inner | Ast.Cross -> Some inner
+        | Ast.Left -> Some (Float.max inner cl)
+        | Ast.Right -> Some (Float.max inner cr)
+        | Ast.Full -> Some (Float.max inner (cl +. cr)))
+      | _ -> None)
+  and selectivity (input : Plan.rel) (e : Ast.expr) : float =
+    List.fold_left (fun acc c -> acc *. sel1 input c) 1.0 (Ast.conjuncts e)
+  and sel1 input (c : Ast.expr) : float =
+    match c with
+    | Ast.Lit (Ast.Bool true) -> 1.0
+    | Ast.Lit (Ast.Bool false) | Ast.Lit Ast.Null -> 0.0
+    | Ast.Binop (Ast.Eq, Ast.Col a, Ast.Lit l) | Ast.Binop (Ast.Eq, Ast.Lit l, Ast.Col a)
+      when l <> Ast.Null -> (
+      match scan_of_ref input a with
+      | Some (table, column) -> (
+        match (m_mf table column, m_row_count table) with
+        | Some mf, Some n when n > 0 ->
+          Float.min 1.0 (float_of_int mf /. float_of_int n)
+        | _ -> 0.1)
+      | None -> 0.1)
+    | Ast.Binop (Ast.Eq, _, _) -> 0.1
+    | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _) -> 1.0 /. 3.0
+    | Ast.Binop (Ast.Neq, _, _) -> 0.9
+    | Ast.Like { negated; _ } -> if negated then 0.75 else 0.25
+    | Ast.Is_null { negated; _ } -> if negated then 0.9 else 0.1
+    | Ast.Between { negated; _ } -> if negated then 0.75 else 0.25
+    | Ast.In { set = Ast.In_list es; negated; _ } ->
+      let s = Float.min 1.0 (0.1 *. float_of_int (List.length es)) in
+      if negated then 1.0 -. s else s
+    | Ast.Unop (Ast.Not, _) -> 0.5
+    | _ -> 0.25
+  and est_select (sp : Plan.select_plan) : float option =
+    let base = match sp.source with None -> Some 1.0 | Some r -> est_rel r in
+    match base with
+    | None -> None
+    | Some b ->
+      let b =
+        match (sp.where, sp.source) with
+        | Some w, Some src -> b *. selectivity src w
+        | _ -> b
+      in
+      let any_agg =
+        List.exists
+          (function Ast.Proj_expr (e, _) -> has_agg e | _ -> false)
+          sp.projections
+        || match sp.having with Some h -> has_agg h | None -> false
+      in
+      let b =
+        if sp.group_by <> [] then Float.max 1.0 (sqrt b)
+        else if any_agg then 1.0
+        else b
+      in
+      if sp.distinct then Some (Float.max 1.0 (sqrt b)) else Some b
+  and est_body (b : Plan.body_plan) : float option =
+    match b with
+    | Plan.Plan_select sp -> est_select sp
+    | Plan.Plan_set { op; left; right; _ } -> (
+      match (est_body left, est_body right) with
+      | Some l, Some r -> (
+        match op with
+        | Plan.Union -> Some (l +. r)
+        | Plan.Except -> Some l
+        | Plan.Intersect -> Some (Float.min l r))
+      | _ -> None)
+  and est_plan (t : Plan.t) : float option =
+    List.iter
+      (fun (n, _, cp) ->
+        match est_plan cp with
+        | Some c -> Hashtbl.replace cte_card (lc n) c
+        | None -> ())
+      t.ctes;
+    let c = est_body t.body in
+    match (t.limit, c) with
+    | Some l, Some c -> Some (Float.min (float_of_int (max 0 l)) c)
+    | Some l, None -> Some (float_of_int (max 0 l))
+    | None, c -> c
+  in
+  ignore (est_plan p);
+  { Plan.est_rel; est_select }
+
+(* --- join reorder ------------------------------------------------------------ *)
+
+(* A reorderable region is a maximal tree of INNER/CROSS joins with ON or
+   no conditions. Reordering permutes the region's leaves, which permutes the
+   combined header layout, so it is guarded: no [*] projection, distinct
+   aliases, every leaf schema known, every unqualified reference anywhere in
+   the select appearing in at most one region leaf (first-match resolution
+   then cannot change), every leaf cardinality estimable, and no subqueries
+   inside the join conditions. Greedy left-deep construction from the
+   smallest leaf, preferring connected joins; the result is kept only when
+   its summed intermediate cardinality beats the original tree's. *)
+
+exception Bail_reorder
+
+type region_leaf = {
+  rl_rel : Plan.rel;
+  rl_aliases : SS.t;
+  rl_cols : SS.t;
+  rl_est : float;
+}
+
+let region_guard_names ctx (sp : Plan.select_plan) ~extra : SS.t =
+  (* unqualified column names mentioned anywhere in the select (deep) *)
+  let acc = ref SS.empty in
+  let add_expr e =
+    List.iter
+      (fun (c : Ast.col_ref) ->
+        if c.table = None then acc := SS.add (lc c.column) !acc)
+      (Ast.deep_expr_columns e)
+  in
+  ignore ctx;
+  List.iter
+    (function Ast.Proj_expr (e, _) -> add_expr e | _ -> ())
+    sp.projections;
+  Option.iter add_expr sp.where;
+  List.iter add_expr sp.group_by;
+  Option.iter add_expr sp.having;
+  List.iter add_expr extra;
+  (match sp.source with
+  | Some src -> ignore (Plan.fold_rel_exprs (fun () e -> add_expr e) () src)
+  | None -> ());
+  !acc
+
+let reorder_select ctx (est : Plan.estimator) ~extra (sp : Plan.select_plan) :
+    Plan.select_plan =
+  match sp.source with
+  | None -> sp
+  | Some src ->
+    let star = List.exists (function Ast.Proj_star -> true | _ -> false) sp.projections in
+    let unq = region_guard_names ctx sp ~extra in
+    (* region collection: leaves + ON conjuncts *)
+    let rec collect r (leaves, conds) =
+      match r with
+      | Plan.Join { kind = Ast.Inner; cond = Ast.On e; left; right; _ } ->
+        if List.exists has_subquery (Ast.conjuncts e) then raise Bail_reorder;
+        collect right (collect left (leaves, Ast.conjuncts e @ conds))
+      | Plan.Join { kind = Ast.Inner | Ast.Cross; cond = Ast.Cond_none; left; right; _ } ->
+        collect right (collect left (leaves, conds))
+      | leaf -> (leaf :: leaves, conds)
+    in
+    let rec go (r : Plan.rel) : Plan.rel =
+      match r with
+      | Plan.Scan _ | Plan.Derived _ -> r
+      | Plan.Filter f -> Plan.Filter { f with input = go f.input }
+      | Plan.Join { kind = Ast.Inner | Ast.Cross; cond = Ast.On _ | Ast.Cond_none; _ }
+        -> (
+        try reorder_region r with Bail_reorder -> descend r)
+      | Plan.Join j -> Plan.Join { j with left = go j.left; right = go j.right }
+    and descend r =
+      match r with
+      | Plan.Join j -> Plan.Join { j with left = descend_child j.left; right = descend_child j.right }
+      | r -> go r
+    and descend_child r =
+      (* keep walking through the (bailed) region towards sub-structures *)
+      match r with
+      | Plan.Join { kind = Ast.Inner | Ast.Cross; cond = Ast.On _ | Ast.Cond_none; _ } ->
+        descend r
+      | r -> go r
+    and reorder_region (root : Plan.rel) : Plan.rel =
+      if star then raise Bail_reorder;
+      let leaves_rels, conds = collect root ([], []) in
+      let leaves_rels = List.rev leaves_rels in
+      if List.length leaves_rels < 3 then raise Bail_reorder;
+      (* original cost before touching anything *)
+      let rec orig_cost r =
+        match r with
+        | Plan.Join { kind = Ast.Inner | Ast.Cross; cond = Ast.On _ | Ast.Cond_none; left; right; _ }
+          ->
+          (match est.Plan.est_rel r with
+          | Some c -> c +. orig_cost left +. orig_cost right
+          | None -> raise Bail_reorder)
+        | _ -> 0.0
+      in
+      let original_total = orig_cost root in
+      let leaves =
+        List.map
+          (fun r ->
+            let infos = leaves_of_rel ctx r in
+            let cols =
+              List.fold_left
+                (fun acc l ->
+                  match l.lcols with
+                  | None -> raise Bail_reorder
+                  | Some cs -> List.fold_left (fun a c -> SS.add c a) acc cs)
+                SS.empty infos
+            in
+            let aliases = SS.of_list (Plan.rel_aliases r) in
+            let est_c =
+              match est.Plan.est_rel r with Some c -> c | None -> raise Bail_reorder
+            in
+            (* recurse inside the leaf only after the guards pass *)
+            { rl_rel = r; rl_aliases = aliases; rl_cols = cols; rl_est = est_c })
+          leaves_rels
+      in
+      (* distinct aliases across the region *)
+      let all_aliases = List.concat_map (fun l -> SS.elements l.rl_aliases) leaves in
+      if List.length all_aliases <> List.length (List.sort_uniq compare all_aliases) then
+        raise Bail_reorder;
+      (* every guarded unqualified name lives in at most one leaf *)
+      SS.iter
+        (fun n ->
+          let owners = List.filter (fun l -> SS.mem n l.rl_cols) leaves in
+          if List.length owners > 1 then raise Bail_reorder)
+        unq;
+      (* classify conditions by the leaves they touch *)
+      let leaf_arr = Array.of_list leaves in
+      let n = Array.length leaf_arr in
+      let touches (c : Ast.expr) : int list =
+        let refs = Ast.expr_columns c in
+        let idxs = ref [] in
+        List.iter
+          (fun (r : Ast.col_ref) ->
+            let owner =
+              match r.table with
+              | Some t ->
+                let t = lc t in
+                let rec find i =
+                  if i >= n then None
+                  else if SS.mem t leaf_arr.(i).rl_aliases then Some i
+                  else find (i + 1)
+                in
+                find 0
+              | None ->
+                let rec find i =
+                  if i >= n then None
+                  else if SS.mem (lc r.column) leaf_arr.(i).rl_cols then Some i
+                  else find (i + 1)
+                in
+                find 0
+            in
+            match owner with
+            | Some i -> if not (List.mem i !idxs) then idxs := i :: !idxs
+            | None -> () (* outer reference *))
+          refs;
+        !idxs
+      in
+      let classified = List.map (fun c -> (c, touches c)) conds in
+      (* single-leaf conditions become leaf filters; constants wrap the result *)
+      let leaf_filters = Array.make n [] in
+      let edges = ref [] and hoisted = ref [] in
+      List.iter
+        (fun (c, idxs) ->
+          match idxs with
+          | [] -> hoisted := c :: !hoisted
+          | [ i ] -> leaf_filters.(i) <- c :: leaf_filters.(i)
+          | _ -> edges := (c, SS.of_list (List.concat_map (fun i -> SS.elements leaf_arr.(i).rl_aliases) idxs)) :: !edges)
+        classified;
+      let leaf_rel i =
+        let r = go leaf_arr.(i).rl_rel in
+        match leaf_filters.(i) with
+        | [] -> r
+        | fs -> Plan.Filter { pred = and_all (List.rev fs); input = r }
+      in
+      (* greedy construction *)
+      let covered = Array.make n false in
+      let start = ref 0 in
+      Array.iteri
+        (fun i l -> if l.rl_est < leaf_arr.(!start).rl_est then start := i)
+        leaf_arr;
+      covered.(!start) <- true;
+      let tree = ref (leaf_rel !start) in
+      let covered_aliases = ref leaf_arr.(!start).rl_aliases in
+      let remaining_edges = ref (List.rev !edges) in
+      let total = ref 0.0 in
+      for _ = 2 to n do
+        let candidates = ref [] in
+        for i = 0 to n - 1 do
+          if not covered.(i) then begin
+            let nxt_aliases = SS.union !covered_aliases leaf_arr.(i).rl_aliases in
+            let applicable, _ =
+              List.partition (fun (_, s) -> SS.subset s nxt_aliases) !remaining_edges
+            in
+            let connected =
+              List.exists
+                (fun (_, s) -> not (SS.is_empty (SS.inter s leaf_arr.(i).rl_aliases)))
+                applicable
+            in
+            let cand_tree =
+              if applicable = [] then
+                Plan.Join
+                  {
+                    kind = Ast.Cross;
+                    cond = Ast.Cond_none;
+                    build_left = false;
+                    left = !tree;
+                    right = leaf_rel i;
+                  }
+              else
+                Plan.Join
+                  {
+                    kind = Ast.Inner;
+                    cond = Ast.On (and_all (List.map fst applicable));
+                    build_left = false;
+                    left = !tree;
+                    right = leaf_rel i;
+                  }
+            in
+            match est.Plan.est_rel cand_tree with
+            | None -> raise Bail_reorder
+            | Some c -> candidates := (c, connected, i, cand_tree, applicable) :: !candidates
+          end
+        done;
+        let best =
+          List.fold_left
+            (fun best ((c, connected, i, _, _) as cand) ->
+              match best with
+              | None -> Some cand
+              | Some (bc, bconn, bi, _, _) ->
+                if
+                  (connected && not bconn)
+                  || (connected = bconn && (c < bc || (c = bc && i < bi)))
+                then Some cand
+                else best)
+            None !candidates
+        in
+        match best with
+        | None -> raise Bail_reorder
+        | Some (c, _, i, cand_tree, applicable) ->
+          covered.(i) <- true;
+          covered_aliases := SS.union !covered_aliases leaf_arr.(i).rl_aliases;
+          remaining_edges :=
+            List.filter (fun e -> not (List.memq e applicable)) !remaining_edges;
+          tree := cand_tree;
+          total := !total +. c
+      done;
+      if !total >= original_total then raise Bail_reorder;
+      let result = !tree in
+      match !hoisted with
+      | [] -> result
+      | hs -> Plan.Filter { pred = and_all (List.rev hs); input = result }
+    in
+    { sp with source = Some (go src) }
+
+(* --- build-side selection ---------------------------------------------------- *)
+
+let rec choose_build_sides (est : Plan.estimator) (r : Plan.rel) : Plan.rel =
+  match r with
+  | Plan.Scan _ | Plan.Derived _ -> r
+  | Plan.Filter f -> Plan.Filter { f with input = choose_build_sides est f.input }
+  | Plan.Join j ->
+    let left = choose_build_sides est j.left
+    and right = choose_build_sides est j.right in
+    let has_keys = j.kind <> Ast.Cross && fst (Plan.join_keys j.cond) <> [] in
+    let build_left =
+      has_keys
+      &&
+      match (est.Plan.est_rel left, est.Plan.est_rel right) with
+      | Some l, Some r -> l <= r
+      | _ -> true
+    in
+    Plan.Join { j with build_left; left; right }
+
+(* --- physical rewrite driver -------------------------------------------------- *)
+
+let rec physical_plan ctx est (p : Plan.t) : Plan.t =
+  let ctes_rev, ctx_inner =
+    List.fold_left
+      (fun (acc, ctx) (name, cols, cbody) ->
+        let cbody = physical_plan ctx est cbody in
+        let out =
+          if cols <> [] then Some (List.map lc cols) else output_names_of_plan cbody
+        in
+        ((name, cols, cbody) :: acc, { ctx with ctes = (lc name, out) :: ctx.ctes }))
+      ([], ctx) p.ctes
+  in
+  let body = physical_body ctx_inner est ~extra:(List.map fst p.order_by) p.body in
+  { p with ctes = List.rev ctes_rev; body }
+
+and physical_body ctx est ~extra (b : Plan.body_plan) : Plan.body_plan =
+  match b with
+  | Plan.Plan_select sp -> Plan.Plan_select (physical_select ctx est ~extra sp)
+  | Plan.Plan_set s ->
+    Plan.Plan_set
+      {
+        s with
+        left = physical_body ctx est ~extra:[] s.left;
+        right = physical_body ctx est ~extra:[] s.right;
+      }
+
+and physical_select ctx est ~extra (sp : Plan.select_plan) : Plan.select_plan =
+  match sp.source with
+  | None -> sp
+  | Some src ->
+    let src = map_derived (physical_plan ctx est) src in
+    let sp = reorder_select ctx est ~extra { sp with source = Some src } in
+    (match sp.source with
+    | None -> sp
+    | Some src -> { sp with source = Some (choose_build_sides est src) })
+
+(* --- public API --------------------------------------------------------------- *)
+
+let rewrite ?metrics (p : Plan.t) : Plan.t =
+  let ctx = { metrics; ctes = [] } in
+  let p = rewrite_plan ctx p in
+  let est = estimator ?metrics p in
+  physical_plan ctx est p
+
+let plan ?metrics (q : Ast.query) : Plan.t = rewrite ?metrics (Plan.of_query q)
+
+let explain ?metrics (q : Ast.query) : string * string =
+  let logical = Plan.of_query q in
+  let optimized = rewrite ?metrics logical in
+  ( Plan.render ~est:(estimator ?metrics logical) logical,
+    Plan.render ~est:(estimator ?metrics optimized) optimized )

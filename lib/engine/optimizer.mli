@@ -1,0 +1,47 @@
+module Ast = Flex_sql.Ast
+
+(** Cost-based logical-plan optimizer.
+
+    Two phases over {!Plan.t}:
+
+    - {b Logical} (always sound, statistics optional): constant folding
+      restricted to identities that cannot drop a runtime-error site,
+      single-use CTE inlining, outer-join reduction on null-rejecting WHERE
+      conjuncts, trivially-false short-circuit (sources are emptied, the
+      WHERE is kept so runtime errors survive), conjunct splitting with
+      predicate pushdown through joins and into derived tables, and
+      projection pruning inside derived tables. All rewrites preserve SQL
+      3-valued-logic semantics; pushdown through outer joins only moves
+      predicates onto the preserved side.
+
+    - {b Physical} (driven by {!Metrics}): the per-table row counts and
+      max-frequency [mf] metrics collected for elastic sensitivity (paper
+      §3.4) double as optimizer statistics — [mf] is exactly the worst-case
+      per-key join fanout, giving the cardinality bound
+      [min(|L|·mf_R, |R|·mf_L, |L|·|R|)] for an equijoin. The optimizer
+      greedily reorders inner-join chains to minimise summed intermediate
+      cardinality and picks each hash join's build side
+      ({!Plan.rel.Join.build_left}).
+
+    Privacy invariance: {!Flex} analyses the original AST; only execution
+    consumes the rewritten plan, so elastic-sensitivity results are
+    bit-identical with the optimizer on or off. *)
+
+val rewrite : ?metrics:Metrics.t -> Plan.t -> Plan.t
+(** Optimize a plan. Without [?metrics] only the logical rules and the
+    stats-free physical defaults apply. Row {e order} of the result may
+    differ from the unoptimized plan (join reorder and build-side swaps
+    follow the probe relation's order); row {e multisets} are identical. *)
+
+val plan : ?metrics:Metrics.t -> Ast.query -> Plan.t
+(** [plan ?metrics q = rewrite ?metrics (Plan.of_query q)]. *)
+
+val estimator : ?metrics:Metrics.t -> Plan.t -> Plan.estimator
+(** Cardinality estimator for a specific plan (CTE cardinalities are
+    memoised per plan). Scans use {!Metrics.row_count}; equality filters use
+    [mf/n] selectivity (primary keys [1/n]); joins use the [mf] fanout
+    bounds above; GROUP BY and DISTINCT use a square-root heuristic. *)
+
+val explain : ?metrics:Metrics.t -> Ast.query -> string * string
+(** [(logical, optimized)] rendered plans with cardinality annotations —
+    the payload behind [EXPLAIN <query>]. *)

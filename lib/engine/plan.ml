@@ -1,30 +1,156 @@
 module Ast = Flex_sql.Ast
 
-(* A logical query plan mirroring the decisions Executor makes (hash join on
-   column-equality conjuncts, nested loop otherwise; grouped vs plain
-   projection; sort/slice placement). Purely syntactic — used by EXPLAIN in
-   the CLI and by tests documenting executor behaviour; the executor itself
-   interprets the AST directly. *)
+(* The engine's logical plan IR. [of_query] is a structure-preserving
+   translation of the parsed AST: comma-separated FROM items become left-deep
+   cross joins, everything else maps one-to-one, and no rewrite happens here.
+   {!Optimizer.rewrite} then transforms plans (predicate pushdown, join
+   reordering, build-side selection, ...) and {!Executor.run_plan} executes
+   them through the same compiled operators as the AST path. The renderer is
+   the engine's EXPLAIN; an optional {!estimator} annotates operators with
+   estimated cardinalities. *)
 
-type join_strategy = Hash_join of (string * string) list | Nested_loop
-
-type t =
+type rel =
   | Scan of { table : string; alias : string }
   | Derived of { plan : t; alias : string }
+  | Filter of { pred : Ast.expr; input : rel }
   | Join of {
       kind : Ast.join_kind;
-      strategy : join_strategy;
-      residual_conjuncts : int;
-      left : t;
-      right : t;
+      cond : Ast.join_cond;
+      build_left : bool;
+      left : rel;
+      right : rel;
     }
-  | Filter of { predicate : string; input : t }
-  | Aggregate of { group_by : string list; aggregates : string list; having : bool; input : t }
-  | Project of { columns : string list; distinct : bool; input : t }
-  | Sort of { keys : string list; input : t }
-  | Slice of { limit : int option; offset : int option; input : t }
-  | Set_op of { op : string; all : bool; left : t; right : t }
-  | With_ctes of { ctes : (string * t) list; input : t }
+
+and select_plan = {
+  distinct : bool;
+  projections : Ast.projection list;
+  source : rel option; (* [None] = FROM-less SELECT *)
+  where : Ast.expr option;
+  group_by : Ast.expr list;
+  having : Ast.expr option;
+}
+
+and body_plan =
+  | Plan_select of select_plan
+  | Plan_set of { op : set_op; all : bool; left : body_plan; right : body_plan }
+
+and set_op = Union | Except | Intersect
+
+and t = {
+  ctes : (string * string list * t) list;
+  body : body_plan;
+  order_by : (Ast.expr * Ast.order_dir) list;
+  limit : int option;
+  offset : int option;
+}
+
+(* --- AST -> plan ----------------------------------------------------------- *)
+
+let rec of_table_ref (tr : Ast.table_ref) : rel =
+  match tr with
+  | Ast.Table { name; alias } -> Scan { table = name; alias = Option.value alias ~default:name }
+  | Ast.Derived { query; alias } -> Derived { plan = of_query query; alias }
+  | Ast.Join { kind; left; right; cond } ->
+    Join
+      { kind; cond; build_left = false; left = of_table_ref left; right = of_table_ref right }
+
+and source_of_from (from : Ast.table_ref list) : rel option =
+  match from with
+  | [] -> None
+  | tr :: rest ->
+    Some
+      (List.fold_left
+         (fun acc tr ->
+           Join
+             {
+               kind = Ast.Cross;
+               cond = Ast.Cond_none;
+               build_left = false;
+               left = acc;
+               right = of_table_ref tr;
+             })
+         (of_table_ref tr) rest)
+
+and of_select (s : Ast.select) : select_plan =
+  {
+    distinct = s.distinct;
+    projections = s.projections;
+    source = source_of_from s.from;
+    where = s.where;
+    group_by = s.group_by;
+    having = s.having;
+  }
+
+and of_body (b : Ast.body) : body_plan =
+  match b with
+  | Ast.Select s -> Plan_select (of_select s)
+  | Ast.Union { all; left; right } ->
+    Plan_set { op = Union; all; left = of_body left; right = of_body right }
+  | Ast.Except { all; left; right } ->
+    Plan_set { op = Except; all; left = of_body left; right = of_body right }
+  | Ast.Intersect { all; left; right } ->
+    Plan_set { op = Intersect; all; left = of_body left; right = of_body right }
+
+and of_query (q : Ast.query) : t =
+  {
+    ctes = List.map (fun (c : Ast.cte) -> (c.cte_name, c.cte_columns, of_query c.cte_query)) q.ctes;
+    body = of_body q.body;
+    order_by = q.order_by;
+    limit = q.limit;
+    offset = q.offset;
+  }
+
+(* --- traversals ------------------------------------------------------------ *)
+
+let rec fold_rel_exprs f acc (r : rel) =
+  match r with
+  | Scan _ -> acc
+  | Derived { plan; _ } -> fold_exprs f acc plan
+  | Filter { pred; input } -> fold_rel_exprs f (f acc pred) input
+  | Join { cond; left; right; _ } ->
+    let acc = match cond with Ast.On e -> f acc e | _ -> acc in
+    fold_rel_exprs f (fold_rel_exprs f acc left) right
+
+and fold_select_exprs f acc (sp : select_plan) =
+  let acc =
+    List.fold_left
+      (fun acc p -> match p with Ast.Proj_expr (e, _) -> f acc e | _ -> acc)
+      acc sp.projections
+  in
+  let acc = match sp.source with Some r -> fold_rel_exprs f acc r | None -> acc in
+  let acc = match sp.where with Some e -> f acc e | None -> acc in
+  let acc = List.fold_left f acc sp.group_by in
+  match sp.having with Some e -> f acc e | None -> acc
+
+and fold_body_exprs f acc (b : body_plan) =
+  match b with
+  | Plan_select sp -> fold_select_exprs f acc sp
+  | Plan_set { left; right; _ } -> fold_body_exprs f (fold_body_exprs f acc left) right
+
+and fold_exprs : 'a. ('a -> Ast.expr -> 'a) -> 'a -> t -> 'a =
+ fun f acc (p : t) ->
+  let acc = List.fold_left (fun acc (_, _, cp) -> fold_exprs f acc cp) acc p.ctes in
+  let acc = fold_body_exprs f acc p.body in
+  List.fold_left (fun acc (e, _) -> f acc e) acc p.order_by
+
+let columns_of_plan (p : t) : Ast.col_ref list =
+  List.rev (fold_exprs (fun acc e -> List.rev_append (Ast.deep_expr_columns e) acc) [] p)
+
+let rec rel_aliases (r : rel) =
+  match r with
+  | Scan { alias; _ } -> [ String.lowercase_ascii alias ]
+  | Derived { alias; _ } -> [ String.lowercase_ascii alias ]
+  | Filter { input; _ } -> rel_aliases input
+  | Join { left; right; _ } -> rel_aliases left @ rel_aliases right
+
+(* --- rendering ------------------------------------------------------------- *)
+
+type estimator = {
+  est_rel : rel -> float option;
+  est_select : select_plan -> float option;
+}
+
+let no_estimator = { est_rel = (fun _ -> None); est_select = (fun _ -> None) }
 
 let col_str (c : Ast.col_ref) =
   match c.table with Some t -> t ^ "." ^ c.column | None -> c.column
@@ -50,48 +176,62 @@ let join_keys (cond : Ast.join_cond) =
         keys,
       List.length residual )
 
-let rec of_table_ref (tr : Ast.table_ref) : t =
-  match tr with
-  | Ast.Table { name; alias } -> Scan { table = name; alias = Option.value alias ~default:name }
-  | Ast.Derived { query; alias } -> Derived { plan = of_query query; alias }
-  | Ast.Join { kind; left; right; cond } ->
-    let keys, residual = join_keys cond in
-    let strategy =
-      if kind = Ast.Cross || keys = [] then Nested_loop else Hash_join keys
-    in
-    Join
-      {
-        kind;
-        strategy;
-        residual_conjuncts = residual;
-        left = of_table_ref left;
-        right = of_table_ref right;
-      }
+let card_suffix est =
+  match est with
+  | None -> ""
+  | Some c -> Fmt.str "  (~%.0f rows)" (Float.round c)
 
-and of_select (s : Ast.select) : t =
-  let source =
-    match s.from with
-    | [] -> Scan { table = "<empty>"; alias = "<empty>" }
-    | [ tr ] -> of_table_ref tr
-    | tr :: rest ->
-      List.fold_left
-        (fun acc tr ->
-          Join
-            {
-              kind = Ast.Cross;
-              strategy = Nested_loop;
-              residual_conjuncts = 0;
-              left = acc;
-              right = of_table_ref tr;
-            })
-        (of_table_ref tr) rest
+let rec pp_rel est ppf (indent, r) =
+  let pad = String.make (indent * 2) ' ' in
+  let line fmt = Fmt.pf ppf ("%s" ^^ fmt ^^ "%s@.") pad in
+  let card = card_suffix (est.est_rel r) in
+  match r with
+  | Scan { table; alias } ->
+    if table = alias then line "Scan %s" table card else line "Scan %s AS %s" table alias card
+  | Derived { plan; alias } ->
+    line "Derived AS %s" alias card;
+    pp_plan est ppf (indent + 1, plan)
+  | Filter { pred; input } ->
+    line "Filter %s" (Flex_sql.Pretty.expr pred) card;
+    pp_rel est ppf (indent + 1, input)
+  | Join { kind; cond; build_left; left; right } ->
+    let keys, residual = join_keys cond in
+    let build = if build_left then " build=left" else "" in
+    (if kind = Ast.Cross || keys = [] then
+       line "%s [nested loop]%s"
+         (Ast.join_kind_name kind)
+         (if residual > 0 then Fmt.str " +%d residual" residual else "")
+         card
+     else
+       line "%s [hash on %s]%s"
+         (Ast.join_kind_name kind)
+         (String.concat ", " (List.map (fun (a, b) -> a ^ " = " ^ b) keys))
+         ((if residual > 0 then Fmt.str " +%d residual" residual else "") ^ build)
+         card);
+    pp_rel est ppf (indent + 1, left);
+    pp_rel est ppf (indent + 1, right)
+
+and pp_select est ppf (indent, sp) =
+  let pad = String.make (indent * 2) ' ' in
+  let line fmt = Fmt.pf ppf ("%s" ^^ fmt ^^ "%s@.") pad in
+  let card = card_suffix (est.est_select sp) in
+  let aggs =
+    List.map
+      (fun (f, distinct, arg) ->
+        Fmt.str "%s(%s%s)"
+          (String.uppercase_ascii (Ast.agg_func_name f))
+          (if distinct then "DISTINCT " else "")
+          (match arg with Ast.Star -> "*" | Ast.Arg e -> Flex_sql.Pretty.expr e))
+      (Ast.select_aggregates
+         {
+           Ast.distinct = sp.distinct;
+           projections = sp.projections;
+           from = [];
+           where = sp.where;
+           group_by = sp.group_by;
+           having = sp.having;
+         })
   in
-  let filtered =
-    match s.where with
-    | None -> source
-    | Some e -> Filter { predicate = Flex_sql.Pretty.expr e; input = source }
-  in
-  let aggs = Ast.select_aggregates s in
   let column_names =
     List.map
       (function
@@ -99,135 +239,92 @@ and of_select (s : Ast.select) : t =
         | Ast.Proj_table_star t -> t ^ ".*"
         | Ast.Proj_expr (e, Some a) -> Flex_sql.Pretty.expr e ^ " AS " ^ a
         | Ast.Proj_expr (e, None) -> Flex_sql.Pretty.expr e)
-      s.projections
+      sp.projections
   in
-  let body =
-    if aggs = [] && s.group_by = [] then
-      Project { columns = column_names; distinct = s.distinct; input = filtered }
-    else
-      let agg_names =
-        List.map
-          (fun (f, distinct, arg) ->
-            Fmt.str "%s(%s%s)"
-              (String.uppercase_ascii (Ast.agg_func_name f))
-              (if distinct then "DISTINCT " else "")
-              (match arg with Ast.Star -> "*" | Ast.Arg e -> Flex_sql.Pretty.expr e))
-          aggs
+  let grouped = aggs <> [] || sp.group_by <> [] in
+  let indent =
+    if not grouped then begin
+      line "Project%s [%s]"
+        (if sp.distinct then " DISTINCT" else "")
+        (String.concat ", " column_names)
+        card;
+      indent + 1
+    end
+    else begin
+      let indent =
+        if sp.distinct then begin
+          line "Project DISTINCT [%s]" (String.concat ", " column_names) card;
+          indent + 1
+        end
+        else indent
       in
-      let grouped =
-        Aggregate
-          {
-            group_by = List.map Flex_sql.Pretty.expr s.group_by;
-            aggregates = agg_names;
-            having = s.having <> None;
-            input = filtered;
-          }
-      in
-      if s.distinct then
-        Project { columns = column_names; distinct = true; input = grouped }
-      else grouped
+      let pad = String.make (indent * 2) ' ' in
+      Fmt.pf ppf "%sAggregate [%s]%s%s%s@." pad (String.concat ", " aggs)
+        (if sp.group_by = [] then ""
+         else " GROUP BY " ^ String.concat ", " (List.map Flex_sql.Pretty.expr sp.group_by))
+        (if sp.having <> None then " HAVING" else "")
+        (if sp.distinct then "" else card);
+      indent + 1
+    end
   in
-  body
+  let filtered =
+    match sp.where with
+    | None -> indent
+    | Some e ->
+      let pad = String.make (indent * 2) ' ' in
+      Fmt.pf ppf "%sFilter %s@." pad (Flex_sql.Pretty.expr e);
+      indent + 1
+  in
+  match sp.source with
+  | None ->
+    let pad = String.make (filtered * 2) ' ' in
+    Fmt.pf ppf "%sScan <empty>@." pad
+  | Some r -> pp_rel est ppf (filtered, r)
 
-and of_body (b : Ast.body) : t =
+and pp_body est ppf (indent, b) =
+  let pad = String.make (indent * 2) ' ' in
   match b with
-  | Ast.Select s -> of_select s
-  | Ast.Union { all; left; right } ->
-    Set_op { op = "UNION"; all; left = of_body left; right = of_body right }
-  | Ast.Except { all; left; right } ->
-    Set_op { op = "EXCEPT"; all; left = of_body left; right = of_body right }
-  | Ast.Intersect { all; left; right } ->
-    Set_op { op = "INTERSECT"; all; left = of_body left; right = of_body right }
+  | Plan_select sp -> pp_select est ppf (indent, sp)
+  | Plan_set { op; all; left; right } ->
+    let name = match op with Union -> "UNION" | Except -> "EXCEPT" | Intersect -> "INTERSECT" in
+    Fmt.pf ppf "%s%s%s@." pad name (if all then " ALL" else "");
+    pp_body est ppf (indent + 1, left);
+    pp_body est ppf (indent + 1, right)
 
-and of_query (q : Ast.query) : t =
-  let body = of_body q.body in
-  let sorted =
-    if q.order_by = [] then body
-    else
-      Sort
-        {
-          keys =
-            List.map
-              (fun (e, dir) ->
-                Flex_sql.Pretty.expr e
-                ^ (match dir with Ast.Asc -> " ASC" | Ast.Desc -> " DESC"))
-              q.order_by;
-          input = body;
-        }
-  in
-  let sliced =
-    if q.limit = None && q.offset = None then sorted
-    else Slice { limit = q.limit; offset = q.offset; input = sorted }
-  in
-  if q.ctes = [] then sliced
-  else
-    With_ctes
-      {
-        ctes = List.map (fun (c : Ast.cte) -> (c.cte_name, of_query c.cte_query)) q.ctes;
-        input = sliced;
-      }
-
-(* --- rendering ------------------------------------------------------------- *)
-
-let rec pp_indent ppf (indent, t) =
+and pp_plan est ppf (indent, (p : t)) =
   let pad = String.make (indent * 2) ' ' in
   let line fmt = Fmt.pf ppf ("%s" ^^ fmt ^^ "@.") pad in
-  match t with
-  | Scan { table; alias } ->
-    if table = alias then line "Scan %s" table else line "Scan %s AS %s" table alias
-  | Derived { plan; alias } ->
-    line "Derived AS %s" alias;
-    pp_indent ppf (indent + 1, plan)
-  | Join { kind; strategy; residual_conjuncts; left; right } ->
-    (match strategy with
-    | Hash_join keys ->
-      line "%s [hash on %s]%s"
-        (Ast.join_kind_name kind)
-        (String.concat ", " (List.map (fun (a, b) -> a ^ " = " ^ b) keys))
-        (if residual_conjuncts > 0 then Fmt.str " +%d residual" residual_conjuncts
-         else "")
-    | Nested_loop ->
-      line "%s [nested loop]%s"
-        (Ast.join_kind_name kind)
-        (if residual_conjuncts > 0 then Fmt.str " +%d residual" residual_conjuncts
-         else ""));
-    pp_indent ppf (indent + 1, left);
-    pp_indent ppf (indent + 1, right)
-  | Filter { predicate; input } ->
-    line "Filter %s" predicate;
-    pp_indent ppf (indent + 1, input)
-  | Aggregate { group_by; aggregates; having; input } ->
-    line "Aggregate [%s]%s%s"
-      (String.concat ", " aggregates)
-      (if group_by = [] then "" else " GROUP BY " ^ String.concat ", " group_by)
-      (if having then " HAVING" else "");
-    pp_indent ppf (indent + 1, input)
-  | Project { columns; distinct; input } ->
-    line "Project%s [%s]" (if distinct then " DISTINCT" else "") (String.concat ", " columns);
-    pp_indent ppf (indent + 1, input)
-  | Sort { keys; input } ->
-    line "Sort [%s]" (String.concat ", " keys);
-    pp_indent ppf (indent + 1, input)
-  | Slice { limit; offset; input } ->
+  List.iter
+    (fun (name, _, cp) ->
+      line "CTE %s:" name;
+      pp_plan est ppf (indent + 1, cp))
+    p.ctes;
+  let sliced = p.limit <> None || p.offset <> None in
+  if sliced then
     line "Slice%s%s"
-      (match limit with Some n -> Fmt.str " LIMIT %d" n | None -> "")
-      (match offset with Some n -> Fmt.str " OFFSET %d" n | None -> "");
-    pp_indent ppf (indent + 1, input)
-  | Set_op { op; all; left; right } ->
-    line "%s%s" op (if all then " ALL" else "");
-    pp_indent ppf (indent + 1, left);
-    pp_indent ppf (indent + 1, right)
-  | With_ctes { ctes; input } ->
-    List.iter
-      (fun (name, plan) ->
-        line "CTE %s:" name;
-        pp_indent ppf (indent + 1, plan))
-      ctes;
-    pp_indent ppf (indent, input)
+      (match p.limit with Some n -> Fmt.str " LIMIT %d" n | None -> "")
+      (match p.offset with Some n -> Fmt.str " OFFSET %d" n | None -> "");
+  let indent = if sliced then indent + 1 else indent in
+  let sorted = p.order_by <> [] in
+  if sorted then begin
+    let pad = String.make (indent * 2) ' ' in
+    Fmt.pf ppf "%sSort [%s]@." pad
+      (String.concat ", "
+         (List.map
+            (fun (e, dir) ->
+              Flex_sql.Pretty.expr e
+              ^ (match dir with Ast.Asc -> " ASC" | Ast.Desc -> " DESC"))
+            p.order_by))
+  end;
+  pp_body est ppf ((if sorted then indent + 1 else indent), p.body)
 
-let pp ppf t = pp_indent ppf (0, t)
+let pp_estimated est ppf t = pp_plan est ppf (0, t)
+
+let pp ppf t = pp_plan no_estimator ppf (0, t)
 
 let to_string t = Fmt.str "%a" pp t
+
+let render ?(est = no_estimator) t = Fmt.str "%a" (pp_estimated est) t
 
 let explain_sql sql =
   match Flex_sql.Parser.parse sql with

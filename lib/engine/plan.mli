@@ -1,36 +1,90 @@
 module Ast = Flex_sql.Ast
 
-(** Logical query plans mirroring the executor's decisions (hash join on
-    column-equality conjuncts, nested loop otherwise), rendered as an
-    indented tree — the engine's EXPLAIN. *)
+(** The engine's logical plan IR. {!of_query} translates a parsed AST
+    one-to-one (comma FROM items become left-deep cross joins) with no
+    rewriting; {!Optimizer.rewrite} transforms plans and {!Executor.run_plan}
+    executes them through the same compiled operators as the AST path. The
+    renderer is the engine's EXPLAIN; an optional {!estimator} annotates
+    operators with estimated cardinalities. *)
 
-type join_strategy = Hash_join of (string * string) list | Nested_loop
-
-type t =
+type rel =
   | Scan of { table : string; alias : string }
   | Derived of { plan : t; alias : string }
+  | Filter of { pred : Ast.expr; input : rel }
+      (** introduced by predicate pushdown; filters the input relation *)
   | Join of {
       kind : Ast.join_kind;
-      strategy : join_strategy;
-      residual_conjuncts : int;  (** non-equality conjuncts checked per match *)
-      left : t;
-      right : t;
+      cond : Ast.join_cond;
+      build_left : bool;
+          (** hash-join build side: [true] builds on the left input and
+              probes the right (cost-based choice); [false] is the engine's
+              historical build-on-right *)
+      left : rel;
+      right : rel;
     }
-  | Filter of { predicate : string; input : t }
-  | Aggregate of {
-      group_by : string list;
-      aggregates : string list;
-      having : bool;
-      input : t;
-    }
-  | Project of { columns : string list; distinct : bool; input : t }
-  | Sort of { keys : string list; input : t }
-  | Slice of { limit : int option; offset : int option; input : t }
-  | Set_op of { op : string; all : bool; left : t; right : t }
-  | With_ctes of { ctes : (string * t) list; input : t }
+
+and select_plan = {
+  distinct : bool;
+  projections : Ast.projection list;
+  source : rel option;  (** [None] = FROM-less SELECT *)
+  where : Ast.expr option;
+  group_by : Ast.expr list;
+  having : Ast.expr option;
+}
+
+and body_plan =
+  | Plan_select of select_plan
+  | Plan_set of { op : set_op; all : bool; left : body_plan; right : body_plan }
+
+and set_op = Union | Except | Intersect
+
+and t = {
+  ctes : (string * string list * t) list;  (** name, column list, body *)
+  body : body_plan;
+  order_by : (Ast.expr * Ast.order_dir) list;
+  limit : int option;
+  offset : int option;
+}
 
 val of_query : Ast.query -> t
-val of_table_ref : Ast.table_ref -> t
+val of_table_ref : Ast.table_ref -> rel
+
+(** {2 Traversals} *)
+
+val fold_exprs : ('a -> Ast.expr -> 'a) -> 'a -> t -> 'a
+(** Fold over every expression in the plan: projections, predicates, join
+    conditions, group/having/order keys, descending into CTEs and derived
+    tables (but not into subqueries nested in expressions). *)
+
+val fold_rel_exprs : ('a -> Ast.expr -> 'a) -> 'a -> rel -> 'a
+
+val columns_of_plan : t -> Ast.col_ref list
+(** Every column name mentioned anywhere in the plan, including inside
+    expression subqueries — the conservative name set behind scan pruning. *)
+
+val rel_aliases : rel -> string list
+(** Lowercased relation aliases of the leaves, left to right. *)
+
+val join_keys : Ast.join_cond -> (string * string) list * int
+(** Syntactic equality keys of a join condition (rendered by EXPLAIN and
+    used by the optimizer to detect hash-joinable conditions), plus the
+    number of residual non-equality conjuncts. *)
+
+(** {2 Rendering (EXPLAIN)} *)
+
+type estimator = {
+  est_rel : rel -> float option;
+  est_select : select_plan -> float option;
+}
+(** Cardinality annotations for the renderer; see {!Optimizer.estimator}. *)
+
+val no_estimator : estimator
+
 val pp : t Fmt.t
 val to_string : t -> string
+
+val render : ?est:estimator -> t -> string
+(** [to_string] with per-operator [ (~N rows)] cardinality annotations. *)
+
 val explain_sql : string -> (string, string) result
+(** Parse and render the unoptimized plan. *)

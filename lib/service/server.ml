@@ -18,6 +18,10 @@ type config = {
   public_optimization : bool;
   unique_optimization : bool;
   cross_joins : bool;
+  optimize_queries : bool;
+      (* execute through the cost-based plan optimizer ({!Optimizer}), with
+         the sensitivity metrics doubling as cardinality statistics; the
+         privacy analysis always sees the original AST *)
 }
 
 let default_config =
@@ -30,6 +34,7 @@ let default_config =
     public_optimization = true;
     unique_optimization = true;
     cross_joins = false;
+    optimize_queries = true;
   }
 
 type t = {
@@ -199,6 +204,13 @@ let handle_query t session ~sql ~epsilon ~delta =
       Audit.log t.audit { base with outcome = Audit.Rejected "admission" };
       Wire.Rejected { bucket = "admission"; reason = msg }
     | Ok () -> (
+      match Parser.parse_statement sql with
+      | Ok (Flex_sql.Ast.Explain ast) ->
+        (* EXPLAIN typed where a query was expected: answer with the plans,
+           charge nothing *)
+        let logical, optimized = Flex_engine.Optimizer.explain ~metrics:t.metrics ast in
+        Wire.Plan_report { logical; optimized }
+      | Ok (Flex_sql.Ast.Query _) | Error _ -> (
       let options = options_for t ~epsilon ~delta in
       let parsed, parse_ns = timed (fun () -> parse sql) in
       let base = { base with parse_ns } in
@@ -216,7 +228,9 @@ let handle_query t session ~sql ~epsilon ~delta =
             timed (fun () -> Flex.smooth_columns ~options analysis)
           in
           let executed, execution_ns =
-            timed (fun () -> Flex.execute ?pool:t.pool ~db:t.db ast)
+            timed (fun () ->
+                Flex.execute ?pool:t.pool ~optimize:t.config.optimize_queries
+                  ~metrics:t.metrics ~db:t.db ast)
           in
           let base = { base with smooth_ns; execution_ns } in
           match executed with
@@ -280,7 +294,17 @@ let handle_query t session ~sql ~epsilon ~delta =
                   cache_hit;
                   bins_enumerated = release.bins_enumerated;
                   noise_scales;
-                })))))
+                }))))))
+
+(* EXPLAIN is free: it renders plans over public metrics without touching
+   the database, so it is neither charged nor counted as a query. *)
+let handle_explain t ~sql =
+  match parse sql with
+  | Error reason ->
+    Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
+  | Ok ast ->
+    let logical, optimized = Flex_engine.Optimizer.explain ~metrics:t.metrics ast in
+    Wire.Plan_report { logical; optimized }
 
 let handle_analyze t ~sql =
   let options =
@@ -329,6 +353,7 @@ let handle t session req =
     | Hello { analyst; epsilon; delta } -> handle_hello t session ~analyst ~epsilon ~delta
     | Query { sql; epsilon; delta } -> handle_query t session ~sql ~epsilon ~delta
     | Analyze { sql } -> handle_analyze t ~sql
+    | Explain { sql } -> handle_explain t ~sql
     | Budget_info -> (
       match session.analyst with
       | None -> Wire.Error_msg "no analyst: send hello first"

@@ -37,6 +37,11 @@ type config = {
   public_optimization : bool;
   unique_optimization : bool;
   cross_joins : bool;
+  optimize_queries : bool;
+      (** execute through the cost-based plan optimizer ({!Flex_engine.Optimizer}),
+          with the sensitivity metrics doubling as cardinality statistics; the
+          privacy analysis always sees the original AST, so releases are
+          unchanged up to row order *)
 }
 
 val default_config : config

@@ -7,6 +7,7 @@ type request =
   | Hello of { analyst : string; epsilon : float option; delta : float option }
   | Query of { sql : string; epsilon : float option; delta : float option }
   | Analyze of { sql : string }
+  | Explain of { sql : string }
   | Budget_info
   | Stats
   | Quit
@@ -36,6 +37,7 @@ type response =
       joins : int;
       columns : column_analysis list;
     }
+  | Plan_report of { logical : string; optimized : string }
   | Rejected of { bucket : string; reason : string }
   | Refused of {
       analyst : string;
@@ -113,6 +115,7 @@ let request_to_json = function
       ([ ("op", Json.str "query"); ("sql", Json.str sql) ]
       @ opt_num "epsilon" epsilon @ opt_num "delta" delta)
   | Analyze { sql } -> Json.Obj [ ("op", Json.str "analyze"); ("sql", Json.str sql) ]
+  | Explain { sql } -> Json.Obj [ ("op", Json.str "explain"); ("sql", Json.str sql) ]
   | Budget_info -> Json.Obj [ ("op", Json.str "budget") ]
   | Stats -> Json.Obj [ ("op", Json.str "stats") ]
   | Quit -> Json.Obj [ ("op", Json.str "quit") ]
@@ -133,6 +136,9 @@ let request_of_json j =
   | "analyze" ->
     let* sql = get_str "sql" j in
     Ok (Analyze { sql })
+  | "explain" ->
+    let* sql = get_str "sql" j in
+    Ok (Explain { sql })
   | "budget" -> Ok Budget_info
   | "stats" -> Ok Stats
   | "quit" -> Ok Quit
@@ -179,6 +185,13 @@ let response_to_json = function
                      ("noise_scale", Json.num c.noise_scale);
                    ])
                a.columns) );
+      ]
+  | Plan_report { logical; optimized } ->
+    Json.Obj
+      [
+        ("status", Json.str "plan");
+        ("logical", Json.str logical);
+        ("optimized", Json.str optimized);
       ]
   | Rejected { bucket; reason } ->
     Json.Obj
@@ -299,6 +312,10 @@ let response_of_json j =
       | None -> Error "missing columns"
     in
     Ok (Analysis { cache_hit; is_histogram; joins; columns })
+  | "plan" ->
+    let* logical = get_str "logical" j in
+    let* optimized = get_str "optimized" j in
+    Ok (Plan_report { logical; optimized })
   | "rejected" ->
     let* bucket = get_str "bucket" j in
     let* reason = get_str "reason" j in

@@ -12,6 +12,8 @@ type request =
   | Query of { sql : string; epsilon : float option; delta : float option }
       (** a DP query; optional per-query epsilon/delta overrides *)
   | Analyze of { sql : string }  (** sensitivity analysis only — free *)
+  | Explain of { sql : string }
+      (** the optimizer's logical and optimized plans — free, no execution *)
   | Budget_info  (** the session analyst's ledger state *)
   | Stats  (** service counters: cache, admissions, analysts *)
   | Quit
@@ -41,6 +43,8 @@ type response =
       joins : int;
       columns : column_analysis list;
     }
+  | Plan_report of { logical : string; optimized : string }
+      (** rendered plans with estimated cardinalities, answering {!Explain} *)
   | Rejected of { bucket : string; reason : string }
       (** §3.7.1 typed rejection; [bucket] is the §5.1 class
           (parse / unsupported / other) *)

@@ -89,6 +89,10 @@ and query = {
 
 and cte = { cte_name : string; cte_columns : string list; cte_query : query }
 
+type statement = Query of query | Explain of query
+    (** A top-level statement: a query to execute, or [EXPLAIN <query>] asking
+        for the logical and optimized plans instead of results. *)
+
 (** {2 Construction helpers} *)
 
 val empty_select : select

@@ -565,6 +565,28 @@ let parse_exn src =
   | t -> fail p "unexpected trailing input: %s" (Token.to_string t));
   q
 
+let parse_statement_exn src =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error { message; line; col } -> raise (Error { message; line; col })
+  in
+  let p = { toks; i = 0 } in
+  let explain = eat_kw p "EXPLAIN" in
+  let q = parse_query p in
+  while eat p Token.SEMI do
+    ()
+  done;
+  (match peek p with
+  | Token.EOF -> ()
+  | t -> fail p "unexpected trailing input: %s" (Token.to_string t));
+  if explain then Ast.Explain q else Ast.Query q
+
+let parse_statement src =
+  match parse_statement_exn src with
+  | s -> Ok s
+  | exception Error { message; line; col } ->
+    Error (Fmt.str "parse error at line %d, column %d: %s" line col message)
+
 let parse src =
   match parse_exn src with
   | q -> Ok q

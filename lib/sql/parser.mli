@@ -13,5 +13,11 @@ val parse : string -> (Ast.query, string) result
 val parse_exn : string -> Ast.query
 (** @raise Error on malformed input. *)
 
+val parse_statement : string -> (Ast.statement, string) result
+(** Like {!parse}, additionally accepting a leading [EXPLAIN] keyword. *)
+
+val parse_statement_exn : string -> Ast.statement
+(** @raise Error on malformed input. *)
+
 val parse_expr_exn : string -> Ast.expr
 (** Parse a standalone scalar expression (used by tests and tools). *)

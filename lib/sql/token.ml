@@ -35,6 +35,7 @@ let keywords =
     "NATURAL"; "AND"; "OR"; "NOT"; "NULL"; "TRUE"; "FALSE"; "DISTINCT"; "ALL";
     "UNION"; "EXCEPT"; "MINUS"; "INTERSECT"; "WITH"; "CASE"; "WHEN"; "THEN"; "ELSE";
     "END"; "IN"; "BETWEEN"; "LIKE"; "IS"; "EXISTS"; "CAST"; "ASC"; "DESC";
+    "EXPLAIN";
   ]
 
 let keyword_set =

@@ -1,0 +1,424 @@
+(* The optimizer's three obligations, each with its own suite:
+
+   1. Semantics: a three-way differential oracle — reference interpreter,
+      compiled-unoptimized, compiled-optimized — over the hand-written edge
+      cases, targeted optimizer traps (outer joins filtered on the nullable
+      side, correlated subqueries under pushed filters, DISTINCT + set ops)
+      and a generated workload. Optimized plans may permute row order (join
+      reorder and build-side swaps follow the probe side), so they compare
+      as sorted multisets with a float tolerance for re-associated AVG/SUM.
+
+   2. Plans: exact snapshots of the optimized plan for canonical queries,
+      pinning down which rewrites fire (and, for outer joins with predicates
+      on the nullable side, which must not).
+
+   3. Privacy invariance: FLEX releases are bit-identical with the optimizer
+      on and off — the analysis runs on the original AST, and fixed-seed
+      noise lands on the same true values. *)
+
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Executor = Flex_engine.Executor
+module Reference = Flex_engine.Reference
+module Plan = Flex_engine.Plan
+module Optimizer = Flex_engine.Optimizer
+module Flex = Flex_core.Flex
+module Rng = Flex_dp.Rng
+module Uber = Flex_workload.Uber
+module Qgen = Flex_workload.Qgen
+module Wire = Flex_service.Wire
+module Server = Flex_service.Server
+module Ledger = Flex_dp.Ledger
+
+let fixture = Test_engine.fixture
+
+(* --- three-way differential oracle --------------------------------------------- *)
+
+(* Exact for ints/strings; floats compare within a relative tolerance because
+   join reorder re-associates AVG/SUM accumulation. *)
+let cell_close (a : Value.t) (b : Value.t) =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+    x = y
+    || (Float.is_nan x && Float.is_nan y)
+    || Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | _ -> a = b
+
+let row_close a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i va -> if not (cell_close va b.(i)) then ok := false) a;
+  !ok
+
+let multiset_close rows_a rows_b =
+  let sort = List.sort Stdlib.compare in
+  let a = sort rows_a and b = sort rows_b in
+  List.length a = List.length b && List.for_all2 row_close a b
+
+let row_to_string row =
+  Array.to_list row |> List.map Value.to_string |> String.concat ", "
+
+(* reference == compiled (exact, including order) and compiled == optimized
+   (multiset); errors must agree across all three *)
+let check_three db metrics sql =
+  let reference = Reference.run_sql db sql in
+  let compiled = Executor.run_sql db sql in
+  let optimized = Executor.run_sql ~optimize:true ~metrics db sql in
+  match (reference, compiled, optimized) with
+  | Error _, Error _, Error _ -> ()
+  | Error e, Ok _, _ -> Alcotest.failf "reference failed, compiled ok (%s): %s" sql e
+  | Ok _, Error e, _ -> Alcotest.failf "reference ok, compiled failed (%s): %s" sql e
+  | _, Ok _, Error e -> Alcotest.failf "compiled ok, optimized failed (%s): %s" sql e
+  | _, Error _, Ok _ -> Alcotest.failf "compiled failed, optimized ok (%s)" sql
+  | Ok r, Ok c, Ok o ->
+    Alcotest.(check (list string)) (sql ^ ": columns") r.Reference.columns c.Executor.columns;
+    Alcotest.(check (list string)) (sql ^ ": opt columns") c.Executor.columns o.Executor.columns;
+    if not (List.length r.Reference.rows = List.length c.Executor.rows) then
+      Alcotest.failf "compiled row count differs (%s)" sql;
+    List.iteri
+      (fun i (rr, rc) ->
+        if not (row_close rr rc) then
+          Alcotest.failf "row %d differs (%s): reference [%s], compiled [%s]" i sql
+            (row_to_string rr) (row_to_string rc))
+      (List.combine r.Reference.rows c.Executor.rows);
+    if not (multiset_close c.Executor.rows o.Executor.rows) then
+      Alcotest.failf "optimized result multiset differs (%s): %d vs %d rows" sql
+        (List.length c.Executor.rows)
+        (List.length o.Executor.rows)
+
+(* Queries aimed at the rewrites themselves: every rule that can fire has a
+   case here, and every rule that must NOT fire has a trap. *)
+let optimizer_trap_queries =
+  [
+    (* outer joins with WHERE on the nullable side: null-rejecting converts,
+       null-accepting must not *)
+    "SELECT p.name, t.kind FROM people p LEFT JOIN pets t ON p.id = t.owner_id \
+     WHERE t.kind = 'cat'";
+    "SELECT p.name, t.kind FROM people p LEFT JOIN pets t ON p.id = t.owner_id \
+     WHERE t.kind IS NULL";
+    "SELECT p.name FROM people p RIGHT JOIN pets t ON p.id = t.owner_id WHERE p.age > 30";
+    "SELECT p.name FROM people p RIGHT JOIN pets t ON p.id = t.owner_id \
+     WHERE p.name IS NULL";
+    "SELECT p.name FROM people p FULL JOIN pets t ON p.id = t.owner_id \
+     WHERE p.age > 30 AND t.kind = 'cat'";
+    "SELECT c.name, p.name FROM cities c FULL JOIN people p ON c.id = p.city_id \
+     WHERE c.name = 'sf'";
+    "SELECT p.name FROM people p LEFT JOIN pets t ON p.id = t.owner_id \
+     WHERE p.age > 30";
+    (* correlated subqueries under pushed filters *)
+    "SELECT name FROM people p WHERE city_id = 1 AND EXISTS \
+     (SELECT 1 FROM pets t WHERE t.owner_id = p.id)";
+    "SELECT p.name FROM people p JOIN cities c ON p.city_id = c.id \
+     WHERE c.name = 'sf' AND (SELECT COUNT(*) FROM pets t WHERE t.owner_id = p.id) > 0";
+    "SELECT x.name FROM (SELECT name, id, age FROM people) x \
+     WHERE x.age > 20 AND EXISTS (SELECT 1 FROM pets t WHERE t.owner_id = x.id)";
+    "SELECT name FROM people p WHERE age > \
+     (SELECT AVG(age) FROM people q WHERE q.city_id = p.city_id) AND p.age > 20";
+    (* DISTINCT + set operations over optimizable arms *)
+    "SELECT DISTINCT city_id FROM people WHERE age > 20 \
+     UNION SELECT id FROM cities WHERE name = 'sf'";
+    "SELECT city_id FROM people WHERE age > 0 \
+     EXCEPT ALL SELECT id FROM cities WHERE name <> 'sf'";
+    "SELECT DISTINCT p.city_id FROM people p JOIN pets t ON p.id = t.owner_id \
+     WHERE t.kind = 'cat' INTERSECT SELECT id FROM cities";
+    (* CTEs: single-use inlines, multi-use must not *)
+    "WITH w AS (SELECT id, city_id FROM people WHERE age > 20) \
+     SELECT COUNT(*) FROM w WHERE city_id = 1";
+    "WITH w AS (SELECT id FROM people) SELECT a.id FROM w a JOIN w b ON a.id = b.id";
+    "WITH w AS (SELECT id FROM people WHERE age > 30) \
+     SELECT name FROM people WHERE id IN (SELECT id FROM w)";
+    (* join reorder across a comma-join written in a bad order *)
+    "SELECT COUNT(*) FROM pets t, cities c, people p \
+     WHERE p.id = t.owner_id AND p.city_id = c.id";
+    (* trivially-false WHERE *)
+    "SELECT COUNT(*) FROM people WHERE FALSE";
+    "SELECT name FROM people WHERE NULL";
+    "SELECT name FROM people WHERE FALSE AND age > 0";
+    (* ORDER BY an unprojected source column through an optimized join *)
+    "SELECT p.name FROM people p JOIN cities c ON p.city_id = c.id \
+     WHERE c.id > 0 ORDER BY p.age DESC, p.name";
+  ]
+
+let differential_tests =
+  [
+    Alcotest.test_case "edge cases agree three ways" `Quick (fun () ->
+        let db = fixture () in
+        let metrics = Metrics.compute db in
+        List.iter (check_three db metrics) Test_engine.edge_case_queries);
+    Alcotest.test_case "optimizer traps agree three ways" `Quick (fun () ->
+        let db = fixture () in
+        let metrics = Metrics.compute db in
+        List.iter (check_three db metrics) optimizer_trap_queries);
+    Alcotest.test_case "generated workload agrees three ways" `Quick (fun () ->
+        let rng = Rng.create ~seed:19 () in
+        let db, metrics = Uber.generate ~sizes:Uber.small_sizes rng in
+        let queries =
+          Qgen.generate rng ~count:50 ~n_cities:12 ~n_drivers:120 ~n_users:200
+        in
+        List.iter
+          (fun (q : Qgen.t) ->
+            check_three db metrics q.sql;
+            check_three db metrics q.population_sql)
+          queries);
+  ]
+
+(* --- plan snapshots -------------------------------------------------------------- *)
+
+let optimized_plan metrics sql =
+  Plan.to_string (Optimizer.plan ~metrics (Flex_sql.Parser.parse_exn sql))
+
+let snap name sql expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let metrics = Metrics.compute (fixture ()) in
+      Alcotest.(check string) sql expected (optimized_plan metrics sql))
+
+let snapshot_tests =
+  [
+    snap "pushdown through inner join splits conjuncts"
+      "SELECT p.name FROM people p JOIN cities c ON p.city_id = c.id WHERE c.name = 'sf' AND p.age > 30"
+      "Project [p.name]\n\
+       \  INNER JOIN [hash on p.city_id = c.id]\n\
+       \    Filter (p.age > 30)\n\
+       \      Scan people AS p\n\
+       \    Filter (c.name = 'sf')\n\
+       \      Scan cities AS c\n";
+    snap "null-rejecting WHERE converts LEFT JOIN to INNER and pushes"
+      "SELECT p.name FROM people p LEFT JOIN pets t ON p.id = t.owner_id WHERE t.kind = 'cat'"
+      "Project [p.name]\n\
+       \  INNER JOIN [hash on p.id = t.owner_id]\n\
+       \    Scan people AS p\n\
+       \    Filter (t.kind = 'cat')\n\
+       \      Scan pets AS t\n";
+    snap "IS NULL on the nullable side keeps the LEFT JOIN and stays above"
+      "SELECT p.name, t.kind FROM people p LEFT JOIN pets t ON p.id = t.owner_id WHERE t.kind IS NULL"
+      "Project [p.name, t.kind]\n\
+       \  Filter (t.kind IS NULL)\n\
+       \    LEFT JOIN [hash on p.id = t.owner_id]\n\
+       \      Scan people AS p\n\
+       \      Scan pets AS t\n";
+    snap "preserved-side predicate pushes below the LEFT JOIN"
+      "SELECT p.name FROM people p LEFT JOIN pets t ON p.id = t.owner_id WHERE p.age > 30"
+      "Project [p.name]\n\
+       \  LEFT JOIN [hash on p.id = t.owner_id] build=left\n\
+       \    Filter (p.age > 30)\n\
+       \      Scan people AS p\n\
+       \    Scan pets AS t\n";
+    snap "predicate sinks into a derived table and prunes its projections"
+      "SELECT x.name FROM (SELECT name, age FROM people) x WHERE x.age > 30"
+      "Project [x.name]\n\
+       \  Derived AS x\n\
+       \    Project [name]\n\
+       \      Filter (age > 30)\n\
+       \        Scan people\n";
+    snap "unused derived projections are pruned"
+      "SELECT x.name FROM (SELECT name, age, city_id FROM people) x"
+      "Project [x.name]\n\
+       \  Derived AS x\n\
+       \    Project [name]\n\
+       \      Scan people\n";
+    snap "single-use CTE inlines and prunes"
+      "WITH w AS (SELECT id, age FROM people WHERE age > 30) SELECT COUNT(*) FROM w"
+      "Aggregate [COUNT(*)]\n\
+       \  Derived AS w\n\
+       \    Project [id]\n\
+       \      Filter (age > 30)\n\
+       \        Scan people\n";
+    snap "constant folding inside projections and predicates"
+      "SELECT 1 + 2 * 3 AS x FROM people WHERE age > 0 + 10"
+      "Project [7 AS x]\n\
+       \  Filter (age > 10)\n\
+       \    Scan people\n";
+    snap "trivially-false WHERE empties the scan"
+      "SELECT name FROM people WHERE FALSE"
+      "Project [name]\n\
+       \  Filter FALSE\n\
+       \    Filter FALSE\n\
+       \      Scan people\n";
+    snap "comma joins upgrade to hash joins with pushed dimension filter"
+      "SELECT COUNT(*) FROM people p, pets t, cities c WHERE p.id = t.owner_id AND p.city_id = c.id AND c.name = 'sf'"
+      "Aggregate [COUNT(*)]\n\
+       \  INNER JOIN [hash on p.city_id = c.id]\n\
+       \    INNER JOIN [hash on p.id = t.owner_id]\n\
+       \      Scan people AS p\n\
+       \      Scan pets AS t\n\
+       \    Filter (c.name = 'sf')\n\
+       \      Scan cities AS c\n";
+    snap "join reorder avoids the cross join"
+      "SELECT COUNT(*) FROM pets t, cities c, people p WHERE p.id = t.owner_id AND p.city_id = c.id"
+      "Aggregate [COUNT(*)]\n\
+       \  INNER JOIN [hash on p.id = t.owner_id]\n\
+       \    INNER JOIN [hash on p.city_id = c.id] build=left\n\
+       \      Scan cities AS c\n\
+       \      Scan people AS p\n\
+       \    Scan pets AS t\n";
+    snap "hash join builds on the estimated-smaller side"
+      "SELECT COUNT(*) FROM cities c JOIN people p ON c.id = p.city_id"
+      "Aggregate [COUNT(*)]\n\
+       \  INNER JOIN [hash on c.id = p.city_id] build=left\n\
+       \    Scan cities AS c\n\
+       \    Scan people AS p\n";
+  ]
+
+(* --- privacy invariance ----------------------------------------------------------- *)
+
+let release_fingerprint (r : Flex.release) =
+  ( r.noisy.columns,
+    r.noisy.rows,
+    r.epsilon,
+    r.delta,
+    List.map (fun (cr : Flex.column_release) -> (cr.name, cr.noise_scale)) r.column_releases )
+
+let dp_invariance_tests =
+  [
+    Alcotest.test_case "releases are bit-identical with the optimizer on" `Quick
+      (fun () ->
+        let db, metrics =
+          Uber.generate ~sizes:Uber.small_sizes (Rng.create ~seed:23 ())
+        in
+        let options = Flex.options ~epsilon:0.5 ~delta:1e-6 () in
+        List.iter
+          (fun sql ->
+            let go optimize =
+              (* fresh fixed-seed RNG per run so both draws see the same noise *)
+              let rng = Rng.create ~seed:91 () in
+              match Flex.run_sql ~optimize ~rng ~options ~db ~metrics sql with
+              | Ok release -> release_fingerprint release
+              | Error r -> Alcotest.failf "%s rejected: %s" sql (Flex_core.Errors.to_string r)
+            in
+            if go false <> go true then
+              Alcotest.failf "release differs with optimizer on: %s" sql)
+          [
+            "SELECT COUNT(*) FROM trips";
+            "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id \
+             WHERE d.city_id = 1";
+            "SELECT COUNT(*) FROM trips t JOIN users u ON t.rider_id = u.id \
+             JOIN drivers d ON t.driver_id = d.id WHERE d.status = 'active'";
+            "SELECT COUNT(*) FROM trips WHERE fare > 20";
+          ]);
+    Alcotest.test_case "sensitivity analysis ignores the optimizer" `Quick (fun () ->
+        let db, metrics =
+          Uber.generate ~sizes:Uber.small_sizes (Rng.create ~seed:23 ())
+        in
+        ignore db;
+        let options = Flex.options ~epsilon:0.5 ~delta:1e-6 () in
+        let sql =
+          "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id \
+           WHERE d.city_id = 1"
+        in
+        (* the analysis consumes only the AST and metrics; this pins that the
+           optimized execution path leaves its input untouched *)
+        match Flex.analyze_only ~options ~metrics sql with
+        | Error r -> Alcotest.failf "rejected: %s" (Flex_core.Errors.to_string r)
+        | Ok (_, bounds) ->
+          Alcotest.(check bool) "has a bound" true (bounds <> []));
+  ]
+
+(* --- EXPLAIN through the service ------------------------------------------------- *)
+
+let service_fixture =
+  lazy (Uber.generate ~sizes:Uber.small_sizes (Rng.create ~seed:7 ()))
+
+let make_server () =
+  let db, metrics = Lazy.force service_fixture in
+  let ledger = Ledger.in_memory () in
+  Server.create ~db ~metrics ~ledger ~rng:(Rng.create ~seed:11 ()) ()
+
+let explain_service_tests =
+  [
+    Alcotest.test_case "explain op answers with both plans, uncharged" `Quick
+      (fun () ->
+        let server = make_server () in
+        let session = Server.session server in
+        match
+          Server.handle server session
+            (Wire.Explain
+               {
+                 sql =
+                   "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id \
+                    WHERE d.city_id = 1";
+               })
+        with
+        | Wire.Plan_report { logical; optimized } ->
+          let has s sub = Astring.String.is_infix ~affix:sub s in
+          Alcotest.(check bool) "logical has scan" true (has logical "Scan trips AS t");
+          Alcotest.(check bool) "logical unrewritten" true
+            (has logical "Filter (d.city_id = 1)\n    INNER JOIN");
+          (* in the optimized plan the filter is a rel node under the join
+             (cardinality-annotated), no longer the WHERE above it *)
+          Alcotest.(check bool) "optimized pushed down" true
+            (has optimized "Filter (d.city_id = 1)  (~");
+          Alcotest.(check bool) "optimized WHERE gone" false
+            (has optimized "Filter (d.city_id = 1)\n    INNER JOIN");
+          Alcotest.(check bool) "cardinalities rendered" true (has optimized "(~")
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+    Alcotest.test_case "EXPLAIN SELECT through the query op is free" `Quick (fun () ->
+        let server = make_server () in
+        let session = Server.session server in
+        (match
+           Server.handle server session
+             (Wire.Hello { analyst = "opt"; epsilon = None; delta = None })
+         with
+        | Wire.Budget_report _ -> ()
+        | other -> Alcotest.failf "hello failed: %s" (Wire.response_to_line other));
+        let remaining () =
+          match Server.handle server session Wire.Budget_info with
+          | Wire.Budget_report b -> (b.remaining_epsilon, b.remaining_delta)
+          | other -> Alcotest.failf "budget failed: %s" (Wire.response_to_line other)
+        in
+        let before = remaining () in
+        (match
+           Server.handle server session
+             (Wire.Query
+                {
+                  sql = "EXPLAIN SELECT COUNT(*) FROM trips";
+                  epsilon = None;
+                  delta = None;
+                })
+         with
+        | Wire.Plan_report { optimized; _ } ->
+          Alcotest.(check bool) "plan rendered" true
+            (Astring.String.is_infix ~affix:"Scan trips" optimized)
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+        Alcotest.(check bool) "budget untouched" true (before = remaining ()));
+    Alcotest.test_case "explain parse failures are typed rejections" `Quick (fun () ->
+        let server = make_server () in
+        let session = Server.session server in
+        match Server.handle server session (Wire.Explain { sql = "SELEKT nope" }) with
+        | Wire.Rejected { bucket; _ } -> Alcotest.(check string) "bucket" "parse" bucket
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+  ]
+
+(* --- EXPLAIN statement parsing ---------------------------------------------------- *)
+
+let parse_statement_tests =
+  [
+    Alcotest.test_case "EXPLAIN prefix parses to an Explain statement" `Quick (fun () ->
+        (match Flex_sql.Parser.parse_statement "EXPLAIN SELECT 1" with
+        | Ok (Flex_sql.Ast.Explain _) -> ()
+        | Ok _ -> Alcotest.fail "expected Explain"
+        | Error e -> Alcotest.failf "parse failed: %s" e);
+        match Flex_sql.Parser.parse_statement "SELECT 1;" with
+        | Ok (Flex_sql.Ast.Query _) -> ()
+        | Ok _ -> Alcotest.fail "expected Query"
+        | Error e -> Alcotest.failf "parse failed: %s" e);
+    Alcotest.test_case "EXPLAIN is a keyword, not a column name" `Quick (fun () ->
+        match Flex_sql.Parser.parse "SELECT explain FROM t" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "EXPLAIN should not lex as an identifier");
+    Alcotest.test_case "bare EXPLAIN is rejected" `Quick (fun () ->
+        match Flex_sql.Parser.parse_statement "EXPLAIN" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "EXPLAIN without a query should fail");
+  ]
+
+let suites =
+  [
+    ("optimizer-differential", differential_tests);
+    ("optimizer-plans", snapshot_tests);
+    ("optimizer-dp-invariance", dp_invariance_tests);
+    ("optimizer-explain-service", explain_service_tests);
+    ("optimizer-explain-parse", parse_statement_tests);
+  ]

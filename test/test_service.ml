@@ -97,6 +97,7 @@ let gen_request =
           (fun sql epsilon delta -> Wire.Query { sql; epsilon; delta })
           gen_sql gen_opt_float gen_opt_float;
         map (fun sql -> Wire.Analyze { sql }) gen_sql;
+        map (fun sql -> Wire.Explain { sql }) gen_sql;
         return Wire.Budget_info;
         return Wire.Stats;
         return Wire.Quit;
@@ -137,6 +138,9 @@ let gen_response =
               return { Wire.column; sensitivity; smooth_bound; noise_scale })
          in
          return (Wire.Analysis { cache_hit; is_histogram; joins; columns }));
+        map2
+          (fun logical optimized -> Wire.Plan_report { logical; optimized })
+          gen_name gen_name;
         map2
           (fun bucket reason -> Wire.Rejected { bucket; reason })
           (oneofl [ "parse"; "unsupported"; "other"; "admission" ])
