@@ -33,7 +33,7 @@ let load_csv_dir dir =
   Database.of_tables tables
 
 let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
-    analyst_epsilon analyst_delta cap seed domains =
+    analyst_epsilon analyst_delta cap seed domains explain_estimates =
   let db, metrics =
     if demo then begin
       Fmt.pr "generating a ride-sharing database...@.";
@@ -62,6 +62,7 @@ let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
       analyst_epsilon;
       analyst_delta;
       max_epsilon_per_query = cap;
+      explain_estimates;
     }
   in
   let domains =
@@ -148,6 +149,15 @@ let () =
       & info [ "max-epsilon" ] ~docv:"EPS" ~doc:"Admission cap on a single query's epsilon.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Noise RNG seed.") in
+  let explain_estimates =
+    Arg.(
+      value & flag
+      & info [ "explain-estimates" ]
+          ~doc:
+            "Render $(b,~N rows) cardinality annotations in EXPLAIN responses. Off by \
+             default: EXPLAIN is uncharged and the estimates are seeded from exact \
+             table row counts, so enabling this declares table cardinalities public.")
+  in
   let domains =
     Arg.(
       value
@@ -164,6 +174,7 @@ let () =
   let term =
     Term.(
       const serve $ dir $ metrics_file $ demo $ port $ ledger_file $ audit_file $ sync
-      $ epsilon $ delta $ analyst_epsilon $ analyst_delta $ cap $ seed $ domains)
+      $ epsilon $ delta $ analyst_epsilon $ analyst_delta $ cap $ seed $ domains
+      $ explain_estimates)
   in
   exit (Cmd.eval (Cmd.v info term))

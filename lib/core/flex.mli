@@ -104,7 +104,10 @@ val execute :
     [~optimize:true] (default false) routes execution through
     {!Optimizer.rewrite}, with [?metrics] doubling as cardinality statistics
     (paper §3.4). The privacy analysis never sees the rewritten plan: result
-    multisets are identical, so releases differ at most in row order. *)
+    multisets are identical up to floating-point rounding, so releases differ
+    at most in row order — except float SUM/AVG, whose accumulation order
+    join reorder and build-side swaps can re-associate, shifting low-order
+    bits (well inside the noise scale). *)
 
 val perturb :
   rng:Rng.t ->

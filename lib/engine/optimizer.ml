@@ -591,10 +591,15 @@ let prune_derived ~sp ~extra ~(where : Ast.expr option) (src : Plan.rel) : Plan.
                  && List.for_all
                       (function Ast.Proj_expr _ -> true | _ -> false)
                       isp.projections ->
+            (* Aggregate projections are load-bearing even when unreferenced:
+               with [group_by = []] a single aggregate turns the select into a
+               one-row-per-input whole-table aggregate, so dropping the last
+               one would demote it to a plain projection and change the row
+               count. *)
             let kept =
               List.filter
                 (function
-                  | Ast.Proj_expr (e, a) -> name_used la (proj_name e a)
+                  | Ast.Proj_expr (e, a) -> has_agg e || name_used la (proj_name e a)
                   | _ -> true)
                 isp.projections
             in
@@ -1155,12 +1160,16 @@ let rec choose_build_sides (est : Plan.estimator) (r : Plan.rel) : Plan.rel =
     let left = choose_build_sides est j.left
     and right = choose_build_sides est j.right in
     let has_keys = j.kind <> Ast.Cross && fst (Plan.join_keys j.cond) <> [] in
+    (* Flip to build-left only on a strictly smaller left estimate: missing
+       estimates and ties keep [of_query]'s probe-left/build-right
+       orientation, so without stats the plan (and the probe side's row
+       order) stays on the historical path. *)
     let build_left =
       has_keys
       &&
       match (est.Plan.est_rel left, est.Plan.est_rel right) with
-      | Some l, Some r -> l <= r
-      | _ -> true
+      | Some l, Some r -> l < r
+      | _ -> false
     in
     Plan.Join { j with build_left; left; right }
 
@@ -1211,8 +1220,14 @@ let rewrite ?metrics (p : Plan.t) : Plan.t =
 
 let plan ?metrics (q : Ast.query) : Plan.t = rewrite ?metrics (Plan.of_query q)
 
-let explain ?metrics (q : Ast.query) : string * string =
+let explain ?metrics ?(estimates = true) (q : Ast.query) : string * string =
   let logical = Plan.of_query q in
   let optimized = rewrite ?metrics logical in
-  ( Plan.render ~est:(estimator ?metrics logical) logical,
-    Plan.render ~est:(estimator ?metrics optimized) optimized )
+  (* [~estimates:false] still optimizes with the metrics (so the rendered
+     shape is the executed shape) but suppresses the ~N annotations — they
+     are seeded from exact private-table row counts, which an untrusted
+     surface may not be allowed to echo. *)
+  let render p =
+    if estimates then Plan.render ~est:(estimator ?metrics p) p else Plan.to_string p
+  in
+  (render logical, render optimized)

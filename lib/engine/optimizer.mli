@@ -31,7 +31,9 @@ val rewrite : ?metrics:Metrics.t -> Plan.t -> Plan.t
 (** Optimize a plan. Without [?metrics] only the logical rules and the
     stats-free physical defaults apply. Row {e order} of the result may
     differ from the unoptimized plan (join reorder and build-side swaps
-    follow the probe relation's order); row {e multisets} are identical. *)
+    follow the probe relation's order); row {e multisets} are identical up to
+    floating-point rounding — reordering re-associates float SUM/AVG
+    accumulation, so those aggregates can differ in low-order bits. *)
 
 val plan : ?metrics:Metrics.t -> Ast.query -> Plan.t
 (** [plan ?metrics q = rewrite ?metrics (Plan.of_query q)]. *)
@@ -42,6 +44,11 @@ val estimator : ?metrics:Metrics.t -> Plan.t -> Plan.estimator
     [mf/n] selectivity (primary keys [1/n]); joins use the [mf] fanout
     bounds above; GROUP BY and DISTINCT use a square-root heuristic. *)
 
-val explain : ?metrics:Metrics.t -> Ast.query -> string * string
-(** [(logical, optimized)] rendered plans with cardinality annotations —
-    the payload behind [EXPLAIN <query>]. *)
+val explain : ?metrics:Metrics.t -> ?estimates:bool -> Ast.query -> string * string
+(** [(logical, optimized)] rendered plans — the payload behind
+    [EXPLAIN <query>]. [~estimates] (default [true]) controls the per-operator
+    [~N rows] cardinality annotations; pass [false] on untrusted surfaces,
+    because the estimates are seeded from exact private-table row counts
+    ({!Metrics.row_count}) and would otherwise disclose them for free. The
+    rewrite itself still uses [?metrics] either way, so the rendered optimized
+    shape matches what executes. *)

@@ -22,6 +22,10 @@ type config = {
       (* execute through the cost-based plan optimizer ({!Optimizer}), with
          the sensitivity metrics doubling as cardinality statistics; the
          privacy analysis always sees the original AST *)
+  explain_estimates : bool;
+      (* render ~N cardinality annotations in EXPLAIN responses; off by
+         default because the estimates are seeded from exact private-table
+         row counts, which EXPLAIN would otherwise disclose uncharged *)
 }
 
 let default_config =
@@ -35,6 +39,7 @@ let default_config =
     unique_optimization = true;
     cross_joins = false;
     optimize_queries = true;
+    explain_estimates = false;
   }
 
 type t = {
@@ -208,7 +213,10 @@ let handle_query t session ~sql ~epsilon ~delta =
       | Ok (Flex_sql.Ast.Explain ast) ->
         (* EXPLAIN typed where a query was expected: answer with the plans,
            charge nothing *)
-        let logical, optimized = Flex_engine.Optimizer.explain ~metrics:t.metrics ast in
+        let logical, optimized =
+          Flex_engine.Optimizer.explain ~metrics:t.metrics
+            ~estimates:t.config.explain_estimates ast
+        in
         Wire.Plan_report { logical; optimized }
       | Ok (Flex_sql.Ast.Query _) | Error _ -> (
       let options = options_for t ~epsilon ~delta in
@@ -296,14 +304,20 @@ let handle_query t session ~sql ~epsilon ~delta =
                   noise_scales;
                 }))))))
 
-(* EXPLAIN is free: it renders plans over public metrics without touching
-   the database, so it is neither charged nor counted as a query. *)
+(* EXPLAIN is free: it renders plan shapes without touching the database,
+   so it is neither charged nor counted as a query. Because it is free, the
+   ~N cardinality annotations — seeded from exact private-table row counts —
+   are suppressed unless the deployment opts in via [explain_estimates]
+   (i.e. declares table cardinalities public). *)
 let handle_explain t ~sql =
   match parse sql with
   | Error reason ->
     Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
   | Ok ast ->
-    let logical, optimized = Flex_engine.Optimizer.explain ~metrics:t.metrics ast in
+    let logical, optimized =
+      Flex_engine.Optimizer.explain ~metrics:t.metrics
+        ~estimates:t.config.explain_estimates ast
+    in
     Wire.Plan_report { logical; optimized }
 
 let handle_analyze t ~sql =

@@ -40,13 +40,20 @@ type config = {
   optimize_queries : bool;
       (** execute through the cost-based plan optimizer ({!Flex_engine.Optimizer}),
           with the sensitivity metrics doubling as cardinality statistics; the
-          privacy analysis always sees the original AST, so releases are
-          unchanged up to row order *)
+          privacy analysis always sees the original AST. Releases are unchanged
+          up to row order and floating-point rounding (join reorder can
+          re-associate float SUM/AVG accumulation). *)
+  explain_estimates : bool;
+      (** render per-operator [~N rows] cardinality annotations in EXPLAIN
+          responses. Off by default: EXPLAIN is uncharged and the estimates
+          are seeded from exact private-table row counts
+          ({!Flex_engine.Metrics.row_count}), so enabling this declares table
+          cardinalities public in the deployment's threat model. *)
 }
 
 val default_config : config
 (** eps 0.1 / delta 1e-8 per query, totals 10.0 / 1e-4, cap 1.0, paper-default
-    optimisation flags. *)
+    optimisation flags, EXPLAIN cardinality annotations off. *)
 
 type t
 

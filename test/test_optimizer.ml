@@ -133,6 +133,12 @@ let optimizer_trap_queries =
     (* join reorder across a comma-join written in a bad order *)
     "SELECT COUNT(*) FROM pets t, cities c, people p \
      WHERE p.id = t.owner_id AND p.city_id = c.id";
+    (* derived-table pruning must not drop aggregate projections: with no
+       GROUP BY the aggregate is what makes the inner select one-row *)
+    "SELECT k FROM (SELECT COUNT(*) AS c, 42 AS k FROM people) d";
+    "SELECT d.k FROM (SELECT 1 AS k, MAX(age) AS m, MIN(age) AS n FROM people) d";
+    "SELECT d.city_id FROM (SELECT city_id, COUNT(*) AS c FROM people \
+     GROUP BY city_id) d";
     (* trivially-false WHERE *)
     "SELECT COUNT(*) FROM people WHERE FALSE";
     "SELECT name FROM people WHERE NULL";
@@ -260,6 +266,29 @@ let snapshot_tests =
        \  INNER JOIN [hash on c.id = p.city_id] build=left\n\
        \    Scan cities AS c\n\
        \    Scan people AS p\n";
+    snap "unreferenced aggregate projections in derived tables are never pruned"
+      (* dropping the count aggregate would demote the ungrouped inner
+         select from a one-row aggregate to a per-row projection *)
+      "SELECT d.k FROM (SELECT COUNT(*) AS c, 42 AS k FROM people) d"
+      "Project [d.k]\n\
+       \  Derived AS d\n\
+       \    Aggregate [COUNT(*)]\n\
+       \      Scan people\n";
+    Alcotest.test_case "missing stats keep the historical build-right side" `Quick
+      (fun () ->
+        (* no metrics -> no estimates: of_query's probe-left/build-right
+           orientation must survive, so the stats-free optimized path keeps
+           the historical row order *)
+        let sql = "SELECT p.name, t.kind FROM people p JOIN pets t ON p.id = t.owner_id" in
+        let plan = Optimizer.plan (Flex_sql.Parser.parse_exn sql) in
+        Alcotest.(check bool) "no build=left without stats" false
+          (Astring.String.is_infix ~affix:"build=left" (Plan.to_string plan));
+        let db = fixture () in
+        match (Executor.run_sql db sql, Executor.run_sql ~optimize:true db sql) with
+        | Ok c, Ok o ->
+          Alcotest.(check bool) "row order matches unoptimized" true
+            (c.Executor.rows = o.Executor.rows)
+        | _ -> Alcotest.fail "join failed");
   ]
 
 (* --- privacy invariance ----------------------------------------------------------- *)
@@ -321,10 +350,14 @@ let dp_invariance_tests =
 let service_fixture =
   lazy (Uber.generate ~sizes:Uber.small_sizes (Rng.create ~seed:7 ()))
 
-let make_server () =
+let make_server ?config () =
   let db, metrics = Lazy.force service_fixture in
   let ledger = Ledger.in_memory () in
-  Server.create ~db ~metrics ~ledger ~rng:(Rng.create ~seed:11 ()) ()
+  Server.create ?config ~db ~metrics ~ledger ~rng:(Rng.create ~seed:11 ()) ()
+
+let explain_join_sql =
+  "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id \
+   WHERE d.city_id = 1"
 
 let explain_service_tests =
   [
@@ -332,27 +365,35 @@ let explain_service_tests =
       (fun () ->
         let server = make_server () in
         let session = Server.session server in
-        match
-          Server.handle server session
-            (Wire.Explain
-               {
-                 sql =
-                   "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id \
-                    WHERE d.city_id = 1";
-               })
-        with
+        match Server.handle server session (Wire.Explain { sql = explain_join_sql }) with
         | Wire.Plan_report { logical; optimized } ->
           let has s sub = Astring.String.is_infix ~affix:sub s in
           Alcotest.(check bool) "logical has scan" true (has logical "Scan trips AS t");
           Alcotest.(check bool) "logical unrewritten" true
             (has logical "Filter (d.city_id = 1)\n    INNER JOIN");
-          (* in the optimized plan the filter is a rel node under the join
-             (cardinality-annotated), no longer the WHERE above it *)
+          (* in the optimized plan the filter is a rel node under the join,
+             no longer the WHERE above it *)
           Alcotest.(check bool) "optimized pushed down" true
-            (has optimized "Filter (d.city_id = 1)  (~");
+            (has optimized "Filter (d.city_id = 1)\n      Scan drivers AS d");
           Alcotest.(check bool) "optimized WHERE gone" false
             (has optimized "Filter (d.city_id = 1)\n    INNER JOIN");
-          Alcotest.(check bool) "cardinalities rendered" true (has optimized "(~")
+          (* uncharged EXPLAIN must not echo cardinalities — the estimates
+             are seeded from exact private-table row counts *)
+          Alcotest.(check bool) "no cardinalities by default" false
+            (has logical "(~" || has optimized "(~")
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+    Alcotest.test_case "explain_estimates opts in to cardinality annotations" `Quick
+      (fun () ->
+        let config = { Server.default_config with explain_estimates = true } in
+        let server = make_server ~config () in
+        let session = Server.session server in
+        match Server.handle server session (Wire.Explain { sql = explain_join_sql }) with
+        | Wire.Plan_report { logical; optimized } ->
+          let has s sub = Astring.String.is_infix ~affix:sub s in
+          Alcotest.(check bool) "pushed filter annotated" true
+            (has optimized "Filter (d.city_id = 1)  (~");
+          Alcotest.(check bool) "cardinalities rendered" true
+            (has logical "(~" && has optimized "(~")
         | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
     Alcotest.test_case "EXPLAIN SELECT through the query op is free" `Quick (fun () ->
         let server = make_server () in
