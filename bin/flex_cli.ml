@@ -45,12 +45,6 @@ let epsilon_t =
 let delta_t =
   Arg.(value & opt float 1e-8 & info [ "d"; "delta" ] ~docv:"DELTA" ~doc:"Privacy parameter delta.")
 
-let metrics_file_t =
-  Arg.(
-    required
-    & opt (some file) None
-    & info [ "metrics" ] ~docv:"FILE" ~doc:"Metrics file produced by $(b,flex_cli metrics).")
-
 let sql_t =
   Arg.(required & pos ~rev:true 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
 
@@ -105,12 +99,18 @@ let metrics_cmd =
 (* --- analyze -------------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run metrics_file epsilon delta no_public sql =
-    let m = Metrics.load metrics_file in
+  let run metrics_file data_dir epsilon delta no_public sql =
+    let db = Option.map load_csv_dir data_dir in
+    let m =
+      match (metrics_file, db) with
+      | Some f, _ -> Metrics.load f
+      | None, Some db -> Metrics.compute db
+      | None, None -> failwith "either --metrics FILE or --data DIR is required"
+    in
     let options =
       Flex.options ~epsilon ~delta ~public_optimization:(not no_public) ()
     in
-    match Flex.analyze_only ~options ~metrics:m sql with
+    (match Flex.analyze_only ~options ~metrics:m sql with
     | Error r ->
       Fmt.epr "rejected: %s@." (Flex_core.Errors.to_string r);
       exit 1
@@ -125,11 +125,44 @@ let analyze_cmd =
             smooth.Flex_dp.Smooth.smooth_bound smooth.Flex_dp.Smooth.argmax_k;
           Fmt.pr "  Laplace noise scale 2S/eps = %g@."
             (Flex_dp.Smooth.noise_scale ~epsilon smooth))
-        bounds
+        bounds);
+    (* with local data in hand there is nothing to protect from its owner:
+       run the query and show the executed plan with actual row counts *)
+    match db with
+    | None -> ()
+    | Some db -> (
+      match Flex_sql.Parser.parse_statement sql with
+      | Error _ -> ()
+      | Ok
+          ( Flex_sql.Ast.Query q | Flex_sql.Ast.Explain q
+          | Flex_sql.Ast.Explain_analyze q ) ->
+        let plan, _ =
+          Flex_engine.Executor.explain_analyze ~metrics:m ~show_rows:true db q
+        in
+        Fmt.pr "@.-- executed plan (EXPLAIN ANALYZE)@.%s@." plan)
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc:"Metrics file produced by $(b,flex_cli metrics).")
+  in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "data" ] ~docv:"DIR"
+          ~doc:
+            "Directory of CSV tables. Metrics are computed from it when $(b,--metrics) \
+             is omitted, and the query is executed locally to show an EXPLAIN ANALYZE \
+             plan with actual per-operator row counts and timings.")
   in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"Compute a query's elastic sensitivity from metrics alone.")
-    Term.(const run $ metrics_file_t $ epsilon_t $ delta_t $ no_public_opt_t $ sql_t)
+    (Cmd.info "analyze"
+       ~doc:
+         "Compute a query's elastic sensitivity from metrics alone (and, with \
+          $(b,--data), its executed plan).")
+    Term.(const run $ metrics_file $ data_dir $ epsilon_t $ delta_t $ no_public_opt_t $ sql_t)
 
 (* --- run ------------------------------------------------------------------------- *)
 
@@ -139,11 +172,19 @@ let run_cmd =
     let m =
       match metrics_file with Some f -> Metrics.load f | None -> Metrics.compute db
     in
-    (* [run EXPLAIN SELECT ...] prints the plans instead of executing *)
+    (* [run EXPLAIN SELECT ...] prints the plans instead of executing;
+       [run EXPLAIN ANALYZE SELECT ...] executes and prints the traced plan
+       (actual rows shown: the caller owns the data) but releases nothing *)
     (match Flex_sql.Parser.parse_statement sql with
     | Ok (Flex_sql.Ast.Explain q) ->
       let logical, optimized = Flex_engine.Optimizer.explain ~metrics:m q in
       Fmt.pr "-- logical plan@.%s@.-- optimized plan@.%s@." logical optimized;
+      exit 0
+    | Ok (Flex_sql.Ast.Explain_analyze q) ->
+      let plan, _ =
+        Flex_engine.Executor.explain_analyze ~optimize ~metrics:m ~show_rows:true db q
+      in
+      Fmt.pr "%s@." plan;
       exit 0
     | Ok (Flex_sql.Ast.Query _) | Error _ -> ());
     let options =
@@ -205,9 +246,12 @@ let run_cmd =
 
 let explain_cmd =
   let run metrics_file epsilon delta sql =
-    (* accept both [explain "SELECT ..."] and [explain "EXPLAIN SELECT ..."] *)
+    (* accept [explain "SELECT ..."], [explain "EXPLAIN SELECT ..."] and the
+       ANALYZE form (plans only here — there is no data to execute on) *)
     (match Flex_sql.Parser.parse_statement sql with
-    | Ok (Flex_sql.Ast.Query q | Flex_sql.Ast.Explain q) ->
+    | Ok
+        ( Flex_sql.Ast.Query q | Flex_sql.Ast.Explain q
+        | Flex_sql.Ast.Explain_analyze q ) ->
       let metrics = Option.map Metrics.load metrics_file in
       let logical, optimized = Flex_engine.Optimizer.explain ?metrics q in
       Fmt.pr "-- logical plan@.%s@.-- optimized plan@.%s" logical optimized

@@ -72,6 +72,7 @@ let print_response (resp : Wire.response) =
       a.columns
   | Plan_report p ->
     Fmt.pr "-- logical plan@.%s@.-- optimized plan@.%s@." p.logical p.optimized
+  | Analyzed_report a -> Fmt.pr "%s@." a.plan
   | Rejected r ->
     Fmt.epr "rejected (%s): %s@." r.bucket r.reason;
     exit 1
@@ -90,7 +91,8 @@ let print_response (resp : Wire.response) =
       s.rejected s.refused;
     Fmt.pr "analysis cache: %d hits, %d misses, %d entries@." s.cache_hits s.cache_misses
       s.cache_entries;
-    Fmt.pr "analysts: %d@." s.analysts
+    Fmt.pr "analysts: %d@." s.analysts;
+    Fmt.pr "uptime: %.1f s; %.3f queries/s@." s.uptime_seconds s.qps
   | Error_msg m ->
     Fmt.epr "error: %s@." m;
     exit 1
@@ -176,12 +178,23 @@ let budget_cmd =
     Term.(const run $ host_t $ port_t $ analyst_t)
 
 let stats_cmd =
-  let run host port =
-    with_conn host port (fun conn -> print_response (roundtrip conn Wire.Stats))
+  let run host port show_metrics =
+    with_conn host port (fun conn ->
+        match roundtrip conn Wire.Stats with
+        | Wire.Stats_report s as resp ->
+          print_response resp;
+          if show_metrics then Fmt.pr "%s@." (Json.to_string s.metrics)
+        | resp -> print_response resp)
+  in
+  let show_metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Also dump the server's full metrics registry snapshot as JSON.")
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Show service counters (admissions, cache, analysts).")
-    Term.(const run $ host_t $ port_t)
+    (Cmd.info "stats" ~doc:"Show service counters (admissions, cache, qps, analysts).")
+    Term.(const run $ host_t $ port_t $ show_metrics)
 
 let () =
   let info =

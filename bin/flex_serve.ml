@@ -33,7 +33,8 @@ let load_csv_dir dir =
   Database.of_tables tables
 
 let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
-    analyst_epsilon analyst_delta cap seed domains explain_estimates =
+    analyst_epsilon analyst_delta cap seed domains explain_estimates stats_port
+    no_telemetry =
   let db, metrics =
     if demo then begin
       Fmt.pr "generating a ride-sharing database...@.";
@@ -63,6 +64,7 @@ let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
       analyst_delta;
       max_epsilon_per_query = cap;
       explain_estimates;
+      telemetry = not no_telemetry;
     }
   in
   let domains =
@@ -84,6 +86,14 @@ let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
   (match Ledger.path ledger with
   | Some p -> Fmt.pr "flex_serve: budget ledger at %s@." p
   | None -> Fmt.pr "flex_serve: in-memory ledger (budgets reset on restart)@.");
+  (match (stats_port, Server.registry server) with
+  | Some _, None -> failwith "--stats-port needs telemetry (drop --no-telemetry)"
+  | Some p, Some registry ->
+    let http = Flex_service.Stats_http.listen ~port:p registry in
+    ignore (Flex_service.Stats_http.start http);
+    Fmt.pr "flex_serve: stats on http://127.0.0.1:%d/metrics (and /metrics.json, /healthz)@."
+      (Flex_service.Stats_http.port http)
+  | None, _ -> ());
   Server.serve listener
 
 let () =
@@ -167,6 +177,24 @@ let () =
             "Worker domains for parallel query execution (1 = sequential). Defaults to \
              the machine's recommended domain count, capped at 4.")
   in
+  let stats_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stats-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve the metrics registry over HTTP on 127.0.0.1: $(b,/metrics) \
+             (Prometheus text), $(b,/metrics.json) and $(b,/healthz). 0 picks an \
+             ephemeral port. Off when omitted.")
+  in
+  let no_telemetry =
+    Arg.(
+      value & flag
+      & info [ "no-telemetry" ]
+          ~doc:
+            "Disable the metrics registry and per-query trace spans (audit stage \
+             timings then read zero). Releases are bit-identical either way.")
+  in
   let info =
     Cmd.info "flex_serve" ~version:"1.0.0"
       ~doc:"Serve FLEX differentially private SQL over TCP (line-delimited JSON)."
@@ -175,6 +203,6 @@ let () =
     Term.(
       const serve $ dir $ metrics_file $ demo $ port $ ledger_file $ audit_file $ sync
       $ epsilon $ delta $ analyst_epsilon $ analyst_delta $ cap $ seed $ domains
-      $ explain_estimates)
+      $ explain_estimates $ stats_port $ no_telemetry)
   in
   exit (Cmd.eval (Cmd.v info term))

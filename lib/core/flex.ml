@@ -9,6 +9,7 @@ module Database = Flex_engine.Database
 module Metrics = Flex_engine.Metrics
 module Executor = Flex_engine.Executor
 module Task_pool = Flex_engine.Task_pool
+module Span = Flex_obs.Span
 
 (* The FLEX mechanism (paper §4, Definition 7): parse the query, compute its
    elastic sensitivity from precomputed metrics, execute the *unmodified*
@@ -124,39 +125,50 @@ let perturb_cell opts rng ~scale ~round v =
    stage is a pure function of its arguments plus the per-call [rng]. *)
 
 (* Stage 1 — elastic-sensitivity analysis. Depends only on the query, the
-   metrics and the option flags: the cacheable prefix of the pipeline. *)
-let analyze_ast ~options:opts ~metrics (q : Ast.query) :
+   metrics and the option flags: the cacheable prefix of the pipeline.
+   [span] is the enclosing trace span (the service's cache-lookup span, so a
+   cache hit shows no "analysis" child at all). *)
+let analyze_ast ?span ~options:opts ~metrics (q : Ast.query) :
     (Elastic.analysis, Errors.reason) result =
-  Elastic.analyze (catalog_of_options opts metrics) q
+  Span.timed span "analysis" (fun _ -> Elastic.analyze (catalog_of_options opts metrics) q)
 
 (* Stage 2 — smooth-sensitivity maximisation per aggregate column. Cheap, but
    depends on the request's epsilon/delta, so it stays outside the cache. *)
-let smooth_columns ~options:opts (analysis : Elastic.analysis) : column_release list =
-  let beta = beta_of opts in
-  List.filter_map
-    (function
-      | Elastic.Group_key_col _ -> None
-      | Elastic.Aggregate_col { kind; sens; name } ->
-        let smooth = smooth_of opts ~beta ~n:analysis.Elastic.database_rows sens in
-        Some { name; kind; elastic = sens; smooth; noise_scale = scale_of opts smooth })
-    analysis.Elastic.columns
+let smooth_columns ?span ~options:opts (analysis : Elastic.analysis) : column_release list =
+  Span.timed span "smooth" (fun _ ->
+      let beta = beta_of opts in
+      List.filter_map
+        (function
+          | Elastic.Group_key_col _ -> None
+          | Elastic.Aggregate_col { kind; sens; name } ->
+            let smooth = smooth_of opts ~beta ~n:analysis.Elastic.database_rows sens in
+            Some { name; kind; elastic = sens; smooth; noise_scale = scale_of opts smooth })
+        analysis.Elastic.columns)
 
 (* Stage 3 — run the unmodified query on the database; [pool] dispatches
-   execution onto the engine's morsel-parallel operators. *)
-let execute ?pool ?(optimize = false) ?metrics ~db (q : Ast.query) :
+   execution onto the engine's morsel-parallel operators. Under a span the
+   optimizer rewrite and the engine run appear as separate children. *)
+let execute ?span ?pool ?(optimize = false) ?metrics ~db (q : Ast.query) :
     (Executor.result_set, Errors.reason) result =
-  match
-    if optimize then Executor.run_optimized ?pool ?metrics db q else Executor.run ?pool db q
-  with
-  | true_result -> Ok true_result
-  | exception Executor.Error m -> Error (Errors.Analysis_error ("execution: " ^ m))
-  | exception Flex_engine.Eval.Error m -> Error (Errors.Analysis_error ("evaluation: " ^ m))
-  | exception Flex_engine.Aggregate.Error m ->
-    Error (Errors.Analysis_error ("aggregation: " ^ m))
+  Span.timed span "execute" (fun sp ->
+      match
+        if optimize then begin
+          let p = Span.timed sp "optimize" (fun _ -> Flex_engine.Optimizer.plan ?metrics q) in
+          Span.timed sp "run" (fun _ -> Executor.run_plan ?pool db p)
+        end
+        else Span.timed sp "run" (fun _ -> Executor.run ?pool db q)
+      with
+      | true_result -> Ok true_result
+      | exception Executor.Error m -> Error (Errors.Analysis_error ("execution: " ^ m))
+      | exception Flex_engine.Eval.Error m ->
+        Error (Errors.Analysis_error ("evaluation: " ^ m))
+      | exception Flex_engine.Aggregate.Error m ->
+        Error (Errors.Analysis_error ("aggregation: " ^ m)))
 
 (* Stage 4 — histogram bin enumeration plus per-cell noise. *)
-let perturb ~rng ~options:opts ~metrics ~db ~analysis ~column_releases true_result :
+let perturb ?span ~rng ~options:opts ~metrics ~db ~analysis ~column_releases true_result :
     release =
+  Span.timed span "perturb" @@ fun _ ->
   let cat = catalog_of_options opts metrics in
   let enumerated, bins_enumerated =
     if opts.enumerate_bins && analysis.Elastic.is_histogram then

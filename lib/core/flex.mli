@@ -82,16 +82,24 @@ type release = {
     option flags — can be memoized across requests. *)
 
 val analyze_ast :
-  options:options -> metrics:Metrics.t -> Ast.query -> (Elastic.analysis, Errors.reason) result
+  ?span:Flex_obs.Span.t ->
+  options:options ->
+  metrics:Metrics.t ->
+  Ast.query ->
+  (Elastic.analysis, Errors.reason) result
 (** Stage 1: elastic-sensitivity analysis of an already-parsed query. The
     cacheable prefix (key on canonical AST + metrics fingerprint +
-    option flags). *)
+    option flags). Every stage takes an optional parent [span] and times
+    itself as a child ("analysis"/"smooth"/"execute"/"perturb"); [None]
+    (the default) records nothing. *)
 
-val smooth_columns : options:options -> Elastic.analysis -> column_release list
+val smooth_columns :
+  ?span:Flex_obs.Span.t -> options:options -> Elastic.analysis -> column_release list
 (** Stage 2: smooth-sensitivity maximisation per aggregate column; depends
     on the request's epsilon/delta, so it runs per request. *)
 
 val execute :
+  ?span:Flex_obs.Span.t ->
   ?pool:Task_pool.t ->
   ?optimize:bool ->
   ?metrics:Metrics.t ->
@@ -110,6 +118,7 @@ val execute :
     bits (well inside the noise scale). *)
 
 val perturb :
+  ?span:Flex_obs.Span.t ->
   rng:Rng.t ->
   options:options ->
   metrics:Metrics.t ->

@@ -48,6 +48,11 @@ type env = {
      operator reached from inside another one degrades to sequential through
      the pool's nested-submission rule. *)
   pool : Task_pool.t option;
+  (* EXPLAIN ANALYZE collection: when set, plan evaluation records one
+     {!Plan.Analyze.stat} per operator, keyed by the path scheme shared with
+     the plan renderer. [None] (every normal run) costs nothing — no clock
+     reads, no table writes. *)
+  trace : Plan.Analyze.trace option;
 }
 
 (* Equality key pairs (left index, right index) extracted from an ON
@@ -723,13 +728,14 @@ and cross_all env ~prune = function
 
 and eval_select env (s : Ast.select) : vrel =
   let source = cross_all env ~prune:(prune_of_select s) s.from in
-  select_tail env source ~where:s.where ~projections:s.projections ~group_by:s.group_by
-    ~having:s.having ~distinct:s.distinct
+  select_tail env source ~on_where:None ~where:s.where ~projections:s.projections
+    ~group_by:s.group_by ~having:s.having ~distinct:s.distinct
 
 (* The select pipeline after the source relation is materialised: WHERE
    filter, projection or grouping/aggregation, HAVING, DISTINCT. Shared by
    the AST path ({!eval_select}) and the plan path ({!eval_select_plan}). *)
-and select_tail env (source : vrel) ~(where : Ast.expr option)
+and select_tail env (source : vrel) ~(on_where : (int -> unit) option)
+    ~(where : Ast.expr option)
     ~(projections : Ast.projection list) ~(group_by : Ast.expr list)
     ~(having : Ast.expr option) ~distinct : vrel =
   let filtered =
@@ -737,7 +743,9 @@ and select_tail env (source : vrel) ~(where : Ast.expr option)
     | None -> source.vr
     | Some pred ->
       let cp = compile_expr env source.vh pred in
-      Parallel.filter ?pool:env.pool (fun row -> Eval.is_truthy (cp row)) source.vr
+      let f = Parallel.filter ?pool:env.pool (fun row -> Eval.is_truthy (cp row)) source.vr in
+      (match on_where with Some cb -> cb (Vec.length f) | None -> ());
+      f
   in
   let projections = expand_projections source.vh projections in
   let any_agg =
@@ -1180,85 +1188,150 @@ and prune_of_select_plan (sp : Plan.select_plan) : prune option =
     with Keep_all -> None
   end
 
-and eval_rel env ~prune (r : Plan.rel) : vrel =
+(* [traced env ~path f] wraps one plan operator's evaluation: when the env
+   carries a trace, it records output cardinality and inclusive elapsed time
+   at [path]; otherwise it is exactly [f ()]. [rows_in] is a cell the
+   callback fills once its input relation is materialised (the input
+   cardinality is unknowable before [f] runs). *)
+and traced env ~path ?rows_in (f : unit -> vrel) : vrel =
+  match env.trace with
+  | None -> f ()
+  | Some tr ->
+    let t0 = Flex_obs.Clock.now_ns () in
+    let r = f () in
+    let rows_in = match rows_in with Some cell -> !cell | None -> -1 in
+    Plan.Analyze.record tr ~path ~rows_in ~rows_out:(Vec.length r.vr)
+      (Flex_obs.Clock.elapsed_ns t0);
+    r
+
+and eval_rel env ~prune ~path (r : Plan.rel) : vrel =
   match r with
-  | Plan.Scan { table; alias } -> (
-    match List.assoc_opt (String.lowercase_ascii table) env.ctes with
-    | Some r -> requalify alias r
-    | None -> (
-      match Database.find_opt env.db table with
-      | Some t -> rel_of_table ~alias:(Some alias) ~prune t
-      | None -> error "unknown table %s" table))
-  | Plan.Derived { plan; alias } -> requalify alias (eval_plan env plan)
+  | Plan.Scan { table; alias } ->
+    traced env ~path (fun () ->
+        match List.assoc_opt (String.lowercase_ascii table) env.ctes with
+        | Some r -> requalify alias r
+        | None -> (
+          match Database.find_opt env.db table with
+          | Some t -> rel_of_table ~alias:(Some alias) ~prune t
+          | None -> error "unknown table %s" table))
+  | Plan.Derived { plan; alias } ->
+    traced env ~path (fun () ->
+        requalify alias (eval_plan env ~path:(Plan.Analyze.derived_path path) plan))
   | Plan.Filter { pred; input } ->
-    let i = eval_rel env ~prune input in
-    let cp = compile_expr env i.vh pred in
-    { i with vr = Parallel.filter ?pool:env.pool (fun row -> Eval.is_truthy (cp row)) i.vr }
+    let rows_in = ref (-1) in
+    traced env ~path ~rows_in (fun () ->
+        let i = eval_rel env ~prune ~path:(Plan.Analyze.input_path path) input in
+        rows_in := Vec.length i.vr;
+        let cp = compile_expr env i.vh pred in
+        { i with vr = Parallel.filter ?pool:env.pool (fun row -> Eval.is_truthy (cp row)) i.vr })
   | Plan.Join { kind; cond; build_left; left; right } ->
-    let l = eval_rel env ~prune left in
-    let r = eval_rel env ~prune right in
-    join env kind ~build_left l r cond
+    traced env ~path (fun () ->
+        let l = eval_rel env ~prune ~path:(Plan.Analyze.left_path path) left in
+        let r = eval_rel env ~prune ~path:(Plan.Analyze.right_path path) right in
+        join env kind ~build_left l r cond)
 
-and eval_select_plan env (sp : Plan.select_plan) : vrel =
-  let source =
-    match sp.source with
-    | None -> { vh = [||]; vr = Vec.of_list [ [||] ] } (* FROM-less SELECT *)
-    | Some rel -> eval_rel env ~prune:(prune_of_select_plan sp) rel
-  in
-  select_tail env source ~where:sp.where ~projections:sp.projections ~group_by:sp.group_by
-    ~having:sp.having ~distinct:sp.distinct
+and eval_select_plan env ~path (sp : Plan.select_plan) : vrel =
+  let rows_in = ref (-1) in
+  traced env ~path ~rows_in (fun () ->
+      let source =
+        match sp.source with
+        | None -> { vh = [||]; vr = Vec.of_list [ [||] ] } (* FROM-less SELECT *)
+        | Some rel ->
+          eval_rel env ~prune:(prune_of_select_plan sp) ~path:(Plan.Analyze.source_path path) rel
+      in
+      rows_in := Vec.length source.vr;
+      let on_where =
+        match env.trace with
+        | None -> None
+        | Some tr ->
+          Some
+            (fun n ->
+              (* rows surviving WHERE; the filter is fused into the pipeline,
+                 so it gets no independent timing (NaN) *)
+              Plan.Analyze.record tr ~path:(Plan.Analyze.where_path path) ~rows_out:n Float.nan)
+      in
+      select_tail env source ~on_where ~where:sp.where ~projections:sp.projections
+        ~group_by:sp.group_by ~having:sp.having ~distinct:sp.distinct)
 
-and eval_body_plan env (b : Plan.body_plan) : vrel =
+and eval_body_plan env ~path (b : Plan.body_plan) : vrel =
   match b with
-  | Plan.Plan_select sp -> eval_select_plan env sp
+  | Plan.Plan_select sp -> eval_select_plan env ~path sp
   | Plan.Plan_set { op; all; left; right } ->
-    let l = eval_body_plan env left and r = eval_body_plan env right in
-    set_op_rel op ~all l r
+    traced env ~path (fun () ->
+        let l = eval_body_plan env ~path:(Plan.Analyze.left_path path) left in
+        let r = eval_body_plan env ~path:(Plan.Analyze.right_path path) right in
+        set_op_rel op ~all l r)
 
-and eval_plan env (p : Plan.t) : vrel =
-  let env =
-    List.fold_left
-      (fun env (name, columns, body) -> bind_cte env ~name ~columns (eval_plan env body))
-      env p.ctes
-  in
-  let r = eval_body_plan env p.body in
-  let visible = Array.length r.vh in
-  let r, order_by =
-    if p.order_by = [] || List.for_all (fun (e, _) -> order_key_visible r.vh e) p.order_by
-    then (r, p.order_by)
-    else
-      match p.body with
-      | Plan.Plan_select sp when not sp.distinct ->
-        let hidden = ref [] in
-        let order_by =
-          List.mapi
-            (fun i (e, dir) ->
-              if order_key_visible r.vh e then (e, dir)
-              else begin
-                let name = Fmt.str "_ord%d" i in
-                hidden := Ast.Proj_expr (e, Some name) :: !hidden;
-                (Ast.Col { Ast.table = None; column = name }, dir)
-              end)
-            p.order_by
-        in
-        let extended =
-          eval_select_plan env { sp with projections = sp.projections @ List.rev !hidden }
-        in
-        (extended, order_by)
-      | _ -> (r, p.order_by)
-  in
-  sort_slice env r ~order_by ~limit:p.limit ~offset:p.offset ~visible
+and eval_plan env ~path (p : Plan.t) : vrel =
+  traced env ~path (fun () ->
+      let env, _ =
+        List.fold_left
+          (fun (env, i) (name, columns, body) ->
+            ( bind_cte env ~name ~columns
+                (eval_plan env ~path:(Plan.Analyze.cte_path path i) body),
+              i + 1 ))
+          (env, 0) p.ctes
+      in
+      let body_path = Plan.Analyze.body_path path in
+      let r = eval_body_plan env ~path:body_path p.body in
+      let visible = Array.length r.vh in
+      let r, order_by =
+        if p.order_by = [] || List.for_all (fun (e, _) -> order_key_visible r.vh e) p.order_by
+        then (r, p.order_by)
+        else
+          match p.body with
+          | Plan.Plan_select sp when not sp.distinct ->
+            let hidden = ref [] in
+            let order_by =
+              List.mapi
+                (fun i (e, dir) ->
+                  if order_key_visible r.vh e then (e, dir)
+                  else begin
+                    let name = Fmt.str "_ord%d" i in
+                    hidden := Ast.Proj_expr (e, Some name) :: !hidden;
+                    (Ast.Col { Ast.table = None; column = name }, dir)
+                  end)
+                p.order_by
+            in
+            (* re-evaluates the select with hidden keys appended; trace stats
+               at the same paths are overwritten — re-evaluation wins *)
+            let extended =
+              eval_select_plan env ~path:body_path
+                { sp with projections = sp.projections @ List.rev !hidden }
+            in
+            (extended, order_by)
+          | _ -> (r, p.order_by)
+      in
+      if p.order_by <> [] then
+        traced env ~path:(Plan.Analyze.sort_path path) (fun () ->
+            sort_slice env r ~order_by ~limit:p.limit ~offset:p.offset ~visible)
+      else sort_slice env r ~order_by ~limit:p.limit ~offset:p.offset ~visible)
 
 (* --- public API ----------------------------------------------------------------- *)
 
 let run ?pool db (q : Ast.query) : result_set =
-  to_result (eval_query { db; ctes = []; outer = []; pool } q)
+  to_result (eval_query { db; ctes = []; outer = []; pool; trace = None } q)
 
 let run_plan ?pool db (p : Plan.t) : result_set =
-  to_result (eval_plan { db; ctes = []; outer = []; pool } p)
+  to_result (eval_plan { db; ctes = []; outer = []; pool; trace = None } ~path:Plan.Analyze.root_path p)
+
+let run_plan_analyzed ?pool db (p : Plan.t) : result_set * Plan.Analyze.trace =
+  let trace = Plan.Analyze.create () in
+  let r =
+    to_result
+      (eval_plan { db; ctes = []; outer = []; pool; trace = Some trace }
+         ~path:Plan.Analyze.root_path p)
+  in
+  (r, trace)
 
 let run_optimized ?pool ?metrics db (q : Ast.query) : result_set =
   run_plan ?pool db (Optimizer.plan ?metrics q)
+
+let explain_analyze ?pool ?(optimize = true) ?metrics ?(show_rows = true) db (q : Ast.query) :
+    string * result_set =
+  let p = if optimize then Optimizer.plan ?metrics q else Plan.of_query q in
+  let r, trace = run_plan_analyzed ?pool db p in
+  (Plan.render_analyzed ~show_rows ~trace p, r)
 
 let run_sql ?pool ?(optimize = false) ?metrics db sql : (result_set, string) result =
   match Flex_sql.Parser.parse sql with

@@ -47,11 +47,34 @@ val run_plan : ?pool:Task_pool.t -> Database.t -> Plan.t -> result_set
     swaps and join reorder follow the probe relation's order), so results
     compare as multisets. *)
 
+val run_plan_analyzed :
+  ?pool:Task_pool.t -> Database.t -> Plan.t -> result_set * Plan.Analyze.trace
+(** {!run_plan} with EXPLAIN ANALYZE collection: every plan operator records
+    its output cardinality and inclusive elapsed time into the returned
+    trace (paths follow the {!Plan.Analyze} scheme, so
+    {!Plan.render_analyzed} can annotate the plan text). The result set is
+    identical to [run_plan]'s — tracing only observes. *)
+
 val run_optimized :
   ?pool:Task_pool.t -> ?metrics:Metrics.t -> Database.t -> Ast.query -> result_set
 (** [run_plan db (Optimizer.plan ?metrics q)] — same result multiset as
     [run db q]; row order may differ when the optimizer reorders joins or
     swaps hash-join build sides. *)
+
+val explain_analyze :
+  ?pool:Task_pool.t ->
+  ?optimize:bool ->
+  ?metrics:Metrics.t ->
+  ?show_rows:bool ->
+  Database.t ->
+  Ast.query ->
+  string * result_set
+(** Execute [q] (through the optimizer by default) collecting per-operator
+    stats and render the annotated plan. [show_rows] (default [true])
+    prints actual row counts; pass [false] to render counts as [?] — actual
+    cardinalities of private tables are gated exactly like EXPLAIN's
+    estimates (see {!Plan.Analyze.suffix}). The result set is returned too,
+    but EXPLAIN ANALYZE surfaces normally discard it. *)
 
 val run_sql :
   ?pool:Task_pool.t ->

@@ -31,6 +31,14 @@ let threshold = ref 2048
    [threshold]: inputs small enough to fit one morsel never split. *)
 let morsel = ref 1024
 
+(* Lifetime dispatch counters for the telemetry surface: how many operator
+   invocations actually split across domains vs. ran the sequential loop.
+   Counted in [gather] — the one dispatch point every data-parallel operator
+   funnels through — so probing [parallel_worthy] costs nothing. *)
+let parallel_ops = Atomic.make 0
+let sequential_ops = Atomic.make 0
+let ops_counts () = (Atomic.get parallel_ops, Atomic.get sequential_ops)
+
 (* [chunk_count pool n] is how many chunks to cut [n] rows into, or 0 to
    run sequentially. *)
 let chunk_count pool n =
@@ -50,8 +58,12 @@ let parallel_worthy pool n = chunk_count pool n > 0
    should run sequentially. *)
 let gather pool n (f : int -> int -> 'a) : 'a array option =
   let chunks = chunk_count pool n in
-  if chunks = 0 then None
+  if chunks = 0 then begin
+    ignore (Atomic.fetch_and_add sequential_ops 1);
+    None
+  end
   else begin
+    ignore (Atomic.fetch_and_add parallel_ops 1);
     let p = Option.get pool in
     let results = Array.make chunks None in
     Task_pool.run p ~chunks (fun i ->

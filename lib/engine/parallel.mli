@@ -24,6 +24,10 @@ val morsel : int ref
 val parallel_worthy : Task_pool.t option -> int -> bool
 (** Whether an [n]-row input would actually be split across domains. *)
 
+val ops_counts : unit -> int * int
+(** Lifetime [(parallel, sequential)] operator-dispatch counts across the
+    process (counted at {!gather}), for the telemetry surface. *)
+
 val gather : Task_pool.t option -> int -> (int -> int -> 'a) -> 'a array option
 (** [gather pool n f] runs [f lo hi] over chunk ranges covering [0, n) and
     returns per-chunk results in chunk order; [None] means "run it

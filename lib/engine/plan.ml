@@ -143,6 +143,60 @@ let rec rel_aliases (r : rel) =
   | Filter { input; _ } -> rel_aliases input
   | Join { left; right; _ } -> rel_aliases left @ rel_aliases right
 
+(* --- EXPLAIN ANALYZE traces ------------------------------------------------- *)
+
+(* Operator statistics collected by {!Executor.run_plan_analyzed} and rendered
+   by {!render_analyzed}. The executor and the renderer walk the same plan
+   tree, so they agree on a node's identity through a path string built with
+   the same constructors on both sides: ["q"] is the root plan, and each edge
+   appends ["/c<i>"] (CTE i), ["/b"] (body), ["/l"]/["/r"] (set-operation or
+   join children), ["/s"] (select source), ["/w"] (the WHERE stage), ["/i"]
+   (a relational Filter's input), ["/d"] (a derived subquery's plan), or
+   ["/o"] (the sort stage). Stats are inclusive of children, the Postgres
+   EXPLAIN ANALYZE convention. *)
+module Analyze = struct
+  type stat = {
+    rows_in : int; (* -1 when the operator has no single input cardinality *)
+    rows_out : int;
+    elapsed_ns : float; (* NaN when the stage has no independent timing *)
+  }
+
+  type trace = (string, stat) Hashtbl.t
+
+  let create () : trace = Hashtbl.create 64
+  let record tr ~path ?(rows_in = -1) ~rows_out elapsed_ns =
+    Hashtbl.replace tr path { rows_in; rows_out; elapsed_ns }
+
+  let find (tr : trace) path = Hashtbl.find_opt tr path
+
+  let root_path = "q"
+  let cte_path p i = p ^ "/c" ^ string_of_int i
+  let body_path p = p ^ "/b"
+  let left_path p = p ^ "/l"
+  let right_path p = p ^ "/r"
+  let source_path p = p ^ "/s"
+  let where_path p = p ^ "/w"
+  let input_path p = p ^ "/i"
+  let derived_path p = p ^ "/d"
+  let sort_path p = p ^ "/o"
+
+  let result_rows (tr : trace) =
+    match find tr root_path with Some s -> Some s.rows_out | None -> None
+
+  (* The "  (actual ...)" suffix for one operator line. [show_rows] gates the
+     row counts — they are exact private-table cardinalities, the same class
+     of value as the optimizer's EXPLAIN estimates, so they render as [?]
+     unless the deployment opted in (Server.config.explain_estimates). *)
+  let suffix ~show_rows (s : stat) =
+    let rows =
+      if not show_rows then "?"
+      else if s.rows_in >= 0 then Printf.sprintf "%d->%d" s.rows_in s.rows_out
+      else string_of_int s.rows_out
+    in
+    if Float.is_nan s.elapsed_ns then Printf.sprintf "  (actual rows=%s)" rows
+    else Printf.sprintf "  (actual rows=%s, %.2fms)" rows (s.elapsed_ns /. 1e6)
+end
+
 (* --- rendering ------------------------------------------------------------- *)
 
 type estimator = {
@@ -151,6 +205,51 @@ type estimator = {
 }
 
 let no_estimator = { est_rel = (fun _ -> None); est_select = (fun _ -> None) }
+
+let card_suffix est =
+  match est with
+  | None -> ""
+  | Some c -> Fmt.str "  (~%.0f rows)" (Float.round c)
+
+(* The renderer threads an [annot]: a set of callbacks that, given a node's
+   trace path (and the node), return the suffix for its line. Estimated
+   EXPLAIN and EXPLAIN ANALYZE are two instantiations of the same walk. *)
+type annot = {
+  ann_rel : string -> rel -> string;
+  ann_select : string -> select_plan -> string;
+  ann_where : string -> string;
+  ann_set : string -> string;
+  ann_sort : string -> string;
+  ann_slice : string -> string;
+}
+
+let no_annot =
+  {
+    ann_rel = (fun _ _ -> "");
+    ann_select = (fun _ _ -> "");
+    ann_where = (fun _ -> "");
+    ann_set = (fun _ -> "");
+    ann_sort = (fun _ -> "");
+    ann_slice = (fun _ -> "");
+  }
+
+let annot_of_est est =
+  {
+    no_annot with
+    ann_rel = (fun _ r -> card_suffix (est.est_rel r));
+    ann_select = (fun _ sp -> card_suffix (est.est_select sp));
+  }
+
+let annot_of_trace ~show_rows (tr : Analyze.trace) =
+  let at path = match Analyze.find tr path with Some s -> Analyze.suffix ~show_rows s | None -> "" in
+  {
+    ann_rel = (fun path _ -> at path);
+    ann_select = (fun path _ -> at path);
+    ann_where = (fun path -> at (Analyze.where_path path));
+    ann_set = (fun path -> at path);
+    ann_sort = (fun path -> at (Analyze.sort_path path));
+    ann_slice = (fun path -> at path);
+  }
 
 let col_str (c : Ast.col_ref) =
   match c.table with Some t -> t ^ "." ^ c.column | None -> c.column
@@ -176,24 +275,19 @@ let join_keys (cond : Ast.join_cond) =
         keys,
       List.length residual )
 
-let card_suffix est =
-  match est with
-  | None -> ""
-  | Some c -> Fmt.str "  (~%.0f rows)" (Float.round c)
-
-let rec pp_rel est ppf (indent, r) =
+let rec pp_rel ann ppf (indent, path, r) =
   let pad = String.make (indent * 2) ' ' in
   let line fmt = Fmt.pf ppf ("%s" ^^ fmt ^^ "%s@.") pad in
-  let card = card_suffix (est.est_rel r) in
+  let card = ann.ann_rel path r in
   match r with
   | Scan { table; alias } ->
     if table = alias then line "Scan %s" table card else line "Scan %s AS %s" table alias card
   | Derived { plan; alias } ->
     line "Derived AS %s" alias card;
-    pp_plan est ppf (indent + 1, plan)
+    pp_plan ann ppf (indent + 1, Analyze.derived_path path, plan)
   | Filter { pred; input } ->
     line "Filter %s" (Flex_sql.Pretty.expr pred) card;
-    pp_rel est ppf (indent + 1, input)
+    pp_rel ann ppf (indent + 1, Analyze.input_path path, input)
   | Join { kind; cond; build_left; left; right } ->
     let keys, residual = join_keys cond in
     let build = if build_left then " build=left" else "" in
@@ -208,13 +302,13 @@ let rec pp_rel est ppf (indent, r) =
          (String.concat ", " (List.map (fun (a, b) -> a ^ " = " ^ b) keys))
          ((if residual > 0 then Fmt.str " +%d residual" residual else "") ^ build)
          card);
-    pp_rel est ppf (indent + 1, left);
-    pp_rel est ppf (indent + 1, right)
+    pp_rel ann ppf (indent + 1, Analyze.left_path path, left);
+    pp_rel ann ppf (indent + 1, Analyze.right_path path, right)
 
-and pp_select est ppf (indent, sp) =
+and pp_select ann ppf (indent, path, sp) =
   let pad = String.make (indent * 2) ' ' in
   let line fmt = Fmt.pf ppf ("%s" ^^ fmt ^^ "%s@.") pad in
-  let card = card_suffix (est.est_select sp) in
+  let card = ann.ann_select path sp in
   let aggs =
     List.map
       (fun (f, distinct, arg) ->
@@ -272,59 +366,64 @@ and pp_select est ppf (indent, sp) =
     | None -> indent
     | Some e ->
       let pad = String.make (indent * 2) ' ' in
-      Fmt.pf ppf "%sFilter %s@." pad (Flex_sql.Pretty.expr e);
+      Fmt.pf ppf "%sFilter %s%s@." pad (Flex_sql.Pretty.expr e) (ann.ann_where path);
       indent + 1
   in
   match sp.source with
   | None ->
     let pad = String.make (filtered * 2) ' ' in
     Fmt.pf ppf "%sScan <empty>@." pad
-  | Some r -> pp_rel est ppf (filtered, r)
+  | Some r -> pp_rel ann ppf (filtered, Analyze.source_path path, r)
 
-and pp_body est ppf (indent, b) =
+and pp_body ann ppf (indent, path, b) =
   let pad = String.make (indent * 2) ' ' in
   match b with
-  | Plan_select sp -> pp_select est ppf (indent, sp)
+  | Plan_select sp -> pp_select ann ppf (indent, path, sp)
   | Plan_set { op; all; left; right } ->
     let name = match op with Union -> "UNION" | Except -> "EXCEPT" | Intersect -> "INTERSECT" in
-    Fmt.pf ppf "%s%s%s@." pad name (if all then " ALL" else "");
-    pp_body est ppf (indent + 1, left);
-    pp_body est ppf (indent + 1, right)
+    Fmt.pf ppf "%s%s%s%s@." pad name (if all then " ALL" else "") (ann.ann_set path);
+    pp_body ann ppf (indent + 1, Analyze.left_path path, left);
+    pp_body ann ppf (indent + 1, Analyze.right_path path, right)
 
-and pp_plan est ppf (indent, (p : t)) =
+and pp_plan ann ppf (indent, path, (p : t)) =
   let pad = String.make (indent * 2) ' ' in
   let line fmt = Fmt.pf ppf ("%s" ^^ fmt ^^ "@.") pad in
-  List.iter
-    (fun (name, _, cp) ->
+  List.iteri
+    (fun i (name, _, cp) ->
       line "CTE %s:" name;
-      pp_plan est ppf (indent + 1, cp))
+      pp_plan ann ppf (indent + 1, Analyze.cte_path path i, cp))
     p.ctes;
   let sliced = p.limit <> None || p.offset <> None in
   if sliced then
-    line "Slice%s%s"
+    line "Slice%s%s%s"
       (match p.limit with Some n -> Fmt.str " LIMIT %d" n | None -> "")
-      (match p.offset with Some n -> Fmt.str " OFFSET %d" n | None -> "");
+      (match p.offset with Some n -> Fmt.str " OFFSET %d" n | None -> "")
+      (ann.ann_slice path);
   let indent = if sliced then indent + 1 else indent in
   let sorted = p.order_by <> [] in
   if sorted then begin
     let pad = String.make (indent * 2) ' ' in
-    Fmt.pf ppf "%sSort [%s]@." pad
+    Fmt.pf ppf "%sSort [%s]%s@." pad
       (String.concat ", "
          (List.map
             (fun (e, dir) ->
               Flex_sql.Pretty.expr e
               ^ (match dir with Ast.Asc -> " ASC" | Ast.Desc -> " DESC"))
             p.order_by))
+      (ann.ann_sort path)
   end;
-  pp_body est ppf ((if sorted then indent + 1 else indent), p.body)
+  pp_body ann ppf ((if sorted then indent + 1 else indent), Analyze.body_path path, p.body)
 
-let pp_estimated est ppf t = pp_plan est ppf (0, t)
+let pp_annot ann ppf t = pp_plan ann ppf (0, Analyze.root_path, t)
 
-let pp ppf t = pp_plan no_estimator ppf (0, t)
+let pp ppf t = pp_annot no_annot ppf t
 
 let to_string t = Fmt.str "%a" pp t
 
-let render ?(est = no_estimator) t = Fmt.str "%a" (pp_estimated est) t
+let render ?(est = no_estimator) t = Fmt.str "%a" (pp_annot (annot_of_est est)) t
+
+let render_analyzed ?(show_rows = true) ~trace t =
+  Fmt.str "%a" (pp_annot (annot_of_trace ~show_rows trace)) t
 
 let explain_sql sql =
   match Flex_sql.Parser.parse sql with

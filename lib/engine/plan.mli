@@ -70,6 +70,51 @@ val join_keys : Ast.join_cond -> (string * string) list * int
     used by the optimizer to detect hash-joinable conditions), plus the
     number of residual non-equality conjuncts. *)
 
+(** {2 EXPLAIN ANALYZE traces} *)
+
+(** Per-operator runtime statistics, collected by
+    {!Executor.run_plan_analyzed} and rendered by {!render_analyzed}.
+    Operators are identified by a path string; the executor's evaluation and
+    the renderer's walk build paths with the same constructors, which is the
+    contract that keeps them aligned. Stats are inclusive of children. *)
+module Analyze : sig
+  type stat = {
+    rows_in : int;  (** -1 when the operator has no single input cardinality *)
+    rows_out : int;
+    elapsed_ns : float;  (** NaN when the stage has no independent timing *)
+  }
+
+  type trace
+
+  val create : unit -> trace
+
+  val record : trace -> path:string -> ?rows_in:int -> rows_out:int -> float -> unit
+  (** Record (or overwrite — re-evaluation wins) the stat at [path]. *)
+
+  val find : trace -> string -> stat option
+
+  val root_path : string
+  (** ["q"], the whole plan. *)
+
+  val cte_path : string -> int -> string
+  val body_path : string -> string
+  val left_path : string -> string
+  val right_path : string -> string
+  val source_path : string -> string
+  val where_path : string -> string
+  val input_path : string -> string
+  val derived_path : string -> string
+  val sort_path : string -> string
+
+  val result_rows : trace -> int option
+  (** The root plan's output cardinality. *)
+
+  val suffix : show_rows:bool -> stat -> string
+  (** The rendered [  (actual rows=..., ...ms)] suffix; with
+      [show_rows:false] row counts print as [?] (they are exact private
+      cardinalities — gated like EXPLAIN estimates). *)
+end
+
 (** {2 Rendering (EXPLAIN)} *)
 
 type estimator = {
@@ -85,6 +130,12 @@ val to_string : t -> string
 
 val render : ?est:estimator -> t -> string
 (** [to_string] with per-operator [ (~N rows)] cardinality annotations. *)
+
+val render_analyzed : ?show_rows:bool -> trace:Analyze.trace -> t -> string
+(** The same plan text with each operator line suffixed by its recorded
+    [  (actual rows=..., ...ms)] stat (absent stats render nothing).
+    [show_rows] defaults to [true] — callers rendering for remote analysts
+    must pass the deployment's EXPLAIN-estimates opt-in instead. *)
 
 val explain_sql : string -> (string, string) result
 (** Parse and render the unoptimized plan. *)

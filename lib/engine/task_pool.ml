@@ -49,12 +49,23 @@ type t = {
 
 let domains t = t.domains
 
+(* Lifetime counters, read by the stats/metrics surface. Global rather than
+   per-pool so the counting survives pool replacement and costs one
+   fetch-and-add per chunk, not a field in the hot job record. *)
+let caller_chunks = Atomic.make 0
+let worker_chunks = Atomic.make 0
+let inline_jobs = Atomic.make 0
+
+type stats = { jobs : int; inline_jobs : int; caller_chunks : int; worker_chunks : int }
+
 (* Claim and execute chunks of [j] until none remain. Runs in workers and in
    the submitting caller alike. *)
-let work_on t j =
+let work_on t ~caller j =
+  let claimed_by = if caller then caller_chunks else worker_chunks in
   let rec claim () =
     let i = Atomic.fetch_and_add j.next 1 in
     if i < j.chunks then begin
+      ignore (Atomic.fetch_and_add claimed_by 1);
       (try j.f i
        with e -> ignore (Atomic.compare_and_set j.failed None (Some e)));
       let done_ = 1 + Atomic.fetch_and_add j.completed 1 in
@@ -89,7 +100,7 @@ let worker t () =
     | None -> ()
     | Some j ->
       last := j.id;
-      work_on t j;
+      work_on t ~caller:false j;
       loop ()
   in
   loop ()
@@ -118,14 +129,18 @@ let run_inline ~chunks f =
     f i
   done
 
+let run_degraded ~chunks f =
+  ignore (Atomic.fetch_and_add inline_jobs 1);
+  run_inline ~chunks f
+
 let run t ~chunks f =
   if chunks <= 0 then ()
   else if chunks = 1 then f 0
-  else if t.domains <= 1 || not t.live then run_inline ~chunks f
+  else if t.domains <= 1 || not t.live then run_degraded ~chunks f
   else if not (Mutex.try_lock t.submit) then
     (* busy: a job is in flight (possibly ours — a nested submission from
        inside a chunk). Degrade to inline execution. *)
-    run_inline ~chunks f
+    run_degraded ~chunks f
   else
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.submit)
@@ -145,7 +160,7 @@ let run t ~chunks f =
         Condition.broadcast t.work;
         Mutex.unlock t.m;
         (* the caller participates instead of blocking *)
-        work_on t j;
+        work_on t ~caller:true j;
         Mutex.lock t.m;
         while Atomic.get j.completed < j.chunks do
           Condition.wait t.finished t.m
@@ -171,3 +186,11 @@ let shutdown t =
       end)
 
 let is_parallel t = t.live && t.domains > 1
+
+let stats t =
+  {
+    jobs = Atomic.get t.job_ids;
+    inline_jobs = Atomic.get inline_jobs;
+    caller_chunks = Atomic.get caller_chunks;
+    worker_chunks = Atomic.get worker_chunks;
+  }

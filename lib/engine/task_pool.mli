@@ -35,3 +35,13 @@ val shutdown : t -> unit
 val is_parallel : t -> bool
 (** [true] while the pool has live workers ([domains > 1] and not yet shut
     down). *)
+
+type stats = { jobs : int; inline_jobs : int; caller_chunks : int; worker_chunks : int }
+(** Lifetime scheduling counters for the telemetry surface: jobs posted to
+    this pool, chunked jobs that degraded to inline (pool busy, shut down,
+    or single-domain — counted process-wide), and chunks claimed by the
+    submitting caller vs. by worker domains (also process-wide). *)
+
+val stats : t -> stats
+(** A snapshot of the counters. Chunk and inline counts are process-global
+    (shared across pools); [jobs] is per-pool. *)

@@ -1,0 +1,16 @@
+(* A wall clock pushed through a global high-water mark. [Atomic] on a boxed
+   float is fine here: [compare_and_set] compares the box we just read, so
+   the only lost updates are races where another domain already published a
+   larger (or equal) value — exactly the ones we can discard. *)
+
+let watermark = Atomic.make 0.0
+
+let rec publish raw =
+  let seen = Atomic.get watermark in
+  if raw <= seen then seen
+  else if Atomic.compare_and_set watermark seen raw then raw
+  else publish raw
+
+let now_ns () = publish (Unix.gettimeofday () *. 1e9)
+
+let elapsed_ns t0 = Float.max 0.0 (now_ns () -. t0)

@@ -1,0 +1,17 @@
+(** Monotonized time source for telemetry.
+
+    The container's OCaml stdlib exposes no monotonic clock, so spans and
+    stage timings are built on [Unix.gettimeofday] pushed through a global
+    high-water mark: {!now_ns} never decreases, even across NTP steps that
+    move the wall clock backwards, and {!elapsed_ns} additionally clamps at
+    zero so a duration can never be negative. Timestamps stay close to the
+    epoch wall clock (they only ever run ahead of it, by at most the size of
+    the largest backwards step observed), which keeps them usable as
+    coarse-grained wall times in logs. *)
+
+val now_ns : unit -> float
+(** Nanoseconds since the Unix epoch, monotonized: never less than any value
+    previously returned in this process. Domain-safe (lock-free CAS). *)
+
+val elapsed_ns : float -> float
+(** [elapsed_ns t0] is [now_ns () -. t0] clamped to [>= 0]. *)

@@ -1,0 +1,52 @@
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let number f =
+  if not (Float.is_finite f) then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let exact p =
+      let s = Printf.sprintf p f in
+      if float_of_string s = f then Some s else None
+    in
+    match exact "%.15g" with
+    | Some s -> s
+    | None -> ( match exact "%.16g" with Some s -> s | None -> Printf.sprintf "%.17g" f)
+
+let escape_with b s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter (fun c -> b buf c) s;
+  Buffer.contents buf
+
+let prom_label_escape s =
+  escape_with
+    (fun b c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s
+
+let prom_help_escape s =
+  escape_with
+    (fun b c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s

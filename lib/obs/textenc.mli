@@ -1,0 +1,19 @@
+(** Tiny shared encoders for the registry and span renderers — the obs
+    library is dependency-free, so it carries its own JSON string escaping
+    and number formatting (mirroring the service's [Json] conventions: exact
+    float round-trip, integers rendered without a fraction). *)
+
+val json_escape : string -> string
+(** The body of a JSON string literal (no surrounding quotes): escapes
+    backslash, double quote, and control characters. *)
+
+val number : float -> string
+(** Compact exact decimal: integers as [%.0f], everything else via the
+    shortest of %.17g/%.16g/%.15g that round-trips; non-finite values render
+    as [0] (they never appear in well-formed metrics). *)
+
+val prom_label_escape : string -> string
+(** Prometheus label-value escaping: backslash, double quote, newline. *)
+
+val prom_help_escape : string -> string
+(** Prometheus HELP-text escaping: backslash and newline. *)

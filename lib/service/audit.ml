@@ -13,6 +13,7 @@ type event = {
   smooth_ns : float;
   execution_ns : float;
   perturbation_ns : float;
+  total_ns : float;
 }
 
 type sink = To_channel of out_channel | To_buffer of Buffer.t | Null
@@ -48,6 +49,7 @@ let json_of_event ~ts (e : event) =
         ("smooth_ns", Json.num e.smooth_ns);
         ("execution_ns", Json.num e.execution_ns);
         ("perturbation_ns", Json.num e.perturbation_ns);
+        ("total_ns", Json.num e.total_ns);
       ])
 
 let log t e =
@@ -67,9 +69,11 @@ let log t e =
         output_char oc '\n';
         flush oc)
 
-let events t =
+let count t =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> t.count)
+
+let events = count
 
 let close t =
   Mutex.lock t.lock;

@@ -22,6 +22,9 @@ type event = {
   smooth_ns : float;
   execution_ns : float;
   perturbation_ns : float;
+  total_ns : float;
+      (** end-to-end request time, including queue/admission work the stage
+          fields don't cover; always >= the sum of the stages *)
 }
 
 type t
@@ -38,5 +41,10 @@ val to_buffer : Buffer.t -> t
 val log : t -> event -> unit
 (** Thread-safe; adds a wall-clock [ts] field. *)
 
+val count : t -> int
+(** Number of events logged since creation. *)
+
 val events : t -> int
+  [@@ocaml.deprecated "misleading name (returns the count, not the events); use Audit.count"]
+
 val close : t -> unit

@@ -8,6 +8,9 @@ module Errors = Flex_core.Errors
 module Elastic = Flex_core.Elastic
 module Parser = Flex_sql.Parser
 module Canon = Flex_sql.Canon
+module Registry = Flex_obs.Registry
+module Span = Flex_obs.Span
+module Clock = Flex_obs.Clock
 
 type config = {
   default_epsilon : float;
@@ -23,9 +26,13 @@ type config = {
          the sensitivity metrics doubling as cardinality statistics; the
          privacy analysis always sees the original AST *)
   explain_estimates : bool;
-      (* render ~N cardinality annotations in EXPLAIN responses; off by
-         default because the estimates are seeded from exact private-table
-         row counts, which EXPLAIN would otherwise disclose uncharged *)
+      (* render ~N cardinality annotations in EXPLAIN responses, and actual
+         row counts in EXPLAIN ANALYZE; off by default because both are
+         seeded from / reveal exact private-table row counts, which these
+         uncharged operations would otherwise disclose *)
+  telemetry : bool;
+      (* metrics registry and per-query trace spans; releases are
+         bit-identical either way (telemetry never touches the RNG) *)
 }
 
 let default_config =
@@ -40,7 +47,20 @@ let default_config =
     cross_joins = false;
     optimize_queries = true;
     explain_estimates = false;
+    telemetry = true;
   }
+
+(* The write-side instruments; scrape-time values (budgets, cache, pool)
+   register collect callbacks instead — see [register_collectors]. *)
+type instruments = {
+  m_queries : Registry.Counter.t;
+  m_granted : Registry.Counter.t;
+  m_rejected : Registry.Counter.t;
+  m_refused : Registry.Counter.t;
+  m_latency : Registry.Histogram.t;
+  m_stage : (string list * Registry.Histogram.t) list;
+      (* span path in the query trace -> stage histogram *)
+}
 
 type t = {
   config : config;
@@ -55,6 +75,9 @@ type t = {
      serialized onto it by the pool itself (a busy pool runs the submission
      inline), so concurrent sessions never block each other *)
   pool : Flex.Task_pool.t option;
+  registry : Registry.t option;  (* Some iff [config.telemetry] *)
+  instruments : instruments option;
+  start_ns : float;
   lock : Mutex.t;  (* guards counters and rng splitting *)
   mutable queries : int;
   mutable granted : int;
@@ -62,39 +85,141 @@ type t = {
   mutable refused : int;
 }
 
-let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity ?pool
-    ~db ~metrics ~ledger ~rng () =
-  {
-    config;
-    db;
-    metrics;
-    fingerprint = Metrics.fingerprint metrics;
-    ledger;
-    analysis_cache = Cache.create ?capacity:cache_capacity ();
-    audit;
-    rng;
-    pool;
-    lock = Mutex.create ();
-    queries = 0;
-    granted = 0;
-    rejected = 0;
-    refused = 0;
-  }
-
-type session = { mutable analyst : string option; rng : Rng.t }
-
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let instr t f = match t.instruments with Some i -> f i | None -> ()
+
+let make_instruments reg =
+  let stage name =
+    Registry.histogram reg ~help:"Query pipeline stage latency in seconds"
+      ~labels:[ ("stage", name) ] "flex_stage_seconds"
+  in
+  {
+    m_queries = Registry.counter reg ~help:"Query requests seen" "flex_queries_total";
+    m_granted =
+      Registry.counter reg ~help:"Queries granted a noisy release" "flex_granted_total";
+    m_rejected =
+      Registry.counter reg ~help:"Queries rejected (parse/unsupported/admission/other)"
+        "flex_rejected_total";
+    m_refused =
+      Registry.counter reg ~help:"Queries refused by the budget ledger" "flex_refused_total";
+    m_latency =
+      Registry.histogram reg ~help:"End-to-end query latency in seconds" "flex_query_seconds";
+    m_stage =
+      [
+        ([ "parse" ], stage "parse");
+        ([ "cache" ], stage "analysis");
+        ([ "smooth" ], stage "smooth");
+        ([ "execute" ], stage "execute");
+        ([ "perturb" ], stage "perturb");
+        ([ "charge" ], stage "charge");
+      ];
+  }
+
+let uptime_seconds t = Float.max 1e-9 ((Clock.now_ns () -. t.start_ns) /. 1e9)
+
+(* Everything registered here is operational: request counts, budget
+   accounting the analysts already see in their responses, cache and pool
+   counters. No query results and no private-table row counts. *)
+let register_collectors t reg =
+  Registry.collect reg ~help:"Seconds since the server was created" ~kind:`Gauge
+    "flex_uptime_seconds" (fun () -> [ ([], uptime_seconds t) ]);
+  Registry.collect reg ~help:"Query requests per second since start" ~kind:`Gauge "flex_qps"
+    (fun () ->
+      let q = with_lock t (fun () -> t.queries) in
+      [ ([], float_of_int q /. uptime_seconds t) ]);
+  Registry.collect reg ~help:"Per-analyst remaining epsilon budget" ~kind:`Gauge
+    "flex_analyst_remaining_epsilon" (fun () ->
+      List.map
+        (fun (s : Ledger.summary) ->
+          ([ ("analyst", s.analyst) ], s.epsilon_limit -. s.epsilon_spent))
+        (Ledger.summaries t.ledger));
+  Registry.collect reg ~help:"Per-analyst remaining delta budget" ~kind:`Gauge
+    "flex_analyst_remaining_delta" (fun () ->
+      List.map
+        (fun (s : Ledger.summary) ->
+          ([ ("analyst", s.analyst) ], s.delta_limit -. s.delta_spent))
+        (Ledger.summaries t.ledger));
+  Registry.collect reg ~help:"Registered analysts" ~kind:`Gauge "flex_analysts" (fun () ->
+      [ ([], float_of_int (List.length (Ledger.analysts t.ledger))) ]);
+  Registry.collect reg ~help:"Analysis cache lookups" ~kind:`Counter "flex_cache_lookups_total"
+    (fun () ->
+      [
+        ([ ("result", "hit") ], float_of_int (Cache.hits t.analysis_cache));
+        ([ ("result", "miss") ], float_of_int (Cache.misses t.analysis_cache));
+      ]);
+  Registry.collect reg ~help:"Analysis cache entries" ~kind:`Gauge "flex_cache_entries"
+    (fun () -> [ ([], float_of_int (Cache.length t.analysis_cache)) ]);
+  Registry.collect reg ~help:"Audit events logged" ~kind:`Counter "flex_audit_events_total"
+    (fun () -> [ ([], float_of_int (Audit.count t.audit)) ]);
+  Registry.collect reg ~help:"Domains in the shared execution pool" ~kind:`Gauge
+    "flex_pool_domains" (fun () ->
+      [ ([], float_of_int (match t.pool with Some p -> Flex.Task_pool.domains p | None -> 0)) ]);
+  Registry.collect reg
+    ~help:"Pool chunks claimed, by who ran them (process-global)" ~kind:`Counter
+    "flex_pool_chunks_total" (fun () ->
+      match t.pool with
+      | None -> []
+      | Some p ->
+        let s = Flex.Task_pool.stats p in
+        [
+          ([ ("by", "caller") ], float_of_int s.caller_chunks);
+          ([ ("by", "worker") ], float_of_int s.worker_chunks);
+        ]);
+  Registry.collect reg ~help:"Pool jobs dispatched" ~kind:`Counter "flex_pool_jobs_total"
+    (fun () ->
+      match t.pool with
+      | None -> []
+      | Some p ->
+        let s = Flex.Task_pool.stats p in
+        [
+          ([ ("mode", "parallel") ], float_of_int s.jobs);
+          ([ ("mode", "inline") ], float_of_int s.inline_jobs);
+        ]);
+  Registry.collect reg ~help:"Engine operator dispatches (process-global)" ~kind:`Counter
+    "flex_engine_ops_total" (fun () ->
+      let par, seq = Flex_engine.Parallel.ops_counts () in
+      [
+        ([ ("mode", "parallel") ], float_of_int par);
+        ([ ("mode", "sequential") ], float_of_int seq);
+      ])
+
+let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity ?pool ?registry
+    ~db ~metrics ~ledger ~rng () =
+  let registry =
+    if config.telemetry then
+      Some (match registry with Some r -> r | None -> Registry.create ())
+    else None
+  in
+  let t =
+    {
+      config;
+      db;
+      metrics;
+      fingerprint = Metrics.fingerprint metrics;
+      ledger;
+      analysis_cache = Cache.create ?capacity:cache_capacity ();
+      audit;
+      rng;
+      pool;
+      registry;
+      instruments = Option.map make_instruments registry;
+      start_ns = Clock.now_ns ();
+      lock = Mutex.create ();
+      queries = 0;
+      granted = 0;
+      rejected = 0;
+      refused = 0;
+    }
+  in
+  Option.iter (register_collectors t) registry;
+  t
+
+type session = { mutable analyst : string option; rng : Rng.t }
+
 let session t = with_lock t (fun () -> { analyst = None; rng = Rng.split t.rng })
-
-let now_ns () = Unix.gettimeofday () *. 1e9
-
-let timed f =
-  let t0 = now_ns () in
-  let v = f () in
-  (v, now_ns () -. t0)
 
 let bucket_string reason =
   match Errors.bucket_of reason with
@@ -116,7 +241,35 @@ let base_event ~analyst ~sql : Audit.event =
     smooth_ns = 0.0;
     execution_ns = 0.0;
     perturbation_ns = 0.0;
+    total_ns = 0.0;
   }
+
+(* Close the query's root span and derive the audit stage timings plus the
+   latency-histogram observations from one consistent view of the trace.
+   With telemetry off ([root = None]) the event keeps its zeroed timings. *)
+let finalize t root (base : Audit.event) : Audit.event =
+  match root with
+  | None -> base
+  | Some r ->
+    Span.finish r;
+    let v = Span.view r in
+    let d path = Span.duration_of v path in
+    instr t (fun i ->
+        Registry.Histogram.observe i.m_latency (d [] /. 1e9);
+        List.iter
+          (fun (path, h) ->
+            if Option.is_some (Span.find v path) then
+              Registry.Histogram.observe h (d path /. 1e9))
+          i.m_stage);
+    {
+      base with
+      parse_ns = d [ "parse" ];
+      analysis_ns = d [ "cache" ];
+      smooth_ns = d [ "smooth" ];
+      execution_ns = d [ "execute" ];
+      perturbation_ns = d [ "perturb" ];
+      total_ns = d [];
+    }
 
 (* Admission of the request's privacy parameters: Flex.options would raise
    on out-of-range values, and the per-query cap keeps any single request
@@ -138,15 +291,21 @@ let options_for t ~epsilon ~delta =
     ~delta ()
 
 (* The analysis depends on options only through the catalog flags, never
-   through epsilon/delta, so one cache entry serves every privacy level. *)
-let analyze_cached t ~options ast =
+   through epsilon/delta, so one cache entry serves every privacy level.
+   The trace distinguishes canonicalization ("canon") from the lookup
+   ("cache", which contains the "analysis" child only on a miss). *)
+let analyze_cached t ?span ~options ast =
   let flags =
     Printf.sprintf "pub=%b;uniq=%b;cross=%b" t.config.public_optimization
       t.config.unique_optimization t.config.cross_joins
   in
-  let key = Cache.key ~sql_canonical:(Canon.cache_key ast) ~fingerprint:t.fingerprint ~flags in
-  Cache.find_or_compute t.analysis_cache ~key (fun () ->
-      Flex.analyze_ast ~options ~metrics:t.metrics ast)
+  let key =
+    Span.timed span "canon" (fun _ ->
+        Cache.key ~sql_canonical:(Canon.cache_key ast) ~fingerprint:t.fingerprint ~flags)
+  in
+  Span.timed span "cache" (fun cache_span ->
+      Cache.find_or_compute t.analysis_cache ~key (fun () ->
+          Flex.analyze_ast ?span:cache_span ~options ~metrics:t.metrics ast))
 
 let parse sql =
   match Parser.parse sql with Ok ast -> Ok ast | Error e -> Error (Errors.Parse_error e)
@@ -189,23 +348,46 @@ let handle_hello t session ~analyst ~epsilon ~delta =
            existing.epsilon existing.delta))
   | Error err -> Wire.Error_msg (Ledger.error_to_string err)
 
-let reject t ~(base : Audit.event) reason =
+let reject t ~root ~(base : Audit.event) reason =
   let bucket = bucket_string reason in
   with_lock t (fun () -> t.rejected <- t.rejected + 1);
-  Audit.log t.audit { base with outcome = Audit.Rejected bucket };
+  instr t (fun i -> Registry.Counter.incr i.m_rejected);
+  Audit.log t.audit { (finalize t root base) with outcome = Audit.Rejected bucket };
   Wire.Rejected { bucket; reason = Errors.to_string reason }
+
+(* EXPLAIN ANALYZE: execute the plan and render per-operator timings. Like
+   EXPLAIN it is uncharged and releases no result values; the actual row
+   counts ride the same [explain_estimates] opt-in as the ~N estimates,
+   because both expose exact private-table cardinalities. *)
+let analyzed_plan t ast =
+  match
+    Flex_engine.Executor.explain_analyze ?pool:t.pool ~optimize:t.config.optimize_queries
+      ~metrics:t.metrics ~show_rows:t.config.explain_estimates t.db ast
+  with
+  | plan, _ -> Wire.Analyzed_report { plan }
+  | exception Flex_engine.Executor.Error m ->
+    let reason = Errors.Analysis_error ("execution: " ^ m) in
+    Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
+  | exception Flex_engine.Eval.Error m ->
+    let reason = Errors.Analysis_error ("evaluation: " ^ m) in
+    Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
+  | exception Flex_engine.Aggregate.Error m ->
+    let reason = Errors.Analysis_error ("aggregation: " ^ m) in
+    Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
 
 let handle_query t session ~sql ~epsilon ~delta =
   match session.analyst with
   | None -> Wire.Error_msg "no analyst: send hello first"
   | Some analyst -> (
     with_lock t (fun () -> t.queries <- t.queries + 1);
+    instr t (fun i -> Registry.Counter.incr i.m_queries);
     let epsilon = Option.value epsilon ~default:t.config.default_epsilon in
     let delta = Option.value delta ~default:t.config.default_delta in
     let base = base_event ~analyst ~sql in
     match validate_privacy t ~epsilon ~delta with
     | Error msg ->
       with_lock t (fun () -> t.rejected <- t.rejected + 1);
+      instr t (fun i -> Registry.Counter.incr i.m_rejected);
       Audit.log t.audit { base with outcome = Audit.Rejected "admission" };
       Wire.Rejected { bucket = "admission"; reason = msg }
     | Ok () -> (
@@ -218,43 +400,38 @@ let handle_query t session ~sql ~epsilon ~delta =
             ~estimates:t.config.explain_estimates ast
         in
         Wire.Plan_report { logical; optimized }
+      | Ok (Flex_sql.Ast.Explain_analyze ast) -> analyzed_plan t ast
       | Ok (Flex_sql.Ast.Query _) | Error _ -> (
+      let root = if t.config.telemetry then Some (Span.root "query") else None in
       let options = options_for t ~epsilon ~delta in
-      let parsed, parse_ns = timed (fun () -> parse sql) in
-      let base = { base with parse_ns } in
-      match parsed with
-      | Error reason -> reject t ~base reason
+      match Span.timed root "parse" (fun _ -> parse sql) with
+      | Error reason -> reject t ~root ~base reason
       | Ok ast -> (
-        let (analyzed, cache_hit), analysis_ns =
-          timed (fun () -> analyze_cached t ~options ast)
-        in
-        let base = { base with cache_hit; analysis_ns } in
+        let analyzed, cache_hit = analyze_cached t ?span:root ~options ast in
+        let base = { base with cache_hit } in
         match analyzed with
-        | Error reason -> reject t ~base reason
+        | Error reason -> reject t ~root ~base reason
         | Ok analysis -> (
-          let column_releases, smooth_ns =
-            timed (fun () -> Flex.smooth_columns ~options analysis)
-          in
-          let executed, execution_ns =
-            timed (fun () ->
-                Flex.execute ?pool:t.pool ~optimize:t.config.optimize_queries
-                  ~metrics:t.metrics ~db:t.db ast)
-          in
-          let base = { base with smooth_ns; execution_ns } in
-          match executed with
-          | Error reason -> reject t ~base reason
+          let column_releases = Flex.smooth_columns ?span:root ~options analysis in
+          match
+            Flex.execute ?span:root ?pool:t.pool ~optimize:t.config.optimize_queries
+              ~metrics:t.metrics ~db:t.db ast
+          with
+          | Error reason -> reject t ~root ~base reason
           | Ok result_set -> (
             let n = float_of_int (List.length column_releases) in
             let cost_eps = epsilon *. n and cost_delta = delta *. n in
             (* The atomic gate: journal-then-charge before any noisy value
                exists, so refusal can never follow a release. *)
             match
-              Ledger.spend t.ledger ~analyst ~epsilon:cost_eps ~delta:cost_delta
-                ~label:"flex-query"
+              Span.timed root "charge" (fun _ ->
+                  Ledger.spend t.ledger ~analyst ~epsilon:cost_eps ~delta:cost_delta
+                    ~label:"flex-query")
             with
             | Error (Ledger.Exhausted e) ->
               with_lock t (fun () -> t.refused <- t.refused + 1);
-              Audit.log t.audit { base with outcome = Audit.Refused };
+              instr t (fun i -> Registry.Counter.incr i.m_refused);
+              Audit.log t.audit { (finalize t root base) with outcome = Audit.Refused };
               Wire.Refused
                 {
                   analyst;
@@ -265,12 +442,12 @@ let handle_query t session ~sql ~epsilon ~delta =
                 }
             | Error err -> Wire.Error_msg (Ledger.error_to_string err)
             | Ok (remaining_epsilon, remaining_delta) ->
-              let release, perturbation_ns =
-                timed (fun () ->
-                    Flex.perturb ~rng:session.rng ~options ~metrics:t.metrics ~db:t.db
-                      ~analysis ~column_releases result_set)
+              let release =
+                Flex.perturb ?span:root ~rng:session.rng ~options ~metrics:t.metrics
+                  ~db:t.db ~analysis ~column_releases result_set
               in
               with_lock t (fun () -> t.granted <- t.granted + 1);
+              instr t (fun i -> Registry.Counter.incr i.m_granted);
               let noise_scales =
                 List.map
                   (fun (cr : Flex.column_release) -> (cr.name, cr.noise_scale))
@@ -281,12 +458,11 @@ let handle_query t session ~sql ~epsilon ~delta =
               in
               Audit.log t.audit
                 {
-                  base with
+                  (finalize t root base) with
                   outcome = Audit.Granted;
                   epsilon = cost_eps;
                   delta = cost_delta;
                   max_noise_scale;
-                  perturbation_ns;
                 };
               Wire.Result
                 {
@@ -308,12 +484,15 @@ let handle_query t session ~sql ~epsilon ~delta =
    so it is neither charged nor counted as a query. Because it is free, the
    ~N cardinality annotations — seeded from exact private-table row counts —
    are suppressed unless the deployment opts in via [explain_estimates]
-   (i.e. declares table cardinalities public). *)
+   (i.e. declares table cardinalities public). An EXPLAIN ANALYZE prefix in
+   the text routes to the executed-plan report under the same opt-in. *)
 let handle_explain t ~sql =
-  match parse sql with
-  | Error reason ->
+  match Parser.parse_statement sql with
+  | Error e ->
+    let reason = Errors.Parse_error e in
     Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
-  | Ok ast ->
+  | Ok (Flex_sql.Ast.Explain_analyze ast) -> analyzed_plan t ast
+  | Ok (Flex_sql.Ast.Query ast) | Ok (Flex_sql.Ast.Explain ast) ->
     let logical, optimized =
       Flex_engine.Optimizer.explain ~metrics:t.metrics
         ~estimates:t.config.explain_estimates ast
@@ -346,9 +525,46 @@ let handle_analyze t ~sql =
       Wire.Analysis
         { cache_hit; is_histogram = analysis.is_histogram; joins = analysis.joins; columns })
 
+let json_of_registry reg : Json.t =
+  let sample (s : Registry.sample) =
+    let labels =
+      ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.labels))
+    in
+    match s.value with
+    | Registry.Sample v -> Json.Obj [ labels; ("value", Json.Num v) ]
+    | Registry.Hist { upper; cumulative; count; sum } ->
+      Json.Obj
+        [
+          labels;
+          ("count", Json.Num (float_of_int count));
+          ("sum", Json.Num sum);
+          ( "buckets",
+            Json.List
+              (List.mapi
+                 (fun i u ->
+                   Json.Obj
+                     [
+                       ("le", Json.Num u);
+                       ("count", Json.Num (float_of_int cumulative.(i)));
+                     ])
+                 (Array.to_list upper)) );
+        ]
+  in
+  let family (f : Registry.family) =
+    Json.Obj
+      [
+        ("name", Json.Str f.name);
+        ("kind", Json.Str f.kind);
+        ("help", Json.Str f.help);
+        ("samples", Json.List (List.map sample f.samples));
+      ]
+  in
+  Json.Obj [ ("families", Json.List (List.map family (Registry.snapshot reg))) ]
+
 let stats_report t =
   let c = with_lock t (fun () -> (t.queries, t.granted, t.rejected, t.refused)) in
   let queries, granted, rejected, refused = c in
+  let uptime = uptime_seconds t in
   Wire.Stats_report
     {
       queries;
@@ -359,6 +575,10 @@ let stats_report t =
       cache_misses = Cache.misses t.analysis_cache;
       cache_entries = Cache.length t.analysis_cache;
       analysts = List.length (Ledger.analysts t.ledger);
+      uptime_seconds = uptime;
+      qps = float_of_int queries /. uptime;
+      metrics =
+        (match t.registry with Some reg -> json_of_registry reg | None -> Json.Null);
     }
 
 let handle t session req =
@@ -388,6 +608,7 @@ let counters t =
       { queries = t.queries; granted = t.granted; rejected = t.rejected; refused = t.refused })
 
 let cache t = t.analysis_cache
+let registry t = t.registry
 
 (* {2 TCP front end} *)
 

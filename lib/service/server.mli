@@ -45,15 +45,21 @@ type config = {
           re-associate float SUM/AVG accumulation). *)
   explain_estimates : bool;
       (** render per-operator [~N rows] cardinality annotations in EXPLAIN
-          responses. Off by default: EXPLAIN is uncharged and the estimates
-          are seeded from exact private-table row counts
-          ({!Flex_engine.Metrics.row_count}), so enabling this declares table
-          cardinalities public in the deployment's threat model. *)
+          responses — and actual row counts in EXPLAIN ANALYZE. Off by
+          default: both are uncharged and seeded from / reveal exact
+          private-table row counts ({!Flex_engine.Metrics.row_count}), so
+          enabling this declares table cardinalities public in the
+          deployment's threat model. Operator timings are always shown. *)
+  telemetry : bool;
+      (** maintain a metrics registry and per-query trace spans (on by
+          default). Releases are bit-identical either way: telemetry never
+          touches the RNG or the result path. Off, the audit log's stage
+          timings read zero and {!registry} is [None]. *)
 }
 
 val default_config : config
 (** eps 0.1 / delta 1e-8 per query, totals 10.0 / 1e-4, cap 1.0, paper-default
-    optimisation flags, EXPLAIN cardinality annotations off. *)
+    optimisation flags, EXPLAIN cardinality annotations off, telemetry on. *)
 
 type t
 
@@ -62,6 +68,7 @@ val create :
   ?config:config ->
   ?cache_capacity:int ->
   ?pool:Flex_engine.Task_pool.t ->
+  ?registry:Flex_obs.Registry.t ->
   db:Database.t ->
   metrics:Metrics.t ->
   ledger:Ledger.t ->
@@ -70,7 +77,10 @@ val create :
   t
 (** [pool] is one shared domain pool for every session's query execution
     (stage 3); sessions whose query arrives while the pool is busy simply
-    execute sequentially, so concurrent sessions never block each other. *)
+    execute sequentially, so concurrent sessions never block each other.
+    [registry] lets several servers (or the embedding process) share one
+    metrics registry; a fresh one is created otherwise. Ignored when
+    [config.telemetry] is false. *)
 
 type session
 
@@ -94,6 +104,10 @@ type counters = {
 
 val counters : t -> counters
 val cache : t -> (Flex_core.Elastic.analysis, Flex_core.Errors.reason) result Cache.t
+
+val registry : t -> Flex_obs.Registry.t option
+(** The server's metrics registry ([None] when telemetry is off) — what
+    [Stats] snapshots and the [--stats-port] HTTP endpoint scrapes. *)
 
 (** {2 TCP front end} *)
 

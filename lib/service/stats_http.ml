@@ -1,0 +1,103 @@
+module Registry = Flex_obs.Registry
+
+type t = {
+  registry : Registry.t;
+  sock : Unix.file_descr;
+  lport : int;
+  lock : Mutex.t;
+  mutable running : bool;
+  mutable handlers : Thread.t list;
+  mutable accept_thread : Thread.t option;
+}
+
+let listen ?(backlog = 16) ?(port = 0) registry =
+  let sock = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt sock SO_REUSEADDR true;
+  Unix.bind sock (ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock backlog;
+  let lport =
+    match Unix.getsockname sock with ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  {
+    registry;
+    sock;
+    lport;
+    lock = Mutex.create ();
+    running = true;
+    handlers = [];
+    accept_thread = None;
+  }
+
+let port t = t.lport
+
+let response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let handle t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let request_line = input_line ic in
+     (* drain the headers so the peer never sees a reset mid-send *)
+     (try
+        while String.length (String.trim (input_line ic)) > 0 do
+          ()
+        done
+      with End_of_file -> ());
+     let reply =
+       match String.split_on_char ' ' (String.trim request_line) with
+       | [ "GET"; "/metrics"; _ ] ->
+         response ~status:"200 OK" ~content_type:"text/plain; version=0.0.4"
+           (Registry.to_prometheus t.registry)
+       | [ "GET"; "/metrics.json"; _ ] ->
+         response ~status:"200 OK" ~content_type:"application/json"
+           (Registry.to_json t.registry)
+       | [ "GET"; "/healthz"; _ ] ->
+         response ~status:"200 OK" ~content_type:"text/plain" "ok"
+       | [ "GET"; _; _ ] ->
+         response ~status:"404 Not Found" ~content_type:"text/plain" "not found"
+       | _ -> response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request"
+     in
+     output_string oc reply;
+     flush oc
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+  close_in_noerr ic (* closes [fd]; [oc] shares it and is already flushed *)
+
+let serve t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.sock with
+    | fd, _ ->
+      if not t.running then (try Unix.close fd with _ -> ())
+      else begin
+        Mutex.lock t.lock;
+        t.handlers <- Thread.create (fun () -> handle t fd) () :: t.handlers;
+        Mutex.unlock t.lock
+      end
+    | exception Unix.Unix_error _ -> if not t.running then continue := false
+  done
+
+let start t =
+  let th = Thread.create serve t in
+  Mutex.lock t.lock;
+  t.accept_thread <- Some th;
+  Mutex.unlock t.lock;
+  th
+
+let stop t =
+  Mutex.lock t.lock;
+  let was_running = t.running in
+  t.running <- false;
+  let acc = t.accept_thread in
+  t.accept_thread <- None;
+  Mutex.unlock t.lock;
+  if was_running then begin
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with _ -> ());
+    (match acc with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.sock with _ -> ());
+    let handlers = Mutex.protect t.lock (fun () -> t.handlers) in
+    List.iter (fun th -> try Thread.join th with _ -> ()) handlers
+  end

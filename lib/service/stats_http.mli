@@ -1,0 +1,25 @@
+(** A minimal HTTP/1.1 stats endpoint for scraping a {!Flex_obs.Registry}:
+
+    - [GET /metrics] — Prometheus text exposition;
+    - [GET /metrics.json] — the same snapshot as JSON;
+    - [GET /healthz] — ["ok"].
+
+    One request per connection ([Connection: close]), loopback only — the
+    intended deployment puts a real reverse proxy in front if the metrics
+    must travel. The registry holds only operational series (see
+    {!Registry}), so this surface never carries query results; it should
+    still not be exposed to analysts, since latency series are a timing
+    side channel. *)
+
+type t
+
+val listen : ?backlog:int -> ?port:int -> Flex_obs.Registry.t -> t
+(** Bind 127.0.0.1 (port 0 — the default — picks an ephemeral one). *)
+
+val port : t -> int
+
+val start : t -> Thread.t
+(** Accept loop on a background thread, one handler thread per request. *)
+
+val stop : t -> unit
+(** Stop accepting and join the accept loop. Idempotent. *)

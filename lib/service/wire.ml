@@ -65,7 +65,11 @@ type response =
       cache_misses : int;
       cache_entries : int;
       analysts : int;
+      uptime_seconds : float;
+      qps : float;
+      metrics : Json.t;
     }
+  | Analyzed_report of { plan : string }
   | Error_msg of string
   | Bye
 
@@ -231,7 +235,12 @@ let response_to_json = function
         ("cache_misses", Json.int s.cache_misses);
         ("cache_entries", Json.int s.cache_entries);
         ("analysts", Json.int s.analysts);
+        ("uptime_seconds", Json.num s.uptime_seconds);
+        ("qps", Json.num s.qps);
+        ("metrics", s.metrics);
       ]
+  | Analyzed_report { plan } ->
+    Json.Obj [ ("status", Json.str "analyzed"); ("plan", Json.str plan) ]
   | Error_msg m -> Json.Obj [ ("status", Json.str "error"); ("message", Json.str m) ]
   | Bye -> Json.Obj [ ("status", Json.str "bye") ]
 
@@ -357,9 +366,27 @@ let response_of_json j =
     let* cache_misses = get_int "cache_misses" j in
     let* cache_entries = get_int "cache_entries" j in
     let* analysts = get_int "analysts" j in
+    let* uptime_seconds = get_num "uptime_seconds" j in
+    let* qps = get_num "qps" j in
+    let metrics = Option.value (Json.mem "metrics" j) ~default:Json.Null in
     Ok
       (Stats_report
-         { queries; granted; rejected; refused; cache_hits; cache_misses; cache_entries; analysts })
+         {
+           queries;
+           granted;
+           rejected;
+           refused;
+           cache_hits;
+           cache_misses;
+           cache_entries;
+           analysts;
+           uptime_seconds;
+           qps;
+           metrics;
+         })
+  | "analyzed" ->
+    let* plan = get_str "plan" j in
+    Ok (Analyzed_report { plan })
   | "error" ->
     let* message = get_str "message" j in
     Ok (Error_msg message)

@@ -74,7 +74,15 @@ type response =
       cache_misses : int;
       cache_entries : int;
       analysts : int;
+      uptime_seconds : float;
+      qps : float;
+      metrics : Json.t;
+          (** the full registry snapshot ({!Server.registry} rendered as
+              JSON families); [Null] from servers without telemetry *)
     }
+  | Analyzed_report of { plan : string }
+      (** EXPLAIN ANALYZE: the executed plan annotated with per-operator
+          timings (row counts gated by the server's EXPLAIN opt-in) *)
   | Error_msg of string  (** protocol-level error (bad JSON, unknown op, ...) *)
   | Bye
 

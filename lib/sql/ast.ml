@@ -88,7 +88,7 @@ and query = {
 
 and cte = { cte_name : string; cte_columns : string list; cte_query : query }
 
-type statement = Query of query | Explain of query
+type statement = Query of query | Explain of query | Explain_analyze of query
 
 let empty_select =
   { distinct = false; projections = []; from = []; where = None; group_by = []; having = None }

@@ -89,9 +89,11 @@ and query = {
 
 and cte = { cte_name : string; cte_columns : string list; cte_query : query }
 
-type statement = Query of query | Explain of query
-    (** A top-level statement: a query to execute, or [EXPLAIN <query>] asking
-        for the logical and optimized plans instead of results. *)
+type statement = Query of query | Explain of query | Explain_analyze of query
+    (** A top-level statement: a query to execute, [EXPLAIN <query>] asking
+        for the logical and optimized plans instead of results, or
+        [EXPLAIN ANALYZE <query>] asking for the optimized plan annotated
+        with per-operator runtime statistics. *)
 
 (** {2 Construction helpers} *)
 

@@ -572,6 +572,18 @@ let parse_statement_exn src =
   in
   let p = { toks; i = 0 } in
   let explain = eat_kw p "EXPLAIN" in
+  (* ANALYZE is not a reserved word (it stays a valid column or table name),
+     so after EXPLAIN it is matched as an identifier, case-insensitively —
+     the same way Postgres treats it *)
+  let analyze =
+    explain
+    &&
+    match peek p with
+    | Token.IDENT id when String.uppercase_ascii id = "ANALYZE" ->
+      p.i <- p.i + 1;
+      true
+    | _ -> false
+  in
   let q = parse_query p in
   while eat p Token.SEMI do
     ()
@@ -579,7 +591,7 @@ let parse_statement_exn src =
   (match peek p with
   | Token.EOF -> ()
   | t -> fail p "unexpected trailing input: %s" (Token.to_string t));
-  if explain then Ast.Explain q else Ast.Query q
+  if analyze then Ast.Explain_analyze q else if explain then Ast.Explain q else Ast.Query q
 
 let parse_statement src =
   match parse_statement_exn src with

@@ -1,0 +1,643 @@
+(* The telemetry subsystem's obligations:
+
+   1. Registry: correct values under concurrent domain updates, faithful
+      Prometheus/JSON rendering, label escaping, callback isolation.
+   2. Clock/spans: monotonized timestamps (no negative durations, ever),
+      span trees in creation order, idempotent finish.
+   3. EXPLAIN ANALYZE: the traced root cardinality agrees with the
+      reference interpreter; actual row counts are gated exactly like
+      EXPLAIN's estimates (default off through the service).
+   4. Privacy: DP releases are bit-identical with telemetry on and off,
+      and the metrics surface never carries private-table cardinalities.
+   5. Audit: one valid JSON object per line whatever the SQL contains,
+      stage timings non-negative with total >= each stage, and the
+      [count]/[events] rename keeps the deprecated alias working. *)
+
+module Registry = Flex_obs.Registry
+module Clock = Flex_obs.Clock
+module Span = Flex_obs.Span
+module Database = Flex_engine.Database
+module Metrics = Flex_engine.Metrics
+module Executor = Flex_engine.Executor
+module Reference = Flex_engine.Reference
+module Plan = Flex_engine.Plan
+module Optimizer = Flex_engine.Optimizer
+module Task_pool = Flex_engine.Task_pool
+module Parallel = Flex_engine.Parallel
+module Rng = Flex_dp.Rng
+module Ledger = Flex_dp.Ledger
+module Uber = Flex_workload.Uber
+module Wire = Flex_service.Wire
+module Json = Flex_service.Json
+module Server = Flex_service.Server
+module Audit = Flex_service.Audit
+module Stats_http = Flex_service.Stats_http
+
+[@@@warning "-3"]
+
+let audit_events_alias = Audit.events
+
+[@@@warning "+3"]
+
+(* --- registry ------------------------------------------------------------------- *)
+
+let registry_tests =
+  [
+    Alcotest.test_case "counter adds, ignores negatives" `Quick (fun () ->
+        let reg = Registry.create () in
+        let c = Registry.counter reg "t_total" in
+        Registry.Counter.incr c;
+        Registry.Counter.inc c 2.5;
+        Registry.Counter.inc c (-10.0);
+        Alcotest.(check (float 1e-9)) "value" 3.5 (Registry.Counter.value c));
+    Alcotest.test_case "gauge sets and adds" `Quick (fun () ->
+        let reg = Registry.create () in
+        let g = Registry.gauge reg "t_gauge" in
+        Registry.Gauge.set g 7.0;
+        Registry.Gauge.add g (-2.0);
+        Alcotest.(check (float 1e-9)) "value" 5.0 (Registry.Gauge.value g));
+    Alcotest.test_case "histogram buckets cumulate" `Quick (fun () ->
+        let reg = Registry.create () in
+        let h = Registry.histogram reg ~buckets:[| 1.0; 2.0; 4.0 |] "t_hist" in
+        List.iter (Registry.Histogram.observe h) [ 0.5; 1.5; 3.0; 100.0 ];
+        Alcotest.(check int) "count" 4 (Registry.Histogram.count h);
+        Alcotest.(check (float 1e-9)) "sum" 105.0 (Registry.Histogram.sum h);
+        match Registry.snapshot reg with
+        | [ { Registry.samples = [ { value = Registry.Hist s; _ } ]; _ } ] ->
+          Alcotest.(check (array (float 0.))) "upper" [| 1.0; 2.0; 4.0 |] s.upper;
+          Alcotest.(check (array int)) "cumulative" [| 1; 2; 3 |] s.cumulative;
+          Alcotest.(check int) "inf count" 4 s.count
+        | _ -> Alcotest.fail "unexpected snapshot shape");
+    Alcotest.test_case "updates from 4 domains are not lost" `Quick (fun () ->
+        let reg = Registry.create () in
+        let c = Registry.counter reg "t_total" in
+        let h = Registry.histogram reg "t_hist" in
+        let per_domain = 10_000 in
+        let work () =
+          for _ = 1 to per_domain do
+            Registry.Counter.incr c;
+            Registry.Histogram.observe h 1e-3
+          done
+        in
+        let domains = List.init 4 (fun _ -> Domain.spawn work) in
+        List.iter Domain.join domains;
+        Alcotest.(check (float 0.)) "counter" (float_of_int (4 * per_domain))
+          (Registry.Counter.value c);
+        Alcotest.(check int) "histogram count" (4 * per_domain) (Registry.Histogram.count h));
+    Alcotest.test_case "same name + labels = one family; kind clash rejected" `Quick
+      (fun () ->
+        let reg = Registry.create () in
+        let a = Registry.counter reg ~labels:[ ("k", "a") ] "t_total" in
+        let b = Registry.counter reg ~labels:[ ("k", "b") ] "t_total" in
+        Registry.Counter.incr a;
+        Registry.Counter.inc b 2.0;
+        (match Registry.snapshot reg with
+        | [ { Registry.name = "t_total"; kind = "counter"; samples; _ } ] ->
+          Alcotest.(check int) "two series" 2 (List.length samples)
+        | _ -> Alcotest.fail "expected one family with two samples");
+        match Registry.gauge reg "t_total" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "kind clash should raise");
+    Alcotest.test_case "collect callbacks sampled at scrape; exceptions drop" `Quick
+      (fun () ->
+        let reg = Registry.create () in
+        let n = ref 0 in
+        Registry.collect reg ~kind:`Gauge "t_live" (fun () ->
+            [ ([], float_of_int !n) ]);
+        Registry.collect reg ~kind:`Gauge "t_boom" (fun () -> failwith "boom");
+        n := 5;
+        let text = Registry.to_prometheus reg in
+        Alcotest.(check bool) "live value" true
+          (Astring.String.is_infix ~affix:"t_live 5" text);
+        Alcotest.(check bool) "type line survives" true
+          (Astring.String.is_infix ~affix:"# TYPE t_boom gauge" text);
+        (* sample lines start with the family name at column 0; the failing
+           callback must contribute none *)
+        Alcotest.(check bool) "no sample from the failing callback" false
+          (String.split_on_char '\n' text
+          |> List.exists (fun l -> Astring.String.is_prefix ~affix:"t_boom" l)));
+    Alcotest.test_case "prometheus rendering and label escaping" `Quick (fun () ->
+        let reg = Registry.create () in
+        let c = Registry.counter reg ~help:"a\nb" ~labels:[ ("q", "x\"y\\z\n") ] "t_total" in
+        Registry.Counter.inc c 3.0;
+        let text = Registry.to_prometheus reg in
+        Alcotest.(check bool) "help escaped" true
+          (Astring.String.is_infix ~affix:"# HELP t_total a\\nb" text);
+        Alcotest.(check bool) "type" true
+          (Astring.String.is_infix ~affix:"# TYPE t_total counter" text);
+        Alcotest.(check bool) "label escaped" true
+          (Astring.String.is_infix ~affix:{|t_total{q="x\"y\\z\n"} 3|} text));
+    Alcotest.test_case "JSON export parses and round-trips names" `Quick (fun () ->
+        let reg = Registry.create () in
+        let c = Registry.counter reg ~labels:[ ("sql", "a\"b\nc") ] "t_total" in
+        Registry.Counter.incr c;
+        let h = Registry.histogram reg ~buckets:[| 1.0 |] "t_hist" in
+        Registry.Histogram.observe h 0.5;
+        match Json.of_string (Registry.to_json reg) with
+        | Error e -> Alcotest.failf "registry JSON does not parse: %s" e
+        | Ok j -> (
+          match Json.mem "families" j with
+          | Some (Json.List fams) ->
+            let names =
+              List.filter_map
+                (fun f -> Option.bind (Json.mem "name" f) Json.to_str)
+                fams
+            in
+            Alcotest.(check (list string)) "families" [ "t_total"; "t_hist" ] names
+          | _ -> Alcotest.fail "missing families array"));
+  ]
+
+(* --- clock and spans ------------------------------------------------------------ *)
+
+let clock_span_tests =
+  [
+    Alcotest.test_case "now_ns never decreases; elapsed_ns clamps at 0" `Quick (fun () ->
+        let prev = ref (Clock.now_ns ()) in
+        for _ = 1 to 1000 do
+          let t = Clock.now_ns () in
+          if t < !prev then Alcotest.fail "clock went backwards";
+          prev := t
+        done;
+        (* a t0 in the future (e.g. another domain published a later
+           watermark between reads) must clamp, not go negative *)
+        Alcotest.(check (float 0.)) "clamped" 0.0
+          (Clock.elapsed_ns (Clock.now_ns () +. 1e12)));
+    Alcotest.test_case "span tree: creation order, durations, find" `Quick (fun () ->
+        let root = Span.root "query" in
+        Span.timed (Some root) "parse" (fun _ -> ());
+        Span.timed (Some root) "execute" (fun sp ->
+            Span.timed sp "run" (fun _ -> Unix.sleepf 0.002));
+        let open_child = Span.enter root "open" in
+        ignore open_child;
+        Span.finish root;
+        let v = Span.view root in
+        Alcotest.(check (list string)) "children in creation order"
+          [ "parse"; "execute"; "open" ]
+          (List.map (fun (c : Span.view) -> c.name) v.children);
+        Alcotest.(check bool) "nested timing" true
+          (Span.duration_of v [ "execute"; "run" ] >= 2e6 *. 0.5);
+        Alcotest.(check bool) "parent >= child" true
+          (Span.duration_of v [ "execute" ] >= Span.duration_of v [ "execute"; "run" ]);
+        Alcotest.(check (float 0.)) "unfinished child reads 0" 0.0
+          (Span.duration_of v [ "open" ]);
+        Alcotest.(check (float 0.)) "absent path reads 0" 0.0
+          (Span.duration_of v [ "nope" ]);
+        Alcotest.(check bool) "total >= 0" true (Span.duration_of v [] >= 0.0));
+    Alcotest.test_case "finish is idempotent (first call wins)" `Quick (fun () ->
+        let root = Span.root "q" in
+        let c = Span.enter root "c" in
+        Span.finish c;
+        let d1 = Span.duration_of (Span.view root) [ "c" ] in
+        Unix.sleepf 0.002;
+        Span.finish c;
+        let d2 = Span.duration_of (Span.view root) [ "c" ] in
+        Alcotest.(check (float 0.)) "unchanged" d1 d2);
+    Alcotest.test_case "timed None is a passthrough; raises propagate" `Quick (fun () ->
+        Alcotest.(check int) "value" 42
+          (Span.timed None "x" (fun sp ->
+               Alcotest.(check bool) "no span" true (sp = None);
+               42));
+        let root = Span.root "q" in
+        (match Span.timed (Some root) "boom" (fun _ -> failwith "boom") with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "exception swallowed");
+        Span.finish root;
+        (* the failing span was still finished on the way out *)
+        Alcotest.(check bool) "failed span closed" true
+          (match Span.find (Span.view root) [ "boom" ] with
+          | Some c -> c.duration_ns >= 0.0
+          | None -> false));
+    Alcotest.test_case "span JSON parses" `Quick (fun () ->
+        let root = Span.root "query" in
+        Span.timed (Some root) "parse" (fun _ -> ());
+        Span.finish root;
+        match Json.of_string (Span.to_json (Span.view root)) with
+        | Ok j ->
+          Alcotest.(check (option string)) "name" (Some "query")
+            (Option.bind (Json.mem "name" j) Json.to_str)
+        | Error e -> Alcotest.failf "span JSON does not parse: %s" e);
+  ]
+
+(* --- audit ---------------------------------------------------------------------- *)
+
+let base_event sql : Audit.event =
+  {
+    analyst = "a";
+    sql;
+    outcome = Audit.Granted;
+    epsilon = 0.1;
+    delta = 1e-8;
+    max_noise_scale = 1.0;
+    cache_hit = false;
+    parse_ns = 1.0;
+    analysis_ns = 2.0;
+    smooth_ns = 3.0;
+    execution_ns = 4.0;
+    perturbation_ns = 5.0;
+    total_ns = 100.0;
+  }
+
+let audit_tests =
+  [
+    Alcotest.test_case "count counts; deprecated events alias agrees" `Quick (fun () ->
+        let a = Audit.to_buffer (Buffer.create 64) in
+        Alcotest.(check int) "empty" 0 (Audit.count a);
+        Audit.log a (base_event "SELECT 1");
+        Audit.log a (base_event "SELECT 2");
+        Alcotest.(check int) "count" 2 (Audit.count a);
+        Alcotest.(check int) "deprecated alias" 2 (audit_events_alias a));
+    Alcotest.test_case "one valid JSON object per line, any SQL" `Quick (fun () ->
+        let buf = Buffer.create 256 in
+        let a = Audit.to_buffer buf in
+        let sqls =
+          [
+            "SELECT COUNT(*)\nFROM trips\n\tWHERE fare > 10";
+            {|SELECT "quoted", 'single' FROM t -- comment|};
+            "SELECT '\xc3\xa9t\xc3\xa9 \xe2\x88\x91 \xf0\x9f\x9a\x97' FROM voil\xc3\xa0";
+            "SELECT '\x01\x02 control \x1f chars'";
+          ]
+        in
+        List.iter (fun sql -> Audit.log a (base_event sql)) sqls;
+        let lines =
+          String.split_on_char '\n' (Buffer.contents buf)
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        Alcotest.(check int) "one line per event" (List.length sqls) (List.length lines);
+        List.iter2
+          (fun sql line ->
+            match Json.of_string line with
+            | Error e -> Alcotest.failf "audit line does not parse (%s): %s" e line
+            | Ok j ->
+              Alcotest.(check (option string)) "sql round-trips" (Some sql)
+                (Option.bind (Json.mem "sql" j) Json.to_str);
+              Alcotest.(check (option (float 0.))) "total_ns present" (Some 100.0)
+                (Option.bind (Json.mem "total_ns" j) Json.to_num))
+          sqls lines);
+  ]
+
+(* --- engine: EXPLAIN ANALYZE ----------------------------------------------------- *)
+
+let engine_fixture = lazy (Uber.generate ~sizes:Uber.small_sizes (Rng.create ~seed:7 ()))
+
+let analyze_queries =
+  [
+    "SELECT COUNT(*) FROM trips";
+    "SELECT COUNT(*) FROM trips WHERE fare > 20";
+    "SELECT t.city_id, COUNT(*) FROM trips t GROUP BY t.city_id";
+    "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id \
+     WHERE d.city_id = 1";
+    "SELECT d.status, COUNT(*) AS n FROM trips t JOIN drivers d ON t.driver_id = d.id \
+     GROUP BY d.status ORDER BY n DESC LIMIT 3";
+  ]
+
+(* rows=<whatever> -> rows=#, so gated/ungated renderings can be compared
+   field-by-field with only the gated tokens neutralized *)
+let neutralize_rows s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 5 <= n && String.sub s !i 5 = "rows=" then begin
+      Buffer.add_string b "rows=#";
+      i := !i + 5;
+      while !i < n && s.[!i] <> ',' && s.[!i] <> ')' do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let explain_analyze_tests =
+  [
+    Alcotest.test_case "root actual rows agree with the reference interpreter" `Quick
+      (fun () ->
+        let db, metrics = Lazy.force engine_fixture in
+        List.iter
+          (fun sql ->
+            let q = Flex_sql.Parser.parse_exn sql in
+            let plan = Optimizer.plan ~metrics q in
+            let result, trace = Executor.run_plan_analyzed db plan in
+            let reference =
+              match Reference.run_sql db sql with
+              | Ok r -> List.length r.Reference.rows
+              | Error e -> Alcotest.failf "reference rejected %s: %s" sql e
+            in
+            Alcotest.(check (option int))
+              (sql ^ ": traced root cardinality") (Some reference)
+              (Plan.Analyze.result_rows trace);
+            Alcotest.(check int)
+              (sql ^ ": result cardinality") reference
+              (List.length result.Executor.rows))
+          analyze_queries);
+    Alcotest.test_case "every operator line carries an actual-stats suffix" `Quick
+      (fun () ->
+        let db, metrics = Lazy.force engine_fixture in
+        let sql = List.nth analyze_queries 4 in
+        let plan, _ =
+          Executor.explain_analyze ~metrics ~show_rows:true db
+            (Flex_sql.Parser.parse_exn sql)
+        in
+        let lines =
+          String.split_on_char '\n' plan |> List.filter (fun l -> String.trim l <> "")
+        in
+        List.iter
+          (fun line ->
+            if not (Astring.String.is_infix ~affix:"(actual" line) then
+              Alcotest.failf "operator line without stats: %S in\n%s" line plan)
+          lines);
+    Alcotest.test_case "gating hides row counts and nothing else" `Quick (fun () ->
+        let db, metrics = Lazy.force engine_fixture in
+        let q = Flex_sql.Parser.parse_exn (List.nth analyze_queries 3) in
+        let plan = Optimizer.plan ~metrics q in
+        let _, trace = Executor.run_plan_analyzed db plan in
+        (* one trace rendered twice: timings identical, only rows may differ *)
+        let shown = Plan.render_analyzed ~show_rows:true ~trace plan in
+        let gated = Plan.render_analyzed ~show_rows:false ~trace plan in
+        Alcotest.(check bool) "ungated has digit row counts" true
+          (Astring.String.is_infix ~affix:"rows=" shown
+          && not (Astring.String.is_infix ~affix:"rows=?" shown));
+        Alcotest.(check bool) "gated masks every count" true
+          (Astring.String.is_infix ~affix:"rows=?" gated);
+        Alcotest.(check string) "identical once rows are neutralized"
+          (neutralize_rows shown) (neutralize_rows gated));
+  ]
+
+(* --- engine: pool and parallel counters ------------------------------------------ *)
+
+let pool_counter_tests =
+  [
+    Alcotest.test_case "task pool stats count jobs and claimed chunks" `Quick (fun () ->
+        let pool = Task_pool.create ~domains:2 in
+        Fun.protect
+          ~finally:(fun () -> Task_pool.shutdown pool)
+          (fun () ->
+            let b = Task_pool.stats pool in
+            Task_pool.run pool ~chunks:8 (fun _ -> ());
+            let a = Task_pool.stats pool in
+            Alcotest.(check bool) "a job ran" true (a.Task_pool.jobs > b.Task_pool.jobs);
+            let claimed =
+              a.Task_pool.caller_chunks + a.Task_pool.worker_chunks
+              - (b.Task_pool.caller_chunks + b.Task_pool.worker_chunks)
+            in
+            Alcotest.(check int) "all chunks claimed exactly once" 8 claimed));
+    Alcotest.test_case "parallel vs sequential dispatches are counted" `Quick (fun () ->
+        let db, _ = Lazy.force engine_fixture in
+        let p0, s0 = Parallel.ops_counts () in
+        (match Executor.run_sql db "SELECT COUNT(*) FROM trips WHERE fare > 0" with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "query failed: %s" e);
+        let p1, s1 = Parallel.ops_counts () in
+        Alcotest.(check bool) "some dispatch was counted" true (p1 + s1 > p0 + s0);
+        Alcotest.(check bool) "counters never decrease" true (p1 >= p0 && s1 >= s0));
+  ]
+
+(* --- service -------------------------------------------------------------------- *)
+
+let make_server ?audit ?config () =
+  let db, metrics = Lazy.force engine_fixture in
+  Server.create ?audit ?config ~db ~metrics ~ledger:(Ledger.in_memory ())
+    ~rng:(Rng.create ~seed:11 ()) ()
+
+let hello server session analyst =
+  match
+    Server.handle server session (Wire.Hello { analyst; epsilon = None; delta = None })
+  with
+  | Wire.Budget_report _ -> ()
+  | other -> Alcotest.failf "hello failed: %s" (Wire.response_to_line other)
+
+let query server session sql =
+  Server.handle server session (Wire.Query { sql; epsilon = None; delta = None })
+
+let remaining server session =
+  match Server.handle server session Wire.Budget_info with
+  | Wire.Budget_report b -> (b.remaining_epsilon, b.remaining_delta)
+  | other -> Alcotest.failf "budget failed: %s" (Wire.response_to_line other)
+
+let count_query = "SELECT COUNT(*) FROM trips"
+
+let analyze_sql =
+  "EXPLAIN ANALYZE SELECT COUNT(*) FROM trips t JOIN drivers d \
+   ON t.driver_id = d.id WHERE d.city_id = 1"
+
+let service_tests =
+  [
+    Alcotest.test_case "EXPLAIN ANALYZE is uncharged and gated by default" `Quick
+      (fun () ->
+        let server = make_server () in
+        let session = Server.session server in
+        hello server session "a";
+        let before = remaining server session in
+        (match query server session analyze_sql with
+        | Wire.Analyzed_report { plan } ->
+          Alcotest.(check bool) "timings rendered" true
+            (Astring.String.is_infix ~affix:"(actual" plan
+            && Astring.String.is_infix ~affix:"ms)" plan);
+          Alcotest.(check bool) "row counts masked" true
+            (Astring.String.is_infix ~affix:"rows=?" plan);
+          Alcotest.(check bool) "no digit row counts" false
+            (Astring.String.is_infix ~affix:"rows=1" plan
+            || Astring.String.is_infix ~affix:"rows=2" plan
+            || Astring.String.is_infix ~affix:"rows=3" plan
+            || Astring.String.is_infix ~affix:"rows=4" plan
+            || Astring.String.is_infix ~affix:"rows=5" plan
+            || Astring.String.is_infix ~affix:"rows=6" plan
+            || Astring.String.is_infix ~affix:"rows=7" plan
+            || Astring.String.is_infix ~affix:"rows=8" plan
+            || Astring.String.is_infix ~affix:"rows=9" plan
+            || Astring.String.is_infix ~affix:"rows=0" plan)
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+        Alcotest.(check bool) "budget untouched" true (before = remaining server session);
+        (* the explain wire op accepts the ANALYZE form too *)
+        match Server.handle server session (Wire.Explain { sql = analyze_sql }) with
+        | Wire.Analyzed_report _ -> ()
+        | other -> Alcotest.failf "explain op: %s" (Wire.response_to_line other));
+    Alcotest.test_case "explain_estimates opts in to actual row counts" `Quick (fun () ->
+        let config = { Server.default_config with explain_estimates = true } in
+        let server = make_server ~config () in
+        let session = Server.session server in
+        hello server session "a";
+        match query server session analyze_sql with
+        | Wire.Analyzed_report { plan } ->
+          Alcotest.(check bool) "counts shown" true
+            (Astring.String.is_infix ~affix:"rows=" plan);
+          Alcotest.(check bool) "nothing masked" false
+            (Astring.String.is_infix ~affix:"rows=?" plan)
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+    Alcotest.test_case "stats report: uptime, qps, cache, registry families" `Quick
+      (fun () ->
+        let server = make_server () in
+        let session = Server.session server in
+        hello server session "a";
+        (match query server session count_query with
+        | Wire.Result _ -> ()
+        | other -> Alcotest.failf "query failed: %s" (Wire.response_to_line other));
+        (match query server session count_query with
+        | Wire.Result r -> Alcotest.(check bool) "second query hits cache" true r.cache_hit
+        | other -> Alcotest.failf "query failed: %s" (Wire.response_to_line other));
+        match Server.handle server session Wire.Stats with
+        | Wire.Stats_report s ->
+          Alcotest.(check int) "queries" 2 s.queries;
+          Alcotest.(check int) "granted" 2 s.granted;
+          Alcotest.(check bool) "cache hit counted" true (s.cache_hits >= 1);
+          Alcotest.(check bool) "uptime positive" true (s.uptime_seconds > 0.0);
+          Alcotest.(check bool) "qps positive" true (s.qps > 0.0);
+          let fams =
+            match Json.mem "families" s.metrics with
+            | Some (Json.List fams) ->
+              List.filter_map
+                (fun f -> Option.bind (Json.mem "name" f) Json.to_str)
+                fams
+            | _ -> Alcotest.fail "stats carry no registry snapshot"
+          in
+          Alcotest.(check bool) "query counter family present" true
+            (List.mem "flex_queries_total" fams);
+          Alcotest.(check bool) "stage histogram family present" true
+            (List.mem "flex_stage_seconds" fams);
+          (* the metrics surface carries operational series only: everything
+             is flex_-namespaced and nothing names a table cardinality *)
+          List.iter
+            (fun name ->
+              if not (Astring.String.is_prefix ~affix:"flex_" name) then
+                Alcotest.failf "non-operational family: %s" name;
+              if
+                Astring.String.is_infix ~affix:"row" name
+                || Astring.String.is_infix ~affix:"table" name
+              then Alcotest.failf "family smells like private data: %s" name)
+            fams
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+    Alcotest.test_case "audit stage timings: non-negative, total covers stages" `Quick
+      (fun () ->
+        let buf = Buffer.create 256 in
+        let server = make_server ~audit:(Audit.to_buffer buf) () in
+        let session = Server.session server in
+        hello server session "a";
+        (match query server session count_query with
+        | Wire.Result _ -> ()
+        | other -> Alcotest.failf "query failed: %s" (Wire.response_to_line other));
+        let line = List.hd (String.split_on_char '\n' (Buffer.contents buf)) in
+        match Json.of_string line with
+        | Error e -> Alcotest.failf "audit line does not parse: %s" e
+        | Ok j ->
+          let ns field =
+            match Option.bind (Json.mem field j) Json.to_num with
+            | Some v -> v
+            | None -> Alcotest.failf "missing %s" field
+          in
+          let stages =
+            [ "parse_ns"; "analysis_ns"; "smooth_ns"; "execution_ns"; "perturbation_ns" ]
+          in
+          List.iter
+            (fun f ->
+              if ns f < 0.0 then Alcotest.failf "%s is negative: %g" f (ns f))
+            stages;
+          let total = ns "total_ns" in
+          Alcotest.(check bool) "total positive" true (total > 0.0);
+          List.iter
+            (fun f ->
+              if total < ns f then
+                Alcotest.failf "total_ns %g < %s %g" total f (ns f))
+            stages);
+    Alcotest.test_case "telemetry off: no registry, zero timings, same responses"
+      `Quick (fun () ->
+        let off = { Server.default_config with telemetry = false } in
+        let buf = Buffer.create 256 in
+        let server_off = make_server ~audit:(Audit.to_buffer buf) ~config:off () in
+        let server_on = make_server () in
+        Alcotest.(check bool) "no registry when off" true
+          (Server.registry server_off = None);
+        Alcotest.(check bool) "registry when on" true
+          (Server.registry server_on <> None);
+        let drive server =
+          let session = Server.session server in
+          hello server session "a";
+          List.map
+            (fun sql -> query server session sql)
+            [
+              count_query;
+              "SELECT t.city_id, COUNT(*) FROM trips t GROUP BY t.city_id";
+              "SELECT COUNT(*) FROM trips WHERE fare > 20";
+            ]
+        in
+        let on = drive server_on and off_resp = drive server_off in
+        (* the DP fingerprint: same seeds, telemetry toggled, responses
+           bit-identical — telemetry never touches the RNG or results *)
+        List.iter2
+          (fun a b ->
+            if a <> b then
+              Alcotest.failf "release differs with telemetry off:\n%s\n%s"
+                (Wire.response_to_line a) (Wire.response_to_line b))
+          on off_resp;
+        (match Server.handle server_off (Server.session server_off) Wire.Stats with
+        | Wire.Stats_report s ->
+          Alcotest.(check bool) "metrics Null when off" true (s.metrics = Json.Null)
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+        match Json.of_string (List.hd (String.split_on_char '\n' (Buffer.contents buf))) with
+        | Ok j ->
+          Alcotest.(check (option (float 0.))) "stage timing zero when off" (Some 0.0)
+            (Option.bind (Json.mem "total_ns" j) Json.to_num)
+        | Error e -> Alcotest.failf "audit line does not parse: %s" e);
+  ]
+
+(* --- stats HTTP endpoint --------------------------------------------------------- *)
+
+let http_get port path =
+  let ic, oc =
+    Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  in
+  output_string oc ("GET " ^ path ^ " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  flush oc;
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  (try Unix.shutdown_connection ic with _ -> ());
+  close_in_noerr ic;
+  Buffer.contents buf
+
+let body_of response =
+  match Astring.String.cut ~sep:"\r\n\r\n" response with
+  | Some (_, body) -> body
+  | None -> Alcotest.failf "no header/body split in %S" response
+
+let stats_http_tests =
+  [
+    Alcotest.test_case "metrics, metrics.json and healthz over HTTP" `Quick (fun () ->
+        let reg = Registry.create () in
+        let c = Registry.counter reg ~labels:[ ("k", "v") ] "flex_demo_total" in
+        Registry.Counter.inc c 3.0;
+        let http = Stats_http.listen reg in
+        ignore (Stats_http.start http);
+        Fun.protect
+          ~finally:(fun () -> Stats_http.stop http)
+          (fun () ->
+            let port = Stats_http.port http in
+            let metrics = http_get port "/metrics" in
+            Alcotest.(check bool) "200" true
+              (Astring.String.is_infix ~affix:"200 OK" metrics);
+            Alcotest.(check bool) "prometheus body" true
+              (Astring.String.is_infix ~affix:{|flex_demo_total{k="v"} 3|} metrics);
+            let js = http_get port "/metrics.json" in
+            (match Json.of_string (body_of js) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "/metrics.json does not parse: %s" e);
+            Alcotest.(check string) "healthz" "ok" (body_of (http_get port "/healthz"));
+            Alcotest.(check bool) "unknown path is 404" true
+              (Astring.String.is_infix ~affix:"404" (http_get port "/nope"))));
+  ]
+
+let suites =
+  [
+    ("obs-registry", registry_tests);
+    ("obs-clock-span", clock_span_tests);
+    ("obs-audit", audit_tests);
+    ("obs-explain-analyze", explain_analyze_tests);
+    ("obs-pool-counters", pool_counter_tests);
+    ("obs-service", service_tests);
+    ("obs-stats-http", stats_http_tests);
+  ]

@@ -178,6 +178,23 @@ let gen_response =
          let* rejected = int_range 0 100 and* refused = int_range 0 100 in
          let* cache_hits = int_range 0 100 and* cache_misses = int_range 0 100 in
          let* cache_entries = int_range 0 100 and* analysts = int_range 0 100 in
+         let* uptime_seconds = gen_pos_float and* qps = gen_pos_float in
+         let* metrics =
+           oneofl
+             [
+               Wire.Json.Null;
+               Wire.Json.Obj [ ("families", Wire.Json.List []) ];
+               Wire.Json.Obj
+                 [
+                   ( "families",
+                     Wire.Json.List
+                       [
+                         Wire.Json.Obj
+                           [ ("name", Wire.Json.Str "flex_queries_total") ];
+                       ] );
+                 ];
+             ]
+         in
          return
            (Wire.Stats_report
               {
@@ -189,7 +206,11 @@ let gen_response =
                 cache_misses;
                 cache_entries;
                 analysts;
+                uptime_seconds;
+                qps;
+                metrics;
               }));
+        map (fun plan -> Wire.Analyzed_report { plan }) gen_name;
         map (fun m -> Wire.Error_msg m) gen_name;
         return Wire.Bye;
       ])
