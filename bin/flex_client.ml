@@ -152,12 +152,20 @@ let query_cmd =
     Term.(const run $ host_t $ port_t $ analyst_t $ epsilon $ delta $ sql_t)
 
 let explain_cmd =
-  let run host port sql =
-    with_conn host port (fun conn -> print_response (roundtrip conn (Wire.Explain { sql })))
+  (* hello first: plain EXPLAIN doesn't need it, but the EXPLAIN ANALYZE
+     form executes the query and the server requires an authenticated
+     session (plus its explain_estimates opt-in) before doing so *)
+  let run host port analyst sql =
+    with_conn host port (fun conn ->
+        hello conn analyst;
+        print_response (roundtrip conn (Wire.Explain { sql })))
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Show the server's logical and optimized query plans (free).")
-    Term.(const run $ host_t $ port_t $ sql_t)
+    (Cmd.info "explain"
+       ~doc:
+         "Show the server's logical and optimized query plans (free). EXPLAIN ANALYZE \
+          additionally needs the server's --explain-estimates opt-in.")
+    Term.(const run $ host_t $ port_t $ analyst_t $ sql_t)
 
 let analyze_cmd =
   let run host port sql =

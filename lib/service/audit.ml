@@ -1,4 +1,4 @@
-type outcome = Granted | Rejected of string | Refused | Failed
+type outcome = Granted | Rejected of string | Refused | Failed | Analyzed
 
 type event = {
   analyst : string;
@@ -30,6 +30,7 @@ let outcome_fields = function
   | Rejected bucket -> [ ("outcome", Json.str "rejected"); ("bucket", Json.str bucket) ]
   | Refused -> [ ("outcome", Json.str "refused") ]
   | Failed -> [ ("outcome", Json.str "failed") ]
+  | Analyzed -> [ ("outcome", Json.str "analyzed") ]
 
 let json_of_event ~ts (e : event) =
   Json.Obj

@@ -8,6 +8,10 @@ type outcome =
   | Rejected of string  (** §5.1 bucket: parse / unsupported / other *)
   | Refused  (** budget refusal *)
   | Failed  (** internal error after admission *)
+  | Analyzed
+      (** EXPLAIN ANALYZE ran the query against the private database
+          (uncharged, gated behind the [explain_estimates] opt-in) — the
+          data access itself is what's being recorded *)
 
 type event = {
   analyst : string;

@@ -26,10 +26,11 @@ type config = {
          the sensitivity metrics doubling as cardinality statistics; the
          privacy analysis always sees the original AST *)
   explain_estimates : bool;
-      (* render ~N cardinality annotations in EXPLAIN responses, and actual
-         row counts in EXPLAIN ANALYZE; off by default because both are
-         seeded from / reveal exact private-table row counts, which these
-         uncharged operations would otherwise disclose *)
+      (* render ~N cardinality annotations in EXPLAIN responses and serve
+         EXPLAIN ANALYZE at all; off by default because estimates are seeded
+         from exact private-table row counts and ANALYZE executes the query
+         (row counts AND per-operator timings reveal private cardinalities),
+         which these uncharged operations would otherwise disclose *)
   telemetry : bool;
       (* metrics registry and per-query trace spans; releases are
          bit-identical either way (telemetry never touches the RNG) *)
@@ -355,25 +356,50 @@ let reject t ~root ~(base : Audit.event) reason =
   Audit.log t.audit { (finalize t root base) with outcome = Audit.Rejected bucket };
   Wire.Rejected { bucket; reason = Errors.to_string reason }
 
-(* EXPLAIN ANALYZE: execute the plan and render per-operator timings. Like
-   EXPLAIN it is uncharged and releases no result values; the actual row
-   counts ride the same [explain_estimates] opt-in as the ~N estimates,
-   because both expose exact private-table cardinalities. *)
-let analyzed_plan t ast =
-  match
-    Flex_engine.Executor.explain_analyze ?pool:t.pool ~optimize:t.config.optimize_queries
-      ~metrics:t.metrics ~show_rows:t.config.explain_estimates t.db ast
-  with
-  | plan, _ -> Wire.Analyzed_report { plan }
-  | exception Flex_engine.Executor.Error m ->
-    let reason = Errors.Analysis_error ("execution: " ^ m) in
-    Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
-  | exception Flex_engine.Eval.Error m ->
-    let reason = Errors.Analysis_error ("evaluation: " ^ m) in
-    Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
-  | exception Flex_engine.Aggregate.Error m ->
-    let reason = Errors.Analysis_error ("aggregation: " ^ m) in
-    Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
+(* EXPLAIN ANALYZE: execute the plan and render per-operator row counts and
+   timings. The execution itself is the disclosure: per-operator elapsed
+   time scales with private row counts and predicate selectivities, so an
+   uncharged op that anyone may call without limit would be a timing side
+   channel (and a free resource sink — think cross joins) even with the
+   rows=? masking. It therefore requires an authenticated session (hello)
+   AND the [explain_estimates] opt-in that already declares table
+   cardinalities public, and every execution is audit-logged; within that
+   posture it stays uncharged, like EXPLAIN. *)
+let analyzed_plan t session ~sql ast =
+  match session.analyst with
+  | None -> Wire.Error_msg "no analyst: send hello first"
+  | Some analyst ->
+    let base = base_event ~analyst ~sql in
+    if not t.config.explain_estimates then begin
+      Audit.log t.audit { base with outcome = Audit.Rejected "admission" };
+      Wire.Rejected
+        {
+          bucket = "admission";
+          reason =
+            "EXPLAIN ANALYZE executes the query against the private database \
+             and is only served when the deployment opts in via \
+             explain_estimates (flex_serve --explain-estimates)";
+        }
+    end
+    else begin
+      let reject reason =
+        Audit.log t.audit { base with outcome = Audit.Rejected (bucket_string reason) };
+        Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
+      in
+      match
+        Flex_engine.Executor.explain_analyze ?pool:t.pool ~optimize:t.config.optimize_queries
+          ~metrics:t.metrics ~show_rows:true t.db ast
+      with
+      | plan, _ ->
+        Audit.log t.audit { base with outcome = Audit.Analyzed };
+        Wire.Analyzed_report { plan }
+      | exception Flex_engine.Executor.Error m ->
+        reject (Errors.Analysis_error ("execution: " ^ m))
+      | exception Flex_engine.Eval.Error m ->
+        reject (Errors.Analysis_error ("evaluation: " ^ m))
+      | exception Flex_engine.Aggregate.Error m ->
+        reject (Errors.Analysis_error ("aggregation: " ^ m))
+    end
 
 let handle_query t session ~sql ~epsilon ~delta =
   match session.analyst with
@@ -400,7 +426,7 @@ let handle_query t session ~sql ~epsilon ~delta =
             ~estimates:t.config.explain_estimates ast
         in
         Wire.Plan_report { logical; optimized }
-      | Ok (Flex_sql.Ast.Explain_analyze ast) -> analyzed_plan t ast
+      | Ok (Flex_sql.Ast.Explain_analyze ast) -> analyzed_plan t session ~sql ast
       | Ok (Flex_sql.Ast.Query _) | Error _ -> (
       let root = if t.config.telemetry then Some (Span.root "query") else None in
       let options = options_for t ~epsilon ~delta in
@@ -485,13 +511,14 @@ let handle_query t session ~sql ~epsilon ~delta =
    ~N cardinality annotations — seeded from exact private-table row counts —
    are suppressed unless the deployment opts in via [explain_estimates]
    (i.e. declares table cardinalities public). An EXPLAIN ANALYZE prefix in
-   the text routes to the executed-plan report under the same opt-in. *)
-let handle_explain t ~sql =
+   the text routes to the executed-plan report, which additionally requires
+   hello (it touches the private data). *)
+let handle_explain t session ~sql =
   match Parser.parse_statement sql with
   | Error e ->
     let reason = Errors.Parse_error e in
     Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
-  | Ok (Flex_sql.Ast.Explain_analyze ast) -> analyzed_plan t ast
+  | Ok (Flex_sql.Ast.Explain_analyze ast) -> analyzed_plan t session ~sql ast
   | Ok (Flex_sql.Ast.Query ast) | Ok (Flex_sql.Ast.Explain ast) ->
     let logical, optimized =
       Flex_engine.Optimizer.explain ~metrics:t.metrics
@@ -525,7 +552,14 @@ let handle_analyze t ~sql =
       Wire.Analysis
         { cache_hit; is_histogram = analysis.is_histogram; joins = analysis.joins; columns })
 
-let json_of_registry reg : Json.t =
+(* Per-analyst budget series stay off the wire [Stats] response: the op
+   needs no hello, and those series label every analyst's name with their
+   budget consumption, where [Budget_info] only ever discloses the caller's
+   own. Operators still get them on the loopback-only /metrics scrape. *)
+let wire_omitted_families =
+  [ "flex_analyst_remaining_epsilon"; "flex_analyst_remaining_delta" ]
+
+let json_of_registry ?(omit = []) reg : Json.t =
   let sample (s : Registry.sample) =
     let labels =
       ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.labels))
@@ -559,7 +593,12 @@ let json_of_registry reg : Json.t =
         ("samples", Json.List (List.map sample f.samples));
       ]
   in
-  Json.Obj [ ("families", Json.List (List.map family (Registry.snapshot reg))) ]
+  let families =
+    List.filter
+      (fun (f : Registry.family) -> not (List.mem f.name omit))
+      (Registry.snapshot reg)
+  in
+  Json.Obj [ ("families", Json.List (List.map family families)) ]
 
 let stats_report t =
   let c = with_lock t (fun () -> (t.queries, t.granted, t.rejected, t.refused)) in
@@ -578,7 +617,9 @@ let stats_report t =
       uptime_seconds = uptime;
       qps = float_of_int queries /. uptime;
       metrics =
-        (match t.registry with Some reg -> json_of_registry reg | None -> Json.Null);
+        (match t.registry with
+        | Some reg -> json_of_registry ~omit:wire_omitted_families reg
+        | None -> Json.Null);
     }
 
 let handle t session req =
@@ -587,7 +628,7 @@ let handle t session req =
     | Hello { analyst; epsilon; delta } -> handle_hello t session ~analyst ~epsilon ~delta
     | Query { sql; epsilon; delta } -> handle_query t session ~sql ~epsilon ~delta
     | Analyze { sql } -> handle_analyze t ~sql
-    | Explain { sql } -> handle_explain t ~sql
+    | Explain { sql } -> handle_explain t session ~sql
     | Budget_info -> (
       match session.analyst with
       | None -> Wire.Error_msg "no analyst: send hello first"

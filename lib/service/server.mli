@@ -45,11 +45,15 @@ type config = {
           re-associate float SUM/AVG accumulation). *)
   explain_estimates : bool;
       (** render per-operator [~N rows] cardinality annotations in EXPLAIN
-          responses — and actual row counts in EXPLAIN ANALYZE. Off by
-          default: both are uncharged and seeded from / reveal exact
-          private-table row counts ({!Flex_engine.Metrics.row_count}), so
-          enabling this declares table cardinalities public in the
-          deployment's threat model. Operator timings are always shown. *)
+          responses — and serve EXPLAIN ANALYZE at all. Off by default:
+          estimates are uncharged and seeded from exact private-table row
+          counts ({!Flex_engine.Metrics.row_count}), and EXPLAIN ANALYZE
+          executes the query, so its per-operator timings (not just its row
+          counts) scale with private cardinalities and selectivities.
+          Enabling this declares table cardinalities public in the
+          deployment's threat model; EXPLAIN ANALYZE additionally requires
+          an authenticated session (hello) and is audit-logged, though it
+          remains uncharged. *)
   telemetry : bool;
       (** maintain a metrics registry and per-query trace spans (on by
           default). Releases are bit-identical either way: telemetry never

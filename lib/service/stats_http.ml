@@ -6,7 +6,7 @@ type t = {
   lport : int;
   lock : Mutex.t;
   mutable running : bool;
-  mutable handlers : Thread.t list;
+  mutable handlers : (Unix.file_descr * Thread.t) list;
   mutable accept_thread : Thread.t option;
 }
 
@@ -63,6 +63,9 @@ let handle t fd =
      output_string oc reply;
      flush oc
    with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  Mutex.lock t.lock;
+  t.handlers <- List.filter (fun (fd', _) -> fd' <> fd) t.handlers;
+  Mutex.unlock t.lock;
   (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
   close_in_noerr ic (* closes [fd]; [oc] shares it and is already flushed *)
 
@@ -73,8 +76,13 @@ let serve t =
     | fd, _ ->
       if not t.running then (try Unix.close fd with _ -> ())
       else begin
+        (* a silent client holds its handler for at most the receive timeout;
+           [stop] additionally shuts the fd down, so join never waits on a
+           blocked read either way *)
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0 with Unix.Unix_error _ -> ());
         Mutex.lock t.lock;
-        t.handlers <- Thread.create (fun () -> handle t fd) () :: t.handlers;
+        let th = Thread.create (fun () -> handle t fd) () in
+        t.handlers <- (fd, th) :: t.handlers;
         Mutex.unlock t.lock
       end
     | exception Unix.Unix_error _ -> if not t.running then continue := false
@@ -99,5 +107,6 @@ let stop t =
     (match acc with Some th -> Thread.join th | None -> ());
     (try Unix.close t.sock with _ -> ());
     let handlers = Mutex.protect t.lock (fun () -> t.handlers) in
-    List.iter (fun th -> try Thread.join th with _ -> ()) handlers
+    List.iter (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) handlers;
+    List.iter (fun (_, th) -> try Thread.join th with _ -> ()) handlers
   end

@@ -366,8 +366,12 @@ let response_of_json j =
     let* cache_misses = get_int "cache_misses" j in
     let* cache_entries = get_int "cache_entries" j in
     let* analysts = get_int "analysts" j in
-    let* uptime_seconds = get_num "uptime_seconds" j in
-    let* qps = get_num "qps" j in
+    (* uptime_seconds / qps / metrics arrived after the op itself: default
+       them so an updated client still decodes an older server's report *)
+    let* uptime_seconds = get_opt_num "uptime_seconds" j in
+    let uptime_seconds = Option.value uptime_seconds ~default:0.0 in
+    let* qps = get_opt_num "qps" j in
+    let qps = Option.value qps ~default:0.0 in
     let metrics = Option.value (Json.mem "metrics" j) ~default:Json.Null in
     Ok
       (Stats_report

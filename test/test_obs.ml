@@ -425,48 +425,84 @@ let analyze_sql =
 
 let service_tests =
   [
-    Alcotest.test_case "EXPLAIN ANALYZE is uncharged and gated by default" `Quick
-      (fun () ->
-        let server = make_server () in
+    Alcotest.test_case "EXPLAIN ANALYZE needs hello and the opt-in, never executes by default"
+      `Quick (fun () ->
+        let buf = Buffer.create 256 in
+        let server = make_server ~audit:(Audit.to_buffer buf) () in
+        let session = Server.session server in
+        (* anonymous sessions can't trigger execution — through either op *)
+        (match query server session analyze_sql with
+        | Wire.Error_msg m ->
+          Alcotest.(check bool) "asks for hello" true
+            (Astring.String.is_infix ~affix:"hello" m)
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+        (match Server.handle server session (Wire.Explain { sql = analyze_sql }) with
+        | Wire.Error_msg m ->
+          Alcotest.(check bool) "explain op asks for hello too" true
+            (Astring.String.is_infix ~affix:"hello" m)
+        | other -> Alcotest.failf "explain op: %s" (Wire.response_to_line other));
+        hello server session "a";
+        (* authenticated but no explain_estimates: rejected without running
+           the query — timings are a side channel, not just the row counts *)
+        (match query server session analyze_sql with
+        | Wire.Rejected { bucket; reason } ->
+          Alcotest.(check string) "admission bucket" "admission" bucket;
+          Alcotest.(check bool) "names the opt-in" true
+            (Astring.String.is_infix ~affix:"explain_estimates" reason)
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+        (match Server.handle server session (Wire.Explain { sql = analyze_sql }) with
+        | Wire.Rejected { bucket; _ } ->
+          Alcotest.(check string) "explain op gated too" "admission" bucket
+        | other -> Alcotest.failf "explain op: %s" (Wire.response_to_line other));
+        (* both authenticated attempts left an audit trail *)
+        let lines =
+          List.filter
+            (fun l -> String.trim l <> "")
+            (String.split_on_char '\n' (Buffer.contents buf))
+        in
+        Alcotest.(check int) "attempts audited" 2 (List.length lines);
+        List.iter
+          (fun line ->
+            match Json.of_string line with
+            | Error e -> Alcotest.failf "audit line does not parse: %s" e
+            | Ok j ->
+              Alcotest.(check (option string)) "rejected outcome" (Some "rejected")
+                (Option.bind (Json.mem "outcome" j) Json.to_str))
+          lines);
+    Alcotest.test_case "explain_estimates opts in to EXPLAIN ANALYZE (uncharged, audited)"
+      `Quick (fun () ->
+        let buf = Buffer.create 256 in
+        let audit = Audit.to_buffer buf in
+        let config = { Server.default_config with explain_estimates = true } in
+        let server = make_server ~audit ~config () in
         let session = Server.session server in
         hello server session "a";
         let before = remaining server session in
         (match query server session analyze_sql with
         | Wire.Analyzed_report { plan } ->
-          Alcotest.(check bool) "timings rendered" true
-            (Astring.String.is_infix ~affix:"(actual" plan
-            && Astring.String.is_infix ~affix:"ms)" plan);
-          Alcotest.(check bool) "row counts masked" true
-            (Astring.String.is_infix ~affix:"rows=?" plan);
-          Alcotest.(check bool) "no digit row counts" false
-            (Astring.String.is_infix ~affix:"rows=1" plan
-            || Astring.String.is_infix ~affix:"rows=2" plan
-            || Astring.String.is_infix ~affix:"rows=3" plan
-            || Astring.String.is_infix ~affix:"rows=4" plan
-            || Astring.String.is_infix ~affix:"rows=5" plan
-            || Astring.String.is_infix ~affix:"rows=6" plan
-            || Astring.String.is_infix ~affix:"rows=7" plan
-            || Astring.String.is_infix ~affix:"rows=8" plan
-            || Astring.String.is_infix ~affix:"rows=9" plan
-            || Astring.String.is_infix ~affix:"rows=0" plan)
-        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
-        Alcotest.(check bool) "budget untouched" true (before = remaining server session);
-        (* the explain wire op accepts the ANALYZE form too *)
-        match Server.handle server session (Wire.Explain { sql = analyze_sql }) with
-        | Wire.Analyzed_report _ -> ()
-        | other -> Alcotest.failf "explain op: %s" (Wire.response_to_line other));
-    Alcotest.test_case "explain_estimates opts in to actual row counts" `Quick (fun () ->
-        let config = { Server.default_config with explain_estimates = true } in
-        let server = make_server ~config () in
-        let session = Server.session server in
-        hello server session "a";
-        match query server session analyze_sql with
-        | Wire.Analyzed_report { plan } ->
           Alcotest.(check bool) "counts shown" true
             (Astring.String.is_infix ~affix:"rows=" plan);
           Alcotest.(check bool) "nothing masked" false
-            (Astring.String.is_infix ~affix:"rows=?" plan)
+            (Astring.String.is_infix ~affix:"rows=?" plan);
+          Alcotest.(check bool) "timings rendered" true
+            (Astring.String.is_infix ~affix:"(actual" plan
+            && Astring.String.is_infix ~affix:"ms)" plan)
         | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+        Alcotest.(check bool) "budget untouched" true (before = remaining server session);
+        (* the explain wire op serves the ANALYZE form under the same opt-in *)
+        (match Server.handle server session (Wire.Explain { sql = analyze_sql }) with
+        | Wire.Analyzed_report _ -> ()
+        | other -> Alcotest.failf "explain op: %s" (Wire.response_to_line other));
+        (* each data access leaves an audit event naming the analyst *)
+        let line = List.hd (String.split_on_char '\n' (Buffer.contents buf)) in
+        match Json.of_string line with
+        | Error e -> Alcotest.failf "audit line does not parse: %s" e
+        | Ok j ->
+          Alcotest.(check (option string)) "analyzed outcome" (Some "analyzed")
+            (Option.bind (Json.mem "outcome" j) Json.to_str);
+          Alcotest.(check (option string)) "analyst recorded" (Some "a")
+            (Option.bind (Json.mem "analyst" j) Json.to_str);
+          Alcotest.(check int) "both accesses audited" 2 (Audit.count audit));
     Alcotest.test_case "stats report: uptime, qps, cache, registry families" `Quick
       (fun () ->
         let server = make_server () in
@@ -509,6 +545,41 @@ let service_tests =
               then Alcotest.failf "family smells like private data: %s" name)
             fams
         | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+    Alcotest.test_case "wire stats omit per-analyst budget series" `Quick (fun () ->
+        let server = make_server () in
+        let s1 = Server.session server in
+        hello server s1 "alice";
+        (* stats needs no hello: an anonymous client must not learn which
+           analysts exist or what they have spent *)
+        (match Server.handle server (Server.session server) Wire.Stats with
+        | Wire.Stats_report s ->
+          let rendered = Json.to_string s.metrics in
+          Alcotest.(check bool) "no per-analyst budget families" false
+            (Astring.String.is_infix ~affix:"flex_analyst_remaining" rendered);
+          Alcotest.(check bool) "no analyst names" false
+            (Astring.String.is_infix ~affix:"alice" rendered);
+          Alcotest.(check bool) "operational families still present" true
+            (Astring.String.is_infix ~affix:"flex_queries_total" rendered)
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+        (* the loopback-only operator scrape keeps the budget gauges *)
+        match Server.registry server with
+        | None -> Alcotest.fail "registry expected"
+        | Some reg ->
+          Alcotest.(check bool) "scrape keeps analyst gauges" true
+            (Astring.String.is_infix
+               ~affix:{|flex_analyst_remaining_epsilon{analyst="alice"}|}
+               (Registry.to_prometheus reg)));
+    Alcotest.test_case "stats decode tolerates older servers" `Quick (fun () ->
+        let line =
+          {|{"status":"stats","queries":1,"granted":1,"rejected":0,"refused":0,"cache_hits":0,"cache_misses":1,"cache_entries":1,"analysts":1}|}
+        in
+        match Wire.response_of_line line with
+        | Ok (Wire.Stats_report s) ->
+          Alcotest.(check (float 0.)) "uptime defaults" 0.0 s.uptime_seconds;
+          Alcotest.(check (float 0.)) "qps defaults" 0.0 s.qps;
+          Alcotest.(check bool) "metrics default to Null" true (s.metrics = Json.Null)
+        | Ok other -> Alcotest.failf "wrong constructor: %s" (Wire.response_to_line other)
+        | Error e -> Alcotest.failf "decode failed: %s" e);
     Alcotest.test_case "audit stage timings: non-negative, total covers stages" `Quick
       (fun () ->
         let buf = Buffer.create 256 in
@@ -629,6 +700,19 @@ let stats_http_tests =
             Alcotest.(check string) "healthz" "ok" (body_of (http_get port "/healthz"));
             Alcotest.(check bool) "unknown path is 404" true
               (Astring.String.is_infix ~affix:"404" (http_get port "/nope"))));
+    Alcotest.test_case "stop does not hang on an idle client" `Quick (fun () ->
+        let http = Stats_http.listen (Registry.create ()) in
+        ignore (Stats_http.start http);
+        (* connect but send nothing: the handler blocks reading the request
+           line, and stop must shut its fd down rather than wait forever *)
+        let ic, oc =
+          Unix.open_connection
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, Stats_http.port http))
+        in
+        Thread.delay 0.05;
+        Stats_http.stop http;
+        ignore oc;
+        close_in_noerr ic);
   ]
 
 let suites =
