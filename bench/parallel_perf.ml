@@ -46,32 +46,56 @@ let () =
 
 (* ------------------------------------------------------------ measurement *)
 
-(* Warmup rounds then median of N samples, repetitions adapted so each
-   sample takes a measurable slice (same discipline as bench/perf.ml). *)
-let median_ns (f : unit -> unit) =
+(* Warmup rounds then per-configuration medians over sample rounds that
+   round-robin across all configurations (same discipline as
+   bench/perf.ml): heap growth and GC drift over the process lifetime hit
+   every configuration equally instead of whichever was timed last, which
+   is what the sequential-vs-domains ratio needs to be trustworthy on a
+   noisy single-CPU host. Repetitions are adapted per configuration so
+   each sample takes a measurable slice. *)
+let medians_ns (fs : (unit -> unit) array) =
   let samples = if !smoke then 3 else 9 in
   let warmups = if !smoke then 1 else 3 in
-  let time_once reps =
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to reps do
-      f ()
-    done;
-    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps
-  in
-  for _ = 1 to warmups do
-    f ()
-  done;
+  Array.iter
+    (fun f ->
+      for _ = 1 to warmups do
+        f ()
+      done)
+    fs;
   Gc.compact ();
   let reps =
-    if !smoke then 1
-    else begin
-      let one = time_once 1 in
-      max 1 (min 30 (int_of_float (5e6 /. max one 1.0)))
-    end
+    Array.map
+      (fun f ->
+        if !smoke then 1
+        else begin
+          let t0 = Unix.gettimeofday () in
+          f ();
+          let one = (Unix.gettimeofday () -. t0) *. 1e9 in
+          max 1 (min 30 (int_of_float (5e6 /. max one 1.0)))
+        end)
+      fs
   in
-  let xs = Array.init samples (fun _ -> time_once reps) in
-  Array.sort compare xs;
-  xs.(samples / 2)
+  let xs = Array.map (fun _ -> Array.make samples 0.0) fs in
+  let k = Array.length fs in
+  for s = 0 to samples - 1 do
+    (* rotate the starting configuration each round: allocation-heavy
+       queries leave major-GC debt that the next configuration pays, so a
+       fixed order would systematically tax whichever config follows the
+       biggest allocator *)
+    for j = 0 to k - 1 do
+      let i = (s + j) mod k in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps.(i) do
+        fs.(i) ()
+      done;
+      xs.(i).(s) <- (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps.(i)
+    done
+  done;
+  Array.map
+    (fun a ->
+      Array.sort compare a;
+      a.(samples / 2))
+    xs
 
 (* --------------------------------------------------------------- workload *)
 
@@ -165,12 +189,16 @@ let bench_engine substrate (db : Database.t) pools shapes acc =
             Fmt.failwith "%s/%s: parallel result differs at %d domains" substrate s.sname d
           | Error e -> Fmt.failwith "%s/%s (%d domains): %s" substrate s.sname d e)
         pools;
-      let sequential_ns = median_ns (fun () -> ignore (Executor.run_sql db s.sql)) in
-      let by_domains =
-        List.map
-          (fun (d, pool) -> (d, median_ns (fun () -> ignore (Executor.run_sql ~pool db s.sql))))
-          pools
+      let configs =
+        Array.of_list
+          ((fun () -> ignore (Executor.run_sql db s.sql))
+          :: List.map
+               (fun (_, pool) -> fun () -> ignore (Executor.run_sql ~pool db s.sql))
+               pools)
       in
+      let meds = medians_ns configs in
+      let sequential_ns = meds.(0) in
+      let by_domains = List.mapi (fun i (d, _) -> (d, meds.(i + 1))) pools in
       let e = { substrate; shape = s.sname; input_rows; sequential_ns; by_domains } in
       Fmt.pr "  %-6s %-12s %8d rows  seq %10.0f ns  %a@." substrate s.sname input_rows
         sequential_ns

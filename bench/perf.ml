@@ -38,15 +38,16 @@ let () =
 
 (* ------------------------------------------------------------ measurement *)
 
-(* Median wall-clock ns per run for a reference/compiled pair. Warmup rounds
-   run both pipelines unmeasured first (so one-time lazies, branch history
-   and the allocator's steady state are paid before the clock starts), then
-   samples are interleaved (one reference round, one compiled round,
-   repeated) so machine noise lands on both pipelines alike; repetitions
-   adapt so each sample takes a measurable slice without letting the whole
-   suite crawl. *)
-let median_pair (fref : unit -> unit) (fcomp : unit -> unit) =
-  let samples = if !smoke then 3 else 9 in
+(* Median wall-clock ns per run for each pipeline. Warmup rounds run every
+   pipeline unmeasured first (so one-time lazies, branch history and the
+   allocator's steady state are paid before the clock starts), then samples
+   are interleaved (one round of each pipeline, repeated) so machine noise
+   lands on all pipelines alike; repetitions adapt so each sample takes a
+   measurable slice without letting the whole suite crawl. In smoke mode
+   tiny inputs get enough repetitions per sample for the perf-regression
+   gate below to compare real numbers, not clock granularity. *)
+let medians (fns : (unit -> unit) array) : float array =
+  let samples = if !smoke then 5 else 9 in
   let warmups = if !smoke then 1 else 3 in
   let time_once f reps =
     let t0 = Unix.gettimeofday () in
@@ -56,26 +57,25 @@ let median_pair (fref : unit -> unit) (fcomp : unit -> unit) =
     (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps
   in
   let reps f =
-    if !smoke then 1
-    else begin
-      let one = time_once f 1 in
-      max 1 (min 30 (int_of_float (5e6 /. max one 1.0)))
-    end
+    let one = time_once f 1 in
+    let budget = if !smoke then 2e5 else 5e6 in
+    let cap = if !smoke then 200 else 30 in
+    max 1 (min cap (int_of_float (budget /. max one 1.0)))
   in
   for _ = 1 to warmups do
-    fref ();
-    fcomp ()
+    Array.iter (fun f -> f ()) fns
   done;
   Gc.compact ();
-  let rr = reps fref and rc = reps fcomp in
-  let rs = Array.make samples 0.0 and cs = Array.make samples 0.0 in
+  let rs = Array.map reps fns in
+  let out = Array.map (fun _ -> Array.make samples 0.0) fns in
   for i = 0 to samples - 1 do
-    rs.(i) <- time_once fref rr;
-    cs.(i) <- time_once fcomp rc
+    Array.iteri (fun j f -> out.(j).(i) <- time_once f rs.(j)) fns
   done;
-  Array.sort compare rs;
-  Array.sort compare cs;
-  (rs.(samples / 2), cs.(samples / 2))
+  Array.map
+    (fun s ->
+      Array.sort compare s;
+      s.(samples / 2))
+    out
 
 type row = {
   substrate : string;
@@ -83,12 +83,15 @@ type row = {
   shape : string;
   input_rows : int;
   reference_ns : float;
-  compiled_ns : float;
+  compiled_ns : float;  (* row pipeline: columnar engine switched off *)
+  columnar_ns : float;  (* columnar engine on (the default serving config) *)
 }
 
 let speedup r = r.reference_ns /. r.compiled_ns
 
-let rows_per_sec r = float_of_int r.input_rows /. (r.compiled_ns /. 1e9)
+let columnar_speedup r = r.compiled_ns /. r.columnar_ns
+
+let rows_per_sec r = float_of_int r.input_rows /. (r.columnar_ns /. 1e9)
 
 (* A shape is a query plus the table whose cardinality drives it. *)
 type shape = { sname : string; table : string; sql : string }
@@ -156,6 +159,12 @@ let tpch_shapes =
     };
   ]
 
+(* Run [f] with the columnar engine forced on or off. *)
+let with_columnar on f =
+  let saved = !Executor.columnar_enabled in
+  Executor.columnar_enabled := on;
+  Fun.protect ~finally:(fun () -> Executor.columnar_enabled := saved) f
+
 let bench_substrate name scale_label (db : Database.t) shapes acc =
   List.fold_left
     (fun acc s ->
@@ -164,24 +173,36 @@ let bench_substrate name scale_label (db : Database.t) shapes acc =
         | Some t -> Array.length (Table.rows t)
         | None -> 0
       in
-      (* check both pipelines agree before timing anything *)
+      (* check all three pipelines agree before timing anything; the row and
+         columnar pipelines must agree bit-for-bit, rows and order *)
       let expect = Reference.run_sql db s.sql in
-      let got = Executor.run_sql db s.sql in
-      (match (expect, got) with
-      | Ok a, Ok b when List.length a.Reference.rows = List.length b.Executor.rows -> ()
-      | Ok _, Ok _ -> Fmt.failwith "%s/%s: pipelines disagree on %s" name s.sname s.sql
-      | Error e, _ | _, Error e -> Fmt.failwith "%s/%s: %s" name s.sname e);
-      let reference_ns, compiled_ns =
-        median_pair
-          (fun () -> ignore (Reference.run_sql db s.sql))
-          (fun () -> ignore (Executor.run_sql db s.sql))
+      let got = with_columnar false (fun () -> Executor.run_sql db s.sql) in
+      let gotc = with_columnar true (fun () -> Executor.run_sql db s.sql) in
+      (match (expect, got, gotc) with
+      | Ok a, Ok b, Ok c ->
+        if List.length a.Reference.rows <> List.length b.Executor.rows then
+          Fmt.failwith "%s/%s: pipelines disagree on %s" name s.sname s.sql;
+        if b.Executor.rows <> c.Executor.rows then
+          Fmt.failwith "%s/%s: columnar diverges from row pipeline on %s" name s.sname
+            s.sql
+      | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+        Fmt.failwith "%s/%s: %s" name s.sname e);
+      let ns =
+        medians
+          [|
+            (fun () -> ignore (Reference.run_sql db s.sql));
+            (fun () -> with_columnar false (fun () -> ignore (Executor.run_sql db s.sql)));
+            (fun () -> with_columnar true (fun () -> ignore (Executor.run_sql db s.sql)));
+          |]
       in
+      let reference_ns = ns.(0) and compiled_ns = ns.(1) and columnar_ns = ns.(2) in
       let r =
         { substrate = name; scale = scale_label; shape = s.sname; input_rows;
-          reference_ns; compiled_ns }
+          reference_ns; compiled_ns; columnar_ns }
       in
-      Fmt.pr "  %-12s %-10s %-12s %10.0f ns %10.0f ns %6.2fx %12.0f rows/s@." name
-        scale_label s.sname reference_ns compiled_ns (speedup r) (rows_per_sec r);
+      Fmt.pr "  %-12s %-10s %-12s %10.0f ns %10.0f ns %10.0f ns %6.2fx %6.2fx %12.0f rows/s@."
+        name scale_label s.sname reference_ns compiled_ns columnar_ns (speedup r)
+        (columnar_speedup r) (rows_per_sec r);
       r :: acc)
     acc shapes
 
@@ -196,10 +217,10 @@ let json_of_rows rows =
       Buffer.add_string b
         (Fmt.str
            "    {\"substrate\": %S, \"scale\": %S, \"shape\": %S, \"input_rows\": %d, \
-            \"reference_ns\": %.0f, \"compiled_ns\": %.0f, \"speedup\": %.2f, \
-            \"rows_per_sec\": %.0f}"
+            \"reference_ns\": %.0f, \"compiled_ns\": %.0f, \"columnar_ns\": %.0f, \
+            \"speedup\": %.2f, \"columnar_speedup\": %.2f, \"rows_per_sec\": %.0f}"
            r.substrate r.scale r.shape r.input_rows r.reference_ns r.compiled_ns
-           (speedup r) (rows_per_sec r)))
+           r.columnar_ns (speedup r) (columnar_speedup r) (rows_per_sec r)))
     rows;
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
@@ -230,15 +251,19 @@ let json_well_formed s =
 let () =
   let rng = Rng.create ~seed:42 () in
   let uber_scales =
-    if !smoke then [ ("tiny", { W.Uber.cities = 4; drivers = 12; users = 20; trips = 60; user_tags = 8 }) ]
+    if !smoke then
+      (* big enough that per-row work dominates per-query setup — the
+         columnar gate below compares real kernel time, not parse and
+         compile overhead *)
+      [ ("tiny", { W.Uber.cities = 4; drivers = 40; users = 80; trips = 600; user_tags = 30 }) ]
     else [ ("small", W.Uber.small_sizes); ("default", W.Uber.default_sizes) ]
   in
   let tpch_scales = if !smoke then [ ("tiny", 0.0005) ] else [ ("sf0.002", 0.002); ("sf0.01", 0.01) ] in
   Fmt.pr "engine executor benchmark (%d warmup rounds, median of %d interleaved samples)@."
     (if !smoke then 1 else 3)
-    (if !smoke then 3 else 9);
-  Fmt.pr "  %-12s %-10s %-12s %13s %13s %7s %14s@." "substrate" "scale" "shape"
-    "reference" "compiled" "speedup" "throughput";
+    (if !smoke then 5 else 9);
+  Fmt.pr "  %-12s %-10s %-12s %13s %13s %13s %7s %7s %14s@." "substrate" "scale" "shape"
+    "reference" "row" "columnar" "row-x" "col-x" "throughput";
   let rows =
     List.fold_left
       (fun acc (label, sizes) ->
@@ -270,5 +295,22 @@ let () =
     if not (json_well_formed s) then Fmt.failwith "smoke: JSON not well-formed";
     if not (Astring.String.is_infix ~affix:"\"shape\": \"equijoin\"" s) then
       Fmt.failwith "smoke: missing equijoin entry";
-    Fmt.pr "smoke ok: JSON well-formed, %d result entries@." (List.length rows)
+    if not (Astring.String.is_infix ~affix:"\"columnar_ns\"" s) then
+      Fmt.failwith "smoke: missing columnar column";
+    (* perf-regression gate: the columnar engine must beat the row pipeline
+       on the vectorization-friendly shapes even at smoke scale — a chunk
+       rebuild per query, a lost fast path or an accidental fallback shows
+       up here as a hard failure in `dune runtest` *)
+    List.iter
+      (fun r ->
+        match r.shape with
+        | "scan" | "filter" | "group_agg" ->
+          if r.columnar_ns >= r.compiled_ns then
+            Fmt.failwith
+              "smoke: columnar regression on %s/%s/%s: columnar %.0f ns >= row %.0f ns"
+              r.substrate r.scale r.shape r.columnar_ns r.compiled_ns
+        | _ -> ())
+      rows;
+    Fmt.pr "smoke ok: JSON well-formed, columnar gate passed, %d result entries@."
+      (List.length rows)
   end

@@ -1,0 +1,42 @@
+(** Columnar chunks: per-column typed arrays over a {!Table}'s row store,
+    built once per table and cached by physical identity. Kernels in
+    {!Columnar} run filters, join-key extraction and aggregation over the
+    unboxed arrays; the original rows stay the source of truth for output
+    materialisation, so results are bit-identical to the row pipeline. *)
+
+type strings = {
+  vals : string array;  (** per-row string; [""] at NULL *)
+  codes : int array;  (** per-row dictionary code; [-1] at NULL *)
+  dict : string array;  (** distinct values in first-appearance order *)
+  dict_tbl : (string, int) Hashtbl.t;
+}
+
+type data =
+  | Ints of int array
+  | Floats of float array
+  | Strings of strings
+  | Boxed  (** mixed-type or boolean column: read through the rows *)
+
+type col = { data : data; nulls : bool array option }
+(** Typed slots under a NULL hold a dummy value; [nulls = None] means no
+    NULLs anywhere in the column. *)
+
+type t = {
+  table : Table.t;
+  rows : Value.t array array;  (** = [Table.rows table], shared not copied *)
+  n : int;
+  cols : col array;
+}
+
+val is_null : col -> int -> bool
+
+val dict_code : strings -> string -> int option
+(** Dictionary lookup: [None] means the value appears nowhere in the
+    column, so an equality filter against it selects nothing. *)
+
+val build : Table.t -> t
+(** Build without consulting the cache (tests, forced rebuilds). *)
+
+val of_table : Table.t -> t
+(** Cached build: chunks are keyed by the physical identity of the table
+    (immutable snapshots), bounded MRU, safe under concurrent readers. *)

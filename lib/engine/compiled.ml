@@ -36,6 +36,45 @@ let resolve_opt (headers : header array) (c : Ast.col_ref) =
     in
     go 0
 
+(* Projection expansion shared by the row pipeline and the columnar engine:
+   [*] and [t.*] become explicit column references against [headers], and
+   every projection gets its output name. *)
+let expand_projections (headers : header array) (projections : Ast.projection list) =
+  (* Returns (expr, output name) pairs. *)
+  List.concat_map
+    (fun p ->
+      match p with
+      | Ast.Proj_star ->
+        Array.to_list
+          (Array.map
+             (fun (h : header) -> (Ast.Col { Ast.table = h.alias; column = h.name }, h.name))
+             headers)
+      | Ast.Proj_table_star t ->
+        let t' = String.lowercase_ascii t in
+        let matches =
+          Array.to_list headers
+          |> List.filter (fun (h : header) ->
+               match h.alias with
+               | Some a -> String.lowercase_ascii a = t'
+               | None -> false)
+        in
+        if matches = [] then error "unknown relation %s in %s.*" t t;
+        List.map
+          (fun (h : header) -> (Ast.Col { Ast.table = h.alias; column = h.name }, h.name))
+          matches
+      | Ast.Proj_expr (e, alias) ->
+        let name =
+          match alias with
+          | Some a -> String.lowercase_ascii a
+          | None -> (
+            match e with
+            | Ast.Col c -> String.lowercase_ascii c.column
+            | Ast.Agg { func; _ } -> Ast.agg_func_name func
+            | _ -> "expr")
+        in
+        [ (e, name) ])
+    projections
+
 type t = Value.t array -> Value.t
 
 type subquery = Ast.query -> Value.t array -> int * Value.t array list
@@ -60,6 +99,8 @@ type agg_slots = {
 let make_slots () = { specs = []; compiled = []; current = [||] }
 
 let slots s = s.compiled
+
+let specs s = s.specs
 
 let set_group s values = s.current <- values
 

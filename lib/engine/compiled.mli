@@ -13,6 +13,12 @@ val resolve_opt : header array -> Ast.col_ref -> int option
 (** Column resolution: qualified references match the alias; unqualified
     references take the first name match. *)
 
+val expand_projections :
+  header array -> Ast.projection list -> (Ast.expr * string) list
+(** Expand [*] and [t.*] against [headers] and name every projection —
+    shared by the row pipeline and the columnar engine so both see the
+    same output shape. @raise Error on [t.*] with an unknown relation. *)
+
 type t = Value.t array -> Value.t
 (** A compiled expression, applied to one row of the compiling relation. *)
 
@@ -30,6 +36,11 @@ val make_slots : unit -> agg_slots
 
 val slots : agg_slots -> agg_slot list
 (** The slots collected so far, in slot order. *)
+
+val specs : agg_slots -> (Ast.agg_func * bool * Ast.agg_arg) list
+(** The source-level (func, distinct, arg) of each slot, aligned with
+    {!slots}; the columnar engine inspects the argument expressions to
+    decide which slots admit typed accumulator kernels. *)
 
 val set_group : agg_slots -> Value.t Lazy.t array -> unit
 (** Publish the current group's (lazily computed) slot values; compiled

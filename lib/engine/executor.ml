@@ -76,42 +76,7 @@ let split_join_condition lheaders rheaders (e : Ast.expr) =
       | None -> (keys, c :: rest))
     ([], []) conjuncts
 
-let expand_projections headers (projections : Ast.projection list) =
-  (* Returns (expr, output name) pairs. *)
-  List.concat_map
-    (fun p ->
-      match p with
-      | Ast.Proj_star ->
-        Array.to_list
-          (Array.map
-             (fun (h : header) ->
-               (Ast.Col { Ast.table = h.alias; column = h.name }, h.name))
-             headers)
-      | Ast.Proj_table_star t ->
-        let t' = String.lowercase_ascii t in
-        let matches =
-          Array.to_list headers
-          |> List.filter (fun (h : header) ->
-               match h.alias with
-               | Some a -> String.lowercase_ascii a = t'
-               | None -> false)
-        in
-        if matches = [] then error "unknown relation %s in %s.*" t t;
-        List.map
-          (fun (h : header) -> (Ast.Col { Ast.table = h.alias; column = h.name }, h.name))
-          matches
-      | Ast.Proj_expr (e, alias) ->
-        let name =
-          match alias with
-          | Some a -> String.lowercase_ascii a
-          | None -> (
-            match e with
-            | Ast.Col c -> String.lowercase_ascii c.column
-            | Ast.Agg { func; _ } -> Ast.agg_func_name func
-            | _ -> "expr")
-        in
-        [ (e, name) ])
-    projections
+let expand_projections = Compiled.expand_projections
 
 let has_aggregate e =
   Ast.fold_expr (fun acc e -> acc || match e with Ast.Agg _ -> true | _ -> false) false e
@@ -122,6 +87,19 @@ let has_aggregate e =
 let order_key_visible (vh : header array) (e : Ast.expr) =
   (not (has_aggregate e))
   && List.for_all (fun c -> resolve_opt vh c <> None) (Ast.expr_columns e)
+
+(* --- columnar fast path ------------------------------------------------------ *)
+
+(* The columnar engine takes over only in plain top-level evaluation: bound
+   CTEs could shadow the base tables it reads, correlated scopes and
+   EXPLAIN ANALYZE need the row operators. Accepted queries return
+   bit-identical results (enforced by the 3-way differential suite), so the
+   fallback to the row body below each gate is a pure perf decision. *)
+let columnar_env_ok env =
+  !Columnar.enabled && env.ctes = [] && env.outer = [] && env.trace = None
+
+let columnar_rel (r : Columnar.result_set) : vrel =
+  { vh = r.chead; vr = r.crows }
 
 (* Scan-time column pruning (projection pushdown). When a select joins two or
    more relations, base-table scans keep only columns whose name is mentioned
@@ -183,44 +161,6 @@ let prune_of_select (s : Ast.select) : prune option =
 let check_arity op (l : vrel) (r : vrel) =
   if Array.length l.vh <> Array.length r.vh then
     error "%s operands have different column counts" op
-
-(* Bounded selection for ORDER BY ... LIMIT: the [k] smallest of the indices
-   [0, n) under [cmp], in sorted order, via a size-[k] max-heap — O(n log k)
-   instead of sorting all [n] rows. [cmp] must be a total order (the caller
-   tiebreaks on the index itself), which makes the result identical to
-   sorting everything and slicing off the first [k]. *)
-let top_k ~(cmp : int -> int -> int) ~n ~k =
-  if k <= 0 then [||]
-  else begin
-    let hn = min k n in
-    let heap = Array.init hn (fun i -> i) in
-    let swap i j =
-      let t = heap.(i) in
-      heap.(i) <- heap.(j);
-      heap.(j) <- t
-    in
-    let rec sift_down i =
-      let l = (2 * i) + 1 and r = (2 * i) + 2 in
-      let m = ref i in
-      if l < hn && cmp heap.(l) heap.(!m) > 0 then m := l;
-      if r < hn && cmp heap.(r) heap.(!m) > 0 then m := r;
-      if !m <> i then begin
-        swap i !m;
-        sift_down !m
-      end
-    in
-    for i = (hn / 2) - 1 downto 0 do
-      sift_down i
-    done;
-    for i = hn to n - 1 do
-      if cmp i heap.(0) < 0 then begin
-        heap.(0) <- i;
-        sift_down 0
-      end
-    done;
-    Array.sort cmp heap;
-    heap
-  end
 
 (* --- the compiled pipeline ------------------------------------------------- *)
 
@@ -727,6 +667,11 @@ and cross_all env ~prune = function
       rest
 
 and eval_select env (s : Ast.select) : vrel =
+  match if columnar_env_ok env then Columnar.select ?pool:env.pool env.db s else None with
+  | Some r -> columnar_rel r
+  | None -> eval_select_row env s
+
+and eval_select_row env (s : Ast.select) : vrel =
   let source = cross_all env ~prune:(prune_of_select s) s.from in
   select_tail env source ~on_where:None ~where:s.where ~projections:s.projections
     ~group_by:s.group_by ~having:s.having ~distinct:s.distinct
@@ -1021,6 +966,14 @@ and bind_cte env ~name ~columns (r : vrel) : env =
   { env with ctes = (String.lowercase_ascii name, r) :: env.ctes }
 
 and eval_query env (q : Ast.query) : vrel =
+  match
+    if columnar_env_ok env && q.ctes = [] then Columnar.query ?pool:env.pool env.db q
+    else None
+  with
+  | Some r -> columnar_rel r
+  | None -> eval_query_row env q
+
+and eval_query_row env (q : Ast.query) : vrel =
   let env =
     List.fold_left
       (fun env (cte : Ast.cte) ->
@@ -1069,8 +1022,10 @@ and sort_slice env (r : vrel) ~(order_by : (Ast.expr * Ast.order_dir) list)
     if order_by = [] then r
     else begin
       (* decorate-sort-undecorate with order keys precomputed (in parallel)
-         through compiled expressions. Sorting permutes indices, with the
-         original index as the final tiebreak — a total order that reproduces
+         through compiled expressions into per-key columns, then classified
+         into typed arrays ({!Key_sort}) so comparisons run over unboxed
+         ints/floats/strings. Sorting permutes indices, with the original
+         index as the final tiebreak — a total order that reproduces
          [stable_sort] ties behaviour exactly. Under LIMIT, a bounded top-K
          heap selection replaces the full sort. *)
       let nkeys = List.length order_by in
@@ -1086,17 +1041,18 @@ and sort_slice env (r : vrel) ~(order_by : (Ast.expr * Ast.order_dir) list)
              order_by)
       in
       let n = Vec.length r.vr in
-      let keys =
-        Parallel.map_to_array ?pool:env.pool ~dummy:[||]
-          (fun row -> Array.map (fun f -> f row) keyfns)
-          r.vr
+      let kcmps =
+        Array.map
+          (fun f ->
+            Key_sort.compare_fn
+              (Key_sort.of_values (Parallel.map_to_array ?pool:env.pool ~dummy:Value.Null f r.vr)))
+          keyfns
       in
       let cmp a b =
-        let ka = keys.(a) and kb = keys.(b) in
         let rec go i =
           if i >= nkeys then compare (a : int) b
           else
-            let c = Value.compare ka.(i) kb.(i) in
+            let c = kcmps.(i) a b in
             let c = match dirs.(i) with Ast.Asc -> c | Ast.Desc -> -c in
             if c <> 0 then c else go (i + 1)
         in
@@ -1113,12 +1069,7 @@ and sort_slice env (r : vrel) ~(order_by : (Ast.expr * Ast.order_dir) list)
             let k = max 0 (Option.value offset ~default:0) + max 0 l in
             if k < n then Some k else None
         in
-        match wanted with
-        | Some k -> top_k ~cmp ~n ~k
-        | None ->
-          let idx = Array.init n (fun i -> i) in
-          Array.sort cmp idx;
-          idx
+        Key_sort.sorted ~cmp ~n ~wanted
       in
       { r with vr = Vec.of_array (Array.map (fun i -> Vec.unsafe_get r.vr i) order) }
     end
@@ -1231,6 +1182,13 @@ and eval_rel env ~prune ~path (r : Plan.rel) : vrel =
         join env kind ~build_left l r cond)
 
 and eval_select_plan env ~path (sp : Plan.select_plan) : vrel =
+  match
+    if columnar_env_ok env then Columnar.plan_select ?pool:env.pool env.db sp else None
+  with
+  | Some r -> columnar_rel r
+  | None -> eval_select_plan_row env ~path sp
+
+and eval_select_plan_row env ~path (sp : Plan.select_plan) : vrel =
   let rows_in = ref (-1) in
   traced env ~path ~rows_in (fun () ->
       let source =
@@ -1263,6 +1221,14 @@ and eval_body_plan env ~path (b : Plan.body_plan) : vrel =
         set_op_rel op ~all l r)
 
 and eval_plan env ~path (p : Plan.t) : vrel =
+  match
+    if columnar_env_ok env && p.ctes = [] then Columnar.plan_query ?pool:env.pool env.db p
+    else None
+  with
+  | Some r -> columnar_rel r
+  | None -> eval_plan_row env ~path p
+
+and eval_plan_row env ~path (p : Plan.t) : vrel =
   traced env ~path (fun () ->
       let env, _ =
         List.fold_left
@@ -1308,6 +1274,8 @@ and eval_plan env ~path (p : Plan.t) : vrel =
       else sort_slice env r ~order_by ~limit:p.limit ~offset:p.offset ~visible)
 
 (* --- public API ----------------------------------------------------------------- *)
+
+let columnar_enabled = Columnar.enabled
 
 let run ?pool db (q : Ast.query) : result_set =
   to_result (eval_query { db; ctes = []; outer = []; pool; trace = None } q)

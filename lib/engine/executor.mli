@@ -29,6 +29,14 @@ type rel = { headers : header array; rows : Value.t array list }
 
 type result_set = { columns : string list; rows : Value.t array list }
 
+val columnar_enabled : bool ref
+(** The {!Columnar} batch engine's master switch (= {!Columnar.enabled}, on
+    by default). Recognised queries run through vectorized kernels over
+    typed column chunks; everything else — and everything when the switch
+    is off — runs the row pipeline. Results are bit-identical either way
+    (enforced by the 3-way differential suite), so toggling it never
+    changes a DP release. *)
+
 val run : ?pool:Task_pool.t -> Database.t -> Ast.query -> result_set
 (** [?pool] enables the morsel-parallel operators ({!Parallel}): scan,
     filter and projection over row morsels, partitioned parallel hash-join

@@ -1,0 +1,29 @@
+(** Typed sort keys and bounded top-K selection for ORDER BY. Key columns
+    classify into unboxed int/float/string arrays when the typed order is
+    provably identical to {!Value.compare} (mixed Int/Float promotes to
+    float only when every int is exactly representable); everything else
+    stays boxed, so sorting through these keys is bit-identical to sorting
+    with [Value.compare] directly. *)
+
+type key =
+  | K_int of int array * bool array option
+  | K_float of float array * bool array option
+  | K_string of string array * bool array option
+  | K_val of Value.t array
+      (** boxed fallback: mixed ranks, booleans, huge-int/float mixes *)
+
+val of_values : Value.t array -> key
+(** Classify one key column; the null mask (NULL sorts first) is built only
+    when NULLs are present. *)
+
+val compare_fn : key -> int -> int -> int
+(** Positional comparison equal to [Value.compare vs.(i) vs.(j)]. *)
+
+val top_k : cmp:(int -> int -> int) -> n:int -> k:int -> int array
+(** The [k] smallest of [0, n) under [cmp] in sorted order via a size-[k]
+    max-heap; [cmp] must be total (tiebreak on the index), making the
+    result identical to a full sort sliced to [k]. *)
+
+val sorted : cmp:(int -> int -> int) -> n:int -> wanted:int option -> int array
+(** Sorted order of [0, n): {!top_k} when [wanted] is below [n], full sort
+    otherwise. *)

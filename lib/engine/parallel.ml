@@ -39,15 +39,31 @@ let parallel_ops = Atomic.make 0
 let sequential_ops = Atomic.make 0
 let ops_counts () = (Atomic.get parallel_ops, Atomic.get sequential_ops)
 
+(* CPUs actually available to this process. A pool can be created with more
+   domains than the host has cores (service configs are written for target
+   hardware, not the machine they land on); dispatching across them then
+   buys no parallelism and pays full coordination cost — the BENCH_parallel
+   regressions on a 1-CPU host. Operators therefore cap their effective
+   width at the host width and fall back to the sequential loop when the
+   cap leaves a single worker. Mutable so tests and smoke benches can
+   simulate wider hosts. *)
+let host_cpus = ref (Domain.recommended_domain_count ())
+
+let effective_domains pool =
+  match pool with
+  | None -> 1
+  | Some p -> min (Task_pool.domains p) (max 1 !host_cpus)
+
 (* [chunk_count pool n] is how many chunks to cut [n] rows into, or 0 to
    run sequentially. *)
 let chunk_count pool n =
   match pool with
   | None -> 0
   | Some p ->
-    if (not (Task_pool.is_parallel p)) || n < !threshold then 0
+    let d = effective_domains pool in
+    if (not (Task_pool.is_parallel p)) || d <= 1 || n < !threshold then 0
     else begin
-      let c = min (4 * Task_pool.domains p) (max 1 (n / !morsel)) in
+      let c = min (4 * d) (max 1 (n / !morsel)) in
       if c <= 1 then 0 else c
     end
 
@@ -76,7 +92,8 @@ let gather pool n (f : int -> int -> 'a) : 'a array option =
    for per-partition phases where each task owns one partition. *)
 let tasks pool ~n (f : int -> unit) =
   match pool with
-  | Some p when Task_pool.is_parallel p -> Task_pool.run p ~chunks:n f
+  | Some p when Task_pool.is_parallel p && effective_domains pool > 1 ->
+    Task_pool.run p ~chunks:n f
   | _ ->
     for i = 0 to n - 1 do
       f i

@@ -21,6 +21,18 @@ val morsel : int ref
 (** Target rows per chunk (default 1024); inputs smaller than two morsels
     never split. Mutable for the same reason as {!threshold}. *)
 
+val host_cpus : int ref
+(** CPUs available to this process ([Domain.recommended_domain_count] at
+    startup). Operators cap their effective width at
+    [min (Task_pool.domains pool) host_cpus] and run sequentially when that
+    leaves one worker — a pool wider than the host buys no parallelism but
+    pays full coordination cost. Mutable so tests can simulate wider
+    hosts. *)
+
+val effective_domains : Task_pool.t option -> int
+(** The capped worker count dispatch decisions use; [1] means every
+    operator falls back to its sequential loop. *)
+
 val parallel_worthy : Task_pool.t option -> int -> bool
 (** Whether an [n]-row input would actually be split across domains. *)
 

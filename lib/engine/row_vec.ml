@@ -32,6 +32,8 @@ let of_list xs =
 
 let of_array a = { data = Array.copy a; len = Array.length a }
 
+let wrap a = { data = a; len = Array.length a }
+
 let to_array v = Array.sub v.data 0 v.len
 
 let to_list v =

@@ -15,6 +15,10 @@ val of_list : 'a list -> 'a t
 val of_array : 'a array -> 'a t
 (** Copies its input; the vector never aliases caller storage. *)
 
+val wrap : 'a array -> 'a t
+(** Takes ownership of the array without copying; the caller must not
+    mutate it afterwards. For kernels that build exact-size output. *)
+
 val to_array : 'a t -> 'a array
 val to_list : 'a t -> 'a list
 val iter : ('a -> unit) -> 'a t -> unit

@@ -637,6 +637,129 @@ let differential_tests =
 
 let suites = suites @ [ ("executor-differential", differential_tests) ]
 
+(* --- columnar 3-way differential: reference = row-compiled = columnar ----- *)
+
+let with_columnar on f =
+  let prev = !Executor.columnar_enabled in
+  Executor.columnar_enabled := on;
+  Fun.protect ~finally:(fun () -> Executor.columnar_enabled := prev) f
+
+(* The columnar engine must be indistinguishable from the row pipeline:
+   reference agrees with both, and the two compiled paths agree with each
+   other cell-for-cell (same values, same row order, same error/ok split).
+   Anything short of that would make DP releases depend on the engine
+   toggle. *)
+let check_columnar_3way db sql =
+  with_columnar false (fun () -> check_same db sql);
+  with_columnar true (fun () -> check_same db sql);
+  let row = with_columnar false (fun () -> Executor.run_sql db sql) in
+  let col = with_columnar true (fun () -> Executor.run_sql db sql) in
+  match (row, col) with
+  | Error _, Error _ -> ()
+  | Ok _, Error e -> Alcotest.failf "columnar failed, row ok (%s): %s" sql e
+  | Error e, Ok _ -> Alcotest.failf "row failed, columnar ok (%s): %s" sql e
+  | Ok a, Ok b ->
+    Alcotest.(check (list string)) (sql ^ ": columns") a.Executor.columns b.Executor.columns;
+    if List.length a.Executor.rows <> List.length b.Executor.rows then
+      Alcotest.failf "row count differs (%s): row %d, columnar %d" sql
+        (List.length a.Executor.rows)
+        (List.length b.Executor.rows);
+    List.iteri
+      (fun i (ra, rb) ->
+        let same =
+          Array.length ra = Array.length rb
+          && (let ok = ref true in
+              Array.iteri (fun j va -> if not (cell_equal va rb.(j)) then ok := false) ra;
+              !ok)
+        in
+        if not same then
+          Alcotest.failf "row %d differs (%s): row [%s], columnar [%s]" i sql
+            (row_to_string ra) (row_to_string rb))
+      (List.combine a.Executor.rows b.Executor.rows)
+
+(* Trap fixture for the typed kernels: NULL-heavy key and measure columns, a
+   mixed Int/Float column (boxed in the chunk), a dictionary column with
+   NULLs, negative and repeated join keys. *)
+let null_mixed_fixture () =
+  let n = 40 in
+  let facts =
+    Table.create ~name:"facts" ~columns:[ "id"; "k"; "grp"; "m"; "mix"; "tag" ]
+      (List.init n (fun i ->
+           [|
+             v_int i;
+             (if i mod 3 = 0 then Value.Null else v_int (i mod 5));
+             (if i mod 7 = 0 then Value.Null else v_int ((i mod 4) - 2));
+             (if i mod 4 = 0 then Value.Null else v_float (float_of_int i /. 4.0));
+             (if i mod 2 = 0 then v_int i else v_float (float_of_int i +. 0.5));
+             (match i mod 5 with
+             | 0 -> Value.Null
+             | 1 -> v_str "red"
+             | 2 -> v_str "green"
+             | 3 -> v_str "blue"
+             | _ -> v_str "red");
+           |]))
+  in
+  let dims =
+    Table.create ~name:"dims" ~columns:[ "k"; "label" ]
+      [
+        [| v_int 0; v_str "zero" |];
+        [| v_int 1; v_str "one" |];
+        [| v_int 2; v_str "two" |];
+        [| v_int 2; v_str "two-again" |];
+        [| Value.Null; v_str "null-key" |];
+        [| v_int 4; v_str "four" |];
+      ]
+  in
+  Database.of_tables [ facts; dims ]
+
+let null_mixed_queries =
+  [
+    "SELECT * FROM facts";
+    "SELECT id, m FROM facts WHERE k = 2";
+    "SELECT id FROM facts WHERE m > 3.0 AND tag = 'red'";
+    (* NULL join keys never match; duplicate build keys fan out *)
+    "SELECT f.id, d.label FROM facts f JOIN dims d ON f.k = d.k";
+    "SELECT f.id, d.label FROM facts f JOIN dims d ON f.k = d.k WHERE d.label = 'two'";
+    (* grouping by NULL-heavy, negative-ranged and dictionary keys *)
+    "SELECT k, COUNT(*) FROM facts GROUP BY k";
+    "SELECT grp, COUNT(*), SUM(m), MIN(m), MAX(m) FROM facts GROUP BY grp";
+    "SELECT tag, COUNT(*), AVG(m) FROM facts GROUP BY tag HAVING COUNT(*) > 2";
+    "SELECT tag, COUNT(m) FROM facts GROUP BY tag";
+    (* aggregates over the mixed Int/Float column (boxed in the chunk) *)
+    "SELECT SUM(mix), MIN(mix), MAX(mix), AVG(mix) FROM facts";
+    "SELECT k, SUM(mix) FROM facts GROUP BY k";
+    (* aggregate over an empty group set and an all-NULL slice *)
+    "SELECT SUM(m) FROM facts WHERE id < 0";
+    "SELECT AVG(m) FROM facts WHERE k IS NULL AND m IS NULL";
+    (* top-K over a NULL-heavy float key, ties broken by id *)
+    "SELECT id, m FROM facts ORDER BY m DESC, id LIMIT 7";
+    "SELECT id FROM facts ORDER BY k, id LIMIT 10 OFFSET 3";
+    "SELECT tag, m FROM facts ORDER BY tag, m LIMIT 12";
+  ]
+
+let columnar_differential_tests =
+  [
+    Alcotest.test_case "edge cases agree 3-way with columnar" `Quick (fun () ->
+        let db = fixture () in
+        List.iter (check_columnar_3way db) edge_case_queries);
+    Alcotest.test_case "generated workload agrees 3-way with columnar" `Quick (fun () ->
+        let rng = Rng.create ~seed:11 () in
+        let db, _metrics = Uber.generate ~sizes:Uber.small_sizes rng in
+        let queries =
+          Qgen.generate rng ~count:40 ~n_cities:12 ~n_drivers:120 ~n_users:200
+        in
+        List.iter
+          (fun (q : Qgen.t) ->
+            check_columnar_3way db q.sql;
+            check_columnar_3way db q.population_sql)
+          queries);
+    Alcotest.test_case "NULL-heavy and mixed-type traps agree 3-way" `Quick (fun () ->
+        let db = null_mixed_fixture () in
+        List.iter (check_columnar_3way db) null_mixed_queries);
+  ]
+
+let suites = suites @ [ ("columnar-differential", columnar_differential_tests) ]
+
 (* --- explicit expectations for the new join/set-op edge cases ------------- *)
 
 let edge_expectation_tests =

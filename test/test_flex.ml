@@ -53,6 +53,36 @@ let mechanism_tests =
           | Error _ -> Alcotest.fail "rejected"
         in
         Alcotest.(check bool) "same noise" true (one () = one ()));
+    Alcotest.test_case "release is bit-identical with columnar on or off" `Quick (fun () ->
+        (* the DP pipeline must be invariant under the execution engine: an
+           exact COUNT plus a fixed RNG stream gives the same noisy release
+           whether the row or the columnar engine computed the truth *)
+        let _, db, metrics = setup () in
+        let with_columnar on f =
+          let prev = !Flex_engine.Executor.columnar_enabled in
+          Flex_engine.Executor.columnar_enabled := on;
+          Fun.protect
+            ~finally:(fun () -> Flex_engine.Executor.columnar_enabled := prev)
+            f
+        in
+        List.iter
+          (fun sql ->
+            let one on =
+              with_columnar on (fun () ->
+                  let rng = Rng.create ~seed:77 () in
+                  match Flex.run_sql ~rng ~options:(opts ()) ~db ~metrics sql with
+                  | Ok r -> (r.Flex.true_result.rows, r.Flex.noisy.rows)
+                  | Error _ -> Alcotest.failf "rejected: %s" sql)
+            in
+            let t_row, n_row = one false and t_col, n_col = one true in
+            Alcotest.(check bool) (sql ^ ": same truth") true (t_row = t_col);
+            Alcotest.(check bool) (sql ^ ": same release") true (n_row = n_col))
+          [
+            "SELECT COUNT(*) FROM trips WHERE status = 'completed'";
+            "SELECT t.status, COUNT(*) FROM trips t GROUP BY t.status";
+            "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id \
+             GROUP BY c.name";
+          ]);
     Alcotest.test_case "group keys pass through unperturbed" `Quick (fun () ->
         let ctx = setup () in
         let release = run_ok ctx "SELECT t.status, COUNT(*) FROM trips t GROUP BY t.status" in

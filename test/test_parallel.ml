@@ -31,15 +31,21 @@ let with_pool ?(domains = 2) f =
   let pool = Task_pool.create ~domains in
   Fun.protect ~finally:(fun () -> Task_pool.shutdown pool) (fun () -> f pool)
 
-(* Push everything through the parallel operators regardless of input size. *)
+(* Push everything through the parallel operators regardless of input size,
+   pretending the host is wide enough that the cpu-count gate never trips
+   (on narrow CI hosts the gate would otherwise send everything down the
+   sequential path and the differential would test nothing). *)
 let forced f =
   let t0 = !Parallel.threshold and m0 = !Parallel.morsel in
+  let h0 = !Parallel.host_cpus in
   Parallel.threshold := 0;
   Parallel.morsel := 1;
+  Parallel.host_cpus := 8;
   Fun.protect
     ~finally:(fun () ->
       Parallel.threshold := t0;
-      Parallel.morsel := m0)
+      Parallel.morsel := m0;
+      Parallel.host_cpus := h0)
     f
 
 (* --- Task_pool ----------------------------------------------------------- *)
@@ -161,6 +167,34 @@ let op_tests =
             Alcotest.(check bool) "not worthy" false (Parallel.parallel_worthy (Some pool) 10);
             Alcotest.(check bool) "no gather" true
               (Parallel.gather (Some pool) 10 (fun _ _ -> ()) = None)));
+    Alcotest.test_case "cpu-count gate caps dispatch at the host width" `Quick (fun () ->
+        with_pool ~domains:4 (fun pool ->
+            let h0 = !Parallel.host_cpus and t0 = !Parallel.threshold in
+            Fun.protect
+              ~finally:(fun () ->
+                Parallel.host_cpus := h0;
+                Parallel.threshold := t0)
+              (fun () ->
+                Parallel.threshold := 0;
+                (* a 4-domain pool on a 1-cpu host: one effective worker,
+                   so every operator takes the sequential loop *)
+                Parallel.host_cpus := 1;
+                Alcotest.(check int) "capped width" 1
+                  (Parallel.effective_domains (Some pool));
+                Alcotest.(check bool) "gated off" false
+                  (Parallel.parallel_worthy (Some pool) 100_000);
+                Alcotest.(check bool) "no gather" true
+                  (Parallel.gather (Some pool) 100_000 (fun _ _ -> ()) = None);
+                (* the same pool on a wide host splits again *)
+                Parallel.host_cpus := 8;
+                Alcotest.(check int) "full width" 4
+                  (Parallel.effective_domains (Some pool));
+                Alcotest.(check bool) "worthy again" true
+                  (Parallel.parallel_worthy (Some pool) 100_000);
+                (* a host wider than the pool is still bounded by the pool *)
+                Parallel.host_cpus := 2;
+                Alcotest.(check int) "min of pool and host" 2
+                  (Parallel.effective_domains (Some pool)))));
   ]
 
 (* --- 3-way differential: reference = compiled seq = compiled parallel ----- *)
