@@ -130,6 +130,9 @@ let bench_service (db, metrics) ~telemetry ~rounds ~reps =
       analyst_epsilon = 1e9;
       analyst_delta = 0.5;
       telemetry;
+      (* replay off: this benchmark measures the charged pipeline the
+         telemetry instruments, not the release store's fast path *)
+      release_cache = false;
     }
   in
   let server =

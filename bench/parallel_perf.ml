@@ -232,7 +232,16 @@ let hello server session analyst =
    one domain pool — the flex_serve deployment shape. The analysis cache is
    primed first so the timed rounds measure execute + perturb. *)
 let service_qps (db, metrics) pool =
-  let config = { Server.default_config with analyst_epsilon = 1e9; analyst_delta = 0.5 } in
+  let config =
+    {
+      Server.default_config with
+      analyst_epsilon = 1e9;
+      analyst_delta = 0.5;
+      (* replay off: this benchmark measures pool-backed execution; repeats
+         served from the release store would never reach the pool *)
+      release_cache = false;
+    }
+  in
   let server =
     Server.create ~audit:(Audit.null ()) ~config ?pool ~db ~metrics
       ~ledger:(Ledger.in_memory ()) ~rng:(Rng.create ~seed:42 ()) ()

@@ -59,7 +59,9 @@ let print_response (resp : Wire.response) =
       r.noise_scales;
     Fmt.pr "# analysis cache %s%s@."
       (if r.cache_hit then "hit" else "miss")
-      (if r.bins_enumerated then "; histogram bins enumerated" else "")
+      (if r.bins_enumerated then "; histogram bins enumerated" else "");
+    if r.cached then
+      Fmt.pr "# replayed from the release store (zero additional budget)@."
   | Analysis a ->
     Fmt.pr "histogram query: %b; joins: %d; analysis cache %s@." a.is_histogram a.joins
       (if a.cache_hit then "hit" else "miss");
@@ -91,6 +93,9 @@ let print_response (resp : Wire.response) =
       s.rejected s.refused;
     Fmt.pr "analysis cache: %d hits, %d misses, %d entries@." s.cache_hits s.cache_misses
       s.cache_entries;
+    Fmt.pr "release cache: %d hits, %d misses, %d evicted, %d entries (%.0f%% hit rate)@."
+      s.release_hits s.release_misses s.release_evictions s.release_entries
+      (100.0 *. s.release_hit_rate);
     Fmt.pr "analysts: %d@." s.analysts;
     Fmt.pr "uptime: %.1f s; %.3f queries/s@." s.uptime_seconds s.qps
   | Error_msg m ->

@@ -32,9 +32,9 @@ let load_csv_dir dir =
   if tables = [] then failwith ("no .csv files in " ^ dir);
   Database.of_tables tables
 
-let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
-    analyst_epsilon analyst_delta cap seed domains explain_estimates stats_port
-    no_telemetry =
+let serve dir metrics_file demo port ledger_file audit_file audit_max_bytes sync epsilon
+    delta analyst_epsilon analyst_delta cap seed domains explain_estimates stats_port
+    no_telemetry release_cache releases_file release_capacity =
   let db, metrics =
     if demo then begin
       Fmt.pr "generating a ride-sharing database...@.";
@@ -54,7 +54,20 @@ let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
   let ledger =
     match ledger_file with None -> Ledger.in_memory () | Some path -> Ledger.open_ ~sync path
   in
-  let audit = match audit_file with None -> Audit.null () | Some path -> Audit.to_file path in
+  let audit =
+    match audit_file with
+    | None -> Audit.null ()
+    | Some path -> Audit.to_file ?max_bytes:audit_max_bytes path
+  in
+  let release_store =
+    match (release_cache, releases_file) with
+    | false, _ -> None
+    | true, None -> Some (Flex_service.Release_store.create ?capacity:release_capacity ())
+    | true, Some path ->
+      Some
+        (Flex_service.Release_store.open_ ~sync ?capacity:release_capacity
+           ~fingerprint:(Metrics.fingerprint metrics) path)
+  in
   let config =
     {
       Server.default_config with
@@ -65,6 +78,7 @@ let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
       max_epsilon_per_query = cap;
       explain_estimates;
       telemetry = not no_telemetry;
+      release_cache;
     }
   in
   let domains =
@@ -74,7 +88,8 @@ let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
   in
   let pool = if domains > 1 then Some (Flex_engine.Task_pool.create ~domains) else None in
   let server =
-    Server.create ~audit ~config ?pool ~db ~metrics ~ledger ~rng:(Rng.create ~seed ()) ()
+    Server.create ~audit ~config ?pool ?release_store ~db ~metrics ~ledger
+      ~rng:(Rng.create ~seed ()) ()
   in
   let listener = Server.listen ~port server in
   Fmt.pr "flex_serve: listening on 127.0.0.1:%d (%d tables, %d rows, %d execution domain%s)@."
@@ -86,6 +101,14 @@ let serve dir metrics_file demo port ledger_file audit_file sync epsilon delta
   (match Ledger.path ledger with
   | Some p -> Fmt.pr "flex_serve: budget ledger at %s@." p
   | None -> Fmt.pr "flex_serve: in-memory ledger (budgets reset on restart)@.");
+  (match release_store with
+  | None -> Fmt.pr "flex_serve: release replay disabled (repeats are re-charged)@."
+  | Some store -> (
+    match Flex_service.Release_store.path store with
+    | Some p ->
+      Fmt.pr "flex_serve: release store at %s (%d replayable)@." p
+        (Flex_service.Release_store.length store)
+    | None -> Fmt.pr "flex_serve: in-memory release store (replays reset on restart)@."));
   (match (stats_port, Server.registry server) with
   | Some _, None -> failwith "--stats-port needs telemetry (drop --no-telemetry)"
   | Some p, Some registry ->
@@ -129,6 +152,16 @@ let () =
       value
       & opt (some string) None
       & info [ "audit" ] ~docv:"FILE" ~doc:"Append JSON-lines audit events here.")
+  in
+  let audit_max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "audit-max-bytes" ] ~docv:"N"
+          ~doc:
+            "Rotate the audit log to $(i,FILE).1 when appending the next event would \
+             push it past N bytes (rotation happens at line boundaries, so no \
+             generation ever holds a torn JSON line). Unbounded when omitted.")
   in
   let sync =
     Arg.(value & flag & info [ "sync" ] ~doc:"fsync the ledger after every grant.")
@@ -195,14 +228,52 @@ let () =
             "Disable the metrics registry and per-query trace spans (audit stage \
              timings then read zero). Releases are bit-identical either way.")
   in
+  let release_cache =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "release-cache" ]
+                ~doc:
+                  "Replay finalized noisy releases for identical (query, budget, epoch) \
+                   requests at zero additional budget (the default). A replay returns \
+                   the same bytes as the first answer and is flagged $(b,cached: true)." );
+            ( false,
+              info [ "no-release-cache" ]
+                ~doc:
+                  "Disable release replay: every repeated query re-executes, draws \
+                   fresh noise, and is charged again." );
+          ])
+  in
+  let releases_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "releases" ] ~docv:"FILE"
+          ~doc:
+            "Append-only release journal; replayed on startup so previously released \
+             answers survive a restart bit-identically (entries from other data epochs \
+             are skipped). In-memory when omitted. Ignored with $(b,--no-release-cache).")
+  in
+  let release_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "release-capacity" ] ~docv:"N"
+          ~doc:
+            "Cap on live release-store entries (default 4096); at capacity, admission \
+             evicts fairly across analysts. Evicted keys are re-charged on re-query.")
+  in
   let info =
     Cmd.info "flex_serve" ~version:"1.0.0"
       ~doc:"Serve FLEX differentially private SQL over TCP (line-delimited JSON)."
   in
   let term =
     Term.(
-      const serve $ dir $ metrics_file $ demo $ port $ ledger_file $ audit_file $ sync
-      $ epsilon $ delta $ analyst_epsilon $ analyst_delta $ cap $ seed $ domains
-      $ explain_estimates $ stats_port $ no_telemetry)
+      const serve $ dir $ metrics_file $ demo $ port $ ledger_file $ audit_file
+      $ audit_max_bytes $ sync $ epsilon $ delta $ analyst_epsilon $ analyst_delta $ cap
+      $ seed $ domains $ explain_estimates $ stats_port $ no_telemetry $ release_cache
+      $ releases_file $ release_capacity)
   in
   exit (Cmd.eval (Cmd.v info term))

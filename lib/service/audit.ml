@@ -1,4 +1,4 @@
-type outcome = Granted | Rejected of string | Refused | Failed | Analyzed
+type outcome = Granted | Replayed | Rejected of string | Refused | Failed | Analyzed
 
 type event = {
   analyst : string;
@@ -16,17 +16,45 @@ type event = {
   total_ns : float;
 }
 
-type sink = To_channel of out_channel | To_buffer of Buffer.t | Null
+(* A file sink tracks its own byte count so rotation never needs a stat per
+   line; [bytes] is re-seeded from the file on open, so append-after-restart
+   rotates at the right size too. *)
+type file_sink = {
+  path : string;
+  max_bytes : int option;
+  mutable oc : out_channel;
+  mutable bytes : int;
+}
+
+type sink = To_file of file_sink | To_buffer of Buffer.t | Null
 
 type t = { sink : sink; lock : Mutex.t; mutable count : int }
 
 let make sink = { sink; lock = Mutex.create (); count = 0 }
 let null () = make Null
-let to_file path = make (To_channel (open_out_gen [ Open_append; Open_creat ] 0o644 path))
+
+let open_append path = open_out_gen [ Open_append; Open_creat ] 0o644 path
+
+let to_file ?max_bytes path =
+  let bytes = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+  make (To_file { path; max_bytes; oc = open_append path; bytes })
+
 let to_buffer b = make (To_buffer b)
+
+(* Rotation happens between whole lines: the current file is renamed to
+   [path ^ ".1"] (replacing any previous rotation) and a fresh file takes
+   over, so neither generation ever holds a torn JSON line. *)
+let rotate (f : file_sink) =
+  close_out f.oc;
+  let old = f.path ^ ".1" in
+  (try Sys.remove old with Sys_error _ -> ());
+  (try Sys.rename f.path old with Sys_error _ -> ());
+  f.oc <- open_append f.path;
+  f.bytes <- 0
 
 let outcome_fields = function
   | Granted -> [ ("outcome", Json.str "granted") ]
+  | Replayed -> [ ("outcome", Json.str "replayed") ]
   | Rejected bucket -> [ ("outcome", Json.str "rejected"); ("bucket", Json.str bucket) ]
   | Refused -> [ ("outcome", Json.str "refused") ]
   | Failed -> [ ("outcome", Json.str "failed") ]
@@ -59,16 +87,22 @@ let log t e =
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
       t.count <- t.count + 1;
-      let line = Json.to_string (json_of_event ~ts:(Unix.gettimeofday ()) e) in
+      let line () = Json.to_string (json_of_event ~ts:(Unix.gettimeofday ()) e) in
       match t.sink with
       | Null -> ()
       | To_buffer b ->
-        Buffer.add_string b line;
+        Buffer.add_string b (line ());
         Buffer.add_char b '\n'
-      | To_channel oc ->
-        output_string oc line;
-        output_char oc '\n';
-        flush oc)
+      | To_file f ->
+        let line = line () in
+        (match f.max_bytes with
+        | Some limit when f.bytes > 0 && f.bytes + String.length line + 1 > limit ->
+          rotate f
+        | _ -> ());
+        output_string f.oc line;
+        output_char f.oc '\n';
+        flush f.oc;
+        f.bytes <- f.bytes + String.length line + 1)
 
 let count t =
   Mutex.lock t.lock;
@@ -80,4 +114,4 @@ let close t =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () -> match t.sink with To_channel oc -> close_out oc | _ -> ())
+    (fun () -> match t.sink with To_file f -> close_out f.oc | _ -> ())

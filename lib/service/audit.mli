@@ -5,6 +5,10 @@
 
 type outcome =
   | Granted
+  | Replayed
+      (** served bit-identically from the release store — zero budget
+          charged; the replay of a public value is still a data access
+          worth recording *)
   | Rejected of string  (** §5.1 bucket: parse / unsupported / other *)
   | Refused  (** budget refusal *)
   | Failed  (** internal error after admission *)
@@ -36,8 +40,13 @@ type t
 val null : unit -> t
 (** Drops every event (benchmarks). *)
 
-val to_file : string -> t
-(** Append JSON lines to a file. *)
+val to_file : ?max_bytes:int -> string -> t
+(** Append JSON lines to a file. With [max_bytes], the file is rotated to
+    [path ^ ".1"] (replacing any previous rotation) whenever appending the
+    next line would exceed the limit — rotation happens only at line
+    boundaries, so no generation ever contains a torn JSON line. The byte
+    count is seeded from the existing file size, so the limit holds across
+    restarts. *)
 
 val to_buffer : Buffer.t -> t
 (** Collect lines in memory (tests). *)

@@ -1,0 +1,365 @@
+(* Bounded, journaled store of finalized noisy releases (see the .mli for
+   the privacy argument). Concurrency: one mutex over the whole structure;
+   every operation is a few hashtable probes, so the critical sections are
+   far shorter than the pipeline work they replace. *)
+
+type entry = {
+  key : string;
+  fingerprint : string;
+  analyst : string;
+  epsilon : float;
+  delta : float;
+  epsilon_spent : float;
+  delta_spent : float;
+  columns : string list;
+  rows : Json.t list list;
+  bins_enumerated : bool;
+  noise_scales : (string * float) list;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  stale_dropped : int;
+  entries : int;
+  capacity : int;
+}
+
+(* [seq] is a global insertion counter: the eviction policy breaks count
+   ties toward the globally oldest entry, and determinism across a journal
+   replay needs an order that depends only on the insert sequence. *)
+type slot = { entry : entry; seq : int }
+
+type t = {
+  table : (string, slot) Hashtbl.t;
+  queues : (string, string Queue.t) Hashtbl.t;  (* analyst -> keys, FIFO *)
+  counts : (string, int) Hashtbl.t;  (* analyst -> live entries *)
+  capacity : int;
+  mutable seq : int;
+  mutable oc : out_channel option;
+  journal_path : string option;
+  sync : bool;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable stale : int;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let key ~sql_canonical ~fingerprint ~flags ~epsilon ~delta =
+  String.concat "\x00"
+    [
+      sql_canonical;
+      fingerprint;
+      flags;
+      Printf.sprintf "%.17g" epsilon;
+      Printf.sprintf "%.17g" delta;
+    ]
+
+(* --- journal lines --------------------------------------------------------- *)
+
+let json_of_entry (e : entry) =
+  Json.Obj
+    [
+      ("key", Json.str e.key);
+      ("fingerprint", Json.str e.fingerprint);
+      ("analyst", Json.str e.analyst);
+      ("epsilon", Json.num e.epsilon);
+      ("delta", Json.num e.delta);
+      ("epsilon_spent", Json.num e.epsilon_spent);
+      ("delta_spent", Json.num e.delta_spent);
+      ("columns", Json.List (List.map Json.str e.columns));
+      ("rows", Json.List (List.map (fun r -> Json.List r) e.rows));
+      ("bins_enumerated", Json.bool e.bins_enumerated);
+      ( "noise_scales",
+        Json.List
+          (List.map
+             (fun (c, s) -> Json.Obj [ ("column", Json.str c); ("scale", Json.num s) ])
+             e.noise_scales) );
+    ]
+
+let ( let* ) = Result.bind
+
+let get_str k j =
+  match Option.bind (Json.mem k j) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string field %S" k)
+
+let get_num k j =
+  match Option.bind (Json.mem k j) Json.to_num with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "missing or non-number field %S" k)
+
+let get_bool k j =
+  match Option.bind (Json.mem k j) Json.to_bool with
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "missing or non-boolean field %S" k)
+
+let entry_of_json j =
+  let* key = get_str "key" j in
+  let* fingerprint = get_str "fingerprint" j in
+  let* analyst = get_str "analyst" j in
+  let* epsilon = get_num "epsilon" j in
+  let* delta = get_num "delta" j in
+  let* epsilon_spent = get_num "epsilon_spent" j in
+  let* delta_spent = get_num "delta_spent" j in
+  let* columns =
+    match Option.bind (Json.mem "columns" j) Json.to_list with
+    | Some vs -> (
+      match List.filter_map Json.to_str vs with
+      | strs when List.length strs = List.length vs -> Ok strs
+      | _ -> Error "non-string column name")
+    | None -> Error "missing columns"
+  in
+  let* rows =
+    match Option.bind (Json.mem "rows" j) Json.to_list with
+    | Some vs ->
+      List.fold_left
+        (fun acc row ->
+          let* acc = acc in
+          match Json.to_list row with
+          | Some cells -> Ok (cells :: acc)
+          | None -> Error "non-array row")
+        (Ok []) vs
+      |> Result.map List.rev
+    | None -> Error "missing rows"
+  in
+  let* bins_enumerated = get_bool "bins_enumerated" j in
+  let* noise_scales =
+    match Option.bind (Json.mem "noise_scales" j) Json.to_list with
+    | Some vs ->
+      List.fold_left
+        (fun acc v ->
+          let* acc = acc in
+          let* c = get_str "column" v in
+          let* s = get_num "scale" v in
+          Ok ((c, s) :: acc))
+        (Ok []) vs
+      |> Result.map List.rev
+    | None -> Error "missing noise_scales"
+  in
+  Ok
+    {
+      key;
+      fingerprint;
+      analyst;
+      epsilon;
+      delta;
+      epsilon_spent;
+      delta_spent;
+      columns;
+      rows;
+      bins_enumerated;
+      noise_scales;
+    }
+
+let entry_of_line line =
+  let* j = Json.of_string line in
+  entry_of_json j
+
+(* --- bounded, fair admission ------------------------------------------------ *)
+
+let count t a = Option.value ~default:0 (Hashtbl.find_opt t.counts a)
+
+let queue_of t a =
+  match Hashtbl.find_opt t.queues a with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t.queues a q;
+    q
+
+(* Pop dead keys (evicted, stranded, or re-owned after an epoch flip) off
+   the front of [a]'s queue; the front that remains is [a]'s oldest live
+   entry. *)
+let rec front t a q =
+  match Queue.peek_opt q with
+  | None -> None
+  | Some k -> (
+    match Hashtbl.find_opt t.table k with
+    | Some s when s.entry.analyst = a -> Some s
+    | _ ->
+      ignore (Queue.pop q);
+      front t a q)
+
+(* Per-analyst fairness: an inserting analyst at or over their proportional
+   share of the capacity evicts their own oldest entry; below it, the
+   heaviest holder pays (ties to the analyst with the globally oldest
+   entry). One dashboard analyst hammering fresh shapes therefore cycles
+   their own slots and never strands another analyst's working set. *)
+let evict_one t ~inserting =
+  let holders =
+    Hashtbl.fold (fun a n acc -> if n > 0 then a :: acc else acc) t.counts []
+  in
+  let owners = if List.mem inserting holders then holders else inserting :: holders in
+  let share = max 1 (t.capacity / List.length owners) in
+  let victim =
+    if count t inserting >= share then inserting
+    else
+      let heaviest =
+        List.fold_left
+          (fun acc a ->
+            match front t a (queue_of t a) with
+            | None -> acc
+            | Some s -> (
+              let n = count t a in
+              match acc with
+              | Some (_, bn, bseq) when bn > n || (bn = n && bseq <= s.seq) -> acc
+              | _ -> Some (a, n, s.seq)))
+          None holders
+      in
+      match heaviest with Some (a, _, _) -> a | None -> inserting
+  in
+  let q = queue_of t victim in
+  match front t victim q with
+  | None -> ()
+  | Some s ->
+    ignore (Queue.pop q);
+    Hashtbl.remove t.table s.entry.key;
+    Hashtbl.replace t.counts victim (count t victim - 1);
+    t.evictions <- t.evictions + 1
+
+(* Admit without journaling (shared by live inserts and journal replay, so
+   both follow the identical deterministic eviction sequence). *)
+let admit t e =
+  if not (Hashtbl.mem t.table e.key) then begin
+    if Hashtbl.length t.table >= t.capacity then evict_one t ~inserting:e.analyst;
+    t.seq <- t.seq + 1;
+    Hashtbl.replace t.table e.key { entry = e; seq = t.seq };
+    Queue.push e.key (queue_of t e.analyst);
+    Hashtbl.replace t.counts e.analyst (count t e.analyst + 1)
+  end
+
+(* --- lifecycle -------------------------------------------------------------- *)
+
+let make ~oc ~path ~sync ~capacity =
+  {
+    table = Hashtbl.create 256;
+    queues = Hashtbl.create 16;
+    counts = Hashtbl.create 16;
+    capacity = max 1 capacity;
+    seq = 0;
+    oc;
+    journal_path = path;
+    sync;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    stale = 0;
+  }
+
+let create ?(capacity = 4096) () = make ~oc:None ~path:None ~sync:false ~capacity
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  end
+
+(* Same replay discipline as Ledger: an undecodable line terminates replay
+   when it is the last one (crash mid-append — that release was never
+   acknowledged) and is refused as corruption anywhere else. *)
+let replay t ~fingerprint ~source lines =
+  let rec go = function
+    | [] -> ()
+    | line :: rest when String.trim line = "" -> go rest
+    | line :: rest -> (
+      match entry_of_line line with
+      | Ok e ->
+        if e.fingerprint = fingerprint then admit t e else t.stale <- t.stale + 1;
+        go rest
+      | Error msg ->
+        if rest = [] then () (* torn tail *)
+        else Fmt.invalid_arg "Release_store: corrupt journal %s: %s in %S" source msg line)
+  in
+  go lines
+
+let open_ ?(sync = false) ?(capacity = 4096) ~fingerprint path =
+  let lines = read_lines path in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  let t = make ~oc:(Some oc) ~path:(Some path) ~sync ~capacity in
+  replay t ~fingerprint ~source:path lines;
+  t
+
+let close t =
+  with_lock t (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+        close_out oc;
+        t.oc <- None)
+
+let path t = t.journal_path
+
+(* --- operations ------------------------------------------------------------- *)
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some s ->
+        t.hits <- t.hits + 1;
+        Some s.entry
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let append t e =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    output_string oc (Json.to_string (json_of_entry e) ^ "\n");
+    flush oc;
+    if t.sync then Unix.fsync (Unix.descr_of_out_channel oc)
+
+let record t e =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table e.key with
+      | Some s -> s.entry (* first release wins; the racing loser is discarded *)
+      | None ->
+        append t e;
+        admit t e;
+        e)
+
+let invalidate_epoch t ~keep =
+  with_lock t (fun () ->
+      let stale =
+        Hashtbl.fold
+          (fun k s acc ->
+            if s.entry.fingerprint = keep then acc else (k, s.entry.analyst) :: acc)
+          t.table []
+      in
+      List.iter
+        (fun (k, a) ->
+          Hashtbl.remove t.table k;
+          Hashtbl.replace t.counts a (count t a - 1))
+        stale;
+      t.stale <- t.stale + List.length stale;
+      List.length stale)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        stale_dropped = t.stale;
+        entries = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)

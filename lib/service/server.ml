@@ -34,6 +34,11 @@ type config = {
   telemetry : bool;
       (* metrics registry and per-query trace spans; releases are
          bit-identical either way (telemetry never touches the RNG) *)
+  release_cache : bool;
+      (* replay finalized noisy releases for identical (query, budget,
+         epoch, mechanism) requests at zero additional budget — the DP
+         post-processing freebie. Off, every repeat re-executes,
+         re-perturbs, and is charged again. *)
 }
 
 let default_config =
@@ -49,6 +54,7 @@ let default_config =
     optimize_queries = true;
     explain_estimates = false;
     telemetry = true;
+    release_cache = true;
   }
 
 (* The write-side instruments; scrape-time values (budgets, cache, pool)
@@ -56,6 +62,7 @@ let default_config =
 type instruments = {
   m_queries : Registry.Counter.t;
   m_granted : Registry.Counter.t;
+  m_replayed : Registry.Counter.t;
   m_rejected : Registry.Counter.t;
   m_refused : Registry.Counter.t;
   m_latency : Registry.Histogram.t;
@@ -65,11 +72,19 @@ type instruments = {
 
 type t = {
   config : config;
-  db : Database.t;
-  metrics : Metrics.t;
-  fingerprint : string;
+  (* the data epoch: [db], [metrics] and [fingerprint] are replaced together
+     under [lock] by [refresh_data]; [handle_query] snapshots the triple once
+     so a whole request sees one consistent epoch *)
+  mutable db : Database.t;
+  mutable metrics : Metrics.t;
+  mutable fingerprint : string;
   ledger : Ledger.t;
   analysis_cache : (Elastic.analysis, Errors.reason) result Cache.t;
+  (* raw SQL text -> canonical cache key. Canonicalization is a pure
+     function of the text, so entries never go stale; this keeps the replay
+     fast path (parse + memo + store probe) in single-digit microseconds. *)
+  canon_memo : string Cache.t;
+  release_store : Release_store.t option;  (* Some iff [config.release_cache] *)
   audit : Audit.t;
   rng : Rng.t;
   (* one shared domain pool for every session's query execution; queries are
@@ -82,6 +97,7 @@ type t = {
   lock : Mutex.t;  (* guards counters and rng splitting *)
   mutable queries : int;
   mutable granted : int;
+  mutable replayed : int;
   mutable rejected : int;
   mutable refused : int;
 }
@@ -101,6 +117,9 @@ let make_instruments reg =
     m_queries = Registry.counter reg ~help:"Query requests seen" "flex_queries_total";
     m_granted =
       Registry.counter reg ~help:"Queries granted a noisy release" "flex_granted_total";
+    m_replayed =
+      Registry.counter reg ~help:"Queries served from the release store (zero budget)"
+        "flex_replayed_total";
     m_rejected =
       Registry.counter reg ~help:"Queries rejected (parse/unsupported/admission/other)"
         "flex_rejected_total";
@@ -153,6 +172,26 @@ let register_collectors t reg =
       ]);
   Registry.collect reg ~help:"Analysis cache entries" ~kind:`Gauge "flex_cache_entries"
     (fun () -> [ ([], float_of_int (Cache.length t.analysis_cache)) ]);
+  (match t.release_store with
+  | None -> ()
+  | Some store ->
+    Registry.collect reg ~help:"Release store lookups" ~kind:`Counter
+      "flex_release_cache_lookups_total" (fun () ->
+        let s = Release_store.stats store in
+        [
+          ([ ("result", "hit") ], float_of_int s.hits);
+          ([ ("result", "miss") ], float_of_int s.misses);
+        ]);
+    Registry.collect reg ~help:"Release store entries" ~kind:`Gauge
+      "flex_release_cache_entries" (fun () ->
+        [ ([], float_of_int (Release_store.length store)) ]);
+    Registry.collect reg ~help:"Release store entries dropped" ~kind:`Counter
+      "flex_release_cache_evictions_total" (fun () ->
+        let s = Release_store.stats store in
+        [
+          ([ ("reason", "capacity") ], float_of_int s.evictions);
+          ([ ("reason", "stale_epoch") ], float_of_int s.stale_dropped);
+        ]));
   Registry.collect reg ~help:"Audit events logged" ~kind:`Counter "flex_audit_events_total"
     (fun () -> [ ([], float_of_int (Audit.count t.audit)) ]);
   Registry.collect reg ~help:"Domains in the shared execution pool" ~kind:`Gauge
@@ -188,10 +227,15 @@ let register_collectors t reg =
       ])
 
 let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity ?pool ?registry
-    ~db ~metrics ~ledger ~rng () =
+    ?release_store ~db ~metrics ~ledger ~rng () =
   let registry =
     if config.telemetry then
       Some (match registry with Some r -> r | None -> Registry.create ())
+    else None
+  in
+  let release_store =
+    if config.release_cache then
+      Some (match release_store with Some s -> s | None -> Release_store.create ())
     else None
   in
   let t =
@@ -202,6 +246,8 @@ let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity ?
       fingerprint = Metrics.fingerprint metrics;
       ledger;
       analysis_cache = Cache.create ?capacity:cache_capacity ();
+      canon_memo = Cache.create ?capacity:cache_capacity ();
+      release_store;
       audit;
       rng;
       pool;
@@ -211,6 +257,7 @@ let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity ?
       lock = Mutex.create ();
       queries = 0;
       granted = 0;
+      replayed = 0;
       rejected = 0;
       refused = 0;
     }
@@ -291,22 +338,33 @@ let options_for t ~epsilon ~delta =
     ~unique_optimization:t.config.unique_optimization ~cross_joins:t.config.cross_joins ~epsilon
     ~delta ()
 
+(* The epoch triple, snapshotted once per request so analysis, execution and
+   perturbation all see the same data even if [refresh_data] races in. *)
+let epoch t = with_lock t (fun () -> (t.db, t.metrics, t.fingerprint))
+
 (* The analysis depends on options only through the catalog flags, never
    through epsilon/delta, so one cache entry serves every privacy level.
-   The trace distinguishes canonicalization ("canon") from the lookup
-   ("cache", which contains the "analysis" child only on a miss). *)
-let analyze_cached t ?span ~options ast =
+   The caller times canonicalization (the "canon" span); the lookup ("cache")
+   contains the "analysis" child only on a miss. *)
+let analyze_cached t ?span ~canon ~fingerprint ~metrics ~options ast =
   let flags =
     Printf.sprintf "pub=%b;uniq=%b;cross=%b" t.config.public_optimization
       t.config.unique_optimization t.config.cross_joins
   in
-  let key =
-    Span.timed span "canon" (fun _ ->
-        Cache.key ~sql_canonical:(Canon.cache_key ast) ~fingerprint:t.fingerprint ~flags)
-  in
+  let key = Cache.key ~sql_canonical:canon ~fingerprint ~flags in
   Span.timed span "cache" (fun cache_span ->
       Cache.find_or_compute t.analysis_cache ~key (fun () ->
-          Flex.analyze_ast ?span:cache_span ~options ~metrics:t.metrics ast))
+          Flex.analyze_ast ?span:cache_span ~options ~metrics ast))
+
+(* Everything that determines the mechanism instance beyond the query and
+   the budget. Two requests whose flags differ run distinct mechanisms and
+   must never share a stored release. *)
+let release_flags (o : Flex.options) =
+  Printf.sprintf "pub=%b;uniq=%b;cross=%b;bins=%b;round=%b;smooth=%s;noise=%s"
+    o.public_optimization o.unique_optimization o.cross_joins o.enumerate_bins
+    o.round_counts
+    (match o.smoothing with `Smooth -> "smooth" | `Elastic_k0 -> "elastic_k0")
+    (match o.noise with `Laplace -> "laplace" | `Cauchy -> "cauchy")
 
 let parse sql =
   match Parser.parse sql with Ok ast -> Ok ast | Error e -> Error (Errors.Parse_error e)
@@ -417,7 +475,8 @@ let handle_query t session ~sql ~epsilon ~delta =
       Audit.log t.audit { base with outcome = Audit.Rejected "admission" };
       Wire.Rejected { bucket = "admission"; reason = msg }
     | Ok () -> (
-      match Parser.parse_statement sql with
+      let root = if t.config.telemetry then Some (Span.root "query") else None in
+      match Span.timed root "parse" (fun _ -> Parser.parse_statement sql) with
       | Ok (Flex_sql.Ast.Explain ast) ->
         (* EXPLAIN typed where a query was expected: answer with the plans,
            charge nothing *)
@@ -427,84 +486,160 @@ let handle_query t session ~sql ~epsilon ~delta =
         in
         Wire.Plan_report { logical; optimized }
       | Ok (Flex_sql.Ast.Explain_analyze ast) -> analyzed_plan t session ~sql ast
-      | Ok (Flex_sql.Ast.Query _) | Error _ -> (
-      let root = if t.config.telemetry then Some (Span.root "query") else None in
-      let options = options_for t ~epsilon ~delta in
-      match Span.timed root "parse" (fun _ -> parse sql) with
-      | Error reason -> reject t ~root ~base reason
-      | Ok ast -> (
-        let analyzed, cache_hit = analyze_cached t ?span:root ~options ast in
-        let base = { base with cache_hit } in
-        match analyzed with
-        | Error reason -> reject t ~root ~base reason
-        | Ok analysis -> (
-          let column_releases = Flex.smooth_columns ?span:root ~options analysis in
-          match
-            Flex.execute ?span:root ?pool:t.pool ~optimize:t.config.optimize_queries
-              ~metrics:t.metrics ~db:t.db ast
-          with
+      | Error e -> reject t ~root ~base (Errors.Parse_error e)
+      | Ok (Flex_sql.Ast.Query ast) -> (
+        let options = options_for t ~epsilon ~delta in
+        let db, metrics, fingerprint = epoch t in
+        let canon =
+          Span.timed root "canon" (fun _ ->
+              fst (Cache.find_or_compute t.canon_memo ~key:sql (fun () -> Canon.cache_key ast)))
+        in
+        let release_key =
+          Release_store.key ~sql_canonical:canon ~fingerprint
+            ~flags:(release_flags options) ~epsilon ~delta
+        in
+        let replay =
+          match t.release_store with
+          | None -> None
+          | Some store ->
+            Span.timed root "replay" (fun _ -> Release_store.find store release_key)
+        in
+        match replay with
+        | Some (entry : Release_store.entry) ->
+          (* Zero-budget replay: these bytes already left the server for this
+             exact (query, budget, epoch, mechanism), so returning them again
+             is post-processing — no database, RNG or ledger access. *)
+          with_lock t (fun () -> t.replayed <- t.replayed + 1);
+          instr t (fun i -> Registry.Counter.incr i.m_replayed);
+          let max_noise_scale =
+            List.fold_left (fun acc (_, s) -> Float.max acc s) 0.0 entry.noise_scales
+          in
+          let remaining_epsilon, remaining_delta =
+            Option.value ~default:(0.0, 0.0) (Ledger.remaining t.ledger ~analyst)
+          in
+          Audit.log t.audit
+            {
+              (finalize t root { base with cache_hit = true }) with
+              outcome = Audit.Replayed;
+              max_noise_scale;
+            };
+          Wire.Result
+            {
+              columns = entry.columns;
+              rows = entry.rows;
+              epsilon_spent = 0.0;
+              delta_spent = 0.0;
+              remaining_epsilon;
+              remaining_delta;
+              cache_hit = true;
+              cached = true;
+              bins_enumerated = entry.bins_enumerated;
+              noise_scales = entry.noise_scales;
+            }
+        | None -> (
+          let analyzed, cache_hit =
+            analyze_cached t ?span:root ~canon ~fingerprint ~metrics ~options ast
+          in
+          let base = { base with cache_hit } in
+          match analyzed with
           | Error reason -> reject t ~root ~base reason
-          | Ok result_set -> (
-            let n = float_of_int (List.length column_releases) in
-            let cost_eps = epsilon *. n and cost_delta = delta *. n in
-            (* The atomic gate: journal-then-charge before any noisy value
-               exists, so refusal can never follow a release. *)
+          | Ok analysis -> (
+            let column_releases = Flex.smooth_columns ?span:root ~options analysis in
             match
-              Span.timed root "charge" (fun _ ->
-                  Ledger.spend t.ledger ~analyst ~epsilon:cost_eps ~delta:cost_delta
-                    ~label:"flex-query")
+              Flex.execute ?span:root ?pool:t.pool ~optimize:t.config.optimize_queries
+                ~metrics ~db ast
             with
-            | Error (Ledger.Exhausted e) ->
-              with_lock t (fun () -> t.refused <- t.refused + 1);
-              instr t (fun i -> Registry.Counter.incr i.m_refused);
-              Audit.log t.audit { (finalize t root base) with outcome = Audit.Refused };
-              Wire.Refused
-                {
-                  analyst;
-                  requested_epsilon = cost_eps;
-                  requested_delta = cost_delta;
-                  remaining_epsilon = e.remaining_epsilon;
-                  remaining_delta = e.remaining_delta;
-                }
-            | Error err -> Wire.Error_msg (Ledger.error_to_string err)
-            | Ok (remaining_epsilon, remaining_delta) ->
-              let release =
-                Flex.perturb ?span:root ~rng:session.rng ~options ~metrics:t.metrics
-                  ~db:t.db ~analysis ~column_releases result_set
-              in
-              with_lock t (fun () -> t.granted <- t.granted + 1);
-              instr t (fun i -> Registry.Counter.incr i.m_granted);
-              let noise_scales =
-                List.map
-                  (fun (cr : Flex.column_release) -> (cr.name, cr.noise_scale))
-                  release.column_releases
-              in
-              let max_noise_scale =
-                List.fold_left (fun acc (_, s) -> Float.max acc s) 0.0 noise_scales
-              in
-              Audit.log t.audit
-                {
-                  (finalize t root base) with
-                  outcome = Audit.Granted;
-                  epsilon = cost_eps;
-                  delta = cost_delta;
-                  max_noise_scale;
-                };
-              Wire.Result
-                {
-                  columns = release.noisy.columns;
-                  rows =
-                    List.map
-                      (fun row -> List.map Wire.json_of_value (Array.to_list row))
-                      release.noisy.rows;
-                  epsilon_spent = cost_eps;
-                  delta_spent = cost_delta;
-                  remaining_epsilon;
-                  remaining_delta;
-                  cache_hit;
-                  bins_enumerated = release.bins_enumerated;
-                  noise_scales;
-                }))))))
+            | Error reason -> reject t ~root ~base reason
+            | Ok result_set -> (
+              let n = float_of_int (List.length column_releases) in
+              let cost_eps = epsilon *. n and cost_delta = delta *. n in
+              (* The atomic gate: journal-then-charge before any noisy value
+                 exists, so refusal can never follow a release. *)
+              match
+                Span.timed root "charge" (fun _ ->
+                    Ledger.spend t.ledger ~analyst ~epsilon:cost_eps ~delta:cost_delta
+                      ~label:"flex-query")
+              with
+              | Error (Ledger.Exhausted e) ->
+                with_lock t (fun () -> t.refused <- t.refused + 1);
+                instr t (fun i -> Registry.Counter.incr i.m_refused);
+                Audit.log t.audit { (finalize t root base) with outcome = Audit.Refused };
+                Wire.Refused
+                  {
+                    analyst;
+                    requested_epsilon = cost_eps;
+                    requested_delta = cost_delta;
+                    remaining_epsilon = e.remaining_epsilon;
+                    remaining_delta = e.remaining_delta;
+                  }
+              | Error err -> Wire.Error_msg (Ledger.error_to_string err)
+              | Ok (remaining_epsilon, remaining_delta) ->
+                let release =
+                  Flex.perturb ?span:root ~rng:session.rng ~options ~metrics ~db
+                    ~analysis ~column_releases result_set
+                in
+                with_lock t (fun () -> t.granted <- t.granted + 1);
+                instr t (fun i -> Registry.Counter.incr i.m_granted);
+                let noise_scales =
+                  List.map
+                    (fun (cr : Flex.column_release) -> (cr.name, cr.noise_scale))
+                    release.column_releases
+                in
+                (* Journal the release before responding (charge happened
+                   above): a crash after the charge but before the journal
+                   loses an answer nobody ever saw; a crash after the journal
+                   replays this exact entry forever. Either way, no second
+                   noise draw can leave the server for a charged key. If two
+                   sessions raced the same cold key, the store keeps the first
+                   and we respond with whatever it kept. *)
+                let entry =
+                  {
+                    Release_store.key = release_key;
+                    fingerprint;
+                    analyst;
+                    epsilon;
+                    delta;
+                    epsilon_spent = cost_eps;
+                    delta_spent = cost_delta;
+                    columns = release.noisy.columns;
+                    rows =
+                      List.map
+                        (fun row -> List.map Wire.json_of_value (Array.to_list row))
+                        release.noisy.rows;
+                    bins_enumerated = release.bins_enumerated;
+                    noise_scales;
+                  }
+                in
+                let stored =
+                  match t.release_store with
+                  | None -> entry
+                  | Some store -> Release_store.record store entry
+                in
+                let max_noise_scale =
+                  List.fold_left (fun acc (_, s) -> Float.max acc s) 0.0
+                    stored.noise_scales
+                in
+                Audit.log t.audit
+                  {
+                    (finalize t root base) with
+                    outcome = Audit.Granted;
+                    epsilon = cost_eps;
+                    delta = cost_delta;
+                    max_noise_scale;
+                  };
+                Wire.Result
+                  {
+                    columns = stored.columns;
+                    rows = stored.rows;
+                    epsilon_spent = cost_eps;
+                    delta_spent = cost_delta;
+                    remaining_epsilon;
+                    remaining_delta;
+                    cache_hit;
+                    cached = false;
+                    bins_enumerated = stored.bins_enumerated;
+                    noise_scales = stored.noise_scales;
+                  }))))))
 
 (* EXPLAIN is free: it renders plan shapes without touching the database,
    so it is neither charged nor counted as a query. Because it is free, the
@@ -533,7 +668,10 @@ let handle_analyze t ~sql =
   match parse sql with
   | Error reason -> Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
   | Ok ast -> (
-    let analyzed, cache_hit = analyze_cached t ~options ast in
+    let _, metrics, fingerprint = epoch t in
+    let analyzed, cache_hit =
+      analyze_cached t ~canon:(Canon.cache_key ast) ~fingerprint ~metrics ~options ast
+    in
     match analyzed with
     | Error reason ->
       Wire.Rejected { bucket = bucket_string reason; reason = Errors.to_string reason }
@@ -604,6 +742,13 @@ let stats_report t =
   let c = with_lock t (fun () -> (t.queries, t.granted, t.rejected, t.refused)) in
   let queries, granted, rejected, refused = c in
   let uptime = uptime_seconds t in
+  let rs =
+    match t.release_store with
+    | None -> None
+    | Some store -> Some (Release_store.stats store)
+  in
+  let release_hits = match rs with Some s -> s.hits | None -> 0 in
+  let release_misses = match rs with Some s -> s.misses | None -> 0 in
   Wire.Stats_report
     {
       queries;
@@ -613,6 +758,13 @@ let stats_report t =
       cache_hits = Cache.hits t.analysis_cache;
       cache_misses = Cache.misses t.analysis_cache;
       cache_entries = Cache.length t.analysis_cache;
+      release_hits;
+      release_misses;
+      release_evictions =
+        (match rs with Some s -> s.evictions + s.stale_dropped | None -> 0);
+      release_entries = (match rs with Some s -> s.entries | None -> 0);
+      release_hit_rate =
+        float_of_int release_hits /. float_of_int (max 1 (release_hits + release_misses));
       analysts = List.length (Ledger.analysts t.ledger);
       uptime_seconds = uptime;
       qps = float_of_int queries /. uptime;
@@ -642,14 +794,41 @@ let handle_line t session line =
   | Error msg -> Wire.response_to_line (Wire.Error_msg msg)
   | Ok req -> Wire.response_to_line (handle t session req)
 
-type counters = { queries : int; granted : int; rejected : int; refused : int }
+type counters = {
+  queries : int;
+  granted : int;
+  replayed : int;
+  rejected : int;
+  refused : int;
+}
 
 let counters t =
   with_lock t (fun () ->
-      { queries = t.queries; granted = t.granted; rejected = t.rejected; refused = t.refused })
+      {
+        queries = t.queries;
+        granted = t.granted;
+        replayed = t.replayed;
+        rejected = t.rejected;
+        refused = t.refused;
+      })
 
 let cache t = t.analysis_cache
+let release_store t = t.release_store
 let registry t = t.registry
+
+(* Data reload: swap in the new epoch atomically, then strand every stored
+   release minted against the old fingerprint — a replayed answer must never
+   outlive the data it described. Analysis-cache entries are keyed on the
+   fingerprint too and simply stop matching. Returns how many releases were
+   stranded. *)
+let refresh_data t ~db ~metrics =
+  with_lock t (fun () ->
+      t.db <- db;
+      t.metrics <- metrics;
+      t.fingerprint <- Metrics.fingerprint metrics);
+  match t.release_store with
+  | None -> 0
+  | Some store -> Release_store.invalidate_epoch store ~keep:(Metrics.fingerprint metrics)
 
 (* {2 TCP front end} *)
 

@@ -59,11 +59,21 @@ type config = {
           default). Releases are bit-identical either way: telemetry never
           touches the RNG or the result path. Off, the audit log's stage
           timings read zero and {!registry} is [None]. *)
+  release_cache : bool;
+      (** replay finalized noisy releases for identical (query, budget,
+          epoch, mechanism) requests — the DP post-processing freebie: the
+          bytes are already public, so the replay charges {e zero} budget,
+          skips execution and perturbation entirely, and is flagged
+          [cached: true] on the wire plus [Replayed] in the audit log. On by
+          default. Off, every repeat re-executes, draws fresh noise, and is
+          charged again (both are correct accounting; replay is strictly
+          better utility per epsilon for repeat-heavy workloads). *)
 }
 
 val default_config : config
 (** eps 0.1 / delta 1e-8 per query, totals 10.0 / 1e-4, cap 1.0, paper-default
-    optimisation flags, EXPLAIN cardinality annotations off, telemetry on. *)
+    optimisation flags, EXPLAIN cardinality annotations off, telemetry and
+    release replay on. *)
 
 type t
 
@@ -73,6 +83,7 @@ val create :
   ?cache_capacity:int ->
   ?pool:Flex_engine.Task_pool.t ->
   ?registry:Flex_obs.Registry.t ->
+  ?release_store:Release_store.t ->
   db:Database.t ->
   metrics:Metrics.t ->
   ledger:Ledger.t ->
@@ -84,7 +95,11 @@ val create :
     execute sequentially, so concurrent sessions never block each other.
     [registry] lets several servers (or the embedding process) share one
     metrics registry; a fresh one is created otherwise. Ignored when
-    [config.telemetry] is false. *)
+    [config.telemetry] is false. [release_store] supplies a (typically
+    journaled, see {!Release_store.open_}) store of past releases; with
+    [config.release_cache] and no store given, a fresh in-memory one is
+    created; with [config.release_cache] false, any given store is ignored
+    and nothing is ever replayed. *)
 
 type session
 
@@ -101,7 +116,8 @@ val handle_line : t -> session -> string -> string
 
 type counters = {
   queries : int;  (** Query requests seen *)
-  granted : int;
+  granted : int;  (** charged releases ({e excludes} replays) *)
+  replayed : int;  (** zero-budget replays from the release store *)
   rejected : int;
   refused : int;
 }
@@ -109,9 +125,19 @@ type counters = {
 val counters : t -> counters
 val cache : t -> (Flex_core.Elastic.analysis, Flex_core.Errors.reason) result Cache.t
 
+val release_store : t -> Release_store.t option
+(** The server's release store ([None] when [config.release_cache] is off). *)
+
 val registry : t -> Flex_obs.Registry.t option
 (** The server's metrics registry ([None] when telemetry is off) — what
     [Stats] snapshots and the [--stats-port] HTTP endpoint scrapes. *)
+
+val refresh_data : t -> db:Database.t -> metrics:Metrics.t -> int
+(** Swap in a new data epoch atomically (new database handle + metrics,
+    hence a new fingerprint) and strand every stored release minted against
+    the old epoch — a replayed answer must never outlive the data it
+    described. Returns the number of releases stranded. In-flight requests
+    finish against whichever epoch they snapshotted at admission. *)
 
 (** {2 TCP front end} *)
 

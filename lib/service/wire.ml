@@ -28,6 +28,7 @@ type response =
       remaining_epsilon : float;
       remaining_delta : float;
       cache_hit : bool;
+      cached : bool;
       bins_enumerated : bool;
       noise_scales : (string * float) list;
     }
@@ -64,6 +65,11 @@ type response =
       cache_hits : int;
       cache_misses : int;
       cache_entries : int;
+      release_hits : int;
+      release_misses : int;
+      release_evictions : int;
+      release_entries : int;
+      release_hit_rate : float;
       analysts : int;
       uptime_seconds : float;
       qps : float;
@@ -104,6 +110,24 @@ let get_opt_num key j =
     match Json.to_num v with
     | Some f -> Ok (Some f)
     | None -> Error (Printf.sprintf "non-number field %S" key))
+
+(* fields added after an op shipped decode with a default, so a newer client
+   still understands an older server's responses *)
+let get_int_default key ~default j =
+  match Json.mem key j with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+    match Json.to_int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "non-integer field %S" key))
+
+let get_bool_default key ~default j =
+  match Json.mem key j with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+    match Json.to_bool v with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "non-boolean field %S" key))
 
 let ( let* ) = Result.bind
 
@@ -162,6 +186,7 @@ let response_to_json = function
         ("remaining_epsilon", Json.num r.remaining_epsilon);
         ("remaining_delta", Json.num r.remaining_delta);
         ("cache_hit", Json.bool r.cache_hit);
+        ("cached", Json.bool r.cached);
         ("bins_enumerated", Json.bool r.bins_enumerated);
         ( "noise_scales",
           Json.List
@@ -234,6 +259,11 @@ let response_to_json = function
         ("cache_hits", Json.int s.cache_hits);
         ("cache_misses", Json.int s.cache_misses);
         ("cache_entries", Json.int s.cache_entries);
+        ("release_hits", Json.int s.release_hits);
+        ("release_misses", Json.int s.release_misses);
+        ("release_evictions", Json.int s.release_evictions);
+        ("release_entries", Json.int s.release_entries);
+        ("release_hit_rate", Json.num s.release_hit_rate);
         ("analysts", Json.int s.analysts);
         ("uptime_seconds", Json.num s.uptime_seconds);
         ("qps", Json.num s.qps);
@@ -274,6 +304,8 @@ let response_of_json j =
     let* remaining_epsilon = get_num "remaining_epsilon" j in
     let* remaining_delta = get_num "remaining_delta" j in
     let* cache_hit = get_bool "cache_hit" j in
+    (* added with the release store; older servers never replay *)
+    let* cached = get_bool_default "cached" ~default:false j in
     let* bins_enumerated = get_bool "bins_enumerated" j in
     let* noise_scales =
       match Option.bind (Json.mem "noise_scales" j) Json.to_list with
@@ -298,6 +330,7 @@ let response_of_json j =
            remaining_epsilon;
            remaining_delta;
            cache_hit;
+           cached;
            bins_enumerated;
            noise_scales;
          })
@@ -365,6 +398,14 @@ let response_of_json j =
     let* cache_hits = get_int "cache_hits" j in
     let* cache_misses = get_int "cache_misses" j in
     let* cache_entries = get_int "cache_entries" j in
+    (* release-cache counters shipped after the op: an older server simply
+       has no release store, which zeros render faithfully *)
+    let* release_hits = get_int_default "release_hits" ~default:0 j in
+    let* release_misses = get_int_default "release_misses" ~default:0 j in
+    let* release_evictions = get_int_default "release_evictions" ~default:0 j in
+    let* release_entries = get_int_default "release_entries" ~default:0 j in
+    let* release_hit_rate = get_opt_num "release_hit_rate" j in
+    let release_hit_rate = Option.value release_hit_rate ~default:0.0 in
     let* analysts = get_int "analysts" j in
     (* uptime_seconds / qps / metrics arrived after the op itself: default
        them so an updated client still decodes an older server's report *)
@@ -383,6 +424,11 @@ let response_of_json j =
            cache_hits;
            cache_misses;
            cache_entries;
+           release_hits;
+           release_misses;
+           release_evictions;
+           release_entries;
+           release_hit_rate;
            analysts;
            uptime_seconds;
            qps;

@@ -33,7 +33,12 @@ type response =
       delta_spent : float;
       remaining_epsilon : float;
       remaining_delta : float;
-      cache_hit : bool;
+      cache_hit : bool;  (** the sensitivity analysis was memoized *)
+      cached : bool;
+          (** the whole release was replayed from the release store: same
+              bytes as the first answer for this (query, budget, epoch),
+              zero additional budget ([epsilon_spent] = 0). Decodes to
+              [false] from older servers that never replay. *)
       bins_enumerated : bool;
       noise_scales : (string * float) list;
     }
@@ -73,6 +78,13 @@ type response =
       cache_hits : int;
       cache_misses : int;
       cache_entries : int;
+      release_hits : int;  (** release-store replays served *)
+      release_misses : int;
+      release_evictions : int;
+          (** capacity + stale-epoch drops; all release_* fields decode to 0
+              from older servers without a release store *)
+      release_entries : int;
+      release_hit_rate : float;
       analysts : int;
       uptime_seconds : float;
       qps : float;

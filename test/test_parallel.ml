@@ -396,7 +396,11 @@ let service_tests =
                 let ledger = Ledger.in_memory () in
                 ignore (Ledger.register ledger ~analyst:"team" ~epsilon:6.0 ~delta:1e-4);
                 let server =
-                  Server.create ~pool ~db ~metrics ~ledger ~rng:(Rng.create ~seed:5 ()) ()
+                  (* replay off: every repeat must be charged for the exact
+                     24-grant count to hold *)
+                  Server.create
+                    ~config:{ Server.default_config with release_cache = false }
+                    ~pool ~db ~metrics ~ledger ~rng:(Rng.create ~seed:5 ()) ()
                 in
                 let granted = Atomic.make 0 and refused = Atomic.make 0 in
                 let client () =

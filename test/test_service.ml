@@ -115,6 +115,7 @@ let gen_response =
          let* e = gen_pos_float and* d = gen_pos_float in
          let* re = gen_pos_float and* rd = gen_pos_float in
          let* cache_hit = bool and* bins_enumerated = bool in
+         let* cached = bool in
          let* noise_scales = gen_scales in
          return
            (Wire.Result
@@ -126,6 +127,7 @@ let gen_response =
                 remaining_epsilon = re;
                 remaining_delta = rd;
                 cache_hit;
+                cached;
                 bins_enumerated;
                 noise_scales;
               }));
@@ -178,6 +180,10 @@ let gen_response =
          let* rejected = int_range 0 100 and* refused = int_range 0 100 in
          let* cache_hits = int_range 0 100 and* cache_misses = int_range 0 100 in
          let* cache_entries = int_range 0 100 and* analysts = int_range 0 100 in
+         let* release_hits = int_range 0 100 and* release_misses = int_range 0 100 in
+         let* release_evictions = int_range 0 100 in
+         let* release_entries = int_range 0 100 in
+         let* release_hit_rate = gen_pos_float in
          let* uptime_seconds = gen_pos_float and* qps = gen_pos_float in
          let* metrics =
            oneofl
@@ -205,6 +211,11 @@ let gen_response =
                 cache_hits;
                 cache_misses;
                 cache_entries;
+                release_hits;
+                release_misses;
+                release_evictions;
+                release_entries;
+                release_hit_rate;
                 analysts;
                 uptime_seconds;
                 qps;
@@ -465,7 +476,11 @@ let server_tests =
         Alcotest.(check int) "rejected counted" 4 c.rejected);
     Alcotest.test_case "over-budget requests get a typed refusal, never an answer" `Quick
       (fun () ->
-        let config = { Server.default_config with analyst_epsilon = 0.25 } in
+        (* replay off: the repeat must reach the ledger to be refused, not be
+           served for free from the release store *)
+        let config =
+          { Server.default_config with analyst_epsilon = 0.25; release_cache = false }
+        in
         let server, _ = make_server ~config () in
         let session = Server.session server in
         hello server session "bob";
@@ -554,7 +569,12 @@ let tcp_tests =
           let ledger = Ledger.open_ path in
           ignore (Ledger.register ledger ~analyst:"team" ~epsilon:6.0 ~delta:1e-4);
           let server =
-            Server.create ~db ~metrics ~ledger ~rng:(Rng.create ~seed:5 ()) ()
+            (* replay off: this test is about charged repeats racing the
+               ledger; the zero-budget replay path has its own conservation
+               tests in test_release_store.ml *)
+            Server.create
+              ~config:{ Server.default_config with release_cache = false }
+              ~db ~metrics ~ledger ~rng:(Rng.create ~seed:5 ()) ()
           in
           let listener = Server.listen server in
           let _ = Server.start listener in
