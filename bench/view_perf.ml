@@ -1,0 +1,257 @@
+(* Tracked noisy-materialized-view benchmark: what core/suffix factoring buys
+   a dashboard workload.
+
+     dune exec bench/view_perf.exe                -- writes BENCH_views.json
+     dune exec bench/view_perf.exe -- --out FILE  -- choose the output path
+     dune exec bench/view_perf.exe -- --smoke     -- tiny sizes, gates only
+
+   One paid release of a query's core answers every suffix variant of it —
+   HAVING, ORDER BY/LIMIT, projection arithmetic — by post-processing the
+   stored noisy histogram: no scan, no fresh noise, no ledger charge. Per
+   core the benchmark pays for the release once, then drives the derived
+   variants and reads per-request timings from the audit log.
+
+   Gates (smoke mode included): every variant must come back [cached] and
+   [derived] with exactly zero epsilon and delta, the always-true-HAVING
+   variant must release the same bytes as the core, and the median derived
+   answer must be >= 10x faster end-to-end than its cold release. *)
+
+module Rng = Flex_dp.Rng
+module Ledger = Flex_dp.Ledger
+module W = Flex_workload
+module Server = Flex_service.Server
+module Wire = Flex_service.Wire
+module Json = Flex_service.Json
+module Audit = Flex_service.Audit
+
+let smoke = ref false
+let out_path = ref "BENCH_views.json"
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--out" :: path :: rest ->
+      out_path := path;
+      parse rest
+    | arg :: rest ->
+      Fmt.epr "warning: ignoring argument %s@." arg;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* --------------------------------------------------------------- workload *)
+
+type view = { name : string; core : string; variants : string list }
+
+(* the first variant of each view is the always-true HAVING: its answer must
+   be byte-identical to the core's, which pins the derivation to the stored
+   release rather than to a fresh execution *)
+let views =
+  [
+    {
+      name = "histogram";
+      core = "SELECT t.status, COUNT(*) FROM trips t GROUP BY t.status";
+      variants =
+        [
+          "SELECT t.status, COUNT(*) FROM trips t GROUP BY t.status HAVING \
+           COUNT(*) > -1000000";
+          "SELECT t.status, COUNT(*) FROM trips t GROUP BY t.status ORDER BY 2 \
+           DESC LIMIT 2";
+          "SELECT t.status, COUNT(*) * 100 FROM trips t GROUP BY t.status \
+           ORDER BY t.status";
+        ];
+    };
+    {
+      name = "join_histogram";
+      core =
+        "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id \
+         GROUP BY c.name";
+      variants =
+        [
+          "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = \
+           c.id GROUP BY c.name HAVING COUNT(*) > -1000000";
+          "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = \
+           c.id GROUP BY c.name ORDER BY 2 DESC LIMIT 3";
+          "SELECT z.name AS city, COUNT(*) * 2 + 1 AS scaled FROM trips y JOIN \
+           cities z ON y.city_id = z.id GROUP BY z.name ORDER BY scaled DESC";
+        ];
+    };
+  ]
+
+(* ---------------------------------------------------------------- harness *)
+
+let make_server ?(seed = 42) ~audit (db, metrics) =
+  let config =
+    { Server.default_config with analyst_epsilon = 1e9; analyst_delta = 0.5 }
+  in
+  Server.create ~audit ~config ~db ~metrics ~ledger:(Ledger.in_memory ())
+    ~rng:(Rng.create ~seed ()) ()
+
+let hello server session analyst =
+  match
+    Server.handle server session (Wire.Hello { analyst; epsilon = None; delta = None })
+  with
+  | Wire.Budget_report _ -> ()
+  | other -> Fmt.failwith "hello failed: %s" (Wire.response_to_line other)
+
+(* (cached, derived, epsilon+delta spent, rows as one canonical string) *)
+let run_query server session sql =
+  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None }) with
+  | Wire.Result r ->
+    ( r.cached,
+      r.derived,
+      r.epsilon_spent +. r.delta_spent,
+      Json.to_string (Json.List (List.map (fun row -> Json.List row) r.rows)) )
+  | other -> Fmt.failwith "query failed: %s" (Wire.response_to_line other)
+
+let field j name =
+  match Option.bind (Json.mem name j) Json.to_num with
+  | Some v -> v
+  | None -> Fmt.failwith "audit event missing %s" name
+
+let audit_events buf =
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+  |> List.map Json.of_string_exn
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(* -------------------------------------------------------------- sections *)
+
+type report = { view : string; cold_ns : float; derived_ns : float; speedup : float }
+
+(* pay for the core once, then hammer the suffix variants; timings come from
+   the audit log so they are the pipeline's own, not the harness's *)
+let bench_view fixture repeats v =
+  let buf = Buffer.create 4096 in
+  let server = make_server ~audit:(Audit.to_buffer buf) fixture in
+  let session = Server.session server in
+  hello server session "bench";
+  let cold_cached, _, _, core_rows = run_query server session v.core in
+  if cold_cached then Fmt.failwith "%s: cold core was already cached" v.name;
+  List.iteri
+    (fun i sql ->
+      for _ = 1 to repeats do
+        let cached, derived, spent, rows = run_query server session sql in
+        if not (cached && derived) then
+          Fmt.failwith "%s: variant %d was not derived from the store" v.name i;
+        if spent <> 0.0 then
+          Fmt.failwith "%s: variant %d charged budget %g" v.name i spent;
+        if i = 0 && rows <> core_rows then
+          Fmt.failwith "%s: always-true HAVING released different bytes" v.name
+      done)
+    v.variants;
+  let outcome o j = Option.bind (Json.mem "outcome" j) Json.to_str = Some o in
+  let totals o =
+    List.filter_map
+      (fun j -> if outcome o j then Some (field j "total_ns") else None)
+      (audit_events buf)
+  in
+  let cold_ns =
+    match totals "granted" with
+    | [ t ] -> t
+    | ts -> Fmt.failwith "%s: expected one grant, saw %d" v.name (List.length ts)
+  in
+  let derived_ns = median (totals "derived") in
+  let speedup = cold_ns /. Float.max derived_ns 1.0 in
+  if speedup < 10.0 then
+    Fmt.failwith "view gate: %s derived %.0f ns vs %.0f ns cold is only %.1fx (need 10x)"
+      v.name derived_ns cold_ns speedup;
+  { view = v.name; cold_ns; derived_ns; speedup }
+
+(* the dashboard: several sessions refreshing every variant of every view
+   against one warm server — all store hits, none of them exact replays *)
+let bench_dashboard fixture ~threads ~per_thread =
+  let server = make_server ~audit:(Audit.null ()) fixture in
+  let prime = Server.session server in
+  hello server prime "prime";
+  List.iter (fun v -> ignore (run_query server prime v.core)) views;
+  let worker i =
+    let session = Server.session server in
+    hello server session (Fmt.str "dash-%d" i);
+    for _ = 1 to per_thread do
+      List.iter
+        (fun v -> List.iter (fun sql -> ignore (run_query server session sql)) v.variants)
+        views
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let ts = List.init threads (fun i -> Thread.create worker i) in
+  List.iter Thread.join ts;
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let queries =
+    threads * per_thread
+    * List.fold_left (fun acc v -> acc + List.length v.variants) 0 views
+  in
+  let c = Server.counters server in
+  if c.derived <> queries then
+    Fmt.failwith "dashboard: %d derived answers for %d variant queries" c.derived
+      queries;
+  (queries, wall_ns)
+
+(* -------------------------------------------------------------------- main *)
+
+let () =
+  let sizes = if !smoke then W.Uber.small_sizes else W.Uber.default_sizes in
+  (* enough derived samples that one scheduler hiccup cannot drag the
+     median over the gate even at smoke sizes *)
+  let repeats = if !smoke then 9 else 21 in
+  let threads = if !smoke then 2 else 4 in
+  let per_thread = if !smoke then 2 else 25 in
+  let fixture = W.Uber.generate ~sizes (Rng.create ~seed:7 ()) in
+  Fmt.pr "flex noisy-view benchmark (median of %d derived repeats per variant)@."
+    repeats;
+  Fmt.pr "  %-16s %12s %12s %9s@." "view" "cold ns" "derived ns" "speedup";
+  (* a timing gate on shared CI hardware gets three attempts: scheduler noise
+     passes on retry, a real regression fails all three *)
+  let rec gated v attempts =
+    try bench_view fixture repeats v
+    with Failure msg when attempts > 1 ->
+      Fmt.pr "  (view gate retry: %s)@." msg;
+      gated v (attempts - 1)
+  in
+  let reports =
+    List.map
+      (fun v ->
+        let r = gated v 3 in
+        Fmt.pr "  %-16s %12.0f %12.0f %8.0fx@." r.view r.cold_ns r.derived_ns r.speedup;
+        r)
+      views
+  in
+  let queries, wall_ns = bench_dashboard fixture ~threads ~per_thread in
+  let qps = float_of_int queries /. (wall_ns /. 1e9) in
+  Fmt.pr "  dashboard: %d derived queries over %d threads in %.1f ms (%.0f q/s)@."
+    queries threads (wall_ns /. 1e6) qps;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"benchmark\": \"flex-views\",\n  \"unit\": \"ns\",\n";
+  Buffer.add_string b (Fmt.str "  \"smoke\": %b,\n  \"views\": [\n" !smoke);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Fmt.str
+           "    {\"view\": %S, \"cold_ns\": %.0f, \"derived_ns\": %.0f, \
+            \"derived_speedup\": %.1f, \"zero_budget\": true}"
+           r.view r.cold_ns r.derived_ns r.speedup))
+    reports;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Fmt.str
+       "  \"dashboard\": {\"threads\": %d, \"queries\": %d, \"wall_ns\": %.0f, \
+        \"queries_per_sec\": %.0f, \"all_derived\": true}\n"
+       threads queries wall_ns qps);
+  Buffer.add_string b "}\n";
+  let json = Buffer.contents b in
+  (match Json.of_string json with
+  | Ok _ -> ()
+  | Error e -> Fmt.failwith "generated JSON is malformed: %s" e);
+  let oc = open_out !out_path in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote %s@." !out_path

@@ -60,7 +60,9 @@ let print_response (resp : Wire.response) =
     Fmt.pr "# analysis cache %s%s@."
       (if r.cache_hit then "hit" else "miss")
       (if r.bins_enumerated then "; histogram bins enumerated" else "");
-    if r.cached then
+    if r.derived then
+      Fmt.pr "# derived from a stored release by post-processing (zero additional budget)@."
+    else if r.cached then
       Fmt.pr "# replayed from the release store (zero additional budget)@."
   | Analysis a ->
     Fmt.pr "histogram query: %b; joins: %d; analysis cache %s@." a.is_histogram a.joins

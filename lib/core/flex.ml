@@ -210,6 +210,71 @@ let perturb ?span ~rng ~options:opts ~metrics ~db ~analysis ~column_releases tru
     bins_enumerated;
   }
 
+(* Stage 5 — post-processing over a stored noisy release: the materialized-
+   view read path. The released histogram is public once paid for, so the
+   suffix {!Flex_sql.Factor} split off — HAVING over the noisy cells, ORDER
+   BY/LIMIT, projection arithmetic — evaluates here without touching the
+   database, the RNG or any budget. Expressions compile through the engine's
+   own evaluator ({!Flex_engine.Compiled} over {!Flex_engine.Eval}), so
+   arithmetic, 3-valued logic and the ORDER BY total order (Value.compare,
+   NULL first, stable via index tiebreak) are exactly the execution
+   semantics. *)
+let post_process (sx : Flex_sql.Factor.suffix) ~(columns : string list)
+    (rows : Value.t array list) : Executor.result_set =
+  let headers =
+    Array.of_list
+      (List.map (fun name -> { Flex_engine.Compiled.alias = None; name }) columns)
+  in
+  let subquery : Flex_engine.Compiled.subquery =
+   fun _ _ -> raise (Flex_engine.Compiled.Error "subquery in post-processing suffix")
+  in
+  let compile e = Flex_engine.Compiled.compile ~subquery ~headers ~outer:[] e in
+  let kept =
+    match sx.Flex_sql.Factor.having with
+    | None -> rows
+    | Some h ->
+      let f = compile h in
+      List.filter (fun r -> Flex_engine.Eval.is_truthy (f r)) rows
+  in
+  let kept = Array.of_list kept in
+  let order =
+    match sx.Flex_sql.Factor.order_by with
+    | [] -> Array.init (Array.length kept) Fun.id
+    | keys ->
+      let cols =
+        List.map (fun (e, dir) -> (Array.map (compile e) kept, dir)) keys
+      in
+      let idx = Array.init (Array.length kept) Fun.id in
+      let cmp a b =
+        let rec go = function
+          | [] -> compare (a : int) b
+          | (col, dir) :: rest ->
+            let c = Value.compare col.(a) col.(b) in
+            let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+            if c <> 0 then c else go rest
+        in
+        go cols
+      in
+      Array.sort cmp idx;
+      idx
+  in
+  let off = max 0 (Option.value sx.Flex_sql.Factor.offset ~default:0) in
+  let take =
+    let avail = max 0 (Array.length order - off) in
+    match sx.Flex_sql.Factor.limit with
+    | None -> avail
+    | Some l -> min avail (max 0 l)
+  in
+  let out_fns =
+    Array.of_list (List.map (fun (e, _) -> compile e) sx.Flex_sql.Factor.outputs)
+  in
+  let out_rows =
+    List.init take (fun k ->
+        let r = kept.(order.(off + k)) in
+        Array.map (fun f -> f r) out_fns)
+  in
+  { Executor.columns = List.map snd sx.Flex_sql.Factor.outputs; rows = out_rows }
+
 let run ?budget ?pool ?optimize ~rng ~options:opts ~db ~metrics (q : Ast.query) :
     (release, Errors.reason) result =
   match analyze_ast ~options:opts ~metrics q with

@@ -130,6 +130,22 @@ val perturb :
 (** Stage 4: histogram bin enumeration (§4) plus Laplace/Cauchy noise on
     every aggregate cell. *)
 
+val post_process :
+  Flex_sql.Factor.suffix ->
+  columns:string list ->
+  Flex_engine.Value.t array list ->
+  Executor.result_set
+(** Stage 5 — the materialized-view read path: evaluate a post-processing
+    suffix ({!Flex_sql.Factor}) over the rows of a stored noisy release whose
+    columns are [columns] ([_k0..]/[_a0..]). HAVING filters the noisy cells
+    under 3-valued logic, ORDER BY sorts with the engine's [Value.compare]
+    total order (stable; positional/alias references were already resolved by
+    the factoring), OFFSET/LIMIT slice, and the projection expressions are
+    evaluated through the engine's own compiler, so arithmetic over released
+    aggregates matches execution semantics bit for bit. Touches no database,
+    no RNG and no budget: by the post-processing theorem the result costs
+    epsilon = delta = 0 beyond what the core already paid. *)
+
 val run :
   ?budget:Budget.t ->
   ?pool:Task_pool.t ->

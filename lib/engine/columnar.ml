@@ -894,6 +894,90 @@ let materialize ctx (slab : slab) (proj : int array) ~(order : int array option)
     | Some parts -> Vec.of_arrays parts
   end
   else begin
+    (* Wide projections (the equijoin SELECT-* shape) materialise
+       column-at-a-time from the selection vectors: gather each source
+       table's physical row indices for the output window once, then fill
+       each output column with a tight loop over the chunk's typed array.
+       Ints/Floats box straight off the flat array (the same bits the row
+       holds, and a sequential read instead of a pointer chase through
+       scattered row arrays); Strings share one pre-boxed Value per
+       dictionary entry, so repeated join keys allocate nothing; Boxed and
+       mixed columns keep reading through the rows. Results are structurally
+       identical to the row path — same values, same order. *)
+    let boxed_dicts : (int * int, Value.t array) Hashtbl.t = Hashtbl.create 4 in
+    Array.iter
+      (fun ci ->
+        let t = ctx.col_tbl.(ci) and off = ctx.col_off.(ci) in
+        if not (Hashtbl.mem boxed_dicts (t, off)) then
+          match (ctx.chunks.(t).Chunk.cols.(off)).Chunk.data with
+          | Chunk.Strings s ->
+              (* boxed on the coordinating thread, before any worker reads *)
+              Hashtbl.add boxed_dicts (t, off)
+                (Array.map (fun v -> Value.String v) s.Chunk.dict)
+          | _ -> ())
+      proj;
+    let fill_cols phys_of lo hi =
+      let cnt = hi - lo in
+      let out = Array.init cnt (fun _ -> Array.make w Value.Null) in
+      let pi_cache : (int, int array) Hashtbl.t = Hashtbl.create 4 in
+      let phys_idx t =
+        match Hashtbl.find_opt pi_cache t with
+        | Some pi -> pi
+        | None ->
+            let pi : int array = phys_of t lo hi in
+            Hashtbl.add pi_cache t pi;
+            pi
+      in
+      for j = 0 to w - 1 do
+        let ci = proj.(j) in
+        let t = ctx.col_tbl.(ci) and off = ctx.col_off.(ci) in
+        let pi = phys_idx t in
+        let chunk = ctx.chunks.(t) in
+        let col = chunk.Chunk.cols.(off) in
+        match (col.Chunk.data, col.Chunk.nulls) with
+        | Chunk.Ints a, None ->
+            for k = 0 to cnt - 1 do
+              out.(k).(j) <- Value.Int a.(pi.(k))
+            done
+        | Chunk.Ints a, Some nu ->
+            for k = 0 to cnt - 1 do
+              let i = pi.(k) in
+              out.(k).(j) <- (if nu.(i) then Value.Null else Value.Int a.(i))
+            done
+        | Chunk.Floats a, None ->
+            for k = 0 to cnt - 1 do
+              out.(k).(j) <- Value.Float a.(pi.(k))
+            done
+        | Chunk.Floats a, Some nu ->
+            for k = 0 to cnt - 1 do
+              let i = pi.(k) in
+              out.(k).(j) <- (if nu.(i) then Value.Null else Value.Float a.(i))
+            done
+        | Chunk.Strings s, _ ->
+            (* codes carry NULL as -1, so the nulls mask is already folded in *)
+            let boxed = Hashtbl.find boxed_dicts (t, off) in
+            for k = 0 to cnt - 1 do
+              let c = s.Chunk.codes.(pi.(k)) in
+              out.(k).(j) <- (if c < 0 then Value.Null else boxed.(c))
+            done
+        | Chunk.Boxed, _ ->
+            let rows = chunk.Chunk.rows in
+            for k = 0 to cnt - 1 do
+              out.(k).(j) <- rows.(pi.(k)).(off)
+            done
+      done;
+      out
+    in
+    let phys_direct t lo hi =
+      match map_of slab t with
+      | None -> Array.init (hi - lo) (fun k -> start + lo + k)
+      | Some m -> Array.init (hi - lo) (fun k -> m.(start + lo + k))
+    in
+    let phys_ordered o t lo hi =
+      match map_of slab t with
+      | None -> Array.init (hi - lo) (fun k -> o.(start + lo + k))
+      | Some m -> Array.init (hi - lo) (fun k -> m.(o.(start + lo + k)))
+    in
     (* No ORDER BY: read output rows straight through the lazy maps — no
        per-window gather arrays, just one bounds-free int indirection per
        cell. The per-column [match] on the map is a predictable branch. *)
@@ -927,21 +1011,7 @@ let materialize ctx (slab : slab) (proj : int array) ~(order : int array option)
                 (match m1 with None -> rows1.(i) | Some m -> rows1.(m.(i))).(o1);
                 (match m2 with None -> rows2.(i) | Some m -> rows2.(m.(i))).(o2);
               |])
-      | _ ->
-          let out = Array.init cnt (fun _ -> Array.make w Value.Null) in
-          for j = 0 to w - 1 do
-            let rows, mj, off = src j in
-            match mj with
-            | None ->
-                for k = 0 to cnt - 1 do
-                  out.(k).(j) <- rows.(start + lo + k).(off)
-                done
-            | Some m ->
-                for k = 0 to cnt - 1 do
-                  out.(k).(j) <- rows.(m.(start + lo + k)).(off)
-                done
-          done;
-          out
+      | _ -> fill_cols phys_direct lo hi
     in
     (* ORDER BY: gather each source table's row pointers for the output
        window first (monomorphic loops over the order/map variants), then
@@ -975,15 +1045,7 @@ let materialize ctx (slab : slab) (proj : int array) ~(order : int array option)
           let rp1 = row_ptrs ctx.col_tbl.(c1) and o1 = ctx.col_off.(c1) in
           let rp2 = row_ptrs ctx.col_tbl.(c2) and o2 = ctx.col_off.(c2) in
           Array.init cnt (fun k -> [| rp0.(k).(o0); rp1.(k).(o1); rp2.(k).(o2) |])
-      | _ ->
-          let out = Array.init cnt (fun _ -> Array.make w Value.Null) in
-          for j = 0 to w - 1 do
-            let rp = row_ptrs ctx.col_tbl.(proj.(j)) and off = ctx.col_off.(proj.(j)) in
-            for k = 0 to cnt - 1 do
-              out.(k).(j) <- rp.(k).(off)
-            done
-          done;
-          out
+      | _ -> fill_cols (phys_ordered o) lo hi
     in
     let chunkf =
       match order with None -> chunkf_direct | Some o -> chunkf_ordered o

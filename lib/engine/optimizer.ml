@@ -1220,6 +1220,36 @@ let rewrite ?metrics (p : Plan.t) : Plan.t =
 
 let plan ?metrics (q : Ast.query) : Plan.t = rewrite ?metrics (Plan.of_query q)
 
+(* When the query factors into a releasable core plus a post-processing
+   suffix, the cheapest "plan" of all may be no execution: a release-store
+   hit on the core answers the query from the stored noisy histogram. The
+   planner itself cannot take that path (the store lives in the service
+   layer), but EXPLAIN surfaces the shape so an operator can see which
+   dashboard variants will coalesce onto one paid core. *)
+let derivable_note (q : Ast.query) : string option =
+  match Flex_sql.Factor.factor q with
+  | None -> None
+  | Some f when not (Flex_sql.Factor.trivial f) ->
+    let sx = f.Flex_sql.Factor.suffix in
+    let parts =
+      List.filter_map Fun.id
+        [
+          (if sx.Flex_sql.Factor.having <> None then Some "having" else None);
+          (if sx.Flex_sql.Factor.order_by <> [] then Some "order by" else None);
+          (if sx.Flex_sql.Factor.limit <> None || sx.Flex_sql.Factor.offset <> None
+           then Some "limit"
+           else None);
+          Some "projection";
+        ]
+    in
+    Some
+      (Printf.sprintf
+         "derivable: %d-key/%d-aggregate core + post-processing suffix (%s) — \
+          answerable from a stored release at zero budget"
+         f.Flex_sql.Factor.n_group_keys f.Flex_sql.Factor.n_aggregates
+         (String.concat ", " parts))
+  | Some _ -> None
+
 let explain ?metrics ?(estimates = true) (q : Ast.query) : string * string =
   let logical = Plan.of_query q in
   let optimized = rewrite ?metrics logical in
@@ -1230,4 +1260,9 @@ let explain ?metrics ?(estimates = true) (q : Ast.query) : string * string =
   let render p =
     if estimates then Plan.render ~est:(estimator ?metrics p) p else Plan.to_string p
   in
-  (render logical, render optimized)
+  let logical_s =
+    match derivable_note q with
+    | None -> render logical
+    | Some note -> render logical ^ "\n" ^ note
+  in
+  (logical_s, render optimized)

@@ -51,4 +51,10 @@ val explain : ?metrics:Metrics.t -> ?estimates:bool -> Ast.query -> string * str
     because the estimates are seeded from exact private-table row counts
     ({!Metrics.row_count}) and would otherwise disclose them for free. The
     rewrite itself still uses [?metrics] either way, so the rendered optimized
-    shape matches what executes. *)
+    shape matches what executes.
+
+    When the query factors ({!Flex_sql.Factor}) into a releasable core plus a
+    nontrivial post-processing suffix, the logical rendering gains a trailing
+    [derivable: ...] line naming the core shape and the suffix clauses — the
+    shape the service layer can answer from a stored release at zero budget
+    instead of executing at all. *)

@@ -1,4 +1,11 @@
-type outcome = Granted | Replayed | Rejected of string | Refused | Failed | Analyzed
+type outcome =
+  | Granted
+  | Replayed
+  | Derived
+  | Rejected of string
+  | Refused
+  | Failed
+  | Analyzed
 
 type event = {
   analyst : string;
@@ -55,6 +62,7 @@ let rotate (f : file_sink) =
 let outcome_fields = function
   | Granted -> [ ("outcome", Json.str "granted") ]
   | Replayed -> [ ("outcome", Json.str "replayed") ]
+  | Derived -> [ ("outcome", Json.str "derived") ]
   | Rejected bucket -> [ ("outcome", Json.str "rejected"); ("bucket", Json.str bucket) ]
   | Refused -> [ ("outcome", Json.str "refused") ]
   | Failed -> [ ("outcome", Json.str "failed") ]

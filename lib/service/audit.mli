@@ -9,6 +9,13 @@ type outcome =
       (** served bit-identically from the release store — zero budget
           charged; the replay of a public value is still a data access
           worth recording *)
+  | Derived
+      (** answered by post-processing a stored release (noisy materialized
+          view): the request's core hit the store and its HAVING/ORDER
+          BY/LIMIT/projection suffix was evaluated over the stored noisy
+          rows — zero budget, no database or RNG access, but a distinct
+          outcome from {!Replayed} so operators can tell exact replay from
+          view-based derivation *)
   | Rejected of string  (** §5.1 bucket: parse / unsupported / other *)
   | Refused  (** budget refusal *)
   | Failed  (** internal error after admission *)

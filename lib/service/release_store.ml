@@ -3,6 +3,8 @@
    every operation is a few hashtable probes, so the critical sections are
    far shorter than the pipeline work they replace. *)
 
+module Value = Flex_engine.Value
+
 type entry = {
   key : string;
   fingerprint : string;
@@ -12,7 +14,7 @@ type entry = {
   epsilon_spent : float;
   delta_spent : float;
   columns : string list;
-  rows : Json.t list list;
+  rows : Value.t array list;
   bins_enumerated : bool;
   noise_scales : (string * float) list;
 }
@@ -63,6 +65,39 @@ let key ~sql_canonical ~fingerprint ~flags ~epsilon ~delta =
 
 (* --- journal lines --------------------------------------------------------- *)
 
+(* Cells journal in a typed encoding so replay and post-processing see the
+   exact runtime value. Int cannot round-trip through a JSON number (63-bit
+   counts would lose low bits), so it is tagged with its decimal rendering;
+   Float keeps the round-trip "%.17g" of [Json.num]. Bare JSON scalars are
+   still accepted on decode for journals written before the tagging existed:
+   those only ever held wire cells, where an integral number was an Int. *)
+let json_of_cell : Value.t -> Json.t = function
+  | Value.Null -> Json.Null
+  | Value.Bool b -> Json.bool b
+  | Value.String s -> Json.str s
+  | Value.Int i -> Json.Obj [ ("i", Json.str (string_of_int i)) ]
+  | Value.Float f -> Json.Obj [ ("f", Json.num f) ]
+
+let cell_of_json : Json.t -> (Value.t, string) result = function
+  | Json.Null -> Ok Value.Null
+  | Json.Bool b -> Ok (Value.Bool b)
+  | Json.Str s -> Ok (Value.String s)
+  | Json.Obj _ as j -> (
+    match Option.bind (Json.mem "i" j) Json.to_str with
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some i -> Ok (Value.Int i)
+      | None -> Error "malformed integer cell")
+    | None -> (
+      match Option.bind (Json.mem "f" j) Json.to_num with
+      | Some f -> Ok (Value.Float f)
+      | None -> Error "unrecognised tagged cell"))
+  | Json.Num n ->
+    if Float.is_integer n && Float.abs n <= 9007199254740992. then
+      Ok (Value.Int (int_of_float n))
+    else Ok (Value.Float n)
+  | Json.List _ -> Error "array is not a cell"
+
 let json_of_entry (e : entry) =
   Json.Obj
     [
@@ -74,7 +109,11 @@ let json_of_entry (e : entry) =
       ("epsilon_spent", Json.num e.epsilon_spent);
       ("delta_spent", Json.num e.delta_spent);
       ("columns", Json.List (List.map Json.str e.columns));
-      ("rows", Json.List (List.map (fun r -> Json.List r) e.rows));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r -> Json.List (List.map json_of_cell (Array.to_list r)))
+             e.rows) );
       ("bins_enumerated", Json.bool e.bins_enumerated);
       ( "noise_scales",
         Json.List
@@ -123,7 +162,16 @@ let entry_of_json j =
         (fun acc row ->
           let* acc = acc in
           match Json.to_list row with
-          | Some cells -> Ok (cells :: acc)
+          | Some cells ->
+            let* vs =
+              List.fold_left
+                (fun acc c ->
+                  let* acc = acc in
+                  let* v = cell_of_json c in
+                  Ok (v :: acc))
+                (Ok []) cells
+            in
+            Ok (Array.of_list (List.rev vs) :: acc)
           | None -> Error "non-array row")
         (Ok []) vs
       |> Result.map List.rev
@@ -289,11 +337,36 @@ let replay t ~fingerprint ~source lines =
   in
   go lines
 
+(* Compact the journal to the live working set. Replay admits under the same
+   capacity/fairness policy as live inserts, so after replay the table holds
+   exactly what this process will serve; every other line — evicted entries,
+   releases stranded by an epoch flip, a torn tail — is dead weight that
+   would otherwise accumulate across restarts. The rewrite is atomic (tmp +
+   rename) and ordered by insertion seq, so re-replaying the compacted
+   journal rebuilds this very store; the torn-tail discipline is preserved
+   because a fresh append can still tear, but only ever on the final line. *)
+let compact t path =
+  let slots = Hashtbl.fold (fun _ s acc -> s :: acc) t.table [] in
+  let slots = List.sort (fun (a : slot) b -> compare a.seq b.seq) slots in
+  let tmp = path ^ ".compact" in
+  let oc = open_out_gen [ Open_trunc; Open_creat; Open_wronly; Open_binary ] 0o644 tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun s -> output_string oc (Json.to_string (json_of_entry s.entry) ^ "\n"))
+        slots;
+      flush oc;
+      if t.sync then Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path
+
 let open_ ?(sync = false) ?(capacity = 4096) ~fingerprint path =
   let lines = read_lines path in
-  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-  let t = make ~oc:(Some oc) ~path:(Some path) ~sync ~capacity in
+  let t = make ~oc:None ~path:(Some path) ~sync ~capacity in
   replay t ~fingerprint ~source:path lines;
+  let n_lines = List.length (List.filter (fun l -> String.trim l <> "") lines) in
+  if n_lines <> Hashtbl.length t.table then compact t path;
+  t.oc <- Some (open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path);
   t
 
 let close t =

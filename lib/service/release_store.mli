@@ -10,6 +10,13 @@
     or the ledger. Any change to the tuple (new data epoch, different
     budget, different mechanism) misses and pays the full pipeline.
 
+    The same argument extends past exact replay: when the server factors a
+    query into a releasable core plus a post-processing suffix
+    ({!Flex_sql.Factor}), [sql_canonical] is the {e core}'s canonical text,
+    so every HAVING/ORDER BY/LIMIT/projection variant of one dashboard core
+    collides onto a single stored release — a noisy materialized view — and
+    is answered by evaluating its suffix over [rows] at zero budget.
+
     Persistence follows the {!Flex_dp.Ledger} discipline: an append-only
     JSON-lines journal, floats in round-trip precision, written and flushed
     {e before} the release is servable, replayed on open with a torn final
@@ -34,7 +41,10 @@ type entry = {
   epsilon_spent : float;  (** total charged when the release was minted *)
   delta_spent : float;
   columns : string list;
-  rows : Json.t list list;  (** the released cells, in wire form *)
+  rows : Flex_engine.Value.t array list;
+      (** the released cells as runtime values, so a stored release doubles
+          as the input of {!Flex_core.Flex.post_process} — the noisy
+          materialized view a derived query's suffix evaluates over *)
   bins_enumerated : bool;
   noise_scales : (string * float) list;
 }
@@ -68,7 +78,11 @@ val open_ : ?sync:bool -> ?capacity:int -> fingerprint:string -> string -> t
     current [fingerprint] epoch are re-admitted in order under the same
     capacity policy as live inserts, so a restarted server replays exactly
     what it would have served; entries from other epochs count as
-    [stale_dropped] and stay journal-only. [sync] fsyncs after every record.
+    [stale_dropped]. When replay leaves any dead lines behind — stranded
+    epochs, capacity evictions, a torn tail — the journal is compacted to
+    the live working set (atomic tmp + rename, insertion order preserved),
+    so the file stays proportional to the store across restarts instead of
+    growing without bound. [sync] fsyncs after every record.
     @raise Invalid_argument on interior journal corruption (a torn {e final}
     line is dropped silently — that release was never acknowledged). *)
 

@@ -63,6 +63,7 @@ type instruments = {
   m_queries : Registry.Counter.t;
   m_granted : Registry.Counter.t;
   m_replayed : Registry.Counter.t;
+  m_derived : Registry.Counter.t;
   m_rejected : Registry.Counter.t;
   m_refused : Registry.Counter.t;
   m_latency : Registry.Histogram.t;
@@ -80,10 +81,12 @@ type t = {
   mutable fingerprint : string;
   ledger : Ledger.t;
   analysis_cache : (Elastic.analysis, Errors.reason) result Cache.t;
-  (* raw SQL text -> canonical cache key. Canonicalization is a pure
-     function of the text, so entries never go stale; this keeps the replay
-     fast path (parse + memo + store probe) in single-digit microseconds. *)
-  canon_memo : string Cache.t;
+  (* raw SQL text -> (canonical cache key, factoring). Both are pure
+     functions of the text, so entries never go stale; memoizing the
+     factoring too keeps the derived fast path (parse + memo + store probe +
+     suffix evaluation) in single-digit microseconds — a dashboard refresh
+     pays the core/suffix split once per distinct query text. *)
+  canon_memo : (string * Flex_sql.Factor.t option) Cache.t;
   release_store : Release_store.t option;  (* Some iff [config.release_cache] *)
   audit : Audit.t;
   rng : Rng.t;
@@ -98,6 +101,7 @@ type t = {
   mutable queries : int;
   mutable granted : int;
   mutable replayed : int;
+  mutable derived : int;
   mutable rejected : int;
   mutable refused : int;
 }
@@ -120,6 +124,12 @@ let make_instruments reg =
     m_replayed =
       Registry.counter reg ~help:"Queries served from the release store (zero budget)"
         "flex_replayed_total";
+    m_derived =
+      Registry.counter reg
+        ~help:
+          "Queries answered by post-processing a stored release (materialized-view \
+           derivation, zero budget)"
+        "flex_release_derived_total";
     m_rejected =
       Registry.counter reg ~help:"Queries rejected (parse/unsupported/admission/other)"
         "flex_rejected_total";
@@ -258,6 +268,7 @@ let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity ?
       queries = 0;
       granted = 0;
       replayed = 0;
+      derived = 0;
       rejected = 0;
       refused = 0;
     }
@@ -490,13 +501,51 @@ let handle_query t session ~sql ~epsilon ~delta =
       | Ok (Flex_sql.Ast.Query ast) -> (
         let options = options_for t ~epsilon ~delta in
         let db, metrics, fingerprint = epoch t in
-        let canon =
+        (* Factor into a releasable core + post-processing suffix. The store
+           is keyed on the core, so every HAVING/ORDER BY/LIMIT/projection
+           variant of one dashboard collides onto a single paid release;
+           without a store there is nothing to share the core through and the
+           original whole-query path applies unchanged. *)
+        let canon, fact =
           Span.timed root "canon" (fun _ ->
-              fst (Cache.find_or_compute t.canon_memo ~key:sql (fun () -> Canon.cache_key ast)))
+              fst
+                (Cache.find_or_compute t.canon_memo ~key:sql (fun () ->
+                     let fact =
+                       match t.release_store with
+                       | None -> None
+                       | Some _ -> Flex_sql.Factor.factor ast
+                     in
+                     match fact with
+                     | Some f -> (f.core_sql, fact)
+                     | None -> (Canon.cache_key ast, None))))
         in
+        (* What actually analyzes/executes on a miss: the canonical core for
+           factorable queries (paying once for all its base aggregates), the
+           original AST otherwise. *)
+        let exec_ast = match fact with Some f -> f.core | None -> ast in
         let release_key =
           Release_store.key ~sql_canonical:canon ~fingerprint
             ~flags:(release_flags options) ~epsilon ~delta
+        in
+        (* The analyst-visible answer for a stored (or just-minted) entry:
+           factored queries evaluate their suffix over the stored noisy rows
+           (restoring output names, order and arithmetic); everything else is
+           served verbatim. Suffix evaluation is deterministic, so a replay
+           of the same entry always reproduces the same bytes. *)
+        let answer_of (entry : Release_store.entry) =
+          match fact with
+          | None -> (entry.columns, entry.rows)
+          | Some f ->
+            let rs =
+              Flex.post_process f.suffix ~columns:entry.columns entry.rows
+            in
+            (rs.columns, rs.rows)
+        in
+        let wire_rows rows =
+          List.map (fun row -> List.map Wire.json_of_value (Array.to_list row)) rows
+        in
+        let is_derived =
+          match fact with Some f -> not (Flex_sql.Factor.trivial f) | None -> false
         in
         let replay =
           match t.release_store with
@@ -505,40 +554,50 @@ let handle_query t session ~sql ~epsilon ~delta =
             Span.timed root "replay" (fun _ -> Release_store.find store release_key)
         in
         match replay with
-        | Some (entry : Release_store.entry) ->
-          (* Zero-budget replay: these bytes already left the server for this
-             exact (query, budget, epoch, mechanism), so returning them again
-             is post-processing — no database, RNG or ledger access. *)
-          with_lock t (fun () -> t.replayed <- t.replayed + 1);
-          instr t (fun i -> Registry.Counter.incr i.m_replayed);
-          let max_noise_scale =
-            List.fold_left (fun acc (_, s) -> Float.max acc s) 0.0 entry.noise_scales
-          in
-          let remaining_epsilon, remaining_delta =
-            Option.value ~default:(0.0, 0.0) (Ledger.remaining t.ledger ~analyst)
-          in
-          Audit.log t.audit
-            {
-              (finalize t root { base with cache_hit = true }) with
-              outcome = Audit.Replayed;
-              max_noise_scale;
-            };
-          Wire.Result
-            {
-              columns = entry.columns;
-              rows = entry.rows;
-              epsilon_spent = 0.0;
-              delta_spent = 0.0;
-              remaining_epsilon;
-              remaining_delta;
-              cache_hit = true;
-              cached = true;
-              bins_enumerated = entry.bins_enumerated;
-              noise_scales = entry.noise_scales;
-            }
+        | Some (entry : Release_store.entry) -> (
+          (* Zero-budget answer: the core's bytes already left the server for
+             this (core, budget, epoch, mechanism); replaying them — or
+             evaluating a post-processing suffix over them — touches no
+             database, RNG or ledger. *)
+          match answer_of entry with
+          | exception (Flex_engine.Eval.Error _ | Flex_engine.Compiled.Error _) ->
+            reject t ~root ~base
+              (Errors.Analysis_error "post-processing suffix failed on the stored release")
+          | columns, rows ->
+            with_lock t (fun () ->
+                if is_derived then t.derived <- t.derived + 1
+                else t.replayed <- t.replayed + 1);
+            instr t (fun i ->
+                Registry.Counter.incr (if is_derived then i.m_derived else i.m_replayed));
+            let max_noise_scale =
+              List.fold_left (fun acc (_, s) -> Float.max acc s) 0.0 entry.noise_scales
+            in
+            let remaining_epsilon, remaining_delta =
+              Option.value ~default:(0.0, 0.0) (Ledger.remaining t.ledger ~analyst)
+            in
+            Audit.log t.audit
+              {
+                (finalize t root { base with cache_hit = true }) with
+                outcome = (if is_derived then Audit.Derived else Audit.Replayed);
+                max_noise_scale;
+              };
+            Wire.Result
+              {
+                columns;
+                rows = wire_rows rows;
+                epsilon_spent = 0.0;
+                delta_spent = 0.0;
+                remaining_epsilon;
+                remaining_delta;
+                cache_hit = true;
+                cached = true;
+                derived = is_derived;
+                bins_enumerated = entry.bins_enumerated;
+                noise_scales = entry.noise_scales;
+              })
         | None -> (
           let analyzed, cache_hit =
-            analyze_cached t ?span:root ~canon ~fingerprint ~metrics ~options ast
+            analyze_cached t ?span:root ~canon ~fingerprint ~metrics ~options exec_ast
           in
           let base = { base with cache_hit } in
           match analyzed with
@@ -547,7 +606,7 @@ let handle_query t session ~sql ~epsilon ~delta =
             let column_releases = Flex.smooth_columns ?span:root ~options analysis in
             match
               Flex.execute ?span:root ?pool:t.pool ~optimize:t.config.optimize_queries
-                ~metrics ~db ast
+                ~metrics ~db exec_ast
             with
             | Error reason -> reject t ~root ~base reason
             | Ok result_set -> (
@@ -602,10 +661,7 @@ let handle_query t session ~sql ~epsilon ~delta =
                     epsilon_spent = cost_eps;
                     delta_spent = cost_delta;
                     columns = release.noisy.columns;
-                    rows =
-                      List.map
-                        (fun row -> List.map Wire.json_of_value (Array.to_list row))
-                        release.noisy.rows;
+                    rows = release.noisy.rows;
                     bins_enumerated = release.bins_enumerated;
                     noise_scales;
                   }
@@ -619,27 +675,37 @@ let handle_query t session ~sql ~epsilon ~delta =
                   List.fold_left (fun acc (_, s) -> Float.max acc s) 0.0
                     stored.noise_scales
                 in
-                Audit.log t.audit
-                  {
-                    (finalize t root base) with
-                    outcome = Audit.Granted;
-                    epsilon = cost_eps;
-                    delta = cost_delta;
-                    max_noise_scale;
-                  };
-                Wire.Result
-                  {
-                    columns = stored.columns;
-                    rows = stored.rows;
-                    epsilon_spent = cost_eps;
-                    delta_spent = cost_delta;
-                    remaining_epsilon;
-                    remaining_delta;
-                    cache_hit;
-                    cached = false;
-                    bins_enumerated = stored.bins_enumerated;
-                    noise_scales = stored.noise_scales;
-                  }))))))
+                match answer_of stored with
+                | exception (Flex_engine.Eval.Error _ | Flex_engine.Compiled.Error _)
+                  ->
+                  (* The core is paid and journaled (the charge stands), but
+                     this request's suffix cannot evaluate over it. *)
+                  reject t ~root ~base
+                    (Errors.Analysis_error
+                       "post-processing suffix failed on the released core")
+                | columns, rows ->
+                  Audit.log t.audit
+                    {
+                      (finalize t root base) with
+                      outcome = Audit.Granted;
+                      epsilon = cost_eps;
+                      delta = cost_delta;
+                      max_noise_scale;
+                    };
+                  Wire.Result
+                    {
+                      columns;
+                      rows = wire_rows rows;
+                      epsilon_spent = cost_eps;
+                      delta_spent = cost_delta;
+                      remaining_epsilon;
+                      remaining_delta;
+                      cache_hit;
+                      cached = false;
+                      derived = false;
+                      bins_enumerated = stored.bins_enumerated;
+                      noise_scales = stored.noise_scales;
+                    }))))))
 
 (* EXPLAIN is free: it renders plan shapes without touching the database,
    so it is neither charged nor counted as a query. Because it is free, the
@@ -749,6 +815,7 @@ let stats_report t =
   in
   let release_hits = match rs with Some s -> s.hits | None -> 0 in
   let release_misses = match rs with Some s -> s.misses | None -> 0 in
+  let release_derived = with_lock t (fun () -> t.derived) in
   Wire.Stats_report
     {
       queries;
@@ -760,6 +827,7 @@ let stats_report t =
       cache_entries = Cache.length t.analysis_cache;
       release_hits;
       release_misses;
+      release_derived;
       release_evictions =
         (match rs with Some s -> s.evictions + s.stale_dropped | None -> 0);
       release_entries = (match rs with Some s -> s.entries | None -> 0);
@@ -798,6 +866,7 @@ type counters = {
   queries : int;
   granted : int;
   replayed : int;
+  derived : int;
   rejected : int;
   refused : int;
 }
@@ -808,6 +877,7 @@ let counters t =
         queries = t.queries;
         granted = t.granted;
         replayed = t.replayed;
+        derived = t.derived;
         rejected = t.rejected;
         refused = t.refused;
       })

@@ -60,14 +60,21 @@ type config = {
           touches the RNG or the result path. Off, the audit log's stage
           timings read zero and {!registry} is [None]. *)
   release_cache : bool;
-      (** replay finalized noisy releases for identical (query, budget,
-          epoch, mechanism) requests — the DP post-processing freebie: the
-          bytes are already public, so the replay charges {e zero} budget,
-          skips execution and perturbation entirely, and is flagged
-          [cached: true] on the wire plus [Replayed] in the audit log. On by
-          default. Off, every repeat re-executes, draws fresh noise, and is
-          charged again (both are correct accounting; replay is strictly
-          better utility per epsilon for repeat-heavy workloads). *)
+      (** answer from the store of finalized noisy releases — the DP
+          post-processing freebie. Each aggregate query is factored
+          ({!Flex_sql.Factor}) into a releasable {e core} (FROM/WHERE/GROUP
+          BY + base aggregates) and a post-processing suffix (HAVING, ORDER
+          BY/LIMIT, projection arithmetic); the store is keyed on the
+          canonical core, so an identical repeat replays the same bytes
+          ([cached: true], [Replayed] in the audit log) and a {e different}
+          query over the same core is answered by evaluating its suffix over
+          the stored noisy rows ([cached: true, derived: true], [Derived] in
+          the audit log) — either way zero budget, no execution, no fresh
+          noise. A miss pays for the whole core once (epsilon for {e all} its
+          base aggregates), so later derivations are genuinely free. On by
+          default. Off, every query re-executes, draws fresh noise, and is
+          charged again (correct accounting, strictly worse utility per
+          epsilon for dashboard workloads). *)
 }
 
 val default_config : config
@@ -116,8 +123,11 @@ val handle_line : t -> session -> string -> string
 
 type counters = {
   queries : int;  (** Query requests seen *)
-  granted : int;  (** charged releases ({e excludes} replays) *)
-  replayed : int;  (** zero-budget replays from the release store *)
+  granted : int;  (** charged releases ({e excludes} replays and derivations) *)
+  replayed : int;  (** zero-budget exact replays from the release store *)
+  derived : int;
+      (** zero-budget derivations: store hits answered by evaluating a
+          post-processing suffix over the stored noisy rows *)
   rejected : int;
   refused : int;
 }

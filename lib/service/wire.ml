@@ -29,6 +29,11 @@ type response =
       remaining_delta : float;
       cache_hit : bool;
       cached : bool;
+      derived : bool;
+          (* answered by post-processing a stored release's noisy rows (a
+             materialized-view hit with a nontrivial suffix); [cached] stays
+             the "zero budget was charged" flag for both replay and
+             derivation *)
       bins_enumerated : bool;
       noise_scales : (string * float) list;
     }
@@ -67,6 +72,9 @@ type response =
       cache_entries : int;
       release_hits : int;
       release_misses : int;
+      release_derived : int;
+          (* store hits answered by suffix evaluation rather than exact
+             replay *)
       release_evictions : int;
       release_entries : int;
       release_hit_rate : float;
@@ -187,6 +195,7 @@ let response_to_json = function
         ("remaining_delta", Json.num r.remaining_delta);
         ("cache_hit", Json.bool r.cache_hit);
         ("cached", Json.bool r.cached);
+        ("derived", Json.bool r.derived);
         ("bins_enumerated", Json.bool r.bins_enumerated);
         ( "noise_scales",
           Json.List
@@ -261,6 +270,7 @@ let response_to_json = function
         ("cache_entries", Json.int s.cache_entries);
         ("release_hits", Json.int s.release_hits);
         ("release_misses", Json.int s.release_misses);
+        ("release_derived", Json.int s.release_derived);
         ("release_evictions", Json.int s.release_evictions);
         ("release_entries", Json.int s.release_entries);
         ("release_hit_rate", Json.num s.release_hit_rate);
@@ -306,6 +316,8 @@ let response_of_json j =
     let* cache_hit = get_bool "cache_hit" j in
     (* added with the release store; older servers never replay *)
     let* cached = get_bool_default "cached" ~default:false j in
+    (* added with the materialized-view layer; older servers never derive *)
+    let* derived = get_bool_default "derived" ~default:false j in
     let* bins_enumerated = get_bool "bins_enumerated" j in
     let* noise_scales =
       match Option.bind (Json.mem "noise_scales" j) Json.to_list with
@@ -331,6 +343,7 @@ let response_of_json j =
            remaining_delta;
            cache_hit;
            cached;
+           derived;
            bins_enumerated;
            noise_scales;
          })
@@ -402,6 +415,7 @@ let response_of_json j =
        has no release store, which zeros render faithfully *)
     let* release_hits = get_int_default "release_hits" ~default:0 j in
     let* release_misses = get_int_default "release_misses" ~default:0 j in
+    let* release_derived = get_int_default "release_derived" ~default:0 j in
     let* release_evictions = get_int_default "release_evictions" ~default:0 j in
     let* release_entries = get_int_default "release_entries" ~default:0 j in
     let* release_hit_rate = get_opt_num "release_hit_rate" j in
@@ -426,6 +440,7 @@ let response_of_json j =
            cache_entries;
            release_hits;
            release_misses;
+           release_derived;
            release_evictions;
            release_entries;
            release_hit_rate;

@@ -35,10 +35,17 @@ type response =
       remaining_delta : float;
       cache_hit : bool;  (** the sensitivity analysis was memoized *)
       cached : bool;
-          (** the whole release was replayed from the release store: same
-              bytes as the first answer for this (query, budget, epoch),
-              zero additional budget ([epsilon_spent] = 0). Decodes to
-              [false] from older servers that never replay. *)
+          (** the answer came from the release store at zero additional
+              budget ([epsilon_spent] = 0) — same bytes as the first answer
+              for this (core, budget, epoch). Decodes to [false] from older
+              servers that never replay. *)
+      derived : bool;
+          (** the store hit answered a {e different} query than the one that
+              paid: the request factored into a stored core plus a
+              post-processing suffix (HAVING / ORDER BY / LIMIT / projection
+              arithmetic) that was evaluated over the stored noisy rows.
+              Implies [cached]; exact replays keep [derived = false].
+              Decodes to [false] from older servers. *)
       bins_enumerated : bool;
       noise_scales : (string * float) list;
     }
@@ -80,6 +87,9 @@ type response =
       cache_entries : int;
       release_hits : int;  (** release-store replays served *)
       release_misses : int;
+      release_derived : int;
+          (** store hits answered by evaluating a post-processing suffix
+              over the stored rows, rather than byte-identical replay *)
       release_evictions : int;
           (** capacity + stale-epoch drops; all release_* fields decode to 0
               from older servers without a release store *)

@@ -1,0 +1,358 @@
+(* Factor an aggregate query into a releasable core and a post-processing
+   suffix. The core — FROM/WHERE/GROUP BY plus every base aggregate the query
+   needs — is the only part whose answer touches private data; the suffix
+   (HAVING, ORDER BY/LIMIT, projection arithmetic over the aggregates) is a
+   pure function of the core's output. Once the core's noisy histogram has
+   been released, any suffix over it is post-processing and costs no privacy
+   budget, so the release store keys on the core: syntactic variants of the
+   same dashboard collapse onto one paid release.
+
+   The core is normalised aggressively so variants collide: relation names
+   via {!Canon}, then WHERE conjuncts, GROUP BY items and projections sorted
+   by their canonical rendering, with positional output aliases ([_k0..] for
+   group keys, [_a0..] for aggregates). Everything semantic — which
+   aggregates, which predicate set, which grouping — survives into the key,
+   so two queries share a core only when the same mechanism instance answers
+   both. *)
+
+exception Not_factorable
+
+type suffix = {
+  outputs : (Ast.expr * string) list;
+  having : Ast.expr option;
+  order_by : (Ast.expr * Ast.order_dir) list;
+  limit : int option;
+  offset : int option;
+}
+
+type t = {
+  core : Ast.query;
+  core_sql : string;
+  n_group_keys : int;
+  n_aggregates : int;
+  suffix : suffix;
+}
+
+let key_name i = Printf.sprintf "_k%d" i
+let agg_name j = Printf.sprintf "_a%d" j
+
+let has_agg e =
+  Ast.fold_expr (fun acc e -> acc || match e with Ast.Agg _ -> true | _ -> false) false e
+
+let has_subquery e = Ast.expr_subqueries e <> []
+
+(* --- atom registry ----------------------------------------------------------
+
+   Group-key atoms are fixed up front (the deduplicated GROUP BY items);
+   aggregate atoms are collected in first-appearance order across the
+   projections, HAVING and ORDER BY, deduplicated structurally. *)
+
+type atoms = {
+  groups : Ast.expr list;
+  mutable aggs : (Ast.agg_func * bool * Ast.agg_arg) list; (* reversed *)
+  mutable n_aggs : int;
+}
+
+let group_index st e =
+  let rec go i = function
+    | [] -> None
+    | g :: _ when g = e -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 st.groups
+
+let agg_index st a =
+  let rec go i = function
+    | [] -> None
+    | x :: _ when x = a -> Some (st.n_aggs - 1 - i)
+    | _ :: rest -> go (i + 1) rest
+  in
+  match go 0 st.aggs with
+  | Some j -> j
+  | None ->
+    st.aggs <- a :: st.aggs;
+    st.n_aggs <- st.n_aggs + 1;
+    st.n_aggs - 1
+
+(* Rewrite an expression over the original relations into one over the core's
+   output columns. A subtree equal to a GROUP BY item becomes [_k<i>]; an
+   aggregate application becomes [_a<j>]; literals and scalar operators pass
+   through; any other column reference means the expression reads raw rows
+   and the query cannot be answered from the released histogram.
+   [resolve_output] implements ORDER BY's extra scope — references to output
+   columns by projection alias or name — and returns an already-translated
+   expression. *)
+let rec translate st ~resolve_output (e : Ast.expr) : Ast.expr =
+  match group_index st e with
+  | Some i -> Ast.col (key_name i)
+  | None -> (
+    let recur = translate st ~resolve_output in
+    match e with
+    | Ast.Agg { func; distinct; arg } ->
+      (match arg with
+      | Ast.Star -> ()
+      | Ast.Arg a -> if has_agg a || has_subquery a then raise Not_factorable);
+      Ast.col (agg_name (agg_index st (func, distinct, arg)))
+    | Ast.Lit _ -> e
+    | Ast.Col c -> (
+      match resolve_output c with Some out -> out | None -> raise Not_factorable)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, recur a, recur b)
+    | Ast.Unop (op, a) -> Ast.Unop (op, recur a)
+    | Ast.Func (name, args) -> Ast.Func (name, List.map recur args)
+    | Ast.Case { operand; branches; else_ } ->
+      Ast.Case
+        {
+          operand = Option.map recur operand;
+          branches = List.map (fun (c, v) -> (recur c, recur v)) branches;
+          else_ = Option.map recur else_;
+        }
+    | Ast.In { subject; negated; set = Ast.In_list es } ->
+      Ast.In { subject = recur subject; negated; set = Ast.In_list (List.map recur es) }
+    | Ast.Between { subject; negated; lo; hi } ->
+      Ast.Between { subject = recur subject; negated; lo = recur lo; hi = recur hi }
+    | Ast.Like { subject; negated; pattern } ->
+      Ast.Like { subject = recur subject; negated; pattern = recur pattern }
+    | Ast.Is_null { subject; negated } -> Ast.Is_null { subject = recur subject; negated }
+    | Ast.Cast (a, ty) -> Ast.Cast (recur a, ty)
+    | Ast.In { set = Ast.In_query _; _ } | Ast.Exists _ | Ast.Scalar_subquery _ ->
+      raise Not_factorable)
+
+let no_output _ = None
+
+(* The engine's output naming for a projection (Compiled.expand_projections):
+   the alias, else the column name, else the aggregate's function name. *)
+let output_name (e : Ast.expr) (alias : string option) =
+  match alias with
+  | Some a -> String.lowercase_ascii a
+  | None -> (
+    match e with
+    | Ast.Col c -> String.lowercase_ascii c.Ast.column
+    | Ast.Agg { func; _ } -> Ast.agg_func_name func
+    | _ -> "expr")
+
+(* --- expression renaming (post-sort alias remap) ----------------------------- *)
+
+let rec rename subst (e : Ast.expr) : Ast.expr =
+  let r = rename subst in
+  match e with
+  | Ast.Col { table = None; column } when List.mem_assoc column subst ->
+    Ast.col (List.assoc column subst)
+  | Ast.Lit _ | Ast.Col _ -> e
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, r a, r b)
+  | Ast.Unop (op, a) -> Ast.Unop (op, r a)
+  | Ast.Func (name, args) -> Ast.Func (name, List.map r args)
+  | Ast.Case { operand; branches; else_ } ->
+    Ast.Case
+      {
+        operand = Option.map r operand;
+        branches = List.map (fun (c, v) -> (r c, r v)) branches;
+        else_ = Option.map r else_;
+      }
+  | Ast.In { subject; negated; set = Ast.In_list es } ->
+    Ast.In { subject = r subject; negated; set = Ast.In_list (List.map r es) }
+  | Ast.Between { subject; negated; lo; hi } ->
+    Ast.Between { subject = r subject; negated; lo = r lo; hi = r hi }
+  | Ast.Like { subject; negated; pattern } ->
+    Ast.Like { subject = r subject; negated; pattern = r pattern }
+  | Ast.Is_null { subject; negated } -> Ast.Is_null { subject = r subject; negated }
+  | Ast.Cast (a, ty) -> Ast.Cast (r a, ty)
+  | Ast.In { set = Ast.In_query _; _ } | Ast.Agg _ | Ast.Exists _ | Ast.Scalar_subquery _
+    ->
+    e (* never present in suffix expressions *)
+
+(* Sort a projection segment by the canonical rendering of its expressions
+   (stable: original position breaks ties) and re-alias positionally.
+   Returns the sorted projections plus old-name -> new-name substitutions. *)
+let sort_segment name_of (projs : (Ast.expr * string) list) =
+  let tagged = List.mapi (fun i (e, old) -> (Pretty.expr e, i, e, old)) projs in
+  let sorted =
+    List.sort
+      (fun (sa, ia, _, _) (sb, ib, _, _) ->
+        match compare (sa : string) sb with 0 -> compare (ia : int) ib | c -> c)
+      tagged
+  in
+  let projs =
+    List.mapi (fun p (_, _, e, _) -> Ast.Proj_expr (e, Some (name_of p))) sorted
+  in
+  let subst = List.mapi (fun p (_, _, _, old) -> (old, name_of p)) sorted in
+  (projs, subst)
+
+let sort_exprs es =
+  List.map snd
+    (List.sort
+       (fun (a, _) (b, _) -> compare (a : string) b)
+       (List.map (fun e -> (Pretty.expr e, e)) es))
+
+let and_tree = function
+  | [] -> None
+  | c :: cs -> Some (List.fold_left (fun acc c -> Ast.Binop (Ast.And, acc, c)) c cs)
+
+(* --- factoring --------------------------------------------------------------- *)
+
+let dedupe es =
+  List.rev
+    (List.fold_left (fun acc e -> if List.mem e acc then acc else e :: acc) [] es)
+
+let factor (q : Ast.query) : t option =
+  match q.Ast.body with
+  | Ast.Union _ | Ast.Except _ | Ast.Intersect _ -> None
+  | Ast.Select s -> (
+    if q.Ast.ctes <> [] || s.Ast.distinct then None
+    else if
+      List.exists
+        (function Ast.Proj_star | Ast.Proj_table_star _ -> true | Ast.Proj_expr _ -> false)
+        s.Ast.projections
+      || s.Ast.projections = []
+    then None
+    else if List.exists (fun g -> has_agg g || has_subquery g) s.Ast.group_by then None
+    else
+      try
+        let st = { groups = dedupe s.Ast.group_by; aggs = []; n_aggs = 0 } in
+        (* projections first, then HAVING, then ORDER BY: deterministic
+           first-appearance order for the aggregate atoms *)
+        let outputs =
+          List.map
+            (function
+              | Ast.Proj_expr (e, alias) ->
+                if has_subquery e then raise Not_factorable;
+                (translate st ~resolve_output:no_output e, output_name e alias)
+              | Ast.Proj_star | Ast.Proj_table_star _ -> assert false)
+            s.Ast.projections
+        in
+        let having =
+          Option.map
+            (fun e ->
+              if has_subquery e then raise Not_factorable;
+              translate st ~resolve_output:no_output e)
+            s.Ast.having
+        in
+        (* ORDER BY sees the output columns: positional references and
+           alias/name references resolve to the projected expressions, which
+           are already translated *)
+        let n_out = List.length outputs in
+        let resolve_order (c : Ast.col_ref) =
+          match c.Ast.table with
+          | Some _ -> None
+          | None ->
+            let name = String.lowercase_ascii c.Ast.column in
+            Option.map fst (List.find_opt (fun (_, n) -> n = name) outputs)
+        in
+        let order_by =
+          List.map
+            (fun (e, dir) ->
+              if has_subquery e then raise Not_factorable;
+              match e with
+              | Ast.Lit (Ast.Int pos) when pos >= 1 && pos <= n_out ->
+                (fst (List.nth outputs (pos - 1)), dir)
+              | e -> (translate st ~resolve_output:resolve_order e, dir))
+            q.Ast.order_by
+        in
+        let aggs = List.rev st.aggs in
+        let n_aggregates = st.n_aggs in
+        let n_group_keys = List.length st.groups in
+        if n_aggregates = 0 then None
+        else begin
+          (* the raw core, group keys then aggregates, positionally aliased *)
+          let core_projs =
+            List.mapi (fun i g -> Ast.Proj_expr (g, Some (key_name i))) st.groups
+            @ List.mapi
+                (fun j (func, distinct, arg) ->
+                  Ast.Proj_expr (Ast.Agg { func; distinct; arg }, Some (agg_name j)))
+                aggs
+          in
+          let core =
+            Ast.query_of_select
+              {
+                Ast.distinct = false;
+                projections = core_projs;
+                from = s.Ast.from;
+                where = s.Ast.where;
+                group_by = st.groups;
+                having = None;
+              }
+          in
+          (* canonicalize relation names, then normalise clause order inside
+             the canonical query: WHERE conjuncts, GROUP BY items and each
+             projection segment sorted by canonical rendering. Reordering
+             conjuncts and grouping keys never changes SQL semantics, and
+             the suffix is remapped through the alias permutation. *)
+          let qc = Canon.canonicalize core in
+          let cs =
+            match qc.Ast.body with Ast.Select cs -> cs | _ -> assert false
+          in
+          let keys, cagg =
+            let parts =
+              List.map
+                (function
+                  | Ast.Proj_expr (e, Some a) -> (e, a)
+                  | _ -> assert false)
+                cs.Ast.projections
+            in
+            let rec split i acc = function
+              | rest when i = n_group_keys -> (List.rev acc, rest)
+              | x :: rest -> split (i + 1) (x :: acc) rest
+              | [] -> (List.rev acc, [])
+            in
+            split 0 [] parts
+          in
+          let key_projs, key_subst = sort_segment key_name keys in
+          let agg_projs, agg_subst = sort_segment agg_name cagg in
+          let where =
+            Option.map (fun w -> Ast.conjuncts w) cs.Ast.where
+            |> Option.map sort_exprs
+            |> fun c -> Option.bind c and_tree
+          in
+          let core =
+            {
+              qc with
+              Ast.body =
+                Ast.Select
+                  {
+                    cs with
+                    Ast.projections = key_projs @ agg_projs;
+                    where;
+                    group_by = sort_exprs cs.Ast.group_by;
+                  };
+            }
+          in
+          let subst =
+            List.filter (fun (o, n) -> o <> n) (key_subst @ agg_subst)
+          in
+          let remap e = if subst = [] then e else rename subst e in
+          let suffix =
+            {
+              outputs = List.map (fun (e, n) -> (remap e, n)) outputs;
+              having = Option.map remap having;
+              order_by = List.map (fun (e, d) -> (remap e, d)) order_by;
+              limit = q.Ast.limit;
+              offset = q.Ast.offset;
+            }
+          in
+          Some
+            {
+              core;
+              core_sql = Pretty.to_string core;
+              n_group_keys;
+              n_aggregates;
+              suffix;
+            }
+        end
+      with Not_factorable -> None)
+
+(* The suffix is the identity exactly when it projects every core column in
+   core order with no filtering, ordering or slicing — i.e. the request is a
+   (possibly alias-renamed) replay of the core itself. *)
+let trivial t =
+  t.suffix.having = None
+  && t.suffix.order_by = []
+  && t.suffix.limit = None
+  && t.suffix.offset = None
+  && List.length t.suffix.outputs = t.n_group_keys + t.n_aggregates
+  &&
+  let core_cols =
+    List.init t.n_group_keys key_name @ List.init t.n_aggregates agg_name
+  in
+  List.for_all2 (fun (e, _) name -> e = Ast.col name) t.suffix.outputs core_cols
+
+let core_columns t =
+  List.init t.n_group_keys key_name @ List.init t.n_aggregates agg_name

@@ -1,0 +1,57 @@
+(** Core / suffix factoring for noisy materialized views.
+
+    An aggregate query splits into a {e releasable core} — FROM/WHERE/GROUP
+    BY plus every base aggregate the query mentions — and a {e post-processing
+    suffix}: HAVING, ORDER BY/LIMIT/OFFSET and the projection arithmetic over
+    the released aggregates. The core is the only part whose answer reads
+    private data; once its noisy histogram is released, evaluating the suffix
+    over it is post-processing (epsilon = delta = 0). A release store keyed
+    on the core therefore answers every suffix variant of one dashboard from
+    a single paid release.
+
+    The core is normalised so syntactic variants collide: {!Canon} renames
+    relations positionally, then WHERE conjuncts, GROUP BY items and the two
+    projection segments are sorted by canonical rendering, and outputs are
+    re-aliased positionally ([_k0], [_k1], ... group keys; [_a0], ...
+    aggregates). [core_sql] is the resulting stable key text. Suffix
+    expressions reference only those output names, so any change that
+    survives into the key — the predicate set, the grouping, the aggregate
+    set, the relations — yields a different core, and nothing else does.
+
+    Queries that cannot be answered from a released histogram return [None]
+    and must run the full pipeline: set operations, DISTINCT, CTEs, [*]
+    projections, subqueries outside WHERE, raw (non-grouped, non-aggregate)
+    column references in the projections/HAVING/ORDER BY, or no aggregates at
+    all. *)
+
+type suffix = {
+  outputs : (Ast.expr * string) list;
+      (** projection expressions over the core's output columns, with the
+          engine's output naming (alias, else column, else function name) *)
+  having : Ast.expr option;  (** filter over core columns, 3-valued *)
+  order_by : (Ast.expr * Ast.order_dir) list;
+      (** positional and alias references already resolved to expressions *)
+  limit : int option;
+  offset : int option;
+}
+
+type t = {
+  core : Ast.query;  (** canonical, clause-sorted, positionally aliased *)
+  core_sql : string;  (** [Pretty.to_string core] — the release-store key *)
+  n_group_keys : int;
+  n_aggregates : int;
+  suffix : suffix;
+}
+
+val factor : Ast.query -> t option
+
+val trivial : t -> bool
+(** The suffix is the identity: the request is (an alias-renaming of) the
+    core itself, so a store hit is an exact replay rather than a derivation. *)
+
+val core_columns : t -> string list
+(** The core's output column names, [_k0..] then [_a0..] — the columns of the
+    stored release the suffix expressions resolve against. *)
+
+val key_name : int -> string
+val agg_name : int -> string

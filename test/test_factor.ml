@@ -1,0 +1,253 @@
+(* Core/suffix factoring: the release-store key must collide exactly when two
+   queries share a releasable core, and post-processing the core's rows must
+   reproduce the engine's answer bit-for-bit on noiseless data. *)
+
+module Parser = Flex_sql.Parser
+module Factor = Flex_sql.Factor
+module Flex = Flex_core.Flex
+module Value = Flex_engine.Value
+module Table = Flex_engine.Table
+module Database = Flex_engine.Database
+module Executor = Flex_engine.Executor
+
+let factor_exn sql =
+  match Factor.factor (Parser.parse_exn sql) with
+  | Some f -> f
+  | None -> Alcotest.failf "expected a factorable query: %s" sql
+
+let key sql = (factor_exn sql).Factor.core_sql
+
+let unfactorable sql =
+  match Factor.factor (Parser.parse_exn sql) with
+  | None -> ()
+  | Some f ->
+    Alcotest.failf "expected unfactorable query %s, got core %s" sql f.Factor.core_sql
+
+(* --- key sensitivity ----------------------------------------------------------- *)
+
+(* every suffix-only variation of this query must map to the same core key *)
+let base =
+  "SELECT t.status, COUNT(*) FROM trips t WHERE t.fare > 10 AND t.dist < 5 \
+   GROUP BY t.status"
+
+let key_tests =
+  [
+    Alcotest.test_case "suffix variants share the core key" `Quick (fun () ->
+        let k = key base in
+        let same =
+          [
+            ("having", base ^ " HAVING COUNT(*) > 3");
+            ("order by + limit", base ^ " ORDER BY 2 DESC LIMIT 3");
+            ("offset", base ^ " ORDER BY 1 LIMIT 2 OFFSET 1");
+            ( "projection arithmetic",
+              "SELECT t.status, COUNT(*) * 2 + 1 FROM trips t WHERE t.fare > 10 \
+               AND t.dist < 5 GROUP BY t.status" );
+            ( "projection reorder",
+              "SELECT COUNT(*), t.status FROM trips t WHERE t.fare > 10 AND \
+               t.dist < 5 GROUP BY t.status" );
+            ( "alias renaming",
+              "SELECT x.status, COUNT(*) FROM trips x WHERE x.fare > 10 AND \
+               x.dist < 5 GROUP BY x.status" );
+            ( "conjunct order",
+              "SELECT t.status, COUNT(*) FROM trips t WHERE t.dist < 5 AND \
+               t.fare > 10 GROUP BY t.status" );
+            ( "duplicate aggregate mention",
+              "SELECT t.status, COUNT(*), COUNT(*) FROM trips t WHERE t.fare > 10 \
+               AND t.dist < 5 GROUP BY t.status" );
+            ( "output aliases + order by alias",
+              "SELECT t.status AS s, COUNT(*) AS n FROM trips t WHERE t.fare > 10 \
+               AND t.dist < 5 GROUP BY t.status ORDER BY n DESC" );
+            ( "full suffix stack",
+              "SELECT t.status AS s, COUNT(*) * 3 AS n FROM trips t WHERE \
+               t.fare > 10 AND t.dist < 5 GROUP BY t.status HAVING COUNT(*) > 1 \
+               ORDER BY n DESC LIMIT 5 OFFSET 2" );
+          ]
+        in
+        List.iter
+          (fun (what, sql) ->
+            Alcotest.(check string) (what ^ " keeps the key") k (key sql))
+          same);
+    Alcotest.test_case "any core change is a different key" `Quick (fun () ->
+        let k = key base in
+        let where c =
+          Printf.sprintf
+            "SELECT t.status, COUNT(*) FROM trips t WHERE %s GROUP BY t.status" c
+        in
+        let different =
+          [
+            ("predicate constant", where "t.fare > 11 AND t.dist < 5");
+            ("dropped conjunct", where "t.fare > 10");
+            ("comparison direction", where "t.fare >= 10 AND t.dist < 5");
+            ( "grouping column",
+              "SELECT t.city_id, COUNT(*) FROM trips t WHERE t.fare > 10 AND \
+               t.dist < 5 GROUP BY t.city_id" );
+            ( "extra grouping column",
+              "SELECT t.status, t.city_id, COUNT(*) FROM trips t WHERE \
+               t.fare > 10 AND t.dist < 5 GROUP BY t.status, t.city_id" );
+            ( "aggregate function",
+              "SELECT t.status, SUM(t.fare) FROM trips t WHERE t.fare > 10 AND \
+               t.dist < 5 GROUP BY t.status" );
+            ( "aggregate argument",
+              "SELECT t.status, COUNT(t.fare) FROM trips t WHERE t.fare > 10 AND \
+               t.dist < 5 GROUP BY t.status" );
+            ( "added aggregate",
+              "SELECT t.status, COUNT(*), SUM(t.fare) FROM trips t WHERE \
+               t.fare > 10 AND t.dist < 5 GROUP BY t.status" );
+            ( "relation",
+              "SELECT t.status, COUNT(*) FROM rides t WHERE t.fare > 10 AND \
+               t.dist < 5 GROUP BY t.status" );
+            ( "added join",
+              "SELECT t.status, COUNT(*) FROM trips t JOIN drivers d ON \
+               t.driver_id = d.id WHERE t.fare > 10 AND t.dist < 5 GROUP BY \
+               t.status" );
+          ]
+        in
+        List.iter
+          (fun (what, sql) ->
+            Alcotest.(check bool) (what ^ " changes the key") true (key sql <> k))
+          different);
+    Alcotest.test_case "a HAVING-only aggregate is charged into the core" `Quick
+      (fun () ->
+        (* HAVING SUM(..) reads private data the projection never mentions:
+           the core must carry it, so the key departs from the count-only core
+           and collides with the query that projects the same aggregate set *)
+        let hidden = base ^ " HAVING SUM(t.fare) > 100" in
+        let f = factor_exn hidden in
+        Alcotest.(check int) "both aggregates in the core" 2 f.Factor.n_aggregates;
+        Alcotest.(check bool) "departs from the count-only core" true
+          (f.Factor.core_sql <> key base);
+        let projected =
+          "SELECT t.status, COUNT(*), SUM(t.fare) FROM trips t WHERE t.fare > 10 \
+           AND t.dist < 5 GROUP BY t.status"
+        in
+        Alcotest.(check string) "collides with the projected aggregate set"
+          (key projected) f.Factor.core_sql);
+    Alcotest.test_case "trivial detection and core columns" `Quick (fun () ->
+        let f = factor_exn base in
+        Alcotest.(check bool) "core itself is trivial" true (Factor.trivial f);
+        Alcotest.(check bool) "alias renaming is still trivial" true
+          (Factor.trivial
+             (factor_exn
+                "SELECT x.status, COUNT(*) FROM trips x WHERE x.fare > 10 AND \
+                 x.dist < 5 GROUP BY x.status"));
+        List.iter
+          (fun sql ->
+            Alcotest.(check bool) (sql ^ " is a derivation") false
+              (Factor.trivial (factor_exn sql)))
+          [
+            base ^ " HAVING COUNT(*) > 3";
+            base ^ " ORDER BY 2 DESC";
+            base ^ " LIMIT 1";
+          ];
+        Alcotest.(check (list string)) "key then aggregate columns"
+          [ "_k0"; "_a0" ] (Factor.core_columns f);
+        Alcotest.(check int) "group keys" 1 f.Factor.n_group_keys;
+        Alcotest.(check int) "aggregates" 1 f.Factor.n_aggregates);
+    Alcotest.test_case "histogram-hostile shapes refuse to factor" `Quick (fun () ->
+        List.iter unfactorable
+          [
+            (* no aggregates: raw rows are not a releasable histogram *)
+            "SELECT t.status FROM trips t GROUP BY t.status";
+            "SELECT * FROM trips t";
+            (* set operations compose whole queries, not one core *)
+            "SELECT COUNT(*) FROM trips t UNION SELECT COUNT(*) FROM rides r";
+            (* DISTINCT changes multiplicity after aggregation *)
+            "SELECT DISTINCT t.status, COUNT(*) FROM trips t GROUP BY t.status";
+            (* CTEs hide arbitrary shape behind the name *)
+            "WITH w AS (SELECT t.status FROM trips t) SELECT COUNT(*) FROM w";
+            (* raw column in ORDER BY: not derivable from the histogram *)
+            "SELECT t.status, COUNT(*) FROM trips t GROUP BY t.status ORDER BY \
+             t.fare";
+            (* raw column in HAVING *)
+            "SELECT t.status, COUNT(*) FROM trips t GROUP BY t.status HAVING \
+             t.fare > 1";
+            (* subquery in the projection reads data outside the core *)
+            "SELECT (SELECT COUNT(*) FROM rides r), COUNT(*) FROM trips t";
+          ]);
+  ]
+
+(* --- post-processing differential ---------------------------------------------- *)
+
+(* Noiseless parity: executing the factored core and evaluating the suffix
+   over its rows must equal running the original query outright — same
+   column names, same row order, same cells. *)
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+
+let db =
+  let cities =
+    Table.create ~name:"cities" ~columns:[ "id"; "name" ]
+      [
+        [| v_int 1; v_str "sf" |];
+        [| v_int 2; v_str "nyc" |];
+        [| v_int 3; v_str "la" |];
+      ]
+  in
+  let people =
+    Table.create ~name:"people" ~columns:[ "id"; "name"; "city_id"; "age" ]
+      [
+        [| v_int 1; v_str "ada"; v_int 1; v_int 36 |];
+        [| v_int 2; v_str "bob"; v_int 1; v_int 25 |];
+        [| v_int 3; v_str "cyd"; v_int 2; v_int 40 |];
+        [| v_int 4; v_str "dan"; v_int 2; Value.Null |];
+        [| v_int 5; v_str "eve"; Value.Null; v_int 31 |];
+      ]
+  in
+  Database.of_tables [ cities; people ]
+
+let direct sql =
+  match Executor.run_sql db sql with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "query failed (%s): %s" sql e
+
+let via_release sql =
+  let f = factor_exn sql in
+  let core = Executor.run db f.Factor.core in
+  Alcotest.(check (list string)) (sql ^ ": core columns")
+    (Factor.core_columns f) core.Executor.columns;
+  Flex.post_process f.Factor.suffix ~columns:core.Executor.columns
+    core.Executor.rows
+
+let check_same sql =
+  let d = direct sql in
+  let v = via_release sql in
+  Alcotest.(check (list string)) (sql ^ ": columns") d.Executor.columns
+    v.Executor.columns;
+  Alcotest.(check bool) (sql ^ ": rows bit-identical") true
+    (d.Executor.rows = v.Executor.rows)
+
+let differential_tests =
+  [
+    Alcotest.test_case "suffix evaluation matches direct execution" `Quick
+      (fun () ->
+        List.iter check_same
+          [
+            "SELECT p.city_id, COUNT(*) FROM people p GROUP BY p.city_id \
+             HAVING COUNT(*) > 1";
+            "SELECT p.city_id, COUNT(*) AS n, SUM(p.age) FROM people p GROUP BY \
+             p.city_id ORDER BY n DESC, p.city_id ASC";
+            "SELECT p.city_id, COUNT(*) * 2 + 1 FROM people p GROUP BY \
+             p.city_id ORDER BY 2 DESC LIMIT 2 OFFSET 1";
+            "SELECT SUM(p.age) * 1.0 / COUNT(*) FROM people p WHERE p.age > 20";
+            "SELECT c.name, COUNT(*) FROM people p JOIN cities c ON p.city_id = \
+             c.id GROUP BY c.name HAVING COUNT(*) >= 2 ORDER BY c.name";
+            (* the NULL city_id group: 3-valued HAVING must drop it the same way *)
+            "SELECT p.city_id, SUM(p.age) FROM people p GROUP BY p.city_id \
+             HAVING SUM(p.age) > 35";
+            "SELECT p.city_id, AVG(p.age) FROM people p GROUP BY p.city_id \
+             ORDER BY 2 DESC";
+            (* aggregate mentioned only in HAVING/ORDER BY, not projected *)
+            "SELECT p.city_id, COUNT(*) FROM people p GROUP BY p.city_id \
+             ORDER BY SUM(p.age) DESC LIMIT 2";
+          ]);
+    Alcotest.test_case "limit beyond the histogram is harmless" `Quick (fun () ->
+        check_same
+          "SELECT p.city_id, COUNT(*) FROM people p GROUP BY p.city_id ORDER BY \
+           1 LIMIT 99 OFFSET 1";
+        check_same
+          "SELECT p.city_id, COUNT(*) FROM people p GROUP BY p.city_id LIMIT 0");
+  ]
+
+let suites =
+  [ ("factor_keys", key_tests); ("factor_post_process", differential_tests) ]

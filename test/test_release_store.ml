@@ -6,6 +6,7 @@ module Release_store = Flex_service.Release_store
 module Ledger = Flex_dp.Ledger
 module Rng = Flex_dp.Rng
 module Metrics = Flex_engine.Metrics
+module Value = Flex_engine.Value
 module W = Flex_workload
 
 let temp_file suffix = Filename.temp_file "flex-release" suffix
@@ -13,7 +14,7 @@ let temp_file suffix = Filename.temp_file "flex-release" suffix
 (* entry factory: every parameter that feeds the composite key is overridable
    so the key-sensitivity and eviction tests can vary exactly one at a time *)
 let entry ?(fingerprint = "fp0") ?(analyst = "a") ?(epsilon = 0.1) ?(delta = 1e-9)
-    ?(flags = "f") ?(rows = [ [ Json.num 101.0 ] ]) sql =
+    ?(flags = "f") ?(rows = [ [| Value.Float 101.0 |] ]) sql =
   let key = Release_store.key ~sql_canonical:sql ~fingerprint ~flags ~epsilon ~delta in
   {
     Release_store.key;
@@ -74,8 +75,8 @@ let store_tests =
         Alcotest.(check int) "entries" 1 s.entries);
     Alcotest.test_case "first release wins a race on the same key" `Quick (fun () ->
         let store = Release_store.create () in
-        let first = entry ~rows:[ [ Json.num 1.0 ] ] "q" in
-        let loser = entry ~rows:[ [ Json.num 2.0 ] ] "q" in
+        let first = entry ~rows:[ [| Value.Float 1.0 |] ] "q" in
+        let loser = entry ~rows:[ [| Value.Float 2.0 |] ] "q" in
         ignore (Release_store.record store first);
         let served = Release_store.record store loser in
         (* the racing loser's noise is discarded unreleased: every answer
@@ -113,10 +114,19 @@ let store_tests =
         let path = temp_file ".releases" in
         let store = Release_store.open_ ~fingerprint:"fp0" path in
         let awkward =
-          [ [ Json.num (0.1 +. 0.2); Json.num max_float; Json.num 5e-324 ] ]
+          [
+            [|
+              Value.Float (0.1 +. 0.2);
+              Value.Float max_float;
+              Value.Float 5e-324;
+              Value.Int max_int;
+            |];
+          ]
         in
         let e1 = entry ~epsilon:0.30000000000000004 ~rows:awkward "q1" in
-        let e2 = entry ~rows:[ [ Json.num (-0.0); Json.str "café" ] ] "q2" in
+        let e2 =
+          entry ~rows:[ [| Value.Float (-0.0); Value.String "café"; Value.Null |] ] "q2"
+        in
         ignore (Release_store.record store e1);
         ignore (Release_store.record store e2);
         Release_store.close store;
@@ -200,6 +210,72 @@ let store_tests =
         Alcotest.(check int) "bounded after replay" 2 (Release_store.length store2);
         Release_store.close store2;
         Sys.remove path);
+    Alcotest.test_case "open compacts the journal to the live working set" `Quick
+      (fun () ->
+        let lines path =
+          let ic = open_in path in
+          let rec go acc =
+            match input_line ic with
+            | l -> go (if String.trim l = "" then acc else l :: acc)
+            | exception End_of_file ->
+              close_in ic;
+              List.rev acc
+          in
+          go []
+        in
+        let path = temp_file ".releases" in
+        let store = Release_store.open_ ~capacity:2 ~fingerprint:"fp0" path in
+        let es = List.init 5 (fun i -> entry (Printf.sprintf "q%d" i)) in
+        List.iter (fun e -> ignore (Release_store.record store e)) es;
+        Release_store.close store;
+        Alcotest.(check int) "append-only journal keeps every record" 5
+          (List.length (lines path));
+        (* crash mid-append on top of the dead weight *)
+        let oc = open_out_gen [ Open_append ] 0o644 path in
+        output_string oc "{\"key\": \"half-writ";
+        close_out oc;
+        let store2 = Release_store.open_ ~capacity:2 ~fingerprint:"fp0" path in
+        let live = List.filter (fun e -> find_rows store2 e <> None) es in
+        Release_store.close store2;
+        (* the rewrite keeps exactly the survivors, drops evictions and the
+           torn tail, and every remaining line parses whole *)
+        Alcotest.(check int) "journal compacted to the working set" 2
+          (List.length (lines path));
+        Alcotest.(check int) "two survivors" 2 (List.length live);
+        List.iter
+          (fun l ->
+            match Json.of_string l with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "compacted line does not parse: %s" e)
+          (lines path);
+        (* a compacted journal is a fixpoint: reopening neither rewrites nor
+           loses anything, and new records still append *)
+        let store3 = Release_store.open_ ~capacity:2 ~fingerprint:"fp0" path in
+        Alcotest.(check int) "working set intact after compaction" 2
+          (Release_store.length store3);
+        List.iter
+          (fun e ->
+            Alcotest.(check bool) "survivor still served" true
+              (find_rows store3 e <> None))
+          live;
+        ignore (Release_store.record store3 (entry "fresh"));
+        Release_store.close store3;
+        Alcotest.(check int) "append after compaction" 3 (List.length (lines path));
+        Sys.remove path);
+    Alcotest.test_case "stale-epoch journals compact to empty" `Quick (fun () ->
+        let path = temp_file ".releases" in
+        let store = Release_store.open_ ~fingerprint:"old" path in
+        List.iter
+          (fun i -> ignore (Release_store.record store (entry ~fingerprint:"old" i)))
+          [ "a"; "b"; "c" ];
+        Release_store.close store;
+        let fresh = Release_store.open_ ~fingerprint:"new" path in
+        Alcotest.(check int) "stale counted on replay" 3
+          (Release_store.stats fresh).stale_dropped;
+        Release_store.close fresh;
+        Alcotest.(check int) "dead epoch swept from disk" 0
+          (Unix.stat path).Unix.st_size;
+        Sys.remove path);
   ]
 
 (* --- server-level replay ------------------------------------------------------- *)
@@ -230,6 +306,7 @@ type answer = {
   epsilon_spent : float;
   delta_spent : float;
   cached : bool;
+  derived : bool;
   cache_hit : bool;
   noise_scales : (string * float) list;
 }
@@ -242,6 +319,7 @@ let result ?epsilon server session sql =
       epsilon_spent = r.epsilon_spent;
       delta_spent = r.delta_spent;
       cached = r.cached;
+      derived = r.derived;
       cache_hit = r.cache_hit;
       noise_scales = r.noise_scales;
     }
@@ -395,6 +473,186 @@ let server_tests =
         in
         Alcotest.(check (list string)) "grant then replay" [ "granted"; "replayed" ]
           outcomes);
+    Alcotest.test_case "suffix variants derive from the stored core at zero budget"
+      `Quick (fun () ->
+        let buf = Buffer.create 256 in
+        let server, ledger = make_server ~audit:(Audit.to_buffer buf) () in
+        let session = Server.session server in
+        hello server session "alice";
+        let core = result ~epsilon:0.5 server session histogram_sql in
+        Alcotest.(check bool) "core is charged" false core.cached;
+        Alcotest.(check bool) "core is not a derivation" false core.derived;
+        let again = result ~epsilon:0.5 server session histogram_sql in
+        Alcotest.(check bool) "exact repeat replays" true
+          (again.cached && not again.derived);
+        (* an always-true HAVING is still a different query: it must hit the
+           same stored core and come back bit-identical, charged nothing *)
+        let filtered =
+          result ~epsilon:0.5 server session
+            (histogram_sql ^ " HAVING COUNT(*) > -1000000")
+        in
+        Alcotest.(check bool) "derived from the store" true
+          (filtered.cached && filtered.derived);
+        Alcotest.(check (float 0.0)) "zero epsilon" 0.0 filtered.epsilon_spent;
+        Alcotest.(check (float 0.0)) "zero delta" 0.0 filtered.delta_spent;
+        Alcotest.(check bool) "same noisy bytes" true (filtered.rows = core.rows);
+        (* scaled + reordered + truncated: recompute the expected answer from
+           the released histogram independently of the server's evaluator *)
+        let scaled =
+          result ~epsilon:0.5 server session
+            "SELECT t.status, COUNT(*) * 2 FROM trips t GROUP BY t.status \
+             ORDER BY 2 DESC LIMIT 2"
+        in
+        Alcotest.(check bool) "scaled variant derived" true
+          (scaled.cached && scaled.derived);
+        let parsed =
+          List.map
+            (function
+              | [ s; Json.Num c ] -> (s, c)
+              | row ->
+                Alcotest.failf "unexpected histogram row: %s"
+                  (Json.to_string (Json.List row)))
+            core.rows
+        in
+        let expected =
+          List.stable_sort (fun (_, c1) (_, c2) -> Float.compare c2 c1) parsed
+          |> List.filteri (fun i _ -> i < 2)
+          |> List.map (fun (s, c) -> [ s; Json.Num (c *. 2.) ])
+        in
+        Alcotest.(check bool) "post-processing of the stored release" true
+          (scaled.rows = expected);
+        (* accounting: one grant, one replay, two derivations — and only the
+           core's charge on the ledger *)
+        Alcotest.(check bool) "single charge" true
+          (match Ledger.spent ledger ~analyst:"alice" with
+          | Some (e, _) -> e = 0.5
+          | None -> false);
+        let c = Server.counters server in
+        Alcotest.(check int) "one grant" 1 c.granted;
+        Alcotest.(check int) "one replay" 1 c.replayed;
+        Alcotest.(check int) "two derivations" 2 c.derived;
+        let outcomes =
+          Buffer.contents buf |> String.split_on_char '\n'
+          |> List.filter (fun l -> String.trim l <> "")
+          |> List.map (fun line ->
+                 match
+                   Option.bind
+                     (Result.to_option (Json.of_string line))
+                     (fun j -> Option.bind (Json.mem "outcome" j) Json.to_str)
+                 with
+                 | Some o -> o
+                 | None -> Alcotest.failf "unreadable audit line: %s" line)
+        in
+        Alcotest.(check (list string)) "audit distinguishes derivations"
+          [ "granted"; "replayed"; "derived"; "derived" ]
+          outcomes;
+        match Server.handle server session Wire.Stats with
+        | Wire.Stats_report s ->
+          Alcotest.(check int) "stats expose derivations" 2 s.release_derived
+        | other -> Alcotest.failf "expected stats, got %s" (Wire.response_to_line other));
+    Alcotest.test_case "derivation conservation across analysts and restarts"
+      `Quick (fun () ->
+        (* the acceptance shape: M suffix variants of one core, N concurrent
+           analysts, two server generations over the same journals. The fleet
+           pays for the core exactly once; every derived answer is the same
+           bytes within a generation and across the restart *)
+        let ledger_path = temp_file ".ledger" in
+        let releases_path = temp_file ".releases" in
+        let _, metrics = Lazy.force fixture in
+        let fingerprint = Metrics.fingerprint metrics in
+        let variants =
+          [
+            histogram_sql;
+            histogram_sql ^ " HAVING COUNT(*) > -1000000";
+            "SELECT t.status, COUNT(*) * 2 FROM trips t GROUP BY t.status \
+             ORDER BY 2 DESC LIMIT 2";
+            "SELECT COUNT(*), u.status FROM trips u GROUP BY u.status \
+             ORDER BY u.status";
+          ]
+        in
+        let analysts = [ "a1"; "a2"; "a3" ] in
+        let run ~seed =
+          let ledger = Ledger.open_ ledger_path in
+          let store = Release_store.open_ ~fingerprint releases_path in
+          let server, _ = make_server ~ledger ~release_store:store ~seed () in
+          let payer = Server.session server in
+          hello server payer "payer";
+          let warm = result ~epsilon:0.5 server payer histogram_sql in
+          let per_analyst = Array.make (List.length analysts) [] in
+          let worker i analyst =
+            let session = Server.session server in
+            hello server session analyst;
+            per_analyst.(i) <-
+              List.map (fun sql -> result ~epsilon:0.5 server session sql) variants
+          in
+          let threads = List.mapi (fun i a -> Thread.create (worker i) a) analysts in
+          List.iter Thread.join threads;
+          let spent =
+            List.map (fun a -> Ledger.spent ledger ~analyst:a) ("payer" :: analysts)
+          in
+          Release_store.close store;
+          Ledger.close ledger;
+          (warm, Array.to_list per_analyst, spent)
+        in
+        let warm1, answers1, spent1 = run ~seed:11 in
+        Alcotest.(check bool) "generation one pays for the core" false warm1.cached;
+        let reference = List.hd answers1 in
+        List.iter
+          (fun (per_variant : answer list) ->
+            List.iteri
+              (fun v (a : answer) ->
+                let r = List.nth reference v in
+                Alcotest.(check bool) "zero-budget store hit" true
+                  (a.cached && a.epsilon_spent = 0.0 && a.delta_spent = 0.0);
+                Alcotest.(check bool) "derived iff the suffix is real" (v > 0)
+                  a.derived;
+                Alcotest.(check bool) "identical bytes across analysts" true
+                  (a.rows = r.rows))
+              per_variant)
+          answers1;
+        (* the trivial variant is the stored histogram itself: the ordered
+           variant must be its exact ascending-by-status rearrangement *)
+        let trivial = List.nth reference 0 in
+        let reordered = List.nth reference 3 in
+        let expected =
+          List.map
+            (function
+              | [ Json.Str s; c ] -> (s, c)
+              | row ->
+                Alcotest.failf "unexpected histogram row: %s"
+                  (Json.to_string (Json.List row)))
+            trivial.rows
+          |> List.stable_sort (fun (s1, _) (s2, _) -> String.compare s1 s2)
+          |> List.map (fun (s, c) -> [ c; Json.Str s ])
+        in
+        Alcotest.(check bool) "derivation = post-processing the stored release"
+          true
+          (reordered.rows = expected);
+        let fleet_epsilon spent =
+          List.fold_left
+            (fun acc -> function Some (e, _) -> acc +. e | None -> acc)
+            0.0 spent
+        in
+        Alcotest.(check (float 0.0)) "one charge fleet-wide" 0.5
+          (fleet_epsilon spent1);
+        (* generation two: different RNG seed, same journals — identical
+           answers can only come from the store, and nothing is recharged *)
+        let warm2, answers2, spent2 = run ~seed:977 in
+        Alcotest.(check bool) "restart replays the core" true warm2.cached;
+        Alcotest.(check bool) "restart core bytes identical" true
+          (warm2.rows = warm1.rows);
+        List.iter2
+          (fun (g1 : answer list) (g2 : answer list) ->
+            List.iter2
+              (fun (a1 : answer) (a2 : answer) ->
+                Alcotest.(check bool) "derived bytes identical across restart"
+                  true (a1.rows = a2.rows))
+              g1 g2)
+          answers1 answers2;
+        Alcotest.(check (float 0.0)) "restart spends nothing new" 0.5
+          (fleet_epsilon spent2);
+        Sys.remove ledger_path;
+        Sys.remove releases_path);
     Alcotest.test_case "stats surface the release counters" `Quick (fun () ->
         let server, _ = make_server () in
         let session = Server.session server in

@@ -115,7 +115,7 @@ let gen_response =
          let* e = gen_pos_float and* d = gen_pos_float in
          let* re = gen_pos_float and* rd = gen_pos_float in
          let* cache_hit = bool and* bins_enumerated = bool in
-         let* cached = bool in
+         let* cached = bool and* derived = bool in
          let* noise_scales = gen_scales in
          return
            (Wire.Result
@@ -128,6 +128,7 @@ let gen_response =
                 remaining_delta = rd;
                 cache_hit;
                 cached;
+                derived;
                 bins_enumerated;
                 noise_scales;
               }));
@@ -181,6 +182,7 @@ let gen_response =
          let* cache_hits = int_range 0 100 and* cache_misses = int_range 0 100 in
          let* cache_entries = int_range 0 100 and* analysts = int_range 0 100 in
          let* release_hits = int_range 0 100 and* release_misses = int_range 0 100 in
+         let* release_derived = int_range 0 100 in
          let* release_evictions = int_range 0 100 in
          let* release_entries = int_range 0 100 in
          let* release_hit_rate = gen_pos_float in
@@ -213,6 +215,7 @@ let gen_response =
                 cache_entries;
                 release_hits;
                 release_misses;
+                release_derived;
                 release_evictions;
                 release_entries;
                 release_hit_rate;
