@@ -18,7 +18,12 @@ let connect host port =
     try Unix.inet_addr_of_string host
     with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
   in
-  Unix.open_connection (Unix.ADDR_INET (addr, port))
+  let ((ic, _) as conn) = Unix.open_connection (Unix.ADDR_INET (addr, port)) in
+  (* one-line request/response: without TCP_NODELAY every round trip can
+     stall on Nagle + delayed ACK *)
+  (try Unix.setsockopt (Unix.descr_of_in_channel ic) Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
+  conn
 
 let roundtrip (ic, oc) req =
   output_string oc (Wire.request_to_line req);
@@ -211,8 +216,63 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Show service counters (admissions, cache, qps, analysts).")
     Term.(const run $ host_t $ port_t $ show_metrics)
 
+let bench_cmd =
+  let run host port connections requests analysts epsilon sql =
+    let analysts = max 1 analysts in
+    let outcome =
+      Flex_service.Load_driver.run ~host ~port ~connections ~requests
+        ~hello:(fun i -> Some (Printf.sprintf "bench-%d" (i mod analysts)))
+        ~make_request:(fun ~conn:_ ~seq:_ -> Wire.Query { sql; epsilon; delta = None })
+        ()
+    in
+    let module L = Flex_service.Load_driver in
+    Fmt.pr "%d connections x %d requests in %.2f s: %.0f req/s@." connections requests
+      outcome.L.elapsed (L.qps outcome);
+    Fmt.pr "  ok %d (%d from the release store), rejected %d (%d overload, %d rate_limit), \
+            refused %d, errors %d@."
+      outcome.L.ok outcome.L.cached outcome.L.rejected outcome.L.overload
+      outcome.L.rate_limited outcome.L.refused outcome.L.errors;
+    Fmt.pr "  latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms@."
+      (1e3 *. L.percentile outcome 0.50)
+      (1e3 *. L.percentile outcome 0.95)
+      (1e3 *. L.percentile outcome 0.99);
+    if outcome.L.errors > 0 then exit 1
+  in
+  let connections =
+    Arg.(
+      value & opt int 32
+      & info [ "c"; "connections" ] ~docv:"N" ~doc:"Concurrent connections (one thread each).")
+  in
+  let requests =
+    Arg.(
+      value & opt int 100
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Requests per connection (closed loop).")
+  in
+  let analysts =
+    Arg.(
+      value & opt int 8
+      & info [ "analysts" ] ~docv:"N"
+          ~doc:
+            "Distinct analyst identities to spread the connections over (budget and \
+             rate-limit accounting are per analyst).")
+  in
+  let epsilon =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "e"; "epsilon" ] ~docv:"EPS" ~doc:"Per-query epsilon (server default otherwise).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Drive the server with concurrent closed-loop connections and report \
+          throughput and latency percentiles.")
+    Term.(const run $ host_t $ port_t $ connections $ requests $ analysts $ epsilon $ sql_t)
+
 let () =
   let info =
     Cmd.info "flex_client" ~version:"1.0.0" ~doc:"Client for the flex_serve DP query service."
   in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; analyze_cmd; explain_cmd; budget_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ query_cmd; analyze_cmd; explain_cmd; budget_cmd; stats_cmd; bench_cmd ]))

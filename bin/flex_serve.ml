@@ -34,7 +34,8 @@ let load_csv_dir dir =
 
 let serve dir metrics_file demo port ledger_file audit_file audit_max_bytes sync epsilon
     delta analyst_epsilon analyst_delta cap seed domains explain_estimates stats_port
-    no_telemetry release_cache releases_file release_capacity =
+    no_telemetry release_cache releases_file release_capacity workers max_connections
+    max_pending idle_timeout rate_limit thread_per_conn =
   let db, metrics =
     if demo then begin
       Fmt.pr "generating a ride-sharing database...@.";
@@ -79,6 +80,7 @@ let serve dir metrics_file demo port ledger_file audit_file audit_max_bytes sync
       explain_estimates;
       telemetry = not no_telemetry;
       release_cache;
+      rate_limit_qps = rate_limit;
     }
   in
   let domains =
@@ -91,13 +93,39 @@ let serve dir metrics_file demo port ledger_file audit_file audit_max_bytes sync
     Server.create ~audit ~config ?pool ?release_store ~db ~metrics ~ledger
       ~rng:(Rng.create ~seed ()) ()
   in
-  let listener = Server.listen ~port server in
+  let front_port, run_front =
+    if thread_per_conn then begin
+      let listener = Server.listen ~port ~idle_timeout server in
+      (Server.port listener, fun () -> Server.serve listener)
+    end
+    else begin
+      let config =
+        {
+          Flex_service.Reactor.default_config with
+          workers;
+          max_pending;
+          max_connections;
+          idle_timeout;
+        }
+      in
+      let reactor = Flex_service.Reactor.listen ~port ~config server in
+      (Flex_service.Reactor.port reactor, fun () -> Flex_service.Reactor.run reactor)
+    end
+  in
   Fmt.pr "flex_serve: listening on 127.0.0.1:%d (%d tables, %d rows, %d execution domain%s)@."
-    (Server.port listener)
+    front_port
     (List.length (Database.table_names db))
     (Metrics.total_rows metrics)
     domains
     (if domains = 1 then "" else "s");
+  if thread_per_conn then Fmt.pr "flex_serve: thread-per-connection front end@."
+  else
+    Fmt.pr
+      "flex_serve: event-driven front end (%d workers, %d pending, %d connections max)@."
+      workers max_pending max_connections;
+  (match rate_limit with
+  | Some qps -> Fmt.pr "flex_serve: per-analyst rate limit %g queries/s@." qps
+  | None -> ());
   (match Ledger.path ledger with
   | Some p -> Fmt.pr "flex_serve: budget ledger at %s@." p
   | None -> Fmt.pr "flex_serve: in-memory ledger (budgets reset on restart)@.");
@@ -117,7 +145,7 @@ let serve dir metrics_file demo port ledger_file audit_file audit_max_bytes sync
     Fmt.pr "flex_serve: stats on http://127.0.0.1:%d/metrics (and /metrics.json, /healthz)@."
       (Flex_service.Stats_http.port http)
   | None, _ -> ());
-  Server.serve listener
+  run_front ()
 
 let () =
   let dir =
@@ -265,6 +293,57 @@ let () =
             "Cap on live release-store entries (default 4096); at capacity, admission \
              evicts fairly across analysts. Evicted keys are re-charged on re-query.")
   in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker threads executing requests behind the event-driven front end \
+             (ignored with $(b,--thread-per-conn)).")
+  in
+  let max_connections =
+    Arg.(
+      value & opt int 900
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Connection cap for the event-driven front end; accepts beyond it are \
+             answered with a typed overload rejection and closed. Must stay under the \
+             select(2) fd limit (1024).")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 256
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Bounded request-queue capacity; when full, further requests are shed with \
+             $(b,Rejected {bucket=\"overload\"}) instead of growing the backlog.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 300.0
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Close connections silent for this long (half-open peers, slowloris \
+             frames); 0 disables. Applies to both front ends.")
+  in
+  let rate_limit =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate-limit" ] ~docv:"QPS"
+          ~doc:
+            "Per-analyst token-bucket rate limit on Query requests; over-limit \
+             requests get $(b,Rejected {bucket=\"rate_limit\"}) and are charged \
+             nothing. Off when omitted.")
+  in
+  let thread_per_conn =
+    Arg.(
+      value & flag
+      & info [ "thread-per-conn" ]
+          ~doc:
+            "Use the legacy thread-per-connection front end instead of the \
+             event-driven reactor (mostly useful for baseline benchmarks).")
+  in
   let info =
     Cmd.info "flex_serve" ~version:"1.0.0"
       ~doc:"Serve FLEX differentially private SQL over TCP (line-delimited JSON)."
@@ -274,6 +353,7 @@ let () =
       const serve $ dir $ metrics_file $ demo $ port $ ledger_file $ audit_file
       $ audit_max_bytes $ sync $ epsilon $ delta $ analyst_epsilon $ analyst_delta $ cap
       $ seed $ domains $ explain_estimates $ stats_port $ no_telemetry $ release_cache
-      $ releases_file $ release_capacity)
+      $ releases_file $ release_capacity $ workers $ max_connections $ max_pending
+      $ idle_timeout $ rate_limit $ thread_per_conn)
   in
   exit (Cmd.eval (Cmd.v info term))

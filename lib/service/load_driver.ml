@@ -1,0 +1,171 @@
+module Clock = Flex_obs.Clock
+
+type outcome = {
+  sent : int;
+  ok : int;
+  cached : int;
+  rejected : int;
+  overload : int;
+  rate_limited : int;
+  refused : int;
+  errors : int;
+  latencies : float array;
+  elapsed : float;
+}
+
+let qps o = if o.elapsed > 0.0 then float_of_int (Array.length o.latencies) /. o.elapsed else 0.0
+
+let percentile o p =
+  let n = Array.length o.latencies in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    o.latencies.(idx)
+  end
+
+(* per-connection tally, merged under a lock at the end *)
+type tally = {
+  mutable sent : int;
+  mutable ok : int;
+  mutable cached : int;
+  mutable rejected : int;
+  mutable overload : int;
+  mutable rate_limited : int;
+  mutable refused : int;
+  mutable errors : int;
+  lat : float list ref;
+}
+
+let fresh_tally () =
+  {
+    sent = 0;
+    ok = 0;
+    cached = 0;
+    rejected = 0;
+    overload = 0;
+    rate_limited = 0;
+    refused = 0;
+    errors = 0;
+    lat = ref [];
+  }
+
+let connect host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  Unix.connect fd (ADDR_INET (addr, port));
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let roundtrip (ic, oc) req =
+  output_string oc (Wire.request_to_line req);
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let classify t line =
+  match Wire.response_of_line line with
+  | Error _ -> t.errors <- t.errors + 1
+  | Ok resp -> (
+    match resp with
+    | Wire.Result r ->
+      t.ok <- t.ok + 1;
+      if r.cached then t.cached <- t.cached + 1
+    | Wire.Analysis _ | Wire.Plan_report _ | Wire.Analyzed_report _
+    | Wire.Budget_report _ | Wire.Stats_report _ | Wire.Bye ->
+      t.ok <- t.ok + 1
+    | Wire.Rejected r ->
+      t.rejected <- t.rejected + 1;
+      if r.bucket = "overload" then t.overload <- t.overload + 1
+      else if r.bucket = "rate_limit" then t.rate_limited <- t.rate_limited + 1
+    | Wire.Refused _ -> t.refused <- t.refused + 1
+    | Wire.Error_msg _ -> t.errors <- t.errors + 1)
+
+let drive ~host ~port ~hello ~requests ~make_request ~conn_idx t =
+  match connect host port with
+  | exception _ -> t.errors <- t.errors + 1
+  | conn ->
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.close (Unix.descr_of_in_channel (fst conn))
+        with Unix.Unix_error _ | Sys_error _ -> ())
+      (fun () ->
+        (try
+           (match hello conn_idx with
+           | None -> ()
+           | Some analyst ->
+             t.sent <- t.sent + 1;
+             let t0 = Clock.now_ns () in
+             let line =
+               roundtrip conn (Wire.Hello { analyst; epsilon = None; delta = None })
+             in
+             t.lat := ((Clock.now_ns () -. t0) /. 1e9) :: !(t.lat);
+             classify t line);
+           let stop = ref false in
+           let seq = ref 0 in
+           while (not !stop) && !seq < requests do
+             let req = make_request ~conn:conn_idx ~seq:!seq in
+             incr seq;
+             t.sent <- t.sent + 1;
+             let t0 = Clock.now_ns () in
+             match roundtrip conn req with
+             | line ->
+               t.lat := ((Clock.now_ns () -. t0) /. 1e9) :: !(t.lat);
+               classify t line
+             | exception (End_of_file | Sys_error _ | Unix.Unix_error _) ->
+               t.errors <- t.errors + 1;
+               stop := true
+           done
+         with End_of_file | Sys_error _ | Unix.Unix_error _ ->
+           t.errors <- t.errors + 1))
+
+let run ?(host = "127.0.0.1") ?hello ~port ~connections ~requests ~make_request () =
+  if connections < 1 then invalid_arg "Load_driver.run: connections must be >= 1";
+  if requests < 0 then invalid_arg "Load_driver.run: requests must be >= 0";
+  let hello =
+    match hello with
+    | Some f -> f
+    | None -> fun i -> Some (Printf.sprintf "analyst-%d" i)
+  in
+  let tallies = Array.init connections (fun _ -> fresh_tally ()) in
+  let t0 = Clock.now_ns () in
+  let threads =
+    Array.to_list
+      (Array.init connections (fun i ->
+           Thread.create
+             (fun () ->
+               drive ~host ~port ~hello ~requests ~make_request ~conn_idx:i tallies.(i))
+             ()))
+  in
+  List.iter Thread.join threads;
+  let elapsed = (Clock.now_ns () -. t0) /. 1e9 in
+  let merged = fresh_tally () in
+  Array.iter
+    (fun t ->
+      merged.sent <- merged.sent + t.sent;
+      merged.ok <- merged.ok + t.ok;
+      merged.cached <- merged.cached + t.cached;
+      merged.rejected <- merged.rejected + t.rejected;
+      merged.overload <- merged.overload + t.overload;
+      merged.rate_limited <- merged.rate_limited + t.rate_limited;
+      merged.refused <- merged.refused + t.refused;
+      merged.errors <- merged.errors + t.errors;
+      merged.lat := List.rev_append !(t.lat) !(merged.lat))
+    tallies;
+  let latencies = Array.of_list !(merged.lat) in
+  Array.sort compare latencies;
+  {
+    sent = merged.sent;
+    ok = merged.ok;
+    cached = merged.cached;
+    rejected = merged.rejected;
+    overload = merged.overload;
+    rate_limited = merged.rate_limited;
+    refused = merged.refused;
+    errors = merged.errors;
+    latencies;
+    elapsed;
+  }

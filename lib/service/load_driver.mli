@@ -1,0 +1,45 @@
+(** Closed-loop concurrent load driver for the wire protocol.
+
+    Opens [connections] TCP connections (each its own thread, blocking
+    I/O, [TCP_NODELAY]), optionally authenticates each with [Hello], and
+    drives [requests] request/response round trips per connection,
+    timing every round trip on the monotonic clock. Closed-loop: each
+    connection has exactly one request outstanding, so offered load
+    adapts to service rate and the latency distribution is honest.
+
+    Shared by [flex_client bench] and [bench/load_perf] — the sustained
+    load benchmark is the CLI driver, not a parallel implementation. *)
+
+type outcome = {
+  sent : int;
+  ok : int;  (** answered with a result/report *)
+  cached : int;  (** the subset of [ok] served from the release store *)
+  rejected : int;  (** all typed rejections *)
+  overload : int;  (** the subset of [rejected] with bucket ["overload"] *)
+  rate_limited : int;  (** the subset with bucket ["rate_limit"] *)
+  refused : int;  (** budget refusals *)
+  errors : int;  (** error responses and transport failures *)
+  latencies : float array;  (** per-round-trip seconds, sorted ascending *)
+  elapsed : float;  (** wall seconds for the whole run *)
+}
+
+val qps : outcome -> float
+(** Completed round trips per wall second. *)
+
+val percentile : outcome -> float -> float
+(** [percentile o 0.99] — nearest-rank over the sorted latencies; 0 when
+    no round trip completed. *)
+
+val run :
+  ?host:string ->
+  ?hello:(int -> string option) ->
+  port:int ->
+  connections:int ->
+  requests:int ->
+  make_request:(conn:int -> seq:int -> Wire.request) ->
+  unit ->
+  outcome
+(** [hello i] names the analyst connection [i] authenticates as (default:
+    ["analyst-" ^ i]; [None] skips the Hello). A connection that suffers a
+    transport failure (hangup, refused) counts the failed round trip under
+    [errors] and stops; the others keep going. *)

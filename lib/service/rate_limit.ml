@@ -1,0 +1,61 @@
+type bucket = { mutable tokens : float; mutable stamp : float }
+
+type t = {
+  rate : float;  (* tokens per second *)
+  burst : float;
+  lock : Mutex.t;
+  buckets : (string, bucket) Hashtbl.t;
+  mutable allowed : int;
+  mutable denied : int;
+}
+
+type stats = { allowed : int; denied : int; keys : int }
+
+let create ?burst ~qps () =
+  if (not (Float.is_finite qps)) || qps <= 0.0 then
+    invalid_arg "Rate_limit.create: qps must be positive and finite";
+  let burst = match burst with Some b -> b | None -> Float.max 1.0 qps in
+  if (not (Float.is_finite burst)) || burst < 1.0 then
+    invalid_arg "Rate_limit.create: burst must be >= 1 and finite";
+  {
+    rate = qps;
+    burst;
+    lock = Mutex.create ();
+    buckets = Hashtbl.create 16;
+    allowed = 0;
+    denied = 0;
+  }
+
+let qps t = t.rate
+
+let allow ?now t ~key =
+  let now =
+    match now with Some n -> n | None -> Flex_obs.Clock.now_ns () /. 1e9
+  in
+  Mutex.protect t.lock (fun () ->
+      let b =
+        match Hashtbl.find_opt t.buckets key with
+        | Some b -> b
+        | None ->
+          let b = { tokens = t.burst; stamp = now } in
+          Hashtbl.add t.buckets key b;
+          b
+      in
+      (* the clock is monotonized upstream, but guard the injected one *)
+      if now > b.stamp then begin
+        b.tokens <- Float.min t.burst (b.tokens +. ((now -. b.stamp) *. t.rate));
+        b.stamp <- now
+      end;
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        t.allowed <- t.allowed + 1;
+        true
+      end
+      else begin
+        t.denied <- t.denied + 1;
+        false
+      end)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      { allowed = t.allowed; denied = t.denied; keys = Hashtbl.length t.buckets })

@@ -1,0 +1,28 @@
+(** Per-key token-bucket rate limiting for request admission.
+
+    One bucket per key (the service keys on the analyst name): tokens
+    refill continuously at [qps] per second up to [burst], and each
+    admitted request spends one. A request that finds the bucket empty is
+    denied — the service answers it with a typed rejection instead of
+    queueing it, so a single analyst's dashboard gone haywire cannot
+    monopolize the worker pool.
+
+    Denials are a scheduling decision, not a privacy event: nothing here
+    touches the budget ledger, and a denied request is charged nothing. *)
+
+type t
+
+val create : ?burst:float -> qps:float -> unit -> t
+(** [burst] defaults to [max 1.0 qps] (about one second of headroom).
+    @raise Invalid_argument unless [qps > 0], finite, and [burst >= 1]. *)
+
+val qps : t -> float
+
+val allow : ?now:float -> t -> key:string -> bool
+(** Spend one token from [key]'s bucket, creating it full on first sight.
+    [now] is seconds (monotonic preferred) and exists for deterministic
+    tests; it defaults to {!Flex_obs.Clock.now_ns}[ () /. 1e9]. Thread-safe. *)
+
+type stats = { allowed : int; denied : int; keys : int }
+
+val stats : t -> stats

@@ -1,0 +1,97 @@
+(** Event-driven TCP front end: a single readiness loop over nonblocking
+    sockets feeding a bounded worker pool.
+
+    The thread-per-connection front end ({!Server.listen}) spends an OS
+    thread — and under load, a context switch per request — on every
+    analyst. With replay/derivation answering warm queries in microseconds,
+    that connection layer is the bottleneck. The reactor replaces it:
+
+    - {b one reactor thread} multiplexes every connection with
+      [Unix.select]: it accepts, reads, frames line-delimited requests
+      incrementally (no [in_channel], no blocking reads), and writes
+      queued responses when sockets are ready — a slow reader never
+      blocks anything but its own connection;
+    - {b a bounded worker pool} ({!Workers}) runs {!Server.handle}.
+      Requests from one connection execute serially (pipelined requests
+      are answered in order and session state never races); requests from
+      different connections run concurrently;
+    - {b admission control}: when the worker queue is full the next
+      framed request is answered [Rejected {bucket = "overload"}] without
+      being parsed, executed, or charged — load shedding with a typed
+      reply, audit-logged via {!Server.log_overload}. Connections beyond
+      [max_connections] are refused the same way at accept. Per-analyst
+      token-bucket rate limits live one layer down, in
+      {!Server.config.rate_limit_qps};
+    - {b backpressure}: a connection with [max_pipeline] framed requests
+      waiting, or [max_output_bytes] of unread responses, is simply not
+      read from until it drains — the kernel's TCP window pushes back on
+      the client, and server memory stays bounded;
+    - {b idle sweep}: connections silent for [idle_timeout] seconds are
+      closed (half-open peers, slowloris partial frames, dead clients) —
+      no fd outlives its usefulness.
+
+    The privacy-critical ordering is untouched: charge → journal →
+    respond all happen inside {!Server.handle} on a worker thread exactly
+    as they do on the blocking path; the reactor only moves bytes.
+
+    Accepted sockets get [TCP_NODELAY]. The loop is built on
+    [Unix.select], so [max_connections] must stay well under [FD_SETSIZE]
+    (1024 on Linux); the default cap is 900. *)
+
+type config = {
+  workers : int;  (** worker threads executing requests (default 4) *)
+  max_pending : int;
+      (** worker-queue capacity: framed requests admitted but not yet
+          executing; beyond it, requests are shed (default 256) *)
+  max_connections : int;
+      (** connection cap; an accept beyond it is answered with an
+          overload rejection and closed (default 900 — select limit) *)
+  idle_timeout : float;
+      (** seconds of silence before a connection is reaped; 0 disables
+          (default 300) *)
+  max_line_bytes : int;
+      (** frame cap: a longer request line is answered with an error and
+          the connection closed (default 1 MiB) *)
+  max_pipeline : int;
+      (** per-connection framed-but-unserved request cap before the
+          reactor stops reading that socket (default 64) *)
+  max_output_bytes : int;
+      (** per-connection unread-response cap before the reactor stops
+          serving that connection's queue (default 1 MiB) *)
+}
+
+val default_config : config
+
+type t
+
+val listen : ?backlog:int -> ?port:int -> ?config:config -> Server.t -> t
+(** Bind 127.0.0.1 (port 0 — the default — picks an ephemeral one), spawn
+    the worker pool, and register [flex_connections_open],
+    [flex_requests_inflight] and [flex_overload_rejections_total] on the
+    server's metrics registry (when telemetry is on). The loop itself
+    starts with {!start} or {!run}. *)
+
+val port : t -> int
+
+val run : t -> unit
+(** The readiness loop, in the calling thread; returns after {!stop}. *)
+
+val start : t -> Thread.t
+(** {!run} on a background thread. *)
+
+val stop : t -> unit
+(** Stop accepting and reading, let in-flight requests finish and their
+    responses flush (bounded by a few seconds), then close every
+    connection and join the loop and the workers. The ledger is quiescent
+    when this returns. Idempotent. *)
+
+type stats = {
+  connections_open : int;
+  accepted_total : int;
+  shed_total : int;  (** requests answered with the overload rejection *)
+  conn_refused_total : int;  (** accepts turned away at [max_connections] *)
+  idle_closed_total : int;  (** connections reaped by the idle sweep *)
+  requests_inflight : int;  (** admitted to the worker pool, not yet done *)
+}
+
+val stats : t -> stats

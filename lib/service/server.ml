@@ -39,6 +39,11 @@ type config = {
          epoch, mechanism) requests at zero additional budget — the DP
          post-processing freebie. Off, every repeat re-executes,
          re-perturbs, and is charged again. *)
+  rate_limit_qps : float option;
+      (* per-analyst token-bucket admission: each analyst may issue at most
+         this many queries per second (with ~1 s of burst); a request over
+         the limit gets Rejected {bucket="rate_limit"}, audit-logged, and is
+         charged nothing. None = unlimited. *)
 }
 
 let default_config =
@@ -55,6 +60,7 @@ let default_config =
     explain_estimates = false;
     telemetry = true;
     release_cache = true;
+    rate_limit_qps = None;
   }
 
 (* The write-side instruments; scrape-time values (budgets, cache, pool)
@@ -65,6 +71,7 @@ type instruments = {
   m_replayed : Registry.Counter.t;
   m_derived : Registry.Counter.t;
   m_rejected : Registry.Counter.t;
+  m_rate_limited : Registry.Counter.t;
   m_refused : Registry.Counter.t;
   m_latency : Registry.Histogram.t;
   m_stage : (string list * Registry.Histogram.t) list;
@@ -88,6 +95,7 @@ type t = {
      pays the core/suffix split once per distinct query text. *)
   canon_memo : (string * Flex_sql.Factor.t option) Cache.t;
   release_store : Release_store.t option;  (* Some iff [config.release_cache] *)
+  limiter : Rate_limit.t option;  (* Some iff [config.rate_limit_qps] *)
   audit : Audit.t;
   rng : Rng.t;
   (* one shared domain pool for every session's query execution; queries are
@@ -103,6 +111,7 @@ type t = {
   mutable replayed : int;
   mutable derived : int;
   mutable rejected : int;
+  mutable rate_limited : int;
   mutable refused : int;
 }
 
@@ -133,6 +142,10 @@ let make_instruments reg =
     m_rejected =
       Registry.counter reg ~help:"Queries rejected (parse/unsupported/admission/other)"
         "flex_rejected_total";
+    m_rate_limited =
+      Registry.counter reg
+        ~help:"Queries rejected by the per-analyst token-bucket rate limit"
+        "flex_rate_limited_total";
     m_refused =
       Registry.counter reg ~help:"Queries refused by the budget ledger" "flex_refused_total";
     m_latency =
@@ -258,6 +271,8 @@ let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity ?
       analysis_cache = Cache.create ?capacity:cache_capacity ();
       canon_memo = Cache.create ?capacity:cache_capacity ();
       release_store;
+      limiter =
+        Option.map (fun qps -> Rate_limit.create ~qps ()) config.rate_limit_qps;
       audit;
       rng;
       pool;
@@ -270,6 +285,7 @@ let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity ?
       replayed = 0;
       derived = 0;
       rejected = 0;
+      rate_limited = 0;
       refused = 0;
     }
   in
@@ -470,9 +486,39 @@ let analyzed_plan t session ~sql ast =
         reject (Errors.Analysis_error ("aggregation: " ^ m))
     end
 
+(* Token-bucket admission: a scheduling decision ahead of everything else
+   (no parse, no analysis, no ledger), so a runaway dashboard is turned
+   away at the door instead of queueing work. The denial is audit-logged —
+   operators tune --rate-limit from these events and the
+   flex_rate_limited_total counter. *)
+let rate_limited t ~analyst =
+  match t.limiter with
+  | None -> false
+  | Some rl -> not (Rate_limit.allow rl ~key:analyst)
+
 let handle_query t session ~sql ~epsilon ~delta =
   match session.analyst with
   | None -> Wire.Error_msg "no analyst: send hello first"
+  | Some analyst when rate_limited t ~analyst ->
+    with_lock t (fun () ->
+        t.queries <- t.queries + 1;
+        t.rejected <- t.rejected + 1;
+        t.rate_limited <- t.rate_limited + 1);
+    instr t (fun i ->
+        Registry.Counter.incr i.m_queries;
+        Registry.Counter.incr i.m_rejected;
+        Registry.Counter.incr i.m_rate_limited);
+    Audit.log t.audit
+      { (base_event ~analyst ~sql) with outcome = Audit.Rejected "rate_limit" };
+    Wire.Rejected
+      {
+        bucket = "rate_limit";
+        reason =
+          Printf.sprintf
+            "analyst %S exceeded the per-analyst rate limit (%g queries/s); retry later"
+            analyst
+            (match t.limiter with Some rl -> Rate_limit.qps rl | None -> 0.0);
+      }
   | Some analyst -> (
     with_lock t (fun () -> t.queries <- t.queries + 1);
     instr t (fun i -> Registry.Counter.incr i.m_queries);
@@ -868,6 +914,7 @@ type counters = {
   replayed : int;
   derived : int;
   rejected : int;
+  rate_limited : int;
   refused : int;
 }
 
@@ -879,8 +926,26 @@ let counters t =
         replayed = t.replayed;
         derived = t.derived;
         rejected = t.rejected;
+        rate_limited = t.rate_limited;
         refused = t.refused;
       })
+
+let session_analyst (s : session) = s.analyst
+
+(* The reactor sheds a request it never parsed (worker queue full): record
+   the refusal in the audit log like every other admission decision. The
+   raw line stands in for the SQL — truncated, it may not even be JSON. *)
+let log_overload t ~analyst ~line =
+  let sql =
+    if String.length line <= 200 then line else String.sub line 0 200 ^ "..."
+  in
+  with_lock t (fun () -> t.rejected <- t.rejected + 1);
+  instr t (fun i -> Registry.Counter.incr i.m_rejected);
+  Audit.log t.audit
+    {
+      (base_event ~analyst:(Option.value analyst ~default:"") ~sql) with
+      outcome = Audit.Rejected "overload";
+    }
 
 let cache t = t.analysis_cache
 let release_store t = t.release_store
@@ -906,13 +971,14 @@ type listener = {
   server : t;
   sock : Unix.file_descr;
   lport : int;
+  idle_timeout : float;
   llock : Mutex.t;
   mutable running : bool;
   mutable conns : (Unix.file_descr * Thread.t) list;
   mutable accept_thread : Thread.t option;
 }
 
-let listen ?(backlog = 16) ?(port = 0) t =
+let listen ?(backlog = 16) ?(port = 0) ?(idle_timeout = 300.0) t =
   let sock = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt sock SO_REUSEADDR true;
   Unix.bind sock (ADDR_INET (Unix.inet_addr_loopback, port));
@@ -924,6 +990,7 @@ let listen ?(backlog = 16) ?(port = 0) t =
     server = t;
     sock;
     lport;
+    idle_timeout;
     llock = Mutex.create ();
     running = true;
     conns = [];
@@ -966,6 +1033,15 @@ let serve l =
     | fd, _ ->
       if not l.running then (try Unix.close fd with _ -> ())
       else begin
+        (* one-JSON-line request/response: Nagle + delayed ACK would add a
+           round-trip of latency to every exchange *)
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        (* a dead or silent client may not pin this thread (and its fd)
+           forever: a blocked read gives up after the idle timeout, which
+           the reader below treats as a hangup *)
+        (if l.idle_timeout > 0.0 then
+           try Unix.setsockopt_float fd Unix.SO_RCVTIMEO l.idle_timeout
+           with Unix.Unix_error _ -> ());
         Mutex.lock l.llock;
         let th = Thread.create (fun () -> conn_loop l fd) () in
         l.conns <- (fd, th) :: l.conns;

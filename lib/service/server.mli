@@ -75,6 +75,14 @@ type config = {
           default. Off, every query re-executes, draws fresh noise, and is
           charged again (correct accounting, strictly worse utility per
           epsilon for dashboard workloads). *)
+  rate_limit_qps : float option;
+      (** per-analyst token-bucket admission: each analyst may issue at
+          most this many [Query] requests per second (with about one
+          second of burst). A request over the limit is answered
+          [Rejected {bucket = "rate_limit"}], audit-logged with the same
+          outcome, and charged nothing — the decision is scheduling, not
+          privacy, so it never touches the ledger. [None] (the default)
+          disables the limiter. *)
 }
 
 val default_config : config
@@ -114,6 +122,17 @@ val session : t -> session
 (** A fresh anonymous session with an independent RNG stream; [Hello] names
     its analyst. *)
 
+val session_analyst : session -> string option
+(** The analyst a [Hello] attached to this session, if any — what the
+    connection layer records in audit events for requests it sheds before
+    they ever reach {!handle}. *)
+
+val log_overload : t -> analyst:string option -> line:string -> unit
+(** Audit-log a request the connection layer shed before parsing (worker
+    queue full): outcome [Rejected "overload"], the raw wire line standing
+    in for the SQL (truncated to 200 bytes). Counted under [rejected];
+    charges nothing. *)
+
 val handle : t -> session -> Wire.request -> Wire.response
 (** Serve one request. Never raises. *)
 
@@ -129,6 +148,9 @@ type counters = {
       (** zero-budget derivations: store hits answered by evaluating a
           post-processing suffix over the stored noisy rows *)
   rejected : int;
+  rate_limited : int;
+      (** the subset of [rejected] turned away by the per-analyst token
+          bucket ([config.rate_limit_qps]) *)
   refused : int;
 }
 
@@ -153,8 +175,17 @@ val refresh_data : t -> db:Database.t -> metrics:Metrics.t -> int
 
 type listener
 
-val listen : ?backlog:int -> ?port:int -> t -> listener
-(** Bind 127.0.0.1 (port 0 — the default — picks an ephemeral one). *)
+val listen : ?backlog:int -> ?port:int -> ?idle_timeout:float -> t -> listener
+(** Bind 127.0.0.1 (port 0 — the default — picks an ephemeral one).
+    Accepted sockets get [TCP_NODELAY] (the one-line request/response
+    protocol would otherwise pay Nagle/delayed-ACK latency every round
+    trip) and a receive timeout of [idle_timeout] seconds (default 300;
+    [0] disables), after which a silent client's connection is dropped —
+    a dead peer may not pin an fd and a thread forever.
+
+    This thread-per-connection front end is the baseline the event-driven
+    {!Reactor} is benchmarked against; prefer the reactor for high
+    connection counts. *)
 
 val port : listener -> int
 

@@ -1,0 +1,89 @@
+type stats = { submitted : int; rejected : int; completed : int }
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  n_workers : int;
+  queue_capacity : int;
+  mutable running : bool;
+  mutable inflight : int;  (* queued + executing *)
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable threads : Thread.t list;
+}
+
+let worker_loop t =
+  let continue = ref true in
+  Mutex.lock t.lock;
+  while !continue do
+    match Queue.take_opt t.jobs with
+    | Some job ->
+      Mutex.unlock t.lock;
+      (try job () with _ -> ());
+      Mutex.lock t.lock;
+      t.inflight <- t.inflight - 1;
+      t.completed <- t.completed + 1
+    | None ->
+      if not t.running then continue := false
+      else Condition.wait t.nonempty t.lock
+  done;
+  Mutex.unlock t.lock
+
+let create ?name:_ ~workers ~capacity () =
+  if workers < 1 then invalid_arg "Workers.create: workers must be >= 1";
+  if capacity < 1 then invalid_arg "Workers.create: capacity must be >= 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      n_workers = workers;
+      queue_capacity = capacity;
+      running = true;
+      inflight = 0;
+      submitted = 0;
+      rejected = 0;
+      completed = 0;
+      threads = [];
+    }
+  in
+  t.threads <- List.init workers (fun _ -> Thread.create worker_loop t);
+  t
+
+let workers t = t.n_workers
+let capacity t = t.queue_capacity
+
+let try_submit t job =
+  Mutex.lock t.lock;
+  if (not t.running) || Queue.length t.jobs >= t.queue_capacity then begin
+    t.rejected <- t.rejected + 1;
+    Mutex.unlock t.lock;
+    false
+  end
+  else begin
+    Queue.push job t.jobs;
+    t.inflight <- t.inflight + 1;
+    t.submitted <- t.submitted + 1;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.lock;
+    true
+  end
+
+let inflight t = Mutex.protect t.lock (fun () -> t.inflight)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      { submitted = t.submitted; rejected = t.rejected; completed = t.completed })
+
+let shutdown t =
+  let to_join =
+    Mutex.protect t.lock (fun () ->
+        t.running <- false;
+        Condition.broadcast t.nonempty;
+        let ths = t.threads in
+        t.threads <- [];
+        ths)
+  in
+  List.iter Thread.join to_join
