@@ -93,12 +93,12 @@ let prime server =
   | other -> Fmt.failwith "prime hello failed: %s" (Wire.response_to_line other));
   Array.iter
     (fun sql ->
-      match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None }) with
+      match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None; id = None }) with
       | Wire.Result _ -> ()
       | other -> Fmt.failwith "prime query failed: %s" (Wire.response_to_line other))
     shapes
 
-let rotate shapes ~conn ~seq = Wire.Query { sql = shapes.((conn + seq) mod Array.length shapes); epsilon = None; delta = None }
+let rotate shapes ~conn ~seq = Wire.Query { sql = shapes.((conn + seq) mod Array.length shapes); epsilon = None; delta = None; id = None }
 
 type section = { qps : float; p50_ms : float; p99_ms : float; outcome : L.outcome }
 
@@ -231,7 +231,7 @@ let overload_section ~connections ~requests fixture =
           L.run ~port:(Reactor.port r) ~connections ~requests
             ~hello:(fun i -> Some (Printf.sprintf "load-%d" i))
             ~make_request:(fun ~conn:_ ~seq:_ ->
-              Wire.Query { sql = shapes.(0); epsilon = None; delta = None })
+              Wire.Query { sql = shapes.(0); epsilon = None; delta = None; id = None })
             ()
         in
         (o, Reactor.stats r))

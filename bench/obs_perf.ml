@@ -79,7 +79,23 @@ let bench_micro ~rounds ~iters =
         Span.timed (Some r) "s" (fun _ -> ());
         Span.finish r)
   in
-  (counter, histogram, clock, span)
+  let st = Flex_obs.Statements.create () in
+  let statement =
+    ns_per_op ~rounds ~iters:(iters / 10) (fun () ->
+        Flex_obs.Statements.record st ~now_ns:1.0
+          ~key:"SELECT COUNT(*) FROM trips WHERE status = ?" ~outcome:`Granted
+          ~stages:[ ("execute", 1.2e5); ("perturb", 3.0e3) ]
+          ~rows:1 ~epsilon:0.1 ~total_ns:2.5e5 ())
+  in
+  let fl = Flex_obs.Flight.create () in
+  let flight =
+    ns_per_op ~rounds ~iters:(iters / 10) (fun () ->
+        Flex_obs.Flight.record fl ~ts_ns:1.0 ~analyst:"bench"
+          ~sql:"SELECT COUNT(*) FROM trips WHERE status = 'completed'"
+          ~key:"SELECT COUNT(*) FROM trips WHERE status = ?" ~outcome:"granted"
+          ~epsilon:0.1 ~duration_ns:2.5e5 ())
+  in
+  (counter, histogram, clock, span, statement, flight)
 
 (* ----------------------------------------------------------------- engine *)
 
@@ -115,48 +131,57 @@ let service_sqls =
   ]
 
 let run_query server session sql =
-  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None }) with
+  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None; id = None }) with
   | Wire.Result _ -> ()
   | other -> Fmt.failwith "query failed: %s" (Wire.response_to_line other)
 
 (* median ns/query over [rounds] passes of the warm mix; the cache is primed
    (and the analysis memoized) before the clock starts, so the measured path
    is parse + cache hit + execute + charge + perturb — exactly the path the
-   telemetry instruments *)
-let bench_service (db, metrics) ~telemetry ~rounds ~reps =
-  let config =
-    {
-      Server.default_config with
-      analyst_epsilon = 1e9;
-      analyst_delta = 0.5;
-      telemetry;
-      (* replay off: this benchmark measures the charged pipeline the
-         telemetry instruments, not the release store's fast path *)
-      release_cache = false;
-    }
+   telemetry instruments. The off and on servers run interleaved, one round
+   each in alternation — measuring all off rounds before all on rounds lets
+   machine-speed drift between the two phases masquerade as telemetry
+   overhead. *)
+let bench_service (db, metrics) ~rounds ~reps =
+  let make telemetry =
+    let config =
+      {
+        Server.default_config with
+        analyst_epsilon = 1e9;
+        analyst_delta = 0.5;
+        telemetry;
+        (* replay off: this benchmark measures the charged pipeline the
+           telemetry instruments, not the release store's fast path *)
+        release_cache = false;
+      }
+    in
+    let server =
+      Server.create ~config ~db ~metrics ~ledger:(Ledger.in_memory ())
+        ~rng:(Rng.create ~seed:42 ()) ()
+    in
+    let session = Server.session server in
+    (match
+       Server.handle server session
+         (Wire.Hello { analyst = "bench"; epsilon = None; delta = None })
+     with
+    | Wire.Budget_report _ -> ()
+    | other -> Fmt.failwith "hello failed: %s" (Wire.response_to_line other));
+    List.iter (run_query server session) service_sqls;
+    (server, session)
   in
-  let server =
-    Server.create ~config ~db ~metrics ~ledger:(Ledger.in_memory ())
-      ~rng:(Rng.create ~seed:42 ()) ()
-  in
-  let session = Server.session server in
-  (match
-     Server.handle server session
-       (Wire.Hello { analyst = "bench"; epsilon = None; delta = None })
-   with
-  | Wire.Budget_report _ -> ()
-  | other -> Fmt.failwith "hello failed: %s" (Wire.response_to_line other));
-  List.iter (run_query server session) service_sqls;
   let queries = List.length service_sqls * reps in
-  let loop () =
+  let loop (server, session) =
     let t0 = Unix.gettimeofday () in
     for _ = 1 to reps do
       List.iter (run_query server session) service_sqls
     done;
     (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int queries
   in
-  ignore (loop ());
-  median (List.init rounds (fun _ -> loop ()))
+  let off = make false and on = make true in
+  ignore (loop off);
+  ignore (loop on);
+  let samples = List.init rounds (fun _ -> (loop off, loop on)) in
+  (median (List.map fst samples), median (List.map snd samples))
 
 (* ------------------------------------------------------------------- main *)
 
@@ -164,19 +189,24 @@ let () =
   let sizes = if !smoke then W.Uber.small_sizes else W.Uber.default_sizes in
   let rounds = if !smoke then 1 else 5 in
   let iters = if !smoke then 10_000 else 1_000_000 in
-  let engine_reps = if !smoke then 3 else 30 in
+  (* the engine comparison needs more repetitions than the rest of the smoke
+     suite: at smoke scale one GC slice dwarfs the per-operator trace cost,
+     and the ratio is one of the gated regression metrics *)
+  let engine_rounds = if !smoke then 5 else rounds in
+  let engine_reps = if !smoke then 20 else 30 in
   let service_reps = if !smoke then 2 else 20 in
   let fixture = W.Uber.generate ~sizes (Rng.create ~seed:7 ()) in
   Fmt.pr "flex observability benchmark (medians of %d rounds)@." rounds;
-  let counter, histogram, clock, span = bench_micro ~rounds ~iters in
-  Fmt.pr "  micro: counter %.1f ns, histogram %.1f ns, clock %.1f ns, span %.1f ns@."
-    counter histogram clock span;
-  let plain, analyzed = bench_engine fixture ~rounds ~reps:engine_reps in
+  let counter, histogram, clock, span, statement, flight = bench_micro ~rounds ~iters in
+  Fmt.pr
+    "  micro: counter %.1f ns, histogram %.1f ns, clock %.1f ns, span %.1f ns, statement \
+     %.1f ns, flight %.1f ns@."
+    counter histogram clock span statement flight;
+  let plain, analyzed = bench_engine fixture ~rounds:engine_rounds ~reps:engine_reps in
   let engine_ratio = analyzed /. plain in
   Fmt.pr "  engine: run_plan %.0f ns, run_plan_analyzed %.0f ns (x%.3f)@." plain analyzed
     engine_ratio;
-  let off = bench_service fixture ~telemetry:false ~rounds ~reps:service_reps in
-  let on = bench_service fixture ~telemetry:true ~rounds ~reps:service_reps in
+  let off, on = bench_service fixture ~rounds ~reps:service_reps in
   let service_ratio = on /. off in
   Fmt.pr "  service: telemetry off %.0f ns/query, on %.0f ns/query (x%.3f)@." off on
     service_ratio;
@@ -186,13 +216,15 @@ let () =
       \  \"benchmark\": \"flex-obs\",\n\
       \  \"smoke\": %b,\n\
       \  \"micro_ns_per_op\": {\"counter_incr\": %.1f, \"histogram_observe\": %.1f, \
-       \"clock_now\": %.1f, \"span_roundtrip\": %.1f},\n\
+       \"clock_now\": %.1f, \"span_roundtrip\": %.1f, \"statement_record\": %.1f, \
+       \"flight_record\": %.1f},\n\
       \  \"engine\": {\"run_plan_ns\": %.0f, \"run_plan_analyzed_ns\": %.0f, \
        \"overhead_ratio\": %.3f},\n\
       \  \"service\": {\"telemetry_off_ns_per_query\": %.0f, \
        \"telemetry_on_ns_per_query\": %.0f, \"overhead_ratio\": %.3f}\n\
        }\n"
-      !smoke counter histogram clock span plain analyzed engine_ratio off on service_ratio
+      !smoke counter histogram clock span statement flight plain analyzed engine_ratio off
+      on service_ratio
   in
   (match Json.of_string json with
   | Ok _ -> ()

@@ -219,7 +219,7 @@ let service_sqls =
   ]
 
 let run_query server session sql =
-  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None }) with
+  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None; id = None }) with
   | Wire.Result _ -> ()
   | other -> Fmt.failwith "query failed: %s" (Wire.response_to_line other)
 

@@ -157,13 +157,13 @@ let hello server session analyst =
 
 (* returns whether the analysis came from the cache *)
 let run_query server session sql =
-  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None }) with
+  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None; id = None }) with
   | Wire.Result { cache_hit; _ } -> cache_hit
   | other -> Fmt.failwith "query failed: %s" (Wire.response_to_line other)
 
 (* (replayed, epsilon_spent, released rows as one canonical string) *)
 let run_query_release server session sql =
-  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None }) with
+  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None; id = None }) with
   | Wire.Result r ->
     ( r.cached,
       r.epsilon_spent,

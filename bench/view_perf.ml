@@ -99,7 +99,7 @@ let hello server session analyst =
 
 (* (cached, derived, epsilon+delta spent, rows as one canonical string) *)
 let run_query server session sql =
-  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None }) with
+  match Server.handle server session (Wire.Query { sql; epsilon = None; delta = None; id = None }) with
   | Wire.Result r ->
     ( r.cached,
       r.derived,

@@ -25,7 +25,9 @@ let connect host port =
    with Unix.Unix_error _ -> ());
   conn
 
-let roundtrip (ic, oc) req =
+(* returns the decoded response and the raw line (the echoed correlation id
+   travels as a top-level field the typed decoder doesn't carry) *)
+let roundtrip_line (ic, oc) req =
   output_string oc (Wire.request_to_line req);
   output_char oc '\n';
   flush oc;
@@ -33,8 +35,10 @@ let roundtrip (ic, oc) req =
   | exception End_of_file -> failwith "server hung up"
   | line -> (
     match Wire.response_of_line line with
-    | Ok resp -> resp
+    | Ok resp -> (resp, line)
     | Error e -> failwith ("bad response from server: " ^ e))
+
+let roundtrip conn req = fst (roundtrip_line conn req)
 
 let cell_string = function
   | Json.Null -> ""
@@ -142,10 +146,15 @@ let sql_t =
 (* --- subcommands ------------------------------------------------------------- *)
 
 let query_cmd =
-  let run host port analyst epsilon delta sql =
+  let run host port analyst epsilon delta id sql =
     with_conn host port (fun conn ->
         hello conn analyst;
-        print_response (roundtrip conn (Wire.Query { sql; epsilon; delta })))
+        let resp, line = roundtrip_line conn (Wire.Query { sql; epsilon; delta; id }) in
+        (match (id, Wire.response_id_of_line line) with
+        | Some _, Some echoed -> Fmt.pr "# id %s@." echoed
+        | Some sent, None -> Fmt.epr "# warning: server did not echo id %s (older server?)@." sent
+        | None, _ -> ());
+        print_response resp)
   in
   let epsilon =
     Arg.(
@@ -159,9 +168,18 @@ let query_cmd =
       & opt (some float) None
       & info [ "d"; "delta" ] ~docv:"DELTA" ~doc:"Per-query delta (server default otherwise).")
   in
+  let id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID"
+          ~doc:
+            "Correlation id sent with the query, echoed in the response and recorded in \
+             the server's audit log and flight recorder.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a query with differential privacy, charging the analyst's budget.")
-    Term.(const run $ host_t $ port_t $ analyst_t $ epsilon $ delta $ sql_t)
+    Term.(const run $ host_t $ port_t $ analyst_t $ epsilon $ delta $ id $ sql_t)
 
 let explain_cmd =
   (* hello first: plain EXPLAIN doesn't need it, but the EXPLAIN ANALYZE
@@ -222,7 +240,7 @@ let bench_cmd =
     let outcome =
       Flex_service.Load_driver.run ~host ~port ~connections ~requests
         ~hello:(fun i -> Some (Printf.sprintf "bench-%d" (i mod analysts)))
-        ~make_request:(fun ~conn:_ ~seq:_ -> Wire.Query { sql; epsilon; delta = None })
+        ~make_request:(fun ~conn:_ ~seq:_ -> Wire.Query { sql; epsilon; delta = None; id = None })
         ()
     in
     let module L = Flex_service.Load_driver in
@@ -269,10 +287,160 @@ let bench_cmd =
           throughput and latency percentiles.")
     Term.(const run $ host_t $ port_t $ connections $ requests $ analysts $ epsilon $ sql_t)
 
+(* --- top: live statement/budget view off the operator stats port ------------- *)
+
+(* one-shot HTTP GET against the loopback stats endpoint; returns the body *)
+let http_get host port path =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let sock = Unix.socket PF_INET SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (addr, port));
+      let oc = Unix.out_channel_of_descr sock in
+      let ic = Unix.in_channel_of_descr sock in
+      output_string oc
+        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" path host);
+      flush oc;
+      let status = try input_line ic with End_of_file -> "" in
+      (match String.split_on_char ' ' (String.trim status) with
+      | _ :: "200" :: _ -> ()
+      | _ -> failwith (Printf.sprintf "GET %s: %s" path (String.trim status)));
+      (try
+         while String.length (String.trim (input_line ic)) > 0 do
+           ()
+         done
+       with End_of_file -> ());
+      let b = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel b ic 1
+         done
+       with End_of_file -> ());
+      Buffer.contents b)
+
+let jnum j key = match Option.bind (Json.mem key j) Json.to_num with Some f -> f | None -> 0.0
+let jint j key = int_of_float (jnum j key)
+let jstr j key = Option.value ~default:"" (Option.bind (Json.mem key j) Json.to_str)
+
+let truncate_key n s =
+  let s = String.map (fun c -> if c = '\n' then ' ' else c) s in
+  if String.length s <= n then s else String.sub s 0 (n - 3) ^ "..."
+
+let print_statements body limit =
+  match Json.of_string body with
+  | Error e -> Fmt.epr "bad /statements payload: %s@." e
+  | Ok j ->
+    let stmts = Option.value ~default:[] (Option.bind (Json.mem "statements" j) Json.to_list) in
+    Fmt.pr "%d statement shape%s tracked (%d evicted)@."
+      (jint j "tracked")
+      (if jint j "tracked" = 1 then "" else "s")
+      (jint j "evicted");
+    Fmt.pr "%8s %8s %8s %8s %10s %9s %9s  %s@." "CALLS" "GRANTED" "CACHED" "REJ" "EPS_SPENT"
+      "P95_MS" "TOT_MS" "STATEMENT";
+    List.iteri
+      (fun i s ->
+        if i < limit then begin
+          let total = Option.value ~default:Json.Null (Json.mem "total" s) in
+          Fmt.pr "%8d %8d %8d %8d %10.4f %9.3f %9.1f  %s@." (jint s "calls")
+            (jint s "granted")
+            (jint s "replayed" + jint s "derived")
+            (jint s "rejected" + jint s "refused" + jint s "failed")
+            (jnum s "epsilon_spent")
+            (1e3 *. jnum total "p95_s")
+            (jnum total "sum_ns" /. 1e6)
+            (truncate_key 60 (jstr s "key"))
+        end)
+      stmts
+
+let print_budgets body =
+  match Json.of_string body with
+  | Error e -> Fmt.epr "bad /metrics.json payload: %s@." e
+  | Ok j ->
+    let fams = Option.value ~default:[] (Option.bind (Json.mem "families" j) Json.to_list) in
+    let series name =
+      List.concat_map
+        (fun f ->
+          if jstr f "name" = name then
+            Option.value ~default:[] (Option.bind (Json.mem "samples" f) Json.to_list)
+            |> List.filter_map (fun s ->
+                 let labels = Option.value ~default:Json.Null (Json.mem "labels" s) in
+                 let analyst = jstr labels "analyst" in
+                 if analyst = "" then None else Some (analyst, jnum s "value"))
+          else [])
+        fams
+    in
+    let remaining = series "flex_analyst_remaining_epsilon" in
+    let burn = series "flex_analyst_epsilon_burn_per_second" in
+    let forecast = series "flex_analyst_epsilon_exhaustion_seconds" in
+    if remaining <> [] then begin
+      Fmt.pr "@.%-20s %14s %16s %16s@." "ANALYST" "EPS_LEFT" "BURN/S" "EXHAUSTED_IN";
+      List.iter
+        (fun (analyst, left) ->
+          let find l = Option.value ~default:0.0 (List.assoc_opt analyst l) in
+          let f = find forecast in
+          Fmt.pr "%-20s %14.4f %16.6f %16s@." analyst left (find burn)
+            (if f < 0.0 then "-" else Printf.sprintf "%.0f s" f))
+        (List.sort compare remaining)
+    end
+
+let top_cmd =
+  let run host stats_port iterations interval limit =
+    let rec loop n =
+      (match http_get host stats_port "/statements" with
+      | body -> print_statements body limit
+      | exception Failure e -> Fmt.epr "%s@." e);
+      (match http_get host stats_port "/metrics.json" with
+      | body -> print_budgets body
+      | exception Failure e -> Fmt.epr "%s@." e);
+      if n > 1 || iterations = 0 then begin
+        Unix.sleepf interval;
+        Fmt.pr "@.---@.@.";
+        loop (if iterations = 0 then 0 else n - 1)
+      end
+    in
+    loop iterations
+  in
+  let stats_port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "stats-port" ] ~docv:"PORT"
+          ~doc:"The server's operator stats port (flex_serve --stats-port).")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 1
+      & info [ "n"; "iterations" ] ~docv:"N"
+          ~doc:"Refresh this many times, then exit (0 = run until interrupted).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Seconds between refreshes.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N" ~doc:"Show at most this many statement shapes.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live per-statement and per-analyst budget view from the server's operator \
+          stats endpoint (statement shapes, outcome mix, epsilon burn rate and \
+          exhaustion forecast). Requires flex_serve --stats-port; the endpoint is \
+          loopback-only because statement keys are raw SQL.")
+    Term.(const run $ host_t $ stats_port $ iterations $ interval $ limit)
+
 let () =
   let info =
     Cmd.info "flex_client" ~version:"1.0.0" ~doc:"Client for the flex_serve DP query service."
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ query_cmd; analyze_cmd; explain_cmd; budget_cmd; stats_cmd; bench_cmd ]))
+       (Cmd.group info
+          [ query_cmd; analyze_cmd; explain_cmd; budget_cmd; stats_cmd; bench_cmd; top_cmd ]))

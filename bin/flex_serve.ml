@@ -35,7 +35,8 @@ let load_csv_dir dir =
 let serve dir metrics_file demo port ledger_file audit_file audit_max_bytes sync epsilon
     delta analyst_epsilon analyst_delta cap seed domains explain_estimates stats_port
     no_telemetry release_cache releases_file release_capacity workers max_connections
-    max_pending idle_timeout rate_limit thread_per_conn =
+    max_pending idle_timeout rate_limit thread_per_conn statement_capacity flight_capacity
+    =
   let db, metrics =
     if demo then begin
       Fmt.pr "generating a ride-sharing database...@.";
@@ -81,6 +82,8 @@ let serve dir metrics_file demo port ledger_file audit_file audit_max_bytes sync
       telemetry = not no_telemetry;
       release_cache;
       rate_limit_qps = rate_limit;
+      statement_capacity;
+      flight_capacity;
     }
   in
   let domains =
@@ -140,9 +143,14 @@ let serve dir metrics_file demo port ledger_file audit_file audit_max_bytes sync
   (match (stats_port, Server.registry server) with
   | Some _, None -> failwith "--stats-port needs telemetry (drop --no-telemetry)"
   | Some p, Some registry ->
-    let http = Flex_service.Stats_http.listen ~port:p registry in
+    let http =
+      Flex_service.Stats_http.listen ~port:p ?statements:(Server.statements server)
+        ?flights:(Server.flights server) registry
+    in
     ignore (Flex_service.Stats_http.start http);
-    Fmt.pr "flex_serve: stats on http://127.0.0.1:%d/metrics (and /metrics.json, /healthz)@."
+    Fmt.pr
+      "flex_serve: stats on http://127.0.0.1:%d/metrics (and /metrics.json, /statements, \
+       /flights, /healthz)@."
       (Flex_service.Stats_http.port http)
   | None, _ -> ());
   run_front ()
@@ -344,6 +352,24 @@ let () =
             "Use the legacy thread-per-connection front end instead of the \
              event-driven reactor (mostly useful for baseline benchmarks).")
   in
+  let statement_capacity =
+    Arg.(
+      value & opt int 512
+      & info [ "statement-capacity" ] ~docv:"N"
+          ~doc:
+            "Distinct query shapes tracked by per-statement statistics (served on the \
+             stats port at $(b,/statements)); past it the least-called shape is \
+             evicted. Ignored with $(b,--no-telemetry).")
+  in
+  let flight_capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:
+            "Finished requests retained by the flight recorder (served on the stats \
+             port at $(b,/flights), span trees included). Ignored with \
+             $(b,--no-telemetry).")
+  in
   let info =
     Cmd.info "flex_serve" ~version:"1.0.0"
       ~doc:"Serve FLEX differentially private SQL over TCP (line-delimited JSON)."
@@ -354,6 +380,6 @@ let () =
       $ audit_max_bytes $ sync $ epsilon $ delta $ analyst_epsilon $ analyst_delta $ cap
       $ seed $ domains $ explain_estimates $ stats_port $ no_telemetry $ release_cache
       $ releases_file $ release_capacity $ workers $ max_connections $ max_pending
-      $ idle_timeout $ rate_limit $ thread_per_conn)
+      $ idle_timeout $ rate_limit $ thread_per_conn $ statement_capacity $ flight_capacity)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,108 @@
+(* A fixed-size flight recorder for finished requests. Writers are striped
+   across 8 independent rings (stripe = seq mod 8), so concurrent domains
+   rarely contend on one mutex; a global atomic sequence number gives every
+   record a total order that snapshots use to merge the stripes newest-first.
+   The memory bound is the point: capacity records, each holding the request
+   line, outcome, budget charge and (when telemetry is on) the span tree. *)
+
+type record = {
+  seq : int;
+  ts_ns : float;
+  id : string option; (* client-supplied request id, when given *)
+  analyst : string;
+  sql : string;
+  key : string option; (* canonical statement key, when the query factored *)
+  outcome : string;
+  epsilon : float;
+  delta : float;
+  duration_ns : float;
+  trace : Span.view option;
+}
+
+type stripe = {
+  lock : Mutex.t;
+  ring : record option array;
+  mutable cursor : int; (* next write slot *)
+}
+
+let stripes = 8
+
+type t = { seq : int Atomic.t; rings : stripe array; capacity : int }
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Flight.create: capacity must be >= 1";
+  let per = (capacity + stripes - 1) / stripes in
+  {
+    seq = Atomic.make 0;
+    capacity;
+    rings =
+      Array.init stripes (fun _ ->
+          { lock = Mutex.create (); ring = Array.make per None; cursor = 0 });
+  }
+
+let capacity t = t.capacity
+
+let record t ~ts_ns ?id ~analyst ~sql ?key ~outcome ?(epsilon = 0.0) ?(delta = 0.0)
+    ~duration_ns ?trace () =
+  let seq = Atomic.fetch_and_add t.seq 1 in
+  let r =
+    { seq; ts_ns; id; analyst; sql; key; outcome; epsilon; delta; duration_ns; trace }
+  in
+  let s = t.rings.(seq mod stripes) in
+  Mutex.lock s.lock;
+  s.ring.(s.cursor) <- Some r;
+  s.cursor <- (s.cursor + 1) mod Array.length s.ring;
+  Mutex.unlock s.lock
+
+let recorded t = Atomic.get t.seq
+
+let snapshot ?limit t =
+  let all = ref [] in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Array.iter (function Some r -> all := r :: !all | None -> ()) s.ring;
+      Mutex.unlock s.lock)
+    t.rings;
+  let sorted = List.sort (fun (a : record) (b : record) -> compare b.seq a.seq) !all in
+  match limit with
+  | Some n when n >= 0 && List.length sorted > n -> List.filteri (fun i _ -> i < n) sorted
+  | _ -> sorted
+
+(* --- JSON ---------------------------------------------------------------------- *)
+
+let record_to_json b (r : record) =
+  Buffer.add_string b
+    (Printf.sprintf "{\"seq\":%d,\"ts_ns\":%s" r.seq (Textenc.number r.ts_ns));
+  (match r.id with
+  | Some id -> Buffer.add_string b (Printf.sprintf ",\"id\":\"%s\"" (Textenc.json_escape id))
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf ",\"analyst\":\"%s\",\"sql\":\"%s\"" (Textenc.json_escape r.analyst)
+       (Textenc.json_escape r.sql));
+  (match r.key with
+  | Some k -> Buffer.add_string b (Printf.sprintf ",\"key\":\"%s\"" (Textenc.json_escape k))
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf ",\"outcome\":\"%s\",\"epsilon\":%s,\"delta\":%s,\"duration_ns\":%s"
+       (Textenc.json_escape r.outcome) (Textenc.number r.epsilon) (Textenc.number r.delta)
+       (Textenc.number r.duration_ns));
+  (match r.trace with
+  | Some v ->
+    Buffer.add_string b ",\"trace\":";
+    Buffer.add_string b (Span.to_json v)
+  | None -> ());
+  Buffer.add_char b '}'
+
+let to_json ?limit t =
+  let rs = snapshot ?limit t in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"capacity\":%d,\"recorded\":%d,\"flights\":[" t.capacity (recorded t));
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      record_to_json b r)
+    rs;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -74,6 +74,29 @@ end
 let log_buckets ?(start = 1e-6) ?(factor = 2.0) ?(count = 24) () =
   Array.init count (fun i -> start *. (factor ** float_of_int i))
 
+(* Histogram quantile estimate in the Prometheus style: find the bucket the
+   rank lands in, interpolate linearly inside it (the first bucket's lower
+   bound is 0), and clamp ranks beyond the last finite bound to that bound. *)
+let estimate_quantile ~upper ~cumulative ~count q =
+  if count <= 0 then None
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int count in
+    let n = Array.length upper in
+    let rec find i =
+      if i >= n then n else if float_of_int cumulative.(i) >= rank then i else find (i + 1)
+    in
+    let i = find 0 in
+    if i >= n then Some (if n = 0 then 0.0 else upper.(n - 1))
+    else
+      let lo = if i = 0 then 0.0 else upper.(i - 1) in
+      let hi = upper.(i) in
+      let below = if i = 0 then 0 else cumulative.(i - 1) in
+      let in_bucket = cumulative.(i) - below in
+      if in_bucket <= 0 then Some hi
+      else Some (lo +. ((hi -. lo) *. ((rank -. float_of_int below) /. float_of_int in_bucket)))
+  end
+
 (* --- registry ---------------------------------------------------------------- *)
 
 type value =
@@ -248,7 +271,17 @@ let to_json t =
                 Buffer.add_string b
                   (Printf.sprintf "{\"le\":%s,\"count\":%d}" (Textenc.number u) cumulative.(i)))
               upper;
-            Buffer.add_string b "]");
+            Buffer.add_string b "]";
+            (match
+               ( estimate_quantile ~upper ~cumulative ~count 0.5,
+                 estimate_quantile ~upper ~cumulative ~count 0.95,
+                 estimate_quantile ~upper ~cumulative ~count 0.99 )
+             with
+            | Some p50, Some p95, Some p99 ->
+              Buffer.add_string b
+                (Printf.sprintf ",\"quantiles\":{\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+                   (Textenc.number p50) (Textenc.number p95) (Textenc.number p99))
+            | _ -> ()));
           Buffer.add_string b "}")
         f.samples;
       Buffer.add_string b "]}")

@@ -57,6 +57,12 @@ val log_buckets : ?start:float -> ?factor:float -> ?count:int -> unit -> float a
 (** Log-spaced bounds [start *. factor^i]: by default 24 buckets doubling
     from 1 microsecond, covering ~1us to ~8.4s of latency in seconds. *)
 
+val estimate_quantile :
+  upper:float array -> cumulative:int array -> count:int -> float -> float option
+(** Histogram quantile estimate: linear interpolation inside the bucket the
+    rank lands in (the first bucket's lower bound is 0); ranks beyond the
+    last finite bound clamp to that bound. [None] when [count <= 0]. *)
+
 val collect :
   t -> ?help:string -> kind:[ `Counter | `Gauge ] -> string ->
   (unit -> ((string * string) list * float) list) -> unit
@@ -84,4 +90,5 @@ val to_prometheus : t -> string
 
 val to_json : t -> string
 (** [{"families":[{"name","kind","help","samples":[...]}]}]; histogram
-    samples carry [count]/[sum]/[buckets]. *)
+    samples carry [count]/[sum]/[buckets] plus estimated
+    [quantiles.{p50,p95,p99}] whenever [count > 0]. *)

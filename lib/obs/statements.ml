@@ -1,0 +1,298 @@
+(* pg_stat_statements-style per-shape accumulators. Entries key on the
+   canonical core SQL the service already computes for the release store, so
+   every suffix variant of one releasable core lands in one row. A single
+   mutex guards the table: updates are one finished-request hash + a handful
+   of field bumps, far off the per-operator hot path, and scrapes are rare. *)
+
+type stage_stat = {
+  mutable s_count : int;
+  mutable s_sum_ns : float;
+  mutable s_min_ns : float;
+  mutable s_max_ns : float;
+  s_buckets : int array; (* one per bound + overflow; bounds in seconds *)
+}
+
+type entry = {
+  e_key : string;
+  mutable calls : int;
+  mutable granted : int;
+  mutable replayed : int;
+  mutable derived : int;
+  mutable rejected : int;
+  mutable refused : int;
+  mutable failed : int;
+  mutable rows : int;
+  mutable epsilon : float;
+  mutable delta : float;
+  mutable first_ns : float;
+  mutable last_ns : float;
+  e_total : stage_stat;
+  e_stages : (string, stage_stat) Hashtbl.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  capacity : int;
+  bounds : float array; (* seconds, shared by every histogram *)
+  entries : (string, entry) Hashtbl.t;
+  mutable evicted : int;
+}
+
+type outcome = [ `Granted | `Replayed | `Derived | `Rejected | `Refused | `Failed ]
+
+let create ?(capacity = 512) ?bounds () =
+  if capacity < 1 then invalid_arg "Statements.create: capacity must be >= 1";
+  let bounds = match bounds with Some b -> b | None -> Registry.log_buckets () in
+  {
+    lock = Mutex.create ();
+    capacity;
+    bounds;
+    entries = Hashtbl.create 64;
+    evicted = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let fresh_stat t =
+  {
+    s_count = 0;
+    s_sum_ns = 0.0;
+    s_min_ns = infinity;
+    s_max_ns = 0.0;
+    s_buckets = Array.make (Array.length t.bounds + 1) 0;
+  }
+
+(* first bucket whose bound admits [v]; the overflow slot otherwise *)
+let bucket_of bounds v =
+  let n = Array.length bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v <= bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe t st ns =
+  st.s_count <- st.s_count + 1;
+  st.s_sum_ns <- st.s_sum_ns +. ns;
+  if ns < st.s_min_ns then st.s_min_ns <- ns;
+  if ns > st.s_max_ns then st.s_max_ns <- ns;
+  let b = bucket_of t.bounds (ns *. 1e-9) in
+  st.s_buckets.(b) <- st.s_buckets.(b) + 1
+
+(* Least-called entry loses its slot; ties break toward the one idle longest. *)
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ e ->
+      match !victim with
+      | None -> victim := Some e
+      | Some v ->
+        if e.calls < v.calls || (e.calls = v.calls && e.last_ns < v.last_ns) then victim := Some e)
+    t.entries;
+  match !victim with
+  | None -> ()
+  | Some v ->
+    Hashtbl.remove t.entries v.e_key;
+    t.evicted <- t.evicted + 1
+
+let record t ~now_ns ~key ~(outcome : outcome) ?(stages = []) ?(rows = 0) ?(epsilon = 0.0)
+    ?(delta = 0.0) ~total_ns () =
+  with_lock t (fun () ->
+      let e =
+        match Hashtbl.find_opt t.entries key with
+        | Some e -> e
+        | None ->
+          if Hashtbl.length t.entries >= t.capacity then evict_one t;
+          let e =
+            {
+              e_key = key;
+              calls = 0;
+              granted = 0;
+              replayed = 0;
+              derived = 0;
+              rejected = 0;
+              refused = 0;
+              failed = 0;
+              rows = 0;
+              epsilon = 0.0;
+              delta = 0.0;
+              first_ns = now_ns;
+              last_ns = now_ns;
+              e_total = fresh_stat t;
+              e_stages = Hashtbl.create 8;
+            }
+          in
+          Hashtbl.replace t.entries key e;
+          e
+      in
+      e.calls <- e.calls + 1;
+      (match outcome with
+      | `Granted -> e.granted <- e.granted + 1
+      | `Replayed -> e.replayed <- e.replayed + 1
+      | `Derived -> e.derived <- e.derived + 1
+      | `Rejected -> e.rejected <- e.rejected + 1
+      | `Refused -> e.refused <- e.refused + 1
+      | `Failed -> e.failed <- e.failed + 1);
+      e.rows <- e.rows + rows;
+      e.epsilon <- e.epsilon +. epsilon;
+      e.delta <- e.delta +. delta;
+      e.last_ns <- now_ns;
+      observe t e.e_total total_ns;
+      List.iter
+        (fun (name, ns) ->
+          let st =
+            match Hashtbl.find_opt e.e_stages name with
+            | Some st -> st
+            | None ->
+              let st = fresh_stat t in
+              Hashtbl.replace e.e_stages name st;
+              st
+          in
+          observe t st ns)
+        stages)
+
+(* --- snapshots ----------------------------------------------------------------- *)
+
+type stage_view = {
+  stage : string;
+  count : int;
+  sum_ns : float;
+  min_ns : float;
+  max_ns : float;
+  p50 : float option; (* seconds, estimated from the log buckets *)
+  p95 : float option;
+  p99 : float option;
+}
+
+type view = {
+  key : string;
+  calls : int;
+  granted : int;
+  replayed : int;
+  derived : int;
+  rejected : int;
+  refused : int;
+  failed : int;
+  rows : int;
+  epsilon : float;
+  delta : float;
+  first_ns : float;
+  last_ns : float;
+  total : stage_view;
+  stages : stage_view list; (* sorted by stage name *)
+}
+
+let stage_view t name st =
+  let n = Array.length t.bounds in
+  let cumulative = Array.make n 0 in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + st.s_buckets.(i);
+    cumulative.(i) <- !acc
+  done;
+  let q p = Registry.estimate_quantile ~upper:t.bounds ~cumulative ~count:st.s_count p in
+  {
+    stage = name;
+    count = st.s_count;
+    sum_ns = st.s_sum_ns;
+    min_ns = (if st.s_count = 0 then 0.0 else st.s_min_ns);
+    max_ns = st.s_max_ns;
+    p50 = q 0.5;
+    p95 = q 0.95;
+    p99 = q 0.99;
+  }
+
+let snapshot ?limit t =
+  with_lock t (fun () ->
+      let views =
+        Hashtbl.fold
+          (fun _ e acc ->
+            let stages =
+              Hashtbl.fold (fun name st acc -> stage_view t name st :: acc) e.e_stages []
+              |> List.sort (fun a b -> String.compare a.stage b.stage)
+            in
+            {
+              key = e.e_key;
+              calls = e.calls;
+              granted = e.granted;
+              replayed = e.replayed;
+              derived = e.derived;
+              rejected = e.rejected;
+              refused = e.refused;
+              failed = e.failed;
+              rows = e.rows;
+              epsilon = e.epsilon;
+              delta = e.delta;
+              first_ns = e.first_ns;
+              last_ns = e.last_ns;
+              total = stage_view t "total" e.e_total;
+              stages;
+            }
+            :: acc)
+          t.entries []
+      in
+      let views =
+        List.sort
+          (fun a b ->
+            (* busiest shapes first: total time spent, then calls, then key *)
+            match compare b.total.sum_ns a.total.sum_ns with
+            | 0 -> ( match compare b.calls a.calls with 0 -> String.compare a.key b.key | c -> c)
+            | c -> c)
+          views
+      in
+      match limit with
+      | Some n when n >= 0 && List.length views > n -> List.filteri (fun i _ -> i < n) views
+      | _ -> views)
+
+let size t = with_lock t (fun () -> Hashtbl.length t.entries)
+let evictions t = with_lock t (fun () -> t.evicted)
+
+let reset t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.entries;
+      t.evicted <- 0)
+
+(* --- JSON ---------------------------------------------------------------------- *)
+
+let buf_stage b (sv : stage_view) =
+  Buffer.add_string b
+    (Printf.sprintf "{\"stage\":\"%s\",\"count\":%d,\"sum_ns\":%s,\"min_ns\":%s,\"max_ns\":%s"
+       (Textenc.json_escape sv.stage) sv.count (Textenc.number sv.sum_ns)
+       (Textenc.number sv.min_ns) (Textenc.number sv.max_ns));
+  (match (sv.p50, sv.p95, sv.p99) with
+  | Some p50, Some p95, Some p99 ->
+    Buffer.add_string b
+      (Printf.sprintf ",\"p50_s\":%s,\"p95_s\":%s,\"p99_s\":%s" (Textenc.number p50)
+         (Textenc.number p95) (Textenc.number p99))
+  | _ -> ());
+  Buffer.add_char b '}'
+
+let to_json ?limit t =
+  let views = snapshot ?limit t in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "{\"tracked\":%d,\"evicted\":%d,\"statements\":[" (size t) (evictions t));
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"key\":\"%s\",\"calls\":%d,\"granted\":%d,\"replayed\":%d,\"derived\":%d,\
+            \"rejected\":%d,\"refused\":%d,\"failed\":%d,\"rows\":%d,\"epsilon_spent\":%s,\
+            \"delta_spent\":%s,\"first_ns\":%s,\"last_ns\":%s,\"total\":"
+           (Textenc.json_escape v.key) v.calls v.granted v.replayed v.derived v.rejected
+           v.refused v.failed v.rows (Textenc.number v.epsilon) (Textenc.number v.delta)
+           (Textenc.number v.first_ns) (Textenc.number v.last_ns));
+      buf_stage b v.total;
+      Buffer.add_string b ",\"stages\":[";
+      List.iteri
+        (fun j sv ->
+          if j > 0 then Buffer.add_char b ',';
+          buf_stage b sv)
+        v.stages;
+      Buffer.add_string b "]}")
+    views;
+  Buffer.add_string b "]}";
+  Buffer.contents b

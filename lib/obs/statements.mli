@@ -1,0 +1,81 @@
+(** pg_stat_statements-style accumulators keyed on the canonical core SQL
+    the service computes for the release store, so every post-processing
+    suffix variant of one releasable core aggregates into a single row.
+
+    Each row tracks calls, the outcome mix (granted / replayed / derived /
+    rejected / refused / failed), rows returned, cumulative ε/δ charged to
+    the shape, and per-stage latency (count, sum, min, max plus a log-bucket
+    histogram from which p50/p95/p99 are estimated at snapshot time).
+
+    Capacity is bounded: when a new shape arrives at capacity, the
+    least-called entry is evicted (ties break toward the one idle longest).
+
+    Privacy note: rows key on canonical SQL text, which names private tables
+    and predicates — this surface is for the operator-only loopback scrape
+    and must never reach the unauthenticated wire (see DESIGN.md "Telemetry
+    and privacy"). *)
+
+type t
+
+type outcome = [ `Granted | `Replayed | `Derived | `Rejected | `Refused | `Failed ]
+
+val create : ?capacity:int -> ?bounds:float array -> unit -> t
+(** [capacity] defaults to 512 tracked shapes; [bounds] (seconds) default to
+    {!Registry.log_buckets}[ ()]. *)
+
+val record :
+  t ->
+  now_ns:float ->
+  key:string ->
+  outcome:outcome ->
+  ?stages:(string * float) list ->
+  ?rows:int ->
+  ?epsilon:float ->
+  ?delta:float ->
+  total_ns:float ->
+  unit ->
+  unit
+(** Fold one finished request into the shape's row. [stages] are
+    [(name, duration_ns)] pairs; [total_ns] feeds the per-shape total
+    histogram. Thread-safe. *)
+
+(** {2 Snapshots} *)
+
+type stage_view = {
+  stage : string;
+  count : int;
+  sum_ns : float;
+  min_ns : float;  (** 0. when the stage was never observed *)
+  max_ns : float;
+  p50 : float option;  (** seconds, estimated from the log buckets *)
+  p95 : float option;
+  p99 : float option;
+}
+
+type view = {
+  key : string;
+  calls : int;
+  granted : int;
+  replayed : int;
+  derived : int;
+  rejected : int;
+  refused : int;
+  failed : int;
+  rows : int;
+  epsilon : float;
+  delta : float;
+  first_ns : float;
+  last_ns : float;
+  total : stage_view;
+  stages : stage_view list;  (** sorted by stage name *)
+}
+
+val snapshot : ?limit:int -> t -> view list
+(** Busiest shapes first (total time, then calls), truncated to [limit]. *)
+
+val size : t -> int
+val evictions : t -> int
+val reset : t -> unit
+
+val to_json : ?limit:int -> t -> string
+(** [{"tracked":..,"evicted":..,"statements":[{"key",..,"total":{..},"stages":[..]}]}]. *)

@@ -10,6 +10,7 @@ type outcome =
 type event = {
   analyst : string;
   sql : string;
+  request_id : string option; (* client correlation id, when the wire carried one *)
   outcome : outcome;
   epsilon : float;
   delta : float;
@@ -75,6 +76,7 @@ let json_of_event ~ts (e : event) =
        ("analyst", Json.str e.analyst);
        ("sql", Json.str e.sql);
      ]
+    @ (match e.request_id with Some id -> [ ("id", Json.str id) ] | None -> [])
     @ outcome_fields e.outcome
     @ [
         ("epsilon", Json.num e.epsilon);

@@ -27,6 +27,9 @@ type outcome =
 type event = {
   analyst : string;
   sql : string;
+  request_id : string option;
+      (** the wire request's client-chosen correlation id, when given —
+          emitted as an ["id"] field so client and server logs join on it *)
   outcome : outcome;
   epsilon : float;  (** charged (0 when not granted) *)
   delta : float;

@@ -198,12 +198,12 @@ let close_conn t c =
 (* Execute one request on a worker thread. [Server.handle] never raises;
    everything here only moves bytes and posts the completion. *)
 let job t c line () =
-  let resp, close =
+  let resp, id, close =
     match Wire.request_of_line line with
-    | Error msg -> (Wire.Error_msg msg, false)
-    | Ok req -> (Server.handle t.server c.session req, req = Wire.Quit)
+    | Error msg -> (Wire.Error_msg msg, None, false)
+    | Ok req -> (Server.handle t.server c.session req, Wire.request_id req, req = Wire.Quit)
   in
-  let encoded = Wire.response_to_line resp ^ "\n" in
+  let encoded = Wire.response_to_line ?id resp ^ "\n" in
   Mutex.protect t.lock (fun () ->
       Queue.push { cc = c; line = encoded; close } t.completions);
   wake t

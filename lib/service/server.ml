@@ -11,6 +11,8 @@ module Canon = Flex_sql.Canon
 module Registry = Flex_obs.Registry
 module Span = Flex_obs.Span
 module Clock = Flex_obs.Clock
+module Statements = Flex_obs.Statements
+module Flight = Flex_obs.Flight
 
 type config = {
   default_epsilon : float;
@@ -44,6 +46,12 @@ type config = {
          this many queries per second (with ~1 s of burst); a request over
          the limit gets Rejected {bucket="rate_limit"}, audit-logged, and is
          charged nothing. None = unlimited. *)
+  statement_capacity : int;
+      (* distinct query shapes tracked by the statement-statistics table
+         (least-called evicted past this); only meaningful with telemetry *)
+  flight_capacity : int;
+      (* finished requests retained by the flight recorder; only meaningful
+         with telemetry *)
 }
 
 let default_config =
@@ -61,6 +69,8 @@ let default_config =
     telemetry = true;
     release_cache = true;
     rate_limit_qps = None;
+    statement_capacity = 512;
+    flight_capacity = 256;
   }
 
 (* The write-side instruments; scrape-time values (budgets, cache, pool)
@@ -104,6 +114,11 @@ type t = {
   pool : Flex.Task_pool.t option;
   registry : Registry.t option;  (* Some iff [config.telemetry] *)
   instruments : instruments option;
+  (* statement stats and the flight recorder key on canonical SQL and carry
+     raw query text / analyst names: operator-only loopback surfaces, never
+     the unauthenticated wire. Some iff [config.telemetry]. *)
+  statements : Statements.t option;
+  flights : Flight.t option;
   start_ns : float;
   lock : Mutex.t;  (* guards counters and rng splitting *)
   mutable queries : int;
@@ -185,8 +200,45 @@ let register_collectors t reg =
         (fun (s : Ledger.summary) ->
           ([ ("analyst", s.analyst) ], s.delta_limit -. s.delta_spent))
         (Ledger.summaries t.ledger));
+  (* Budget observatory: burn rate and a naive linear exhaustion forecast,
+     both derived at scrape time from ledger state — nothing is sampled on
+     the query path. Like the remaining-budget series, they label analyst
+     names, so they stay off the unauthenticated wire (see
+     [wire_omitted_families]). *)
+  Registry.collect reg ~help:"Per-analyst epsilon spent per second of uptime" ~kind:`Gauge
+    "flex_analyst_epsilon_burn_per_second" (fun () ->
+      let up = uptime_seconds t in
+      List.map
+        (fun (s : Ledger.summary) -> ([ ("analyst", s.analyst) ], s.epsilon_spent /. up))
+        (Ledger.summaries t.ledger));
+  Registry.collect reg
+    ~help:
+      "Naive linear forecast of seconds until the analyst's epsilon budget is exhausted \
+       (-1 = no spend yet)"
+    ~kind:`Gauge "flex_analyst_epsilon_exhaustion_seconds" (fun () ->
+      let up = uptime_seconds t in
+      List.map
+        (fun (s : Ledger.summary) ->
+          let rate = s.epsilon_spent /. up in
+          let remaining = Float.max 0.0 (s.epsilon_limit -. s.epsilon_spent) in
+          ([ ("analyst", s.analyst) ], if rate <= 0.0 then -1.0 else remaining /. rate))
+        (Ledger.summaries t.ledger));
   Registry.collect reg ~help:"Registered analysts" ~kind:`Gauge "flex_analysts" (fun () ->
       [ ([], float_of_int (List.length (Ledger.analysts t.ledger))) ]);
+  (match t.statements with
+  | None -> ()
+  | Some st ->
+    Registry.collect reg ~help:"Distinct query shapes tracked by statement statistics"
+      ~kind:`Gauge "flex_statements_tracked" (fun () ->
+        [ ([], float_of_int (Statements.size st)) ]);
+    Registry.collect reg ~help:"Statement-statistics entries evicted at capacity"
+      ~kind:`Counter "flex_statements_evicted_total" (fun () ->
+        [ ([], float_of_int (Statements.evictions st)) ]));
+  (match t.flights with
+  | None -> ()
+  | Some fl ->
+    Registry.collect reg ~help:"Requests written to the flight recorder" ~kind:`Counter
+      "flex_flights_recorded_total" (fun () -> [ ([], float_of_int (Flight.recorded fl)) ]));
   Registry.collect reg ~help:"Analysis cache lookups" ~kind:`Counter "flex_cache_lookups_total"
     (fun () ->
       [
@@ -278,6 +330,13 @@ let create ?(audit = Audit.null ()) ?(config = default_config) ?cache_capacity ?
       pool;
       registry;
       instruments = Option.map make_instruments registry;
+      statements =
+        (if config.telemetry then
+           Some (Statements.create ~capacity:config.statement_capacity ())
+         else None);
+      flights =
+        (if config.telemetry then Some (Flight.create ~capacity:config.flight_capacity ())
+         else None);
       start_ns = Clock.now_ns ();
       lock = Mutex.create ();
       queries = 0;
@@ -302,10 +361,11 @@ let bucket_string reason =
   | Errors.Unsupported_bucket -> "unsupported"
   | Errors.Other_bucket -> "other"
 
-let base_event ~analyst ~sql : Audit.event =
+let base_event ?id ~analyst ~sql () : Audit.event =
   {
     analyst;
     sql;
+    request_id = id;
     outcome = Audit.Failed;
     epsilon = 0.0;
     delta = 0.0;
@@ -321,10 +381,12 @@ let base_event ~analyst ~sql : Audit.event =
 
 (* Close the query's root span and derive the audit stage timings plus the
    latency-histogram observations from one consistent view of the trace.
-   With telemetry off ([root = None]) the event keeps its zeroed timings. *)
-let finalize t root (base : Audit.event) : Audit.event =
+   With telemetry off ([root = None]) the event keeps its zeroed timings.
+   The view is returned alongside so the flight recorder can retain the full
+   span tree without re-snapshotting. *)
+let finalize t root (base : Audit.event) : Audit.event * Span.view option =
   match root with
-  | None -> base
+  | None -> (base, None)
   | Some r ->
     Span.finish r;
     let v = Span.view r in
@@ -336,15 +398,63 @@ let finalize t root (base : Audit.event) : Audit.event =
             if Option.is_some (Span.find v path) then
               Registry.Histogram.observe h (d path /. 1e9))
           i.m_stage);
-    {
-      base with
-      parse_ns = d [ "parse" ];
-      analysis_ns = d [ "cache" ];
-      smooth_ns = d [ "smooth" ];
-      execution_ns = d [ "execute" ];
-      perturbation_ns = d [ "perturb" ];
-      total_ns = d [];
-    }
+    ( {
+        base with
+        parse_ns = d [ "parse" ];
+        analysis_ns = d [ "cache" ];
+        smooth_ns = d [ "smooth" ];
+        execution_ns = d [ "execute" ];
+        perturbation_ns = d [ "perturb" ];
+        total_ns = d [];
+      },
+      Some v )
+
+let statement_outcome : Audit.outcome -> Statements.outcome option = function
+  | Audit.Granted -> Some `Granted
+  | Audit.Replayed -> Some `Replayed
+  | Audit.Derived -> Some `Derived
+  | Audit.Rejected _ -> Some `Rejected
+  | Audit.Refused -> Some `Refused
+  | Audit.Failed -> Some `Failed
+  | Audit.Analyzed -> None
+
+let outcome_string : Audit.outcome -> string = function
+  | Audit.Granted -> "granted"
+  | Audit.Replayed -> "replayed"
+  | Audit.Derived -> "derived"
+  | Audit.Rejected bucket -> "rejected:" ^ bucket
+  | Audit.Refused -> "refused"
+  | Audit.Failed -> "failed"
+  | Audit.Analyzed -> "analyzed"
+
+(* Fold one finished request into the flight recorder and (when its
+   canonical core key is known) the statement-statistics table. Pure
+   observation — no RNG, no ledger, no result bytes — so releases are
+   bit-identical recorder on or off. [event] is the final audit event
+   (outcome and timings settled); [view] the closed span tree, if any. *)
+let record_obs t ?key ?(rows = 0) (event : Audit.event) (view : Span.view option) =
+  let now = Clock.now_ns () in
+  Option.iter
+    (fun fl ->
+      Flight.record fl ~ts_ns:now ?id:event.request_id ~analyst:event.analyst
+        ~sql:event.sql ?key ~outcome:(outcome_string event.outcome)
+        ~epsilon:event.epsilon ~delta:event.delta ~duration_ns:event.total_ns
+        ?trace:view ())
+    t.flights;
+  match (key, t.statements, statement_outcome event.outcome) with
+  | Some key, Some st, Some outcome ->
+    let stages =
+      match view with
+      | None -> []
+      | Some v ->
+        List.filter_map
+          (fun (c : Span.view) ->
+            if c.duration_ns > 0.0 then Some (c.name, c.duration_ns) else None)
+          v.children
+    in
+    Statements.record st ~now_ns:now ~key ~outcome ~stages ~rows ~epsilon:event.epsilon
+      ~delta:event.delta ~total_ns:event.total_ns ()
+  | _ -> ()
 
 (* Admission of the request's privacy parameters: Flex.options would raise
    on out-of-range values, and the per-query cap keeps any single request
@@ -434,11 +544,14 @@ let handle_hello t session ~analyst ~epsilon ~delta =
            existing.epsilon existing.delta))
   | Error err -> Wire.Error_msg (Ledger.error_to_string err)
 
-let reject t ~root ~(base : Audit.event) reason =
+let reject t ~root ~(base : Audit.event) ?key reason =
   let bucket = bucket_string reason in
   with_lock t (fun () -> t.rejected <- t.rejected + 1);
   instr t (fun i -> Registry.Counter.incr i.m_rejected);
-  Audit.log t.audit { (finalize t root base) with outcome = Audit.Rejected bucket };
+  let finalized, view = finalize t root base in
+  let event = { finalized with outcome = Audit.Rejected bucket } in
+  Audit.log t.audit event;
+  record_obs t ?key event view;
   Wire.Rejected { bucket; reason = Errors.to_string reason }
 
 (* EXPLAIN ANALYZE: execute the plan and render per-operator row counts and
@@ -454,7 +567,7 @@ let analyzed_plan t session ~sql ast =
   match session.analyst with
   | None -> Wire.Error_msg "no analyst: send hello first"
   | Some analyst ->
-    let base = base_event ~analyst ~sql in
+    let base = base_event ~analyst ~sql () in
     if not t.config.explain_estimates then begin
       Audit.log t.audit { base with outcome = Audit.Rejected "admission" };
       Wire.Rejected
@@ -496,7 +609,7 @@ let rate_limited t ~analyst =
   | None -> false
   | Some rl -> not (Rate_limit.allow rl ~key:analyst)
 
-let handle_query t session ~sql ~epsilon ~delta =
+let handle_query t session ~sql ~epsilon ~delta ~id =
   match session.analyst with
   | None -> Wire.Error_msg "no analyst: send hello first"
   | Some analyst when rate_limited t ~analyst ->
@@ -508,8 +621,11 @@ let handle_query t session ~sql ~epsilon ~delta =
         Registry.Counter.incr i.m_queries;
         Registry.Counter.incr i.m_rejected;
         Registry.Counter.incr i.m_rate_limited);
-    Audit.log t.audit
-      { (base_event ~analyst ~sql) with outcome = Audit.Rejected "rate_limit" };
+    let event =
+      { (base_event ?id ~analyst ~sql ()) with outcome = Audit.Rejected "rate_limit" }
+    in
+    Audit.log t.audit event;
+    record_obs t event None;
     Wire.Rejected
       {
         bucket = "rate_limit";
@@ -524,12 +640,14 @@ let handle_query t session ~sql ~epsilon ~delta =
     instr t (fun i -> Registry.Counter.incr i.m_queries);
     let epsilon = Option.value epsilon ~default:t.config.default_epsilon in
     let delta = Option.value delta ~default:t.config.default_delta in
-    let base = base_event ~analyst ~sql in
+    let base = base_event ?id ~analyst ~sql () in
     match validate_privacy t ~epsilon ~delta with
     | Error msg ->
       with_lock t (fun () -> t.rejected <- t.rejected + 1);
       instr t (fun i -> Registry.Counter.incr i.m_rejected);
-      Audit.log t.audit { base with outcome = Audit.Rejected "admission" };
+      let event = { base with outcome = Audit.Rejected "admission" } in
+      Audit.log t.audit event;
+      record_obs t event None;
       Wire.Rejected { bucket = "admission"; reason = msg }
     | Ok () -> (
       let root = if t.config.telemetry then Some (Span.root "query") else None in
@@ -607,7 +725,7 @@ let handle_query t session ~sql ~epsilon ~delta =
              database, RNG or ledger. *)
           match answer_of entry with
           | exception (Flex_engine.Eval.Error _ | Flex_engine.Compiled.Error _) ->
-            reject t ~root ~base
+            reject t ~root ~base ~key:canon
               (Errors.Analysis_error "post-processing suffix failed on the stored release")
           | columns, rows ->
             with_lock t (fun () ->
@@ -621,12 +739,16 @@ let handle_query t session ~sql ~epsilon ~delta =
             let remaining_epsilon, remaining_delta =
               Option.value ~default:(0.0, 0.0) (Ledger.remaining t.ledger ~analyst)
             in
-            Audit.log t.audit
+            let finalized, view = finalize t root { base with cache_hit = true } in
+            let event =
               {
-                (finalize t root { base with cache_hit = true }) with
+                finalized with
                 outcome = (if is_derived then Audit.Derived else Audit.Replayed);
                 max_noise_scale;
-              };
+              }
+            in
+            Audit.log t.audit event;
+            record_obs t ~key:canon ~rows:(List.length rows) event view;
             Wire.Result
               {
                 columns;
@@ -647,14 +769,14 @@ let handle_query t session ~sql ~epsilon ~delta =
           in
           let base = { base with cache_hit } in
           match analyzed with
-          | Error reason -> reject t ~root ~base reason
+          | Error reason -> reject t ~root ~base ~key:canon reason
           | Ok analysis -> (
             let column_releases = Flex.smooth_columns ?span:root ~options analysis in
             match
               Flex.execute ?span:root ?pool:t.pool ~optimize:t.config.optimize_queries
                 ~metrics ~db exec_ast
             with
-            | Error reason -> reject t ~root ~base reason
+            | Error reason -> reject t ~root ~base ~key:canon reason
             | Ok result_set -> (
               let n = float_of_int (List.length column_releases) in
               let cost_eps = epsilon *. n and cost_delta = delta *. n in
@@ -668,7 +790,10 @@ let handle_query t session ~sql ~epsilon ~delta =
               | Error (Ledger.Exhausted e) ->
                 with_lock t (fun () -> t.refused <- t.refused + 1);
                 instr t (fun i -> Registry.Counter.incr i.m_refused);
-                Audit.log t.audit { (finalize t root base) with outcome = Audit.Refused };
+                let finalized, view = finalize t root base in
+                let event = { finalized with outcome = Audit.Refused } in
+                Audit.log t.audit event;
+                record_obs t ~key:canon event view;
                 Wire.Refused
                   {
                     analyst;
@@ -726,18 +851,22 @@ let handle_query t session ~sql ~epsilon ~delta =
                   ->
                   (* The core is paid and journaled (the charge stands), but
                      this request's suffix cannot evaluate over it. *)
-                  reject t ~root ~base
+                  reject t ~root ~base ~key:canon
                     (Errors.Analysis_error
                        "post-processing suffix failed on the released core")
                 | columns, rows ->
-                  Audit.log t.audit
+                  let finalized, view = finalize t root base in
+                  let event =
                     {
-                      (finalize t root base) with
+                      finalized with
                       outcome = Audit.Granted;
                       epsilon = cost_eps;
                       delta = cost_delta;
                       max_noise_scale;
-                    };
+                    }
+                  in
+                  Audit.log t.audit event;
+                  record_obs t ~key:canon ~rows:(List.length rows) event view;
                   Wire.Result
                     {
                       columns;
@@ -805,9 +934,18 @@ let handle_analyze t ~sql =
 (* Per-analyst budget series stay off the wire [Stats] response: the op
    needs no hello, and those series label every analyst's name with their
    budget consumption, where [Budget_info] only ever discloses the caller's
-   own. Operators still get them on the loopback-only /metrics scrape. *)
+   own. The burn-rate / exhaustion-forecast observatory series carry the
+   same analyst labels and follow the same rule. Operators still get them
+   all on the loopback-only /metrics scrape. (Statement stats and flight
+   records never even reach the registry: they hold raw SQL and live only
+   behind the loopback /statements and /flights endpoints.) *)
 let wire_omitted_families =
-  [ "flex_analyst_remaining_epsilon"; "flex_analyst_remaining_delta" ]
+  [
+    "flex_analyst_remaining_epsilon";
+    "flex_analyst_remaining_delta";
+    "flex_analyst_epsilon_burn_per_second";
+    "flex_analyst_epsilon_exhaustion_seconds";
+  ]
 
 let json_of_registry ?(omit = []) reg : Json.t =
   let sample (s : Registry.sample) =
@@ -817,22 +955,37 @@ let json_of_registry ?(omit = []) reg : Json.t =
     match s.value with
     | Registry.Sample v -> Json.Obj [ labels; ("value", Json.Num v) ]
     | Registry.Hist { upper; cumulative; count; sum } ->
+      let quantiles =
+        match
+          ( Registry.estimate_quantile ~upper ~cumulative ~count 0.5,
+            Registry.estimate_quantile ~upper ~cumulative ~count 0.95,
+            Registry.estimate_quantile ~upper ~cumulative ~count 0.99 )
+        with
+        | Some p50, Some p95, Some p99 ->
+          [
+            ( "quantiles",
+              Json.Obj
+                [ ("p50", Json.Num p50); ("p95", Json.Num p95); ("p99", Json.Num p99) ] );
+          ]
+        | _ -> []
+      in
       Json.Obj
-        [
-          labels;
-          ("count", Json.Num (float_of_int count));
-          ("sum", Json.Num sum);
-          ( "buckets",
-            Json.List
-              (List.mapi
-                 (fun i u ->
-                   Json.Obj
-                     [
-                       ("le", Json.Num u);
-                       ("count", Json.Num (float_of_int cumulative.(i)));
-                     ])
-                 (Array.to_list upper)) );
-        ]
+        ([
+           labels;
+           ("count", Json.Num (float_of_int count));
+           ("sum", Json.Num sum);
+           ( "buckets",
+             Json.List
+               (List.mapi
+                  (fun i u ->
+                    Json.Obj
+                      [
+                        ("le", Json.Num u);
+                        ("count", Json.Num (float_of_int cumulative.(i)));
+                      ])
+                  (Array.to_list upper)) );
+         ]
+        @ quantiles)
   in
   let family (f : Registry.family) =
     Json.Obj
@@ -892,7 +1045,7 @@ let handle t session req =
   try
     match (req : Wire.request) with
     | Hello { analyst; epsilon; delta } -> handle_hello t session ~analyst ~epsilon ~delta
-    | Query { sql; epsilon; delta } -> handle_query t session ~sql ~epsilon ~delta
+    | Query { sql; epsilon; delta; id } -> handle_query t session ~sql ~epsilon ~delta ~id
     | Analyze { sql } -> handle_analyze t ~sql
     | Explain { sql } -> handle_explain t session ~sql
     | Budget_info -> (
@@ -906,7 +1059,7 @@ let handle t session req =
 let handle_line t session line =
   match Wire.request_of_line line with
   | Error msg -> Wire.response_to_line (Wire.Error_msg msg)
-  | Ok req -> Wire.response_to_line (handle t session req)
+  | Ok req -> Wire.response_to_line ?id:(Wire.request_id req) (handle t session req)
 
 type counters = {
   queries : int;
@@ -941,15 +1094,20 @@ let log_overload t ~analyst ~line =
   in
   with_lock t (fun () -> t.rejected <- t.rejected + 1);
   instr t (fun i -> Registry.Counter.incr i.m_rejected);
-  Audit.log t.audit
+  let event =
     {
-      (base_event ~analyst:(Option.value analyst ~default:"") ~sql) with
+      (base_event ~analyst:(Option.value analyst ~default:"") ~sql ()) with
       outcome = Audit.Rejected "overload";
     }
+  in
+  Audit.log t.audit event;
+  record_obs t event None
 
 let cache t = t.analysis_cache
 let release_store t = t.release_store
 let registry t = t.registry
+let statements t = t.statements
+let flights t = t.flights
 
 (* Data reload: swap in the new epoch atomically, then strand every stored
    release minted against the old fingerprint — a replayed answer must never
@@ -1009,12 +1167,13 @@ let conn_loop l fd =
        match input_line ic with
        | exception (End_of_file | Sys_error _) -> continue := false
        | line ->
-         let resp, stop =
+         let resp, id, stop =
            match Wire.request_of_line line with
-           | Error msg -> (Wire.Error_msg msg, false)
-           | Ok req -> (handle l.server session req, req = Wire.Quit)
+           | Error msg -> (Wire.Error_msg msg, None, false)
+           | Ok req ->
+             (handle l.server session req, Wire.request_id req, req = Wire.Quit)
          in
-         output_string oc (Wire.response_to_line resp);
+         output_string oc (Wire.response_to_line ?id resp);
          output_char oc '\n';
          flush oc;
          if stop then continue := false

@@ -83,6 +83,13 @@ type config = {
           outcome, and charged nothing — the decision is scheduling, not
           privacy, so it never touches the ledger. [None] (the default)
           disables the limiter. *)
+  statement_capacity : int;
+      (** distinct query shapes tracked by the statement-statistics table
+          ({!statements}); past it the least-called shape is evicted.
+          Default 512. Only meaningful with [telemetry]. *)
+  flight_capacity : int;
+      (** finished requests the flight recorder ({!flights}) retains.
+          Default 256. Only meaningful with [telemetry]. *)
 }
 
 val default_config : config
@@ -162,7 +169,25 @@ val release_store : t -> Release_store.t option
 
 val registry : t -> Flex_obs.Registry.t option
 (** The server's metrics registry ([None] when telemetry is off) — what
-    [Stats] snapshots and the [--stats-port] HTTP endpoint scrapes. *)
+    [Stats] snapshots and the [--stats-port] HTTP endpoint scrapes. The
+    wire [Stats] response omits analyst-labelled families (remaining
+    budget, burn rate, exhaustion forecast): the op needs no hello, and
+    those series disclose other analysts' names and consumption. *)
+
+val statements : t -> Flex_obs.Statements.t option
+(** Per-shape statement statistics keyed on the canonical core key the
+    release store uses, so every post-processing variant of one core
+    aggregates into a single row. [None] when telemetry is off. Rows carry
+    canonical SQL text: operator-only loopback surface ([/statements]),
+    never the unauthenticated wire. *)
+
+val flights : t -> Flex_obs.Flight.t option
+(** The flight recorder: the last [config.flight_capacity] finished
+    requests with their span trees, analyst, outcome and budget charge.
+    [None] when telemetry is off. Records carry raw SQL and analyst names:
+    operator-only loopback surface ([/flights]), never the unauthenticated
+    wire. Pure observation — fixed-seed DP releases are bit-identical with
+    the recorder on or off. *)
 
 val refresh_data : t -> db:Database.t -> metrics:Metrics.t -> int
 (** Swap in a new data epoch atomically (new database handle + metrics,

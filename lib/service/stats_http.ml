@@ -1,7 +1,11 @@
 module Registry = Flex_obs.Registry
+module Statements = Flex_obs.Statements
+module Flight = Flex_obs.Flight
 
 type t = {
   registry : Registry.t;
+  statements : Statements.t option;
+  flights : Flight.t option;
   sock : Unix.file_descr;
   lport : int;
   lock : Mutex.t;
@@ -10,7 +14,7 @@ type t = {
   mutable accept_thread : Thread.t option;
 }
 
-let listen ?(backlog = 16) ?(port = 0) registry =
+let listen ?(backlog = 16) ?(port = 0) ?statements ?flights registry =
   let sock = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt sock SO_REUSEADDR true;
   Unix.bind sock (ADDR_INET (Unix.inet_addr_loopback, port));
@@ -20,6 +24,8 @@ let listen ?(backlog = 16) ?(port = 0) registry =
   in
   {
     registry;
+    statements;
+    flights;
     sock;
     lport;
     lock = Mutex.create ();
@@ -56,6 +62,21 @@ let handle t fd =
            (Registry.to_json t.registry)
        | [ "GET"; "/healthz"; _ ] ->
          response ~status:"200 OK" ~content_type:"text/plain" "ok"
+       | [ "GET"; "/statements"; _ ] -> (
+         match t.statements with
+         | Some st ->
+           response ~status:"200 OK" ~content_type:"application/json"
+             (Statements.to_json st)
+         | None ->
+           response ~status:"404 Not Found" ~content_type:"text/plain"
+             "statement statistics disabled")
+       | [ "GET"; "/flights"; _ ] -> (
+         match t.flights with
+         | Some fl ->
+           response ~status:"200 OK" ~content_type:"application/json" (Flight.to_json fl)
+         | None ->
+           response ~status:"404 Not Found" ~content_type:"text/plain"
+             "flight recorder disabled")
        | [ "GET"; _; _ ] ->
          response ~status:"404 Not Found" ~content_type:"text/plain" "not found"
        | _ -> response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request"

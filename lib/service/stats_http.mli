@@ -1,19 +1,32 @@
 (** A minimal HTTP/1.1 stats endpoint for scraping a {!Flex_obs.Registry}:
 
     - [GET /metrics] — Prometheus text exposition;
-    - [GET /metrics.json] — the same snapshot as JSON;
+    - [GET /metrics.json] — the same snapshot as JSON (histogram samples
+      include estimated p50/p95/p99);
+    - [GET /statements] — per-shape statement statistics as JSON (404 when
+      no table was supplied);
+    - [GET /flights] — the flight recorder's retained requests, span trees
+      included, as JSON (404 when no recorder was supplied);
     - [GET /healthz] — ["ok"].
 
     One request per connection ([Connection: close]), loopback only — the
     intended deployment puts a real reverse proxy in front if the metrics
     must travel. The registry holds only operational series (see
-    {!Registry}), so this surface never carries query results; it should
-    still not be exposed to analysts, since latency series are a timing
-    side channel. *)
+    {!Registry}); the statement and flight surfaces go further and carry
+    canonical SQL text and analyst names, which is exactly why this
+    operator-only loopback endpoint exists and the unauthenticated wire
+    [stats] op carries none of them. Never expose any of it to analysts —
+    latency series alone are a timing side channel. *)
 
 type t
 
-val listen : ?backlog:int -> ?port:int -> Flex_obs.Registry.t -> t
+val listen :
+  ?backlog:int ->
+  ?port:int ->
+  ?statements:Flex_obs.Statements.t ->
+  ?flights:Flex_obs.Flight.t ->
+  Flex_obs.Registry.t ->
+  t
 (** Bind 127.0.0.1 (port 0 — the default — picks an ephemeral one). *)
 
 val port : t -> int

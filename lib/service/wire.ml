@@ -5,7 +5,14 @@ module Json = Json
 
 type request =
   | Hello of { analyst : string; epsilon : float option; delta : float option }
-  | Query of { sql : string; epsilon : float option; delta : float option }
+  | Query of {
+      sql : string;
+      epsilon : float option;
+      delta : float option;
+      id : string option;
+          (* client-chosen correlation id, echoed verbatim in the response
+             and recorded in the audit event and flight record *)
+    }
   | Analyze of { sql : string }
   | Explain of { sql : string }
   | Budget_info
@@ -90,6 +97,15 @@ type response =
 (* --- helpers ---------------------------------------------------------------- *)
 
 let opt_num key = function Some f -> [ (key, Json.num f) ] | None -> []
+let opt_str key = function Some s -> [ (key, Json.str s) ] | None -> []
+
+let get_opt_str key j =
+  match Json.mem key j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+    match Json.to_str v with
+    | Some s -> Ok (Some s)
+    | None -> Error (Printf.sprintf "non-string field %S" key))
 
 let get_str key j =
   match Option.bind (Json.mem key j) Json.to_str with
@@ -146,10 +162,10 @@ let request_to_json = function
     Json.Obj
       ([ ("op", Json.str "hello"); ("analyst", Json.str analyst) ]
       @ opt_num "epsilon" epsilon @ opt_num "delta" delta)
-  | Query { sql; epsilon; delta } ->
+  | Query { sql; epsilon; delta; id } ->
     Json.Obj
       ([ ("op", Json.str "query"); ("sql", Json.str sql) ]
-      @ opt_num "epsilon" epsilon @ opt_num "delta" delta)
+      @ opt_num "epsilon" epsilon @ opt_num "delta" delta @ opt_str "id" id)
   | Analyze { sql } -> Json.Obj [ ("op", Json.str "analyze"); ("sql", Json.str sql) ]
   | Explain { sql } -> Json.Obj [ ("op", Json.str "explain"); ("sql", Json.str sql) ]
   | Budget_info -> Json.Obj [ ("op", Json.str "budget") ]
@@ -168,7 +184,9 @@ let request_of_json j =
     let* sql = get_str "sql" j in
     let* epsilon = get_opt_num "epsilon" j in
     let* delta = get_opt_num "delta" j in
-    Ok (Query { sql; epsilon; delta })
+    (* added after the op shipped: an older client never sends one *)
+    let* id = get_opt_str "id" j in
+    Ok (Query { sql; epsilon; delta; id })
   | "analyze" ->
     let* sql = get_str "sql" j in
     Ok (Analyze { sql })
@@ -460,17 +478,34 @@ let response_of_json j =
 
 (* --- lines ------------------------------------------------------------------- *)
 
+let request_id = function Query { id; _ } -> id | _ -> None
+
 let request_to_line r = Json.to_string (request_to_json r)
 
 let request_of_line line =
   let* j = Json.of_string line in
   request_of_json j
 
-let response_to_line r = Json.to_string (response_to_json r)
+(* [id] echoes the client's correlation id as a top-level response field.
+   Decoders only read the fields they name, so an older client simply never
+   sees it. *)
+let response_to_line ?id r =
+  let j = response_to_json r in
+  let j =
+    match (id, j) with
+    | Some id, Json.Obj fields -> Json.Obj (fields @ [ ("id", Json.str id) ])
+    | _ -> j
+  in
+  Json.to_string j
 
 let response_of_line line =
   let* j = Json.of_string line in
   response_of_json j
+
+let response_id_of_line line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok j -> Option.bind (Json.mem "id" j) Json.to_str
 
 let json_of_value (v : Flex_engine.Value.t) =
   match v with

@@ -9,8 +9,16 @@ type request =
   | Hello of { analyst : string; epsilon : float option; delta : float option }
       (** register (or re-attach) an analyst; optional total budget limits,
           server defaults otherwise *)
-  | Query of { sql : string; epsilon : float option; delta : float option }
-      (** a DP query; optional per-query epsilon/delta overrides *)
+  | Query of {
+      sql : string;
+      epsilon : float option;
+      delta : float option;
+      id : string option;
+          (** optional client-chosen correlation id: echoed verbatim as a
+              top-level ["id"] field of the response line and recorded in
+              the audit event and flight record. Older peers on either side
+              simply omit/ignore it. *)
+    }  (** a DP query; optional per-query epsilon/delta overrides *)
   | Analyze of { sql : string }  (** sensitivity analysis only — free *)
   | Explain of { sql : string }
       (** the optimizer's logical and optimized plans — free, no execution *)
@@ -113,10 +121,20 @@ val request_of_json : Json.t -> (request, string) result
 val response_to_json : response -> Json.t
 val response_of_json : Json.t -> (response, string) result
 
+val request_id : request -> string option
+(** The correlation id carried by a [Query], if any. *)
+
 val request_to_line : request -> string
 val request_of_line : string -> (request, string) result
-val response_to_line : response -> string
+
+val response_to_line : ?id:string -> response -> string
+(** [id] (the request's correlation id) is appended as a top-level ["id"]
+    field; decoders that don't know it ignore it. *)
+
 val response_of_line : string -> (response, string) result
+
+val response_id_of_line : string -> string option
+(** The echoed correlation id on a response line, if present. *)
 
 val json_of_value : Flex_engine.Value.t -> Json.t
 (** How result cells travel: NULL/bool/number/string. *)

@@ -32,6 +32,8 @@ module Json = Flex_service.Json
 module Server = Flex_service.Server
 module Audit = Flex_service.Audit
 module Stats_http = Flex_service.Stats_http
+module Statements = Flex_obs.Statements
+module Flight = Flex_obs.Flight
 
 [@@@warning "-3"]
 
@@ -224,6 +226,7 @@ let base_event sql : Audit.event =
   {
     analyst = "a";
     sql;
+    request_id = None;
     outcome = Audit.Granted;
     epsilon = 0.1;
     delta = 1e-8;
@@ -410,7 +413,7 @@ let hello server session analyst =
   | other -> Alcotest.failf "hello failed: %s" (Wire.response_to_line other)
 
 let query server session sql =
-  Server.handle server session (Wire.Query { sql; epsilon = None; delta = None })
+  Server.handle server session (Wire.Query { sql; epsilon = None; delta = None; id = None })
 
 let remaining server session =
   match Server.handle server session Wire.Budget_info with
@@ -717,15 +720,539 @@ let stats_http_tests =
         Stats_http.stop http;
         ignore oc;
         close_in_noerr ic);
+    Alcotest.test_case "/statements and /flights serve JSON when supplied" `Quick
+      (fun () ->
+        let st = Statements.create () in
+        Statements.record st ~now_ns:1.0 ~key:"SELECT COUNT(*) FROM trips"
+          ~outcome:`Granted ~total_ns:100.0 ();
+        let fl = Flight.create () in
+        Flight.record fl ~ts_ns:1.0 ~analyst:"alice" ~sql:"SELECT COUNT(*) FROM trips"
+          ~outcome:"granted" ~duration_ns:100.0 ();
+        let http = Stats_http.listen ~statements:st ~flights:fl (Registry.create ()) in
+        ignore (Stats_http.start http);
+        Fun.protect
+          ~finally:(fun () -> Stats_http.stop http)
+          (fun () ->
+            let port = Stats_http.port http in
+            (match Json.of_string (body_of (http_get port "/statements")) with
+            | Ok j ->
+              Alcotest.(check (option int)) "tracked" (Some 1)
+                (Option.bind (Json.mem "tracked" j) Json.to_int)
+            | Error e -> Alcotest.failf "/statements does not parse: %s" e);
+            match Json.of_string (body_of (http_get port "/flights")) with
+            | Ok j ->
+              Alcotest.(check (option int)) "recorded" (Some 1)
+                (Option.bind (Json.mem "recorded" j) Json.to_int)
+            | Error e -> Alcotest.failf "/flights does not parse: %s" e));
+    Alcotest.test_case "/statements and /flights are 404 when not supplied" `Quick
+      (fun () ->
+        let http = Stats_http.listen (Registry.create ()) in
+        ignore (Stats_http.start http);
+        Fun.protect
+          ~finally:(fun () -> Stats_http.stop http)
+          (fun () ->
+            let port = Stats_http.port http in
+            Alcotest.(check bool) "statements 404" true
+              (Astring.String.is_infix ~affix:"404" (http_get port "/statements"));
+            Alcotest.(check bool) "flights 404" true
+              (Astring.String.is_infix ~affix:"404" (http_get port "/flights"))));
+  ]
+
+(* --- audit rotation under concurrency -------------------------------------------- *)
+
+let audit_rotation_tests =
+  [
+    Alcotest.test_case "rotation never tears a line under concurrent writers" `Quick
+      (fun () ->
+        let path = Filename.temp_file "flex_audit" ".log" in
+        let threads = 8 and per = 50 in
+        let audit = Audit.to_file ~max_bytes:4096 path in
+        let event i =
+          {
+            Audit.analyst = Printf.sprintf "writer-%d" i;
+            sql = "SELECT COUNT(*) FROM trips WHERE fare > 20";
+            request_id = Some (Printf.sprintf "r-%d" i);
+            outcome = Audit.Granted;
+            epsilon = 0.1;
+            delta = 1e-6;
+            max_noise_scale = 10.0;
+            cache_hit = false;
+            parse_ns = 1.0;
+            analysis_ns = 2.0;
+            smooth_ns = 3.0;
+            execution_ns = 4.0;
+            perturbation_ns = 5.0;
+            total_ns = 20.0;
+          }
+        in
+        let ts =
+          List.init threads (fun t ->
+              Thread.create
+                (fun () ->
+                  for i = 1 to per do
+                    Audit.log audit (event ((t * per) + i))
+                  done)
+                ())
+        in
+        List.iter Thread.join ts;
+        Alcotest.(check int) "every event counted" (threads * per) (Audit.count audit);
+        Audit.close audit;
+        let lines_of p =
+          if not (Sys.file_exists p) then []
+          else begin
+            let ic = open_in p in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+          end
+        in
+        let current = lines_of path and rotated = lines_of (path ^ ".1") in
+        Alcotest.(check bool) "rotation happened" true (rotated <> []);
+        List.iteri
+          (fun i line ->
+            match Json.of_string line with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "torn line %d: %s (%s)" i e line)
+          (current @ rotated);
+        (* the live generation respects the byte limit *)
+        Alcotest.(check bool) "live file within limit" true
+          (List.fold_left (fun acc l -> acc + String.length l + 1) 0 current <= 4096);
+        Sys.remove path;
+        if Sys.file_exists (path ^ ".1") then Sys.remove (path ^ ".1"));
+  ]
+
+(* --- quantile estimation --------------------------------------------------------- *)
+
+let quantile_tests =
+  [
+    Alcotest.test_case "linear interpolation within the rank's bucket" `Quick (fun () ->
+        let upper = [| 1.0; 2.0; 4.0 |] and cumulative = [| 2; 3; 4 |] in
+        let q p = Registry.estimate_quantile ~upper ~cumulative ~count:4 p in
+        Alcotest.(check (option (float 1e-9))) "p50" (Some 1.0) (q 0.5);
+        Alcotest.(check (option (float 1e-9))) "p75" (Some 2.0) (q 0.75);
+        Alcotest.(check (option (float 1e-9))) "p100" (Some 4.0) (q 1.0));
+    Alcotest.test_case "first bucket interpolates from zero" `Quick (fun () ->
+        match
+          Registry.estimate_quantile ~upper:[| 8.0 |] ~cumulative:[| 4 |] ~count:4 0.5
+        with
+        | Some v -> Alcotest.(check (float 1e-9)) "half the first bucket" 4.0 v
+        | None -> Alcotest.fail "expected an estimate");
+    Alcotest.test_case "rank past the last finite bound clamps" `Quick (fun () ->
+        (* 2 of 3 observations overflowed every finite bucket *)
+        match
+          Registry.estimate_quantile ~upper:[| 1.0; 2.0 |] ~cumulative:[| 1; 1 |]
+            ~count:3 0.9
+        with
+        | Some v -> Alcotest.(check (float 1e-9)) "clamped to last bound" 2.0 v
+        | None -> Alcotest.fail "expected an estimate");
+    Alcotest.test_case "empty histogram has no quantiles" `Quick (fun () ->
+        Alcotest.(check (option (float 0.))) "none" None
+          (Registry.estimate_quantile ~upper:[| 1.0 |] ~cumulative:[| 0 |] ~count:0 0.5));
+    Alcotest.test_case "registry JSON carries p50/p95/p99 once observed" `Quick (fun () ->
+        let reg = Registry.create () in
+        let h = Registry.histogram reg "t_seconds" in
+        let before = Registry.to_json reg in
+        Alcotest.(check bool) "no quantiles while empty" false
+          (Astring.String.is_infix ~affix:"quantiles" before);
+        for _ = 1 to 100 do
+          Registry.Histogram.observe h 1e-3
+        done;
+        let after = Registry.to_json reg in
+        Alcotest.(check bool) "quantiles after observations" true
+          (Astring.String.is_infix ~affix:{|"quantiles"|} after
+          && Astring.String.is_infix ~affix:{|"p50"|} after
+          && Astring.String.is_infix ~affix:{|"p99"|} after));
+  ]
+
+(* --- statement statistics -------------------------------------------------------- *)
+
+let statement_tests =
+  [
+    Alcotest.test_case "accumulates calls, outcomes, rows, budget, extrema" `Quick
+      (fun () ->
+        let st = Statements.create ~capacity:8 () in
+        Statements.record st ~now_ns:1.0 ~key:"K" ~outcome:`Granted
+          ~stages:[ ("execute", 100.0); ("perturb", 10.0) ]
+          ~rows:3 ~epsilon:0.5 ~delta:1e-6 ~total_ns:200.0 ();
+        Statements.record st ~now_ns:2.0 ~key:"K" ~outcome:`Replayed
+          ~stages:[ ("execute", 50.0) ]
+          ~rows:3 ~total_ns:100.0 ();
+        match Statements.snapshot st with
+        | [ v ] ->
+          Alcotest.(check string) "key" "K" v.Statements.key;
+          Alcotest.(check int) "calls" 2 v.calls;
+          Alcotest.(check int) "granted" 1 v.granted;
+          Alcotest.(check int) "replayed" 1 v.replayed;
+          Alcotest.(check int) "rows" 6 v.rows;
+          Alcotest.(check (float 1e-9)) "epsilon" 0.5 v.epsilon;
+          Alcotest.(check (float 1e-9)) "delta" 1e-6 v.delta;
+          Alcotest.(check int) "total count" 2 v.total.count;
+          Alcotest.(check (float 1e-9)) "total sum" 300.0 v.total.sum_ns;
+          Alcotest.(check (float 1e-9)) "total min" 100.0 v.total.min_ns;
+          Alcotest.(check (float 1e-9)) "total max" 200.0 v.total.max_ns;
+          let execute = List.find (fun s -> s.Statements.stage = "execute") v.stages in
+          Alcotest.(check int) "execute count" 2 execute.count;
+          Alcotest.(check (float 1e-9)) "execute sum" 150.0 execute.sum_ns;
+          Alcotest.(check (float 1e-9)) "execute min" 50.0 execute.min_ns;
+          Alcotest.(check (float 1e-9)) "execute max" 100.0 execute.max_ns;
+          let perturb = List.find (fun s -> s.Statements.stage = "perturb") v.stages in
+          Alcotest.(check int) "perturb count" 1 perturb.count
+        | vs -> Alcotest.failf "expected one row, got %d" (List.length vs));
+    Alcotest.test_case "evicts the least-called shape at capacity" `Quick (fun () ->
+        let st = Statements.create ~capacity:2 () in
+        Statements.record st ~now_ns:1.0 ~key:"a" ~outcome:`Granted ~total_ns:10.0 ();
+        Statements.record st ~now_ns:2.0 ~key:"a" ~outcome:`Granted ~total_ns:10.0 ();
+        Statements.record st ~now_ns:3.0 ~key:"b" ~outcome:`Granted ~total_ns:10.0 ();
+        Statements.record st ~now_ns:4.0 ~key:"c" ~outcome:`Granted ~total_ns:10.0 ();
+        Alcotest.(check int) "still at capacity" 2 (Statements.size st);
+        Alcotest.(check int) "one eviction" 1 (Statements.evictions st);
+        let keys =
+          List.map (fun v -> v.Statements.key) (Statements.snapshot st)
+          |> List.sort compare
+        in
+        Alcotest.(check (list string)) "least-called b evicted" [ "a"; "c" ] keys);
+    Alcotest.test_case "snapshot orders busiest shape first" `Quick (fun () ->
+        let st = Statements.create () in
+        Statements.record st ~now_ns:1.0 ~key:"cheap" ~outcome:`Granted ~total_ns:10.0 ();
+        Statements.record st ~now_ns:2.0 ~key:"hot" ~outcome:`Granted ~total_ns:1e6 ();
+        match Statements.snapshot st with
+        | v :: _ -> Alcotest.(check string) "hot first" "hot" v.Statements.key
+        | [] -> Alcotest.fail "empty snapshot");
+    Alcotest.test_case "quantiles land in the observed bucket" `Quick (fun () ->
+        let st = Statements.create () in
+        for i = 1 to 100 do
+          Statements.record st ~now_ns:(float_of_int i) ~key:"k" ~outcome:`Granted
+            ~total_ns:1e6 () (* 1 ms *)
+        done;
+        match Statements.snapshot st with
+        | [ v ] -> (
+          match v.Statements.total.p50 with
+          | Some p50 ->
+            Alcotest.(check bool)
+              (Printf.sprintf "p50 %.6fs brackets 1ms" p50)
+              true
+              (p50 > 0.4e-3 && p50 < 2.2e-3)
+          | None -> Alcotest.fail "expected a p50")
+        | _ -> Alcotest.fail "expected one row");
+    Alcotest.test_case "to_json parses and reset clears" `Quick (fun () ->
+        let st = Statements.create () in
+        Statements.record st ~now_ns:1.0 ~key:{|SELECT COUNT(*) FROM "t"|}
+          ~outcome:`Rejected ~total_ns:5.0 ();
+        (match Json.of_string (Statements.to_json st) with
+        | Error e -> Alcotest.failf "to_json does not parse: %s" e
+        | Ok j ->
+          Alcotest.(check (option int)) "tracked" (Some 1)
+            (Option.bind (Json.mem "tracked" j) Json.to_int));
+        Statements.reset st;
+        Alcotest.(check int) "reset clears" 0 (Statements.size st));
+    Alcotest.test_case "concurrent recorders agree on totals" `Quick (fun () ->
+        let st = Statements.create () in
+        let threads = 8 and per = 500 in
+        let ts =
+          List.init threads (fun t ->
+              Thread.create
+                (fun () ->
+                  for i = 1 to per do
+                    Statements.record st
+                      ~now_ns:(float_of_int ((t * per) + i))
+                      ~key:"shared" ~outcome:`Granted ~rows:1 ~epsilon:0.01
+                      ~total_ns:100.0 ()
+                  done)
+                ())
+        in
+        List.iter Thread.join ts;
+        match Statements.snapshot st with
+        | [ v ] ->
+          Alcotest.(check int) "calls" (threads * per) v.Statements.calls;
+          Alcotest.(check int) "rows" (threads * per) v.rows;
+          Alcotest.(check (float 1e-6)) "epsilon" (float_of_int (threads * per) *. 0.01)
+            v.epsilon
+        | vs -> Alcotest.failf "expected one row, got %d" (List.length vs));
+  ]
+
+(* --- flight recorder ------------------------------------------------------------- *)
+
+let flight_tests =
+  [
+    Alcotest.test_case "ring wraps and snapshots newest-first" `Quick (fun () ->
+        let fl = Flight.create ~capacity:8 () in
+        for i = 0 to 19 do
+          Flight.record fl ~ts_ns:(float_of_int i) ~analyst:"a"
+            ~sql:(Printf.sprintf "q%d" i) ~outcome:"granted"
+            ~duration_ns:(float_of_int i) ()
+        done;
+        Alcotest.(check int) "all writes counted" 20 (Flight.recorded fl);
+        let snap = Flight.snapshot fl in
+        Alcotest.(check int) "bounded by capacity" 8 (List.length snap);
+        let seqs = List.map (fun r -> r.Flight.seq) snap in
+        Alcotest.(check (list int)) "newest first, most recent retained"
+          [ 19; 18; 17; 16; 15; 14; 13; 12 ] seqs);
+    Alcotest.test_case "limit truncates the snapshot" `Quick (fun () ->
+        let fl = Flight.create ~capacity:16 () in
+        for i = 0 to 9 do
+          Flight.record fl ~ts_ns:(float_of_int i) ~analyst:"a" ~sql:"q"
+            ~outcome:"granted" ~duration_ns:1.0 ()
+        done;
+        Alcotest.(check int) "limit 3" 3 (List.length (Flight.snapshot ~limit:3 fl)));
+    Alcotest.test_case "records keep id, key and span tree" `Quick (fun () ->
+        let fl = Flight.create () in
+        let root = Span.root "query" in
+        Span.timed (Some root) "execute" (fun _ -> ());
+        Span.finish root;
+        Flight.record fl ~ts_ns:1.0 ~id:"req-9" ~analyst:"alice" ~sql:"SELECT 1"
+          ~key:"CORE" ~outcome:"granted" ~epsilon:0.1 ~duration_ns:5.0
+          ~trace:(Span.view root) ();
+        (match Flight.snapshot fl with
+        | [ r ] ->
+          Alcotest.(check (option string)) "id" (Some "req-9") r.Flight.id;
+          Alcotest.(check (option string)) "key" (Some "CORE") r.key;
+          (match r.trace with
+          | Some v ->
+            Alcotest.(check bool) "trace has the execute child" true
+              (List.exists (fun (c : Span.view) -> c.name = "execute") v.children)
+          | None -> Alcotest.fail "expected a trace")
+        | rs -> Alcotest.failf "expected one record, got %d" (List.length rs));
+        match Json.of_string (Flight.to_json fl) with
+        | Error e -> Alcotest.failf "to_json does not parse: %s" e
+        | Ok j ->
+          Alcotest.(check (option int)) "recorded" (Some 1)
+            (Option.bind (Json.mem "recorded" j) Json.to_int));
+    Alcotest.test_case "concurrent writers never lose a write" `Quick (fun () ->
+        let fl = Flight.create ~capacity:64 () in
+        let threads = 8 and per = 200 in
+        let ts =
+          List.init threads (fun t ->
+              Thread.create
+                (fun () ->
+                  for i = 1 to per do
+                    Flight.record fl
+                      ~ts_ns:(float_of_int ((t * per) + i))
+                      ~analyst:"a" ~sql:"q" ~outcome:"granted" ~duration_ns:1.0 ()
+                  done)
+                ())
+        in
+        List.iter Thread.join ts;
+        Alcotest.(check int) "recorded counts every write" (threads * per)
+          (Flight.recorded fl);
+        let snap = Flight.snapshot fl in
+        Alcotest.(check int) "retains exactly capacity" 64 (List.length snap);
+        let sorted = List.sort (fun a b -> compare b.Flight.seq a.Flight.seq) snap in
+        Alcotest.(check bool) "snapshot is newest-first" true (snap = sorted);
+        match Json.of_string (Flight.to_json fl) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "to_json does not parse: %s" e);
+  ]
+
+(* --- budget observatory + statement stats through the service -------------------- *)
+
+let group_query = "SELECT t.city_id, COUNT(*) FROM trips t GROUP BY t.city_id"
+let group_suffix_query = group_query ^ " ORDER BY 2 DESC LIMIT 3"
+
+let observatory_tests =
+  [
+    Alcotest.test_case "suffix variants of one core share a statement row" `Quick
+      (fun () ->
+        let server = make_server () in
+        let session = Server.session server in
+        hello server session "alice";
+        (match query server session group_query with
+        | Wire.Result _ -> ()
+        | other -> Alcotest.failf "cold query failed: %s" (Wire.response_to_line other));
+        (match query server session group_suffix_query with
+        | Wire.Result _ -> ()
+        | other -> Alcotest.failf "suffix query failed: %s" (Wire.response_to_line other));
+        let st =
+          match Server.statements server with
+          | Some st -> st
+          | None -> Alcotest.fail "statement table expected when telemetry is on"
+        in
+        match Statements.snapshot st with
+        | [ v ] ->
+          Alcotest.(check int) "both calls on one row" 2 v.Statements.calls;
+          Alcotest.(check int) "first was granted" 1 v.granted;
+          Alcotest.(check int) "suffix variant was derived" 1 v.derived;
+          Alcotest.(check bool) "stage list is populated" true (v.stages <> [])
+        | vs ->
+          Alcotest.failf "expected one statement row, got %d: %s" (List.length vs)
+            (String.concat ", " (List.map (fun v -> v.Statements.key) vs)));
+    Alcotest.test_case "flight recorder captures the request end-to-end" `Quick
+      (fun () ->
+        let server = make_server () in
+        let session = Server.session server in
+        hello server session "alice";
+        (match
+           Server.handle server session
+             (Wire.Query
+                { sql = count_query; epsilon = None; delta = None; id = Some "r-7" })
+         with
+        | Wire.Result _ -> ()
+        | other -> Alcotest.failf "query failed: %s" (Wire.response_to_line other));
+        let fl =
+          match Server.flights server with
+          | Some fl -> fl
+          | None -> Alcotest.fail "flight recorder expected when telemetry is on"
+        in
+        match Flight.snapshot fl with
+        | r :: _ ->
+          Alcotest.(check string) "analyst" "alice" r.Flight.analyst;
+          Alcotest.(check string) "sql" count_query r.sql;
+          Alcotest.(check (option string)) "request id" (Some "r-7") r.id;
+          Alcotest.(check string) "outcome" "granted" r.outcome;
+          Alcotest.(check bool) "charged epsilon recorded" true (r.epsilon > 0.0);
+          Alcotest.(check bool) "canonical key attached" true (r.key <> None);
+          (match r.trace with
+          | Some v ->
+            let child n = List.exists (fun (c : Span.view) -> c.name = n) v.children in
+            Alcotest.(check bool) "parse span present" true (child "parse");
+            Alcotest.(check bool) "execute span present" true (child "execute")
+          | None -> Alcotest.fail "expected a span tree")
+        | [] -> Alcotest.fail "no flight recorded");
+    Alcotest.test_case "rejected queries are recorded, without a key on parse errors"
+      `Quick (fun () ->
+        let server = make_server () in
+        let session = Server.session server in
+        hello server session "alice";
+        (match query server session "SELEC nope" with
+        | Wire.Rejected _ -> ()
+        | other -> Alcotest.failf "expected a rejection: %s" (Wire.response_to_line other));
+        match Option.map Flight.snapshot (Server.flights server) with
+        | Some (r :: _) ->
+          Alcotest.(check bool) "outcome is a rejection" true
+            (Astring.String.is_prefix ~affix:"rejected" r.Flight.outcome);
+          Alcotest.(check (option string)) "no canonical key" None r.key
+        | _ -> Alcotest.fail "no flight recorded");
+    Alcotest.test_case "burn-rate gauges on the scrape, never on the wire" `Quick
+      (fun () ->
+        let server = make_server () in
+        let session = Server.session server in
+        hello server session "alice";
+        (match query server session count_query with
+        | Wire.Result _ -> ()
+        | other -> Alcotest.failf "query failed: %s" (Wire.response_to_line other));
+        let reg =
+          match Server.registry server with
+          | Some reg -> reg
+          | None -> Alcotest.fail "registry expected"
+        in
+        let scrape = Registry.to_prometheus reg in
+        Alcotest.(check bool) "burn rate on the scrape" true
+          (Astring.String.is_infix
+             ~affix:{|flex_analyst_epsilon_burn_per_second{analyst="alice"}|} scrape);
+        Alcotest.(check bool) "exhaustion forecast on the scrape" true
+          (Astring.String.is_infix ~affix:"flex_analyst_epsilon_exhaustion_seconds"
+             scrape);
+        match Server.handle server session Wire.Stats with
+        | Wire.Stats_report s ->
+          let rendered = Json.to_string s.metrics in
+          List.iter
+            (fun leak ->
+              Alcotest.(check bool)
+                (Printf.sprintf "wire stats must not carry %S" leak)
+                false
+                (Astring.String.is_infix ~affix:leak rendered))
+            [
+              "burn_per_second";
+              "exhaustion";
+              "remaining_epsilon";
+              "remaining_delta";
+              "alice";
+              "SELECT";
+              "trips";
+            ]
+        | other -> Alcotest.failf "unexpected: %s" (Wire.response_to_line other));
+    Alcotest.test_case "releases bit-identical with tiny and default recorders" `Quick
+      (fun () ->
+        (* recorder capacity (including constant eviction at capacity 1) must
+           never touch the RNG or the released values *)
+        let tiny =
+          { Server.default_config with statement_capacity = 1; flight_capacity = 1 }
+        in
+        let drive config =
+          let server = make_server ~config () in
+          let session = Server.session server in
+          hello server session "alice";
+          List.map
+            (fun sql -> query server session sql)
+            [ count_query; group_query; group_suffix_query; count_query ]
+        in
+        List.iter2
+          (fun a b ->
+            if a <> b then
+              Alcotest.failf "release differs with tiny recorders:\n%s\n%s"
+                (Wire.response_to_line a) (Wire.response_to_line b))
+          (drive Server.default_config) (drive tiny));
+  ]
+
+(* --- request id on the wire ------------------------------------------------------ *)
+
+let wire_id_tests =
+  [
+    Alcotest.test_case "request id round-trips; absent id stays absent" `Quick (fun () ->
+        let req =
+          Wire.Query { sql = "SELECT 1"; epsilon = None; delta = None; id = Some "r-1" }
+        in
+        let line = Wire.request_to_line req in
+        (match Wire.request_of_line line with
+        | Ok req' ->
+          Alcotest.(check (option string)) "id survives" (Some "r-1")
+            (Wire.request_id req')
+        | Error e -> Alcotest.failf "decode failed: %s" e);
+        let bare =
+          Wire.request_to_line
+            (Wire.Query { sql = "SELECT 1"; epsilon = None; delta = None; id = None })
+        in
+        Alcotest.(check bool) "no id field when none given" false
+          (Astring.String.is_infix ~affix:{|"id"|} bare));
+    Alcotest.test_case "old-peer lines without an id decode to None" `Quick (fun () ->
+        match Wire.request_of_line {|{"op":"query","sql":"SELECT 1"}|} with
+        | Ok req -> Alcotest.(check (option string)) "defaults" None (Wire.request_id req)
+        | Error e -> Alcotest.failf "decode failed: %s" e);
+    Alcotest.test_case "response echo: appended id is extractable, old lines give None"
+      `Quick (fun () ->
+        let resp = Wire.Rejected { bucket = "parse"; reason = "nope" } in
+        let echoed = Wire.response_to_line ~id:"r-2" resp in
+        Alcotest.(check (option string)) "echoed" (Some "r-2")
+          (Wire.response_id_of_line echoed);
+        (match Wire.response_of_line echoed with
+        | Ok (Wire.Rejected r) -> Alcotest.(check string) "bucket survives" "parse" r.bucket
+        | Ok other -> Alcotest.failf "wrong constructor: %s" (Wire.response_to_line other)
+        | Error e -> Alcotest.failf "old decoder rejects echoed line: %s" e);
+        Alcotest.(check (option string)) "old-server line has no id" None
+          (Wire.response_id_of_line (Wire.response_to_line resp)));
+    Alcotest.test_case "audit event joins on the request id" `Quick (fun () ->
+        let buf = Buffer.create 256 in
+        let server = make_server ~audit:(Audit.to_buffer buf) () in
+        let session = Server.session server in
+        hello server session "alice";
+        (match
+           Server.handle server session
+             (Wire.Query
+                { sql = count_query; epsilon = None; delta = None; id = Some "r-3" })
+         with
+        | Wire.Result _ -> ()
+        | other -> Alcotest.failf "query failed: %s" (Wire.response_to_line other));
+        match Json.of_string (List.hd (String.split_on_char '\n' (Buffer.contents buf)))
+        with
+        | Ok j ->
+          Alcotest.(check (option string)) "id in the audit line" (Some "r-3")
+            (Option.bind (Json.mem "id" j) Json.to_str)
+        | Error e -> Alcotest.failf "audit line does not parse: %s" e);
   ]
 
 let suites =
   [
     ("obs-registry", registry_tests);
+    ("obs-quantiles", quantile_tests);
     ("obs-clock-span", clock_span_tests);
     ("obs-audit", audit_tests);
     ("obs-explain-analyze", explain_analyze_tests);
     ("obs-pool-counters", pool_counter_tests);
+    ("obs-statements", statement_tests);
+    ("obs-flight", flight_tests);
+    ("obs-observatory", observatory_tests);
+    ("obs-wire-id", wire_id_tests);
     ("obs-service", service_tests);
     ("obs-stats-http", stats_http_tests);
+    ("obs-audit-rotation", audit_rotation_tests);
   ]

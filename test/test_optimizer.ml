@@ -417,6 +417,7 @@ let explain_service_tests =
                   sql = "EXPLAIN SELECT COUNT(*) FROM trips";
                   epsilon = None;
                   delta = None;
+                  id = None;
                 })
          with
         | Wire.Plan_report { optimized; _ } ->

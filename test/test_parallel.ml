@@ -419,6 +419,7 @@ let service_tests =
                              sql = "SELECT COUNT(*) FROM trips";
                              epsilon = Some 0.25;
                              delta = None;
+                             id = None;
                            })
                     with
                     | Wire.Result _ -> Atomic.incr granted

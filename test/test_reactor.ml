@@ -199,7 +199,7 @@ let reactor_tests =
             | other -> Alcotest.failf "hello: %s" (Wire.response_to_line other));
             let sql = "SELECT COUNT(*) FROM trips" in
             (match
-               send fd (Wire.Query { sql; epsilon = Some 0.5; delta = None });
+               send fd (Wire.Query { sql; epsilon = Some 0.5; delta = None; id = None });
                recv next
              with
             | Wire.Result res ->
@@ -208,7 +208,7 @@ let reactor_tests =
             | other -> Alcotest.failf "query: %s" (Wire.response_to_line other));
             (* the repeat replays from the release store: zero budget *)
             (match
-               send fd (Wire.Query { sql; epsilon = Some 0.5; delta = None });
+               send fd (Wire.Query { sql; epsilon = Some 0.5; delta = None; id = None });
                recv next
              with
             | Wire.Result res -> Alcotest.(check bool) "replayed" true res.cached
@@ -250,6 +250,7 @@ let reactor_tests =
                           sql = "SELECT COUNT(*) FROM trips";
                           epsilon = Some e;
                           delta = None;
+                          id = None;
                         })
                   ^ "\n"))
               epsilons;
@@ -436,7 +437,7 @@ let overload_tests =
           match
             Server.handle server session
               (Wire.Query
-                 { sql = "SELECT COUNT(*) FROM trips"; epsilon = Some 0.25; delta = None })
+                 { sql = "SELECT COUNT(*) FROM trips"; epsilon = Some 0.25; delta = None; id = None })
           with
           | Wire.Result _ -> incr granted
           | Wire.Rejected rej when rej.bucket = "rate_limit" -> incr limited
@@ -518,6 +519,7 @@ let overload_tests =
                             "SELECT t.status, COUNT(*) FROM trips t GROUP BY t.status";
                           epsilon = None;
                           delta = None;
+                          id = None;
                         })
                     ()
                 in
@@ -565,6 +567,7 @@ let overload_tests =
                          then replays *)
                       epsilon = Some (Float.ldexp 1.0 (-1 - (conn mod 4)));
                       delta = None;
+                      id = None;
                     })
                 ()
             in
@@ -583,10 +586,104 @@ let overload_tests =
             Alcotest.(check bool) "positive qps" true (Load_driver.qps outcome > 0.0)));
   ]
 
+(* --- reactor: observability ------------------------------------------------------ *)
+
+let observability_tests =
+  [
+    Alcotest.test_case "id echoes and the span tree completes over the reactor" `Quick
+      (fun () ->
+        let buf = Buffer.create 1024 in
+        let server, _ = make_server ~audit:(Audit.to_buffer buf) () in
+        with_reactor server (fun r ->
+            let fd = connect (Reactor.port r) in
+            let next = reader fd in
+            send fd (Wire.Hello { analyst = "alice"; epsilon = None; delta = None });
+            ignore (recv next);
+            send fd
+              (Wire.Query
+                 {
+                   sql = "SELECT COUNT(*) FROM trips";
+                   epsilon = Some 0.5;
+                   delta = None;
+                   id = Some "corr-42";
+                 });
+            (match next () with
+            | None -> Alcotest.fail "unexpected EOF"
+            | Some line ->
+              Alcotest.(check (option string)) "response echoes the id" (Some "corr-42")
+                (Wire.response_id_of_line line);
+              (match Wire.response_of_line line with
+              | Ok (Wire.Result _) -> ()
+              | Ok other -> Alcotest.failf "query: %s" (Wire.response_to_line other)
+              | Error e -> Alcotest.failf "decode: %s" e));
+            (* a request without an id gets a response without one — old
+               clients never see the field *)
+            send fd
+              (Wire.Query
+                 {
+                   sql = "SELECT COUNT(*) FROM trips";
+                   epsilon = Some 0.5;
+                   delta = None;
+                   id = None;
+                 });
+            (match next () with
+            | None -> Alcotest.fail "unexpected EOF"
+            | Some line ->
+              Alcotest.(check (option string)) "no unsolicited id" None
+                (Wire.response_id_of_line line));
+            Unix.close fd;
+            (* the audit line written on the worker thread has the complete
+               stage breakdown: the span tree survived the reactor's
+               parse-on-event-loop / execute-on-worker split *)
+            Alcotest.(check bool) "audit flushed" true
+              (eventually (fun () -> Buffer.length buf > 0));
+            (match
+               Json.of_string (List.hd (String.split_on_char '\n' (Buffer.contents buf)))
+             with
+            | Error e -> Alcotest.failf "audit line does not parse: %s" e
+            | Ok j ->
+              Alcotest.(check (option string)) "audit joins on the id" (Some "corr-42")
+                (Option.bind (Json.mem "id" j) Json.to_str);
+              List.iter
+                (fun field ->
+                  match Option.bind (Json.mem field j) Json.to_num with
+                  | Some v when v > 0.0 -> ()
+                  | Some v -> Alcotest.failf "%s not positive over the reactor: %g" field v
+                  | None -> Alcotest.failf "missing %s" field)
+                [ "parse_ns"; "execution_ns"; "perturbation_ns"; "total_ns" ]);
+            (* and the flight recorder holds the same request with its trace *)
+            match Server.flights server with
+            | None -> Alcotest.fail "flight recorder expected"
+            | Some fl -> (
+              match Flex_obs.Flight.snapshot fl with
+              | [] -> Alcotest.fail "no flight recorded"
+              | records -> (
+                match
+                  List.find_opt
+                    (fun r -> r.Flex_obs.Flight.id = Some "corr-42")
+                    records
+                with
+                | None -> Alcotest.fail "flight with the request id not found"
+                | Some r -> (
+                  match r.trace with
+                  | None -> Alcotest.fail "flight trace missing"
+                  | Some v ->
+                    let names =
+                      List.map (fun (c : Flex_obs.Span.view) -> c.name) v.children
+                    in
+                    List.iter
+                      (fun n ->
+                        if not (List.mem n names) then
+                          Alcotest.failf "span %S missing from the reactor trace: [%s]" n
+                            (String.concat "; " names))
+                      [ "parse"; "execute"; "perturb" ])))));
+  ]
+
 let suites =
   [
     ("reactor-workers", workers_tests);
     ("reactor-rate-limit", rate_limit_tests);
     ("reactor-protocol", reactor_tests);
+    ("reactor-observability", observability_tests);
     ("reactor-overload", overload_tests);
   ]

@@ -298,7 +298,7 @@ let hello server session analyst =
   | other -> Alcotest.failf "hello failed: %s" (Wire.response_to_line other)
 
 let query ?epsilon ?delta server session sql =
-  Server.handle server session (Wire.Query { sql; epsilon; delta })
+  Server.handle server session (Wire.Query { sql; epsilon; delta; id = None })
 
 (* Wire.Result carries an inline record, so project the fields under test *)
 type answer = {
@@ -697,6 +697,7 @@ let audit_event i =
   {
     Audit.analyst = "alice";
     sql = Printf.sprintf "SELECT COUNT(*) FROM trips WHERE fare > %d" i;
+    request_id = None;
     outcome = Audit.Granted;
     epsilon = 0.1;
     delta = 1e-9;

@@ -94,7 +94,7 @@ let gen_request =
           (fun analyst epsilon delta -> Wire.Hello { analyst; epsilon; delta })
           gen_name gen_opt_float gen_opt_float;
         map3
-          (fun sql epsilon delta -> Wire.Query { sql; epsilon; delta })
+          (fun sql epsilon delta -> Wire.Query { sql; epsilon; delta; id = None })
           gen_sql gen_opt_float gen_opt_float;
         map (fun sql -> Wire.Analyze { sql }) gen_sql;
         map (fun sql -> Wire.Explain { sql }) gen_sql;
@@ -420,7 +420,7 @@ let hello server session analyst =
   | other -> Alcotest.failf "hello failed: %s" (Wire.response_to_line other)
 
 let query ?epsilon ?delta server session sql =
-  Server.handle server session (Wire.Query { sql; epsilon; delta })
+  Server.handle server session (Wire.Query { sql; epsilon; delta; id = None })
 
 let server_tests =
   [
@@ -591,7 +591,7 @@ let tcp_tests =
               match
                 roundtrip conn
                   (Wire.Query
-                     { sql = "SELECT COUNT(*) FROM trips"; epsilon = Some 0.25; delta = None })
+                     { sql = "SELECT COUNT(*) FROM trips"; epsilon = Some 0.25; delta = None; id = None })
               with
               | Wire.Result _ -> Atomic.incr granted
               | Wire.Refused _ -> Atomic.incr refused
